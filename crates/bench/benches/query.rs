@@ -1,0 +1,86 @@
+//! Criterion bench: the Table 3 queries on both engines, at two corpus
+//! sizes — the wall-clock view of the scan-vs-index contrast.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pass::{Observer, TraceEvent};
+use provenance_cloud::{ArchKind, ProvQuery, ProvenanceStore};
+use simworld::{Blob, SimWorld};
+
+/// Builds a store with `chains` one-tool pipelines plus a single blast
+/// chain (the query target).
+fn prepared(kind: ArchKind, chains: u32) -> (SimWorld, Box<dyn ProvenanceStore>) {
+    let world = SimWorld::counting();
+    let mut store = kind.build(&world);
+    let mut obs = Observer::new();
+    let mut flushes = Vec::new();
+    for i in 0..chains {
+        let pid = i + 1;
+        let src = format!("raw/{i}.dat");
+        let out = format!("cooked/{i}.dat");
+        for ev in [
+            TraceEvent::source(&src, Blob::synthetic(u64::from(i), 1024)),
+            TraceEvent::exec(pid, "churn", "churn", "E=1", None),
+            TraceEvent::read(pid, &src),
+            TraceEvent::write(pid, &out),
+            TraceEvent::close(pid, &out, Blob::synthetic(u64::from(i) + 5000, 512)),
+            TraceEvent::exit(pid),
+        ] {
+            flushes.extend(obs.observe(ev).unwrap());
+        }
+    }
+    let pid = chains + 1;
+    for ev in [
+        TraceEvent::source("q.fa", Blob::synthetic(9001, 256)),
+        TraceEvent::exec(pid, "blastall", "blastall q.fa", "E=1", None),
+        TraceEvent::read(pid, "q.fa"),
+        TraceEvent::write(pid, "hits.out"),
+        TraceEvent::close(pid, "hits.out", Blob::synthetic(9002, 2048)),
+        TraceEvent::exit(pid),
+    ] {
+        flushes.extend(obs.observe(ev).unwrap());
+    }
+    for flush in &flushes {
+        store.persist(flush).unwrap();
+    }
+    store.run_daemons_until_idle().unwrap();
+    world.settle();
+    (world, store)
+}
+
+fn bench_queries(c: &mut Criterion) {
+    for chains in [50u32, 200] {
+        let mut group = c.benchmark_group(format!("query_corpus_{chains}_chains"));
+        group.sample_size(10);
+        for kind in [ArchKind::S3, ArchKind::S3SimpleDb] {
+            let (_world, mut store) = prepared(kind, chains);
+            let engine = if kind == ArchKind::S3 { "s3-scan" } else { "simpledb" };
+            group.bench_function(BenchmarkId::new("q2_outputs", engine), |b| {
+                b.iter(|| {
+                    let answer = store
+                        .query(&ProvQuery::OutputsOf { program: "blastall".into() })
+                        .unwrap();
+                    assert_eq!(answer.len(), 1);
+                });
+            });
+            group.bench_function(BenchmarkId::new("q3_descendants", engine), |b| {
+                b.iter(|| {
+                    store
+                        .query(&ProvQuery::DescendantsOf { program: "churn".into() })
+                        .unwrap()
+                });
+            });
+            group.bench_function(BenchmarkId::new("q1_single", engine), |b| {
+                b.iter(|| {
+                    let answer = store
+                        .query(&ProvQuery::ProvenanceOf { name: "hits.out".into(), version: 1 })
+                        .unwrap();
+                    assert_eq!(answer.len(), 1);
+                });
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_queries);
+criterion_main!(benches);

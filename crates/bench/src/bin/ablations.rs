@@ -1,0 +1,18 @@
+//! Runs the five design ablations documented in DESIGN.md.
+//!
+//! Usage: `cargo run --release -p prov-bench --bin ablations [--seed=N]`
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let seed = args
+        .iter()
+        .find_map(|a| a.strip_prefix("--seed=").and_then(|v| v.parse().ok()))
+        .unwrap_or(2009);
+    match prov_bench::ablations(seed) {
+        Ok(results) => print!("{}", results.render()),
+        Err(e) => {
+            eprintln!("ablations failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

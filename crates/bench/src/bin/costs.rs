@@ -1,0 +1,17 @@
+//! Prices the persist phase of every architecture in January-2009 USD
+//! (the §5 discussion: "operations are much cheaper than storage").
+//!
+//! Usage: `cargo run --release -p prov-bench --bin costs [--scale=small|medium|paper]`
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = prov_bench::parse_scale(&args);
+    let dataset = scale.dataset();
+    match prov_bench::costs(&dataset) {
+        Ok(costs) => print!("{}", costs.render()),
+        Err(e) => {
+            eprintln!("costs failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

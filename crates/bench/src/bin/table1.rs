@@ -1,0 +1,18 @@
+//! Regenerates Table 1 (properties comparison) by fault injection.
+//!
+//! Usage: `cargo run --release -p prov-bench --bin table1 [--seed=N]`
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let seed = args
+        .iter()
+        .find_map(|a| a.strip_prefix("--seed=").and_then(|v| v.parse().ok()))
+        .unwrap_or(2009);
+    match prov_bench::table1(seed) {
+        Ok((_, rendered)) => print!("{rendered}"),
+        Err(e) => {
+            eprintln!("table1 failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,16 @@
+//! Regenerates Table 2 (storage cost comparison).
+//!
+//! Usage: `cargo run --release -p prov-bench --bin table2 [--scale=small|medium|paper]`
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = prov_bench::parse_scale(&args);
+    let dataset = scale.dataset();
+    match prov_bench::table2(&dataset) {
+        Ok(table) => print!("{}", table.render()),
+        Err(e) => {
+            eprintln!("table2 failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

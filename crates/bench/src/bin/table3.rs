@@ -1,0 +1,16 @@
+//! Regenerates Table 3 (query comparison: Q1, Q2, Q3).
+//!
+//! Usage: `cargo run --release -p prov-bench --bin table3 [--scale=small|medium|paper]`
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = prov_bench::parse_scale(&args);
+    let dataset = scale.dataset();
+    match prov_bench::table3(&dataset) {
+        Ok(table) => print!("{}", table.render()),
+        Err(e) => {
+            eprintln!("table3 failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

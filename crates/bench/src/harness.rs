@@ -1,0 +1,186 @@
+//! Shared experiment plumbing: scales, dataset persistence, meter
+//! bracketing.
+
+use provenance_cloud::{ArchKind, ProvenanceStore, Result};
+use sim_s3::{Metadata, S3};
+use simworld::{format_bytes, MeterSnapshot, SimWorld};
+use workloads::{Combined, DatasetStats};
+
+/// Dataset scale selection for the table binaries.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Scale {
+    /// Unit-test size (seconds).
+    Small,
+    /// Default experiment size (tens of seconds).
+    Medium,
+    /// Calibrated toward the paper's absolute dataset (~1.27 GB raw).
+    Paper,
+}
+
+impl Scale {
+    /// The dataset configuration for this scale.
+    pub fn dataset(self) -> Combined {
+        match self {
+            Scale::Small => Combined::small(),
+            Scale::Medium => Combined::medium(),
+            Scale::Paper => Combined::paper(),
+        }
+    }
+}
+
+/// Parses `--scale=small|medium|paper` from argv (default medium).
+pub fn parse_scale(args: &[String]) -> Scale {
+    for arg in args {
+        if let Some(v) = arg.strip_prefix("--scale=") {
+            return match v {
+                "small" => Scale::Small,
+                "medium" => Scale::Medium,
+                "paper" => Scale::Paper,
+                other => {
+                    eprintln!("unknown scale {other:?}; using medium");
+                    Scale::Medium
+                }
+            };
+        }
+    }
+    Scale::Medium
+}
+
+/// A store with a dataset persisted into it, plus the meters the persist
+/// phase consumed.
+pub struct PersistedStore {
+    /// The store, ready for reads/queries.
+    pub store: Box<dyn ProvenanceStore>,
+    /// Its world (for settling / further metering).
+    pub world: SimWorld,
+    /// Meter delta of the persist phase (client + daemons).
+    pub persist_meters: MeterSnapshot,
+    /// Dataset statistics (the Raw column).
+    pub stats: DatasetStats,
+}
+
+impl std::fmt::Debug for PersistedStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PersistedStore")
+            .field("architecture", &self.store.architecture())
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Persists the combined dataset into a fresh store of `kind` on a
+/// zero-latency, strongly-consistent world (pure op counting, like the
+/// paper's estimates).
+///
+/// # Errors
+///
+/// Propagates service errors.
+pub fn persist_dataset(kind: ArchKind, dataset: &Combined) -> Result<PersistedStore> {
+    let world = SimWorld::counting();
+    let mut store = kind.build(&world);
+    let (flushes, stats) = dataset.flushes();
+    let before = world.meters();
+    for flush in &flushes {
+        store.persist(flush)?;
+    }
+    store.run_daemons_until_idle()?;
+    let persist_meters = world.meters() - before;
+    world.settle();
+    Ok(PersistedStore { store, world, persist_meters, stats })
+}
+
+/// The provenance-free baseline: raw data PUT straight into S3 (the
+/// paper's "Raw" column). Returns the meter delta.
+///
+/// # Errors
+///
+/// Propagates S3 errors.
+pub fn persist_raw_baseline(dataset: &Combined) -> Result<(MeterSnapshot, DatasetStats)> {
+    let world = SimWorld::counting();
+    let s3 = S3::new(&world);
+    s3.create_bucket("raw")?;
+    let (flushes, stats) = dataset.flushes();
+    let before = world.meters(); // bucket creation excluded from the baseline
+    for flush in &flushes {
+        if flush.kind == pass::ObjectKind::File {
+            s3.put_object("raw", &flush.object.name, flush.data.clone(), Metadata::new())?;
+        }
+    }
+    Ok((world.meters() - before, stats))
+}
+
+/// `value/base` rendered like the paper's bracketed multipliers
+/// (`5.4x`).
+pub fn ratio(value: u64, base: u64) -> String {
+    if base == 0 {
+        return "-".to_string();
+    }
+    format!("{:.2}x", value as f64 / base as f64)
+}
+
+/// `part/whole` rendered like the paper's bracketed percentages
+/// (`9.3%`).
+pub fn percent(part: u64, whole: u64) -> String {
+    if whole == 0 {
+        return "-".to_string();
+    }
+    format!("{:.1}%", part as f64 / whole as f64 * 100.0)
+}
+
+/// Bytes rendered the paper's way.
+pub fn bytes(n: u64) -> String {
+    format_bytes(n)
+}
+
+/// Thousands separators for op counts (`231,287`).
+pub fn count(n: u64) -> String {
+    let raw = n.to_string();
+    let mut out = String::with_capacity(raw.len() + raw.len() / 3);
+    for (i, c) in raw.chars().enumerate() {
+        if i > 0 && (raw.len() - i) % 3 == 0 {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_parsing() {
+        let args = |s: &str| vec![format!("--scale={s}")];
+        assert_eq!(parse_scale(&args("small")), Scale::Small);
+        assert_eq!(parse_scale(&args("paper")), Scale::Paper);
+        assert_eq!(parse_scale(&args("bogus")), Scale::Medium);
+        assert_eq!(parse_scale(&[]), Scale::Medium);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(count(231287), "231,287");
+        assert_eq!(count(7), "7");
+        assert_eq!(count(1000), "1,000");
+        assert_eq!(ratio(540, 100), "5.40x");
+        assert_eq!(ratio(5, 0), "-");
+        assert_eq!(percent(93, 1000), "9.3%");
+        assert_eq!(percent(1, 0), "-");
+    }
+
+    #[test]
+    fn raw_baseline_counts_only_files() {
+        let dataset = Combined::small();
+        let (meters, stats) = persist_raw_baseline(&dataset).unwrap();
+        assert_eq!(meters.op_count(simworld::Op::S3Put), stats.file_versions);
+        assert_eq!(meters.bytes_in(), stats.raw_data_bytes);
+    }
+
+    #[test]
+    fn persist_dataset_records_meters() {
+        let dataset = Combined::small();
+        let persisted = persist_dataset(ArchKind::S3, &dataset).unwrap();
+        assert!(persisted.persist_meters.total_ops() >= persisted.stats.file_versions);
+    }
+}

@@ -1,0 +1,184 @@
+//! Architecture 1 — **Standalone S3** (§4.1).
+//!
+//! PASS uses S3 as the storage layer for both data and provenance: each
+//! file maps to one S3 object and the provenance rides as the object's
+//! user metadata on the *same* PUT. That single call makes the pair
+//! atomic and mutually consistent (read correctness holds by
+//! construction), and causal ordering holds because flushes arrive in
+//! ancestor-first order. The price is the query path: the only way to
+//! read provenance is a HEAD per object, so any search is a full scan.
+//!
+//! Records larger than 1 KB are stored as separate S3 objects to stay
+//! under the 2 KB metadata cap (§5); so are the largest remaining records
+//! if the total still exceeds the cap (§4.1 discusses why this workaround
+//! is unattractive).
+
+use pass::{CacheDir, FileFlush, ObjectRef};
+use sim_s3::{Metadata, S3Error, S3};
+use simworld::{CrashSite, SimWorld};
+
+use crate::error::{CloudError, Result};
+use crate::layout::{data_key, BUCKET, PROV_PREFIX};
+use crate::query::{ProvQuery, QueryAnswer, S3QueryEngine};
+use crate::retry::RetryPolicy;
+use crate::serialize::{decode_metadata, encode_metadata, encode_records, read_version};
+use crate::store::{ProvenanceStore, ReadOutcome, ReadStatus, RecoveryReport};
+
+/// Crash site: client dies before storing an overflow object.
+pub const A1_BEFORE_OVERFLOW_PUT: CrashSite = CrashSite::new("arch1.before_overflow_put");
+
+/// Crash site: client dies after the overflow objects but before the
+/// data+provenance PUT.
+pub const A1_BEFORE_DATA_PUT: CrashSite = CrashSite::new("arch1.before_data_put");
+
+/// The Standalone-S3 provenance store.
+///
+/// # Examples
+///
+/// ```
+/// use pass::FileFlush;
+/// use provenance_cloud::{ProvenanceStore, StandaloneS3};
+/// use simworld::{Blob, SimWorld};
+///
+/// let world = SimWorld::counting();
+/// let mut store = StandaloneS3::new(&world);
+/// let flush = FileFlush::builder("a.txt").data(Blob::from("hi")).build();
+/// store.persist(&flush)?;
+/// let read = store.read("a.txt")?;
+/// assert!(read.consistent());
+/// # Ok::<(), provenance_cloud::CloudError>(())
+/// ```
+#[derive(Debug)]
+pub struct StandaloneS3 {
+    world: SimWorld,
+    s3: S3,
+    cache: CacheDir,
+    retry: RetryPolicy,
+}
+
+impl StandaloneS3 {
+    /// Creates the store with its own S3 endpoint and bucket.
+    pub fn new(world: &SimWorld) -> StandaloneS3 {
+        let s3 = S3::new(world);
+        s3.create_bucket(BUCKET).expect("fresh endpoint has no buckets");
+        StandaloneS3::with_s3(world, &s3)
+    }
+
+    /// Creates the store over an existing S3 endpoint (the bucket must
+    /// exist).
+    pub fn with_s3(world: &SimWorld, s3: &S3) -> StandaloneS3 {
+        StandaloneS3 {
+            world: world.clone(),
+            s3: s3.clone(),
+            cache: CacheDir::new(),
+            retry: RetryPolicy::default(),
+        }
+    }
+
+    /// Replaces the read-retry policy.
+    pub fn set_retry(&mut self, retry: RetryPolicy) {
+        self.retry = retry;
+    }
+
+    /// The underlying S3 handle (shared).
+    pub fn s3(&self) -> &S3 {
+        &self.s3
+    }
+
+    /// The local cache directory.
+    pub fn cache(&self) -> &CacheDir {
+        &self.cache
+    }
+}
+
+impl ProvenanceStore for StandaloneS3 {
+    fn architecture(&self) -> &'static str {
+        "s3"
+    }
+
+    /// §4.1 protocol: (1) read the cache files, (2) convert provenance to
+    /// attribute-value pairs, (3) one PUT carrying object + provenance.
+    fn persist(&mut self, flush: &FileFlush) -> Result<()> {
+        // Step 1: the flush *is* the cache content; mirror it locally.
+        self.cache.store(flush);
+
+        // Step 2: serialise, spilling oversized records.
+        let encoded = encode_records(&flush.object, &flush.records);
+        let (metadata, overflows) = encode_metadata(&flush.object, encoded);
+        for (key, blob) in overflows {
+            self.world.crash_point(A1_BEFORE_OVERFLOW_PUT)?;
+            self.s3.put_object(BUCKET, &key, blob, Metadata::new())?;
+        }
+
+        // Step 3: data and provenance in a single PUT — the atomicity
+        // story of this architecture.
+        self.world.crash_point(A1_BEFORE_DATA_PUT)?;
+        self.s3.put_object(BUCKET, &data_key(&flush.object.name), flush.data.clone(), metadata)?;
+        Ok(())
+    }
+
+    fn read(&mut self, name: &str) -> Result<ReadOutcome> {
+        let key = data_key(name);
+        let mut attempt = 0;
+        loop {
+            match self.s3.get_object(BUCKET, &key) {
+                Ok(object) => {
+                    let version = read_version(&object.metadata)?;
+                    let records = decode_metadata(&object.metadata, |k| {
+                        let o = self.s3.get_object(BUCKET, k)?;
+                        String::from_utf8(o.body.to_bytes().to_vec()).map_err(|_| {
+                            CloudError::Corrupt { message: format!("overflow {k} not UTF-8") }
+                        })
+                    })?;
+                    return Ok(ReadOutcome {
+                        object: ObjectRef::new(name.to_string(), version),
+                        data: object.body,
+                        records,
+                        status: ReadStatus::AtomicUnit,
+                    });
+                }
+                Err(S3Error::NoSuchKey { .. }) if attempt < self.retry.max_retries => {
+                    // Possibly a replica that has not seen the PUT yet.
+                    attempt += 1;
+                    self.retry.pause(&self.world);
+                }
+                Err(S3Error::NoSuchKey { .. }) => {
+                    return Err(CloudError::NotFound { name: name.to_string() })
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    fn query(&mut self, query: &ProvQuery) -> Result<QueryAnswer> {
+        S3QueryEngine::new(&self.s3).execute(query)
+    }
+
+    /// Architecture 1 has no protocol-level recovery to run; the only
+    /// residue a crash can leave is orphaned overflow objects (stored
+    /// before the main PUT that never happened). This scan deletes
+    /// overflow objects describing versions newer than the object they
+    /// belong to.
+    fn recover(&mut self) -> Result<RecoveryReport> {
+        let mut report = RecoveryReport::default();
+        for summary in self.s3.list_all(BUCKET, PROV_PREFIX)? {
+            report.items_scanned += 1;
+            // Key shape: prov/{name} {version}/{idx}
+            let Some(rest) = summary.key.strip_prefix(PROV_PREFIX) else { continue };
+            let Some((item_name, _idx)) = rest.rsplit_once('/') else { continue };
+            let Some(object) = ObjectRef::parse_item_name(item_name) else { continue };
+            let current = match self.s3.head_object(BUCKET, &data_key(&object.name)) {
+                Ok(head) => Some(read_version(&head.metadata)?),
+                Err(S3Error::NoSuchKey { .. }) => None,
+                Err(e) => return Err(e.into()),
+            };
+            // Live overflow objects describe the version the data object
+            // currently has; anything else is residue.
+            if current != Some(object.version) {
+                self.s3.delete_object(BUCKET, &summary.key)?;
+                report.objects_removed += 1;
+            }
+        }
+        Ok(report)
+    }
+}

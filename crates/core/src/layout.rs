@@ -1,0 +1,116 @@
+//! Naming conventions shared by all three architectures: bucket/domain
+//! names, S3 key prefixes, metadata keys, and overflow pointers.
+
+use pass::ObjectRef;
+
+/// The single S3 bucket all architectures store into.
+pub const BUCKET: &str = "pass";
+
+/// Prefix for user-visible data objects: `data/{object name}`.
+pub const DATA_PREFIX: &str = "data/";
+
+/// Prefix for provenance overflow objects: `prov/{item name}/{index}`.
+pub const PROV_PREFIX: &str = "prov/";
+
+/// Prefix for Architecture 3's temporary staging objects:
+/// `tmp/{client}/{txid}/{kind}`.
+pub const TMP_PREFIX: &str = "tmp/";
+
+/// SimpleDB domain holding provenance items.
+pub const DOMAIN: &str = "provenance";
+
+/// Metadata key carrying the stored version on a data object.
+pub const META_VERSION: &str = "version";
+
+/// Metadata key carrying the consistency nonce on a data object.
+pub const META_NONCE: &str = "nonce";
+
+/// SimpleDB attribute holding `MD5(data ‖ nonce)` (§4.2).
+pub const ATTR_MD5: &str = "md5";
+
+/// SimpleDB attribute holding the nonce used for the MD5 attribute.
+pub const ATTR_NONCE: &str = "nonce";
+
+/// Provenance record values longer than this spill into their own S3
+/// object. The paper uses 1 KB: SimpleDB's hard value limit, and the
+/// headroom rule Architecture 1 applies to stay under S3's 2 KB metadata
+/// cap ("we store any record larger than 1KB in a separate S3 object",
+/// §5).
+pub const OVERFLOW_THRESHOLD: usize = 1024;
+
+/// S3 key of a data object.
+pub fn data_key(name: &str) -> String {
+    format!("{DATA_PREFIX}{name}")
+}
+
+/// Object name from a data key, if it is one.
+pub fn parse_data_key(key: &str) -> Option<&str> {
+    key.strip_prefix(DATA_PREFIX)
+}
+
+/// S3 key of the `idx`-th overflow object for an object version.
+pub fn overflow_key(object: &ObjectRef, idx: usize) -> String {
+    format!("{PROV_PREFIX}{}/{idx}", object.item_name())
+}
+
+/// S3 key prefix for Architecture 3 temp objects of one transaction.
+pub fn tmp_prefix(client: &str, txid: u64) -> String {
+    format!("{TMP_PREFIX}{client}/{txid}/")
+}
+
+/// Renders an overflow pointer value: `@s3:{key}`.
+pub fn pointer(key: &str) -> String {
+    format!("@s3:{key}")
+}
+
+/// Parses an overflow pointer value.
+pub fn parse_pointer(value: &str) -> Option<&str> {
+    value.strip_prefix("@s3:")
+}
+
+/// Renders a staged (temporary) pointer value: `@tmp:{key}`.
+pub fn tmp_pointer(key: &str) -> String {
+    format!("@tmp:{key}")
+}
+
+/// Parses a staged pointer value.
+pub fn parse_tmp_pointer(value: &str) -> Option<&str> {
+    value.strip_prefix("@tmp:")
+}
+
+/// The nonce for a version: the paper uses the file version (§4.2,
+/// "the nonce is typically the file version").
+pub fn nonce_for(object: &ObjectRef) -> String {
+    object.version.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_round_trips() {
+        assert_eq!(parse_data_key(&data_key("a/b.txt")), Some("a/b.txt"));
+        assert_eq!(parse_data_key("prov/x/0"), None);
+    }
+
+    #[test]
+    fn pointers_round_trip() {
+        let key = overflow_key(&ObjectRef::new("foo", 2), 3);
+        assert_eq!(key, "prov/foo 2/3");
+        assert_eq!(parse_pointer(&pointer(&key)), Some(key.as_str()));
+        assert_eq!(parse_tmp_pointer(&tmp_pointer(&key)), Some(key.as_str()));
+        assert_eq!(parse_pointer("plain value"), None);
+        assert_eq!(parse_tmp_pointer(&pointer(&key)), None);
+    }
+
+    #[test]
+    fn nonce_is_the_version() {
+        assert_eq!(nonce_for(&ObjectRef::new("foo", 7)), "7");
+    }
+
+    #[test]
+    fn tmp_prefix_scopes_by_client_and_txn() {
+        assert_eq!(tmp_prefix("c1", 9), "tmp/c1/9/");
+    }
+}

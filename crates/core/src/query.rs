@@ -1,0 +1,509 @@
+//! The three provenance queries of the paper's evaluation (§5, Table 3)
+//! and the two engines that execute them.
+//!
+//! * **Q1** — given an object and version, retrieve its provenance (the
+//!   paper runs it over *all* objects);
+//! * **Q2** — find all files that were outputs of `blast`;
+//! * **Q3** — find all the descendants of files derived from `blast`.
+//!
+//! The S3 engine (Architecture 1) has no search capability: it can only
+//! HEAD-scan the provenance metadata of every object in the repository.
+//! The SimpleDB engine (Architectures 2 and 3) uses indexed
+//! `QueryWithAttributes` lookups, but has no recursive queries, so Q3
+//! walks the graph one generation of `QueryWithAttributes` at a time —
+//! still orders of magnitude more selective than the scan.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use pass::{ObjectRef, ProvenanceRecord, RecordKey};
+use serde::{Deserialize, Serialize};
+use sim_s3::{S3Error, S3};
+use sim_simpledb::SimpleDb;
+
+use crate::error::{CloudError, Result};
+use crate::layout::{data_key, parse_data_key, BUCKET, DOMAIN};
+use crate::serialize::{decode_attributes, decode_metadata, read_version};
+
+/// How many `union` predicates we pack into one SimpleDB query
+/// expression when looking up many `input` values at once.
+const UNION_BATCH: usize = 20;
+
+/// A provenance query.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum ProvQuery {
+    /// Q1 over the whole repository: provenance of every stored object
+    /// version.
+    ProvenanceOfAll,
+    /// Q1 for one object version.
+    ProvenanceOf {
+        /// Object name.
+        name: String,
+        /// Version.
+        version: u32,
+    },
+    /// Q2: all files that were outputs of the program (direct children
+    /// of any process version running it).
+    OutputsOf {
+        /// Executable name, e.g. `blastall`.
+        program: String,
+    },
+    /// Q3: everything derived, transitively, from the outputs of the
+    /// program.
+    DescendantsOf {
+        /// Executable name.
+        program: String,
+    },
+}
+
+/// One hit: an object version and its provenance records.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct QueryItem {
+    /// The object version.
+    pub object: ObjectRef,
+    /// Its provenance.
+    pub records: Vec<ProvenanceRecord>,
+}
+
+/// The result set of a [`ProvQuery`].
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct QueryAnswer {
+    /// Matching object versions, in deterministic (name, version) order.
+    pub items: Vec<QueryItem>,
+}
+
+impl QueryAnswer {
+    fn from_map(map: BTreeMap<ObjectRef, Vec<ProvenanceRecord>>) -> QueryAnswer {
+        QueryAnswer {
+            items: map
+                .into_iter()
+                .map(|(object, records)| QueryItem { object, records })
+                .collect(),
+        }
+    }
+
+    /// Number of hits.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `true` when nothing matched.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// The rendered `name:version` of every hit.
+    pub fn names(&self) -> Vec<String> {
+        self.items.iter().map(|i| i.object.render()).collect()
+    }
+}
+
+// --- helpers shared by both engines ---
+
+/// The value of the first `name` record, if any.
+fn name_record(records: &[ProvenanceRecord]) -> Option<&str> {
+    records.iter().find_map(|r| match (&r.key, &r.value) {
+        (RecordKey::Name, pass::RecordValue::Text(t)) => Some(t.as_str()),
+        _ => None,
+    })
+}
+
+/// `true` when the records mark a process running `program`.
+fn is_process_named(records: &[ProvenanceRecord], program: &str) -> bool {
+    let is_process = records.iter().any(|r| {
+        r.key == RecordKey::Type
+            && matches!(&r.value, pass::RecordValue::Text(t) if t == "process")
+    });
+    is_process && name_record(records) == Some(program)
+}
+
+/// `true` when the records mark a file.
+fn is_file(records: &[ProvenanceRecord]) -> bool {
+    records.iter().any(|r| {
+        r.key == RecordKey::Type && matches!(&r.value, pass::RecordValue::Text(t) if t == "file")
+    })
+}
+
+/// Escapes a value for the SimpleDB query language ('' doubling).
+fn quote(value: &str) -> String {
+    value.replace('\'', "''")
+}
+
+// --- the S3 scan engine (Architecture 1) ---
+
+/// Query engine over provenance stored as S3 metadata. Every query is a
+/// full HEAD scan — §4.1: "we might need to iterate over the provenance
+/// of every object in the repository, which is so inefficient as to be
+/// impractical".
+#[derive(Clone, Debug)]
+pub struct S3QueryEngine {
+    s3: S3,
+}
+
+impl S3QueryEngine {
+    /// An engine reading from `s3`.
+    pub fn new(s3: &S3) -> S3QueryEngine {
+        S3QueryEngine { s3: s3.clone() }
+    }
+
+    /// Executes a query.
+    ///
+    /// # Errors
+    ///
+    /// S3 service errors.
+    pub fn execute(&self, query: &ProvQuery) -> Result<QueryAnswer> {
+        match query {
+            ProvQuery::ProvenanceOf { name, version } => {
+                let mut map = BTreeMap::new();
+                if let Some((object, records)) = self.head_one(name)? {
+                    if object.version == *version {
+                        map.insert(object, records);
+                    }
+                }
+                Ok(QueryAnswer::from_map(map))
+            }
+            ProvQuery::ProvenanceOfAll => Ok(QueryAnswer::from_map(self.scan()?)),
+            ProvQuery::OutputsOf { program } => {
+                let corpus = self.scan()?;
+                Ok(QueryAnswer::from_map(outputs_of(&corpus, program)))
+            }
+            ProvQuery::DescendantsOf { program } => {
+                let corpus = self.scan()?;
+                Ok(QueryAnswer::from_map(descendants_of(&corpus, program)))
+            }
+        }
+    }
+
+    /// HEAD one object and decode its provenance (overflow values are
+    /// fetched with GETs).
+    fn head_one(&self, name: &str) -> Result<Option<(ObjectRef, Vec<ProvenanceRecord>)>> {
+        let head = match self.s3.head_object(BUCKET, &data_key(name)) {
+            Ok(h) => h,
+            Err(S3Error::NoSuchKey { .. }) => return Ok(None),
+            Err(e) => return Err(e.into()),
+        };
+        let version = read_version(&head.metadata)?;
+        let records = decode_metadata(&head.metadata, |key| {
+            let obj = self.s3.get_object(BUCKET, key)?;
+            String::from_utf8(obj.body.to_bytes().to_vec())
+                .map_err(|_| CloudError::Corrupt { message: format!("overflow {key} not UTF-8") })
+        })?;
+        Ok(Some((ObjectRef::new(name.to_string(), version), records)))
+    }
+
+    /// The full repository scan: LIST pages + one HEAD per object.
+    fn scan(&self) -> Result<BTreeMap<ObjectRef, Vec<ProvenanceRecord>>> {
+        let mut out = BTreeMap::new();
+        for summary in self.s3.list_all(BUCKET, crate::layout::DATA_PREFIX)? {
+            let Some(name) = parse_data_key(&summary.key) else { continue };
+            if let Some((object, records)) = self.head_one(name)? {
+                out.insert(object, records);
+            }
+        }
+        Ok(out)
+    }
+}
+
+// --- the SimpleDB engine (Architectures 2 and 3) ---
+
+/// Query engine over provenance stored as SimpleDB items.
+#[derive(Clone, Debug)]
+pub struct SimpleDbQueryEngine {
+    db: SimpleDb,
+    s3: S3,
+}
+
+impl SimpleDbQueryEngine {
+    /// An engine reading items from `db` and overflow values from `s3`.
+    pub fn new(db: &SimpleDb, s3: &S3) -> SimpleDbQueryEngine {
+        SimpleDbQueryEngine { db: db.clone(), s3: s3.clone() }
+    }
+
+    /// Executes a query.
+    ///
+    /// # Errors
+    ///
+    /// SimpleDB/S3 service errors.
+    pub fn execute(&self, query: &ProvQuery) -> Result<QueryAnswer> {
+        match query {
+            ProvQuery::ProvenanceOf { name, version } => {
+                let object = ObjectRef::new(name.clone(), *version);
+                let mut map = BTreeMap::new();
+                if let Some(records) = self.fetch_item(&object)? {
+                    map.insert(object, records);
+                }
+                Ok(QueryAnswer::from_map(map))
+            }
+            ProvQuery::ProvenanceOfAll => {
+                // No way to generalise: enumerate items, then one
+                // GetAttributes per item (the paper's ~72K ops for Q1).
+                let mut map = BTreeMap::new();
+                let mut token: Option<String> = None;
+                loop {
+                    let page = self.db.query(DOMAIN, None, Some(250), token.as_deref())?;
+                    for item_name in &page.item_names {
+                        let Some(object) = ObjectRef::parse_item_name(item_name) else {
+                            continue;
+                        };
+                        if let Some(records) = self.fetch_item(&object)? {
+                            map.insert(object, records);
+                        }
+                    }
+                    match page.next_token {
+                        Some(t) => token = Some(t),
+                        None => break,
+                    }
+                }
+                Ok(QueryAnswer::from_map(map))
+            }
+            ProvQuery::OutputsOf { program } => {
+                Ok(QueryAnswer::from_map(self.outputs_of(program)?))
+            }
+            ProvQuery::DescendantsOf { program } => {
+                // Q3 = Q2 seeds, then one generation at a time; SimpleDB
+                // "does not support recursive queries or stored
+                // procedures" (§5).
+                let seeds = self.outputs_of(program)?;
+                let mut visited: BTreeSet<ObjectRef> = seeds.keys().cloned().collect();
+                let mut result: BTreeMap<ObjectRef, Vec<ProvenanceRecord>> = BTreeMap::new();
+                let mut frontier: VecDeque<ObjectRef> = seeds.keys().cloned().collect();
+                while let Some(parent) = frontier.pop_front() {
+                    // One QueryWithAttributes per frontier item, as the
+                    // paper describes.
+                    let expr = format!("['input' = '{}']", quote(&parent.render()));
+                    let children = self.query_all_pages(&expr)?;
+                    for (object, records) in children {
+                        if visited.insert(object.clone()) {
+                            frontier.push_back(object.clone());
+                            result.insert(object, records);
+                        }
+                    }
+                }
+                Ok(QueryAnswer::from_map(result))
+            }
+        }
+    }
+
+    /// Q2 in two indexed phases (§5): find the program's process
+    /// versions, then everything that lists one of them as `input`.
+    fn outputs_of(&self, program: &str) -> Result<BTreeMap<ObjectRef, Vec<ProvenanceRecord>>> {
+        let phase1 = format!(
+            "['type' = 'process'] intersection ['name' = '{}']",
+            quote(program)
+        );
+        let processes = self.query_all_pages(&phase1)?;
+        let mut outputs = BTreeMap::new();
+        let refs: Vec<String> = processes.keys().map(|o| o.render()).collect();
+        for batch in refs.chunks(UNION_BATCH) {
+            let expr = batch
+                .iter()
+                .map(|r| format!("['input' = '{}']", quote(r)))
+                .collect::<Vec<_>>()
+                .join(" union ");
+            for (object, records) in self.query_all_pages(&expr)? {
+                if is_file(&records) {
+                    outputs.insert(object, records);
+                }
+            }
+        }
+        Ok(outputs)
+    }
+
+    /// Runs one QueryWithAttributes expression across all pages.
+    fn query_all_pages(
+        &self,
+        expr: &str,
+    ) -> Result<BTreeMap<ObjectRef, Vec<ProvenanceRecord>>> {
+        let mut out = BTreeMap::new();
+        let mut token: Option<String> = None;
+        loop {
+            let page = self.db.query_with_attributes(
+                DOMAIN,
+                Some(expr),
+                None,
+                Some(250),
+                token.as_deref(),
+            )?;
+            for item in &page.items {
+                let Some(object) = ObjectRef::parse_item_name(&item.name) else { continue };
+                let records = decode_attributes(&item.attributes, |key| self.fetch_overflow(key))?;
+                out.insert(object, records);
+            }
+            match page.next_token {
+                Some(t) => token = Some(t),
+                None => break,
+            }
+        }
+        Ok(out)
+    }
+
+    /// GetAttributes for one item; `None` when the item does not exist.
+    fn fetch_item(&self, object: &ObjectRef) -> Result<Option<Vec<ProvenanceRecord>>> {
+        let attrs = self.db.get_attributes(DOMAIN, &object.item_name(), None)?;
+        if attrs.is_empty() {
+            return Ok(None);
+        }
+        Ok(Some(decode_attributes(&attrs, |key| self.fetch_overflow(key))?))
+    }
+
+    fn fetch_overflow(&self, key: &str) -> Result<String> {
+        let obj = self.s3.get_object(BUCKET, key)?;
+        String::from_utf8(obj.body.to_bytes().to_vec())
+            .map_err(|_| CloudError::Corrupt { message: format!("overflow {key} not UTF-8") })
+    }
+}
+
+// --- pure-graph evaluation shared by the S3 scan path ---
+
+/// Q2 evaluated over an in-memory corpus (used after the S3 full scan).
+fn outputs_of(
+    corpus: &BTreeMap<ObjectRef, Vec<ProvenanceRecord>>,
+    program: &str,
+) -> BTreeMap<ObjectRef, Vec<ProvenanceRecord>> {
+    let processes: BTreeSet<ObjectRef> = corpus
+        .iter()
+        .filter(|(_, records)| is_process_named(records, program))
+        .map(|(object, _)| object.clone())
+        .collect();
+    corpus
+        .iter()
+        .filter(|(_, records)| {
+            is_file(records)
+                && records
+                    .iter()
+                    .filter_map(ProvenanceRecord::reference)
+                    .any(|r| processes.contains(r))
+        })
+        .map(|(o, r)| (o.clone(), r.clone()))
+        .collect()
+}
+
+/// Q3 evaluated over an in-memory corpus.
+fn descendants_of(
+    corpus: &BTreeMap<ObjectRef, Vec<ProvenanceRecord>>,
+    program: &str,
+) -> BTreeMap<ObjectRef, Vec<ProvenanceRecord>> {
+    let seeds = outputs_of(corpus, program);
+    // Build the child index: parent -> children.
+    let mut children: BTreeMap<&ObjectRef, Vec<&ObjectRef>> = BTreeMap::new();
+    for (object, records) in corpus {
+        for parent in records.iter().filter_map(ProvenanceRecord::reference) {
+            children.entry(parent).or_default().push(object);
+        }
+    }
+    let mut visited: BTreeSet<ObjectRef> = seeds.keys().cloned().collect();
+    let mut frontier: VecDeque<ObjectRef> = seeds.keys().cloned().collect();
+    let mut result = BTreeMap::new();
+    while let Some(parent) = frontier.pop_front() {
+        if let Some(kids) = children.get(&parent) {
+            for kid in kids {
+                if visited.insert((*kid).clone()) {
+                    frontier.push_back((*kid).clone());
+                    result.insert((*kid).clone(), corpus[*kid].clone());
+                }
+            }
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(k: &str, v: &str) -> ProvenanceRecord {
+        ProvenanceRecord::from_pair(k, v)
+    }
+
+    fn corpus() -> BTreeMap<ObjectRef, Vec<ProvenanceRecord>> {
+        // in.fa:1 -> proc blastall:1 -> hits.txt:1 -> proc awk:1 -> top.txt:1
+        //                            -> log.txt:1 (also from blastall)
+        // unrelated.txt:1 from proc cp:1
+        let mut m = BTreeMap::new();
+        m.insert(
+            ObjectRef::new("in.fa", 1),
+            vec![rec("type", "file"), rec("name", "in.fa")],
+        );
+        m.insert(
+            ObjectRef::new("proc:1:blastall", 1),
+            vec![rec("type", "process"), rec("name", "blastall"), rec("input", "in.fa:1")],
+        );
+        m.insert(
+            ObjectRef::new("hits.txt", 1),
+            vec![rec("type", "file"), rec("name", "hits.txt"), rec("input", "proc:1:blastall:1")],
+        );
+        m.insert(
+            ObjectRef::new("log.txt", 1),
+            vec![rec("type", "file"), rec("name", "log.txt"), rec("input", "proc:1:blastall:1")],
+        );
+        m.insert(
+            ObjectRef::new("proc:2:awk", 1),
+            vec![rec("type", "process"), rec("name", "awk"), rec("input", "hits.txt:1")],
+        );
+        m.insert(
+            ObjectRef::new("top.txt", 1),
+            vec![rec("type", "file"), rec("name", "top.txt"), rec("input", "proc:2:awk:1")],
+        );
+        m.insert(
+            ObjectRef::new("proc:3:cp", 1),
+            vec![rec("type", "process"), rec("name", "cp")],
+        );
+        m.insert(
+            ObjectRef::new("unrelated.txt", 1),
+            vec![rec("type", "file"), rec("name", "unrelated.txt"), rec("input", "proc:3:cp:1")],
+        );
+        m
+    }
+
+    #[test]
+    fn outputs_of_finds_direct_children_files_only() {
+        let result = outputs_of(&corpus(), "blastall");
+        let names: Vec<String> = result.keys().map(|o| o.render()).collect();
+        assert_eq!(names, vec!["hits.txt:1", "log.txt:1"]);
+    }
+
+    #[test]
+    fn outputs_of_unknown_program_is_empty() {
+        assert!(outputs_of(&corpus(), "nonexistent").is_empty());
+    }
+
+    #[test]
+    fn descendants_walk_through_processes() {
+        let result = descendants_of(&corpus(), "blastall");
+        let names: Vec<String> = result.keys().map(|o| o.render()).collect();
+        // Descendants of {hits.txt, log.txt}: the awk process and top.txt.
+        assert_eq!(names, vec!["proc:2:awk:1", "top.txt:1"]);
+    }
+
+    #[test]
+    fn descendants_exclude_unrelated_branches() {
+        let result = descendants_of(&corpus(), "blastall");
+        assert!(!result.keys().any(|o| o.name == "unrelated.txt"));
+        assert!(!result.keys().any(|o| o.name == "in.fa"), "ancestors are not descendants");
+    }
+
+    #[test]
+    fn query_answer_accessors() {
+        let ans = QueryAnswer::from_map(corpus());
+        assert_eq!(ans.len(), 8);
+        assert!(!ans.is_empty());
+        assert_eq!(ans.names().len(), 8);
+        assert!(QueryAnswer::default().is_empty());
+    }
+
+    #[test]
+    fn quote_escapes_quotes() {
+        assert_eq!(quote("o'brien"), "o''brien");
+    }
+
+    #[test]
+    fn helper_predicates() {
+        let c = corpus();
+        let blast = &c[&ObjectRef::new("proc:1:blastall", 1)];
+        assert!(is_process_named(blast, "blastall"));
+        assert!(!is_process_named(blast, "awk"));
+        assert!(!is_file(blast));
+        let hits = &c[&ObjectRef::new("hits.txt", 1)];
+        assert!(is_file(hits));
+        assert!(!is_process_named(hits, "hits.txt"));
+    }
+}

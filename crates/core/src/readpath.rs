@@ -1,0 +1,85 @@
+//! The shared §4.2 read path: S3 data + SimpleDB provenance, verified by
+//! `MD5(data ‖ nonce)` and retried until consistent. Used by both
+//! Architecture 2 and Architecture 3 (their read sides are identical —
+//! Table 3 notes their query costs are the same for the same reason).
+
+use pass::ObjectRef;
+use sim_s3::{S3Error, S3};
+use sim_simpledb::SimpleDb;
+use simworld::{Blob, SimWorld};
+
+use crate::error::{CloudError, Result};
+use crate::layout::{data_key, ATTR_MD5, BUCKET, DOMAIN};
+use crate::retry::RetryPolicy;
+use crate::serialize::{decode_attributes, read_nonce, read_version};
+use crate::store::{ReadOutcome, ReadStatus};
+
+/// Everything the verified read needs.
+pub(crate) struct ReadContext<'a> {
+    pub world: &'a SimWorld,
+    pub s3: &'a S3,
+    pub db: &'a SimpleDb,
+    pub retry: RetryPolicy,
+    pub verify_md5: bool,
+    pub use_nonce: bool,
+}
+
+impl ReadContext<'_> {
+    pub(crate) fn consistency_md5(&self, data: &Blob, nonce: &str) -> String {
+        if self.use_nonce {
+            data.md5_with_suffix(nonce.as_bytes()).to_hex()
+        } else {
+            data.md5().to_hex()
+        }
+    }
+}
+
+/// Fetches data + provenance for `name`, enforcing the MD5+nonce
+/// consistency check with retries.
+pub(crate) fn verified_read(ctx: &ReadContext<'_>, name: &str) -> Result<ReadOutcome> {
+    let key = data_key(name);
+    let mut retries = 0u32;
+    loop {
+        let object = match ctx.s3.get_object(BUCKET, &key) {
+            Ok(o) => o,
+            Err(S3Error::NoSuchKey { .. }) if retries < ctx.retry.max_retries => {
+                retries += 1;
+                ctx.retry.pause(ctx.world);
+                continue;
+            }
+            Err(S3Error::NoSuchKey { .. }) => {
+                return Err(CloudError::NotFound { name: name.to_string() })
+            }
+            Err(e) => return Err(e.into()),
+        };
+        let version = read_version(&object.metadata)?;
+        let nonce = read_nonce(&object.metadata)?;
+        let object_ref = ObjectRef::new(name.to_string(), version);
+        let attrs = ctx.db.get_attributes(DOMAIN, &object_ref.item_name(), None)?;
+        let stored_md5 = attrs.iter().find(|a| a.name == ATTR_MD5).map(|a| a.value.clone());
+
+        let finish = |status: ReadStatus| -> Result<ReadOutcome> {
+            let records = decode_attributes(&attrs, |k| fetch_overflow(ctx.s3, k))?;
+            Ok(ReadOutcome { object: object_ref.clone(), data: object.body.clone(), records, status })
+        };
+
+        if !ctx.verify_md5 {
+            return finish(ReadStatus::Unverified);
+        }
+        let computed = ctx.consistency_md5(&object.body, &nonce);
+        if stored_md5.as_deref() == Some(computed.as_str()) {
+            return finish(ReadStatus::VerifiedConsistent { retries });
+        }
+        if retries >= ctx.retry.max_retries {
+            return finish(ReadStatus::InconsistencyDetected { retries });
+        }
+        retries += 1;
+        ctx.retry.pause(ctx.world);
+    }
+}
+
+pub(crate) fn fetch_overflow(s3: &S3, key: &str) -> Result<String> {
+    let obj = s3.get_object(BUCKET, key)?;
+    String::from_utf8(obj.body.to_bytes().to_vec())
+        .map_err(|_| CloudError::Corrupt { message: format!("overflow {key} not UTF-8") })
+}

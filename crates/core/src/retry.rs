@@ -1,0 +1,64 @@
+//! Read retry policy.
+//!
+//! Under eventual consistency a read may observe stale or missing state;
+//! the paper's remedy is to "reissue the query, retrieving data from S3
+//! until we get consistent provenance and data" (§4.2). A [`RetryPolicy`]
+//! bounds that loop and spaces the attempts out in virtual time so the
+//! replicas can catch up.
+
+use serde::{Deserialize, Serialize};
+use simworld::{SimDuration, SimWorld};
+
+/// Bounds and pacing for read-retry loops.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Maximum re-read rounds before giving up.
+    pub max_retries: u32,
+    /// Virtual-time pause between rounds.
+    pub backoff: SimDuration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy { max_retries: 50, backoff: SimDuration::from_millis(100) }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (useful to expose raw staleness).
+    pub fn none() -> RetryPolicy {
+        RetryPolicy { max_retries: 0, backoff: SimDuration::ZERO }
+    }
+
+    /// Sleeps for the backoff in virtual time.
+    pub fn pause(&self, world: &SimWorld) {
+        if self.backoff > SimDuration::ZERO {
+            world.advance(self.backoff);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simworld::SimWorld;
+
+    #[test]
+    fn defaults_are_reasonable() {
+        let p = RetryPolicy::default();
+        assert!(p.max_retries > 0);
+        assert!(p.backoff > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn pause_advances_virtual_time() {
+        let world = SimWorld::counting();
+        let p = RetryPolicy { max_retries: 1, backoff: SimDuration::from_secs(1) };
+        let t0 = world.now();
+        p.pause(&world);
+        assert_eq!((world.now() - t0).as_secs(), 1);
+        let t1 = world.now();
+        RetryPolicy::none().pause(&world);
+        assert_eq!(world.now(), t1);
+    }
+}

@@ -1,0 +1,428 @@
+//! Encoding provenance records onto the two wire formats — S3 object
+//! metadata (Architecture 1) and SimpleDB attributes (Architectures 2/3)
+//! — including the overflow rules both impose.
+
+use pass::{ObjectRef, ProvenanceRecord};
+use sim_s3::{Metadata, METADATA_LIMIT};
+use sim_simpledb::ReplaceableAttribute;
+use simworld::Blob;
+
+use crate::error::{CloudError, Result};
+use crate::layout::{
+    overflow_key, parse_pointer, pointer, ATTR_MD5, ATTR_NONCE, META_NONCE, META_VERSION,
+    OVERFLOW_THRESHOLD,
+};
+
+/// Provenance serialised for the wire: attribute pairs (with oversized
+/// values replaced by pointers) plus the overflow objects that must be
+/// stored for the pointers to resolve.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct EncodedProvenance {
+    /// `(attribute name, value-or-pointer)` in record order.
+    pub pairs: Vec<(String, String)>,
+    /// `(s3 key, content)` of overflow objects referenced by pointers.
+    pub overflows: Vec<(String, Blob)>,
+}
+
+impl EncodedProvenance {
+    /// Total bytes of the attribute pairs.
+    pub fn pair_bytes(&self) -> u64 {
+        self.pairs.iter().map(|(k, v)| (k.len() + v.len()) as u64).sum()
+    }
+}
+
+/// Serialises records, spilling values above [`OVERFLOW_THRESHOLD`]
+/// into overflow objects (the §4.2 rule, also applied by Architecture 1
+/// per §5).
+pub fn encode_records(object: &ObjectRef, records: &[ProvenanceRecord]) -> EncodedProvenance {
+    let mut out = EncodedProvenance::default();
+    for (i, record) in records.iter().enumerate() {
+        let (name, value) = record.to_pair();
+        if value.len() > OVERFLOW_THRESHOLD {
+            let key = overflow_key(object, i);
+            out.pairs.push((name, pointer(&key)));
+            out.overflows.push((key, Blob::from(value)));
+        } else {
+            out.pairs.push((name, value));
+        }
+    }
+    out
+}
+
+/// Metadata key pointing at the continuation object, when one exists.
+const META_MORE: &str = "pmore";
+
+/// S3 key of an object version's continuation object.
+fn continuation_key(object: &ObjectRef) -> String {
+    format!("{}{}/more", crate::layout::PROV_PREFIX, object.item_name())
+}
+
+fn esc(s: &str) -> String {
+    s.replace('%', "%25").replace('\u{1f}', "%1F").replace('\u{1e}', "%1E")
+}
+
+fn unesc(s: &str) -> String {
+    s.replace("%1E", "\u{1e}").replace("%1F", "\u{1f}").replace("%25", "%")
+}
+
+/// Lays encoded pairs into S3 user metadata for Architecture 1.
+///
+/// Keys are `p{i}-{attr}` (the index keeps duplicate attribute names —
+/// multiple `input` records — distinct in the metadata map, and
+/// preserves record order). `version` is stored under its own key.
+/// Whatever does not fit under the 2 KB cap is spilled into a single
+/// *continuation object* referenced by a `pmore` pointer — the §4.1
+/// workaround of "storing provenance overflowing the 2KB limit in
+/// separate S3 objects", which is exactly what makes this
+/// architecture's query story painful.
+pub fn encode_metadata(
+    object: &ObjectRef,
+    encoded: EncodedProvenance,
+) -> (Metadata, Vec<(String, Blob)>) {
+    let mut overflows = encoded.overflows;
+
+    // Fast path: everything fits inline.
+    let mut meta = Metadata::new();
+    meta.insert(META_VERSION, object.version.to_string());
+    for (i, (name, value)) in encoded.pairs.iter().enumerate() {
+        meta.insert(format!("p{i}-{name}"), value.clone());
+    }
+    if meta.byte_size() <= METADATA_LIMIT {
+        return (meta, overflows);
+    }
+
+    // Slow path: keep a prefix of the records inline, spill the rest
+    // into one continuation object.
+    let key = continuation_key(object);
+    let mut meta = Metadata::new();
+    meta.insert(META_VERSION, object.version.to_string());
+    meta.insert(META_MORE, pointer(&key));
+    let mut inline_budget = METADATA_LIMIT.saturating_sub(meta.byte_size());
+    let mut spilled: Vec<String> = Vec::new();
+    for (i, (name, value)) in encoded.pairs.iter().enumerate() {
+        let meta_key = format!("p{i}-{name}");
+        let cost = (meta_key.len() + value.len()) as u64;
+        if spilled.is_empty() && cost <= inline_budget {
+            inline_budget -= cost;
+            meta.insert(meta_key, value.clone());
+        } else {
+            spilled.push(format!("{i}\u{1f}{}\u{1f}{}", esc(name), esc(value)));
+        }
+    }
+    overflows.push((key, Blob::from(spilled.join("\u{1e}"))));
+    debug_assert!(meta.byte_size() <= METADATA_LIMIT);
+    (meta, overflows)
+}
+
+/// Reads provenance pairs back out of Architecture 1 metadata, in record
+/// order. Pointer values are resolved through `fetch` (an S3 GET).
+///
+/// # Errors
+///
+/// Propagates `fetch` failures; [`CloudError::Corrupt`] for malformed
+/// keys is *not* raised — unknown metadata keys are simply skipped, so
+/// service-level keys (`version`, `nonce`) coexist with provenance.
+pub fn decode_metadata(
+    metadata: &Metadata,
+    mut fetch: impl FnMut(&str) -> Result<String>,
+) -> Result<Vec<ProvenanceRecord>> {
+    let mut indexed: Vec<(usize, String, String)> = Vec::new();
+    for (key, value) in metadata.iter() {
+        let Some(rest) = key.strip_prefix('p') else { continue };
+        let Some((idx, attr)) = rest.split_once('-') else { continue };
+        let Ok(idx) = idx.parse::<usize>() else { continue };
+        indexed.push((idx, attr.to_string(), value.to_string()));
+    }
+    if let Some(more) = metadata.get(META_MORE) {
+        let key = parse_pointer(more).ok_or_else(|| CloudError::Corrupt {
+            message: "malformed continuation pointer".into(),
+        })?;
+        let body = fetch(key)?;
+        for entry in body.split('\u{1e}').filter(|e| !e.is_empty()) {
+            let mut fields = entry.splitn(3, '\u{1f}');
+            let (idx, name, value) = (fields.next(), fields.next(), fields.next());
+            match (idx.and_then(|i| i.parse::<usize>().ok()), name, value) {
+                (Some(idx), Some(name), Some(value)) => {
+                    indexed.push((idx, unesc(name), unesc(value)));
+                }
+                _ => {
+                    return Err(CloudError::Corrupt {
+                        message: format!("malformed continuation entry {entry:?}"),
+                    })
+                }
+            }
+        }
+    }
+    indexed.sort_by_key(|(i, _, _)| *i);
+    let mut records = Vec::with_capacity(indexed.len());
+    for (_, attr, value) in indexed {
+        let resolved = match parse_pointer(&value) {
+            Some(key) => fetch(key)?,
+            None => value.clone(),
+        };
+        records.push(ProvenanceRecord::from_pair(&attr, &resolved));
+    }
+    Ok(records)
+}
+
+/// Converts encoded pairs into SimpleDB attributes for one item
+/// (Architectures 2/3). Multi-valued set semantics make duplicates
+/// harmless, so `replace` is false throughout — which is also what keeps
+/// the commit daemon's replays idempotent.
+pub fn to_simpledb_attributes(encoded: &EncodedProvenance) -> Vec<ReplaceableAttribute> {
+    encoded
+        .pairs
+        .iter()
+        .map(|(name, value)| ReplaceableAttribute::add(name.clone(), value.clone()))
+        .collect()
+}
+
+/// The attribute that points at a SimpleDB item's continuation object.
+pub const ATTR_MORE: &str = "more";
+
+/// Reserve for the service attributes (`md5`, `nonce`, `more`).
+const ITEM_ATTR_RESERVE: usize = 3;
+
+/// Caps an item's provenance pairs at SimpleDB's 256-pair limit: the
+/// overflowing tail is packed into one continuation object and replaced
+/// by a single `more` pointer attribute. Massive fan-in (a linker
+/// reading thousands of objects) would otherwise be unstorable — the
+/// trade-off is that spilled `input` records are invisible to SimpleDB's
+/// index, exactly as they would be on the real service.
+pub fn fit_item_pairs(
+    object: &ObjectRef,
+    mut pairs: Vec<(String, String)>,
+) -> (Vec<(String, String)>, Option<(String, Blob)>) {
+    let max_inline = sim_simpledb::MAX_PAIRS_PER_ITEM - ITEM_ATTR_RESERVE;
+    if pairs.len() <= max_inline {
+        return (pairs, None);
+    }
+    let tail: Vec<(String, String)> = pairs.split_off(max_inline);
+    let key = format!("{}{}/more-attrs", crate::layout::PROV_PREFIX, object.item_name());
+    let body = tail
+        .iter()
+        .map(|(n, v)| format!("{}\u{1f}{}", esc(n), esc(v)))
+        .collect::<Vec<_>>()
+        .join("\u{1e}");
+    pairs.push((ATTR_MORE.to_string(), pointer(&key)));
+    (pairs, Some((key, Blob::from(body))))
+}
+
+/// Reads provenance records back from a SimpleDB item's attributes,
+/// resolving overflow pointers through `fetch` and skipping the
+/// consistency attributes (`md5`, `nonce`).
+///
+/// # Errors
+///
+/// Propagates `fetch` failures.
+pub fn decode_attributes(
+    attrs: &[sim_simpledb::Attribute],
+    mut fetch: impl FnMut(&str) -> Result<String>,
+) -> Result<Vec<ProvenanceRecord>> {
+    let mut records = Vec::with_capacity(attrs.len());
+    let mut continuation: Vec<(String, String)> = Vec::new();
+    for attr in attrs {
+        if attr.name == ATTR_MD5 || attr.name == ATTR_NONCE {
+            continue;
+        }
+        if attr.name == ATTR_MORE {
+            let key = parse_pointer(&attr.value).ok_or_else(|| CloudError::Corrupt {
+                message: "malformed continuation pointer".into(),
+            })?;
+            let body = fetch(key)?;
+            for entry in body.split('\u{1e}').filter(|e| !e.is_empty()) {
+                let Some((name, value)) = entry.split_once('\u{1f}') else {
+                    return Err(CloudError::Corrupt {
+                        message: format!("malformed continuation entry {entry:?}"),
+                    });
+                };
+                continuation.push((unesc(name), unesc(value)));
+            }
+            continue;
+        }
+        let resolved = match parse_pointer(&attr.value) {
+            Some(key) => fetch(key)?,
+            None => attr.value.clone(),
+        };
+        records.push(ProvenanceRecord::from_pair(&attr.name, &resolved));
+    }
+    for (name, value) in continuation {
+        let resolved = match parse_pointer(&value) {
+            Some(key) => fetch(key)?,
+            None => value,
+        };
+        records.push(ProvenanceRecord::from_pair(&name, &resolved));
+    }
+    Ok(records)
+}
+
+/// Extracts the nonce a data object was stored with.
+///
+/// # Errors
+///
+/// [`CloudError::Corrupt`] when the metadata lacks a nonce.
+pub fn read_nonce(metadata: &Metadata) -> Result<String> {
+    metadata
+        .get(META_NONCE)
+        .map(str::to_string)
+        .ok_or_else(|| CloudError::Corrupt { message: "data object has no nonce".into() })
+}
+
+/// Extracts the version a data object was stored with.
+///
+/// # Errors
+///
+/// [`CloudError::Corrupt`] when absent or unparsable.
+pub fn read_version(metadata: &Metadata) -> Result<u32> {
+    metadata
+        .get(META_VERSION)
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| CloudError::Corrupt { message: "data object has no version".into() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pass::{RecordKey, RecordValue};
+
+    fn rec(key: &str, value: &str) -> ProvenanceRecord {
+        ProvenanceRecord::from_pair(key, value)
+    }
+
+    #[test]
+    fn small_records_stay_inline() {
+        let obj = ObjectRef::new("foo", 2);
+        let records = vec![rec("input", "bar:2"), rec("type", "file")];
+        let enc = encode_records(&obj, &records);
+        assert!(enc.overflows.is_empty());
+        assert_eq!(enc.pairs.len(), 2);
+        assert_eq!(enc.pairs[0], ("input".to_string(), "bar:2".to_string()));
+    }
+
+    #[test]
+    fn big_values_overflow_with_pointers() {
+        let obj = ObjectRef::new("foo", 1);
+        let big = "e".repeat(3000);
+        let records = vec![rec("env", &big), rec("type", "process")];
+        let enc = encode_records(&obj, &records);
+        assert_eq!(enc.overflows.len(), 1);
+        assert_eq!(enc.overflows[0].0, "prov/foo 1/0");
+        assert!(enc.pairs[0].1.starts_with("@s3:"));
+        assert_eq!(enc.pairs[1].1, "process");
+    }
+
+    #[test]
+    fn metadata_round_trip_with_overflow() {
+        let obj = ObjectRef::new("foo", 3);
+        let big = "x".repeat(2000);
+        let records = vec![rec("input", "bar:2"), rec("env", &big), rec("type", "file")];
+        let enc = encode_records(&obj, &records);
+        let (meta, overflows) = encode_metadata(&obj, enc);
+        assert!(meta.byte_size() <= METADATA_LIMIT);
+        assert_eq!(read_version(&meta).unwrap(), 3);
+
+        // Simulated overflow store.
+        let fetch = |key: &str| -> Result<String> {
+            overflows
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, blob)| String::from_utf8(blob.to_bytes().to_vec()).unwrap())
+                .ok_or_else(|| CloudError::NotFound { name: key.to_string() })
+        };
+        let decoded = decode_metadata(&meta, fetch).unwrap();
+        assert_eq!(decoded, records);
+    }
+
+    #[test]
+    fn many_small_records_spill_until_metadata_fits() {
+        let obj = ObjectRef::new("foo", 1);
+        // 30 records of ~100 bytes: 3 KB total, all under the 1 KB
+        // per-record threshold, so the 2 KB cap forces extra spills.
+        let records: Vec<ProvenanceRecord> =
+            (0..30).map(|i| rec("env", &format!("{i:03}{}", "v".repeat(97)))).collect();
+        let enc = encode_records(&obj, &records);
+        assert!(enc.overflows.is_empty());
+        let (meta, overflows) = encode_metadata(&obj, enc);
+        assert!(meta.byte_size() <= METADATA_LIMIT);
+        assert!(!overflows.is_empty(), "spilling was required");
+        let fetch = |key: &str| -> Result<String> {
+            overflows
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, blob)| String::from_utf8(blob.to_bytes().to_vec()).unwrap())
+                .ok_or_else(|| CloudError::NotFound { name: key.to_string() })
+        };
+        let decoded = decode_metadata(&meta, fetch).unwrap();
+        assert_eq!(decoded, records, "record order and content survive spilling");
+    }
+
+    #[test]
+    fn simpledb_attr_round_trip() {
+        let obj = ObjectRef::new("out", 1);
+        let records = vec![
+            rec("input", "proc:1:cc:1"),
+            rec("input", "main.c:1"),
+            rec("type", "file"),
+        ];
+        let enc = encode_records(&obj, &records);
+        let attrs = to_simpledb_attributes(&enc);
+        assert_eq!(attrs.len(), 3);
+        assert!(attrs.iter().all(|a| !a.replace), "adds, never replaces (idempotency)");
+
+        let stored: Vec<sim_simpledb::Attribute> = attrs
+            .iter()
+            .map(|a| sim_simpledb::Attribute::new(a.name.clone(), a.value.clone()))
+            .collect();
+        let decoded =
+            decode_attributes(&stored, |_| panic!("no overflow expected")).unwrap();
+        // SimpleDB sets are unordered; compare as sets.
+        let mut want = records.clone();
+        want.sort();
+        let mut got = decoded;
+        got.sort();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn decode_attributes_skips_consistency_attrs() {
+        let stored = vec![
+            sim_simpledb::Attribute::new("md5", "abc"),
+            sim_simpledb::Attribute::new("nonce", "2"),
+            sim_simpledb::Attribute::new("type", "file"),
+        ];
+        let decoded = decode_attributes(&stored, |_| unreachable!()).unwrap();
+        assert_eq!(decoded, vec![rec("type", "file")]);
+    }
+
+    #[test]
+    fn missing_overflow_object_propagates_error() {
+        let obj = ObjectRef::new("foo", 1);
+        let records = vec![rec("env", &"e".repeat(2000))];
+        let enc = encode_records(&obj, &records);
+        let (meta, _overflows) = encode_metadata(&obj, enc);
+        let result = decode_metadata(&meta, |key| {
+            Err(CloudError::NotFound { name: key.to_string() })
+        });
+        assert!(matches!(result, Err(CloudError::NotFound { .. })));
+    }
+
+    #[test]
+    fn nonce_and_version_extraction_errors() {
+        let meta = Metadata::new();
+        assert!(matches!(read_nonce(&meta), Err(CloudError::Corrupt { .. })));
+        assert!(matches!(read_version(&meta), Err(CloudError::Corrupt { .. })));
+        let meta = Metadata::from_pairs([(META_VERSION, "notanumber")]);
+        assert!(matches!(read_version(&meta), Err(CloudError::Corrupt { .. })));
+    }
+
+    #[test]
+    fn reference_records_survive_round_trip_as_refs() {
+        let obj = ObjectRef::new("foo", 1);
+        let records =
+            vec![ProvenanceRecord::new(RecordKey::Input, RecordValue::Ref(ObjectRef::new("a", 1)))];
+        let enc = encode_records(&obj, &records);
+        let (meta, _) = encode_metadata(&obj, enc);
+        let decoded = decode_metadata(&meta, |_| unreachable!()).unwrap();
+        assert_eq!(decoded[0].reference(), Some(&ObjectRef::new("a", 1)));
+    }
+}

@@ -1,0 +1,311 @@
+//! The write-ahead-log record format Architecture 3 puts on its SQS
+//! queue (§4.3).
+//!
+//! Records are tagged with a transaction id. A transaction is: one
+//! `Begin` carrying the record count, one `Data` pointer to the staged S3
+//! object, provenance `Prov` chunks of at most 8 KB, one `Md5`
+//! consistency record, and finally `Commit`. The commit daemon assembles
+//! transactions from (sampled, unordered) queue deliveries and applies
+//! only complete, committed ones.
+//!
+//! The wire encoding joins escaped fields with the ASCII unit separator;
+//! it is trivially reversible and keeps every record well under SQS's
+//! limit except for the payload itself (the chunker guarantees that).
+
+use serde::{Deserialize, Serialize};
+use sim_sqs::MAX_MESSAGE_SIZE;
+
+/// One WAL record.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum WalRecord {
+    /// Transaction start: how many records (data + prov + md5) follow
+    /// before the commit.
+    Begin {
+        /// Transaction id (random per transaction, unique across client
+        /// restarts).
+        txid: u64,
+        /// Records between begin and commit.
+        records: u32,
+    },
+    /// Pointer to the staged data object.
+    Data {
+        /// Transaction id.
+        txid: u64,
+        /// S3 key of the temporary object.
+        temp_key: String,
+        /// Final object name.
+        name: String,
+        /// Version being persisted.
+        version: u32,
+        /// Consistency nonce.
+        nonce: String,
+    },
+    /// A chunk of provenance attribute pairs for one item.
+    Prov {
+        /// Transaction id.
+        txid: u64,
+        /// SimpleDB item the pairs belong to.
+        item_name: String,
+        /// Attribute pairs.
+        pairs: Vec<(String, String)>,
+    },
+    /// The `MD5(data ‖ nonce)` consistency record.
+    Md5 {
+        /// Transaction id.
+        txid: u64,
+        /// SimpleDB item the hash belongs to.
+        item_name: String,
+        /// Hex digest.
+        md5_hex: String,
+        /// Nonce that went into the digest.
+        nonce: String,
+    },
+    /// Transaction end: every record was logged.
+    Commit {
+        /// Transaction id.
+        txid: u64,
+    },
+}
+
+const SEP: char = '\u{1f}';
+
+fn esc(s: &str) -> String {
+    s.replace('%', "%25").replace(SEP, "%1F")
+}
+
+fn unesc(s: &str) -> String {
+    s.replace("%1F", "\u{1f}").replace("%25", "%")
+}
+
+impl WalRecord {
+    /// The transaction this record belongs to.
+    pub fn txid(&self) -> u64 {
+        match self {
+            WalRecord::Begin { txid, .. }
+            | WalRecord::Data { txid, .. }
+            | WalRecord::Prov { txid, .. }
+            | WalRecord::Md5 { txid, .. }
+            | WalRecord::Commit { txid } => *txid,
+        }
+    }
+
+    /// `true` for the records counted by `Begin::records`.
+    pub fn is_payload(&self) -> bool {
+        matches!(self, WalRecord::Data { .. } | WalRecord::Prov { .. } | WalRecord::Md5 { .. })
+    }
+
+    /// Serialises to the queue wire form.
+    pub fn encode(&self) -> String {
+        let mut fields: Vec<String> = Vec::new();
+        match self {
+            WalRecord::Begin { txid, records } => {
+                fields.extend(["B".into(), txid.to_string(), records.to_string()]);
+            }
+            WalRecord::Data { txid, temp_key, name, version, nonce } => {
+                fields.extend([
+                    "D".into(),
+                    txid.to_string(),
+                    esc(temp_key),
+                    esc(name),
+                    version.to_string(),
+                    esc(nonce),
+                ]);
+            }
+            WalRecord::Prov { txid, item_name, pairs } => {
+                fields.extend(["P".into(), txid.to_string(), esc(item_name)]);
+                for (k, v) in pairs {
+                    fields.push(esc(k));
+                    fields.push(esc(v));
+                }
+            }
+            WalRecord::Md5 { txid, item_name, md5_hex, nonce } => {
+                fields.extend([
+                    "M".into(),
+                    txid.to_string(),
+                    esc(item_name),
+                    esc(md5_hex),
+                    esc(nonce),
+                ]);
+            }
+            WalRecord::Commit { txid } => {
+                fields.extend(["C".into(), txid.to_string()]);
+            }
+        }
+        fields.join(&SEP.to_string())
+    }
+
+    /// Parses the wire form; `None` for anything malformed (foreign
+    /// messages on the queue are skipped, not fatal).
+    pub fn decode(s: &str) -> Option<WalRecord> {
+        let fields: Vec<&str> = s.split(SEP).collect();
+        let txid: u64 = fields.get(1)?.parse().ok()?;
+        match *fields.first()? {
+            "B" => {
+                let records: u32 = fields.get(2)?.parse().ok()?;
+                (fields.len() == 3).then_some(WalRecord::Begin { txid, records })
+            }
+            "D" => {
+                if fields.len() != 6 {
+                    return None;
+                }
+                Some(WalRecord::Data {
+                    txid,
+                    temp_key: unesc(fields[2]),
+                    name: unesc(fields[3]),
+                    version: fields[4].parse().ok()?,
+                    nonce: unesc(fields[5]),
+                })
+            }
+            "P" => {
+                if fields.len() < 3 || (fields.len() - 3) % 2 != 0 {
+                    return None;
+                }
+                let item_name = unesc(fields[2]);
+                let pairs = fields[3..]
+                    .chunks_exact(2)
+                    .map(|c| (unesc(c[0]), unesc(c[1])))
+                    .collect();
+                Some(WalRecord::Prov { txid, item_name, pairs })
+            }
+            "M" => {
+                if fields.len() != 5 {
+                    return None;
+                }
+                Some(WalRecord::Md5 {
+                    txid,
+                    item_name: unesc(fields[2]),
+                    md5_hex: unesc(fields[3]),
+                    nonce: unesc(fields[4]),
+                })
+            }
+            "C" => (fields.len() == 2).then_some(WalRecord::Commit { txid }),
+            _ => None,
+        }
+    }
+}
+
+/// Splits attribute pairs into `Prov` records whose encoded form fits in
+/// an SQS message ("group the provenance records into chunks of 8KB",
+/// §4.3). Oversized single pairs must have been pointered beforehand —
+/// the overflow rule keeps values ≤ 1 KB, so any pair fits.
+pub fn chunk_pairs(
+    txid: u64,
+    item_name: &str,
+    pairs: &[(String, String)],
+) -> Vec<WalRecord> {
+    let mut out = Vec::new();
+    let mut current: Vec<(String, String)> = Vec::new();
+    for pair in pairs {
+        current.push(pair.clone());
+        let candidate =
+            WalRecord::Prov { txid, item_name: item_name.to_string(), pairs: current.clone() };
+        if candidate.encode().len() > MAX_MESSAGE_SIZE && current.len() > 1 {
+            let overflowed = current.pop().expect("non-empty");
+            out.push(WalRecord::Prov {
+                txid,
+                item_name: item_name.to_string(),
+                pairs: std::mem::take(&mut current),
+            });
+            current.push(overflowed);
+        }
+    }
+    if !current.is_empty() {
+        out.push(WalRecord::Prov { txid, item_name: item_name.to_string(), pairs: current });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(record: WalRecord) {
+        let encoded = record.encode();
+        assert!(encoded.len() <= MAX_MESSAGE_SIZE, "record exceeds SQS limit");
+        assert_eq!(WalRecord::decode(&encoded), Some(record));
+    }
+
+    #[test]
+    fn all_variants_round_trip() {
+        round_trip(WalRecord::Begin { txid: 7, records: 3 });
+        round_trip(WalRecord::Data {
+            txid: 7,
+            temp_key: "tmp/c/7/data".into(),
+            name: "results/out.csv".into(),
+            version: 2,
+            nonce: "2".into(),
+        });
+        round_trip(WalRecord::Prov {
+            txid: 7,
+            item_name: "results/out.csv 2".into(),
+            pairs: vec![("input".into(), "bar:2".into()), ("type".into(), "file".into())],
+        });
+        round_trip(WalRecord::Md5 {
+            txid: 7,
+            item_name: "results/out.csv 2".into(),
+            md5_hex: "d41d8cd98f00b204e9800998ecf8427e".into(),
+            nonce: "2".into(),
+        });
+        round_trip(WalRecord::Commit { txid: 7 });
+    }
+
+    #[test]
+    fn separator_and_percent_in_values_survive() {
+        round_trip(WalRecord::Prov {
+            txid: 1,
+            item_name: "weird\u{1f}name 1".into(),
+            pairs: vec![("env".into(), "A=100%\u{1f}B=2".into())],
+        });
+    }
+
+    #[test]
+    fn decode_rejects_malformed() {
+        assert_eq!(WalRecord::decode(""), None);
+        assert_eq!(WalRecord::decode("X\u{1f}1"), None);
+        assert_eq!(WalRecord::decode("B\u{1f}notanumber\u{1f}3"), None);
+        assert_eq!(WalRecord::decode("B\u{1f}1"), None); // missing count
+        assert_eq!(WalRecord::decode("D\u{1f}1\u{1f}only-three-fields"), None);
+        assert_eq!(WalRecord::decode("P\u{1f}1\u{1f}item\u{1f}dangling-key"), None);
+        assert_eq!(WalRecord::decode("arbitrary user message"), None);
+    }
+
+    #[test]
+    fn payload_classification() {
+        assert!(!WalRecord::Begin { txid: 1, records: 0 }.is_payload());
+        assert!(!WalRecord::Commit { txid: 1 }.is_payload());
+        assert!(WalRecord::Md5 {
+            txid: 1,
+            item_name: "i".into(),
+            md5_hex: String::new(),
+            nonce: String::new()
+        }
+        .is_payload());
+    }
+
+    #[test]
+    fn chunking_respects_message_limit() {
+        let pairs: Vec<(String, String)> =
+            (0..200).map(|i| (format!("env{i}"), "v".repeat(500))).collect();
+        let chunks = chunk_pairs(9, "item 1", &pairs);
+        assert!(chunks.len() > 1, "200 × ~500B pairs cannot fit one message");
+        let mut reassembled = Vec::new();
+        for c in &chunks {
+            assert!(c.encode().len() <= MAX_MESSAGE_SIZE);
+            match c {
+                WalRecord::Prov { item_name, pairs, .. } => {
+                    assert_eq!(item_name, "item 1");
+                    reassembled.extend(pairs.clone());
+                }
+                other => panic!("unexpected record {other:?}"),
+            }
+        }
+        assert_eq!(reassembled, pairs, "no pair lost or reordered");
+    }
+
+    #[test]
+    fn small_sets_fit_one_chunk() {
+        let pairs = vec![("type".to_string(), "file".to_string())];
+        let chunks = chunk_pairs(1, "i 1", &pairs);
+        assert_eq!(chunks.len(), 1);
+    }
+}

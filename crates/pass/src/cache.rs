@@ -1,0 +1,141 @@
+//! The client-side cache directory.
+//!
+//! All three architectures in the paper "mirror the file system in a
+//! local cache directory, reducing traffic to S3", with provenance cached
+//! "in a file hidden from the user" (§4.1). [`CacheDir`] models that
+//! mirror: the storage protocols read the data cache file and the
+//! provenance cache file from here (protocol step 1 in §4.1/§4.2/§4.3),
+//! and reads served from cache cost no cloud operations.
+
+use std::collections::BTreeMap;
+
+use simworld::Blob;
+
+use crate::flush::FileFlush;
+use crate::records::ProvenanceRecord;
+
+/// A cached object: the data file plus the hidden provenance file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CacheEntry {
+    /// Object version held in the cache.
+    pub version: u32,
+    /// Data cache file.
+    pub data: Blob,
+    /// Provenance cache file.
+    pub records: Vec<ProvenanceRecord>,
+}
+
+/// The local cache directory mirroring the cloud-backed file system.
+///
+/// # Examples
+///
+/// ```
+/// use pass::{CacheDir, FileFlush};
+/// use simworld::Blob;
+///
+/// let mut cache = CacheDir::new();
+/// let flush = FileFlush::builder("a.txt").data(Blob::from("hi")).build();
+/// cache.store(&flush);
+/// assert_eq!(cache.get("a.txt").unwrap().version, 1);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct CacheDir {
+    entries: BTreeMap<String, CacheEntry>,
+}
+
+impl CacheDir {
+    /// An empty cache.
+    pub fn new() -> CacheDir {
+        CacheDir::default()
+    }
+
+    /// Mirrors a flushed object version (overwrites older versions).
+    pub fn store(&mut self, flush: &FileFlush) {
+        self.entries.insert(
+            flush.object.name.clone(),
+            CacheEntry {
+                version: flush.object.version,
+                data: flush.data.clone(),
+                records: flush.records.clone(),
+            },
+        );
+    }
+
+    /// Looks up the cached entry for an object name.
+    pub fn get(&self, name: &str) -> Option<&CacheEntry> {
+        self.entries.get(name)
+    }
+
+    /// Drops an entry (e.g. on cache pressure), returning it if present.
+    pub fn evict(&mut self, name: &str) -> Option<CacheEntry> {
+        self.entries.remove(name)
+    }
+
+    /// Number of cached objects.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates `(name, entry)` in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &CacheEntry)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Total bytes of cached data (not counting provenance).
+    pub fn data_bytes(&self) -> u64 {
+        self.entries.values().map(|e| e.data.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flush(name: &str, version: u32, content: &str) -> FileFlush {
+        FileFlush::builder(name).version(version).data(Blob::from(content)).build()
+    }
+
+    #[test]
+    fn store_and_get() {
+        let mut cache = CacheDir::new();
+        assert!(cache.is_empty());
+        cache.store(&flush("a", 1, "one"));
+        let e = cache.get("a").unwrap();
+        assert_eq!(e.version, 1);
+        assert_eq!(&e.data.to_bytes()[..], b"one");
+        assert!(!e.records.is_empty(), "provenance cached alongside data");
+    }
+
+    #[test]
+    fn newer_version_replaces_older() {
+        let mut cache = CacheDir::new();
+        cache.store(&flush("a", 1, "one"));
+        cache.store(&flush("a", 2, "two"));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.get("a").unwrap().version, 2);
+    }
+
+    #[test]
+    fn evict_removes() {
+        let mut cache = CacheDir::new();
+        cache.store(&flush("a", 1, "x"));
+        assert!(cache.evict("a").is_some());
+        assert!(cache.get("a").is_none());
+        assert!(cache.evict("a").is_none());
+    }
+
+    #[test]
+    fn accounting() {
+        let mut cache = CacheDir::new();
+        cache.store(&flush("a", 1, "1234"));
+        cache.store(&flush("b", 1, "12"));
+        assert_eq!(cache.data_bytes(), 6);
+        let names: Vec<&str> = cache.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+}

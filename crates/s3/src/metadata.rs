@@ -1,0 +1,185 @@
+//! S3 user metadata: string pairs capped at 2 KB per object.
+//!
+//! The 2 KB cap is load-bearing for the paper: it is why Architecture 1
+//! must spill large provenance records into separate overflow objects
+//! (§4.1), which in turn is what breaks its query story.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{Result, S3Error};
+
+/// The S3 limit on total user metadata per object, in bytes.
+pub const METADATA_LIMIT: u64 = 2048;
+
+/// User metadata attached to an S3 object.
+///
+/// Size is accounted the way S3 does: the sum of UTF-8 lengths of every
+/// key and value. Inserting beyond [`METADATA_LIMIT`] is allowed on the
+/// builder-style type itself; the limit is enforced by the service when
+/// the object is PUT, so tests can construct oversized metadata to probe
+/// the failure path.
+///
+/// # Examples
+///
+/// ```
+/// use sim_s3::Metadata;
+///
+/// let mut meta = Metadata::new();
+/// meta.insert("x-amz-meta-nonce", "42");
+/// assert_eq!(meta.get("x-amz-meta-nonce"), Some("42"));
+/// assert_eq!(meta.byte_size(), "x-amz-meta-nonce42".len() as u64);
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub struct Metadata {
+    entries: BTreeMap<String, String>,
+}
+
+impl Metadata {
+    /// Empty metadata.
+    pub fn new() -> Metadata {
+        Metadata::default()
+    }
+
+    /// Builds metadata from `(key, value)` pairs.
+    pub fn from_pairs<K, V, I>(pairs: I) -> Metadata
+    where
+        K: Into<String>,
+        V: Into<String>,
+        I: IntoIterator<Item = (K, V)>,
+    {
+        let mut m = Metadata::new();
+        for (k, v) in pairs {
+            m.insert(k, v);
+        }
+        m
+    }
+
+    /// Inserts or replaces one pair, returning the previous value if any.
+    pub fn insert(&mut self, key: impl Into<String>, value: impl Into<String>) -> Option<String> {
+        self.entries.insert(key.into(), value.into())
+    }
+
+    /// Looks up a value.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.entries.get(key).map(String::as_str)
+    }
+
+    /// Removes a pair, returning its value if present.
+    pub fn remove(&mut self, key: &str) -> Option<String> {
+        self.entries.remove(key)
+    }
+
+    /// Number of pairs.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no pairs are present.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates pairs in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v.as_str()))
+    }
+
+    /// Total size as S3 accounts it: UTF-8 bytes of all keys and values.
+    pub fn byte_size(&self) -> u64 {
+        self.entries
+            .iter()
+            .map(|(k, v)| (k.len() + v.len()) as u64)
+            .sum()
+    }
+
+    /// Enforces the service limit.
+    ///
+    /// # Errors
+    ///
+    /// [`S3Error::MetadataTooLarge`] when over [`METADATA_LIMIT`].
+    pub fn check_limit(&self) -> Result<()> {
+        let size = self.byte_size();
+        if size > METADATA_LIMIT {
+            return Err(S3Error::MetadataTooLarge { size, limit: METADATA_LIMIT });
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Metadata {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} pairs / {} bytes", self.len(), self.byte_size())
+    }
+}
+
+impl<K: Into<String>, V: Into<String>> FromIterator<(K, V)> for Metadata {
+    fn from_iter<I: IntoIterator<Item = (K, V)>>(iter: I) -> Metadata {
+        Metadata::from_pairs(iter)
+    }
+}
+
+impl<K: Into<String>, V: Into<String>> Extend<(K, V)> for Metadata {
+    fn extend<I: IntoIterator<Item = (K, V)>>(&mut self, iter: I) {
+        for (k, v) in iter {
+            self.insert(k, v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_round_trip() {
+        let mut m = Metadata::new();
+        assert!(m.is_empty());
+        assert_eq!(m.insert("a", "1"), None);
+        assert_eq!(m.insert("a", "2"), Some("1".to_string()));
+        assert_eq!(m.get("a"), Some("2"));
+        assert_eq!(m.remove("a"), Some("2".to_string()));
+        assert!(m.get("a").is_none());
+    }
+
+    #[test]
+    fn byte_size_counts_keys_and_values() {
+        let m = Metadata::from_pairs([("key", "value"), ("k2", "v2")]);
+        assert_eq!(m.byte_size(), (3 + 5 + 2 + 2) as u64);
+    }
+
+    #[test]
+    fn check_limit_boundary() {
+        let mut m = Metadata::new();
+        m.insert("k", "v".repeat(2047));
+        assert_eq!(m.byte_size(), 2048);
+        assert!(m.check_limit().is_ok(), "exactly 2KB is allowed");
+        m.insert("x", "");
+        assert!(matches!(
+            m.check_limit(),
+            Err(S3Error::MetadataTooLarge { size: 2049, limit: 2048 })
+        ));
+    }
+
+    #[test]
+    fn iteration_is_key_ordered() {
+        let m = Metadata::from_pairs([("b", "2"), ("a", "1"), ("c", "3")]);
+        let keys: Vec<_> = m.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let mut m: Metadata = [("a", "1")].into_iter().collect();
+        m.extend([("b", "2")]);
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn multibyte_values_counted_in_utf8_bytes() {
+        let m = Metadata::from_pairs([("k", "é")]); // 'é' is 2 bytes
+        assert_eq!(m.byte_size(), 3);
+    }
+}

@@ -1,0 +1,458 @@
+//! The S3 service simulator.
+
+use std::collections::BTreeMap;
+use std::ops::Range;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use simworld::{Blob, EcMap, Md5Digest, Op, Service, SimInstant, SimWorld};
+
+use crate::error::{Result, S3Error};
+use crate::metadata::Metadata;
+
+/// S3's maximum object size circa January 2009: 5 GB.
+pub const MAX_OBJECT_SIZE: u64 = 5 * 1024 * 1024 * 1024;
+
+/// S3's maximum key length in bytes.
+pub const MAX_KEY_LEN: usize = 1024;
+
+/// Maximum keys returned per LIST page.
+pub const MAX_LIST_KEYS: usize = 1000;
+
+/// Approximate fixed response overhead per listed key (XML framing).
+const LIST_ENTRY_OVERHEAD: u64 = 64;
+
+/// A stored object as returned by GET.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Object {
+    /// Object content (possibly a sub-range for ranged GETs).
+    pub body: Blob,
+    /// User metadata.
+    pub metadata: Metadata,
+    /// MD5 of the complete body (S3's ETag for simple PUTs).
+    pub etag: Md5Digest,
+    /// When the object version was written.
+    pub last_modified: SimInstant,
+}
+
+/// Metadata-only view returned by HEAD.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Head {
+    /// User metadata.
+    pub metadata: Metadata,
+    /// Full body length in bytes.
+    pub content_length: u64,
+    /// MD5 of the body.
+    pub etag: Md5Digest,
+    /// When the object version was written.
+    pub last_modified: SimInstant,
+}
+
+/// One entry of a LIST response.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ObjectSummary {
+    /// Object key.
+    pub key: String,
+    /// Body length in bytes.
+    pub size: u64,
+}
+
+/// A LIST response page.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Listing {
+    /// Keys in lexicographic order, after `marker`, matching `prefix`.
+    pub objects: Vec<ObjectSummary>,
+    /// `true` when more keys remain past this page.
+    pub is_truncated: bool,
+}
+
+/// Whether COPY carries the source metadata or replaces it — the
+/// `x-amz-metadata-directive` header.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MetadataDirective {
+    /// Keep the source object's metadata.
+    Copy,
+    /// Replace metadata wholesale with the supplied pairs.
+    Replace(Metadata),
+}
+
+#[derive(Clone, Debug)]
+struct Stored {
+    body: Blob,
+    metadata: Metadata,
+    etag: Md5Digest,
+    last_modified: SimInstant,
+}
+
+impl Stored {
+    fn footprint(&self) -> u64 {
+        self.body.len() + self.metadata.byte_size()
+    }
+}
+
+#[derive(Default)]
+struct Inner {
+    buckets: BTreeMap<String, EcMap<String, Stored>>,
+}
+
+/// The simulated Simple Storage Service.
+///
+/// All clones share one backing store (they are handles to the same
+/// simulated service endpoint). Every operation is metered against the
+/// world's ledger and advances the virtual clock; reads are served from a
+/// sampled replica and may be stale under eventual consistency.
+///
+/// # Examples
+///
+/// ```
+/// use sim_s3::{Metadata, S3};
+/// use simworld::{Blob, SimWorld};
+///
+/// let world = SimWorld::counting();
+/// let s3 = S3::new(&world);
+/// s3.create_bucket("data")?;
+/// s3.put_object("data", "hello.txt", Blob::from("hi"), Metadata::new())?;
+/// let obj = s3.get_object("data", "hello.txt")?;
+/// assert_eq!(&obj.body.to_bytes()[..], b"hi");
+/// # Ok::<(), sim_s3::S3Error>(())
+/// ```
+#[derive(Clone)]
+pub struct S3 {
+    world: SimWorld,
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl std::fmt::Debug for S3 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("S3").field("buckets", &inner.buckets.len()).finish_non_exhaustive()
+    }
+}
+
+impl S3 {
+    /// Connects a new simulated S3 endpoint to `world`.
+    pub fn new(world: &SimWorld) -> S3 {
+        S3 { world: world.clone(), inner: Arc::new(Mutex::new(Inner::default())) }
+    }
+
+    /// Creates a bucket.
+    ///
+    /// # Errors
+    ///
+    /// [`S3Error::BucketAlreadyExists`] on name collision;
+    /// [`S3Error::InvalidBucketName`] for empty or oversized names.
+    pub fn create_bucket(&self, bucket: impl Into<String>) -> Result<()> {
+        let bucket = bucket.into();
+        if bucket.is_empty() || bucket.len() > 255 {
+            return Err(S3Error::InvalidBucketName { bucket });
+        }
+        let mut inner = self.inner.lock();
+        if inner.buckets.contains_key(&bucket) {
+            return Err(S3Error::BucketAlreadyExists { bucket });
+        }
+        self.world.record_op(Op::S3Put, bucket.len() as u64, 0);
+        inner.buckets.insert(bucket, EcMap::new());
+        Ok(())
+    }
+
+    /// Stores an object, overwriting any existing object at the key.
+    /// Data and metadata travel in the *same* request — the paper's
+    /// Architecture 1 leans on this for atomicity.
+    ///
+    /// # Errors
+    ///
+    /// [`S3Error::NoSuchBucket`], [`S3Error::KeyTooLong`],
+    /// [`S3Error::EntityTooLarge`] or [`S3Error::MetadataTooLarge`].
+    pub fn put_object(
+        &self,
+        bucket: &str,
+        key: &str,
+        body: Blob,
+        metadata: Metadata,
+    ) -> Result<()> {
+        if key.len() > MAX_KEY_LEN {
+            return Err(S3Error::KeyTooLong { length: key.len() });
+        }
+        if body.len() > MAX_OBJECT_SIZE {
+            return Err(S3Error::EntityTooLarge { size: body.len() });
+        }
+        metadata.check_limit()?;
+        let mut inner = self.inner.lock();
+        let map = bucket_mut(&mut inner, bucket)?;
+
+        let prev_footprint =
+            map.read_latest(&key.to_string()).map(|s| s.footprint()).unwrap_or(0);
+        let stored = Stored {
+            etag: body.md5(),
+            last_modified: self.world.now(),
+            body,
+            metadata,
+        };
+        let bytes_in = stored.footprint();
+        self.world.record_op(Op::S3Put, bytes_in, 0);
+        self.world
+            .adjust_stored(Service::S3, bytes_in as i64 - prev_footprint as i64);
+        map.write(&self.world, key.to_string(), Some(stored));
+        Ok(())
+    }
+
+    /// Retrieves a whole object.
+    ///
+    /// # Errors
+    ///
+    /// [`S3Error::NoSuchKey`] when absent *or not yet visible on the
+    /// sampled replica* — retrying after the propagation lag succeeds.
+    pub fn get_object(&self, bucket: &str, key: &str) -> Result<Object> {
+        let inner = self.inner.lock();
+        let map = bucket_ref(&inner, bucket)?;
+        let stored = map.read(&self.world, &key.to_string()).ok_or_else(|| {
+            self.world.record_op(Op::S3Get, 0, 0);
+            S3Error::NoSuchKey { bucket: bucket.to_string(), key: key.to_string() }
+        })?;
+        let bytes_out = stored.footprint();
+        self.world.record_op(Op::S3Get, 0, bytes_out);
+        Ok(Object {
+            body: stored.body,
+            metadata: stored.metadata,
+            etag: stored.etag,
+            last_modified: stored.last_modified,
+        })
+    }
+
+    /// Retrieves a byte range of an object. Metadata and the full-body
+    /// ETag still accompany the response.
+    ///
+    /// # Errors
+    ///
+    /// [`S3Error::InvalidRange`] if the range does not fit the object;
+    /// otherwise as [`S3::get_object`].
+    pub fn get_object_range(&self, bucket: &str, key: &str, range: Range<u64>) -> Result<Object> {
+        let inner = self.inner.lock();
+        let map = bucket_ref(&inner, bucket)?;
+        let stored = map.read(&self.world, &key.to_string()).ok_or_else(|| {
+            self.world.record_op(Op::S3Get, 0, 0);
+            S3Error::NoSuchKey { bucket: bucket.to_string(), key: key.to_string() }
+        })?;
+        if range.start > range.end || range.end > stored.body.len() {
+            return Err(S3Error::InvalidRange {
+                start: range.start,
+                end: range.end,
+                len: stored.body.len(),
+            });
+        }
+        let body = stored.body.slice(range);
+        let bytes_out = body.len() + stored.metadata.byte_size();
+        self.world.record_op(Op::S3Get, 0, bytes_out);
+        Ok(Object {
+            body,
+            metadata: stored.metadata,
+            etag: stored.etag,
+            last_modified: stored.last_modified,
+        })
+    }
+
+    /// Retrieves only the metadata of an object — the sole provenance
+    /// "query" primitive Architecture 1 has.
+    ///
+    /// # Errors
+    ///
+    /// As [`S3::get_object`].
+    pub fn head_object(&self, bucket: &str, key: &str) -> Result<Head> {
+        let inner = self.inner.lock();
+        let map = bucket_ref(&inner, bucket)?;
+        let stored = map.read(&self.world, &key.to_string()).ok_or_else(|| {
+            self.world.record_op(Op::S3Head, 0, 0);
+            S3Error::NoSuchKey { bucket: bucket.to_string(), key: key.to_string() }
+        })?;
+        self.world.record_op(Op::S3Head, 0, stored.metadata.byte_size());
+        Ok(Head {
+            content_length: stored.body.len(),
+            metadata: stored.metadata,
+            etag: stored.etag,
+            last_modified: stored.last_modified,
+        })
+    }
+
+    /// Server-side copy. Per the paper (§5), COPY is **not** billed for
+    /// data transfer — only the operation itself — which is why
+    /// Architecture 3's temp-object dance adds ops but no transfer bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`S3Error::NoSuchKey`] if the source is absent or not yet visible
+    /// on the sampled replica; metadata limit errors when replacing.
+    pub fn copy_object(
+        &self,
+        src_bucket: &str,
+        src_key: &str,
+        dst_bucket: &str,
+        dst_key: &str,
+        directive: MetadataDirective,
+    ) -> Result<()> {
+        if dst_key.len() > MAX_KEY_LEN {
+            return Err(S3Error::KeyTooLong { length: dst_key.len() });
+        }
+        let mut inner = self.inner.lock();
+        let src = bucket_ref_mutless(&inner, src_bucket)?
+            .read(&self.world, &src_key.to_string())
+            .ok_or_else(|| {
+                self.world.record_op(Op::S3Copy, 0, 0);
+                S3Error::NoSuchKey { bucket: src_bucket.to_string(), key: src_key.to_string() }
+            })?;
+        let metadata = match directive {
+            MetadataDirective::Copy => src.metadata.clone(),
+            MetadataDirective::Replace(m) => {
+                m.check_limit()?;
+                m
+            }
+        };
+        let dst_map = bucket_mut(&mut inner, dst_bucket)?;
+        let prev_footprint =
+            dst_map.read_latest(&dst_key.to_string()).map(|s| s.footprint()).unwrap_or(0);
+        let stored = Stored {
+            etag: src.etag,
+            last_modified: self.world.now(),
+            body: src.body,
+            metadata,
+        };
+        self.world.record_op(Op::S3Copy, 0, 0);
+        self.world
+            .adjust_stored(Service::S3, stored.footprint() as i64 - prev_footprint as i64);
+        dst_map.write(&self.world, dst_key.to_string(), Some(stored));
+        Ok(())
+    }
+
+    /// Deletes an object. Idempotent: deleting an absent key succeeds,
+    /// as in the real service.
+    ///
+    /// # Errors
+    ///
+    /// [`S3Error::NoSuchBucket`] only.
+    pub fn delete_object(&self, bucket: &str, key: &str) -> Result<()> {
+        let mut inner = self.inner.lock();
+        let map = bucket_mut(&mut inner, bucket)?;
+        let prev = map.read_latest(&key.to_string()).map(|s| s.footprint());
+        self.world.record_op(Op::S3Delete, 0, 0);
+        if let Some(footprint) = prev {
+            self.world.adjust_stored(Service::S3, -(footprint as i64));
+            map.write(&self.world, key.to_string(), None);
+        }
+        Ok(())
+    }
+
+    /// Lists keys (lexicographic) matching `prefix`, starting strictly
+    /// after `marker`, up to `max_keys` (capped at [`MAX_LIST_KEYS`]).
+    /// The listing itself is eventually consistent: it reflects one
+    /// sampled replica.
+    ///
+    /// # Errors
+    ///
+    /// [`S3Error::NoSuchBucket`].
+    pub fn list_objects(
+        &self,
+        bucket: &str,
+        prefix: &str,
+        marker: Option<&str>,
+        max_keys: usize,
+    ) -> Result<Listing> {
+        let inner = self.inner.lock();
+        let map = bucket_ref(&inner, bucket)?;
+        let cap = max_keys.clamp(1, MAX_LIST_KEYS);
+        // Key-only listing first; object state is materialised for the
+        // returned page only, so paging a large bucket costs O(page).
+        let mut keys: Vec<String> = map
+            .visible_keys(&self.world)
+            .into_iter()
+            .filter(|k| k.starts_with(prefix) && marker.map(|m| k.as_str() > m).unwrap_or(true))
+            .collect();
+        keys.sort_unstable();
+        let is_truncated = keys.len() > cap;
+        keys.truncate(cap);
+        let matching: Vec<ObjectSummary> = keys
+            .into_iter()
+            .filter_map(|key| {
+                map.read(&self.world, &key).map(|s| ObjectSummary { size: s.body.len(), key })
+            })
+            .collect();
+        let bytes_out: u64 = matching
+            .iter()
+            .map(|o| o.key.len() as u64 + LIST_ENTRY_OVERHEAD)
+            .sum();
+        self.world.record_op(Op::S3List, 0, bytes_out);
+        Ok(Listing { objects: matching, is_truncated })
+    }
+
+    /// Lists *every* key with `prefix`, driving pagination internally.
+    /// Each page is a billed LIST op.
+    ///
+    /// # Errors
+    ///
+    /// [`S3Error::NoSuchBucket`].
+    pub fn list_all(&self, bucket: &str, prefix: &str) -> Result<Vec<ObjectSummary>> {
+        let mut out = Vec::new();
+        let mut marker: Option<String> = None;
+        loop {
+            let page = self.list_objects(bucket, prefix, marker.as_deref(), MAX_LIST_KEYS)?;
+            let truncated = page.is_truncated;
+            marker = page.objects.last().map(|o| o.key.clone());
+            out.extend(page.objects);
+            if !truncated || marker.is_none() {
+                return Ok(out);
+            }
+        }
+    }
+
+    // --- authoritative (non-billed) views, for invariant checks ---
+
+    /// The newest committed object at a key, ignoring replication lag and
+    /// without billing. For tests and property validators only.
+    pub fn latest_object(&self, bucket: &str, key: &str) -> Option<Object> {
+        let inner = self.inner.lock();
+        let map = inner.buckets.get(bucket)?;
+        map.read_latest(&key.to_string()).map(|s| Object {
+            body: s.body,
+            metadata: s.metadata,
+            etag: s.etag,
+            last_modified: s.last_modified,
+        })
+    }
+
+    /// Authoritative list of live keys with `prefix`, unbilled. For tests
+    /// and property validators only.
+    pub fn latest_keys(&self, bucket: &str, prefix: &str) -> Vec<String> {
+        let inner = self.inner.lock();
+        match inner.buckets.get(bucket) {
+            Some(map) => map
+                .iter_latest()
+                .filter(|(k, _)| k.starts_with(prefix))
+                .map(|(k, _)| k.clone())
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+}
+
+fn bucket_mut<'a>(
+    inner: &'a mut Inner,
+    bucket: &str,
+) -> Result<&'a mut EcMap<String, Stored>> {
+    inner
+        .buckets
+        .get_mut(bucket)
+        .ok_or_else(|| S3Error::NoSuchBucket { bucket: bucket.to_string() })
+}
+
+fn bucket_ref<'a>(inner: &'a Inner, bucket: &str) -> Result<&'a EcMap<String, Stored>> {
+    inner
+        .buckets
+        .get(bucket)
+        .ok_or_else(|| S3Error::NoSuchBucket { bucket: bucket.to_string() })
+}
+
+// Identical to `bucket_ref`; exists so call sites that later need the map
+// mutably can borrow immutably first without convincing the borrow
+// checker of disjointness.
+fn bucket_ref_mutless<'a>(inner: &'a Inner, bucket: &str) -> Result<&'a EcMap<String, Stored>> {
+    bucket_ref(inner, bucket)
+}

@@ -1,0 +1,537 @@
+//! The 2009 SimpleDB *Query* language: bracketed predicates combined with
+//! `intersection`, `union` and `not`, plus an optional trailing `sort`.
+//!
+//! ```text
+//! ['type' = 'file'] intersection ['input' starts-with 'blast'] sort 'name' desc
+//! ```
+//!
+//! Semantics faithful to the 2009 service:
+//!
+//! * attributes are **multi-valued**; a predicate matches an item when
+//!   *some single value* of the predicate's attribute satisfies the
+//!   comparison combination (so `['x' = '1' and 'x' = '2']` needs one
+//!   value equal to both — i.e. never matches — while
+//!   `['x' = '1'] intersection ['x' = '2']` matches an item carrying both
+//!   values);
+//! * every comparison inside one predicate must reference the same
+//!   attribute;
+//! * `not` negates the following predicate; `intersection`/`union`
+//!   associate left with equal precedence;
+//! * all values compare lexicographically as strings;
+//! * `sort` orders by the attribute's smallest value and drops items
+//!   lacking the attribute (the real service requires the sort attribute
+//!   to appear in a predicate; dropping is the equivalent observable
+//!   behaviour).
+
+use std::fmt;
+
+use crate::error::{Result, SdbError};
+use crate::model::ItemState;
+
+/// Comparison operators available in Query predicates.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+    /// `starts-with`
+    StartsWith,
+}
+
+impl CmpOp {
+    fn eval(self, candidate: &str, operand: &str) -> bool {
+        match self {
+            CmpOp::Eq => candidate == operand,
+            CmpOp::Ne => candidate != operand,
+            CmpOp::Lt => candidate < operand,
+            CmpOp::Gt => candidate > operand,
+            CmpOp::Le => candidate <= operand,
+            CmpOp::Ge => candidate >= operand,
+            CmpOp::StartsWith => candidate.starts_with(operand),
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Gt => ">",
+            CmpOp::Le => "<=",
+            CmpOp::Ge => ">=",
+            CmpOp::StartsWith => "starts-with",
+        })
+    }
+}
+
+/// One `['attr' op 'value' and/or ...]` predicate.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Predicate {
+    /// The single attribute every comparison references.
+    pub attribute: String,
+    /// Comparisons in source order.
+    pub comparisons: Vec<(CmpOp, String)>,
+    /// Connectives between consecutive comparisons (`true` = and);
+    /// length is `comparisons.len() - 1`. `and` binds tighter than `or`.
+    pub connectives: Vec<bool>,
+}
+
+impl Predicate {
+    /// Does any single attribute value satisfy the combination?
+    pub fn matches(&self, item: &ItemState) -> bool {
+        let Some(values) = item.get(&self.attribute) else {
+            return false;
+        };
+        values.iter().any(|v| self.eval_on_value(v))
+    }
+
+    fn eval_on_value(&self, v: &str) -> bool {
+        // Evaluate with `and` binding tighter than `or`: split comparison
+        // runs at `or` connectives; each run is a conjunction.
+        let mut any = false;
+        let mut run = true;
+        for (i, (op, operand)) in self.comparisons.iter().enumerate() {
+            run &= op.eval(v, operand);
+            let is_last = i + 1 == self.comparisons.len();
+            let or_next = !is_last && !self.connectives[i];
+            if is_last || or_next {
+                any |= run;
+                run = true;
+            }
+        }
+        any
+    }
+}
+
+/// A parsed Query expression.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct QueryExpr {
+    terms: Vec<(SetOp, bool, Predicate)>, // (combine-with-previous, negated, pred)
+    sort: Option<(String, bool)>,         // (attribute, ascending)
+}
+
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+enum SetOp {
+    First,
+    Intersection,
+    Union,
+}
+
+impl QueryExpr {
+    /// Parses the bracketed query syntax.
+    ///
+    /// # Errors
+    ///
+    /// [`SdbError::InvalidQuery`] with a description of the first problem.
+    pub fn parse(input: &str) -> Result<QueryExpr> {
+        Parser::new(input).parse_query()
+    }
+
+    /// Evaluates against one item.
+    pub fn matches(&self, item: &ItemState) -> bool {
+        let mut acc = false;
+        for (i, (setop, negated, pred)) in self.terms.iter().enumerate() {
+            let hit = pred.matches(item) != *negated;
+            acc = match (i, setop) {
+                (0, _) => hit,
+                (_, SetOp::Intersection) => acc && hit,
+                (_, SetOp::Union) => acc || hit,
+                (_, SetOp::First) => unreachable!("First only at index 0"),
+            };
+        }
+        acc
+    }
+
+    /// The sort clause: `(attribute, ascending)` if present.
+    pub fn sort(&self) -> Option<(&str, bool)> {
+        self.sort.as_ref().map(|(a, asc)| (a.as_str(), *asc))
+    }
+
+    /// Applies the sort clause to `(name, item)` pairs: orders by the
+    /// attribute's smallest value (then item name for stability) and
+    /// drops items lacking the attribute. Without a sort clause the
+    /// input order (item-name order) is preserved.
+    pub fn apply_sort(&self, mut rows: Vec<(String, ItemState)>) -> Vec<(String, ItemState)> {
+        let Some((attr, asc)) = self.sort() else {
+            return rows;
+        };
+        rows.retain(|(_, item)| item.contains_key(attr));
+        rows.sort_by(|(an, a), (bn, b)| {
+            let av = a.get(attr).and_then(|s| s.iter().next());
+            let bv = b.get(attr).and_then(|s| s.iter().next());
+            let ord = av.cmp(&bv).then_with(|| an.cmp(bn));
+            if asc {
+                ord
+            } else {
+                ord.reverse()
+            }
+        });
+        rows
+    }
+}
+
+// --- lexer / parser ---
+
+#[derive(Clone, PartialEq, Eq, Debug)]
+enum Tok {
+    LBracket,
+    RBracket,
+    Str(String),
+    Word(String), // lowercased keyword or operator
+}
+
+struct Parser {
+    toks: Vec<Tok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(input: &str) -> Parser {
+        Parser { toks: lex(input), pos: 0 }
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T> {
+        Err(SdbError::InvalidQuery { message: message.into() })
+    }
+
+    fn parse_query(&mut self) -> Result<QueryExpr> {
+        let mut terms = Vec::new();
+        let (negated, pred) = self.parse_term()?;
+        terms.push((SetOp::First, negated, pred));
+        let mut sort = None;
+        loop {
+            match self.next() {
+                None => break,
+                Some(Tok::Word(w)) if w == "intersection" || w == "union" => {
+                    let setop =
+                        if w == "intersection" { SetOp::Intersection } else { SetOp::Union };
+                    let (negated, pred) = self.parse_term()?;
+                    terms.push((setop, negated, pred));
+                }
+                Some(Tok::Word(w)) if w == "sort" => {
+                    let attr = match self.next() {
+                        Some(Tok::Str(s)) => s,
+                        other => return self.err(format!("sort expects a quoted attribute, got {other:?}")),
+                    };
+                    let asc = match self.peek() {
+                        Some(Tok::Word(w)) if w == "asc" => {
+                            self.next();
+                            true
+                        }
+                        Some(Tok::Word(w)) if w == "desc" => {
+                            self.next();
+                            false
+                        }
+                        _ => true,
+                    };
+                    sort = Some((attr, asc));
+                    if let Some(t) = self.peek() {
+                        return self.err(format!("unexpected token after sort: {t:?}"));
+                    }
+                    break;
+                }
+                Some(t) => return self.err(format!("expected intersection/union/sort, got {t:?}")),
+            }
+        }
+        Ok(QueryExpr { terms, sort })
+    }
+
+    fn parse_term(&mut self) -> Result<(bool, Predicate)> {
+        let negated = matches!(self.peek(), Some(Tok::Word(w)) if w == "not");
+        if negated {
+            self.next();
+        }
+        Ok((negated, self.parse_predicate()?))
+    }
+
+    fn parse_predicate(&mut self) -> Result<Predicate> {
+        match self.next() {
+            Some(Tok::LBracket) => {}
+            other => return self.err(format!("expected '[', got {other:?}")),
+        }
+        let mut attribute: Option<String> = None;
+        let mut comparisons = Vec::new();
+        let mut connectives = Vec::new();
+        loop {
+            let attr = match self.next() {
+                Some(Tok::Str(s)) => s,
+                other => return self.err(format!("expected quoted attribute name, got {other:?}")),
+            };
+            match &attribute {
+                None => attribute = Some(attr.clone()),
+                Some(a) if *a == attr => {}
+                Some(a) => {
+                    return self.err(format!(
+                        "all comparisons in a predicate must use the same attribute \
+                         (saw {a:?} and {attr:?})"
+                    ))
+                }
+            }
+            let op = match self.next() {
+                Some(Tok::Word(w)) => match w.as_str() {
+                    "=" => CmpOp::Eq,
+                    "!=" => CmpOp::Ne,
+                    "<" => CmpOp::Lt,
+                    ">" => CmpOp::Gt,
+                    "<=" => CmpOp::Le,
+                    ">=" => CmpOp::Ge,
+                    "starts-with" => CmpOp::StartsWith,
+                    other => return self.err(format!("unknown operator {other:?}")),
+                },
+                other => return self.err(format!("expected operator, got {other:?}")),
+            };
+            let value = match self.next() {
+                Some(Tok::Str(s)) => s,
+                other => return self.err(format!("expected quoted value, got {other:?}")),
+            };
+            comparisons.push((op, value));
+            match self.next() {
+                Some(Tok::RBracket) => break,
+                Some(Tok::Word(w)) if w == "and" => connectives.push(true),
+                Some(Tok::Word(w)) if w == "or" => connectives.push(false),
+                other => return self.err(format!("expected and/or/']', got {other:?}")),
+            }
+        }
+        Ok(Predicate {
+            attribute: attribute.expect("at least one comparison parsed"),
+            comparisons,
+            connectives,
+        })
+    }
+}
+
+fn lex(input: &str) -> Vec<Tok> {
+    let mut toks = Vec::new();
+    let mut chars = input.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            ' ' | '\t' | '\n' | '\r' => {
+                chars.next();
+            }
+            '[' => {
+                chars.next();
+                toks.push(Tok::LBracket);
+            }
+            ']' => {
+                chars.next();
+                toks.push(Tok::RBracket);
+            }
+            '\'' => {
+                chars.next();
+                let mut s = String::new();
+                loop {
+                    match chars.next() {
+                        Some('\'') => {
+                            // '' escapes a literal quote
+                            if chars.peek() == Some(&'\'') {
+                                chars.next();
+                                s.push('\'');
+                            } else {
+                                break;
+                            }
+                        }
+                        Some(ch) => s.push(ch),
+                        None => break, // unterminated; parser will complain downstream
+                    }
+                }
+                toks.push(Tok::Str(s));
+            }
+            '=' => {
+                chars.next();
+                toks.push(Tok::Word("=".into()));
+            }
+            '!' => {
+                chars.next();
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    toks.push(Tok::Word("!=".into()));
+                } else {
+                    toks.push(Tok::Word("!".into()));
+                }
+            }
+            '<' | '>' => {
+                chars.next();
+                let mut w = c.to_string();
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    w.push('=');
+                }
+                toks.push(Tok::Word(w));
+            }
+            _ => {
+                let mut w = String::new();
+                while let Some(&ch) = chars.peek() {
+                    if ch.is_alphanumeric() || ch == '-' || ch == '_' {
+                        w.push(ch);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                if w.is_empty() {
+                    // Unknown character: consume to avoid an infinite loop.
+                    chars.next();
+                    toks.push(Tok::Word(c.to_string()));
+                } else {
+                    toks.push(Tok::Word(w.to_lowercase()));
+                }
+            }
+        }
+    }
+    toks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    fn item(pairs: &[(&str, &str)]) -> ItemState {
+        let mut m = ItemState::new();
+        for (k, v) in pairs {
+            m.entry((*k).to_string()).or_insert_with(BTreeSet::new).insert((*v).to_string());
+        }
+        m
+    }
+
+    #[test]
+    fn simple_equality() {
+        let q = QueryExpr::parse("['type' = 'file']").unwrap();
+        assert!(q.matches(&item(&[("type", "file")])));
+        assert!(!q.matches(&item(&[("type", "process")])));
+        assert!(!q.matches(&item(&[("other", "file")])));
+    }
+
+    #[test]
+    fn multivalued_any_semantics() {
+        let q = QueryExpr::parse("['phone' = '222']").unwrap();
+        assert!(q.matches(&item(&[("phone", "111"), ("phone", "222")])));
+    }
+
+    #[test]
+    fn and_within_predicate_is_single_value() {
+        // No single value can equal both — the classic SimpleDB gotcha.
+        let q = QueryExpr::parse("['x' = '1' and 'x' = '2']").unwrap();
+        assert!(!q.matches(&item(&[("x", "1"), ("x", "2")])));
+        // Whereas a range on one value works:
+        let q = QueryExpr::parse("['x' >= '1' and 'x' <= '3']").unwrap();
+        assert!(q.matches(&item(&[("x", "2")])));
+        assert!(!q.matches(&item(&[("x", "9")])));
+    }
+
+    #[test]
+    fn intersection_spans_values() {
+        let q = QueryExpr::parse("['x' = '1'] intersection ['x' = '2']").unwrap();
+        assert!(q.matches(&item(&[("x", "1"), ("x", "2")])));
+        assert!(!q.matches(&item(&[("x", "1")])));
+    }
+
+    #[test]
+    fn union_and_not() {
+        let q = QueryExpr::parse("['t' = 'a'] union ['t' = 'b']").unwrap();
+        assert!(q.matches(&item(&[("t", "b")])));
+        let q = QueryExpr::parse("not ['t' = 'a']").unwrap();
+        assert!(q.matches(&item(&[("t", "b")])));
+        assert!(q.matches(&item(&[("z", "1")])), "missing attribute satisfies not");
+        assert!(!q.matches(&item(&[("t", "a")])));
+    }
+
+    #[test]
+    fn or_within_predicate() {
+        let q = QueryExpr::parse("['t' = 'a' or 't' = 'b']").unwrap();
+        assert!(q.matches(&item(&[("t", "a")])));
+        assert!(q.matches(&item(&[("t", "b")])));
+        assert!(!q.matches(&item(&[("t", "c")])));
+    }
+
+    #[test]
+    fn and_binds_tighter_than_or() {
+        // a or (b and c): value 'z' fails b-and-c but passes via 'a'? The
+        // comparisons run per single value: v='a' → true or (f and f) = true.
+        let q = QueryExpr::parse("['t' = 'a' or 't' >= 'b' and 't' <= 'd']").unwrap();
+        assert!(q.matches(&item(&[("t", "a")])));
+        assert!(q.matches(&item(&[("t", "c")])));
+        assert!(!q.matches(&item(&[("t", "x")])));
+    }
+
+    #[test]
+    fn starts_with_and_comparisons() {
+        let q = QueryExpr::parse("['name' starts-with 'blast']").unwrap();
+        assert!(q.matches(&item(&[("name", "blastall")])));
+        assert!(!q.matches(&item(&[("name", "makeblast")])));
+        let q = QueryExpr::parse("['v' > '5']").unwrap();
+        assert!(q.matches(&item(&[("v", "7")])));
+        assert!(!q.matches(&item(&[("v", "3")])));
+    }
+
+    #[test]
+    fn mixed_attributes_in_predicate_rejected() {
+        let err = QueryExpr::parse("['a' = '1' and 'b' = '2']").unwrap_err();
+        assert!(matches!(err, SdbError::InvalidQuery { .. }));
+    }
+
+    #[test]
+    fn parse_errors_are_descriptive() {
+        for bad in ["", "['a' = ]", "['a' ?? 'b']", "['a' = 'b'] nonsense ['c' = 'd']",
+                    "['a' = 'b'] sort", "['a' = 'b'] sort 'x' asc trailing"] {
+            let err = QueryExpr::parse(bad).unwrap_err();
+            assert!(matches!(err, SdbError::InvalidQuery { .. }), "input: {bad}");
+        }
+    }
+
+    #[test]
+    fn quoted_escapes() {
+        let q = QueryExpr::parse("['name' = 'o''brien']").unwrap();
+        assert!(q.matches(&item(&[("name", "o'brien")])));
+    }
+
+    #[test]
+    fn sort_orders_and_drops_missing() {
+        let q = QueryExpr::parse("['t' starts-with ''] sort 'rank' desc").unwrap();
+        let rows = vec![
+            ("low".to_string(), item(&[("t", "x"), ("rank", "1")])),
+            ("none".to_string(), item(&[("t", "x")])),
+            ("high".to_string(), item(&[("t", "x"), ("rank", "9")])),
+        ];
+        let sorted = q.apply_sort(rows);
+        let names: Vec<_> = sorted.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["high", "low"]);
+    }
+
+    #[test]
+    fn sort_ascending_is_default() {
+        let q = QueryExpr::parse("['t' starts-with ''] sort 'rank'").unwrap();
+        assert_eq!(q.sort(), Some(("rank", true)));
+    }
+
+    #[test]
+    fn lexicographic_comparison_warning_case() {
+        // "10" < "9" lexicographically — faithful to SimpleDB, which is
+        // why callers zero-pad numbers.
+        let q = QueryExpr::parse("['v' < '9']").unwrap();
+        assert!(q.matches(&item(&[("v", "10")])));
+    }
+}

@@ -1,0 +1,518 @@
+//! The SimpleDB service simulator.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use simworld::{Op, Service, SimWorld};
+
+use crate::error::{Result, SdbError};
+use crate::model::{
+    byte_size, pair_count, to_attributes, Attribute, ItemState, ReplaceableAttribute,
+    ITEM_NAME_LIMIT, MAX_ATTRS_PER_CALL, MAX_DOMAINS, MAX_PAIRS_PER_ITEM,
+};
+use crate::query::QueryExpr;
+use crate::select::{Output, SelectStatement};
+use simworld::EcMap;
+
+/// Default page size for `Query`/`QueryWithAttributes`.
+pub const QUERY_DEFAULT_PAGE: usize = 100;
+
+/// Maximum page size for `Query`/`QueryWithAttributes`.
+pub const QUERY_MAX_PAGE: usize = 250;
+
+/// Approximate fixed response overhead per returned item name.
+const ITEM_ENTRY_OVERHEAD: u64 = 32;
+
+/// One attribute to remove in a `DeleteAttributes` call.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct DeletableAttribute {
+    /// Attribute name.
+    pub name: String,
+    /// `Some(v)`: delete only the pair `(name, v)`;
+    /// `None`: delete every value of `name`.
+    pub value: Option<String>,
+}
+
+impl DeletableAttribute {
+    /// Deletes every value of `name`.
+    pub fn all_of(name: impl Into<String>) -> DeletableAttribute {
+        DeletableAttribute { name: name.into(), value: None }
+    }
+
+    /// Deletes one `(name, value)` pair.
+    pub fn pair(name: impl Into<String>, value: impl Into<String>) -> DeletableAttribute {
+        DeletableAttribute { name: name.into(), value: Some(value.into()) }
+    }
+}
+
+/// Result of `Query`: item names only.
+#[derive(Clone, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub struct QueryResult {
+    /// Matching item names, in item-name order unless the expression
+    /// carried a `sort`.
+    pub item_names: Vec<String>,
+    /// Present when more results remain; feed back in to continue.
+    pub next_token: Option<String>,
+}
+
+/// One item of a `QueryWithAttributes`/`Select` response.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct ResultItem {
+    /// Item name.
+    pub name: String,
+    /// The item's attributes (possibly filtered/projected).
+    pub attributes: Vec<Attribute>,
+}
+
+/// Result of `QueryWithAttributes`.
+#[derive(Clone, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub struct QueryWithAttributesResult {
+    /// Matching items with their attributes.
+    pub items: Vec<ResultItem>,
+    /// Present when more results remain.
+    pub next_token: Option<String>,
+}
+
+/// Result of `Select`.
+#[derive(Clone, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub struct SelectResult {
+    /// Matching items (empty for `count(*)`).
+    pub items: Vec<ResultItem>,
+    /// Populated for `select count(*)`.
+    pub count: Option<u64>,
+    /// Present when more results remain.
+    pub next_token: Option<String>,
+}
+
+#[derive(Default)]
+struct Inner {
+    domains: BTreeMap<String, EcMap<String, ItemState>>,
+}
+
+/// The simulated SimpleDB service.
+///
+/// Clones share one backing store. Every call is metered and advances the
+/// virtual clock; reads and queries observe a sampled replica and may be
+/// stale under eventual consistency — exactly the §2.2 behaviour ("an
+/// item inserted might not be returned in a query that is run immediately
+/// after the insert").
+///
+/// # Examples
+///
+/// ```
+/// use sim_simpledb::{ReplaceableAttribute, SimpleDb};
+/// use simworld::SimWorld;
+///
+/// let world = SimWorld::counting();
+/// let db = SimpleDb::new(&world);
+/// db.create_domain("prov")?;
+/// db.put_attributes("prov", "foo_2", &[
+///     ReplaceableAttribute::add("input", "bar:2"),
+///     ReplaceableAttribute::add("type", "file"),
+/// ])?;
+/// let names = db.query("prov", Some("['type' = 'file']"), None, None)?;
+/// assert_eq!(names.item_names, vec!["foo_2"]);
+/// # Ok::<(), sim_simpledb::SdbError>(())
+/// ```
+#[derive(Clone)]
+pub struct SimpleDb {
+    world: SimWorld,
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl std::fmt::Debug for SimpleDb {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("SimpleDb")
+            .field("domains", &inner.domains.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl SimpleDb {
+    /// Connects a new simulated SimpleDB endpoint to `world`.
+    pub fn new(world: &SimWorld) -> SimpleDb {
+        SimpleDb { world: world.clone(), inner: Arc::new(Mutex::new(Inner::default())) }
+    }
+
+    /// Creates a domain. Idempotent, as in the real service.
+    ///
+    /// # Errors
+    ///
+    /// [`SdbError::TooManyDomains`] past the account limit.
+    pub fn create_domain(&self, domain: impl Into<String>) -> Result<()> {
+        let domain = domain.into();
+        let mut inner = self.inner.lock();
+        self.world.record_op(Op::SdbCreateDomain, domain.len() as u64, 0);
+        if inner.domains.contains_key(&domain) {
+            return Ok(());
+        }
+        if inner.domains.len() >= MAX_DOMAINS {
+            return Err(SdbError::TooManyDomains { limit: MAX_DOMAINS });
+        }
+        inner.domains.insert(domain, EcMap::new());
+        Ok(())
+    }
+
+    /// Lists domain names.
+    pub fn list_domains(&self) -> Vec<String> {
+        let inner = self.inner.lock();
+        let names: Vec<String> = inner.domains.keys().cloned().collect();
+        let bytes: u64 = names.iter().map(|n| n.len() as u64).sum();
+        self.world.record_op(Op::SdbListDomains, 0, bytes);
+        names
+    }
+
+    /// Inserts or updates attributes of an item. Idempotent: re-running
+    /// the same call converges to the same state (§2.2).
+    ///
+    /// # Errors
+    ///
+    /// Limit violations ([`SdbError::TooManyAttributesInCall`],
+    /// [`SdbError::TooManyAttributesOnItem`], name/value/item length) and
+    /// [`SdbError::NoSuchDomain`].
+    pub fn put_attributes(
+        &self,
+        domain: &str,
+        item_name: &str,
+        attrs: &[ReplaceableAttribute],
+    ) -> Result<()> {
+        if attrs.is_empty() {
+            return Err(SdbError::EmptyAttributeList);
+        }
+        if attrs.len() > MAX_ATTRS_PER_CALL {
+            return Err(SdbError::TooManyAttributesInCall { submitted: attrs.len() });
+        }
+        if item_name.len() > ITEM_NAME_LIMIT {
+            return Err(SdbError::ItemNameTooLong { length: item_name.len() });
+        }
+        for a in attrs {
+            a.check_limits()?;
+        }
+        let mut inner = self.inner.lock();
+        let map = domain_mut(&mut inner, domain)?;
+
+        let mut item = map.read_latest(&item_name.to_string()).unwrap_or_default();
+        let before_bytes = byte_size(&item);
+        // Replacement drops all existing values of the name once per
+        // call, before any values from this call are added.
+        let mut replaced: Vec<&str> = Vec::new();
+        for a in attrs {
+            if a.replace && !replaced.contains(&a.name.as_str()) {
+                item.remove(&a.name);
+                replaced.push(&a.name);
+            }
+        }
+        for a in attrs {
+            item.entry(a.name.clone()).or_default().insert(a.value.clone());
+        }
+        let pairs = pair_count(&item);
+        if pairs > MAX_PAIRS_PER_ITEM {
+            return Err(SdbError::TooManyAttributesOnItem {
+                item: item_name.to_string(),
+                pairs,
+            });
+        }
+        let after_bytes = byte_size(&item);
+        let bytes_in: u64 = attrs.iter().map(|a| (a.name.len() + a.value.len()) as u64).sum();
+        self.world.record_op(Op::SdbPutAttributes, bytes_in + item_name.len() as u64, 0);
+        self.world
+            .adjust_stored(Service::SimpleDb, after_bytes as i64 - before_bytes as i64);
+        map.write(&self.world, item_name.to_string(), Some(item));
+        Ok(())
+    }
+
+    /// Reads an item's attributes, optionally filtered to a set of names.
+    /// Served from a sampled replica; a freshly written item may be
+    /// missing or stale. Absent items return an empty list, as in the
+    /// real service.
+    ///
+    /// # Errors
+    ///
+    /// [`SdbError::NoSuchDomain`].
+    pub fn get_attributes(
+        &self,
+        domain: &str,
+        item_name: &str,
+        names: Option<&[&str]>,
+    ) -> Result<Vec<Attribute>> {
+        let inner = self.inner.lock();
+        let map = domain_ref(&inner, domain)?;
+        let item = map.read(&self.world, &item_name.to_string()).unwrap_or_default();
+        let mut attrs = to_attributes(&item);
+        if let Some(filter) = names {
+            attrs.retain(|a| filter.contains(&a.name.as_str()));
+        }
+        let bytes: u64 = attrs.iter().map(|a| (a.name.len() + a.value.len()) as u64).sum();
+        self.world.record_op(Op::SdbGetAttributes, item_name.len() as u64, bytes);
+        Ok(attrs)
+    }
+
+    /// Deletes attributes (or, with `attrs = None`, the entire item).
+    /// Idempotent: deleting absent attributes or items succeeds (§2.2).
+    ///
+    /// # Errors
+    ///
+    /// [`SdbError::NoSuchDomain`].
+    pub fn delete_attributes(
+        &self,
+        domain: &str,
+        item_name: &str,
+        attrs: Option<&[DeletableAttribute]>,
+    ) -> Result<()> {
+        let mut inner = self.inner.lock();
+        let map = domain_mut(&mut inner, domain)?;
+        self.world.record_op(Op::SdbDeleteAttributes, item_name.len() as u64, 0);
+        let Some(mut item) = map.read_latest(&item_name.to_string()) else {
+            return Ok(());
+        };
+        let before_bytes = byte_size(&item);
+        let new_state = match attrs {
+            None => None,
+            Some(specs) => {
+                for spec in specs {
+                    match &spec.value {
+                        None => {
+                            item.remove(&spec.name);
+                        }
+                        Some(v) => {
+                            if let Some(values) = item.get_mut(&spec.name) {
+                                values.remove(v);
+                                if values.is_empty() {
+                                    item.remove(&spec.name);
+                                }
+                            }
+                        }
+                    }
+                }
+                // An item with no attributes ceases to exist.
+                if item.is_empty() {
+                    None
+                } else {
+                    Some(item)
+                }
+            }
+        };
+        let after_bytes = new_state.as_ref().map(byte_size).unwrap_or(0);
+        self.world
+            .adjust_stored(Service::SimpleDb, after_bytes as i64 - before_bytes as i64);
+        map.write(&self.world, item_name.to_string(), new_state);
+        map.gc(self.world.now());
+        Ok(())
+    }
+
+    /// `Query`: returns matching item names. `expression = None` matches
+    /// every item. Results reflect one sampled replica.
+    ///
+    /// # Errors
+    ///
+    /// [`SdbError::NoSuchDomain`], [`SdbError::InvalidQuery`],
+    /// [`SdbError::InvalidNextToken`].
+    pub fn query(
+        &self,
+        domain: &str,
+        expression: Option<&str>,
+        max_items: Option<usize>,
+        next_token: Option<&str>,
+    ) -> Result<QueryResult> {
+        let (rows, next) = self.run_query(domain, expression, max_items, next_token)?;
+        let item_names: Vec<String> = rows.into_iter().map(|(n, _)| n).collect();
+        let bytes: u64 =
+            item_names.iter().map(|n| n.len() as u64 + ITEM_ENTRY_OVERHEAD).sum();
+        self.world
+            .record_op(Op::SdbQuery, expression.map(|e| e.len() as u64).unwrap_or(0), bytes);
+        Ok(QueryResult { item_names, next_token: next })
+    }
+
+    /// `QueryWithAttributes`: matching items together with (optionally a
+    /// subset of) their attributes.
+    ///
+    /// # Errors
+    ///
+    /// As [`SimpleDb::query`].
+    pub fn query_with_attributes(
+        &self,
+        domain: &str,
+        expression: Option<&str>,
+        attribute_filter: Option<&[String]>,
+        max_items: Option<usize>,
+        next_token: Option<&str>,
+    ) -> Result<QueryWithAttributesResult> {
+        let (rows, next) = self.run_query(domain, expression, max_items, next_token)?;
+        let items: Vec<ResultItem> = rows
+            .into_iter()
+            .map(|(name, state)| {
+                let mut attributes = to_attributes(&state);
+                if let Some(filter) = attribute_filter {
+                    attributes.retain(|a| filter.contains(&a.name));
+                }
+                ResultItem { name, attributes }
+            })
+            .collect();
+        let bytes: u64 = items
+            .iter()
+            .map(|i| {
+                i.name.len() as u64
+                    + ITEM_ENTRY_OVERHEAD
+                    + i.attributes
+                        .iter()
+                        .map(|a| (a.name.len() + a.value.len()) as u64)
+                        .sum::<u64>()
+            })
+            .sum();
+        self.world.record_op(
+            Op::SdbQueryWithAttributes,
+            expression.map(|e| e.len() as u64).unwrap_or(0),
+            bytes,
+        );
+        Ok(QueryWithAttributesResult { items, next_token: next })
+    }
+
+    /// `Select`: the SQL-form interface.
+    ///
+    /// # Errors
+    ///
+    /// As [`SimpleDb::query`]; the domain named in the statement must
+    /// exist.
+    pub fn select(&self, sql: &str, next_token: Option<&str>) -> Result<SelectResult> {
+        let stmt = SelectStatement::parse(sql)?;
+        let snapshot = {
+            let inner = self.inner.lock();
+            let map = domain_ref(&inner, &stmt.domain)?;
+            map.visible_entries(&self.world)
+        };
+        let matched = stmt.apply(snapshot);
+
+        if stmt.output == Output::Count {
+            let count = matched.len().min(stmt.limit) as u64;
+            self.world.record_op(Op::SdbSelect, sql.len() as u64, 16);
+            return Ok(SelectResult { items: Vec::new(), count: Some(count), next_token: None });
+        }
+
+        let offset = parse_token(next_token)?;
+        let page: Vec<(String, ItemState)> =
+            matched.iter().skip(offset).take(stmt.limit).cloned().collect();
+        let consumed = offset + page.len();
+        let next = if consumed < matched.len() { Some(consumed.to_string()) } else { None };
+
+        let items: Vec<ResultItem> = page
+            .into_iter()
+            .map(|(name, state)| {
+                let attributes = match &stmt.output {
+                    Output::ItemName => Vec::new(),
+                    Output::All => to_attributes(&state),
+                    Output::Attrs(list) => to_attributes(&state)
+                        .into_iter()
+                        .filter(|a| list.contains(&a.name))
+                        .collect(),
+                    Output::Count => unreachable!("count handled above"),
+                };
+                ResultItem { name, attributes }
+            })
+            .collect();
+        let bytes: u64 = items
+            .iter()
+            .map(|i| {
+                i.name.len() as u64
+                    + ITEM_ENTRY_OVERHEAD
+                    + i.attributes
+                        .iter()
+                        .map(|a| (a.name.len() + a.value.len()) as u64)
+                        .sum::<u64>()
+            })
+            .sum();
+        self.world.record_op(Op::SdbSelect, sql.len() as u64, bytes);
+        Ok(SelectResult { items, count: None, next_token: next })
+    }
+
+    // --- authoritative (non-billed) views for invariant checks ---
+
+    /// The newest committed attributes of an item, ignoring replication
+    /// lag and without billing. For tests and property validators only.
+    pub fn latest_item(&self, domain: &str, item_name: &str) -> Option<Vec<Attribute>> {
+        let inner = self.inner.lock();
+        let map = inner.domains.get(domain)?;
+        map.read_latest(&item_name.to_string()).map(|s| to_attributes(&s))
+    }
+
+    /// Authoritative list of live item names, unbilled. For tests and
+    /// property validators only.
+    pub fn latest_item_names(&self, domain: &str) -> Vec<String> {
+        let inner = self.inner.lock();
+        match inner.domains.get(domain) {
+            Some(map) => map.iter_latest().map(|(k, _)| k.clone()).collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Shared implementation of `Query`/`QueryWithAttributes`: snapshot a
+    /// replica, filter, sort, paginate.
+    fn run_query(
+        &self,
+        domain: &str,
+        expression: Option<&str>,
+        max_items: Option<usize>,
+        next_token: Option<&str>,
+    ) -> Result<(Vec<(String, ItemState)>, Option<String>)> {
+        let parsed = expression.map(QueryExpr::parse).transpose()?;
+        let page_size = max_items.unwrap_or(QUERY_DEFAULT_PAGE).clamp(1, QUERY_MAX_PAGE);
+        let offset = parse_token(next_token)?;
+        let inner = self.inner.lock();
+        let map = domain_ref(&inner, domain)?;
+        // Fast path for the match-everything query: page over the key
+        // listing and materialise only the returned page, so enumerating
+        // a large domain is O(page) per call instead of O(domain).
+        if parsed.is_none() {
+            let keys = map.visible_keys(&self.world);
+            let total = keys.len();
+            let page: Vec<(String, ItemState)> = keys
+                .into_iter()
+                .skip(offset)
+                .take(page_size)
+                .filter_map(|k| map.read(&self.world, &k).map(|item| (k, item)))
+                .collect();
+            let consumed = offset + page.len();
+            let next = if consumed < total { Some(consumed.to_string()) } else { None };
+            return Ok((page, next));
+        }
+        let snapshot = map.visible_entries(&self.world);
+        let mut rows: Vec<(String, ItemState)> = snapshot
+            .into_iter()
+            .filter(|(_, item)| parsed.as_ref().map(|q| q.matches(item)).unwrap_or(true))
+            .collect();
+        if let Some(q) = &parsed {
+            rows = q.apply_sort(rows);
+        }
+        let page: Vec<(String, ItemState)> =
+            rows.iter().skip(offset).take(page_size).cloned().collect();
+        let consumed = offset + page.len();
+        let next = if consumed < rows.len() { Some(consumed.to_string()) } else { None };
+        Ok((page, next))
+    }
+}
+
+fn parse_token(token: Option<&str>) -> Result<usize> {
+    match token {
+        None => Ok(0),
+        Some(t) => t.parse::<usize>().map_err(|_| SdbError::InvalidNextToken),
+    }
+}
+
+fn domain_mut<'a>(
+    inner: &'a mut Inner,
+    domain: &str,
+) -> Result<&'a mut EcMap<String, ItemState>> {
+    inner
+        .domains
+        .get_mut(domain)
+        .ok_or_else(|| SdbError::NoSuchDomain { domain: domain.to_string() })
+}
+
+fn domain_ref<'a>(inner: &'a Inner, domain: &str) -> Result<&'a EcMap<String, ItemState>> {
+    inner
+        .domains
+        .get(domain)
+        .ok_or_else(|| SdbError::NoSuchDomain { domain: domain.to_string() })
+}

@@ -1,0 +1,368 @@
+//! Unit tests for the SimpleDB service simulator.
+
+use simworld::{Consistency, LatencyModel, Op, Service, SimConfig, SimDuration, SimWorld};
+
+use crate::{
+    Attribute, DeletableAttribute, ReplaceableAttribute, SdbError, SimpleDb, MAX_DOMAINS,
+    QUERY_MAX_PAGE,
+};
+
+fn counting() -> (SimWorld, SimpleDb) {
+    let world = SimWorld::counting();
+    let db = SimpleDb::new(&world);
+    db.create_domain("d").unwrap();
+    (world, db)
+}
+
+fn eventual(seed: u64) -> (SimWorld, SimpleDb) {
+    let world = SimWorld::with_config(SimConfig {
+        seed,
+        consistency: Consistency::eventual(SimDuration::from_secs(30)),
+        latency: LatencyModel::zero(),
+        replicas: 3,
+    });
+    let db = SimpleDb::new(&world);
+    db.create_domain("d").unwrap();
+    (world, db)
+}
+
+fn add(name: impl Into<String>, value: impl Into<String>) -> ReplaceableAttribute {
+    ReplaceableAttribute::add(name, value)
+}
+
+#[test]
+fn put_and_get_round_trip() {
+    let (_, db) = counting();
+    db.put_attributes("d", "item", &[add("a", "1"), add("b", "2")]).unwrap();
+    let attrs = db.get_attributes("d", "item", None).unwrap();
+    assert_eq!(attrs, vec![Attribute::new("a", "1"), Attribute::new("b", "2")]);
+}
+
+#[test]
+fn get_with_name_filter() {
+    let (_, db) = counting();
+    db.put_attributes("d", "item", &[add("a", "1"), add("b", "2")]).unwrap();
+    let attrs = db.get_attributes("d", "item", Some(&["b"])).unwrap();
+    assert_eq!(attrs, vec![Attribute::new("b", "2")]);
+}
+
+#[test]
+fn get_absent_item_returns_empty() {
+    let (_, db) = counting();
+    assert!(db.get_attributes("d", "ghost", None).unwrap().is_empty());
+}
+
+#[test]
+fn multivalued_attributes_accumulate() {
+    let (_, db) = counting();
+    db.put_attributes("d", "i", &[add("phone", "111")]).unwrap();
+    db.put_attributes("d", "i", &[add("phone", "222")]).unwrap();
+    let attrs = db.get_attributes("d", "i", None).unwrap();
+    assert_eq!(attrs.len(), 2);
+}
+
+#[test]
+fn replace_drops_previous_values() {
+    let (_, db) = counting();
+    db.put_attributes("d", "i", &[add("phone", "111"), add("phone", "222")]).unwrap();
+    db.put_attributes("d", "i", &[ReplaceableAttribute::replace("phone", "333")]).unwrap();
+    let attrs = db.get_attributes("d", "i", None).unwrap();
+    assert_eq!(attrs, vec![Attribute::new("phone", "333")]);
+}
+
+#[test]
+fn replace_within_one_call_keeps_all_new_values() {
+    let (_, db) = counting();
+    db.put_attributes("d", "i", &[add("t", "old")]).unwrap();
+    db.put_attributes(
+        "d",
+        "i",
+        &[
+            ReplaceableAttribute::replace("t", "new1"),
+            ReplaceableAttribute::replace("t", "new2"),
+        ],
+    )
+    .unwrap();
+    let attrs = db.get_attributes("d", "i", None).unwrap();
+    assert_eq!(attrs.len(), 2, "both new values survive; only pre-call values dropped");
+}
+
+#[test]
+fn put_is_idempotent() {
+    let (_, db) = counting();
+    let attrs = [add("a", "1"), add("b", "2")];
+    db.put_attributes("d", "i", &attrs).unwrap();
+    let first = db.get_attributes("d", "i", None).unwrap();
+    db.put_attributes("d", "i", &attrs).unwrap();
+    db.put_attributes("d", "i", &attrs).unwrap();
+    assert_eq!(db.get_attributes("d", "i", None).unwrap(), first);
+}
+
+#[test]
+fn limits_enforced() {
+    let (_, db) = counting();
+    // Empty list
+    assert!(matches!(db.put_attributes("d", "i", &[]), Err(SdbError::EmptyAttributeList)));
+    // >100 attributes per call
+    let many: Vec<_> = (0..101).map(|i| add("a", format!("{i}"))).collect();
+    assert!(matches!(
+        db.put_attributes("d", "i", &many),
+        Err(SdbError::TooManyAttributesInCall { submitted: 101 })
+    ));
+    // 256 pairs per item: three calls of 100/100/57 unique values
+    let batch = |lo: usize, n: usize| -> Vec<ReplaceableAttribute> {
+        (lo..lo + n).map(|i| add("v", format!("{i:04}"))).collect()
+    };
+    db.put_attributes("d", "big", &batch(0, 100)).unwrap();
+    db.put_attributes("d", "big", &batch(100, 100)).unwrap();
+    assert!(matches!(
+        db.put_attributes("d", "big", &batch(200, 57)),
+        Err(SdbError::TooManyAttributesOnItem { .. })
+    ));
+    // exactly 256 is fine
+    db.put_attributes("d", "big", &batch(200, 56)).unwrap();
+    // 1KB name/value limits
+    let long = "x".repeat(1025);
+    assert!(db.put_attributes("d", "i", &[add(long.clone(), "v")]).is_err());
+    assert!(db.put_attributes("d", "i", &[add("n", long.clone())]).is_err());
+    assert!(db.put_attributes("d", &long, &[add("n", "v")]).is_err());
+}
+
+#[test]
+fn missing_domain_errors() {
+    let (_, db) = counting();
+    assert!(matches!(
+        db.put_attributes("zzz", "i", &[add("a", "1")]),
+        Err(SdbError::NoSuchDomain { .. })
+    ));
+    assert!(matches!(db.query("zzz", None, None, None), Err(SdbError::NoSuchDomain { .. })));
+    assert!(matches!(
+        db.select("select * from zzz", None),
+        Err(SdbError::NoSuchDomain { .. })
+    ));
+}
+
+#[test]
+fn create_domain_is_idempotent_but_limited() {
+    let (_, db) = counting();
+    db.create_domain("d").unwrap(); // second create: fine
+    for i in 0..(MAX_DOMAINS - 1) {
+        db.create_domain(format!("extra{i}")).unwrap();
+    }
+    assert!(matches!(
+        db.create_domain("one-too-many"),
+        Err(SdbError::TooManyDomains { .. })
+    ));
+    assert_eq!(db.list_domains().len(), MAX_DOMAINS);
+}
+
+#[test]
+fn delete_attribute_variants() {
+    let (_, db) = counting();
+    db.put_attributes("d", "i", &[add("a", "1"), add("a", "2"), add("b", "3")]).unwrap();
+    // delete one pair
+    db.delete_attributes("d", "i", Some(&[DeletableAttribute::pair("a", "1")])).unwrap();
+    assert_eq!(
+        db.get_attributes("d", "i", None).unwrap(),
+        vec![Attribute::new("a", "2"), Attribute::new("b", "3")]
+    );
+    // delete all values of a name
+    db.delete_attributes("d", "i", Some(&[DeletableAttribute::all_of("a")])).unwrap();
+    assert_eq!(db.get_attributes("d", "i", None).unwrap(), vec![Attribute::new("b", "3")]);
+    // delete the whole item
+    db.delete_attributes("d", "i", None).unwrap();
+    assert!(db.get_attributes("d", "i", None).unwrap().is_empty());
+    assert!(db.latest_item_names("d").is_empty());
+}
+
+#[test]
+fn delete_is_idempotent() {
+    let (_, db) = counting();
+    db.delete_attributes("d", "never-existed", None).unwrap();
+    db.put_attributes("d", "i", &[add("a", "1")]).unwrap();
+    db.delete_attributes("d", "i", None).unwrap();
+    db.delete_attributes("d", "i", None).unwrap();
+    db.delete_attributes("d", "i", Some(&[DeletableAttribute::all_of("a")])).unwrap();
+}
+
+#[test]
+fn deleting_last_attribute_removes_item() {
+    let (_, db) = counting();
+    db.put_attributes("d", "i", &[add("a", "1")]).unwrap();
+    db.delete_attributes("d", "i", Some(&[DeletableAttribute::pair("a", "1")])).unwrap();
+    assert!(db.latest_item_names("d").is_empty());
+}
+
+#[test]
+fn query_filters_and_returns_names() {
+    let (_, db) = counting();
+    db.put_attributes("d", "f1", &[add("type", "file")]).unwrap();
+    db.put_attributes("d", "p1", &[add("type", "process")]).unwrap();
+    db.put_attributes("d", "f2", &[add("type", "file")]).unwrap();
+    let r = db.query("d", Some("['type' = 'file']"), None, None).unwrap();
+    assert_eq!(r.item_names, vec!["f1", "f2"]);
+    assert!(r.next_token.is_none());
+}
+
+#[test]
+fn query_none_matches_all() {
+    let (_, db) = counting();
+    db.put_attributes("d", "a", &[add("x", "1")]).unwrap();
+    db.put_attributes("d", "b", &[add("y", "2")]).unwrap();
+    assert_eq!(db.query("d", None, None, None).unwrap().item_names.len(), 2);
+}
+
+#[test]
+fn query_pagination_round_trip() {
+    let (_, db) = counting();
+    for i in 0..25 {
+        db.put_attributes("d", &format!("i{i:02}"), &[add("t", "x")]).unwrap();
+    }
+    let mut names = Vec::new();
+    let mut token: Option<String> = None;
+    let mut pages = 0;
+    loop {
+        let r = db.query("d", Some("['t' = 'x']"), Some(10), token.as_deref()).unwrap();
+        names.extend(r.item_names);
+        pages += 1;
+        match r.next_token {
+            Some(t) => token = Some(t),
+            None => break,
+        }
+    }
+    assert_eq!(pages, 3);
+    assert_eq!(names.len(), 25);
+    assert!(names.windows(2).all(|w| w[0] < w[1]), "name-ordered across pages");
+}
+
+#[test]
+fn query_page_size_clamped() {
+    let (_, db) = counting();
+    for i in 0..(QUERY_MAX_PAGE + 50) {
+        db.put_attributes("d", &format!("i{i:04}"), &[add("t", "x")]).unwrap();
+    }
+    let r = db.query("d", None, Some(100_000), None).unwrap();
+    assert_eq!(r.item_names.len(), QUERY_MAX_PAGE);
+    assert!(r.next_token.is_some());
+}
+
+#[test]
+fn invalid_next_token_rejected() {
+    let (_, db) = counting();
+    assert!(matches!(
+        db.query("d", None, None, Some("not-a-number")),
+        Err(SdbError::InvalidNextToken)
+    ));
+}
+
+#[test]
+fn query_with_attributes_and_filter() {
+    let (_, db) = counting();
+    db.put_attributes("d", "i", &[add("a", "1"), add("b", "2")]).unwrap();
+    let r = db
+        .query_with_attributes("d", Some("['a' = '1']"), Some(&["b".to_string()]), None, None)
+        .unwrap();
+    assert_eq!(r.items.len(), 1);
+    assert_eq!(r.items[0].attributes, vec![Attribute::new("b", "2")]);
+}
+
+#[test]
+fn select_projection_forms() {
+    let (_, db) = counting();
+    db.put_attributes("d", "i1", &[add("a", "1"), add("b", "2")]).unwrap();
+    db.put_attributes("d", "i2", &[add("a", "9")]).unwrap();
+
+    let all = db.select("select * from d where a = '1'", None).unwrap();
+    assert_eq!(all.items[0].attributes.len(), 2);
+
+    let names = db.select("select itemName() from d", None).unwrap();
+    assert!(names.items.iter().all(|i| i.attributes.is_empty()));
+    assert_eq!(names.items.len(), 2);
+
+    let proj = db.select("select b from d where a = '1'", None).unwrap();
+    assert_eq!(proj.items[0].attributes, vec![Attribute::new("b", "2")]);
+
+    let count = db.select("select count(*) from d", None).unwrap();
+    assert_eq!(count.count, Some(2));
+    assert!(count.items.is_empty());
+}
+
+#[test]
+fn select_pagination() {
+    let (_, db) = counting();
+    for i in 0..12 {
+        db.put_attributes("d", &format!("i{i:02}"), &[add("t", "x")]).unwrap();
+    }
+    let p1 = db.select("select itemName() from d limit 5", None).unwrap();
+    assert_eq!(p1.items.len(), 5);
+    let p2 = db.select("select itemName() from d limit 5", p1.next_token.as_deref()).unwrap();
+    assert_eq!(p2.items.len(), 5);
+    let p3 = db.select("select itemName() from d limit 5", p2.next_token.as_deref()).unwrap();
+    assert_eq!(p3.items.len(), 2);
+    assert!(p3.next_token.is_none());
+}
+
+#[test]
+fn eventual_consistency_hides_fresh_inserts_sometimes() {
+    let (world, db) = eventual(3);
+    db.put_attributes("d", "fresh", &[add("t", "x")]).unwrap();
+    let mut missed = false;
+    for _ in 0..64 {
+        if db.query("d", Some("['t' = 'x']"), None, None).unwrap().item_names.is_empty() {
+            missed = true;
+            break;
+        }
+    }
+    assert!(missed, "a query right after insert should sometimes miss it (§2.2)");
+    world.settle();
+    assert_eq!(db.query("d", Some("['t' = 'x']"), None, None).unwrap().item_names.len(), 1);
+}
+
+#[test]
+fn billing_records_ops_and_bytes() {
+    let (world, db) = counting();
+    let before = world.meters();
+    db.put_attributes("d", "i", &[add("abc", "defg")]).unwrap();
+    let delta = world.meters() - before;
+    assert_eq!(delta.op_count(Op::SdbPutAttributes), 1);
+    assert_eq!(delta.bytes_in(), ("abc".len() + "defg".len() + "i".len()) as u64);
+
+    let before = world.meters();
+    let _ = db.query("d", Some("['abc' = 'defg']"), None, None).unwrap();
+    let delta = world.meters() - before;
+    assert_eq!(delta.op_count(Op::SdbQuery), 1);
+    assert!(delta.bytes_out() > 0);
+}
+
+#[test]
+fn stored_bytes_gauge_tracks_item_size() {
+    let (world, db) = counting();
+    db.put_attributes("d", "i", &[add("aa", "bb")]).unwrap();
+    assert_eq!(world.meters().stored_bytes(Service::SimpleDb), 4);
+    db.delete_attributes("d", "i", None).unwrap();
+    assert_eq!(world.meters().stored_bytes(Service::SimpleDb), 0);
+}
+
+#[test]
+fn select_on_missing_domain_errors_before_billing_items() {
+    let (_, db) = counting();
+    let err = db.select("select * from nowhere", None).unwrap_err();
+    assert!(matches!(err, SdbError::NoSuchDomain { .. }));
+}
+
+#[test]
+fn query_sort_via_expression() {
+    let (_, db) = counting();
+    db.put_attributes("d", "low", &[add("t", "x"), add("rank", "1")]).unwrap();
+    db.put_attributes("d", "high", &[add("t", "x"), add("rank", "9")]).unwrap();
+    let r = db.query("d", Some("['t' = 'x'] sort 'rank' desc"), None, None).unwrap();
+    assert_eq!(r.item_names, vec!["high", "low"]);
+}
+
+#[test]
+fn clones_share_state() {
+    let (_, db) = counting();
+    let db2 = db.clone();
+    db.put_attributes("d", "i", &[add("a", "1")]).unwrap();
+    assert_eq!(db2.get_attributes("d", "i", None).unwrap().len(), 1);
+}

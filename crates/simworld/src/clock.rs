@@ -1,0 +1,243 @@
+//! Virtual time for the simulation.
+//!
+//! The entire cloud simulation runs on a logical clock measured in
+//! microseconds. Nothing in the workspace reads wall-clock time; every
+//! latency, propagation delay, retention window and visibility timeout is
+//! expressed against [`SimInstant`] so that runs are perfectly
+//! reproducible.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// A point in simulated time, in microseconds since the simulation epoch.
+///
+/// # Examples
+///
+/// ```
+/// use simworld::{SimDuration, SimInstant};
+///
+/// let t = SimInstant::EPOCH + SimDuration::from_secs(3);
+/// assert_eq!(t.as_micros(), 3_000_000);
+/// ```
+#[derive(
+    Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize,
+)]
+pub struct SimInstant(u64);
+
+impl SimInstant {
+    /// The origin of simulated time.
+    pub const EPOCH: SimInstant = SimInstant(0);
+
+    /// Builds an instant from a raw microsecond count.
+    pub const fn from_micros(micros: u64) -> Self {
+        SimInstant(micros)
+    }
+
+    /// Microseconds since the epoch.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Time elapsed since `earlier`, saturating to zero if `earlier` is in
+    /// the future.
+    pub const fn saturating_since(self, earlier: SimInstant) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Checked addition; `None` on overflow.
+    pub const fn checked_add(self, d: SimDuration) -> Option<SimInstant> {
+        match self.0.checked_add(d.0) {
+            Some(v) => Some(SimInstant(v)),
+            None => None,
+        }
+    }
+}
+
+impl Add<SimDuration> for SimInstant {
+    type Output = SimInstant;
+
+    fn add(self, rhs: SimDuration) -> SimInstant {
+        SimInstant(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<SimDuration> for SimInstant {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimInstant> for SimInstant {
+    type Output = SimDuration;
+
+    fn sub(self, rhs: SimInstant) -> SimDuration {
+        self.saturating_since(rhs)
+    }
+}
+
+impl fmt::Display for SimInstant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+{}", SimDuration(self.0))
+    }
+}
+
+/// A span of simulated time, in microseconds.
+///
+/// # Examples
+///
+/// ```
+/// use simworld::SimDuration;
+///
+/// let d = SimDuration::from_millis(1500);
+/// assert_eq!(d.as_micros(), 1_500_000);
+/// assert_eq!(d.to_string(), "1.500s");
+/// ```
+#[derive(
+    Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize,
+)]
+pub struct SimDuration(u64);
+
+impl SimDuration {
+    /// The zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Builds a duration from microseconds.
+    pub const fn from_micros(micros: u64) -> Self {
+        SimDuration(micros)
+    }
+
+    /// Builds a duration from milliseconds.
+    pub const fn from_millis(millis: u64) -> Self {
+        SimDuration(millis * 1_000)
+    }
+
+    /// Builds a duration from seconds.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimDuration(secs * 1_000_000)
+    }
+
+    /// Builds a duration from minutes.
+    pub const fn from_minutes(minutes: u64) -> Self {
+        SimDuration(minutes * 60_000_000)
+    }
+
+    /// Builds a duration from hours.
+    pub const fn from_hours(hours: u64) -> Self {
+        SimDuration(hours * 3_600_000_000)
+    }
+
+    /// Builds a duration from days.
+    pub const fn from_days(days: u64) -> Self {
+        SimDuration(days * 86_400_000_000)
+    }
+
+    /// The duration in microseconds.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// The duration in whole seconds (truncating).
+    pub const fn as_secs(self) -> u64 {
+        self.0 / 1_000_000
+    }
+
+    /// The duration as fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Saturating addition.
+    pub const fn saturating_add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
+
+    /// Multiplies the duration by an integer factor, saturating.
+    pub const fn saturating_mul(self, factor: u64) -> SimDuration {
+        SimDuration(self.0.saturating_mul(factor))
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        self.saturating_add(rhs)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let micros = self.0;
+        if micros < 1_000 {
+            write!(f, "{micros}us")
+        } else if micros < 1_000_000 {
+            write!(f, "{}.{:03}ms", micros / 1_000, micros % 1_000)
+        } else {
+            write!(f, "{}.{:03}s", micros / 1_000_000, (micros % 1_000_000) / 1_000)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instant_arithmetic_round_trips() {
+        let t = SimInstant::from_micros(10);
+        let t2 = t + SimDuration::from_micros(5);
+        assert_eq!(t2.as_micros(), 15);
+        assert_eq!(t2 - t, SimDuration::from_micros(5));
+    }
+
+    #[test]
+    fn subtraction_saturates_instead_of_underflowing() {
+        let early = SimInstant::from_micros(5);
+        let late = SimInstant::from_micros(9);
+        assert_eq!(early - late, SimDuration::ZERO);
+        assert_eq!(early.saturating_since(late), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn duration_constructors_agree() {
+        assert_eq!(SimDuration::from_millis(1), SimDuration::from_micros(1_000));
+        assert_eq!(SimDuration::from_secs(1), SimDuration::from_millis(1_000));
+        assert_eq!(SimDuration::from_minutes(1), SimDuration::from_secs(60));
+        assert_eq!(SimDuration::from_hours(1), SimDuration::from_minutes(60));
+        assert_eq!(SimDuration::from_days(1), SimDuration::from_hours(24));
+    }
+
+    #[test]
+    fn duration_display_is_humane() {
+        assert_eq!(SimDuration::from_micros(7).to_string(), "7us");
+        assert_eq!(SimDuration::from_micros(1_500).to_string(), "1.500ms");
+        assert_eq!(SimDuration::from_secs(90).to_string(), "90.000s");
+    }
+
+    #[test]
+    fn instant_display_shows_offset() {
+        let t = SimInstant::EPOCH + SimDuration::from_secs(2);
+        assert_eq!(t.to_string(), "t+2.000s");
+    }
+
+    #[test]
+    fn checked_add_detects_overflow() {
+        let t = SimInstant::from_micros(u64::MAX);
+        assert!(t.checked_add(SimDuration::from_micros(1)).is_none());
+        assert!(t.checked_add(SimDuration::ZERO).is_some());
+    }
+
+    #[test]
+    fn saturating_mul_caps_at_max() {
+        let d = SimDuration::from_micros(u64::MAX / 2 + 1);
+        assert_eq!(d.saturating_mul(3).as_micros(), u64::MAX);
+    }
+}

@@ -1,0 +1,367 @@
+//! A replicated, eventually-consistent key/value map.
+//!
+//! This is the storage engine under all three service simulators. Each
+//! key keeps a short history of writes; each write carries per-replica
+//! visibility instants sampled from [`crate::SimWorld::sample_visibility`].
+//! A read picks a replica and serves the newest write *visible on that
+//! replica*, so a read issued immediately after a write may observe the
+//! previous value — exactly the anomaly the paper's consistency property
+//! is about. Writes are last-writer-wins, deletes are tombstones, and
+//! fully-propagated history is compacted away.
+
+use std::collections::BTreeMap;
+
+use crate::clock::SimInstant;
+use crate::world::SimWorld;
+
+#[derive(Clone, Debug)]
+struct Write<V> {
+    seq: u64,
+    /// `visible_at[r]` is when replica `r` starts serving this write.
+    visible_at: Vec<SimInstant>,
+    /// `None` is a delete tombstone.
+    value: Option<V>,
+}
+
+#[derive(Clone, Debug)]
+struct Cell<V> {
+    writes: Vec<Write<V>>,
+}
+
+impl<V> Cell<V> {
+    /// The newest write visible on `replica` at `now`.
+    fn visible(&self, replica: usize, now: SimInstant) -> Option<&Write<V>> {
+        self.writes
+            .iter()
+            .rev()
+            .find(|w| w.visible_at.get(replica).map(|t| *t <= now).unwrap_or(true))
+    }
+
+    fn latest(&self) -> &Write<V> {
+        self.writes.last().expect("cells always hold at least one write")
+    }
+
+    /// Drops history that every replica has moved past.
+    fn compact(&mut self, now: SimInstant) {
+        // Find the newest write fully propagated everywhere; anything
+        // older can never be served again.
+        let mut cut = 0;
+        for (i, w) in self.writes.iter().enumerate() {
+            if w.visible_at.iter().all(|t| *t <= now) {
+                cut = i;
+            }
+        }
+        if cut > 0 {
+            self.writes.drain(..cut);
+        }
+    }
+
+    /// True when the only remaining state is a fully-propagated tombstone.
+    fn fully_deleted(&self, now: SimInstant) -> bool {
+        self.writes.len() == 1
+            && self.writes[0].value.is_none()
+            && self.writes[0].visible_at.iter().all(|t| *t <= now)
+    }
+}
+
+/// An eventually-consistent map from `K` to `V`.
+///
+/// # Examples
+///
+/// ```
+/// use simworld::{EcMap, SimConfig, SimWorld};
+///
+/// let world = SimWorld::counting(); // strong consistency: reads are fresh
+/// let mut map = EcMap::new();
+/// map.write(&world, "key", Some(1));
+/// assert_eq!(map.read(&world, &"key"), Some(1));
+/// map.write(&world, "key", None); // delete
+/// assert_eq!(map.read(&world, &"key"), None);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct EcMap<K: Ord, V> {
+    cells: BTreeMap<K, Cell<V>>,
+    next_seq: u64,
+}
+
+impl<K: Ord + Clone, V: Clone> EcMap<K, V> {
+    /// An empty map.
+    pub fn new() -> EcMap<K, V> {
+        EcMap { cells: BTreeMap::new(), next_seq: 0 }
+    }
+
+    /// Applies a write (`Some`) or delete (`None`) at the current virtual
+    /// time, with per-replica propagation sampled from `world`.
+    pub fn write(&mut self, world: &SimWorld, key: K, value: Option<V>) {
+        self.next_seq += 1;
+        let write = Write {
+            seq: self.next_seq,
+            visible_at: world.sample_visibility(),
+            value,
+        };
+        let now = world.now();
+        let cell = self.cells.entry(key).or_insert_with(|| Cell { writes: Vec::new() });
+        cell.writes.push(write);
+        cell.compact(now);
+    }
+
+    /// Serves a read from a randomly chosen replica; may return stale
+    /// state under eventual consistency.
+    pub fn read(&self, world: &SimWorld, key: &K) -> Option<V> {
+        let replica = world.sample_read_replica();
+        let now = world.now();
+        self.cells
+            .get(key)?
+            .visible(replica, now)
+            .and_then(|w| w.value.clone())
+    }
+
+    /// The authoritative newest value, ignoring propagation (what every
+    /// replica will eventually serve). Use for invariant checks, not for
+    /// simulated client reads.
+    pub fn read_latest(&self, key: &K) -> Option<V> {
+        self.cells.get(key).and_then(|c| c.latest().value.clone())
+    }
+
+    /// Sequence number of the newest write to `key`, if any. Higher means
+    /// newer across the whole map.
+    pub fn latest_seq(&self, key: &K) -> Option<u64> {
+        self.cells.get(key).map(|c| c.latest().seq)
+    }
+
+    /// `true` if the newest write to `key` is a value (not a tombstone).
+    pub fn contains_latest(&self, key: &K) -> bool {
+        self.read_latest(key).is_some()
+    }
+
+    /// Number of keys whose newest write is a value.
+    pub fn len_latest(&self) -> usize {
+        self.cells.values().filter(|c| c.latest().value.is_some()).count()
+    }
+
+    /// Iterates the authoritative live entries in key order.
+    pub fn iter_latest(&self) -> impl Iterator<Item = (&K, V)> + '_ {
+        self.cells
+            .iter()
+            .filter_map(|(k, c)| c.latest().value.clone().map(|v| (k, v)))
+    }
+
+    /// One replica's view of the key set only — cheap relative to
+    /// [`EcMap::visible_entries`] when values are heavyweight, which is
+    /// what makes paginated LIST/Query over large stores affordable.
+    pub fn visible_keys(&self, world: &SimWorld) -> Vec<K> {
+        let replica = world.sample_read_replica();
+        let now = world.now();
+        self.cells
+            .iter()
+            .filter_map(|(k, c)| {
+                c.visible(replica, now).and_then(|w| w.value.as_ref()).map(|_| k.clone())
+            })
+            .collect()
+    }
+
+    /// One replica's view of the whole map, as a simulated `LIST` would
+    /// see it: a single replica is sampled for the entire scan.
+    pub fn visible_entries(&self, world: &SimWorld) -> Vec<(K, V)> {
+        let replica = world.sample_read_replica();
+        let now = world.now();
+        self.cells
+            .iter()
+            .filter_map(|(k, c)| {
+                c.visible(replica, now)
+                    .and_then(|w| w.value.clone())
+                    .map(|v| (k.clone(), v))
+            })
+            .collect()
+    }
+
+    /// Drops tombstoned keys whose deletion has reached every replica and
+    /// compacts remaining history. Call opportunistically.
+    pub fn gc(&mut self, now: SimInstant) {
+        self.cells.retain(|_, cell| {
+            cell.compact(now);
+            !cell.fully_deleted(now)
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::SimDuration;
+    use crate::latency::LatencyModel;
+    use crate::world::{Consistency, SimConfig};
+
+    fn eventual_world(seed: u64, lag_secs: u64) -> SimWorld {
+        SimWorld::with_config(SimConfig {
+            seed,
+            consistency: Consistency::eventual(SimDuration::from_secs(lag_secs)),
+            latency: LatencyModel::zero(),
+            replicas: 3,
+        })
+    }
+
+    #[test]
+    fn strong_reads_are_always_fresh() {
+        let world = SimWorld::counting();
+        let mut map = EcMap::new();
+        for i in 0..100 {
+            map.write(&world, "k", Some(i));
+            assert_eq!(map.read(&world, &"k"), Some(i));
+        }
+    }
+
+    #[test]
+    fn eventual_read_can_be_stale_then_settles() {
+        let world = eventual_world(11, 60);
+        let mut map = EcMap::new();
+        map.write(&world, "k", Some("old"));
+        world.settle();
+        map.write(&world, "k", Some("new"));
+        // Immediately after the write some replica still serves "old".
+        let mut saw_stale = false;
+        for _ in 0..64 {
+            if map.read(&world, &"k") == Some("old") {
+                saw_stale = true;
+                break;
+            }
+        }
+        assert!(saw_stale, "with 60s lag and 3 replicas a stale read should occur");
+        // After the lag bound passes, every replica serves "new".
+        world.settle();
+        for _ in 0..16 {
+            assert_eq!(map.read(&world, &"k"), Some("new"));
+        }
+    }
+
+    #[test]
+    fn last_writer_wins() {
+        let world = eventual_world(5, 30);
+        let mut map = EcMap::new();
+        map.write(&world, "k", Some(1));
+        map.write(&world, "k", Some(2)); // concurrent overwrite
+        world.settle();
+        assert_eq!(map.read(&world, &"k"), Some(2));
+        assert_eq!(map.read_latest(&"k"), Some(2));
+    }
+
+    #[test]
+    fn delete_is_a_tombstone_that_eventually_hides_the_key() {
+        let world = eventual_world(9, 60);
+        let mut map = EcMap::new();
+        map.write(&world, "k", Some(5));
+        world.settle();
+        map.write(&world, "k", None);
+        // Some replica may still serve 5 for a while...
+        let _ = map.read(&world, &"k");
+        world.settle();
+        assert_eq!(map.read(&world, &"k"), None);
+        assert!(!map.contains_latest(&"k"));
+    }
+
+    #[test]
+    fn read_of_missing_key_is_none() {
+        let world = SimWorld::counting();
+        let map: EcMap<&str, u32> = EcMap::new();
+        assert_eq!(map.read(&world, &"nope"), None);
+        assert_eq!(map.read_latest(&"nope"), None);
+    }
+
+    #[test]
+    fn a_new_write_is_visible_somewhere_immediately() {
+        // The accepting (primary) replica serves its own write at once.
+        let world = eventual_world(13, 3600);
+        let mut map = EcMap::new();
+        map.write(&world, "k", Some(7));
+        let mut seen = false;
+        for _ in 0..128 {
+            if map.read(&world, &"k") == Some(7) {
+                seen = true;
+                break;
+            }
+        }
+        assert!(seen);
+    }
+
+    #[test]
+    fn len_and_iter_track_latest_state() {
+        let world = SimWorld::counting();
+        let mut map = EcMap::new();
+        map.write(&world, "a", Some(1));
+        map.write(&world, "b", Some(2));
+        map.write(&world, "c", Some(3));
+        map.write(&world, "b", None);
+        assert_eq!(map.len_latest(), 2);
+        let keys: Vec<_> = map.iter_latest().map(|(k, _)| *k).collect();
+        assert_eq!(keys, vec!["a", "c"]);
+    }
+
+    #[test]
+    fn visible_entries_respect_replica_lag() {
+        let world = eventual_world(21, 60);
+        let mut map = EcMap::new();
+        map.write(&world, "a", Some(1));
+        // Before settling, a list may or may not include "a"; afterwards
+        // it must.
+        world.settle();
+        let entries = map.visible_entries(&world);
+        assert_eq!(entries, vec![("a", 1)]);
+    }
+
+    #[test]
+    fn gc_reclaims_fully_deleted_cells() {
+        let world = eventual_world(2, 1);
+        let mut map = EcMap::new();
+        map.write(&world, "a", Some(1));
+        map.write(&world, "b", Some(2));
+        map.write(&world, "a", None);
+        world.settle();
+        map.gc(world.now());
+        assert_eq!(map.len_latest(), 1);
+        // The tombstoned cell is physically gone.
+        assert!(map.latest_seq(&"a").is_none());
+        assert!(map.latest_seq(&"b").is_some());
+    }
+
+    #[test]
+    fn compaction_preserves_served_values() {
+        let world = eventual_world(4, 1);
+        let mut map = EcMap::new();
+        for i in 0..50 {
+            map.write(&world, "k", Some(i));
+            world.settle();
+        }
+        map.gc(world.now());
+        assert_eq!(map.read(&world, &"k"), Some(49));
+    }
+
+    #[test]
+    fn visible_keys_match_visible_entries() {
+        let world = eventual_world(8, 30);
+        let mut map = EcMap::new();
+        for i in 0..20 {
+            map.write(&world, format!("k{i:02}"), Some(i));
+        }
+        map.write(&world, "k05".to_string(), None); // delete one
+        // At any staleness level the key listing agrees with the full
+        // entry listing taken under the same conditions after settling.
+        world.settle();
+        let keys = map.visible_keys(&world);
+        let entries: Vec<String> =
+            map.visible_entries(&world).into_iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, entries);
+        assert_eq!(keys.len(), 19);
+        assert!(!keys.contains(&"k05".to_string()));
+    }
+
+    #[test]
+    fn seq_numbers_increase_monotonically() {
+        let world = SimWorld::counting();
+        let mut map = EcMap::new();
+        map.write(&world, "a", Some(1));
+        let s1 = map.latest_seq(&"a").unwrap();
+        map.write(&world, "b", Some(2));
+        let s2 = map.latest_seq(&"b").unwrap();
+        assert!(s2 > s1);
+    }
+}

@@ -1,0 +1,132 @@
+//! Per-operation latency model.
+//!
+//! The paper's future-work section notes that op counts alone do not show
+//! "the impact of the extra operations on elapsed time"; the simulator
+//! models that impact so the bench harness can report elapsed simulated
+//! time next to op counts. Each API call advances the virtual clock by a
+//! base round-trip plus a per-byte transfer term plus deterministic jitter.
+
+use serde::{Deserialize, Serialize};
+
+use crate::clock::SimDuration;
+use crate::metering::{Op, Service};
+
+/// Latency parameters for one service.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct ServiceLatency {
+    /// Fixed round-trip time per request.
+    pub base: SimDuration,
+    /// Extra time per 8 KB of payload in either direction.
+    pub per_8kb: SimDuration,
+    /// Uniform jitter in `[0, jitter]` added per request.
+    pub jitter: SimDuration,
+}
+
+/// Latency model for the whole cloud.
+///
+/// Defaults approximate WAN round trips to AWS circa 2009: tens of
+/// milliseconds per request, with SimpleDB a little slower than S3 on
+/// writes and SQS the cheapest per call.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct LatencyModel {
+    /// S3 request latency.
+    pub s3: ServiceLatency,
+    /// SimpleDB request latency.
+    pub simpledb: ServiceLatency,
+    /// SQS request latency.
+    pub sqs: ServiceLatency,
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        LatencyModel {
+            s3: ServiceLatency {
+                base: SimDuration::from_millis(40),
+                per_8kb: SimDuration::from_micros(800),
+                jitter: SimDuration::from_millis(10),
+            },
+            simpledb: ServiceLatency {
+                base: SimDuration::from_millis(50),
+                per_8kb: SimDuration::from_millis(2),
+                jitter: SimDuration::from_millis(15),
+            },
+            sqs: ServiceLatency {
+                base: SimDuration::from_millis(30),
+                per_8kb: SimDuration::from_millis(1),
+                jitter: SimDuration::from_millis(8),
+            },
+        }
+    }
+}
+
+impl LatencyModel {
+    /// A model where every call takes zero time — useful for pure
+    /// op-counting analyses where the clock should stand still.
+    pub fn zero() -> LatencyModel {
+        let z = ServiceLatency {
+            base: SimDuration::ZERO,
+            per_8kb: SimDuration::ZERO,
+            jitter: SimDuration::ZERO,
+        };
+        LatencyModel { s3: z, simpledb: z, sqs: z }
+    }
+
+    /// Parameters for `service`.
+    pub fn service(&self, service: Service) -> ServiceLatency {
+        match service {
+            Service::S3 => self.s3,
+            Service::SimpleDb => self.simpledb,
+            Service::Sqs => self.sqs,
+        }
+    }
+
+    /// Latency of one call moving `payload_bytes`, before jitter.
+    /// `jitter_draw` must be uniform in `[0, 1]`.
+    pub fn sample(&self, op: Op, payload_bytes: u64, jitter_draw: f64) -> SimDuration {
+        let p = self.service(op.service());
+        let chunks = payload_bytes.div_ceil(8 * 1024);
+        let jitter = SimDuration::from_micros(
+            (p.jitter.as_micros() as f64 * jitter_draw.clamp(0.0, 1.0)) as u64,
+        );
+        p.base + p.per_8kb.saturating_mul(chunks) + jitter
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_model_is_zero() {
+        let m = LatencyModel::zero();
+        assert_eq!(m.sample(Op::S3Put, 1 << 20, 1.0), SimDuration::ZERO);
+        assert_eq!(m.sample(Op::SqsSendMessage, 0, 0.5), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn payload_increases_latency() {
+        let m = LatencyModel::default();
+        let small = m.sample(Op::S3Put, 1024, 0.0);
+        let large = m.sample(Op::S3Put, 10 * 1024 * 1024, 0.0);
+        assert!(large > small);
+    }
+
+    #[test]
+    fn jitter_draw_bounds_respected() {
+        let m = LatencyModel::default();
+        let lo = m.sample(Op::SdbQuery, 0, 0.0);
+        let hi = m.sample(Op::SdbQuery, 0, 1.0);
+        assert_eq!(
+            hi.as_micros() - lo.as_micros(),
+            m.simpledb.jitter.as_micros()
+        );
+        // Out-of-range draws clamp rather than extrapolate.
+        assert_eq!(m.sample(Op::SdbQuery, 0, 7.5), hi);
+    }
+
+    #[test]
+    fn zero_payload_charges_no_transfer_term() {
+        let m = LatencyModel::default();
+        assert_eq!(m.sample(Op::S3Head, 0, 0.0), m.s3.base);
+    }
+}

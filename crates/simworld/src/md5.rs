@@ -1,0 +1,288 @@
+//! A from-scratch MD5 implementation (RFC 1321).
+//!
+//! The paper's second and third architectures detect provenance/data
+//! inconsistency by comparing an `MD5(data ‖ nonce)` attribute stored in
+//! SimpleDB against a hash recomputed from the S3 object. No hash crate is
+//! on the project's allowed dependency list, so MD5 is implemented here and
+//! validated against the RFC 1321 test vectors.
+//!
+//! MD5 is used strictly as a checksum for change detection, exactly as in
+//! the paper — not for security.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Per-round shift amounts, from RFC 1321.
+const S: [u32; 64] = [
+    7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, //
+    5, 9, 14, 20, 5, 9, 14, 20, 5, 9, 14, 20, 5, 9, 14, 20, //
+    4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, //
+    6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21,
+];
+
+/// Sine-derived constants `floor(2^32 * abs(sin(i+1)))`, from RFC 1321.
+const K: [u32; 64] = [
+    0xd76aa478, 0xe8c7b756, 0x242070db, 0xc1bdceee, 0xf57c0faf, 0x4787c62a, 0xa8304613, 0xfd469501,
+    0x698098d8, 0x8b44f7af, 0xffff5bb1, 0x895cd7be, 0x6b901122, 0xfd987193, 0xa679438e, 0x49b40821,
+    0xf61e2562, 0xc040b340, 0x265e5a51, 0xe9b6c7aa, 0xd62f105d, 0x02441453, 0xd8a1e681, 0xe7d3fbc8,
+    0x21e1cde6, 0xc33707d6, 0xf4d50d87, 0x455a14ed, 0xa9e3e905, 0xfcefa3f8, 0x676f02d9, 0x8d2a4c8a,
+    0xfffa3942, 0x8771f681, 0x6d9d6122, 0xfde5380c, 0xa4beea44, 0x4bdecfa9, 0xf6bb4b60, 0xbebfbc70,
+    0x289b7ec6, 0xeaa127fa, 0xd4ef3085, 0x04881d05, 0xd9d4d039, 0xe6db99e5, 0x1fa27cf8, 0xc4ac5665,
+    0xf4292244, 0x432aff97, 0xab9423a7, 0xfc93a039, 0x655b59c3, 0x8f0ccc92, 0xffeff47d, 0x85845dd1,
+    0x6fa87e4f, 0xfe2ce6e0, 0xa3014314, 0x4e0811a1, 0xf7537e82, 0xbd3af235, 0x2ad7d2bb, 0xeb86d391,
+];
+
+/// A 128-bit MD5 digest.
+///
+/// # Examples
+///
+/// ```
+/// use simworld::Md5;
+///
+/// let digest = Md5::digest(b"abc");
+/// assert_eq!(digest.to_hex(), "900150983cd24fb0d6963f7d28e17f72");
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct Md5Digest(pub [u8; 16]);
+
+impl Md5Digest {
+    /// Renders the digest as 32 lowercase hex characters.
+    pub fn to_hex(&self) -> String {
+        let mut out = String::with_capacity(32);
+        for b in self.0 {
+            out.push(char::from_digit((b >> 4) as u32, 16).expect("nibble < 16"));
+            out.push(char::from_digit((b & 0xf) as u32, 16).expect("nibble < 16"));
+        }
+        out
+    }
+
+    /// Parses 32 hex characters back into a digest.
+    ///
+    /// Returns `None` if the input is not exactly 32 hex digits.
+    pub fn from_hex(s: &str) -> Option<Md5Digest> {
+        let bytes = s.as_bytes();
+        if bytes.len() != 32 {
+            return None;
+        }
+        let mut out = [0u8; 16];
+        for (i, chunk) in bytes.chunks_exact(2).enumerate() {
+            let hi = (chunk[0] as char).to_digit(16)?;
+            let lo = (chunk[1] as char).to_digit(16)?;
+            out[i] = ((hi << 4) | lo) as u8;
+        }
+        Some(Md5Digest(out))
+    }
+}
+
+impl fmt::Display for Md5Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+/// Streaming MD5 hasher.
+///
+/// # Examples
+///
+/// ```
+/// use simworld::Md5;
+///
+/// let mut hasher = Md5::new();
+/// hasher.update(b"hello ");
+/// hasher.update(b"world");
+/// assert_eq!(hasher.finalize(), Md5::digest(b"hello world"));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Md5 {
+    state: [u32; 4],
+    buffer: [u8; 64],
+    buffered: usize,
+    length_bytes: u64,
+}
+
+impl Default for Md5 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Md5 {
+    /// Creates a hasher in the RFC 1321 initial state.
+    pub fn new() -> Self {
+        Md5 {
+            state: [0x67452301, 0xefcdab89, 0x98badcfe, 0x10325476],
+            buffer: [0u8; 64],
+            buffered: 0,
+            length_bytes: 0,
+        }
+    }
+
+    /// One-shot digest of a byte slice.
+    pub fn digest(data: &[u8]) -> Md5Digest {
+        let mut h = Md5::new();
+        h.update(data);
+        h.finalize()
+    }
+
+    /// Absorbs more input.
+    pub fn update(&mut self, mut data: &[u8]) {
+        self.length_bytes = self.length_bytes.wrapping_add(data.len() as u64);
+        if self.buffered > 0 {
+            let take = (64 - self.buffered).min(data.len());
+            self.buffer[self.buffered..self.buffered + take].copy_from_slice(&data[..take]);
+            self.buffered += take;
+            data = &data[take..];
+            if self.buffered == 64 {
+                let block = self.buffer;
+                self.compress(&block);
+                self.buffered = 0;
+            }
+        }
+        while data.len() >= 64 {
+            let mut block = [0u8; 64];
+            block.copy_from_slice(&data[..64]);
+            self.compress(&block);
+            data = &data[64..];
+        }
+        if !data.is_empty() {
+            self.buffer[..data.len()].copy_from_slice(data);
+            self.buffered = data.len();
+        }
+    }
+
+    /// Finishes the hash and returns the digest.
+    pub fn finalize(mut self) -> Md5Digest {
+        let bit_len = self.length_bytes.wrapping_mul(8);
+        // Padding: 0x80, zeros, then the 64-bit little-endian bit length.
+        self.update(&[0x80]);
+        // `update` tracked the pad byte in length_bytes, but the final
+        // length word was captured beforehand, so that is harmless.
+        while self.buffered != 56 {
+            self.update(&[0]);
+        }
+        self.length_bytes = bit_len / 8; // irrelevant from here on
+        let mut block = self.buffer;
+        block[56..64].copy_from_slice(&bit_len.to_le_bytes());
+        self.compress(&block);
+        let mut out = [0u8; 16];
+        for (i, word) in self.state.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_le_bytes());
+        }
+        Md5Digest(out)
+    }
+
+    fn compress(&mut self, block: &[u8; 64]) {
+        let mut m = [0u32; 16];
+        for (i, chunk) in block.chunks_exact(4).enumerate() {
+            m[i] = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+        let [mut a, mut b, mut c, mut d] = self.state;
+        for i in 0..64 {
+            let (f, g) = match i / 16 {
+                0 => ((b & c) | (!b & d), i),
+                1 => ((d & b) | (!d & c), (5 * i + 1) % 16),
+                2 => (b ^ c ^ d, (3 * i + 5) % 16),
+                _ => (c ^ (b | !d), (7 * i) % 16),
+            };
+            let tmp = d;
+            d = c;
+            c = b;
+            let rotated = a
+                .wrapping_add(f)
+                .wrapping_add(K[i])
+                .wrapping_add(m[g])
+                .rotate_left(S[i]);
+            b = b.wrapping_add(rotated);
+            a = tmp;
+        }
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The seven test vectors from RFC 1321 §A.5.
+    #[test]
+    fn rfc1321_vectors() {
+        let cases: [(&[u8], &str); 7] = [
+            (b"", "d41d8cd98f00b204e9800998ecf8427e"),
+            (b"a", "0cc175b9c0f1b6a831c399e269772661"),
+            (b"abc", "900150983cd24fb0d6963f7d28e17f72"),
+            (b"message digest", "f96b697d7cb7938d525a2f31aaf161d0"),
+            (b"abcdefghijklmnopqrstuvwxyz", "c3fcd3d76192e4007dfb496cca67e13b"),
+            (
+                b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789",
+                "d174ab98d277d9f5a5611c2c9f419d9f",
+            ),
+            (
+                b"12345678901234567890123456789012345678901234567890123456789012345678901234567890",
+                "57edf4a22be3c955ac49da2e2107b67a",
+            ),
+        ];
+        for (input, expected) in cases {
+            assert_eq!(Md5::digest(input).to_hex(), expected, "input {input:?}");
+        }
+    }
+
+    #[test]
+    fn streaming_matches_oneshot_at_all_split_points() {
+        let data: Vec<u8> = (0..300u32).map(|i| (i % 251) as u8).collect();
+        let whole = Md5::digest(&data);
+        for split in [0, 1, 55, 56, 63, 64, 65, 128, 299, 300] {
+            let mut h = Md5::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            assert_eq!(h.finalize(), whole, "split at {split}");
+        }
+    }
+
+    #[test]
+    fn hex_round_trip() {
+        let d = Md5::digest(b"round trip");
+        assert_eq!(Md5Digest::from_hex(&d.to_hex()), Some(d));
+    }
+
+    #[test]
+    fn from_hex_rejects_garbage() {
+        assert_eq!(Md5Digest::from_hex("short"), None);
+        assert_eq!(Md5Digest::from_hex(&"g".repeat(32)), None);
+        let valid_len_not_hex = "zz".repeat(16);
+        assert_eq!(Md5Digest::from_hex(&valid_len_not_hex), None);
+    }
+
+    #[test]
+    fn display_matches_to_hex() {
+        let d = Md5::digest(b"display");
+        assert_eq!(format!("{d}"), d.to_hex());
+    }
+
+    #[test]
+    fn different_inputs_differ() {
+        assert_ne!(Md5::digest(b"a"), Md5::digest(b"b"));
+        // The nonce-concatenation trick from the paper: same data, distinct
+        // nonce must yield distinct digests.
+        let mut one = Md5::new();
+        one.update(b"data");
+        one.update(b"1");
+        let mut two = Md5::new();
+        two.update(b"data");
+        two.update(b"2");
+        assert_ne!(one.finalize(), two.finalize());
+    }
+
+    #[test]
+    fn exact_block_boundary_input() {
+        // 64-byte input exercises the "no partial buffer at finalize" path.
+        let data = [0xabu8; 64];
+        let d = Md5::digest(&data);
+        let mut h = Md5::new();
+        h.update(&data);
+        assert_eq!(h.finalize(), d);
+    }
+}

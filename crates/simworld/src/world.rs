@@ -1,0 +1,377 @@
+//! The shared simulation context.
+//!
+//! A [`SimWorld`] bundles the virtual clock, a seeded RNG, the billing
+//! meters and the fault plan behind one cheaply-clonable handle. Every
+//! simulated AWS service and every client holds a clone, so a whole
+//! experiment — clients, daemons, services — advances one logical
+//! timeline and reads one ledger, deterministically for a given seed.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::clock::{SimDuration, SimInstant};
+use crate::faults::{CrashSite, Crashed, FaultPlan};
+use crate::latency::LatencyModel;
+use crate::metering::{MeterBook, MeterSnapshot, Op, Service};
+
+/// The consistency regime the simulated services run under.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum Consistency {
+    /// Writes are visible everywhere immediately. Useful as a control in
+    /// experiments, and for isolating protocol bugs from staleness.
+    Strong,
+    /// AWS semantics: each write propagates to each replica after an
+    /// independent uniform delay in `[0, max_lag]`. A read served by a
+    /// replica that has not yet received the newest write returns stale
+    /// state.
+    Eventual {
+        /// Upper bound on per-replica propagation delay.
+        max_lag: SimDuration,
+    },
+}
+
+impl Consistency {
+    /// Convenience constructor for the eventual regime.
+    pub fn eventual(max_lag: SimDuration) -> Consistency {
+        Consistency::Eventual { max_lag }
+    }
+}
+
+/// Configuration for a [`SimWorld`].
+#[derive(Copy, Clone, Debug, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// RNG seed; equal seeds give bit-identical runs.
+    pub seed: u64,
+    /// Consistency regime for every service.
+    pub consistency: Consistency,
+    /// Request latency model.
+    pub latency: LatencyModel,
+    /// Replica count per service datastore.
+    pub replicas: usize,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            seed: 0,
+            consistency: Consistency::Eventual { max_lag: SimDuration::from_millis(500) },
+            latency: LatencyModel::default(),
+            replicas: 3,
+        }
+    }
+}
+
+impl SimConfig {
+    /// A config for pure op-count analyses: strong consistency, zero
+    /// latency — the clock stands still and nothing is ever stale.
+    pub fn counting() -> SimConfig {
+        SimConfig {
+            seed: 0,
+            consistency: Consistency::Strong,
+            latency: LatencyModel::zero(),
+            replicas: 1,
+        }
+    }
+}
+
+struct WorldState {
+    now: SimInstant,
+    rng: SmallRng,
+    meters: MeterBook,
+    faults: FaultPlan,
+    config: SimConfig,
+}
+
+/// Handle to the shared simulation context.
+///
+/// Clones are shallow: all clones observe the same clock, RNG stream,
+/// meters and fault plan.
+///
+/// # Examples
+///
+/// ```
+/// use simworld::{Op, SimDuration, SimWorld};
+///
+/// let world = SimWorld::new(42);
+/// world.record_op(Op::S3Put, 1024, 0);
+/// assert_eq!(world.meters().op_count(Op::S3Put), 1);
+/// assert!(world.now().as_micros() > 0); // the call took simulated time
+/// ```
+#[derive(Clone)]
+pub struct SimWorld {
+    inner: Arc<Mutex<WorldState>>,
+}
+
+impl std::fmt::Debug for SimWorld {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let st = self.inner.lock();
+        f.debug_struct("SimWorld")
+            .field("now", &st.now)
+            .field("config", &st.config)
+            .finish_non_exhaustive()
+    }
+}
+
+impl SimWorld {
+    /// A world with default config and the given seed.
+    pub fn new(seed: u64) -> SimWorld {
+        SimWorld::with_config(SimConfig { seed, ..SimConfig::default() })
+    }
+
+    /// A world with explicit configuration.
+    pub fn with_config(config: SimConfig) -> SimWorld {
+        SimWorld {
+            inner: Arc::new(Mutex::new(WorldState {
+                now: SimInstant::EPOCH,
+                rng: SmallRng::seed_from_u64(config.seed),
+                meters: MeterBook::new(),
+                faults: FaultPlan::new(),
+                config,
+            })),
+        }
+    }
+
+    /// A zero-latency, strongly-consistent world for op counting.
+    pub fn counting() -> SimWorld {
+        SimWorld::with_config(SimConfig::counting())
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimInstant {
+        self.inner.lock().now
+    }
+
+    /// Moves the clock forward (e.g. to let eventual consistency settle or
+    /// retention windows expire).
+    pub fn advance(&self, d: SimDuration) {
+        self.inner.lock().now += d;
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> SimConfig {
+        self.inner.lock().config
+    }
+
+    /// Replica count services should use.
+    pub fn replicas(&self) -> usize {
+        self.inner.lock().config.replicas
+    }
+
+    /// Uniform `u64`.
+    pub fn rand_u64(&self) -> u64 {
+        self.inner.lock().rng.gen()
+    }
+
+    /// Uniform value in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn rand_below(&self, bound: u64) -> u64 {
+        assert!(bound > 0, "rand_below bound must be positive");
+        self.inner.lock().rng.gen_range(0..bound)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn rand_f64(&self) -> f64 {
+        self.inner.lock().rng.gen()
+    }
+
+    /// Records a billable API call: increments meters and advances the
+    /// clock by the sampled request latency.
+    pub fn record_op(&self, op: Op, bytes_in: u64, bytes_out: u64) {
+        let mut st = self.inner.lock();
+        st.meters.record(op, bytes_in, bytes_out);
+        let draw: f64 = st.rng.gen();
+        let latency = st.config.latency.sample(op, bytes_in + bytes_out, draw);
+        st.now += latency;
+    }
+
+    /// Adjusts a service's stored-bytes gauge.
+    pub fn adjust_stored(&self, service: Service, delta: i64) {
+        self.inner.lock().meters.adjust_stored(service, delta);
+    }
+
+    /// Snapshot of the billing ledger.
+    pub fn meters(&self) -> MeterSnapshot {
+        self.inner.lock().meters.snapshot()
+    }
+
+    /// Samples per-replica visibility instants for a write performed now.
+    ///
+    /// Index `i` is when replica `i` will serve the write. Under
+    /// [`Consistency::Strong`] every entry is `now`. Under eventual
+    /// consistency one randomly chosen replica (the one that accepted the
+    /// write) serves it immediately; the rest lag by an independent
+    /// uniform delay.
+    pub fn sample_visibility(&self) -> Vec<SimInstant> {
+        let mut st = self.inner.lock();
+        let now = st.now;
+        let replicas = st.config.replicas.max(1);
+        match st.config.consistency {
+            Consistency::Strong => vec![now; replicas],
+            Consistency::Eventual { max_lag } => {
+                let primary = st.rng.gen_range(0..replicas);
+                (0..replicas)
+                    .map(|r| {
+                        if r == primary {
+                            now
+                        } else {
+                            let lag = st.rng.gen_range(0..=max_lag.as_micros());
+                            now + SimDuration::from_micros(lag)
+                        }
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// Picks the replica that will serve a read issued now.
+    pub fn sample_read_replica(&self) -> usize {
+        let mut st = self.inner.lock();
+        let replicas = st.config.replicas.max(1);
+        st.rng.gen_range(0..replicas)
+    }
+
+    /// Declares a protocol step boundary; returns `Err` if a test armed a
+    /// crash here.
+    ///
+    /// # Errors
+    ///
+    /// [`Crashed`] when the fault plan fires; the caller must abandon the
+    /// protocol immediately, leaving remote state as-is.
+    pub fn crash_point(&self, site: CrashSite) -> Result<(), Crashed> {
+        self.inner.lock().faults.check(site)
+    }
+
+    /// Mutates the fault plan (arming/disarming sites).
+    pub fn with_faults<T>(&self, f: impl FnOnce(&mut FaultPlan) -> T) -> T {
+        f(&mut self.inner.lock().faults)
+    }
+
+    /// The upper bound on replication lag under the current config
+    /// (zero when strong). Advancing the clock by at least this much
+    /// guarantees all past writes are visible everywhere.
+    pub fn max_lag(&self) -> SimDuration {
+        match self.inner.lock().config.consistency {
+            Consistency::Strong => SimDuration::ZERO,
+            Consistency::Eventual { max_lag } => max_lag,
+        }
+    }
+
+    /// Advances the clock far enough that every write issued so far is
+    /// visible on every replica ("let the cloud settle").
+    pub fn settle(&self) {
+        let lag = self.max_lag();
+        if lag > SimDuration::ZERO {
+            self.advance(lag + SimDuration::from_micros(1));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let a = SimWorld::new(7);
+        let b = SimWorld::new(7);
+        let xs: Vec<u64> = (0..10).map(|_| a.rand_u64()).collect();
+        let ys: Vec<u64> = (0..10).map(|_| b.rand_u64()).collect();
+        assert_eq!(xs, ys);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let a = SimWorld::new(1);
+        let b = a.clone();
+        a.advance(SimDuration::from_secs(5));
+        assert_eq!(b.now(), SimInstant::EPOCH + SimDuration::from_secs(5));
+        a.record_op(Op::SqsSendMessage, 10, 0);
+        assert_eq!(b.meters().op_count(Op::SqsSendMessage), 1);
+    }
+
+    #[test]
+    fn counting_world_keeps_clock_still() {
+        let w = SimWorld::counting();
+        w.record_op(Op::S3Put, 1 << 20, 0);
+        w.record_op(Op::SdbSelect, 0, 4096);
+        assert_eq!(w.now(), SimInstant::EPOCH);
+    }
+
+    #[test]
+    fn default_world_advances_clock_per_op() {
+        let w = SimWorld::new(0);
+        let t0 = w.now();
+        w.record_op(Op::S3Put, 8 * 1024, 0);
+        assert!(w.now() > t0);
+    }
+
+    #[test]
+    fn strong_visibility_is_immediate_everywhere() {
+        let w = SimWorld::with_config(SimConfig {
+            consistency: Consistency::Strong,
+            replicas: 4,
+            ..SimConfig::default()
+        });
+        let vis = w.sample_visibility();
+        assert_eq!(vis.len(), 4);
+        assert!(vis.iter().all(|t| *t == w.now()));
+    }
+
+    #[test]
+    fn eventual_visibility_has_one_immediate_replica() {
+        let w = SimWorld::with_config(SimConfig {
+            seed: 3,
+            consistency: Consistency::eventual(SimDuration::from_secs(10)),
+            replicas: 5,
+            ..SimConfig::default()
+        });
+        let now = w.now();
+        let vis = w.sample_visibility();
+        assert_eq!(vis.len(), 5);
+        assert!(vis.iter().any(|t| *t == now), "primary replica is immediate");
+        assert!(vis.iter().all(|t| *t <= now + SimDuration::from_secs(10)));
+    }
+
+    #[test]
+    fn settle_outruns_max_lag() {
+        let w = SimWorld::with_config(SimConfig {
+            consistency: Consistency::eventual(SimDuration::from_secs(2)),
+            latency: LatencyModel::zero(),
+            ..SimConfig::default()
+        });
+        let before = w.now();
+        w.settle();
+        assert!(w.now() - before > SimDuration::from_secs(2));
+    }
+
+    #[test]
+    fn crash_point_propagates_armed_faults() {
+        const SITE: CrashSite = CrashSite::new("world.test");
+        let w = SimWorld::new(0);
+        assert!(w.crash_point(SITE).is_ok());
+        w.with_faults(|f| f.arm(SITE));
+        assert!(w.crash_point(SITE).is_err());
+        assert!(w.crash_point(SITE).is_ok(), "fires only once");
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be positive")]
+    fn rand_below_zero_panics() {
+        SimWorld::new(0).rand_below(0);
+    }
+
+    #[test]
+    fn read_replica_in_range() {
+        let w = SimWorld::with_config(SimConfig { replicas: 3, ..SimConfig::default() });
+        for _ in 0..50 {
+            assert!(w.sample_read_replica() < 3);
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! Error type for the simulated SQS service.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by [`crate::Sqs`] operations.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SqsError {
+    /// The queue URL does not name a queue
+    /// (`AWS.SimpleQueueService.NonExistentQueue`).
+    QueueDoesNotExist {
+        /// The URL as given.
+        url: String,
+    },
+    /// Message body exceeded the 8 KB limit (`MessageTooLong`).
+    MessageTooLong {
+        /// Body size in bytes.
+        size: usize,
+        /// The enforced limit.
+        limit: usize,
+    },
+    /// A receipt handle was not produced by this service
+    /// (`ReceiptHandleIsInvalid`).
+    InvalidReceiptHandle {
+        /// The malformed handle.
+        handle: String,
+    },
+    /// More than 10 messages requested in one receive
+    /// (`ReadCountOutOfRange`).
+    TooManyMessagesRequested {
+        /// Requested count.
+        requested: usize,
+    },
+}
+
+impl fmt::Display for SqsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqsError::QueueDoesNotExist { url } => write!(f, "queue does not exist: {url}"),
+            SqsError::MessageTooLong { size, limit } => {
+                write!(f, "message of {size} bytes exceeds the {limit}-byte limit")
+            }
+            SqsError::InvalidReceiptHandle { handle } => {
+                write!(f, "invalid receipt handle: {handle:?}")
+            }
+            SqsError::TooManyMessagesRequested { requested } => {
+                write!(f, "{requested} messages requested; the maximum is 10")
+            }
+        }
+    }
+}
+
+impl Error for SqsError {}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, SqsError>;

@@ -1,0 +1,358 @@
+//! The SQS service simulator.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use simworld::{Op, Service, SimDuration, SimInstant, SimWorld};
+
+use crate::error::{Result, SqsError};
+
+/// SQS's 2009 limit on message body size, in bytes.
+pub const MAX_MESSAGE_SIZE: usize = 8 * 1024;
+
+/// Maximum messages returnable by one `ReceiveMessage`.
+pub const MAX_RECEIVE_BATCH: usize = 10;
+
+/// Message retention: SQS deletes messages older than four days (§4.3 —
+/// the paper's garbage-collection story leans on this).
+pub const RETENTION: SimDuration = SimDuration::from_days(4);
+
+/// Default visibility timeout (the 2009 service default of 30 seconds).
+pub const DEFAULT_VISIBILITY_TIMEOUT: SimDuration = SimDuration::from_secs(30);
+
+/// How many storage servers a queue's messages spread over; receives
+/// sample a subset, which is why one call can miss messages.
+pub const QUEUE_SERVERS: usize = 8;
+
+/// A message handed back by `ReceiveMessage`.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct ReceivedMessage {
+    /// Stable message identifier (same across re-deliveries).
+    pub message_id: String,
+    /// Receipt handle for this delivery; required by `DeleteMessage`.
+    pub receipt_handle: String,
+    /// Message body.
+    pub body: String,
+}
+
+#[derive(Clone, Debug)]
+struct StoredMessage {
+    seq: u64,
+    message_id: String,
+    body: String,
+    sent_at: SimInstant,
+    /// Hidden until this instant (visibility timeout after a delivery).
+    visible_at: SimInstant,
+    /// Which storage server holds the message.
+    server: usize,
+    /// Delivery count; embedded in receipt handles.
+    deliveries: u64,
+}
+
+#[derive(Debug)]
+struct Queue {
+    name: String,
+    messages: BTreeMap<u64, StoredMessage>,
+    visibility_timeout: SimDuration,
+}
+
+#[derive(Default)]
+struct Inner {
+    queues: BTreeMap<String, Queue>, // keyed by URL
+    next_seq: u64,
+}
+
+/// The simulated Simple Queueing Service.
+///
+/// Semantics reproduced from the 2009 service, as described in §2.3 of
+/// the paper:
+///
+/// * 8 KB Unicode message bodies;
+/// * `ReceiveMessage` **samples a subset of servers** and returns at most
+///   10 of the visible messages it finds there — callers must repeat
+///   the call until they have everything;
+/// * a delivered message is hidden for the **visibility timeout**; if the
+///   consumer does not delete it in time it becomes visible again (so
+///   exactly one client processes a message at a time, but a message may
+///   be processed more than once);
+/// * messages older than **four days** evaporate;
+/// * best-effort FIFO ordering, no more.
+///
+/// # Examples
+///
+/// ```
+/// use sim_sqs::Sqs;
+/// use simworld::SimWorld;
+///
+/// let world = SimWorld::counting();
+/// let sqs = Sqs::new(&world);
+/// let url = sqs.create_queue("wal-client-1");
+/// sqs.send_message(&url, "begin txn 7")?;
+/// let got = sqs.receive_message(&url, 10)?;
+/// if let Some(msg) = got.first() {
+///     sqs.delete_message(&url, &msg.receipt_handle)?;
+/// }
+/// # Ok::<(), sim_sqs::SqsError>(())
+/// ```
+#[derive(Clone)]
+pub struct Sqs {
+    world: SimWorld,
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl std::fmt::Debug for Sqs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("Sqs").field("queues", &inner.queues.len()).finish_non_exhaustive()
+    }
+}
+
+impl Sqs {
+    /// Connects a new simulated SQS endpoint to `world`.
+    pub fn new(world: &SimWorld) -> Sqs {
+        Sqs { world: world.clone(), inner: Arc::new(Mutex::new(Inner::default())) }
+    }
+
+    /// Creates a queue (idempotent) and returns its URL.
+    pub fn create_queue(&self, name: impl Into<String>) -> String {
+        let name = name.into();
+        let url = format!("https://sqs.sim/{name}");
+        let mut inner = self.inner.lock();
+        self.world.record_op(Op::SqsCreateQueue, name.len() as u64, url.len() as u64);
+        inner.queues.entry(url.clone()).or_insert_with(|| Queue {
+            name,
+            messages: BTreeMap::new(),
+            visibility_timeout: DEFAULT_VISIBILITY_TIMEOUT,
+        });
+        url
+    }
+
+    /// Changes a queue's visibility timeout.
+    ///
+    /// # Errors
+    ///
+    /// [`SqsError::QueueDoesNotExist`].
+    pub fn set_visibility_timeout(&self, url: &str, timeout: SimDuration) -> Result<()> {
+        let mut inner = self.inner.lock();
+        let queue = queue_mut(&mut inner, url)?;
+        queue.visibility_timeout = timeout;
+        Ok(())
+    }
+
+    /// Enqueues a message; returns its message id.
+    ///
+    /// # Errors
+    ///
+    /// [`SqsError::MessageTooLong`] past 8 KB;
+    /// [`SqsError::QueueDoesNotExist`].
+    pub fn send_message(&self, url: &str, body: impl Into<String>) -> Result<String> {
+        let body = body.into();
+        if body.len() > MAX_MESSAGE_SIZE {
+            return Err(SqsError::MessageTooLong { size: body.len(), limit: MAX_MESSAGE_SIZE });
+        }
+        let server = self.world.rand_below(QUEUE_SERVERS as u64) as usize;
+        let now = self.world.now();
+        let mut inner = self.inner.lock();
+        inner.next_seq += 1;
+        let seq = inner.next_seq;
+        let queue = queue_mut(&mut inner, url)?;
+        let message_id = format!("msg-{seq:016x}");
+        let size = body.len() as u64;
+        queue.messages.insert(
+            seq,
+            StoredMessage {
+                seq,
+                message_id: message_id.clone(),
+                body,
+                sent_at: now,
+                visible_at: now,
+                server,
+                deliveries: 0,
+            },
+        );
+        self.world.record_op(Op::SqsSendMessage, size, 0);
+        self.world.adjust_stored(Service::Sqs, size as i64);
+        Ok(message_id)
+    }
+
+    /// Receives up to `max` visible messages from a sampled subset of the
+    /// queue's servers. Returned messages become invisible for the
+    /// queue's visibility timeout.
+    ///
+    /// An empty result does **not** mean the queue is empty — repeat the
+    /// call (the commit daemon of the paper's Architecture 3 does exactly
+    /// that).
+    ///
+    /// # Errors
+    ///
+    /// [`SqsError::TooManyMessagesRequested`] past 10;
+    /// [`SqsError::QueueDoesNotExist`].
+    pub fn receive_message(&self, url: &str, max: usize) -> Result<Vec<ReceivedMessage>> {
+        if max > MAX_RECEIVE_BATCH {
+            return Err(SqsError::TooManyMessagesRequested { requested: max });
+        }
+        let max = max.max(1);
+        // Sample a subset of servers: each server is polled with p = 1/2,
+        // with at least one server always polled.
+        let sample_mask = {
+            let mut mask = [false; QUEUE_SERVERS];
+            for m in mask.iter_mut() {
+                *m = self.world.rand_below(2) == 1;
+            }
+            if mask.iter().all(|m| !m) {
+                mask[self.world.rand_below(QUEUE_SERVERS as u64) as usize] = true;
+            }
+            mask
+        };
+        let now = self.world.now();
+        let mut inner = self.inner.lock();
+        let queue = queue_mut(&mut inner, url)?;
+        let freed = expire_old_messages(queue, now);
+        if freed > 0 {
+            self.world.adjust_stored(Service::Sqs, -(freed as i64));
+        }
+        let timeout = queue.visibility_timeout;
+        let mut picked: Vec<u64> = queue
+            .messages
+            .values()
+            .filter(|m| sample_mask[m.server] && m.visible_at <= now)
+            .map(|m| m.seq)
+            .collect();
+        picked.sort_unstable(); // best-effort FIFO within the sample
+        picked.truncate(max);
+        let name = queue.name.clone();
+        let mut out = Vec::with_capacity(picked.len());
+        let mut bytes_out = 0u64;
+        for seq in picked {
+            let msg = queue.messages.get_mut(&seq).expect("picked from this map");
+            msg.deliveries += 1;
+            msg.visible_at = now + timeout;
+            bytes_out += msg.body.len() as u64;
+            out.push(ReceivedMessage {
+                message_id: msg.message_id.clone(),
+                receipt_handle: format!("rh/{name}/{seq}/{}", msg.deliveries),
+                body: msg.body.clone(),
+            });
+        }
+        self.world.record_op(Op::SqsReceiveMessage, 0, bytes_out);
+        Ok(out)
+    }
+
+    /// Deletes a message by receipt handle. Deleting an already-deleted
+    /// message succeeds, so replays are harmless.
+    ///
+    /// # Errors
+    ///
+    /// [`SqsError::InvalidReceiptHandle`] for malformed handles;
+    /// [`SqsError::QueueDoesNotExist`].
+    pub fn delete_message(&self, url: &str, receipt_handle: &str) -> Result<()> {
+        let seq = parse_receipt_seq(receipt_handle)?;
+        let mut inner = self.inner.lock();
+        let queue = queue_mut(&mut inner, url)?;
+        self.world.record_op(Op::SqsDeleteMessage, receipt_handle.len() as u64, 0);
+        if let Some(msg) = queue.messages.remove(&seq) {
+            self.world.adjust_stored(Service::Sqs, -(msg.body.len() as i64));
+        }
+        Ok(())
+    }
+
+    /// `GetQueueAttributes: ApproximateNumberOfMessages`. The count is an
+    /// approximation (it reflects a server sample), exactly as the paper
+    /// notes in §2.3.
+    ///
+    /// # Errors
+    ///
+    /// [`SqsError::QueueDoesNotExist`].
+    pub fn approximate_number_of_messages(&self, url: &str) -> Result<usize> {
+        // Sample half of the servers and extrapolate.
+        let sampled: Vec<usize> = (0..QUEUE_SERVERS)
+            .filter(|_| self.world.rand_below(2) == 1)
+            .collect();
+        let now = self.world.now();
+        let mut inner = self.inner.lock();
+        let queue = queue_mut(&mut inner, url)?;
+        let freed = expire_old_messages(queue, now);
+        if freed > 0 {
+            self.world.adjust_stored(Service::Sqs, -(freed as i64));
+        }
+        self.world.record_op(Op::SqsGetQueueAttributes, 0, 16);
+        if sampled.is_empty() {
+            return Ok(0);
+        }
+        let on_sample = queue
+            .messages
+            .values()
+            .filter(|m| sampled.contains(&m.server))
+            .count();
+        Ok(on_sample * QUEUE_SERVERS / sampled.len())
+    }
+
+    // --- authoritative (non-billed) views for invariant checks ---
+
+    /// Exact live message count, ignoring sampling and without billing.
+    /// For tests and property validators only.
+    pub fn exact_message_count(&self, url: &str) -> usize {
+        let now = self.world.now();
+        let mut inner = self.inner.lock();
+        match inner.queues.get_mut(url) {
+            Some(queue) => {
+                let freed = expire_old_messages(queue, now);
+                if freed > 0 {
+                    self.world.adjust_stored(Service::Sqs, -(freed as i64));
+                }
+                queue.messages.len()
+            }
+            None => 0,
+        }
+    }
+
+    /// All live message bodies, unbilled and ignoring visibility. For
+    /// tests and property validators only.
+    pub fn peek_all(&self, url: &str) -> Vec<String> {
+        let now = self.world.now();
+        let mut inner = self.inner.lock();
+        match inner.queues.get_mut(url) {
+            Some(queue) => {
+                let freed = expire_old_messages(queue, now);
+                if freed > 0 {
+                    self.world.adjust_stored(Service::Sqs, -(freed as i64));
+                }
+                queue.messages.values().map(|m| m.body.clone()).collect()
+            }
+            None => Vec::new(),
+        }
+    }
+}
+
+/// Drops messages past the retention window; returns the freed bytes so
+/// the caller can settle the stored-bytes gauge.
+fn expire_old_messages(queue: &mut Queue, now: SimInstant) -> u64 {
+    let mut freed = 0;
+    queue.messages.retain(|_, m| {
+        let keep = now.saturating_since(m.sent_at) <= RETENTION;
+        if !keep {
+            freed += m.body.len() as u64;
+        }
+        keep
+    });
+    freed
+}
+
+fn parse_receipt_seq(handle: &str) -> Result<u64> {
+    let parts: Vec<&str> = handle.split('/').collect();
+    if parts.len() == 4 && parts[0] == "rh" {
+        if let Ok(seq) = parts[2].parse::<u64>() {
+            return Ok(seq);
+        }
+    }
+    Err(SqsError::InvalidReceiptHandle { handle: handle.to_string() })
+}
+
+fn queue_mut<'a>(inner: &'a mut Inner, url: &str) -> Result<&'a mut Queue> {
+    inner
+        .queues
+        .get_mut(url)
+        .ok_or_else(|| SqsError::QueueDoesNotExist { url: url.to_string() })
+}

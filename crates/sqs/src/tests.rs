@@ -1,0 +1,291 @@
+//! Unit tests for the SQS simulator.
+
+use simworld::{Op, Service, SimDuration, SimWorld};
+
+use crate::{SqsError, Sqs, DEFAULT_VISIBILITY_TIMEOUT, MAX_MESSAGE_SIZE, RETENTION};
+
+fn setup(seed: u64) -> (SimWorld, Sqs, String) {
+    let world = SimWorld::new(seed);
+    let sqs = Sqs::new(&world);
+    let url = sqs.create_queue("q");
+    (world, sqs, url)
+}
+
+/// Drains a queue by repeating ReceiveMessage (sampling means a single
+/// call is never authoritative), deleting everything received.
+fn drain(sqs: &Sqs, url: &str, expected: usize) -> Vec<String> {
+    let mut bodies = Vec::new();
+    let mut idle_rounds = 0;
+    while bodies.len() < expected && idle_rounds < 200 {
+        let got = sqs.receive_message(url, 10).unwrap();
+        if got.is_empty() {
+            idle_rounds += 1;
+            continue;
+        }
+        idle_rounds = 0;
+        for msg in got {
+            bodies.push(msg.body.clone());
+            sqs.delete_message(url, &msg.receipt_handle).unwrap();
+        }
+    }
+    bodies
+}
+
+#[test]
+fn send_receive_delete_round_trip() {
+    let (_, sqs, url) = setup(1);
+    sqs.send_message(&url, "hello").unwrap();
+    let bodies = drain(&sqs, &url, 1);
+    assert_eq!(bodies, vec!["hello"]);
+    assert_eq!(sqs.exact_message_count(&url), 0);
+}
+
+#[test]
+fn create_queue_is_idempotent_and_urls_are_stable() {
+    let (_, sqs, url) = setup(2);
+    sqs.send_message(&url, "x").unwrap();
+    let url2 = sqs.create_queue("q");
+    assert_eq!(url, url2);
+    assert_eq!(sqs.exact_message_count(&url2), 1, "recreate must not clear the queue");
+}
+
+#[test]
+fn message_size_limit() {
+    let (_, sqs, url) = setup(3);
+    let at_limit = "x".repeat(MAX_MESSAGE_SIZE);
+    sqs.send_message(&url, at_limit).unwrap();
+    let over = "x".repeat(MAX_MESSAGE_SIZE + 1);
+    assert!(matches!(
+        sqs.send_message(&url, over),
+        Err(SqsError::MessageTooLong { .. })
+    ));
+}
+
+#[test]
+fn receive_respects_batch_limit() {
+    let (_, sqs, url) = setup(4);
+    assert!(matches!(
+        sqs.receive_message(&url, 11),
+        Err(SqsError::TooManyMessagesRequested { requested: 11 })
+    ));
+    for i in 0..50 {
+        sqs.send_message(&url, format!("m{i}")).unwrap();
+    }
+    for _ in 0..20 {
+        assert!(sqs.receive_message(&url, 10).unwrap().len() <= 10);
+    }
+}
+
+#[test]
+fn sampling_can_miss_messages_but_repetition_finds_all() {
+    let (_, sqs, url) = setup(5);
+    for i in 0..40 {
+        sqs.send_message(&url, format!("m{i:02}")).unwrap();
+    }
+    // One receive is usually partial (40 messages spread over 8 servers,
+    // half sampled, max 10 returned).
+    let first = sqs.receive_message(&url, 10).unwrap();
+    assert!(first.len() <= 10);
+    // Repetition plus deletion retrieves every message exactly once.
+    let mut bodies: Vec<String> = first
+        .iter()
+        .map(|m| {
+            sqs.delete_message(&url, &m.receipt_handle).unwrap();
+            m.body.clone()
+        })
+        .collect();
+    bodies.extend(drain(&sqs, &url, 40 - bodies.len()));
+    bodies.sort();
+    let expected: Vec<String> = (0..40).map(|i| format!("m{i:02}")).collect();
+    assert_eq!(bodies, expected);
+}
+
+#[test]
+fn visibility_timeout_hides_then_redelivers() {
+    let (world, sqs, url) = setup(6);
+    sqs.send_message(&url, "once").unwrap();
+    // Find it.
+    let msg = loop {
+        let got = sqs.receive_message(&url, 10).unwrap();
+        if let Some(m) = got.into_iter().next() {
+            break m;
+        }
+    };
+    // While invisible, repeated receives never return it.
+    for _ in 0..30 {
+        assert!(sqs.receive_message(&url, 10).unwrap().is_empty());
+    }
+    // After the visibility timeout it reappears (crash-recovery path).
+    world.advance(DEFAULT_VISIBILITY_TIMEOUT + SimDuration::from_secs(1));
+    let again = loop {
+        let got = sqs.receive_message(&url, 10).unwrap();
+        if let Some(m) = got.into_iter().next() {
+            break m;
+        }
+    };
+    assert_eq!(again.message_id, msg.message_id);
+    assert_ne!(again.receipt_handle, msg.receipt_handle, "new delivery, new handle");
+}
+
+#[test]
+fn configurable_visibility_timeout() {
+    let (world, sqs, url) = setup(7);
+    sqs.set_visibility_timeout(&url, SimDuration::from_secs(2)).unwrap();
+    sqs.send_message(&url, "m").unwrap();
+    while sqs.receive_message(&url, 10).unwrap().is_empty() {}
+    world.advance(SimDuration::from_secs(3));
+    // Visible again already after 3s.
+    let mut seen = false;
+    for _ in 0..50 {
+        if !sqs.receive_message(&url, 10).unwrap().is_empty() {
+            seen = true;
+            break;
+        }
+    }
+    assert!(seen);
+}
+
+#[test]
+fn delete_with_stale_handle_is_harmless() {
+    let (world, sqs, url) = setup(8);
+    sqs.send_message(&url, "m").unwrap();
+    let first = loop {
+        let got = sqs.receive_message(&url, 10).unwrap();
+        if let Some(m) = got.into_iter().next() {
+            break m;
+        }
+    };
+    world.advance(DEFAULT_VISIBILITY_TIMEOUT + SimDuration::from_secs(1));
+    let second = loop {
+        let got = sqs.receive_message(&url, 10).unwrap();
+        if let Some(m) = got.into_iter().next() {
+            break m;
+        }
+    };
+    // Delete via the *old* handle, then replay the delete via the new one.
+    sqs.delete_message(&url, &first.receipt_handle).unwrap();
+    sqs.delete_message(&url, &second.receipt_handle).unwrap();
+    assert_eq!(sqs.exact_message_count(&url), 0);
+}
+
+#[test]
+fn malformed_receipt_handle_rejected() {
+    let (_, sqs, url) = setup(9);
+    assert!(matches!(
+        sqs.delete_message(&url, "garbage"),
+        Err(SqsError::InvalidReceiptHandle { .. })
+    ));
+    assert!(matches!(
+        sqs.delete_message(&url, "rh/q/notanumber/1"),
+        Err(SqsError::InvalidReceiptHandle { .. })
+    ));
+}
+
+#[test]
+fn missing_queue_errors() {
+    let (_, sqs, _) = setup(10);
+    let bad = "https://sqs.sim/never-created";
+    assert!(matches!(sqs.send_message(bad, "x"), Err(SqsError::QueueDoesNotExist { .. })));
+    assert!(matches!(sqs.receive_message(bad, 1), Err(SqsError::QueueDoesNotExist { .. })));
+    assert!(matches!(
+        sqs.approximate_number_of_messages(bad),
+        Err(SqsError::QueueDoesNotExist { .. })
+    ));
+}
+
+#[test]
+fn approximate_count_is_in_the_right_ballpark() {
+    let (_, sqs, url) = setup(11);
+    for i in 0..200 {
+        sqs.send_message(&url, format!("m{i}")).unwrap();
+    }
+    // Average several approximations; each samples half the servers and
+    // extrapolates, so the mean should land near 200.
+    let total: usize =
+        (0..32).map(|_| sqs.approximate_number_of_messages(&url).unwrap()).sum();
+    let mean = total / 32;
+    assert!((100..=300).contains(&mean), "mean approximation {mean} too far from 200");
+}
+
+#[test]
+fn retention_expires_old_messages() {
+    let (world, sqs, url) = setup(12);
+    sqs.send_message(&url, "doomed").unwrap();
+    world.advance(RETENTION + SimDuration::from_hours(1));
+    assert_eq!(sqs.exact_message_count(&url), 0);
+    assert!(sqs.receive_message(&url, 10).unwrap().is_empty());
+    assert_eq!(world.meters().stored_bytes(Service::Sqs), 0, "expiry frees storage");
+}
+
+#[test]
+fn best_effort_fifo_within_sample() {
+    let (_, sqs, url) = setup(13);
+    for i in 0..20 {
+        sqs.send_message(&url, format!("{i:02}")).unwrap();
+    }
+    // Every batch is internally ordered by send sequence.
+    for _ in 0..10 {
+        let got = sqs.receive_message(&url, 10).unwrap();
+        let bodies: Vec<&str> = got.iter().map(|m| m.body.as_str()).collect();
+        let mut sorted = bodies.clone();
+        sorted.sort();
+        assert_eq!(bodies, sorted);
+    }
+}
+
+#[test]
+fn billing_and_storage_gauge() {
+    let (world, sqs, url) = setup(14);
+    let before = world.meters();
+    sqs.send_message(&url, "12345").unwrap();
+    let delta = world.meters() - before;
+    assert_eq!(delta.op_count(Op::SqsSendMessage), 1);
+    assert_eq!(delta.bytes_in(), 5);
+    assert_eq!(world.meters().stored_bytes(Service::Sqs), 5);
+
+    let bodies = drain(&sqs, &url, 1);
+    assert_eq!(bodies.len(), 1);
+    assert_eq!(world.meters().stored_bytes(Service::Sqs), 0);
+    assert!(world.meters().op_count(Op::SqsReceiveMessage) >= 1);
+    assert_eq!(world.meters().op_count(Op::SqsDeleteMessage), 1);
+}
+
+#[test]
+fn message_ids_are_unique_and_stable() {
+    let (world, sqs, url) = setup(15);
+    let id1 = sqs.send_message(&url, "a").unwrap();
+    let id2 = sqs.send_message(&url, "b").unwrap();
+    assert_ne!(id1, id2);
+    // Redelivery keeps the id.
+    let m = loop {
+        let got = sqs.receive_message(&url, 10).unwrap();
+        if let Some(m) = got.into_iter().next() {
+            break m;
+        }
+    };
+    world.advance(DEFAULT_VISIBILITY_TIMEOUT + SimDuration::from_secs(1));
+    let mut redelivered = None;
+    for _ in 0..100 {
+        for got in sqs.receive_message(&url, 10).unwrap() {
+            if got.message_id == m.message_id {
+                redelivered = Some(got);
+            }
+        }
+        if redelivered.is_some() {
+            break;
+        }
+    }
+    assert!(redelivered.is_some(), "message redelivered with the same id");
+}
+
+#[test]
+fn peek_all_sees_everything_without_billing() {
+    let (world, sqs, url) = setup(16);
+    sqs.send_message(&url, "a").unwrap();
+    sqs.send_message(&url, "b").unwrap();
+    let before = world.meters();
+    let all = sqs.peek_all(&url);
+    assert_eq!(all.len(), 2);
+    let delta = world.meters() - before;
+    assert_eq!(delta.total_ops(), 0);
+}

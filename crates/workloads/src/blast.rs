@@ -1,0 +1,163 @@
+//! The Blast workload (§5, citing the PASS paper): a BLAST sequence-
+//! similarity pipeline. `formatdb` indexes a protein database; one
+//! `blastall` per query searches it; a post-processing script extracts
+//! the top hits from each result.
+
+use serde::{Deserialize, Serialize};
+
+use crate::builder::TraceBuilder;
+
+/// Parameters for the BLAST trace.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Blast {
+    /// Number of query sequences searched.
+    pub queries: usize,
+    /// Number of database FASTA fragments.
+    pub db_fragments: usize,
+    /// Size of each database fragment in bytes.
+    pub db_fragment_size: u64,
+    /// Query file size range in bytes.
+    pub query_size: (u64, u64),
+    /// Raw BLAST output size range in bytes.
+    pub hits_size: (u64, u64),
+    /// Environment size range in bytes.
+    pub env_size: (usize, usize),
+}
+
+impl Default for Blast {
+    fn default() -> Self {
+        Blast {
+            queries: 25,
+            db_fragments: 4,
+            db_fragment_size: 24 * 1024 * 1024,
+            query_size: (400, 4_000),
+            hits_size: (40_000, 2_000_000),
+            env_size: (4_000, 12_000),
+        }
+    }
+}
+
+impl Blast {
+    /// Scales query count by `factor` (database unchanged).
+    pub fn scaled(mut self, factor: f64) -> Blast {
+        self.queries = ((self.queries as f64 * factor) as usize).max(1);
+        self
+    }
+
+    /// Appends the trace to `t`.
+    pub fn generate(&self, t: &mut TraceBuilder) {
+        // The raw database fragments exist up front.
+        let fragments: Vec<String> =
+            (0..self.db_fragments).map(|i| format!("blast/db/nr{i:02}.fasta")).collect();
+        for f in &fragments {
+            t.source(f, self.db_fragment_size);
+        }
+
+        // formatdb produces the index triplet.
+        let index_files: Vec<(String, u64)> = [
+            ("blast/db/nr.phr", self.db_fragment_size / 20),
+            ("blast/db/nr.pin", self.db_fragment_size / 40),
+            ("blast/db/nr.psq", self.db_fragment_size / 2),
+        ]
+        .into_iter()
+        .map(|(n, s)| (n.to_string(), s * self.db_fragments as u64))
+        .collect();
+        let env_len = t.size(self.env_size.0 as u64, self.env_size.1 as u64) as usize;
+        t.run_process(
+            "formatdb",
+            "formatdb -i nr -p T".into(),
+            env_len,
+            None,
+            &fragments,
+            &index_files,
+        );
+        let index_names: Vec<String> = index_files.iter().map(|(n, _)| n.clone()).collect();
+
+        // One blastall per query, then a top-hits extraction.
+        for q in 0..self.queries {
+            let query = format!("blast/queries/q{q:04}.fa");
+            let qsize = t.size(self.query_size.0, self.query_size.1);
+            t.source(&query, qsize);
+
+            let hits = format!("blast/out/q{q:04}.hits");
+            let hits_size = t.size(self.hits_size.0, self.hits_size.1);
+            let mut inputs = vec![query.clone()];
+            inputs.extend(index_names.iter().cloned());
+            let env_len = t.size(self.env_size.0 as u64, self.env_size.1 as u64) as usize;
+            t.run_process(
+                "blastall",
+                format!("blastall -p blastp -d nr -i {query}"),
+                env_len,
+                None,
+                &inputs,
+                &[(hits.clone(), hits_size)],
+            );
+
+            let top = format!("blast/out/q{q:04}.top");
+            let env_len = t.size(self.env_size.0 as u64, self.env_size.1 as u64) as usize;
+            t.run_process(
+                "tophits",
+                format!("tophits {hits}"),
+                env_len,
+                None,
+                &[hits.clone()],
+                &[(top, (hits_size / 20).max(1))],
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pass::Observer;
+
+    fn small() -> Blast {
+        Blast {
+            queries: 3,
+            db_fragments: 2,
+            db_fragment_size: 10_000,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn trace_flushes_cleanly_with_expected_counts() {
+        let mut t = TraceBuilder::new(1);
+        small().generate(&mut t);
+        let mut obs = Observer::new();
+        let mut flushes = Vec::new();
+        for ev in t.finish() {
+            flushes.extend(obs.observe(ev).expect("well-formed blast trace"));
+        }
+        flushes.extend(obs.finish());
+        // Files: 2 fragments + 3 index + 3 queries + 3 hits + 3 top = 14.
+        let files = flushes.iter().filter(|f| f.kind == pass::ObjectKind::File).count();
+        assert_eq!(files, 14);
+        // Processes: formatdb + 3 blastall + 3 tophits = 7.
+        let procs = flushes.iter().filter(|f| f.kind == pass::ObjectKind::Process).count();
+        assert_eq!(procs, 7);
+    }
+
+    #[test]
+    fn hits_descend_from_blastall_and_database() {
+        let mut t = TraceBuilder::new(2);
+        small().generate(&mut t);
+        let mut obs = Observer::new();
+        let mut flushes = Vec::new();
+        for ev in t.finish() {
+            flushes.extend(obs.observe(ev).unwrap());
+        }
+        let hits = flushes.iter().find(|f| f.object.name.ends_with(".hits")).unwrap();
+        let blast_ref = hits.ancestors()[0].clone();
+        assert!(blast_ref.name.contains(":blastall"));
+        let blast = flushes.iter().find(|f| f.object == blast_ref).unwrap();
+        assert!(blast.ancestors().iter().any(|a| a.name.contains("nr.psq")));
+    }
+
+    #[test]
+    fn scaling_queries() {
+        assert_eq!(small().scaled(2.0).queries, 6);
+        assert_eq!(small().scaled(0.0).queries, 1);
+    }
+}

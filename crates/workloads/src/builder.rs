@@ -1,0 +1,187 @@
+//! Deterministic trace construction shared by the generators.
+
+use pass::TraceEvent;
+use simworld::Blob;
+
+/// Accumulates [`TraceEvent`]s with deterministic pid allocation and
+/// size sampling, so several workloads can be concatenated into one
+/// combined dataset (as §5 does) without pid collisions.
+#[derive(Debug)]
+pub struct TraceBuilder {
+    events: Vec<TraceEvent>,
+    next_pid: u32,
+    rng_state: u64,
+    blob_seed: u64,
+}
+
+impl TraceBuilder {
+    /// A builder whose sampled sizes and blob contents derive from
+    /// `seed`.
+    pub fn new(seed: u64) -> TraceBuilder {
+        TraceBuilder { events: Vec::new(), next_pid: 1, rng_state: seed, blob_seed: seed << 20 }
+    }
+
+    /// Allocates a fresh pid.
+    pub fn next_pid(&mut self) -> u32 {
+        let pid = self.next_pid;
+        self.next_pid += 1;
+        pid
+    }
+
+    /// A deterministic size in `[lo, hi]` bytes.
+    pub fn size(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo <= hi);
+        lo + self.next_u64() % (hi - lo + 1)
+    }
+
+    /// A fresh synthetic blob of `len` bytes with unique content.
+    pub fn blob(&mut self, len: u64) -> Blob {
+        self.blob_seed += 1;
+        Blob::synthetic(self.blob_seed, len)
+    }
+
+    /// A deterministic environment string of roughly `len` bytes — the
+    /// payload that routinely exceeds SimpleDB's 1 KB value limit (the
+    /// paper sees this "regularly" for processes).
+    pub fn env(&mut self, len: usize) -> String {
+        let mut env = String::with_capacity(len + 64);
+        env.push_str("PATH=/usr/local/bin:/usr/bin:/bin\nHOME=/home/scientist\nSHELL=/bin/sh\n");
+        let mut i = 0;
+        while env.len() < len {
+            env.push_str(&format!("VAR{i}={:016x}\n", self.next_u64()));
+            i += 1;
+        }
+        env.truncate(len.max(64));
+        env
+    }
+
+    /// Appends one event.
+    pub fn push(&mut self, event: TraceEvent) {
+        self.events.push(event);
+    }
+
+    /// Declares a pre-existing source file with fresh synthetic content.
+    pub fn source(&mut self, path: impl Into<String>, len: u64) {
+        let blob = self.blob(len);
+        self.push(TraceEvent::source(path.into(), blob));
+    }
+
+    /// Runs a whole process in one call: exec, read every input, write
+    /// and close every `(output, size)`, exit. Returns the pid.
+    pub fn run_process(
+        &mut self,
+        exe: &str,
+        argv: String,
+        env_len: usize,
+        parent: Option<u32>,
+        inputs: &[String],
+        outputs: &[(String, u64)],
+    ) -> u32 {
+        let pid = self.next_pid();
+        let env = self.env(env_len);
+        self.push(TraceEvent::exec(pid, exe, argv, env, parent));
+        for input in inputs {
+            self.push(TraceEvent::read(pid, input.clone()));
+        }
+        for (output, size) in outputs {
+            self.push(TraceEvent::write(pid, output.clone()));
+            let blob = self.blob(*size);
+            self.push(TraceEvent::close(pid, output.clone(), blob));
+        }
+        self.push(TraceEvent::exit(pid));
+        pid
+    }
+
+    /// Starts a long-lived process (exec only), e.g. `make`; the caller
+    /// exits it later.
+    pub fn spawn(&mut self, exe: &str, argv: String, env_len: usize, parent: Option<u32>) -> u32 {
+        let pid = self.next_pid();
+        let env = self.env(env_len);
+        self.push(TraceEvent::exec(pid, exe, argv, env, parent));
+        pid
+    }
+
+    /// Finishes, returning the event list.
+    pub fn finish(self) -> Vec<TraceEvent> {
+        self.events
+    }
+
+    /// Number of events so far.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` before any event is recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        // SplitMix64: deterministic, seed-stable across runs.
+        self.rng_state = self.rng_state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.rng_state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pids_are_unique_and_sequential() {
+        let mut t = TraceBuilder::new(0);
+        assert_eq!(t.next_pid(), 1);
+        assert_eq!(t.next_pid(), 2);
+    }
+
+    #[test]
+    fn same_seed_same_trace() {
+        let build = || {
+            let mut t = TraceBuilder::new(42);
+            let size = t.size(10, 100);
+            t.source("in", size);
+            t.run_process("tool", "tool in".into(), 900, None, &["in".into()], &[("out".into(), 10)]);
+            t.finish()
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = TraceBuilder::new(1);
+        let mut b = TraceBuilder::new(2);
+        assert_ne!(a.size(0, u64::MAX - 1), b.size(0, u64::MAX - 1));
+    }
+
+    #[test]
+    fn size_respects_bounds() {
+        let mut t = TraceBuilder::new(7);
+        for _ in 0..100 {
+            let s = t.size(10, 20);
+            assert!((10..=20).contains(&s));
+        }
+        assert_eq!(t.size(5, 5), 5);
+    }
+
+    #[test]
+    fn env_hits_requested_length() {
+        let mut t = TraceBuilder::new(7);
+        let e = t.env(1500);
+        assert_eq!(e.len(), 1500);
+        let small = t.env(10);
+        assert_eq!(small.len(), 64, "floor keeps envs plausible");
+    }
+
+    #[test]
+    fn run_process_emits_full_lifecycle() {
+        let mut t = TraceBuilder::new(0);
+        t.source("in", 5);
+        t.run_process("x", "x".into(), 100, None, &["in".into()], &[("out".into(), 3)]);
+        let events = t.finish();
+        assert_eq!(events.len(), 6); // source, exec, read, write, close, exit
+        assert!(matches!(events.last(), Some(TraceEvent::Exit { .. })));
+    }
+}

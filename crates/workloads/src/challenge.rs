@@ -1,0 +1,213 @@
+//! The First Provenance Challenge workload (§5, citing Moreau et al.):
+//! the fMRI image-processing workflow — four anatomy images are aligned
+//! to a reference (`align_warp`), resliced, averaged into an atlas
+//! (`softmean`), sliced along three axes (`slicer`) and converted to
+//! graphics (`convert`).
+
+use serde::{Deserialize, Serialize};
+
+use crate::builder::TraceBuilder;
+
+/// Parameters for the Provenance Challenge trace.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProvenanceChallenge {
+    /// How many independent subjects run the whole workflow.
+    pub subjects: usize,
+    /// Anatomy/atlas image size in bytes.
+    pub image_size: u64,
+    /// Header file size in bytes.
+    pub header_size: u64,
+    /// Environment size range in bytes.
+    pub env_size: (usize, usize),
+}
+
+/// Stage-1 input pairs per subject, fixed by the challenge definition.
+pub const ANATOMY_PAIRS: usize = 4;
+
+/// Axes sliced in stage 4, fixed by the challenge definition.
+pub const SLICE_AXES: [&str; 3] = ["x", "y", "z"];
+
+impl Default for ProvenanceChallenge {
+    fn default() -> Self {
+        ProvenanceChallenge {
+            subjects: 10,
+            image_size: 2 * 1024 * 1024,
+            header_size: 348, // ANALYZE header size
+            env_size: (4_000, 12_000),
+        }
+    }
+}
+
+impl ProvenanceChallenge {
+    /// Scales the subject count by `factor`.
+    pub fn scaled(mut self, factor: f64) -> ProvenanceChallenge {
+        self.subjects = ((self.subjects as f64 * factor) as usize).max(1);
+        self
+    }
+
+    /// Appends the trace to `t`.
+    pub fn generate(&self, t: &mut TraceBuilder) {
+        // The shared reference brain.
+        t.source("fmri/reference.img", self.image_size);
+        t.source("fmri/reference.hdr", self.header_size);
+        let reference =
+            vec!["fmri/reference.img".to_string(), "fmri/reference.hdr".to_string()];
+
+        for s in 0..self.subjects {
+            let dir = format!("fmri/s{s:03}");
+            // Stage 0: the four anatomy image/header pairs.
+            let mut pairs = Vec::new();
+            for i in 1..=ANATOMY_PAIRS {
+                let img = format!("{dir}/anatomy{i}.img");
+                let hdr = format!("{dir}/anatomy{i}.hdr");
+                t.source(&img, self.image_size);
+                t.source(&hdr, self.header_size);
+                pairs.push((img, hdr));
+            }
+
+            // Stage 1 (align_warp) and stage 2 (reslice), per pair.
+            let mut resliced = Vec::new();
+            for (i, (img, hdr)) in pairs.iter().enumerate() {
+                let warp = format!("{dir}/warp{}.warp", i + 1);
+                let mut inputs = vec![img.clone(), hdr.clone()];
+                inputs.extend(reference.iter().cloned());
+                let env_len = t.size(self.env_size.0 as u64, self.env_size.1 as u64) as usize;
+                t.run_process(
+                    "align_warp",
+                    format!("align_warp {img} {hdr} -m 12"),
+                    env_len,
+                    None,
+                    &inputs,
+                    &[(warp.clone(), 24_000)],
+                );
+
+                let rimg = format!("{dir}/resliced{}.img", i + 1);
+                let rhdr = format!("{dir}/resliced{}.hdr", i + 1);
+                let env_len = t.size(self.env_size.0 as u64, self.env_size.1 as u64) as usize;
+                t.run_process(
+                    "reslice",
+                    format!("reslice {warp}"),
+                    env_len,
+                    None,
+                    &[warp.clone(), img.clone(), hdr.clone()],
+                    &[(rimg.clone(), self.image_size), (rhdr.clone(), self.header_size)],
+                );
+                resliced.push(rimg);
+                resliced.push(rhdr);
+            }
+
+            // Stage 3: softmean averages the resliced images into the
+            // atlas.
+            let atlas_img = format!("{dir}/atlas.img");
+            let atlas_hdr = format!("{dir}/atlas.hdr");
+            let env_len = t.size(self.env_size.0 as u64, self.env_size.1 as u64) as usize;
+            t.run_process(
+                "softmean",
+                "softmean atlas.img y null".into(),
+                env_len,
+                None,
+                &resliced,
+                &[(atlas_img.clone(), self.image_size), (atlas_hdr.clone(), self.header_size)],
+            );
+
+            // Stages 4 and 5: slicer + convert per axis.
+            for axis in SLICE_AXES {
+                let pgm = format!("{dir}/atlas-{axis}.pgm");
+                let env_len = t.size(self.env_size.0 as u64, self.env_size.1 as u64) as usize;
+                t.run_process(
+                    "slicer",
+                    format!("slicer atlas.img -{axis} .5"),
+                    env_len,
+                    None,
+                    &[atlas_img.clone(), atlas_hdr.clone()],
+                    &[(pgm.clone(), self.image_size / 64)],
+                );
+                let jpg = format!("{dir}/atlas-{axis}.jpg");
+                let env_len = t.size(self.env_size.0 as u64, self.env_size.1 as u64) as usize;
+                t.run_process(
+                    "convert",
+                    format!("convert {pgm} {jpg}"),
+                    env_len,
+                    None,
+                    &[pgm],
+                    &[(jpg, self.image_size / 128)],
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pass::Observer;
+
+    fn tiny() -> ProvenanceChallenge {
+        ProvenanceChallenge { subjects: 1, image_size: 5_000, ..Default::default() }
+    }
+
+    #[test]
+    fn per_subject_object_counts_match_the_challenge() {
+        let mut t = TraceBuilder::new(1);
+        tiny().generate(&mut t);
+        let mut obs = Observer::new();
+        let mut flushes = Vec::new();
+        for ev in t.finish() {
+            flushes.extend(obs.observe(ev).expect("well-formed fmri trace"));
+        }
+        flushes.extend(obs.finish());
+        // Files: 2 reference + 8 anatomy + 4 warp + 8 resliced + 2 atlas
+        // + 3 pgm + 3 jpg = 30.
+        let files = flushes.iter().filter(|f| f.kind == pass::ObjectKind::File).count();
+        assert_eq!(files, 30);
+        // Processes: 4 align_warp + 4 reslice + 1 softmean + 3 slicer +
+        // 3 convert = 15.
+        let procs = flushes.iter().filter(|f| f.kind == pass::ObjectKind::Process).count();
+        assert_eq!(procs, 15);
+    }
+
+    #[test]
+    fn atlas_descends_from_every_anatomy_image() {
+        let mut t = TraceBuilder::new(2);
+        tiny().generate(&mut t);
+        let mut obs = Observer::new();
+        let mut flushes = Vec::new();
+        for ev in t.finish() {
+            flushes.extend(obs.observe(ev).unwrap());
+        }
+        // Walk ancestors of the atlas transitively.
+        let mut frontier = vec![flushes
+            .iter()
+            .find(|f| f.object.name.ends_with("atlas.img"))
+            .unwrap()
+            .object
+            .clone()];
+        let mut seen = std::collections::BTreeSet::new();
+        while let Some(cur) = frontier.pop() {
+            if !seen.insert(cur.clone()) {
+                continue;
+            }
+            if let Some(f) = flushes.iter().find(|f| f.object == cur) {
+                frontier.extend(f.ancestors().into_iter().cloned());
+            }
+        }
+        for i in 1..=ANATOMY_PAIRS {
+            assert!(
+                seen.iter().any(|o| o.name.ends_with(&format!("anatomy{i}.img"))),
+                "anatomy{i}.img must be in the atlas ancestry"
+            );
+        }
+    }
+
+    #[test]
+    fn subjects_scale_independently() {
+        let mut t1 = TraceBuilder::new(3);
+        tiny().generate(&mut t1);
+        let one = t1.finish().len();
+        let mut t2 = TraceBuilder::new(3);
+        tiny().scaled(3.0).generate(&mut t2);
+        let three = t2.finish().len();
+        // Reference sources are shared; the rest scales linearly.
+        assert_eq!(three - 2, (one - 2) * 3);
+    }
+}

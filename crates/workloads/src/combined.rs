@@ -1,0 +1,213 @@
+//! The combined dataset of §5: "We use the combined provenance generated
+//! from all three benchmarks as one single dataset for the rest of the
+//! discussion."
+
+use pass::{FileFlush, ObjectKind, Observer, TraceEvent};
+use serde::{Deserialize, Serialize};
+
+use crate::blast::Blast;
+use crate::builder::TraceBuilder;
+use crate::challenge::ProvenanceChallenge;
+use crate::compile::LinuxCompile;
+
+/// Configuration of the combined dataset.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Combined {
+    /// RNG seed for sizes/contents.
+    pub seed: u64,
+    /// The compile component.
+    pub compile: LinuxCompile,
+    /// The BLAST component.
+    pub blast: Blast,
+    /// The fMRI component.
+    pub challenge: ProvenanceChallenge,
+}
+
+impl Default for Combined {
+    fn default() -> Self {
+        Combined::medium()
+    }
+}
+
+impl Combined {
+    /// A small dataset for unit tests (hundreds of objects, ~20 MB).
+    pub fn small() -> Combined {
+        Combined {
+            seed: 2009,
+            compile: LinuxCompile::default().scaled(0.15),
+            blast: Blast {
+                db_fragment_size: 2 * 1024 * 1024,
+                ..Blast::default().scaled(0.2)
+            },
+            challenge: ProvenanceChallenge {
+                image_size: 256 * 1024,
+                ..ProvenanceChallenge::default().scaled(0.2)
+            },
+        }
+    }
+
+    /// The default dataset for experiments (thousands of objects,
+    /// ~150 MB of synthetic data) — same shape as the paper's, smaller
+    /// absolute size.
+    pub fn medium() -> Combined {
+        Combined {
+            seed: 2009,
+            compile: LinuxCompile::default().scaled(2.0),
+            blast: Blast { db_fragment_size: 8 * 1024 * 1024, ..Blast::default() },
+            challenge: ProvenanceChallenge {
+                image_size: 512 * 1024,
+                ..ProvenanceChallenge::default()
+            },
+        }
+    }
+
+    /// A dataset calibrated toward the paper's absolute numbers:
+    /// ≈ 1.27 GB of raw data and tens of thousands of operations.
+    /// Synthetic blobs make the data volume cheap; the object count is
+    /// what costs time.
+    pub fn paper() -> Combined {
+        Combined {
+            seed: 2009,
+            compile: LinuxCompile::default().scaled(100.0),
+            blast: Blast {
+                db_fragment_size: 24 * 1024 * 1024,
+                ..Blast::default().scaled(2.4)
+            },
+            challenge: ProvenanceChallenge {
+                image_size: 1024 * 1024,
+                ..ProvenanceChallenge::default().scaled(1.6)
+            },
+        }
+    }
+
+    /// Generates the concatenated trace.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        let mut t = TraceBuilder::new(self.seed);
+        self.compile.generate(&mut t);
+        self.blast.generate(&mut t);
+        self.challenge.generate(&mut t);
+        t.finish()
+    }
+
+    /// Runs the trace through a PASS observer and returns the flushes in
+    /// causal order, plus dataset statistics.
+    pub fn flushes(&self) -> (Vec<FileFlush>, DatasetStats) {
+        let mut obs = Observer::new();
+        let mut flushes = Vec::new();
+        for ev in self.events() {
+            flushes.extend(obs.observe(ev).expect("generated traces are well-formed"));
+        }
+        flushes.extend(obs.finish());
+        let stats = DatasetStats::measure(&flushes);
+        (flushes, stats)
+    }
+}
+
+/// Raw-dataset statistics: the "Raw" column of Table 2.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DatasetStats {
+    /// Total file bytes (the paper's 1.27 GB).
+    pub raw_data_bytes: u64,
+    /// File versions stored — the data PUTs a provenance-free system
+    /// would issue (the paper's 31,180 ops).
+    pub file_versions: u64,
+    /// Process versions (transient objects with provenance only).
+    pub process_versions: u64,
+    /// Total provenance records across all flushes.
+    pub provenance_records: u64,
+    /// Total serialised provenance bytes.
+    pub provenance_bytes: u64,
+    /// Records whose serialised value exceeds 1 KB (they become
+    /// overflow objects — the paper counts 24,952).
+    pub records_over_1kb: u64,
+}
+
+impl DatasetStats {
+    /// Measures a flush stream.
+    pub fn measure(flushes: &[FileFlush]) -> DatasetStats {
+        let mut stats = DatasetStats::default();
+        for f in flushes {
+            match f.kind {
+                ObjectKind::File => {
+                    stats.file_versions += 1;
+                    stats.raw_data_bytes += f.data.len();
+                }
+                ObjectKind::Process => stats.process_versions += 1,
+            }
+            for r in &f.records {
+                stats.provenance_records += 1;
+                stats.provenance_bytes += r.byte_len() as u64;
+                if r.value.byte_len() > 1024 {
+                    stats.records_over_1kb += 1;
+                }
+            }
+        }
+        stats
+    }
+
+    /// Total object versions (files + processes).
+    pub fn total_versions(&self) -> u64 {
+        self.file_versions + self.process_versions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_dataset_has_paper_like_shape() {
+        let (flushes, stats) = Combined::small().flushes();
+        assert!(!flushes.is_empty());
+        assert!(stats.file_versions > 50, "files: {}", stats.file_versions);
+        assert!(stats.process_versions > 20, "procs: {}", stats.process_versions);
+        // Provenance overhead must be a small fraction of data (9–32 %
+        // in the paper; the exact ratio depends on scale).
+        assert!(stats.provenance_bytes < stats.raw_data_bytes);
+        // Some records overflow 1 KB (environments), far from all.
+        assert!(stats.records_over_1kb > 0);
+        assert!(stats.records_over_1kb < stats.provenance_records / 2);
+    }
+
+    #[test]
+    fn flushes_are_causally_ordered() {
+        let (flushes, _) = Combined::small().flushes();
+        let mut seen = std::collections::BTreeSet::new();
+        for f in &flushes {
+            for a in f.ancestors() {
+                assert!(seen.contains(a), "{} before ancestor {}", f.object, a);
+            }
+            seen.insert(f.object.clone());
+        }
+    }
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let (a, sa) = Combined::small().flushes();
+        let (b, sb) = Combined::small().flushes();
+        assert_eq!(sa, sb);
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a[10], b[10]);
+    }
+
+    #[test]
+    fn scales_are_ordered() {
+        let (_, small) = Combined::small().flushes();
+        let (_, medium) = Combined::medium().flushes();
+        assert!(medium.file_versions > small.file_versions);
+        assert!(medium.raw_data_bytes > small.raw_data_bytes);
+    }
+
+    #[test]
+    fn stats_measure_is_additive() {
+        let (flushes, stats) = Combined::small().flushes();
+        let half = flushes.len() / 2;
+        let first = DatasetStats::measure(&flushes[..half]);
+        let second = DatasetStats::measure(&flushes[half..]);
+        assert_eq!(first.total_versions() + second.total_versions(), stats.total_versions());
+        assert_eq!(
+            first.provenance_bytes + second.provenance_bytes,
+            stats.provenance_bytes
+        );
+    }
+}

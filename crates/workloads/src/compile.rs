@@ -1,0 +1,203 @@
+//! The Linux-compile workload (§5): `make` drives one `cc` per source
+//! file, each reading the source plus a sample of headers and writing an
+//! object file; `ld` links everything into the kernel image.
+
+use serde::{Deserialize, Serialize};
+
+use crate::builder::TraceBuilder;
+
+/// Parameters for the compile trace.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LinuxCompile {
+    /// Number of `.c` translation units.
+    pub c_files: usize,
+    /// Number of shared headers.
+    pub headers: usize,
+    /// Headers each compilation reads.
+    pub includes_per_file: usize,
+    /// `.c` size range in bytes.
+    pub c_size: (u64, u64),
+    /// Header size range in bytes.
+    pub h_size: (u64, u64),
+    /// Environment size range in bytes (spans the 1 KB overflow
+    /// threshold, as real environments do).
+    pub env_size: (usize, usize),
+}
+
+impl Default for LinuxCompile {
+    fn default() -> Self {
+        LinuxCompile {
+            c_files: 120,
+            headers: 40,
+            includes_per_file: 6,
+            c_size: (2_000, 60_000),
+            h_size: (500, 20_000),
+            env_size: (4_000, 12_000),
+        }
+    }
+}
+
+impl LinuxCompile {
+    /// Scales the file counts by `factor` (sizes unchanged).
+    pub fn scaled(mut self, factor: f64) -> LinuxCompile {
+        self.c_files = ((self.c_files as f64 * factor) as usize).max(2);
+        self.headers = ((self.headers as f64 * factor) as usize).max(2);
+        self.includes_per_file = self.includes_per_file.min(self.headers);
+        self
+    }
+
+    /// Appends the trace to `t`.
+    pub fn generate(&self, t: &mut TraceBuilder) {
+        // Sources.
+        let makefile = "linux/Makefile".to_string();
+        t.source(&makefile, 48_000);
+        let headers: Vec<String> =
+            (0..self.headers).map(|i| format!("linux/include/h{i:04}.h")).collect();
+        for h in &headers {
+            let size = t.size(self.h_size.0, self.h_size.1);
+            t.source(h, size);
+        }
+        let sources: Vec<String> =
+            (0..self.c_files).map(|i| format!("linux/src/f{i:05}.c")).collect();
+        for c in &sources {
+            let size = t.size(self.c_size.0, self.c_size.1);
+            t.source(c, size);
+        }
+
+        // make reads the Makefile and forks one cc per unit.
+        let make_env = t.size(self.env_size.0 as u64, self.env_size.1 as u64) as usize;
+        let make = t.spawn("make", "make vmlinux -j4".into(), make_env, None);
+        t.push(pass::TraceEvent::read(make, makefile));
+
+        let mut objects = Vec::with_capacity(self.c_files);
+        for (i, c) in sources.iter().enumerate() {
+            let mut inputs = vec![c.clone()];
+            for k in 0..self.includes_per_file {
+                // Deterministic but varied header sample.
+                let idx = (i * 31 + k * 17) % self.headers;
+                let h = headers[idx].clone();
+                if !inputs.contains(&h) {
+                    inputs.push(h);
+                }
+            }
+            let obj = format!("linux/obj/f{i:05}.o");
+            let c_len = t.size(self.c_size.0, self.c_size.1);
+            let obj_len = (c_len * 4) / 5;
+            let env_len = t.size(self.env_size.0 as u64, self.env_size.1 as u64) as usize;
+            t.run_process(
+                "cc",
+                format!("cc -O2 -c {c} -o {obj}"),
+                env_len,
+                Some(make),
+                &inputs,
+                &[(obj.clone(), obj_len)],
+            );
+            objects.push(obj);
+        }
+
+        // Link hierarchically, as kernel builds do: partial `ld -r`
+        // links combine at most LINK_FANIN objects, then the final ld
+        // produces the image. (This also keeps any single process's
+        // fan-in bounded — thousands of direct inputs would exceed
+        // SimpleDB's 256-pair item limit downstream.)
+        const LINK_FANIN: usize = 100;
+        let mut layer = objects;
+        let mut level = 0;
+        while layer.len() > LINK_FANIN {
+            let mut next = Vec::new();
+            for (g, group) in layer.chunks(LINK_FANIN).enumerate() {
+                let partial = format!("linux/obj/built-in.l{level}.g{g:03}.o");
+                let size: u64 = 8 * 1024 * group.len() as u64;
+                let env_len = t.size(self.env_size.0 as u64, self.env_size.1 as u64) as usize;
+                t.run_process(
+                    "ld",
+                    format!("ld -r -o {partial}"),
+                    env_len,
+                    Some(make),
+                    group,
+                    &[(partial.clone(), size)],
+                );
+                next.push(partial);
+            }
+            layer = next;
+            level += 1;
+        }
+        let image_len: u64 = (40 * 1024 * (self.c_files as u64).max(1)).min(64 * 1024 * 1024);
+        let env_len = t.size(self.env_size.0 as u64, self.env_size.1 as u64) as usize;
+        t.run_process(
+            "ld",
+            "ld -o linux/vmlinux".into(),
+            env_len,
+            Some(make),
+            &layer,
+            &[("linux/vmlinux".to_string(), image_len)],
+        );
+        t.push(pass::TraceEvent::exit(make));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pass::Observer;
+
+    #[test]
+    fn trace_is_well_formed_and_flushes_cleanly() {
+        let mut t = TraceBuilder::new(1);
+        LinuxCompile { c_files: 10, headers: 5, includes_per_file: 3, ..Default::default() }
+            .generate(&mut t);
+        let mut obs = Observer::new();
+        let mut flushes = Vec::new();
+        for ev in t.finish() {
+            flushes.extend(obs.observe(ev).expect("well-formed compile trace"));
+        }
+        flushes.extend(obs.finish());
+        // 1 Makefile + 5 headers + 10 .c + 10 .o + vmlinux = 27 files;
+        // 10 cc + ld + make = 12 processes.
+        let files = flushes.iter().filter(|f| f.kind == pass::ObjectKind::File).count();
+        let procs = flushes.iter().filter(|f| f.kind == pass::ObjectKind::Process).count();
+        assert_eq!(files, 27);
+        assert_eq!(procs, 12);
+    }
+
+    #[test]
+    fn object_files_depend_on_cc_which_depends_on_source() {
+        let mut t = TraceBuilder::new(2);
+        LinuxCompile { c_files: 3, headers: 2, includes_per_file: 1, ..Default::default() }
+            .generate(&mut t);
+        let mut obs = Observer::new();
+        let mut flushes = Vec::new();
+        for ev in t.finish() {
+            flushes.extend(obs.observe(ev).unwrap());
+        }
+        let obj = flushes
+            .iter()
+            .find(|f| f.object.name.ends_with(".o"))
+            .expect("an object file");
+        let cc_ref = obj.ancestors()[0].clone();
+        assert!(cc_ref.name.contains(":cc"));
+        let cc = flushes.iter().find(|f| f.object == cc_ref).unwrap();
+        assert!(cc.ancestors().iter().any(|a| a.name.ends_with(".c")));
+    }
+
+    #[test]
+    fn scaled_adjusts_counts() {
+        let base = LinuxCompile::default();
+        let half = base.clone().scaled(0.5);
+        assert_eq!(half.c_files, base.c_files / 2);
+        let tiny = base.scaled(0.0001);
+        assert!(tiny.c_files >= 2, "floor prevents degenerate traces");
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let gen = || {
+            let mut t = TraceBuilder::new(9);
+            LinuxCompile { c_files: 4, headers: 3, includes_per_file: 2, ..Default::default() }
+                .generate(&mut t);
+            t.finish()
+        };
+        assert_eq!(gen().len(), gen().len());
+        assert_eq!(gen(), gen());
+    }
+}

@@ -1,0 +1,87 @@
+//! The paper's motivating audit: "a researcher discovers that a
+//! particular version of a widely-used analysis tool is flawed. She can
+//! identify all data sets affected by the flawed software by querying
+//! the provenance."
+//!
+//! We run two versions of `fitter` over many inputs, then use Q2/Q3
+//! queries to find everything the flawed run touched — including results
+//! *derived from* tainted intermediates.
+//!
+//! Run with: `cargo run --example flawed_tool_audit`
+
+use pass_cloud::cloud::{ProvQuery, ProvenanceStore, S3SimpleDb};
+use pass_cloud::pass::{Observer, TraceEvent};
+use pass_cloud::simworld::{Blob, SimWorld};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let world = SimWorld::new(7);
+    let mut store = S3SimpleDb::new(&world);
+    let mut observer = Observer::new();
+    let mut flushes = Vec::new();
+
+    // Twelve experiments: half processed by fitter-v1 (later found to be
+    // flawed), half by fitter-v2.
+    let mut pid = 0;
+    for i in 0..12 {
+        let tool = if i % 2 == 0 { "fitter-v1" } else { "fitter-v2" };
+        let raw = format!("raw/run{i:02}.dat");
+        let fit = format!("fits/run{i:02}.fit");
+        pid += 1;
+        for event in [
+            TraceEvent::source(&raw, Blob::synthetic(i, 64 * 1024)),
+            TraceEvent::exec(pid, tool, format!("{tool} {raw}"), "OMP_NUM_THREADS=8", None),
+            TraceEvent::read(pid, &raw),
+            TraceEvent::write(pid, &fit),
+            TraceEvent::close(pid, &fit, Blob::synthetic(100 + i, 16 * 1024)),
+            TraceEvent::exit(pid),
+        ] {
+            flushes.extend(observer.observe(event)?);
+        }
+    }
+
+    // A summary paper aggregates *all* fits — so it is tainted too.
+    pid += 1;
+    let mut events = vec![TraceEvent::exec(pid, "aggregate", "aggregate fits/*", "", None)];
+    for i in 0..12 {
+        events.push(TraceEvent::read(pid, format!("fits/run{i:02}.fit")));
+    }
+    events.push(TraceEvent::write(pid, "paper/figure3.csv"));
+    events.push(TraceEvent::close(pid, "paper/figure3.csv", Blob::synthetic(999, 8 * 1024)));
+    events.push(TraceEvent::exit(pid));
+    for event in events {
+        flushes.extend(observer.observe(event)?);
+    }
+
+    for flush in &flushes {
+        store.persist(flush)?;
+    }
+
+    // --- the audit ---
+
+    // Q2: data sets directly produced by the flawed tool.
+    let direct = store.query(&ProvQuery::OutputsOf { program: "fitter-v1".into() })?;
+    println!("directly affected by fitter-v1 ({}):", direct.len());
+    for name in direct.names() {
+        println!("  {name}");
+    }
+    assert_eq!(direct.len(), 6);
+
+    // Q3: everything transitively derived from those outputs.
+    let tainted = store.query(&ProvQuery::DescendantsOf { program: "fitter-v1".into() })?;
+    println!("transitively tainted ({}):", tainted.len());
+    for name in tainted.names() {
+        println!("  {name}");
+    }
+    assert!(
+        tainted.names().iter().any(|n| n.starts_with("paper/figure3.csv")),
+        "the aggregated figure is flagged because one input was flawed"
+    );
+
+    // The v2 outputs are NOT flagged.
+    let clean = store.query(&ProvQuery::OutputsOf { program: "fitter-v2".into() })?;
+    for name in clean.names() {
+        assert!(!tainted.names().contains(&name));
+    }
+    println!("fitter-v2 outputs remain clean: {}", clean.len());
+    Ok(())
+}

@@ -1,0 +1,142 @@
+//! Workspace-level end-to-end tests: the full pipeline from workload
+//! generator through PASS to each cloud architecture, across crates.
+
+use pass_cloud::cloud::{ArchKind, ProvQuery, ProvenanceStore};
+use pass_cloud::pass::ObjectKind;
+use pass_cloud::simworld::{Consistency, LatencyModel, SimConfig, SimDuration, SimWorld};
+use pass_cloud::workloads::Combined;
+
+fn counting() -> SimWorld {
+    SimWorld::counting()
+}
+
+/// Persists the small combined dataset into a store of `kind` and
+/// returns the store plus its world.
+fn loaded(kind: ArchKind, world: &SimWorld) -> Box<dyn ProvenanceStore> {
+    let (flushes, _) = Combined::small().flushes();
+    let mut store = kind.build(world);
+    for flush in &flushes {
+        store.persist(flush).expect("persist succeeds");
+    }
+    store.run_daemons_until_idle().expect("daemons drain");
+    world.settle();
+    store
+}
+
+#[test]
+fn combined_dataset_round_trips_on_every_architecture() {
+    let (flushes, stats) = Combined::small().flushes();
+    for kind in ArchKind::ALL {
+        let world = counting();
+        let mut store = kind.build(&world);
+        for flush in &flushes {
+            store.persist(flush).unwrap();
+        }
+        store.run_daemons_until_idle().unwrap();
+
+        // Every file version is readable and consistent; content
+        // matches what PASS flushed.
+        let mut checked = 0;
+        for flush in flushes.iter().filter(|f| f.kind == ObjectKind::File).take(25) {
+            let read = store.read(&flush.object.name).unwrap();
+            assert!(read.consistent(), "{kind:?}: {} inconsistent", flush.object);
+            checked += 1;
+        }
+        assert_eq!(checked, 25);
+        // Q1-over-everything sees every version.
+        let all = store.query(&ProvQuery::ProvenanceOfAll).unwrap();
+        assert_eq!(all.len() as u64, stats.total_versions(), "{kind:?}");
+    }
+}
+
+#[test]
+fn architectures_agree_on_all_three_queries() {
+    let mut per_arch = Vec::new();
+    for kind in ArchKind::ALL {
+        let world = counting();
+        let mut store = loaded(kind, &world);
+        let q1 = store
+            .query(&ProvQuery::ProvenanceOf { name: "linux/vmlinux".into(), version: 1 })
+            .unwrap();
+        let q2 = store.query(&ProvQuery::OutputsOf { program: "blastall".into() }).unwrap();
+        let q3 = store.query(&ProvQuery::DescendantsOf { program: "formatdb".into() }).unwrap();
+        per_arch.push((q1.names(), q2.names(), q3.names()));
+    }
+    assert_eq!(per_arch[0], per_arch[1]);
+    assert_eq!(per_arch[1], per_arch[2]);
+    // And the answers are non-trivial.
+    assert!(!per_arch[0].0.is_empty());
+    assert!(!per_arch[0].1.is_empty());
+    assert!(!per_arch[0].2.is_empty());
+}
+
+#[test]
+fn blast_outputs_match_the_generator() {
+    let world = counting();
+    let mut store = loaded(ArchKind::S3SimpleDb, &world);
+    let q2 = store.query(&ProvQuery::OutputsOf { program: "blastall".into() }).unwrap();
+    // One .hits file per query; the small dataset runs 5 queries.
+    assert!(q2.names().iter().all(|n| n.contains(".hits")));
+    assert_eq!(q2.len(), 5);
+    // Their descendants are the tophits processes and .top files.
+    let q3 = store.query(&ProvQuery::DescendantsOf { program: "blastall".into() }).unwrap();
+    assert!(q3.names().iter().any(|n| n.contains(".top:")));
+    assert_eq!(q3.len(), 10, "5 tophits processes + 5 .top files");
+}
+
+#[test]
+fn full_pipeline_under_realistic_conditions() {
+    // Default world: latency + jitter + 500 ms replica lag, three
+    // replicas — the adversarial regime the protocols are built for.
+    let world = SimWorld::with_config(SimConfig {
+        seed: 20090223, // TaPP '09 workshop date
+        consistency: Consistency::eventual(SimDuration::from_millis(500)),
+        latency: LatencyModel::default(),
+        replicas: 3,
+    });
+    let (flushes, _) = Combined::small().flushes();
+    let mut store = ArchKind::S3SimpleDbSqs.build(&world);
+    for flush in &flushes {
+        store.persist(flush).unwrap();
+    }
+    store.run_daemons_until_idle().unwrap();
+    world.settle();
+    let read = store.read("linux/vmlinux").unwrap();
+    assert!(read.consistent());
+    let q2 = store.query(&ProvQuery::OutputsOf { program: "blastall".into() }).unwrap();
+    assert_eq!(q2.len(), 5);
+}
+
+#[test]
+fn provenance_chain_depth_spans_the_fmri_workflow() {
+    // The Provenance Challenge workflow is the deepest chain: jpg ←
+    // convert ← pgm ← slicer ← atlas ← softmean ← resliced ← reslice ←
+    // warp ← align_warp ← anatomy. Walk it end to end through the store.
+    let world = counting();
+    let mut store = loaded(ArchKind::S3SimpleDb, &world);
+    let jpg = "fmri/s000/atlas-x.jpg";
+    let mut depth = 0;
+    let mut current = vec![pass_cloud::pass::ObjectRef::new(jpg, 1)];
+    let mut seen = std::collections::BTreeSet::new();
+    while !current.is_empty() && depth < 32 {
+        let mut next = Vec::new();
+        for obj in current {
+            if !seen.insert(obj.clone()) {
+                continue;
+            }
+            let answer = store
+                .query(&ProvQuery::ProvenanceOf { name: obj.name.clone(), version: obj.version })
+                .unwrap();
+            for item in &answer.items {
+                next.extend(item.records.iter().filter_map(|r| r.reference()).cloned());
+            }
+        }
+        if next.is_empty() {
+            break;
+        }
+        depth += 1;
+        current = next;
+    }
+    assert!(depth >= 10, "fMRI ancestry depth was only {depth}");
+    assert!(seen.iter().any(|o| o.name.contains("anatomy1.img")));
+}

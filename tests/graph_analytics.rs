@@ -1,0 +1,102 @@
+//! Graph analytics over the full combined workload: the `ProvGraph`
+//! invariants the PASS observer is supposed to guarantee, checked on
+//! real (generated) provenance pulled back out of the cloud store.
+
+use pass_cloud::cloud::{ArchKind, ProvGraph, ProvQuery, ProvenanceStore};
+use pass_cloud::simworld::SimWorld;
+use pass_cloud::workloads::Combined;
+
+fn graph_from_cloud() -> ProvGraph {
+    let world = SimWorld::counting();
+    let mut store = ArchKind::S3SimpleDb.build(&world);
+    let (flushes, _) = Combined::small().flushes();
+    for flush in &flushes {
+        store.persist(flush).unwrap();
+    }
+    world.settle();
+    let all = store.query(&ProvQuery::ProvenanceOfAll).unwrap();
+    ProvGraph::from_answer(&all)
+}
+
+#[test]
+fn cloud_provenance_forms_a_complete_acyclic_graph() {
+    let g = graph_from_cloud();
+    assert!(g.len() > 150, "small corpus too small: {} versions", g.len());
+    // PASS versioning guarantees acyclicity.
+    assert!(g.is_acyclic());
+    // Eventual causal ordering: nothing references a version that was
+    // never stored.
+    assert_eq!(g.dangling_references(), vec![]);
+}
+
+#[test]
+fn roots_are_exactly_the_source_files() {
+    let g = graph_from_cloud();
+    for root in g.roots() {
+        // Sources and the idle `make` process have no ancestors; every
+        // derived object must have at least one.
+        let records = g.records(&root).unwrap();
+        let is_source = root.name.ends_with(".c")
+            || root.name.ends_with(".h")
+            || root.name.contains("Makefile")
+            || root.name.contains(".fasta")
+            || root.name.contains("queries/")
+            || root.name.contains("anatomy")
+            || root.name.contains("reference.")
+            || root.name.contains("proc:");
+        assert!(is_source, "unexpected root {} with records {:?}", root, records);
+    }
+    assert!(!g.roots().is_empty());
+    assert!(!g.leaves().is_empty());
+}
+
+#[test]
+fn depth_reflects_the_deepest_pipeline() {
+    let g = graph_from_cloud();
+    // The fMRI chain is ≥ 10 hops (anatomy → … → jpg); hierarchical
+    // linking in the compile can rival it. Either way: deep, not flat.
+    assert!(g.depth() >= 10, "depth {}", g.depth());
+}
+
+#[test]
+fn topological_order_is_a_valid_schedule() {
+    let g = graph_from_cloud();
+    let order = g.topological_order().unwrap();
+    assert_eq!(order.len(), g.len());
+    let position: std::collections::HashMap<_, _> =
+        order.iter().enumerate().map(|(i, o)| (o.clone(), i)).collect();
+    for (object, _) in g.iter() {
+        for parent in g.parents(object) {
+            assert!(
+                position[&parent] < position[object],
+                "{parent} must precede {object}"
+            );
+        }
+    }
+}
+
+#[test]
+fn blast_ancestry_matches_query_engine_answers() {
+    // The graph view and the iterative SimpleDB query engine must agree
+    // on what descends from blastall.
+    let world = SimWorld::counting();
+    let mut store = ArchKind::S3SimpleDb.build(&world);
+    let (flushes, _) = Combined::small().flushes();
+    for flush in &flushes {
+        store.persist(flush).unwrap();
+    }
+    world.settle();
+    let engine_answer =
+        store.query(&ProvQuery::DescendantsOf { program: "blastall".into() }).unwrap();
+    let g = ProvGraph::from_answer(&store.query(&ProvQuery::ProvenanceOfAll).unwrap());
+
+    // Union of graph-descendants over every output of blastall.
+    let outputs = store.query(&ProvQuery::OutputsOf { program: "blastall".into() }).unwrap();
+    let mut graph_desc = std::collections::BTreeSet::new();
+    for item in &outputs.items {
+        graph_desc.extend(g.descendants(&item.object));
+    }
+    let engine_set: std::collections::BTreeSet<_> =
+        engine_answer.items.iter().map(|i| i.object.clone()).collect();
+    assert_eq!(graph_desc, engine_set);
+}

@@ -1,0 +1,76 @@
+//! The paper's headline claims, asserted at the workspace level: the
+//! Table 1 matrix, the Table 2/3 shapes, and the §5 conclusions.
+
+use pass_cloud::cloud::full_property_table;
+use prov_bench::{table2, table3, Scale};
+
+#[test]
+fn table1_matches_the_paper_exactly() {
+    let matrix = full_property_table(2009).unwrap();
+    let as_tuple = |r: &pass_cloud::cloud::PropertyMatrix| {
+        (r.atomicity, r.consistency, r.causal_ordering, r.efficient_query)
+    };
+    assert_eq!(matrix[0].architecture, "S3");
+    assert_eq!(as_tuple(&matrix[0]), (true, true, true, false), "S3 row");
+    assert_eq!(matrix[1].architecture, "S3+SimpleDB");
+    assert_eq!(as_tuple(&matrix[1]), (false, true, true, true), "S3+SimpleDB row");
+    assert_eq!(matrix[2].architecture, "S3+SimpleDB+SQS");
+    assert_eq!(as_tuple(&matrix[2]), (true, true, true, true), "S3+SimpleDB+SQS row");
+}
+
+#[test]
+fn table2_shape_storage_overhead_rises_with_machinery() {
+    let t = table2(&Scale::Small.dataset()).unwrap();
+    // §5's conclusion: "all the properties can be satisfied at a
+    // reasonable space overhead" — the full architecture costs more
+    // than the strawman but stays a modest fraction of the data.
+    let s3 = &t.rows[0];
+    let sdb = &t.rows[1];
+    let sqs = &t.rows[2];
+    assert!(s3.provenance_bytes < sdb.provenance_bytes);
+    assert!(sdb.provenance_bytes < sqs.provenance_bytes);
+    assert!(
+        sqs.provenance_bytes < t.raw_bytes / 2,
+        "provenance must remain a fraction of the data"
+    );
+    // Ops: S3 below raw (0.8x in the paper), then rising.
+    assert!(s3.provenance_ops < t.raw_ops);
+    assert!(sdb.provenance_ops > t.raw_ops);
+    assert!(sqs.provenance_ops > sdb.provenance_ops);
+}
+
+#[test]
+fn table3_shape_simpledb_wins_queries_by_orders_of_magnitude() {
+    let t = table3(&Scale::Small.dataset()).unwrap();
+    // Q2: the paper's 56,132-vs-6 contrast. At test scale we demand a
+    // factor ≥ 10 in ops and bytes.
+    assert!(t.q2.1.ops * 10 <= t.q2.0.ops, "{} vs {}", t.q2.1.ops, t.q2.0.ops);
+    assert!(t.q2.1.data_out * 10 <= t.q2.0.data_out);
+    // Q3: SimpleDB walks the graph, still far ahead of the scan.
+    assert!(t.q3.1.ops * 3 <= t.q3.0.ops);
+    // Q1 over everything: no index advantage (the paper's SimpleDB was
+    // even *slower* in ops, 71,825 vs 56,132).
+    let ratio = t.q1.1.ops as f64 / t.q1.0.ops as f64;
+    assert!((0.5..2.0).contains(&ratio), "Q1 ops ratio {ratio}");
+    // The S3 engine pays the identical full scan for every query.
+    assert_eq!(t.q1.0.ops, t.q2.0.ops);
+    assert_eq!(t.q2.0.ops, t.q3.0.ops);
+}
+
+#[test]
+fn section5_conclusion_full_architecture_overhead_is_reasonable() {
+    // "the architecture satisfying all the properties poses a reasonable
+    // storage overhead compared to a strawman architecture while
+    // performing orders of magnitude better on the query overhead."
+    let dataset = Scale::Small.dataset();
+    let t2 = table2(&dataset).unwrap();
+    let t3 = table3(&dataset).unwrap();
+    let full = &t2.rows[2]; // S3+SimpleDB+SQS
+    let strawman = &t2.rows[0]; // S3
+    // Storage overhead of the full architecture vs the strawman stays
+    // within a single-digit factor (22.9% extra in the paper).
+    assert!(full.provenance_bytes < strawman.provenance_bytes * 8);
+    // Query: orders of magnitude better (SimpleDB numbers apply to the
+    // full architecture, §5).
+    assert!(t3.q2.1.ops * 10 <= t3.q2.0.ops);
+}

@@ -1,0 +1,203 @@
+//! Property-based tests over the core data structures and invariants,
+//! spanning crates.
+
+use pass_cloud::cloud::{encode_metadata, encode_records, CloudError, WalRecord};
+use pass_cloud::pass::{FileFlush, ObjectRef, ProvenanceRecord};
+use pass_cloud::simworld::{
+    Blob, Consistency, EcMap, LatencyModel, Md5, SimConfig, SimDuration, SimWorld,
+};
+use proptest::prelude::*;
+
+// --- Blob / MD5 ---
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn blob_slice_matches_materialised_slice(
+        seed in any::<u64>(),
+        len in 0u64..20_000,
+        a in 0u64..20_000,
+        b in 0u64..20_000,
+    ) {
+        let blob = Blob::synthetic(seed, len);
+        let (lo, hi) = (a.min(b).min(len), a.max(b).min(len));
+        let sliced = blob.slice(lo..hi).to_bytes();
+        let whole = blob.to_bytes();
+        prop_assert_eq!(&sliced[..], &whole[lo as usize..hi as usize]);
+    }
+
+    #[test]
+    fn md5_streaming_equals_oneshot(data in proptest::collection::vec(any::<u8>(), 0..4096), split in 0usize..4096) {
+        let split = split.min(data.len());
+        let mut h = Md5::new();
+        h.update(&data[..split]);
+        h.update(&data[split..]);
+        prop_assert_eq!(h.finalize(), Md5::digest(&data));
+    }
+
+    #[test]
+    fn blob_md5_with_suffix_equals_concat(
+        content in proptest::collection::vec(any::<u8>(), 0..2048),
+        suffix in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let blob = Blob::from_bytes(content.clone());
+        let mut concat = content;
+        concat.extend_from_slice(&suffix);
+        prop_assert_eq!(blob.md5_with_suffix(&suffix), Md5::digest(&concat));
+    }
+
+    // --- EcMap convergence ---
+
+    #[test]
+    fn ecmap_settles_to_last_write(
+        seed in any::<u64>(),
+        writes in proptest::collection::vec(any::<u32>(), 1..20),
+        lag_ms in 1u64..5_000,
+    ) {
+        let world = SimWorld::with_config(SimConfig {
+            seed,
+            consistency: Consistency::eventual(SimDuration::from_millis(lag_ms)),
+            latency: LatencyModel::zero(),
+            replicas: 3,
+        });
+        let mut map = EcMap::new();
+        for w in &writes {
+            map.write(&world, "k", Some(*w));
+        }
+        world.settle();
+        let last = *writes.last().unwrap();
+        prop_assert_eq!(map.read(&world, &"k"), Some(last));
+        prop_assert_eq!(map.read_latest(&"k"), Some(last));
+    }
+
+    #[test]
+    fn ecmap_reads_are_always_some_previous_write(
+        seed in any::<u64>(),
+        writes in proptest::collection::vec(any::<u32>(), 1..12),
+    ) {
+        // Under any staleness, a read returns either None (not yet
+        // propagated) or SOME value that was actually written — never
+        // an invented value.
+        let world = SimWorld::with_config(SimConfig {
+            seed,
+            consistency: Consistency::eventual(SimDuration::from_secs(60)),
+            latency: LatencyModel::zero(),
+            replicas: 4,
+        });
+        let mut map = EcMap::new();
+        for w in &writes {
+            map.write(&world, "k", Some(*w));
+            if let Some(got) = map.read(&world, &"k") {
+                prop_assert!(writes.contains(&got));
+            }
+        }
+    }
+
+    // --- ObjectRef / record serialisation ---
+
+    #[test]
+    fn object_ref_round_trips(name in "[a-zA-Z0-9_/.:-]{1,40}", version in 1u32..10_000) {
+        let r = ObjectRef::new(name, version);
+        prop_assert_eq!(ObjectRef::parse(&r.render()), Some(r.clone()));
+        prop_assert_eq!(ObjectRef::parse_item_name(&r.item_name()), Some(r));
+    }
+
+    #[test]
+    fn provenance_record_pairs_round_trip(
+        key in prop::sample::select(vec!["input", "type", "name", "argv", "env", "forkparent", "custom-key"]),
+        value in "[ -~]{0,200}", // printable ASCII
+    ) {
+        let record = ProvenanceRecord::from_pair(key, &value);
+        let (k2, v2) = record.to_pair();
+        prop_assert_eq!(ProvenanceRecord::from_pair(&k2, &v2), record);
+    }
+
+    // --- Architecture-1 metadata encoding ---
+
+    #[test]
+    fn metadata_encoding_round_trips_any_record_set(
+        version in 1u32..100,
+        values in proptest::collection::vec("[ -~]{0,1500}", 0..40),
+    ) {
+        let object = ObjectRef::new("prop/file", version);
+        let records: Vec<ProvenanceRecord> =
+            values.iter().map(|v| ProvenanceRecord::from_pair("env", v)).collect();
+        let encoded = encode_records(&object, &records);
+        let (meta, overflows) = encode_metadata(&object, encoded);
+        prop_assert!(meta.byte_size() <= sim_s3::METADATA_LIMIT);
+        let fetch = |key: &str| -> Result<String, CloudError> {
+            overflows
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, blob)| String::from_utf8(blob.to_bytes().to_vec()).unwrap())
+                .ok_or_else(|| CloudError::NotFound { name: key.to_string() })
+        };
+        let decoded = pass_cloud::cloud::decode_metadata(&meta, fetch).unwrap();
+        prop_assert_eq!(decoded, records);
+    }
+
+    // --- WAL codec ---
+
+    #[test]
+    fn wal_prov_record_round_trips_any_pairs(
+        txid in any::<u64>(),
+        item in "[ -~]{1,60}",
+        pairs in proptest::collection::vec(("[a-z]{1,10}", "[ -~\\u{1f}\\u{1e}%]{0,200}"), 0..20),
+    ) {
+        let record = WalRecord::Prov { txid, item_name: item, pairs };
+        prop_assert_eq!(WalRecord::decode(&record.encode()), Some(record));
+    }
+
+    #[test]
+    fn wal_decode_never_panics(garbage in "\\PC{0,300}") {
+        let _ = WalRecord::decode(&garbage); // must not panic
+    }
+
+    // --- SimpleDB query parsers never panic ---
+
+    #[test]
+    fn simpledb_parsers_never_panic(input in "\\PC{0,200}") {
+        let _ = sim_simpledb::QueryExpr::parse(&input);
+        let _ = sim_simpledb::SelectStatement::parse(&input);
+    }
+}
+
+// --- end-to-end persist/read invariant, randomised ---
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn any_flush_round_trips_on_every_architecture(
+        seed in any::<u64>(),
+        data_len in 0u64..50_000,
+        env_len in 0usize..6_000,
+        n_inputs in 0usize..10,
+    ) {
+        use pass_cloud::cloud::ArchKind;
+        for kind in ArchKind::ALL {
+            let world = SimWorld::counting();
+            let mut store = kind.build(&world);
+            let mut builder = FileFlush::builder("prop/out.dat")
+                .data(Blob::synthetic(seed, data_len))
+                .record("env", &"e".repeat(env_len));
+            for i in 0..n_inputs {
+                builder = builder.record("input", &format!("prop/in{i}.dat:1"));
+            }
+            let flush = builder.build();
+            store.persist(&flush).unwrap();
+            store.run_daemons_until_idle().unwrap();
+            world.settle();
+            let read = store.read("prop/out.dat").unwrap();
+            prop_assert!(read.consistent());
+            prop_assert_eq!(read.data.md5(), flush.data.md5());
+            // All records present (order may differ on SimpleDB).
+            let mut got: Vec<_> = read.records.iter().map(|r| r.to_pair()).collect();
+            let mut want: Vec<_> = flush.records.iter().map(|r| r.to_pair()).collect();
+            got.sort();
+            want.sort();
+            prop_assert_eq!(got, want);
+        }
+    }
+}
