@@ -7,7 +7,6 @@
 use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
 use pass::FileFlush;
 use provenance_cloud::ArchKind;
-use provenance_cloud::ProvenanceStore as _;
 use simworld::{Blob, SimWorld};
 
 fn flush_batch(n: usize) -> Vec<FileFlush> {
@@ -26,23 +25,27 @@ fn bench_persist(c: &mut Criterion) {
     let mut group = c.benchmark_group("persist_50_flushes");
     group.sample_size(20);
     for kind in ArchKind::ALL {
-        group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |b, kind| {
-            let flushes = flush_batch(50);
-            b.iter_batched(
-                || {
-                    let world = SimWorld::counting();
-                    let store = kind.build(&world);
-                    (world, store)
-                },
-                |(_world, mut store)| {
-                    for flush in &flushes {
-                        store.persist(flush).unwrap();
-                    }
-                    store.run_daemons_until_idle().unwrap();
-                },
-                BatchSize::SmallInput,
-            );
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.label()),
+            &kind,
+            |b, kind| {
+                let flushes = flush_batch(50);
+                b.iter_batched(
+                    || {
+                        let world = SimWorld::counting();
+                        let store = kind.build(&world);
+                        (world, store)
+                    },
+                    |(_world, mut store)| {
+                        for flush in &flushes {
+                            store.persist(flush).unwrap();
+                        }
+                        store.run_daemons_until_idle().unwrap();
+                    },
+                    BatchSize::SmallInput,
+                );
+            },
+        );
     }
     group.finish();
 }

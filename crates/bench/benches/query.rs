@@ -53,11 +53,17 @@ fn bench_queries(c: &mut Criterion) {
         group.sample_size(10);
         for kind in [ArchKind::S3, ArchKind::S3SimpleDb] {
             let (_world, mut store) = prepared(kind, chains);
-            let engine = if kind == ArchKind::S3 { "s3-scan" } else { "simpledb" };
+            let engine = if kind == ArchKind::S3 {
+                "s3-scan"
+            } else {
+                "simpledb"
+            };
             group.bench_function(BenchmarkId::new("q2_outputs", engine), |b| {
                 b.iter(|| {
                     let answer = store
-                        .query(&ProvQuery::OutputsOf { program: "blastall".into() })
+                        .query(&ProvQuery::OutputsOf {
+                            program: "blastall".into(),
+                        })
                         .unwrap();
                     assert_eq!(answer.len(), 1);
                 });
@@ -65,14 +71,19 @@ fn bench_queries(c: &mut Criterion) {
             group.bench_function(BenchmarkId::new("q3_descendants", engine), |b| {
                 b.iter(|| {
                     store
-                        .query(&ProvQuery::DescendantsOf { program: "churn".into() })
+                        .query(&ProvQuery::DescendantsOf {
+                            program: "churn".into(),
+                        })
                         .unwrap()
                 });
             });
             group.bench_function(BenchmarkId::new("q1_single", engine), |b| {
                 b.iter(|| {
                     let answer = store
-                        .query(&ProvQuery::ProvenanceOf { name: "hits.out".into(), version: 1 })
+                        .query(&ProvQuery::ProvenanceOf {
+                            name: "hits.out".into(),
+                            version: 1,
+                        })
                         .unwrap();
                     assert_eq!(answer.len(), 1);
                 });

@@ -19,10 +19,12 @@ fn bench_s3(c: &mut Criterion) {
         let mut i = 0u64;
         b.iter(|| {
             i += 1;
-            s3.put_object("b", &format!("k{}", i % 1000), body.clone(), meta.clone()).unwrap();
+            s3.put_object("b", &format!("k{}", i % 1000), body.clone(), meta.clone())
+                .unwrap();
         });
     });
-    s3.put_object("b", "read-target", body.clone(), meta).unwrap();
+    s3.put_object("b", "read-target", body.clone(), meta)
+        .unwrap();
     world.settle();
     group.bench_function("get_64k", |b| {
         b.iter(|| s3.get_object("b", "read-target").unwrap());
@@ -67,12 +69,18 @@ fn bench_simpledb(c: &mut Criterion) {
         });
     });
     group.bench_function("query_equality_over_500", |b| {
-        b.iter(|| db.query("d", Some("['type' = 'process']"), Some(250), None).unwrap());
+        b.iter(|| {
+            db.query("d", Some("['type' = 'process']"), Some(250), None)
+                .unwrap()
+        });
     });
     group.bench_function("select_over_500", |b| {
         b.iter(|| {
-            db.select("select itemName() from d where `input` like 'src01%' limit 250", None)
-                .unwrap()
+            db.select(
+                "select itemName() from d where `input` like 'src01%' limit 250",
+                None,
+            )
+            .unwrap()
         });
     });
     group.finish();

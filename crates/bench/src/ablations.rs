@@ -68,7 +68,9 @@ impl AblationResults {
         }
         out.push_str("\nAblation 5: replication lag vs read retries (arch 2)\n");
         for (lag, retries) in &self.lag_retries {
-            out.push_str(&format!("  lag {lag:>5}ms: mean {retries:.2} retries per read\n"));
+            out.push_str(&format!(
+                "  lag {lag:>5}ms: mean {retries:.2} retries per read\n"
+            ));
         }
         out
     }
@@ -98,15 +100,19 @@ fn nonce_ablation(seed: u64) -> Result<(u32, u32, u32)> {
     for use_nonce in [true, false] {
         let world = SimWorld::counting();
         let mut store = S3SimpleDb::new(&world);
-        let mut config = provenance_cloud::Arch2Config::default();
-        config.use_nonce = use_nonce;
-        store.set_config(config);
+        store.set_config(provenance_cloud::Arch2Config {
+            use_nonce,
+            ..provenance_cloud::Arch2Config::default()
+        });
         for i in 0..pairs {
             let name = format!("f{i}");
             // Overwrite with the *same* content (the paper's hard case).
             let content = Blob::synthetic(seed ^ u64::from(i), 512);
             store.persist(
-                &FileFlush::builder(&name).version(1).data(content.clone()).build(),
+                &FileFlush::builder(&name)
+                    .version(1)
+                    .data(content.clone())
+                    .build(),
             )?;
             store.persist(&FileFlush::builder(&name).version(2).data(content).build())?;
             let token = |version: u32| -> String {
@@ -138,7 +144,10 @@ fn commit_threshold_ablation(_seed: u64) -> Result<Vec<(usize, u64, f64)>> {
     for threshold in [0usize, 2, 8, 32, 128] {
         let world = SimWorld::counting();
         let mut store = S3SimpleDbSqs::new(&world, "ablate");
-        let config = Arch3Config { commit_threshold: threshold, ..Arch3Config::default() };
+        let config = Arch3Config {
+            commit_threshold: threshold,
+            ..Arch3Config::default()
+        };
         store.set_config(config);
         let before = world.meters();
         let mut depth_sum = 0usize;
@@ -224,7 +233,8 @@ fn visibility_ablation(seed: u64) -> Result<Vec<(u64, u64, u64)>> {
             // Finish (delete) the PREVIOUS batch only now — its
             // processing took 10 simulated seconds.
             for msg in pending.drain(..) {
-                sqs.delete_message(&url, &msg.receipt_handle).expect("handle valid");
+                sqs.delete_message(&url, &msg.receipt_handle)
+                    .expect("handle valid");
             }
             if batch.is_empty() && sqs.exact_message_count(&url) == 0 {
                 break;
@@ -238,7 +248,8 @@ fn visibility_ablation(seed: u64) -> Result<Vec<(u64, u64, u64)>> {
             pending = batch;
         }
         for msg in pending {
-            sqs.delete_message(&url, &msg.receipt_handle).expect("handle valid");
+            sqs.delete_message(&url, &msg.receipt_handle)
+                .expect("handle valid");
         }
         rows.push((timeout_secs, deliveries, unique));
     }
@@ -257,12 +268,13 @@ fn lag_retries_ablation(seed: u64) -> Result<Vec<(u64, f64)>> {
             replicas: 3,
         });
         let mut store = S3SimpleDb::new(&world);
-        let mut config = provenance_cloud::Arch2Config::default();
-        config.retry = RetryPolicy {
-            max_retries: 500,
-            backoff: SimDuration::from_millis(50),
-        };
-        store.set_config(config);
+        store.set_config(provenance_cloud::Arch2Config {
+            retry: RetryPolicy {
+                max_retries: 500,
+                backoff: SimDuration::from_millis(50),
+            },
+            ..provenance_cloud::Arch2Config::default()
+        });
         let reads = 24u32;
         let mut total_retries = 0u64;
         for i in 0..reads {
@@ -290,7 +302,10 @@ mod tests {
     fn nonce_ablation_shows_the_papers_remark() {
         let (pairs, with_nonce, without) = nonce_ablation(3).unwrap();
         assert_eq!(with_nonce, 0, "nonce makes every overwrite distinguishable");
-        assert_eq!(without, pairs, "bare MD5 collides on every same-content overwrite");
+        assert_eq!(
+            without, pairs,
+            "bare MD5 collides on every same-content overwrite"
+        );
     }
 
     #[test]
@@ -298,7 +313,10 @@ mod tests {
         let rows = commit_threshold_ablation(1).unwrap();
         let first = &rows[0];
         let last = &rows[rows.len() - 1];
-        assert!(last.1 <= first.1, "polling work must not grow with the threshold");
+        assert!(
+            last.1 <= first.1,
+            "polling work must not grow with the threshold"
+        );
         assert!(last.2 > first.2, "backlog grows with the threshold");
     }
 
@@ -313,9 +331,18 @@ mod tests {
         let rows = visibility_ablation(5).unwrap();
         let short = &rows[0];
         let long = &rows[rows.len() - 1];
-        assert!(short.1 > short.2, "5s timeout + 10s processing → redeliveries");
-        assert_eq!(long.1, long.2, "120s timeout → every message delivered once");
-        assert!(short.1 > long.1, "shorter timeout → strictly more deliveries");
+        assert!(
+            short.1 > short.2,
+            "5s timeout + 10s processing → redeliveries"
+        );
+        assert_eq!(
+            long.1, long.2,
+            "120s timeout → every message delivered once"
+        );
+        assert!(
+            short.1 > long.1,
+            "shorter timeout → strictly more deliveries"
+        );
     }
 
     #[test]

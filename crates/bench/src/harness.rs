@@ -86,7 +86,12 @@ pub fn persist_dataset(kind: ArchKind, dataset: &Combined) -> Result<PersistedSt
     store.run_daemons_until_idle()?;
     let persist_meters = world.meters() - before;
     world.settle();
-    Ok(PersistedStore { store, world, persist_meters, stats })
+    Ok(PersistedStore {
+        store,
+        world,
+        persist_meters,
+        stats,
+    })
 }
 
 /// The provenance-free baseline: raw data PUT straight into S3 (the
@@ -103,7 +108,12 @@ pub fn persist_raw_baseline(dataset: &Combined) -> Result<(MeterSnapshot, Datase
     let before = world.meters(); // bucket creation excluded from the baseline
     for flush in &flushes {
         if flush.kind == pass::ObjectKind::File {
-            s3.put_object("raw", &flush.object.name, flush.data.clone(), Metadata::new())?;
+            s3.put_object(
+                "raw",
+                &flush.object.name,
+                flush.data.clone(),
+                Metadata::new(),
+            )?;
         }
     }
     Ok((world.meters() - before, stats))
@@ -137,7 +147,7 @@ pub fn count(n: u64) -> String {
     let raw = n.to_string();
     let mut out = String::with_capacity(raw.len() + raw.len() / 3);
     for (i, c) in raw.chars().enumerate() {
-        if i > 0 && (raw.len() - i) % 3 == 0 {
+        if i > 0 && (raw.len() - i).is_multiple_of(3) {
             out.push(',');
         }
         out.push(c);

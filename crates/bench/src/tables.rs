@@ -1,7 +1,7 @@
 //! Regeneration of the paper's Tables 1–3 and the §5 USD analysis.
 
 use costmodel::{cost_of, PriceBook};
-use provenance_cloud::{ArchKind, ProvQuery, PropertyMatrix, Result};
+use provenance_cloud::{ArchKind, PropertyMatrix, ProvQuery, Result};
 use serde::{Deserialize, Serialize};
 use simworld::MeterSnapshot;
 use workloads::Combined;
@@ -24,12 +24,8 @@ pub fn table1(seed: u64) -> Result<(Vec<PropertyMatrix>, String)> {
     let mark = |b: bool| if b { "yes" } else { " no" };
     let mut out = String::new();
     out.push_str("Table 1: Properties comparison (measured by fault injection)\n");
-    out.push_str(
-        "                       Read Correctness        Causal    Efficient\n",
-    );
-    out.push_str(
-        "Architecture           Atomicity  Consistency  Ordering  Query      (paper)\n",
-    );
+    out.push_str("                       Read Correctness        Causal    Efficient\n");
+    out.push_str("Architecture           Atomicity  Consistency  Ordering  Query      (paper)\n");
     let paper = ["yes yes yes  no", " no yes yes yes", "yes yes yes yes"];
     for (row, expect) in matrix.iter().zip(paper) {
         out.push_str(&format!(
@@ -79,11 +75,7 @@ impl Table2 {
             "{:<8} {:>14} {:>22} {:>22} {:>22}\n",
             "", "Raw", "S3", "S3+SimpleDB", "S3+SimpleDB+SQS"
         ));
-        out.push_str(&format!(
-            "{:<8} {:>14}",
-            "Data",
-            bytes(self.raw_bytes)
-        ));
+        out.push_str(&format!("{:<8} {:>14}", "Data", bytes(self.raw_bytes)));
         for row in &self.rows {
             out.push_str(&format!(
                 " {:>13} ({:>6})",
@@ -129,7 +121,11 @@ pub fn table2(dataset: &Combined) -> Result<Table2> {
             provenance_ops: m.total_ops().saturating_sub(raw_ops),
         });
     }
-    Ok(Table2 { raw_bytes, raw_ops, rows })
+    Ok(Table2 {
+        raw_bytes,
+        raw_ops,
+        rows,
+    })
 }
 
 // ---------------------------------------------------------------- Table 3
@@ -165,9 +161,7 @@ impl Table3 {
             "{:<6} {:>12} {:>10} {:>6} {:>12} {:>10} {:>6}\n",
             "Query", "S3 data", "S3 ops", "hits", "SDB data", "SDB ops", "hits"
         ));
-        for (label, (s3, sdb)) in
-            [("Q.1", &self.q1), ("Q.2", &self.q2), ("Q.3", &self.q3)]
-        {
+        for (label, (s3, sdb)) in [("Q.1", &self.q1), ("Q.2", &self.q2), ("Q.3", &self.q3)] {
             out.push_str(&format!(
                 "{:<6} {:>12} {:>10} {:>6} {:>12} {:>10} {:>6}\n",
                 label,
@@ -215,8 +209,12 @@ pub fn table3(dataset: &Combined) -> Result<Table3> {
 
     let queries = [
         ProvQuery::ProvenanceOfAll,
-        ProvQuery::OutputsOf { program: QUERY_PROGRAM.to_string() },
-        ProvQuery::DescendantsOf { program: QUERY_PROGRAM.to_string() },
+        ProvQuery::OutputsOf {
+            program: QUERY_PROGRAM.to_string(),
+        },
+        ProvQuery::DescendantsOf {
+            program: QUERY_PROGRAM.to_string(),
+        },
     ];
     let mut cells = Vec::new();
     for query in &queries {

@@ -60,7 +60,8 @@ impl StandaloneS3 {
     /// Creates the store with its own S3 endpoint and bucket.
     pub fn new(world: &SimWorld) -> StandaloneS3 {
         let s3 = S3::new(world);
-        s3.create_bucket(BUCKET).expect("fresh endpoint has no buckets");
+        s3.create_bucket(BUCKET)
+            .expect("fresh endpoint has no buckets");
         StandaloneS3::with_s3(world, &s3)
     }
 
@@ -113,7 +114,12 @@ impl ProvenanceStore for StandaloneS3 {
         // Step 3: data and provenance in a single PUT — the atomicity
         // story of this architecture.
         self.world.crash_point(A1_BEFORE_DATA_PUT)?;
-        self.s3.put_object(BUCKET, &data_key(&flush.object.name), flush.data.clone(), metadata)?;
+        self.s3.put_object(
+            BUCKET,
+            &data_key(&flush.object.name),
+            flush.data.clone(),
+            metadata,
+        )?;
         Ok(())
     }
 
@@ -127,7 +133,9 @@ impl ProvenanceStore for StandaloneS3 {
                     let records = decode_metadata(&object.metadata, |k| {
                         let o = self.s3.get_object(BUCKET, k)?;
                         String::from_utf8(o.body.to_bytes().to_vec()).map_err(|_| {
-                            CloudError::Corrupt { message: format!("overflow {k} not UTF-8") }
+                            CloudError::Corrupt {
+                                message: format!("overflow {k} not UTF-8"),
+                            }
                         })
                     })?;
                     return Ok(ReadOutcome {
@@ -143,7 +151,9 @@ impl ProvenanceStore for StandaloneS3 {
                     self.retry.pause(&self.world);
                 }
                 Err(S3Error::NoSuchKey { .. }) => {
-                    return Err(CloudError::NotFound { name: name.to_string() })
+                    return Err(CloudError::NotFound {
+                        name: name.to_string(),
+                    })
                 }
                 Err(e) => return Err(e.into()),
             }
@@ -164,9 +174,15 @@ impl ProvenanceStore for StandaloneS3 {
         for summary in self.s3.list_all(BUCKET, PROV_PREFIX)? {
             report.items_scanned += 1;
             // Key shape: prov/{name} {version}/{idx}
-            let Some(rest) = summary.key.strip_prefix(PROV_PREFIX) else { continue };
-            let Some((item_name, _idx)) = rest.rsplit_once('/') else { continue };
-            let Some(object) = ObjectRef::parse_item_name(item_name) else { continue };
+            let Some(rest) = summary.key.strip_prefix(PROV_PREFIX) else {
+                continue;
+            };
+            let Some((item_name, _idx)) = rest.rsplit_once('/') else {
+                continue;
+            };
+            let Some(object) = ObjectRef::parse_item_name(item_name) else {
+                continue;
+            };
             let current = match self.s3.head_object(BUCKET, &data_key(&object.name)) {
                 Ok(head) => Some(read_version(&head.metadata)?),
                 Err(S3Error::NoSuchKey { .. }) => None,

@@ -24,8 +24,8 @@ use crate::layout::{
     data_key, nonce_for, ATTR_MD5, ATTR_NONCE, BUCKET, DOMAIN, META_NONCE, META_VERSION,
 };
 use crate::query::{ProvQuery, QueryAnswer, SimpleDbQueryEngine};
-use crate::retry::RetryPolicy;
 use crate::readpath::{verified_read, ReadContext};
+use crate::retry::RetryPolicy;
 use crate::serialize::{encode_records, fit_item_pairs, read_version};
 use crate::store::{ProvenanceStore, ReadOutcome, RecoveryReport};
 
@@ -58,7 +58,11 @@ pub struct Arch2Config {
 
 impl Default for Arch2Config {
     fn default() -> Self {
-        Arch2Config { retry: RetryPolicy::default(), verify_md5: true, use_nonce: true }
+        Arch2Config {
+            retry: RetryPolicy::default(),
+            verify_md5: true,
+            use_nonce: true,
+        }
     }
 }
 
@@ -91,9 +95,11 @@ impl S3SimpleDb {
     /// Creates the store with fresh S3/SimpleDB endpoints.
     pub fn new(world: &SimWorld) -> S3SimpleDb {
         let s3 = S3::new(world);
-        s3.create_bucket(BUCKET).expect("fresh endpoint has no buckets");
+        s3.create_bucket(BUCKET)
+            .expect("fresh endpoint has no buckets");
         let db = SimpleDb::new(world);
-        db.create_domain(DOMAIN).expect("fresh endpoint has no domains");
+        db.create_domain(DOMAIN)
+            .expect("fresh endpoint has no domains");
         S3SimpleDb::with_services(world, &s3, &db)
     }
 
@@ -156,7 +162,8 @@ impl ProvenanceStore for S3SimpleDb {
         let encoded = encode_records(&flush.object, &flush.records);
         for (key, blob) in &encoded.overflows {
             self.world.crash_point(A2_BEFORE_OVERFLOW_PUT)?;
-            self.s3.put_object(BUCKET, key, blob.clone(), Metadata::new())?;
+            self.s3
+                .put_object(BUCKET, key, blob.clone(), Metadata::new())?;
         }
         let nonce = nonce_for(&flush.object);
         // SimpleDB caps items at 256 pairs; excess (massive fan-in)
@@ -170,7 +177,10 @@ impl ProvenanceStore for S3SimpleDb {
             .into_iter()
             .map(|(name, value)| ReplaceableAttribute::add(name, value))
             .collect();
-        attrs.push(ReplaceableAttribute::add(ATTR_MD5, self.consistency_md5(&flush.data, &nonce)));
+        attrs.push(ReplaceableAttribute::add(
+            ATTR_MD5,
+            self.consistency_md5(&flush.data, &nonce),
+        ));
         attrs.push(ReplaceableAttribute::add(ATTR_NONCE, nonce.clone()));
 
         // Step 3: store the provenance item in ≤ 100-attribute batches.
@@ -187,7 +197,12 @@ impl ProvenanceStore for S3SimpleDb {
         let mut meta = Metadata::new();
         meta.insert(META_VERSION, flush.object.version.to_string());
         meta.insert(META_NONCE, nonce);
-        self.s3.put_object(BUCKET, &data_key(&flush.object.name), flush.data.clone(), meta)?;
+        self.s3.put_object(
+            BUCKET,
+            &data_key(&flush.object.name),
+            flush.data.clone(),
+            meta,
+        )?;
         Ok(())
     }
 
@@ -222,7 +237,9 @@ impl ProvenanceStore for S3SimpleDb {
             let page = self.db.query(DOMAIN, None, Some(250), token.as_deref())?;
             for item_name in &page.item_names {
                 report.items_scanned += 1;
-                let Some(object) = ObjectRef::parse_item_name(item_name) else { continue };
+                let Some(object) = ObjectRef::parse_item_name(item_name) else {
+                    continue;
+                };
                 let current = match self.s3.head_object(BUCKET, &data_key(&object.name)) {
                     Ok(head) => Some(read_version(&head.metadata)?),
                     Err(S3Error::NoSuchKey { .. }) => None,
@@ -241,7 +258,8 @@ impl ProvenanceStore for S3SimpleDb {
             }
         }
         for item_name in orphans {
-            self.db.delete_attributes(DOMAIN, &item_name, None::<&[DeletableAttribute]>)?;
+            self.db
+                .delete_attributes(DOMAIN, &item_name, None::<&[DeletableAttribute]>)?;
             report.orphan_provenance_removed += 1;
         }
         Ok(report)

@@ -122,7 +122,11 @@ struct Assembly {
 
 impl Assembly {
     fn complete(&self) -> bool {
-        self.committed && self.expected.map(|n| self.payload_count == n).unwrap_or(false)
+        self.committed
+            && self
+                .expected
+                .map(|n| self.payload_count == n)
+                .unwrap_or(false)
     }
 }
 
@@ -197,7 +201,9 @@ impl CommitDaemon {
             }
         }
         for msg in self.sqs.receive_message(&self.wal_url, 10)? {
-            let Some(record) = WalRecord::decode(&msg.body) else { continue };
+            let Some(record) = WalRecord::decode(&msg.body) else {
+                continue;
+            };
             let assembly = self.assemblies.entry(record.txid()).or_default();
             if !assembly.message_ids.insert(msg.message_id.clone()) {
                 // Redelivery of a record we already hold (visibility
@@ -242,7 +248,13 @@ impl CommitDaemon {
         self.world.crash_point(D3_BEFORE_COPY)?;
         for record in &assembly.payload {
             match record {
-                WalRecord::Data { temp_key, name, version, nonce, .. } => {
+                WalRecord::Data {
+                    temp_key,
+                    name,
+                    version,
+                    nonce,
+                    ..
+                } => {
                     let mut meta = Metadata::new();
                     meta.insert(META_VERSION, version.to_string());
                     meta.insert(META_NONCE, nonce.clone());
@@ -250,7 +262,9 @@ impl CommitDaemon {
                     temp_keys.push(temp_key.clone());
                     self.world.crash_point(D3_AFTER_COPY)?;
                 }
-                WalRecord::Prov { item_name, pairs, .. } => {
+                WalRecord::Prov {
+                    item_name, pairs, ..
+                } => {
                     let batch = attr_batches.entry(item_name.clone()).or_default();
                     for (name, value) in pairs {
                         let resolved = match parse_staged(value) {
@@ -264,7 +278,12 @@ impl CommitDaemon {
                         batch.push(ReplaceableAttribute::add(name.clone(), resolved));
                     }
                 }
-                WalRecord::Md5 { item_name, md5_hex, nonce, .. } => {
+                WalRecord::Md5 {
+                    item_name,
+                    md5_hex,
+                    nonce,
+                    ..
+                } => {
                     let batch = attr_batches.entry(item_name.clone()).or_default();
                     batch.push(ReplaceableAttribute::add(ATTR_MD5, md5_hex.clone()));
                     batch.push(ReplaceableAttribute::add(ATTR_NONCE, nonce.clone()));
@@ -277,8 +296,10 @@ impl CommitDaemon {
             // massive item into a continuation object (idempotent PUT).
             let object = pass::ObjectRef::parse_item_name(item_name)
                 .unwrap_or_else(|| pass::ObjectRef::new(item_name.clone(), 0));
-            let pairs: Vec<(String, String)> =
-                attrs.iter().map(|a| (a.name.clone(), a.value.clone())).collect();
+            let pairs: Vec<(String, String)> = attrs
+                .iter()
+                .map(|a| (a.name.clone(), a.value.clone()))
+                .collect();
             let (pairs, continuation) = fit_item_pairs(&object, pairs);
             if let Some((key, blob)) = continuation {
                 self.s3.put_object(BUCKET, &key, blob, Metadata::new())?;
@@ -326,7 +347,9 @@ impl CommitDaemon {
                         return Ok(());
                     }
                     if attempts >= self.config.retry.max_retries {
-                        return Err(CloudError::NotFound { name: src.to_string() });
+                        return Err(CloudError::NotFound {
+                            name: src.to_string(),
+                        });
                     }
                     attempts += 1;
                     self.config.retry.pause(&self.world);
@@ -377,9 +400,11 @@ impl S3SimpleDbSqs {
     /// Creates the store with fresh endpoints and a per-client WAL queue.
     pub fn new(world: &SimWorld, client_id: &str) -> S3SimpleDbSqs {
         let s3 = S3::new(world);
-        s3.create_bucket(BUCKET).expect("fresh endpoint has no buckets");
+        s3.create_bucket(BUCKET)
+            .expect("fresh endpoint has no buckets");
         let db = SimpleDb::new(world);
-        db.create_domain(DOMAIN).expect("fresh endpoint has no domains");
+        db.create_domain(DOMAIN)
+            .expect("fresh endpoint has no domains");
         let sqs = Sqs::new(world);
         S3SimpleDbSqs::with_services(world, &s3, &db, &sqs, client_id)
     }
@@ -528,16 +553,21 @@ impl ProvenanceStore for S3SimpleDbSqs {
 
         // Log phase step (b): the begin record.
         self.world.crash_point(A3_BEFORE_BEGIN)?;
-        let begin = WalRecord::Begin { txid, records: payload_count };
+        let begin = WalRecord::Begin {
+            txid,
+            records: payload_count,
+        };
         self.sqs.send_message(&self.wal_url, begin.encode())?;
 
         // Step (c): stage the data (and overflow values) as temporary
         // objects, then log the pointer.
         self.world.crash_point(A3_BEFORE_TEMP_PUT)?;
         let temp_key = format!("{tmp}data");
-        self.s3.put_object(BUCKET, &temp_key, flush.data.clone(), Metadata::new())?;
+        self.s3
+            .put_object(BUCKET, &temp_key, flush.data.clone(), Metadata::new())?;
         for (tmp_key, blob) in &staged {
-            self.s3.put_object(BUCKET, tmp_key, blob.clone(), Metadata::new())?;
+            self.s3
+                .put_object(BUCKET, tmp_key, blob.clone(), Metadata::new())?;
         }
         self.world.crash_point(A3_AFTER_TEMP_PUT)?;
         let data_record = WalRecord::Data {
@@ -554,12 +584,18 @@ impl ProvenanceStore for S3SimpleDbSqs {
             self.sqs.send_message(&self.wal_url, chunk.encode())?;
             self.world.crash_point(A3_MID_PROV_LOG)?;
         }
-        let md5_record = WalRecord::Md5 { txid, item_name, md5_hex, nonce };
+        let md5_record = WalRecord::Md5 {
+            txid,
+            item_name,
+            md5_hex,
+            nonce,
+        };
         self.sqs.send_message(&self.wal_url, md5_record.encode())?;
 
         // Step (e): commit.
         self.world.crash_point(A3_BEFORE_COMMIT)?;
-        self.sqs.send_message(&self.wal_url, WalRecord::Commit { txid }.encode())?;
+        self.sqs
+            .send_message(&self.wal_url, WalRecord::Commit { txid }.encode())?;
         Ok(())
     }
 
@@ -586,10 +622,11 @@ impl ProvenanceStore for S3SimpleDbSqs {
     fn recover(&mut self) -> Result<RecoveryReport> {
         let before = self.daemon.applied_total();
         self.run_daemons_until_idle()?;
-        let mut report = RecoveryReport::default();
-        report.transactions_replayed = self.daemon.applied_total() - before;
-        report.objects_removed = self.run_cleaner()?;
-        Ok(report)
+        Ok(RecoveryReport {
+            transactions_replayed: self.daemon.applied_total() - before,
+            objects_removed: self.run_cleaner()?,
+            ..RecoveryReport::default()
+        })
     }
 
     /// Drives the commit daemon until it stops making progress (several

@@ -103,7 +103,10 @@ mod tests {
         assert!(e.to_string().contains("no such bucket"));
         assert!(!e.is_crash());
 
-        let e: CloudError = Crashed { site: CrashSite::new("x") }.into();
+        let e: CloudError = Crashed {
+            site: CrashSite::new("x"),
+        }
+        .into();
         assert!(e.is_crash());
         assert!(e.to_string().contains("simulated crash"));
     }

@@ -72,9 +72,10 @@ impl ProvGraph {
     /// [`crate::ProvQuery::ProvenanceOfAll`]).
     pub fn from_answer(answer: &QueryAnswer) -> ProvGraph {
         ProvGraph::from_records(
-            answer.items.iter().map(|QueryItem { object, records }| {
-                (object.clone(), records.clone())
-            }),
+            answer
+                .items
+                .iter()
+                .map(|QueryItem { object, records }| (object.clone(), records.clone())),
         )
     }
 
@@ -220,7 +221,9 @@ impl ProvGraph {
     /// Panics if the graph is cyclic; check [`ProvGraph::is_acyclic`]
     /// first for untrusted inputs.
     pub fn depth(&self) -> usize {
-        let order = self.topological_order().expect("depth requires an acyclic graph");
+        let order = self
+            .topological_order()
+            .expect("depth requires an acyclic graph");
         let mut depth: BTreeMap<&ObjectRef, usize> = BTreeMap::new();
         let mut max = 0;
         for node in &order {
@@ -243,9 +246,9 @@ impl ProvGraph {
     pub fn to_dot(&self) -> String {
         let mut out = String::from("digraph provenance {\n  rankdir=BT;\n");
         for (object, records) in &self.nodes {
-            let is_process = records.iter().any(|r| {
-                r.to_pair() == ("type".to_string(), "process".to_string())
-            });
+            let is_process = records
+                .iter()
+                .any(|r| r.to_pair() == ("type".to_string(), "process".to_string()));
             let shape = if is_process { "ellipse" } else { "box" };
             let _ = writeln!(
                 out,
@@ -277,8 +280,7 @@ impl ProvGraph {
                 None => diff.only_in_left.push(object.clone()),
                 Some(other_records) => {
                     let mut left: Vec<_> = records.iter().map(|r| r.to_pair()).collect();
-                    let mut right: Vec<_> =
-                        other_records.iter().map(|r| r.to_pair()).collect();
+                    let mut right: Vec<_> = other_records.iter().map(|r| r.to_pair()).collect();
                     left.sort();
                     right.sort();
                     if left != right {
@@ -433,7 +435,10 @@ mod tests {
             ObjectRef::new("orphaned-child", 1),
             vec![rec("input", "never-stored:1")],
         )]);
-        assert_eq!(g.dangling_references(), vec![ObjectRef::new("never-stored", 1)]);
+        assert_eq!(
+            g.dangling_references(),
+            vec![ObjectRef::new("never-stored", 1)]
+        );
         // Pipeline graph has none.
         assert!(pipeline().dangling_references().is_empty());
     }
@@ -489,7 +494,10 @@ mod tests {
         let answer = QueryAnswer {
             items: g
                 .iter()
-                .map(|(o, r)| QueryItem { object: o.clone(), records: r.to_vec() })
+                .map(|(o, r)| QueryItem {
+                    object: o.clone(),
+                    records: r.to_vec(),
+                })
                 .collect(),
         };
         assert_eq!(ProvGraph::from_answer(&answer), g);

@@ -31,7 +31,10 @@ pub struct PrefetchPolicy {
 
 impl Default for PrefetchPolicy {
     fn default() -> Self {
-        PrefetchPolicy { depth: 2, max_objects: 32 }
+        PrefetchPolicy {
+            depth: 2,
+            max_objects: 32,
+        }
     }
 }
 
@@ -84,7 +87,12 @@ impl<S: ProvenanceStore> PrefetchingReader<S> {
 
     /// Wraps a store with an explicit policy.
     pub fn with_policy(store: S, policy: PrefetchPolicy) -> PrefetchingReader<S> {
-        PrefetchingReader { store, cache: CacheDir::new(), policy, stats: PrefetchStats::default() }
+        PrefetchingReader {
+            store,
+            cache: CacheDir::new(),
+            policy,
+            stats: PrefetchStats::default(),
+        }
     }
 
     /// The wrapped store (e.g. to persist or query through it).
@@ -163,7 +171,9 @@ impl<S: ProvenanceStore> PrefetchingReader<S> {
                     name: ancestor.name.clone(),
                     version: ancestor.version,
                 })?;
-                let Some(item) = answer.items.into_iter().next() else { continue };
+                let Some(item) = answer.items.into_iter().next() else {
+                    continue;
+                };
                 let flush = FileFlush {
                     object: ancestor.clone(),
                     kind: ObjectKind::Process,
@@ -247,7 +257,10 @@ mod tests {
         let store = loaded(&world);
         let mut reader = PrefetchingReader::with_policy(
             store,
-            PrefetchPolicy { depth: 8, max_objects: 64 },
+            PrefetchPolicy {
+                depth: 8,
+                max_objects: 64,
+            },
         );
         reader.read("out").unwrap();
         let after_first = world.meters();
@@ -257,7 +270,11 @@ mod tests {
             assert!(read.consistent());
         }
         let delta = world.meters() - after_first;
-        assert_eq!(delta.total_ops(), 0, "lineage walk must be served from cache");
+        assert_eq!(
+            delta.total_ops(),
+            0,
+            "lineage walk must be served from cache"
+        );
         assert_eq!(reader.stats().cache_hits, 2);
         assert_eq!(reader.stats().cache_misses, 1);
         assert!(reader.stats().prefetched >= 4);
@@ -267,22 +284,35 @@ mod tests {
     fn depth_zero_disables_prefetching() {
         let world = SimWorld::counting();
         let store = loaded(&world);
-        let mut reader =
-            PrefetchingReader::with_policy(store, PrefetchPolicy { depth: 0, max_objects: 64 });
+        let mut reader = PrefetchingReader::with_policy(
+            store,
+            PrefetchPolicy {
+                depth: 0,
+                max_objects: 64,
+            },
+        );
         reader.read("out").unwrap();
         assert_eq!(reader.stats().prefetched, 0);
         let before = world.meters();
         reader.read("mid").unwrap();
         let delta = world.meters() - before;
-        assert!(delta.total_ops() > 0, "without prefetch the walk pays cloud ops");
+        assert!(
+            delta.total_ops() > 0,
+            "without prefetch the walk pays cloud ops"
+        );
     }
 
     #[test]
     fn max_objects_caps_the_walk() {
         let world = SimWorld::counting();
         let store = loaded(&world);
-        let mut reader =
-            PrefetchingReader::with_policy(store, PrefetchPolicy { depth: 8, max_objects: 1 });
+        let mut reader = PrefetchingReader::with_policy(
+            store,
+            PrefetchPolicy {
+                depth: 8,
+                max_objects: 1,
+            },
+        );
         reader.read("out").unwrap();
         assert_eq!(reader.stats().prefetched, 1);
     }
@@ -320,8 +350,10 @@ mod tests {
 
     #[test]
     fn record_value_helper() {
-        let records =
-            vec![ProvenanceRecord::named("cc"), ProvenanceRecord::of_type("process")];
+        let records = vec![
+            ProvenanceRecord::named("cc"),
+            ProvenanceRecord::of_type("process"),
+        ];
         assert_eq!(record_value(&records, &RecordKey::Name), Some("cc"));
         assert_eq!(record_value(&records, &RecordKey::Env), None);
     }
@@ -344,7 +376,10 @@ mod tests {
             let store = loaded(&world);
             let mut reader = PrefetchingReader::with_policy(
                 store,
-                PrefetchPolicy { depth: 8, max_objects: 64 },
+                PrefetchPolicy {
+                    depth: 8,
+                    max_objects: 64,
+                },
             );
             let before = world.meters();
             for name in ["out", "mid", "in"] {
@@ -355,6 +390,9 @@ mod tests {
         // Same total work for the first pass, but the warm reader paid
         // at most the same number of attribute fetches while also
         // priming the processes; repeated walks are then free.
-        assert!(warm_ops <= cold_ops + 2, "warm {warm_ops} vs cold {cold_ops}");
+        assert!(
+            warm_ops <= cold_ops + 2,
+            "warm {warm_ops} vs cold {cold_ops}"
+        );
     }
 }

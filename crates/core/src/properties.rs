@@ -27,7 +27,7 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use pass::{FileFlush, Observer, ObjectRef, ProvenanceRecord, TraceEvent};
+use pass::{FileFlush, ObjectRef, Observer, ProvenanceRecord, TraceEvent};
 use serde::{Deserialize, Serialize};
 use simworld::{Blob, Consistency, CrashSite, LatencyModel, SimConfig, SimDuration, SimWorld};
 
@@ -36,7 +36,7 @@ use crate::arch2::{
     S3SimpleDb, A2_BEFORE_DATA_PUT, A2_BEFORE_OVERFLOW_PUT, A2_BEFORE_PROV_PUT, A2_MID_PROV_PUT,
 };
 use crate::arch3::{
-    S3SimpleDbSqs, A3_BEFORE_BEGIN, A3_BEFORE_COMMIT, A3_BEFORE_TEMP_PUT, A3_AFTER_TEMP_PUT,
+    S3SimpleDbSqs, A3_AFTER_TEMP_PUT, A3_BEFORE_BEGIN, A3_BEFORE_COMMIT, A3_BEFORE_TEMP_PUT,
     A3_MID_PROV_LOG, D3_AFTER_COPY, D3_BEFORE_COPY, D3_BEFORE_MSG_DELETE, D3_BEFORE_TMP_DELETE,
     D3_MID_PUTATTRS,
 };
@@ -182,6 +182,10 @@ fn standard_flushes() -> Vec<FileFlush> {
 // Downcasting through Any would force `Any` into the public trait, so the
 // properties module instead rebuilds stores itself and keeps the concrete
 // types. These helpers are only called with matching kinds.
+//
+// A handful of short-lived values exist at a time, so the size spread
+// between variants is irrelevant; boxing would only add indirection.
+#[allow(clippy::large_enum_variant)]
 enum Store {
     S3(StandaloneS3),
     Db(S3SimpleDb),
@@ -237,13 +241,21 @@ impl Store {
 fn collect_s3_corpus(s3: &sim_s3::S3) -> BTreeMap<ObjectRef, Vec<ProvenanceRecord>> {
     let mut out = BTreeMap::new();
     for key in s3.latest_keys(BUCKET, DATA_PREFIX) {
-        let Some(name) = key.strip_prefix(DATA_PREFIX) else { continue };
-        let Some(obj) = s3.latest_object(BUCKET, &key) else { continue };
-        let Ok(version) = read_version(&obj.metadata) else { continue };
+        let Some(name) = key.strip_prefix(DATA_PREFIX) else {
+            continue;
+        };
+        let Some(obj) = s3.latest_object(BUCKET, &key) else {
+            continue;
+        };
+        let Ok(version) = read_version(&obj.metadata) else {
+            continue;
+        };
         let records = decode_metadata(&obj.metadata, |k| {
             s3.latest_object(BUCKET, k)
                 .map(|o| String::from_utf8_lossy(&o.body.to_bytes()).into_owned())
-                .ok_or_else(|| crate::error::CloudError::NotFound { name: k.to_string() })
+                .ok_or_else(|| crate::error::CloudError::NotFound {
+                    name: k.to_string(),
+                })
         });
         if let Ok(records) = records {
             out.insert(ObjectRef::new(name.to_string(), version), records);
@@ -258,12 +270,18 @@ fn collect_db_corpus(
 ) -> BTreeMap<ObjectRef, Vec<ProvenanceRecord>> {
     let mut out = BTreeMap::new();
     for item_name in db.latest_item_names(DOMAIN) {
-        let Some(object) = ObjectRef::parse_item_name(&item_name) else { continue };
-        let Some(attrs) = db.latest_item(DOMAIN, &item_name) else { continue };
+        let Some(object) = ObjectRef::parse_item_name(&item_name) else {
+            continue;
+        };
+        let Some(attrs) = db.latest_item(DOMAIN, &item_name) else {
+            continue;
+        };
         let records = decode_attributes(&attrs, |k| {
             s3.latest_object(BUCKET, k)
                 .map(|o| String::from_utf8_lossy(&o.body.to_bytes()).into_owned())
-                .ok_or_else(|| crate::error::CloudError::NotFound { name: k.to_string() })
+                .ok_or_else(|| crate::error::CloudError::NotFound {
+                    name: k.to_string(),
+                })
         });
         if let Ok(records) = records {
             out.insert(object, records);
@@ -277,8 +295,12 @@ fn db_atomicity_violation(s3: &sim_s3::S3, db: &sim_simpledb::SimpleDb) -> bool 
     // store never reached — or an item missing its MD5 record (partial
     // PutAttributes).
     for item_name in db.latest_item_names(DOMAIN) {
-        let Some(object) = ObjectRef::parse_item_name(&item_name) else { continue };
-        let Some(attrs) = db.latest_item(DOMAIN, &item_name) else { continue };
+        let Some(object) = ObjectRef::parse_item_name(&item_name) else {
+            continue;
+        };
+        let Some(attrs) = db.latest_item(DOMAIN, &item_name) else {
+            continue;
+        };
         if !attrs.iter().any(|a| a.name == ATTR_MD5) {
             return true;
         }
@@ -291,9 +313,15 @@ fn db_atomicity_violation(s3: &sim_s3::S3, db: &sim_simpledb::SimpleDb) -> bool 
     }
     // Data without provenance.
     for key in s3.latest_keys(BUCKET, DATA_PREFIX) {
-        let Some(name) = key.strip_prefix(DATA_PREFIX) else { continue };
-        let Some(obj) = s3.latest_object(BUCKET, &key) else { continue };
-        let Ok(version) = read_version(&obj.metadata) else { continue };
+        let Some(name) = key.strip_prefix(DATA_PREFIX) else {
+            continue;
+        };
+        let Some(obj) = s3.latest_object(BUCKET, &key) else {
+            continue;
+        };
+        let Ok(version) = read_version(&obj.metadata) else {
+            continue;
+        };
         let item = ObjectRef::new(name.to_string(), version).item_name();
         match db.latest_item(DOMAIN, &item) {
             Some(attrs) if attrs.iter().any(|a| a.name == ATTR_MD5) => {}
@@ -498,10 +526,14 @@ pub fn check_efficient_query(kind: ArchKind, seed: u64) -> Result<bool> {
         store.run_designed_recovery()?;
         world.settle();
         let before = world.meters();
-        let answer = store
-            .as_store()
-            .query(&ProvQuery::OutputsOf { program: "blastall".to_string() })?;
-        assert_eq!(answer.names(), vec!["hits.out:1"], "query must find the blast output");
+        let answer = store.as_store().query(&ProvQuery::OutputsOf {
+            program: "blastall".to_string(),
+        })?;
+        assert_eq!(
+            answer.names(),
+            vec!["hits.out:1"],
+            "query must find the blast output"
+        );
         Ok((world.meters() - before).total_ops())
     };
     let small = ops_at(20)?;
@@ -532,7 +564,10 @@ pub fn property_matrix(kind: ArchKind, seed: u64) -> Result<PropertyMatrix> {
 ///
 /// Service errors.
 pub fn full_property_table(seed: u64) -> Result<Vec<PropertyMatrix>> {
-    ArchKind::ALL.iter().map(|kind| property_matrix(*kind, seed)).collect()
+    ArchKind::ALL
+        .iter()
+        .map(|kind| property_matrix(*kind, seed))
+        .collect()
 }
 
 #[cfg(test)]
@@ -544,7 +579,9 @@ mod tests {
         let flushes = standard_flushes();
         assert!(flushes.len() >= 5);
         assert!(
-            flushes.iter().any(|f| f.records.iter().any(|r| r.byte_len() > 1024)),
+            flushes
+                .iter()
+                .any(|f| f.records.iter().any(|r| r.byte_len() > 1024)),
             "the oversized env must force overflow handling"
         );
     }

@@ -110,8 +110,7 @@ fn name_record(records: &[ProvenanceRecord]) -> Option<&str> {
 /// `true` when the records mark a process running `program`.
 fn is_process_named(records: &[ProvenanceRecord], program: &str) -> bool {
     let is_process = records.iter().any(|r| {
-        r.key == RecordKey::Type
-            && matches!(&r.value, pass::RecordValue::Text(t) if t == "process")
+        r.key == RecordKey::Type && matches!(&r.value, pass::RecordValue::Text(t) if t == "process")
     });
     is_process && name_record(records) == Some(program)
 }
@@ -184,8 +183,9 @@ impl S3QueryEngine {
         let version = read_version(&head.metadata)?;
         let records = decode_metadata(&head.metadata, |key| {
             let obj = self.s3.get_object(BUCKET, key)?;
-            String::from_utf8(obj.body.to_bytes().to_vec())
-                .map_err(|_| CloudError::Corrupt { message: format!("overflow {key} not UTF-8") })
+            String::from_utf8(obj.body.to_bytes().to_vec()).map_err(|_| CloudError::Corrupt {
+                message: format!("overflow {key} not UTF-8"),
+            })
         })?;
         Ok(Some((ObjectRef::new(name.to_string(), version), records)))
     }
@@ -194,7 +194,9 @@ impl S3QueryEngine {
     fn scan(&self) -> Result<BTreeMap<ObjectRef, Vec<ProvenanceRecord>>> {
         let mut out = BTreeMap::new();
         for summary in self.s3.list_all(BUCKET, crate::layout::DATA_PREFIX)? {
-            let Some(name) = parse_data_key(&summary.key) else { continue };
+            let Some(name) = parse_data_key(&summary.key) else {
+                continue;
+            };
             if let Some((object, records)) = self.head_one(name)? {
                 out.insert(object, records);
             }
@@ -215,7 +217,10 @@ pub struct SimpleDbQueryEngine {
 impl SimpleDbQueryEngine {
     /// An engine reading items from `db` and overflow values from `s3`.
     pub fn new(db: &SimpleDb, s3: &S3) -> SimpleDbQueryEngine {
-        SimpleDbQueryEngine { db: db.clone(), s3: s3.clone() }
+        SimpleDbQueryEngine {
+            db: db.clone(),
+            s3: s3.clone(),
+        }
     }
 
     /// Executes a query.
@@ -309,10 +314,7 @@ impl SimpleDbQueryEngine {
     }
 
     /// Runs one QueryWithAttributes expression across all pages.
-    fn query_all_pages(
-        &self,
-        expr: &str,
-    ) -> Result<BTreeMap<ObjectRef, Vec<ProvenanceRecord>>> {
+    fn query_all_pages(&self, expr: &str) -> Result<BTreeMap<ObjectRef, Vec<ProvenanceRecord>>> {
         let mut out = BTreeMap::new();
         let mut token: Option<String> = None;
         loop {
@@ -324,7 +326,9 @@ impl SimpleDbQueryEngine {
                 token.as_deref(),
             )?;
             for item in &page.items {
-                let Some(object) = ObjectRef::parse_item_name(&item.name) else { continue };
+                let Some(object) = ObjectRef::parse_item_name(&item.name) else {
+                    continue;
+                };
                 let records = decode_attributes(&item.attributes, |key| self.fetch_overflow(key))?;
                 out.insert(object, records);
             }
@@ -342,13 +346,16 @@ impl SimpleDbQueryEngine {
         if attrs.is_empty() {
             return Ok(None);
         }
-        Ok(Some(decode_attributes(&attrs, |key| self.fetch_overflow(key))?))
+        Ok(Some(decode_attributes(&attrs, |key| {
+            self.fetch_overflow(key)
+        })?))
     }
 
     fn fetch_overflow(&self, key: &str) -> Result<String> {
         let obj = self.s3.get_object(BUCKET, key)?;
-        String::from_utf8(obj.body.to_bytes().to_vec())
-            .map_err(|_| CloudError::Corrupt { message: format!("overflow {key} not UTF-8") })
+        String::from_utf8(obj.body.to_bytes().to_vec()).map_err(|_| CloudError::Corrupt {
+            message: format!("overflow {key} not UTF-8"),
+        })
     }
 }
 
@@ -425,23 +432,43 @@ mod tests {
         );
         m.insert(
             ObjectRef::new("proc:1:blastall", 1),
-            vec![rec("type", "process"), rec("name", "blastall"), rec("input", "in.fa:1")],
+            vec![
+                rec("type", "process"),
+                rec("name", "blastall"),
+                rec("input", "in.fa:1"),
+            ],
         );
         m.insert(
             ObjectRef::new("hits.txt", 1),
-            vec![rec("type", "file"), rec("name", "hits.txt"), rec("input", "proc:1:blastall:1")],
+            vec![
+                rec("type", "file"),
+                rec("name", "hits.txt"),
+                rec("input", "proc:1:blastall:1"),
+            ],
         );
         m.insert(
             ObjectRef::new("log.txt", 1),
-            vec![rec("type", "file"), rec("name", "log.txt"), rec("input", "proc:1:blastall:1")],
+            vec![
+                rec("type", "file"),
+                rec("name", "log.txt"),
+                rec("input", "proc:1:blastall:1"),
+            ],
         );
         m.insert(
             ObjectRef::new("proc:2:awk", 1),
-            vec![rec("type", "process"), rec("name", "awk"), rec("input", "hits.txt:1")],
+            vec![
+                rec("type", "process"),
+                rec("name", "awk"),
+                rec("input", "hits.txt:1"),
+            ],
         );
         m.insert(
             ObjectRef::new("top.txt", 1),
-            vec![rec("type", "file"), rec("name", "top.txt"), rec("input", "proc:2:awk:1")],
+            vec![
+                rec("type", "file"),
+                rec("name", "top.txt"),
+                rec("input", "proc:2:awk:1"),
+            ],
         );
         m.insert(
             ObjectRef::new("proc:3:cp", 1),
@@ -449,7 +476,11 @@ mod tests {
         );
         m.insert(
             ObjectRef::new("unrelated.txt", 1),
-            vec![rec("type", "file"), rec("name", "unrelated.txt"), rec("input", "proc:3:cp:1")],
+            vec![
+                rec("type", "file"),
+                rec("name", "unrelated.txt"),
+                rec("input", "proc:3:cp:1"),
+            ],
         );
         m
     }
@@ -478,7 +509,10 @@ mod tests {
     fn descendants_exclude_unrelated_branches() {
         let result = descendants_of(&corpus(), "blastall");
         assert!(!result.keys().any(|o| o.name == "unrelated.txt"));
-        assert!(!result.keys().any(|o| o.name == "in.fa"), "ancestors are not descendants");
+        assert!(
+            !result.keys().any(|o| o.name == "in.fa"),
+            "ancestors are not descendants"
+        );
     }
 
     #[test]

@@ -48,19 +48,31 @@ pub(crate) fn verified_read(ctx: &ReadContext<'_>, name: &str) -> Result<ReadOut
                 continue;
             }
             Err(S3Error::NoSuchKey { .. }) => {
-                return Err(CloudError::NotFound { name: name.to_string() })
+                return Err(CloudError::NotFound {
+                    name: name.to_string(),
+                })
             }
             Err(e) => return Err(e.into()),
         };
         let version = read_version(&object.metadata)?;
         let nonce = read_nonce(&object.metadata)?;
         let object_ref = ObjectRef::new(name.to_string(), version);
-        let attrs = ctx.db.get_attributes(DOMAIN, &object_ref.item_name(), None)?;
-        let stored_md5 = attrs.iter().find(|a| a.name == ATTR_MD5).map(|a| a.value.clone());
+        let attrs = ctx
+            .db
+            .get_attributes(DOMAIN, &object_ref.item_name(), None)?;
+        let stored_md5 = attrs
+            .iter()
+            .find(|a| a.name == ATTR_MD5)
+            .map(|a| a.value.clone());
 
         let finish = |status: ReadStatus| -> Result<ReadOutcome> {
             let records = decode_attributes(&attrs, |k| fetch_overflow(ctx.s3, k))?;
-            Ok(ReadOutcome { object: object_ref.clone(), data: object.body.clone(), records, status })
+            Ok(ReadOutcome {
+                object: object_ref.clone(),
+                data: object.body.clone(),
+                records,
+                status,
+            })
         };
 
         if !ctx.verify_md5 {
@@ -80,6 +92,7 @@ pub(crate) fn verified_read(ctx: &ReadContext<'_>, name: &str) -> Result<ReadOut
 
 pub(crate) fn fetch_overflow(s3: &S3, key: &str) -> Result<String> {
     let obj = s3.get_object(BUCKET, key)?;
-    String::from_utf8(obj.body.to_bytes().to_vec())
-        .map_err(|_| CloudError::Corrupt { message: format!("overflow {key} not UTF-8") })
+    String::from_utf8(obj.body.to_bytes().to_vec()).map_err(|_| CloudError::Corrupt {
+        message: format!("overflow {key} not UTF-8"),
+    })
 }

@@ -20,14 +20,20 @@ pub struct RetryPolicy {
 
 impl Default for RetryPolicy {
     fn default() -> Self {
-        RetryPolicy { max_retries: 50, backoff: SimDuration::from_millis(100) }
+        RetryPolicy {
+            max_retries: 50,
+            backoff: SimDuration::from_millis(100),
+        }
     }
 }
 
 impl RetryPolicy {
     /// A policy that never retries (useful to expose raw staleness).
     pub fn none() -> RetryPolicy {
-        RetryPolicy { max_retries: 0, backoff: SimDuration::ZERO }
+        RetryPolicy {
+            max_retries: 0,
+            backoff: SimDuration::ZERO,
+        }
     }
 
     /// Sleeps for the backoff in virtual time.
@@ -53,7 +59,10 @@ mod tests {
     #[test]
     fn pause_advances_virtual_time() {
         let world = SimWorld::counting();
-        let p = RetryPolicy { max_retries: 1, backoff: SimDuration::from_secs(1) };
+        let p = RetryPolicy {
+            max_retries: 1,
+            backoff: SimDuration::from_secs(1),
+        };
         let t0 = world.now();
         p.pause(&world);
         assert_eq!((world.now() - t0).as_secs(), 1);

@@ -27,7 +27,10 @@ pub struct EncodedProvenance {
 impl EncodedProvenance {
     /// Total bytes of the attribute pairs.
     pub fn pair_bytes(&self) -> u64 {
-        self.pairs.iter().map(|(k, v)| (k.len() + v.len()) as u64).sum()
+        self.pairs
+            .iter()
+            .map(|(k, v)| (k.len() + v.len()) as u64)
+            .sum()
     }
 }
 
@@ -58,11 +61,15 @@ fn continuation_key(object: &ObjectRef) -> String {
 }
 
 fn esc(s: &str) -> String {
-    s.replace('%', "%25").replace('\u{1f}', "%1F").replace('\u{1e}', "%1E")
+    s.replace('%', "%25")
+        .replace('\u{1f}', "%1F")
+        .replace('\u{1e}', "%1E")
 }
 
 fn unesc(s: &str) -> String {
-    s.replace("%1E", "\u{1e}").replace("%1F", "\u{1f}").replace("%25", "%")
+    s.replace("%1E", "\u{1e}")
+        .replace("%1F", "\u{1f}")
+        .replace("%25", "%")
 }
 
 /// Lays encoded pairs into S3 user metadata for Architecture 1.
@@ -128,9 +135,15 @@ pub fn decode_metadata(
 ) -> Result<Vec<ProvenanceRecord>> {
     let mut indexed: Vec<(usize, String, String)> = Vec::new();
     for (key, value) in metadata.iter() {
-        let Some(rest) = key.strip_prefix('p') else { continue };
-        let Some((idx, attr)) = rest.split_once('-') else { continue };
-        let Ok(idx) = idx.parse::<usize>() else { continue };
+        let Some(rest) = key.strip_prefix('p') else {
+            continue;
+        };
+        let Some((idx, attr)) = rest.split_once('-') else {
+            continue;
+        };
+        let Ok(idx) = idx.parse::<usize>() else {
+            continue;
+        };
         indexed.push((idx, attr.to_string(), value.to_string()));
     }
     if let Some(more) = metadata.get(META_MORE) {
@@ -198,7 +211,11 @@ pub fn fit_item_pairs(
         return (pairs, None);
     }
     let tail: Vec<(String, String)> = pairs.split_off(max_inline);
-    let key = format!("{}{}/more-attrs", crate::layout::PROV_PREFIX, object.item_name());
+    let key = format!(
+        "{}{}/more-attrs",
+        crate::layout::PROV_PREFIX,
+        object.item_name()
+    );
     let body = tail
         .iter()
         .map(|(n, v)| format!("{}\u{1f}{}", esc(n), esc(v)))
@@ -265,7 +282,9 @@ pub fn read_nonce(metadata: &Metadata) -> Result<String> {
     metadata
         .get(META_NONCE)
         .map(str::to_string)
-        .ok_or_else(|| CloudError::Corrupt { message: "data object has no nonce".into() })
+        .ok_or_else(|| CloudError::Corrupt {
+            message: "data object has no nonce".into(),
+        })
 }
 
 /// Extracts the version a data object was stored with.
@@ -277,7 +296,9 @@ pub fn read_version(metadata: &Metadata) -> Result<u32> {
     metadata
         .get(META_VERSION)
         .and_then(|v| v.parse().ok())
-        .ok_or_else(|| CloudError::Corrupt { message: "data object has no version".into() })
+        .ok_or_else(|| CloudError::Corrupt {
+            message: "data object has no version".into(),
+        })
 }
 
 #[cfg(test)]
@@ -327,7 +348,9 @@ mod tests {
                 .iter()
                 .find(|(k, _)| k == key)
                 .map(|(_, blob)| String::from_utf8(blob.to_bytes().to_vec()).unwrap())
-                .ok_or_else(|| CloudError::NotFound { name: key.to_string() })
+                .ok_or_else(|| CloudError::NotFound {
+                    name: key.to_string(),
+                })
         };
         let decoded = decode_metadata(&meta, fetch).unwrap();
         assert_eq!(decoded, records);
@@ -338,8 +361,9 @@ mod tests {
         let obj = ObjectRef::new("foo", 1);
         // 30 records of ~100 bytes: 3 KB total, all under the 1 KB
         // per-record threshold, so the 2 KB cap forces extra spills.
-        let records: Vec<ProvenanceRecord> =
-            (0..30).map(|i| rec("env", &format!("{i:03}{}", "v".repeat(97)))).collect();
+        let records: Vec<ProvenanceRecord> = (0..30)
+            .map(|i| rec("env", &format!("{i:03}{}", "v".repeat(97))))
+            .collect();
         let enc = encode_records(&obj, &records);
         assert!(enc.overflows.is_empty());
         let (meta, overflows) = encode_metadata(&obj, enc);
@@ -350,10 +374,15 @@ mod tests {
                 .iter()
                 .find(|(k, _)| k == key)
                 .map(|(_, blob)| String::from_utf8(blob.to_bytes().to_vec()).unwrap())
-                .ok_or_else(|| CloudError::NotFound { name: key.to_string() })
+                .ok_or_else(|| CloudError::NotFound {
+                    name: key.to_string(),
+                })
         };
         let decoded = decode_metadata(&meta, fetch).unwrap();
-        assert_eq!(decoded, records, "record order and content survive spilling");
+        assert_eq!(
+            decoded, records,
+            "record order and content survive spilling"
+        );
     }
 
     #[test]
@@ -367,14 +396,16 @@ mod tests {
         let enc = encode_records(&obj, &records);
         let attrs = to_simpledb_attributes(&enc);
         assert_eq!(attrs.len(), 3);
-        assert!(attrs.iter().all(|a| !a.replace), "adds, never replaces (idempotency)");
+        assert!(
+            attrs.iter().all(|a| !a.replace),
+            "adds, never replaces (idempotency)"
+        );
 
         let stored: Vec<sim_simpledb::Attribute> = attrs
             .iter()
             .map(|a| sim_simpledb::Attribute::new(a.name.clone(), a.value.clone()))
             .collect();
-        let decoded =
-            decode_attributes(&stored, |_| panic!("no overflow expected")).unwrap();
+        let decoded = decode_attributes(&stored, |_| panic!("no overflow expected")).unwrap();
         // SimpleDB sets are unordered; compare as sets.
         let mut want = records.clone();
         want.sort();
@@ -401,7 +432,9 @@ mod tests {
         let enc = encode_records(&obj, &records);
         let (meta, _overflows) = encode_metadata(&obj, enc);
         let result = decode_metadata(&meta, |key| {
-            Err(CloudError::NotFound { name: key.to_string() })
+            Err(CloudError::NotFound {
+                name: key.to_string(),
+            })
         });
         assert!(matches!(result, Err(CloudError::NotFound { .. })));
     }
@@ -410,16 +443,24 @@ mod tests {
     fn nonce_and_version_extraction_errors() {
         let meta = Metadata::new();
         assert!(matches!(read_nonce(&meta), Err(CloudError::Corrupt { .. })));
-        assert!(matches!(read_version(&meta), Err(CloudError::Corrupt { .. })));
+        assert!(matches!(
+            read_version(&meta),
+            Err(CloudError::Corrupt { .. })
+        ));
         let meta = Metadata::from_pairs([(META_VERSION, "notanumber")]);
-        assert!(matches!(read_version(&meta), Err(CloudError::Corrupt { .. })));
+        assert!(matches!(
+            read_version(&meta),
+            Err(CloudError::Corrupt { .. })
+        ));
     }
 
     #[test]
     fn reference_records_survive_round_trip_as_refs() {
         let obj = ObjectRef::new("foo", 1);
-        let records =
-            vec![ProvenanceRecord::new(RecordKey::Input, RecordValue::Ref(ObjectRef::new("a", 1)))];
+        let records = vec![ProvenanceRecord::new(
+            RecordKey::Input,
+            RecordValue::Ref(ObjectRef::new("a", 1)),
+        )];
         let enc = encode_records(&obj, &records);
         let (meta, _) = encode_metadata(&obj, enc);
         let decoded = decode_metadata(&meta, |_| unreachable!()).unwrap();

@@ -72,17 +72,28 @@ fn end_to_end(store: &mut dyn ProvenanceStore, world: &SimWorld) {
     );
 
     // Q2: outputs of `tool`.
-    let outputs = store.query(&ProvQuery::OutputsOf { program: "tool".into() }).unwrap();
+    let outputs = store
+        .query(&ProvQuery::OutputsOf {
+            program: "tool".into(),
+        })
+        .unwrap();
     assert_eq!(outputs.names(), vec!["mid.dat:1"]);
 
     // Q3: descendants of files derived from `tool`.
-    let desc = store.query(&ProvQuery::DescendantsOf { program: "tool".into() }).unwrap();
+    let desc = store
+        .query(&ProvQuery::DescendantsOf {
+            program: "tool".into(),
+        })
+        .unwrap();
     assert!(desc.names().contains(&"out.dat:1".to_string()));
     assert!(desc.names().iter().any(|n| n.starts_with("proc:2:refine")));
 
     // Q1 single object.
     let q1 = store
-        .query(&ProvQuery::ProvenanceOf { name: "out.dat".into(), version: 1 })
+        .query(&ProvQuery::ProvenanceOf {
+            name: "out.dat".into(),
+            version: 1,
+        })
         .unwrap();
     assert_eq!(q1.len(), 1);
 
@@ -91,7 +102,10 @@ fn end_to_end(store: &mut dyn ProvenanceStore, world: &SimWorld) {
     assert_eq!(all.len(), 5, "three files + two processes");
 
     // Missing object.
-    assert!(matches!(store.read("ghost.dat"), Err(CloudError::NotFound { .. })));
+    assert!(matches!(
+        store.read("ghost.dat"),
+        Err(CloudError::NotFound { .. })
+    ));
 }
 
 #[test]
@@ -124,8 +138,16 @@ fn all_architectures_agree_on_query_answers() {
         let mut store = kind.build(&world);
         persist_all(store.as_mut(), &flushes);
         world.settle();
-        let q2 = store.query(&ProvQuery::OutputsOf { program: "tool".into() }).unwrap();
-        let q3 = store.query(&ProvQuery::DescendantsOf { program: "tool".into() }).unwrap();
+        let q2 = store
+            .query(&ProvQuery::OutputsOf {
+                program: "tool".into(),
+            })
+            .unwrap();
+        let q3 = store
+            .query(&ProvQuery::DescendantsOf {
+                program: "tool".into(),
+            })
+            .unwrap();
         answers.push((q2.names(), q3.names()));
     }
     assert_eq!(answers[0], answers[1], "S3 scan and SimpleDB agree");
@@ -141,7 +163,10 @@ fn end_to_end_under_eventual_consistency_with_realistic_latency() {
     world.settle();
     let read = store.read("out.dat").unwrap();
     assert!(read.consistent());
-    assert!(world.now().as_micros() > 0, "latency model advanced the clock");
+    assert!(
+        world.now().as_micros() > 0,
+        "latency model advanced the clock"
+    );
 }
 
 // --- versioning across architectures ---
@@ -150,7 +175,10 @@ fn end_to_end_under_eventual_consistency_with_realistic_latency() {
 fn version_overwrite_keeps_simpledb_history_but_not_s3_metadata() {
     let world = counting();
     let mut store = S3SimpleDb::new(&world);
-    let v1 = FileFlush::builder("f").version(1).data(Blob::from("one")).build();
+    let v1 = FileFlush::builder("f")
+        .version(1)
+        .data(Blob::from("one"))
+        .build();
     let v2 = FileFlush::builder("f")
         .version(2)
         .data(Blob::from("two"))
@@ -166,9 +194,19 @@ fn version_overwrite_keeps_simpledb_history_but_not_s3_metadata() {
 
     // SimpleDB retains the provenance of *both* versions (per-version
     // items) — the history Architecture 1 loses.
-    let q1v1 = store.query(&ProvQuery::ProvenanceOf { name: "f".into(), version: 1 }).unwrap();
+    let q1v1 = store
+        .query(&ProvQuery::ProvenanceOf {
+            name: "f".into(),
+            version: 1,
+        })
+        .unwrap();
     assert_eq!(q1v1.len(), 1);
-    let q1v2 = store.query(&ProvQuery::ProvenanceOf { name: "f".into(), version: 2 }).unwrap();
+    let q1v2 = store
+        .query(&ProvQuery::ProvenanceOf {
+            name: "f".into(),
+            version: 2,
+        })
+        .unwrap();
     assert_eq!(q1v2.len(), 1);
 }
 
@@ -176,12 +214,26 @@ fn version_overwrite_keeps_simpledb_history_but_not_s3_metadata() {
 fn arch1_overwrite_loses_old_version_provenance() {
     let world = counting();
     let mut store = StandaloneS3::new(&world);
-    let v1 = FileFlush::builder("f").version(1).data(Blob::from("one")).build();
-    let v2 = FileFlush::builder("f").version(2).data(Blob::from("two")).build();
+    let v1 = FileFlush::builder("f")
+        .version(1)
+        .data(Blob::from("one"))
+        .build();
+    let v2 = FileFlush::builder("f")
+        .version(2)
+        .data(Blob::from("two"))
+        .build();
     store.persist(&v1).unwrap();
     store.persist(&v2).unwrap();
-    let q1v1 = store.query(&ProvQuery::ProvenanceOf { name: "f".into(), version: 1 }).unwrap();
-    assert!(q1v1.is_empty(), "metadata was overwritten with version 2's provenance");
+    let q1v1 = store
+        .query(&ProvQuery::ProvenanceOf {
+            name: "f".into(),
+            version: 1,
+        })
+        .unwrap();
+    assert!(
+        q1v1.is_empty(),
+        "metadata was overwritten with version 2's provenance"
+    );
 }
 
 // --- crash injection and recovery ---
@@ -198,7 +250,10 @@ fn arch2_crash_between_prov_and_data_leaves_orphan_and_scan_recovers() {
     // Orphan provenance exists (the §4.2 atomicity violation)...
     let items = store.simpledb().latest_item_names(DOMAIN);
     assert_eq!(items, vec!["doomed 1"]);
-    assert!(store.s3().latest_object(BUCKET, &data_key("doomed")).is_none());
+    assert!(store
+        .s3()
+        .latest_object(BUCKET, &data_key("doomed"))
+        .is_none());
 
     // ...and the inelegant scan cleans it up.
     let report = store.recover().unwrap();
@@ -211,8 +266,14 @@ fn arch2_crash_between_prov_and_data_leaves_orphan_and_scan_recovers() {
 fn arch2_recovery_does_not_remove_healthy_or_historical_items() {
     let world = counting();
     let mut store = S3SimpleDb::new(&world);
-    let v1 = FileFlush::builder("f").version(1).data(Blob::from("one")).build();
-    let v2 = FileFlush::builder("f").version(2).data(Blob::from("two")).build();
+    let v1 = FileFlush::builder("f")
+        .version(1)
+        .data(Blob::from("one"))
+        .build();
+    let v2 = FileFlush::builder("f")
+        .version(2)
+        .data(Blob::from("two"))
+        .build();
     store.persist(&v1).unwrap();
     store.persist(&v2).unwrap();
     let report = store.recover().unwrap();
@@ -230,7 +291,10 @@ fn arch3_uncommitted_transaction_is_ignored_forever() {
 
     store.run_daemons_until_idle().unwrap();
     // Neither data nor provenance reached the permanent stores.
-    assert!(store.s3().latest_object(BUCKET, &data_key("doomed")).is_none());
+    assert!(store
+        .s3()
+        .latest_object(BUCKET, &data_key("doomed"))
+        .is_none());
     assert!(store.simpledb().latest_item_names(DOMAIN).is_empty());
 
     // The staged temp object lingers until the retention window passes,
@@ -260,7 +324,10 @@ fn arch3_daemon_crash_replays_idempotently() {
     assert!(read.consistent());
     // Replay must not duplicate provenance (SimpleDB set semantics).
     let q1 = store
-        .query(&ProvQuery::ProvenanceOf { name: "out.dat".into(), version: 1 })
+        .query(&ProvQuery::ProvenanceOf {
+            name: "out.dat".into(),
+            version: 1,
+        })
         .unwrap();
     let record_count = q1.items[0].records.len();
     let unique: std::collections::BTreeSet<_> =
@@ -281,7 +348,11 @@ fn arch3_wal_drains_to_empty_after_commit() {
     persist_all_no_daemon(&mut store, &pipeline_flushes());
     assert!(store.wal_depth_exact() > 0, "log records queued");
     store.run_daemons_until_idle().unwrap();
-    assert_eq!(store.wal_depth_exact(), 0, "all records deleted after apply");
+    assert_eq!(
+        store.wal_depth_exact(),
+        0,
+        "all records deleted after apply"
+    );
     // Temp objects are also gone (deleted at end of apply).
     assert!(store.s3().latest_keys(BUCKET, TMP_PREFIX).is_empty());
 }
@@ -290,7 +361,10 @@ fn arch3_wal_drains_to_empty_after_commit() {
 fn arch3_poll_daemon_respects_commit_threshold() {
     let world = counting();
     let mut store = S3SimpleDbSqs::new(&world, "c1");
-    let config = Arch3Config { commit_threshold: 1000, ..Arch3Config::default() };
+    let config = Arch3Config {
+        commit_threshold: 1000,
+        ..Arch3Config::default()
+    };
     store.set_config(config);
     let flush = FileFlush::builder("f").data(Blob::from("x")).build();
     store.persist(&flush).unwrap();
@@ -299,7 +373,10 @@ fn arch3_poll_daemon_respects_commit_threshold() {
     assert_eq!(progress.received, 0);
     assert!(store.wal_depth_exact() > 0);
 
-    let config = Arch3Config { commit_threshold: 0, ..Arch3Config::default() };
+    let config = Arch3Config {
+        commit_threshold: 0,
+        ..Arch3Config::default()
+    };
     store.set_config(config);
     // Above the threshold: polls start draining (may need several due to
     // SQS sampling).
@@ -321,12 +398,17 @@ fn md5_detects_stale_provenance_and_retry_converges() {
     let world = eventual(9, 2);
     let mut store = S3SimpleDb::new(&world);
     let config = Arch2Config {
-        retry: RetryPolicy { max_retries: 100, backoff: SimDuration::from_millis(100) },
+        retry: RetryPolicy {
+            max_retries: 100,
+            backoff: SimDuration::from_millis(100),
+        },
         ..Arch2Config::default()
     };
     store.set_config(config);
 
-    let flush = FileFlush::builder("f").data(Blob::synthetic(5, 4096)).build();
+    let flush = FileFlush::builder("f")
+        .data(Blob::synthetic(5, 4096))
+        .build();
     store.persist(&flush).unwrap();
     // Immediately read: replicas may be stale, but the read loop must
     // converge to a verified-consistent answer within the retry budget.
@@ -338,7 +420,10 @@ fn md5_detects_stale_provenance_and_retry_converges() {
 fn disabling_md5_serves_unverified_reads() {
     let world = eventual(11, 30);
     let mut store = S3SimpleDb::new(&world);
-    let config = Arch2Config { verify_md5: false, ..Arch2Config::default() };
+    let config = Arch2Config {
+        verify_md5: false,
+        ..Arch2Config::default()
+    };
     store.set_config(config);
     let flush = FileFlush::builder("f").data(Blob::from("data")).build();
     store.persist(&flush).unwrap();
@@ -362,8 +447,14 @@ fn nonce_distinguishes_same_content_overwrites() {
             .unwrap()
             .value
     }
-    let v1 = FileFlush::builder("f").version(1).data(Blob::from("same")).build();
-    let v2 = FileFlush::builder("f").version(2).data(Blob::from("same")).build();
+    let v1 = FileFlush::builder("f")
+        .version(1)
+        .data(Blob::from("same"))
+        .build();
+    let v2 = FileFlush::builder("f")
+        .version(2)
+        .data(Blob::from("same"))
+        .build();
 
     let world = counting();
     let mut store = S3SimpleDb::new(&world);
@@ -378,7 +469,10 @@ fn nonce_distinguishes_same_content_overwrites() {
     // Ablation: without the nonce the tokens collide.
     let world = counting();
     let mut store = S3SimpleDb::new(&world);
-    let config = Arch2Config { use_nonce: false, ..Arch2Config::default() };
+    let config = Arch2Config {
+        use_nonce: false,
+        ..Arch2Config::default()
+    };
     store.set_config(config);
     store.persist(&v1).unwrap();
     store.persist(&v2).unwrap();
@@ -406,7 +500,10 @@ fn oversized_records_survive_the_round_trip_in_every_architecture() {
         store.run_daemons_until_idle().unwrap();
         world.settle();
         let q1 = store
-            .query(&ProvQuery::ProvenanceOf { name: "proc:1:tool".into(), version: 1 })
+            .query(&ProvQuery::ProvenanceOf {
+                name: "proc:1:tool".into(),
+                version: 1,
+            })
             .unwrap();
         assert_eq!(q1.len(), 1, "{kind:?}");
         let env = q1.items[0]
@@ -414,7 +511,11 @@ fn oversized_records_survive_the_round_trip_in_every_architecture() {
             .iter()
             .find(|r| r.key.attr_name() == "env")
             .unwrap_or_else(|| panic!("{kind:?}: env record missing"));
-        assert_eq!(env.value.render(), big_env, "{kind:?}: overflow value corrupted");
+        assert_eq!(
+            env.value.render(),
+            big_env,
+            "{kind:?}: overflow value corrupted"
+        );
     }
 }
 
@@ -440,7 +541,10 @@ fn table1_atomicity_s3_simpledb_violated() {
 fn table1_atomicity_s3_simpledb_sqs_holds() {
     let report = check_atomicity(ArchKind::S3SimpleDbSqs, 1).unwrap();
     assert!(report.holds(), "violations: {:?}", report.sites);
-    assert!(report.sites.len() >= 8, "client + daemon sites all exercised");
+    assert!(
+        report.sites.len() >= 8,
+        "client + daemon sites all exercised"
+    );
 }
 
 #[test]
@@ -484,7 +588,10 @@ fn arch1_recover_cleans_orphaned_overflow_objects() {
     assert!(store.read("f").is_err());
     let report = store.recover().unwrap();
     assert_eq!(report.objects_removed as usize, orphans.len());
-    assert!(store.s3().latest_keys(BUCKET, crate::layout::PROV_PREFIX).is_empty());
+    assert!(store
+        .s3()
+        .latest_keys(BUCKET, crate::layout::PROV_PREFIX)
+        .is_empty());
 
     // A successful persist leaves its overflow objects alone.
     store.persist(&big).unwrap();
@@ -507,7 +614,11 @@ fn arch3_cleaner_spares_fresh_temp_objects() {
     assert!(store.persist(&flush).unwrap_err().is_crash());
     // Residue exists but is younger than the retention window.
     assert!(!store.s3().latest_keys(BUCKET, TMP_PREFIX).is_empty());
-    assert_eq!(store.run_cleaner().unwrap(), 0, "fresh temps are not reclaimed");
+    assert_eq!(
+        store.run_cleaner().unwrap(),
+        0,
+        "fresh temps are not reclaimed"
+    );
     world.advance(sim_sqs::RETENTION + SimDuration::from_secs(1));
     assert!(store.run_cleaner().unwrap() > 0);
 }

@@ -91,7 +91,10 @@ impl WalRecord {
 
     /// `true` for the records counted by `Begin::records`.
     pub fn is_payload(&self) -> bool {
-        matches!(self, WalRecord::Data { .. } | WalRecord::Prov { .. } | WalRecord::Md5 { .. })
+        matches!(
+            self,
+            WalRecord::Data { .. } | WalRecord::Prov { .. } | WalRecord::Md5 { .. }
+        )
     }
 
     /// Serialises to the queue wire form.
@@ -101,7 +104,13 @@ impl WalRecord {
             WalRecord::Begin { txid, records } => {
                 fields.extend(["B".into(), txid.to_string(), records.to_string()]);
             }
-            WalRecord::Data { txid, temp_key, name, version, nonce } => {
+            WalRecord::Data {
+                txid,
+                temp_key,
+                name,
+                version,
+                nonce,
+            } => {
                 fields.extend([
                     "D".into(),
                     txid.to_string(),
@@ -111,14 +120,23 @@ impl WalRecord {
                     esc(nonce),
                 ]);
             }
-            WalRecord::Prov { txid, item_name, pairs } => {
+            WalRecord::Prov {
+                txid,
+                item_name,
+                pairs,
+            } => {
                 fields.extend(["P".into(), txid.to_string(), esc(item_name)]);
                 for (k, v) in pairs {
                     fields.push(esc(k));
                     fields.push(esc(v));
                 }
             }
-            WalRecord::Md5 { txid, item_name, md5_hex, nonce } => {
+            WalRecord::Md5 {
+                txid,
+                item_name,
+                md5_hex,
+                nonce,
+            } => {
                 fields.extend([
                     "M".into(),
                     txid.to_string(),
@@ -157,7 +175,7 @@ impl WalRecord {
                 })
             }
             "P" => {
-                if fields.len() < 3 || (fields.len() - 3) % 2 != 0 {
+                if fields.len() < 3 || !(fields.len() - 3).is_multiple_of(2) {
                     return None;
                 }
                 let item_name = unesc(fields[2]);
@@ -165,7 +183,11 @@ impl WalRecord {
                     .chunks_exact(2)
                     .map(|c| (unesc(c[0]), unesc(c[1])))
                     .collect();
-                Some(WalRecord::Prov { txid, item_name, pairs })
+                Some(WalRecord::Prov {
+                    txid,
+                    item_name,
+                    pairs,
+                })
             }
             "M" => {
                 if fields.len() != 5 {
@@ -188,17 +210,16 @@ impl WalRecord {
 /// an SQS message ("group the provenance records into chunks of 8KB",
 /// §4.3). Oversized single pairs must have been pointered beforehand —
 /// the overflow rule keeps values ≤ 1 KB, so any pair fits.
-pub fn chunk_pairs(
-    txid: u64,
-    item_name: &str,
-    pairs: &[(String, String)],
-) -> Vec<WalRecord> {
+pub fn chunk_pairs(txid: u64, item_name: &str, pairs: &[(String, String)]) -> Vec<WalRecord> {
     let mut out = Vec::new();
     let mut current: Vec<(String, String)> = Vec::new();
     for pair in pairs {
         current.push(pair.clone());
-        let candidate =
-            WalRecord::Prov { txid, item_name: item_name.to_string(), pairs: current.clone() };
+        let candidate = WalRecord::Prov {
+            txid,
+            item_name: item_name.to_string(),
+            pairs: current.clone(),
+        };
         if candidate.encode().len() > MAX_MESSAGE_SIZE && current.len() > 1 {
             let overflowed = current.pop().expect("non-empty");
             out.push(WalRecord::Prov {
@@ -210,7 +231,11 @@ pub fn chunk_pairs(
         }
     }
     if !current.is_empty() {
-        out.push(WalRecord::Prov { txid, item_name: item_name.to_string(), pairs: current });
+        out.push(WalRecord::Prov {
+            txid,
+            item_name: item_name.to_string(),
+            pairs: current,
+        });
     }
     out
 }
@@ -221,13 +246,19 @@ mod tests {
 
     fn round_trip(record: WalRecord) {
         let encoded = record.encode();
-        assert!(encoded.len() <= MAX_MESSAGE_SIZE, "record exceeds SQS limit");
+        assert!(
+            encoded.len() <= MAX_MESSAGE_SIZE,
+            "record exceeds SQS limit"
+        );
         assert_eq!(WalRecord::decode(&encoded), Some(record));
     }
 
     #[test]
     fn all_variants_round_trip() {
-        round_trip(WalRecord::Begin { txid: 7, records: 3 });
+        round_trip(WalRecord::Begin {
+            txid: 7,
+            records: 3,
+        });
         round_trip(WalRecord::Data {
             txid: 7,
             temp_key: "tmp/c/7/data".into(),
@@ -238,7 +269,10 @@ mod tests {
         round_trip(WalRecord::Prov {
             txid: 7,
             item_name: "results/out.csv 2".into(),
-            pairs: vec![("input".into(), "bar:2".into()), ("type".into(), "file".into())],
+            pairs: vec![
+                ("input".into(), "bar:2".into()),
+                ("type".into(), "file".into()),
+            ],
         });
         round_trip(WalRecord::Md5 {
             txid: 7,
@@ -265,13 +299,20 @@ mod tests {
         assert_eq!(WalRecord::decode("B\u{1f}notanumber\u{1f}3"), None);
         assert_eq!(WalRecord::decode("B\u{1f}1"), None); // missing count
         assert_eq!(WalRecord::decode("D\u{1f}1\u{1f}only-three-fields"), None);
-        assert_eq!(WalRecord::decode("P\u{1f}1\u{1f}item\u{1f}dangling-key"), None);
+        assert_eq!(
+            WalRecord::decode("P\u{1f}1\u{1f}item\u{1f}dangling-key"),
+            None
+        );
         assert_eq!(WalRecord::decode("arbitrary user message"), None);
     }
 
     #[test]
     fn payload_classification() {
-        assert!(!WalRecord::Begin { txid: 1, records: 0 }.is_payload());
+        assert!(!WalRecord::Begin {
+            txid: 1,
+            records: 0
+        }
+        .is_payload());
         assert!(!WalRecord::Commit { txid: 1 }.is_payload());
         assert!(WalRecord::Md5 {
             txid: 1,
@@ -284,15 +325,18 @@ mod tests {
 
     #[test]
     fn chunking_respects_message_limit() {
-        let pairs: Vec<(String, String)> =
-            (0..200).map(|i| (format!("env{i}"), "v".repeat(500))).collect();
+        let pairs: Vec<(String, String)> = (0..200)
+            .map(|i| (format!("env{i}"), "v".repeat(500)))
+            .collect();
         let chunks = chunk_pairs(9, "item 1", &pairs);
         assert!(chunks.len() > 1, "200 × ~500B pairs cannot fit one message");
         let mut reassembled = Vec::new();
         for c in &chunks {
             assert!(c.encode().len() <= MAX_MESSAGE_SIZE);
             match c {
-                WalRecord::Prov { item_name, pairs, .. } => {
+                WalRecord::Prov {
+                    item_name, pairs, ..
+                } => {
                     assert_eq!(item_name, "item 1");
                     reassembled.extend(pairs.clone());
                 }

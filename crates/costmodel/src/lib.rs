@@ -76,7 +76,10 @@ impl PriceBook {
     /// The January 2009 snapshot used throughout the paper.
     pub fn january_2009() -> PriceBook {
         PriceBook {
-            transfer: TransferRates { in_per_gb: 0.10, out_per_gb: 0.17 },
+            transfer: TransferRates {
+                in_per_gb: 0.10,
+                out_per_gb: 0.17,
+            },
             s3_storage_per_gb_month: 0.15,
             s3_per_1k_put_class: 0.01,
             s3_per_10k_get_class: 0.01,
@@ -193,8 +196,8 @@ pub fn cost_of(snapshot: &MeterSnapshot, months_stored: f64, book: &PriceBook) -
     }
     report.s3.requests = s3_put_class as f64 / 1_000.0 * book.s3_per_1k_put_class
         + s3_get_class as f64 / 10_000.0 * book.s3_per_10k_get_class;
-    let machine_hours = sdb_writes as f64 * book.sdb_hours_per_write
-        + sdb_reads as f64 * book.sdb_hours_per_read;
+    let machine_hours =
+        sdb_writes as f64 * book.sdb_hours_per_write + sdb_reads as f64 * book.sdb_hours_per_read;
     report.simpledb.requests = machine_hours * book.sdb_per_machine_hour;
     report.sqs.requests = sqs_requests as f64 / 10_000.0 * book.sqs_per_10k_requests;
     report

@@ -97,7 +97,10 @@ mod tests {
     use super::*;
 
     fn flush(name: &str, version: u32, content: &str) -> FileFlush {
-        FileFlush::builder(name).version(version).data(Blob::from(content)).build()
+        FileFlush::builder(name)
+            .version(version)
+            .data(Blob::from(content))
+            .build()
     }
 
     #[test]

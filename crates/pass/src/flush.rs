@@ -149,7 +149,13 @@ mod tests {
     #[test]
     fn explicit_type_record_not_duplicated() {
         let f = FileFlush::builder("x").record("type", "file").build();
-        assert_eq!(f.records.iter().filter(|r| r.key == RecordKey::Type).count(), 1);
+        assert_eq!(
+            f.records
+                .iter()
+                .filter(|r| r.key == RecordKey::Type)
+                .count(),
+            1
+        );
     }
 
     #[test]

@@ -33,7 +33,10 @@ pub struct ObjectRef {
 impl ObjectRef {
     /// Builds a reference.
     pub fn new(name: impl Into<String>, version: u32) -> ObjectRef {
-        ObjectRef { name: name.into(), version }
+        ObjectRef {
+            name: name.into(),
+            version,
+        }
     }
 
     /// Renders as `name:version`.
@@ -50,7 +53,10 @@ impl ObjectRef {
         if name.is_empty() {
             return None;
         }
-        Some(ObjectRef { name: name.to_string(), version })
+        Some(ObjectRef {
+            name: name.to_string(),
+            version,
+        })
     }
 
     /// The SimpleDB item name for this object version: the paper
@@ -66,7 +72,10 @@ impl ObjectRef {
         if name.is_empty() {
             return None;
         }
-        Some(ObjectRef { name: name.to_string(), version })
+        Some(ObjectRef {
+            name: name.to_string(),
+            version,
+        })
     }
 }
 

@@ -221,9 +221,13 @@ impl Observer {
         let mut out = Vec::new();
         match event {
             TraceEvent::Source { path, data } => self.on_source(path, data, &mut out),
-            TraceEvent::Exec { pid, exe, argv, env, parent } => {
-                self.on_exec(pid, exe, argv, env, parent)?
-            }
+            TraceEvent::Exec {
+                pid,
+                exe,
+                argv,
+                env,
+                parent,
+            } => self.on_exec(pid, exe, argv, env, parent)?,
             TraceEvent::Read { pid, path } => self.on_read(pid, &path, &mut out)?,
             TraceEvent::Write { pid, path } => self.on_write(pid, &path, &mut out)?,
             TraceEvent::Close { pid, path, data } => self.on_close(pid, &path, data, &mut out)?,
@@ -322,7 +326,9 @@ impl Observer {
 
     fn on_read(&mut self, pid: u32, path: &str, out: &mut Vec<FileFlush>) -> Result<()> {
         if !self.files.contains_key(path) {
-            return Err(ObserverError::UnknownFile { path: path.to_string() });
+            return Err(ObserverError::UnknownFile {
+                path: path.to_string(),
+            });
         }
         self.live_proc(pid)?;
 
@@ -391,8 +397,10 @@ impl Observer {
                 ProvenanceRecord::of_type(ObjectKind::File.type_value()),
             ];
             if prev_version > 0 {
-                file.records
-                    .push(ProvenanceRecord::input(ObjectRef::new(path.to_string(), prev_version)));
+                file.records.push(ProvenanceRecord::input(ObjectRef::new(
+                    path.to_string(),
+                    prev_version,
+                )));
             }
         }
         let file = self.files.get_mut(path).expect("inserted above");
@@ -400,7 +408,10 @@ impl Observer {
         if file.writers.insert(proc_ref.clone()) {
             file.records.push(ProvenanceRecord::input(proc_ref));
         }
-        self.procs.get_mut(&pid).expect("live_proc checked").has_written = true;
+        self.procs
+            .get_mut(&pid)
+            .expect("live_proc checked")
+            .has_written = true;
         Ok(())
     }
 
@@ -415,7 +426,9 @@ impl Observer {
         let file = self
             .files
             .get_mut(path)
-            .ok_or_else(|| ObserverError::UnknownFile { path: path.to_string() })?;
+            .ok_or_else(|| ObserverError::UnknownFile {
+                path: path.to_string(),
+            })?;
         if !file.dirty {
             // Close after read-only access: nothing to persist.
             return Ok(());
@@ -440,8 +453,10 @@ impl Observer {
         let (object, ancestors) = {
             let file = &self.files[path];
             let object = ObjectRef::new(path.to_string(), file.version);
-            let ancestors: Vec<ObjectRef> =
-                crate::records::references(&file.records).into_iter().cloned().collect();
+            let ancestors: Vec<ObjectRef> = crate::records::references(&file.records)
+                .into_iter()
+                .cloned()
+                .collect();
             (object, ancestors)
         };
         if self.flushed.contains(&object) {
@@ -466,8 +481,10 @@ impl Observer {
         let (object, ancestors, records) = {
             let proc = &self.procs[&pid];
             let object = proc.object_ref(pid);
-            let ancestors: Vec<ObjectRef> =
-                crate::records::references(&proc.records).into_iter().cloned().collect();
+            let ancestors: Vec<ObjectRef> = crate::records::references(&proc.records)
+                .into_iter()
+                .cloned()
+                .collect();
             (object, ancestors, proc.records.clone())
         };
         if self.flushed.contains(&object) {
@@ -494,8 +511,7 @@ impl Observer {
                 continue;
             }
             if let Some(rest) = ancestor.name.strip_prefix("proc:") {
-                let pid: Option<u32> =
-                    rest.split(':').next().and_then(|p| p.parse().ok());
+                let pid: Option<u32> = rest.split(':').next().and_then(|p| p.parse().ok());
                 if let Some(pid) = pid {
                     if self.procs.contains_key(&pid) {
                         debug_assert_eq!(
@@ -528,7 +544,10 @@ impl Observer {
 impl TraceEvent {
     /// A [`TraceEvent::Source`].
     pub fn source(path: impl Into<String>, data: Blob) -> TraceEvent {
-        TraceEvent::Source { path: path.into(), data }
+        TraceEvent::Source {
+            path: path.into(),
+            data,
+        }
     }
 
     /// A [`TraceEvent::Exec`].
@@ -539,22 +558,38 @@ impl TraceEvent {
         env: impl Into<String>,
         parent: Option<u32>,
     ) -> TraceEvent {
-        TraceEvent::Exec { pid, exe: exe.into(), argv: argv.into(), env: env.into(), parent }
+        TraceEvent::Exec {
+            pid,
+            exe: exe.into(),
+            argv: argv.into(),
+            env: env.into(),
+            parent,
+        }
     }
 
     /// A [`TraceEvent::Read`].
     pub fn read(pid: u32, path: impl Into<String>) -> TraceEvent {
-        TraceEvent::Read { pid, path: path.into() }
+        TraceEvent::Read {
+            pid,
+            path: path.into(),
+        }
     }
 
     /// A [`TraceEvent::Write`].
     pub fn write(pid: u32, path: impl Into<String>) -> TraceEvent {
-        TraceEvent::Write { pid, path: path.into() }
+        TraceEvent::Write {
+            pid,
+            path: path.into(),
+        }
     }
 
     /// A [`TraceEvent::Close`].
     pub fn close(pid: u32, path: impl Into<String>, data: Blob) -> TraceEvent {
-        TraceEvent::Close { pid, path: path.into(), data }
+        TraceEvent::Close {
+            pid,
+            path: path.into(),
+            data,
+        }
     }
 
     /// A [`TraceEvent::Exit`].

@@ -193,7 +193,10 @@ impl fmt::Display for ProvenanceRecord {
 
 /// Extracts every ancestor reference from a record set.
 pub fn references(records: &[ProvenanceRecord]) -> Vec<&ObjectRef> {
-    records.iter().filter_map(ProvenanceRecord::reference).collect()
+    records
+        .iter()
+        .filter_map(ProvenanceRecord::reference)
+        .collect()
 }
 
 #[cfg(test)]
@@ -212,7 +215,10 @@ mod tests {
                 RecordKey::ForkParent,
                 RecordValue::Ref(ObjectRef::new("proc:1:make", 1)),
             ),
-            ProvenanceRecord::new(RecordKey::Custom("kernel".into()), RecordValue::Text("2.6".into())),
+            ProvenanceRecord::new(
+                RecordKey::Custom("kernel".into()),
+                RecordValue::Text("2.6".into()),
+            ),
         ];
         for r in records {
             let (k, v) = r.to_pair();

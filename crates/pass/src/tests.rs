@@ -5,7 +5,7 @@ use std::collections::HashSet;
 
 use simworld::Blob;
 
-use crate::{FileFlush, Observer, ObserverError, ObjectKind, ObjectRef, RecordKey, TraceEvent};
+use crate::{FileFlush, ObjectKind, ObjectRef, Observer, ObserverError, RecordKey, TraceEvent};
 
 /// Runs a trace and returns every flush, also asserting the key invariant
 /// the paper calls (eventual) causal ordering: every ancestor reference
@@ -31,7 +31,11 @@ fn assert_causal_order(flushes: &[FileFlush]) {
                 f.object
             );
         }
-        assert!(seen.insert(f.object.clone()), "duplicate flush of {}", f.object);
+        assert!(
+            seen.insert(f.object.clone()),
+            "duplicate flush of {}",
+            f.object
+        );
     }
 }
 
@@ -93,10 +97,10 @@ fn fork_parent_recorded() {
         TraceEvent::exit(1),
     ]);
     let cc = find(&flushes, "proc:2:cc", 1);
-    assert!(cc
-        .ancestors()
-        .iter()
-        .any(|r| r.name == "proc:1:make"), "child references forking parent");
+    assert!(
+        cc.ancestors().iter().any(|r| r.name == "proc:1:make"),
+        "child references forking parent"
+    );
 }
 
 #[test]
@@ -135,7 +139,10 @@ fn close_then_rewrite_by_same_process_also_versions() {
         TraceEvent::close(1, "f", Blob::from("two")),
         TraceEvent::exit(1),
     ]);
-    assert_eq!(find(&flushes, "f", 2).data.to_bytes(), Blob::from("two").to_bytes());
+    assert_eq!(
+        find(&flushes, "f", 2).data.to_bytes(),
+        Blob::from("two").to_bytes()
+    );
 }
 
 #[test]
@@ -148,8 +155,7 @@ fn consecutive_writes_without_freeze_stay_one_version() {
         TraceEvent::close(1, "f", Blob::from("final")),
         TraceEvent::exit(1),
     ]);
-    let file_versions: Vec<&FileFlush> =
-        flushes.iter().filter(|f| f.object.name == "f").collect();
+    let file_versions: Vec<&FileFlush> = flushes.iter().filter(|f| f.object.name == "f").collect();
     assert_eq!(file_versions.len(), 1);
     // And the process is recorded as input only once (dedup).
     let inputs = file_versions[0].ancestors();
@@ -252,7 +258,7 @@ fn frozen_dirty_file_is_flushed_before_new_version() {
         TraceEvent::exec(1, "w", "w", "", None),
         TraceEvent::exec(2, "r", "r", "", None),
         TraceEvent::write(1, "f"),
-        TraceEvent::read(2, "f"), // freeze v1 while dirty
+        TraceEvent::read(2, "f"),  // freeze v1 while dirty
         TraceEvent::write(1, "f"), // must flush v1 first, then open v2
         TraceEvent::close(1, "f", Blob::from("v2")),
         TraceEvent::exit(1),
@@ -271,7 +277,9 @@ fn error_paths() {
     let mut obs = Observer::new();
     assert_eq!(
         obs.observe(TraceEvent::read(9, "nope")),
-        Err(ObserverError::UnknownFile { path: "nope".into() })
+        Err(ObserverError::UnknownFile {
+            path: "nope".into()
+        })
     );
     obs.observe(TraceEvent::source("f", Blob::empty())).unwrap();
     assert_eq!(

@@ -43,8 +43,8 @@ mod service;
 pub use error::{Result, S3Error};
 pub use metadata::{Metadata, METADATA_LIMIT};
 pub use service::{
-    Head, Listing, MetadataDirective, Object, ObjectSummary, S3, MAX_KEY_LEN, MAX_LIST_KEYS,
-    MAX_OBJECT_SIZE,
+    Head, Listing, MetadataDirective, Object, ObjectSummary, MAX_KEY_LEN, MAX_LIST_KEYS,
+    MAX_OBJECT_SIZE, S3,
 };
 
 #[cfg(test)]

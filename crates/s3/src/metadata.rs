@@ -103,7 +103,10 @@ impl Metadata {
     pub fn check_limit(&self) -> Result<()> {
         let size = self.byte_size();
         if size > METADATA_LIMIT {
-            return Err(S3Error::MetadataTooLarge { size, limit: METADATA_LIMIT });
+            return Err(S3Error::MetadataTooLarge {
+                size,
+                limit: METADATA_LIMIT,
+            });
         }
         Ok(())
     }
@@ -159,7 +162,10 @@ mod tests {
         m.insert("x", "");
         assert!(matches!(
             m.check_limit(),
-            Err(S3Error::MetadataTooLarge { size: 2049, limit: 2048 })
+            Err(S3Error::MetadataTooLarge {
+                size: 2049,
+                limit: 2048
+            })
         ));
     }
 

@@ -126,14 +126,19 @@ pub struct S3 {
 impl std::fmt::Debug for S3 {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let inner = self.inner.lock();
-        f.debug_struct("S3").field("buckets", &inner.buckets.len()).finish_non_exhaustive()
+        f.debug_struct("S3")
+            .field("buckets", &inner.buckets.len())
+            .finish_non_exhaustive()
     }
 }
 
 impl S3 {
     /// Connects a new simulated S3 endpoint to `world`.
     pub fn new(world: &SimWorld) -> S3 {
-        S3 { world: world.clone(), inner: Arc::new(Mutex::new(Inner::default())) }
+        S3 {
+            world: world.clone(),
+            inner: Arc::new(Mutex::new(Inner::default())),
+        }
     }
 
     /// Creates a bucket.
@@ -181,8 +186,10 @@ impl S3 {
         let mut inner = self.inner.lock();
         let map = bucket_mut(&mut inner, bucket)?;
 
-        let prev_footprint =
-            map.read_latest(&key.to_string()).map(|s| s.footprint()).unwrap_or(0);
+        let prev_footprint = map
+            .read_latest(&key.to_string())
+            .map(|s| s.footprint())
+            .unwrap_or(0);
         let stored = Stored {
             etag: body.md5(),
             last_modified: self.world.now(),
@@ -208,7 +215,10 @@ impl S3 {
         let map = bucket_ref(&inner, bucket)?;
         let stored = map.read(&self.world, &key.to_string()).ok_or_else(|| {
             self.world.record_op(Op::S3Get, 0, 0);
-            S3Error::NoSuchKey { bucket: bucket.to_string(), key: key.to_string() }
+            S3Error::NoSuchKey {
+                bucket: bucket.to_string(),
+                key: key.to_string(),
+            }
         })?;
         let bytes_out = stored.footprint();
         self.world.record_op(Op::S3Get, 0, bytes_out);
@@ -232,7 +242,10 @@ impl S3 {
         let map = bucket_ref(&inner, bucket)?;
         let stored = map.read(&self.world, &key.to_string()).ok_or_else(|| {
             self.world.record_op(Op::S3Get, 0, 0);
-            S3Error::NoSuchKey { bucket: bucket.to_string(), key: key.to_string() }
+            S3Error::NoSuchKey {
+                bucket: bucket.to_string(),
+                key: key.to_string(),
+            }
         })?;
         if range.start > range.end || range.end > stored.body.len() {
             return Err(S3Error::InvalidRange {
@@ -263,9 +276,13 @@ impl S3 {
         let map = bucket_ref(&inner, bucket)?;
         let stored = map.read(&self.world, &key.to_string()).ok_or_else(|| {
             self.world.record_op(Op::S3Head, 0, 0);
-            S3Error::NoSuchKey { bucket: bucket.to_string(), key: key.to_string() }
+            S3Error::NoSuchKey {
+                bucket: bucket.to_string(),
+                key: key.to_string(),
+            }
         })?;
-        self.world.record_op(Op::S3Head, 0, stored.metadata.byte_size());
+        self.world
+            .record_op(Op::S3Head, 0, stored.metadata.byte_size());
         Ok(Head {
             content_length: stored.body.len(),
             metadata: stored.metadata,
@@ -291,14 +308,19 @@ impl S3 {
         directive: MetadataDirective,
     ) -> Result<()> {
         if dst_key.len() > MAX_KEY_LEN {
-            return Err(S3Error::KeyTooLong { length: dst_key.len() });
+            return Err(S3Error::KeyTooLong {
+                length: dst_key.len(),
+            });
         }
         let mut inner = self.inner.lock();
         let src = bucket_ref_mutless(&inner, src_bucket)?
             .read(&self.world, &src_key.to_string())
             .ok_or_else(|| {
                 self.world.record_op(Op::S3Copy, 0, 0);
-                S3Error::NoSuchKey { bucket: src_bucket.to_string(), key: src_key.to_string() }
+                S3Error::NoSuchKey {
+                    bucket: src_bucket.to_string(),
+                    key: src_key.to_string(),
+                }
             })?;
         let metadata = match directive {
             MetadataDirective::Copy => src.metadata.clone(),
@@ -308,8 +330,10 @@ impl S3 {
             }
         };
         let dst_map = bucket_mut(&mut inner, dst_bucket)?;
-        let prev_footprint =
-            dst_map.read_latest(&dst_key.to_string()).map(|s| s.footprint()).unwrap_or(0);
+        let prev_footprint = dst_map
+            .read_latest(&dst_key.to_string())
+            .map(|s| s.footprint())
+            .unwrap_or(0);
         let stored = Stored {
             etag: src.etag,
             last_modified: self.world.now(),
@@ -317,8 +341,10 @@ impl S3 {
             metadata,
         };
         self.world.record_op(Op::S3Copy, 0, 0);
-        self.world
-            .adjust_stored(Service::S3, stored.footprint() as i64 - prev_footprint as i64);
+        self.world.adjust_stored(
+            Service::S3,
+            stored.footprint() as i64 - prev_footprint as i64,
+        );
         dst_map.write(&self.world, dst_key.to_string(), Some(stored));
         Ok(())
     }
@@ -372,7 +398,10 @@ impl S3 {
         let matching: Vec<ObjectSummary> = keys
             .into_iter()
             .filter_map(|key| {
-                map.read(&self.world, &key).map(|s| ObjectSummary { size: s.body.len(), key })
+                map.read(&self.world, &key).map(|s| ObjectSummary {
+                    size: s.body.len(),
+                    key,
+                })
             })
             .collect();
         let bytes_out: u64 = matching
@@ -380,7 +409,10 @@ impl S3 {
             .map(|o| o.key.len() as u64 + LIST_ENTRY_OVERHEAD)
             .sum();
         self.world.record_op(Op::S3List, 0, bytes_out);
-        Ok(Listing { objects: matching, is_truncated })
+        Ok(Listing {
+            objects: matching,
+            is_truncated,
+        })
     }
 
     /// Lists *every* key with `prefix`, driving pagination internally.
@@ -433,21 +465,22 @@ impl S3 {
     }
 }
 
-fn bucket_mut<'a>(
-    inner: &'a mut Inner,
-    bucket: &str,
-) -> Result<&'a mut EcMap<String, Stored>> {
+fn bucket_mut<'a>(inner: &'a mut Inner, bucket: &str) -> Result<&'a mut EcMap<String, Stored>> {
     inner
         .buckets
         .get_mut(bucket)
-        .ok_or_else(|| S3Error::NoSuchBucket { bucket: bucket.to_string() })
+        .ok_or_else(|| S3Error::NoSuchBucket {
+            bucket: bucket.to_string(),
+        })
 }
 
 fn bucket_ref<'a>(inner: &'a Inner, bucket: &str) -> Result<&'a EcMap<String, Stored>> {
     inner
         .buckets
         .get(bucket)
-        .ok_or_else(|| S3Error::NoSuchBucket { bucket: bucket.to_string() })
+        .ok_or_else(|| S3Error::NoSuchBucket {
+            bucket: bucket.to_string(),
+        })
 }
 
 // Identical to `bucket_ref`; exists so call sites that later need the map

@@ -27,7 +27,8 @@ fn eventual(seed: u64) -> (SimWorld, S3) {
 fn put_get_round_trip_with_metadata() {
     let (_, s3) = counting();
     let meta = Metadata::from_pairs([("x-amz-meta-a", "1")]);
-    s3.put_object("b", "k", Blob::from("payload"), meta.clone()).unwrap();
+    s3.put_object("b", "k", Blob::from("payload"), meta.clone())
+        .unwrap();
     let obj = s3.get_object("b", "k").unwrap();
     assert_eq!(&obj.body.to_bytes()[..], b"payload");
     assert_eq!(obj.metadata, meta);
@@ -50,8 +51,14 @@ fn missing_bucket_errors() {
         s3.put_object("zzz", "k", Blob::empty(), Metadata::new()),
         Err(S3Error::NoSuchBucket { .. })
     ));
-    assert!(matches!(s3.get_object("zzz", "k"), Err(S3Error::NoSuchBucket { .. })));
-    assert!(matches!(s3.list_objects("zzz", "", None, 10), Err(S3Error::NoSuchBucket { .. })));
+    assert!(matches!(
+        s3.get_object("zzz", "k"),
+        Err(S3Error::NoSuchBucket { .. })
+    ));
+    assert!(matches!(
+        s3.list_objects("zzz", "", None, 10),
+        Err(S3Error::NoSuchBucket { .. })
+    ));
 }
 
 #[test]
@@ -66,7 +73,10 @@ fn duplicate_bucket_rejected() {
 #[test]
 fn invalid_bucket_names_rejected() {
     let (_, s3) = counting();
-    assert!(matches!(s3.create_bucket(""), Err(S3Error::InvalidBucketName { .. })));
+    assert!(matches!(
+        s3.create_bucket(""),
+        Err(S3Error::InvalidBucketName { .. })
+    ));
     assert!(matches!(
         s3.create_bucket("x".repeat(256)),
         Err(S3Error::InvalidBucketName { .. })
@@ -107,19 +117,26 @@ fn key_length_limit_enforced() {
 #[test]
 fn overwrite_is_last_writer_wins() {
     let (world, s3) = eventual(5);
-    s3.put_object("b", "k", Blob::from("one"), Metadata::new()).unwrap();
-    s3.put_object("b", "k", Blob::from("two"), Metadata::new()).unwrap();
+    s3.put_object("b", "k", Blob::from("one"), Metadata::new())
+        .unwrap();
+    s3.put_object("b", "k", Blob::from("two"), Metadata::new())
+        .unwrap();
     world.settle();
-    assert_eq!(&s3.get_object("b", "k").unwrap().body.to_bytes()[..], b"two");
+    assert_eq!(
+        &s3.get_object("b", "k").unwrap().body.to_bytes()[..],
+        b"two"
+    );
 }
 
 #[test]
 fn eventual_get_after_put_can_return_old_version() {
     // The §2.1 anomaly: GET right after PUT may see the previous object.
     let (world, s3) = eventual(12);
-    s3.put_object("b", "k", Blob::from("old"), Metadata::new()).unwrap();
+    s3.put_object("b", "k", Blob::from("old"), Metadata::new())
+        .unwrap();
     world.settle();
-    s3.put_object("b", "k", Blob::from("new"), Metadata::new()).unwrap();
+    s3.put_object("b", "k", Blob::from("new"), Metadata::new())
+        .unwrap();
     let mut saw_old = false;
     for _ in 0..64 {
         if &s3.get_object("b", "k").unwrap().body.to_bytes()[..] == b"old" {
@@ -134,7 +151,8 @@ fn eventual_get_after_put_can_return_old_version() {
 fn head_returns_metadata_without_body_transfer() {
     let (world, s3) = counting();
     let meta = Metadata::from_pairs([("x-amz-meta-prov", "p")]);
-    s3.put_object("b", "k", Blob::synthetic(3, 100_000), meta).unwrap();
+    s3.put_object("b", "k", Blob::synthetic(3, 100_000), meta)
+        .unwrap();
     let before = world.meters();
     let head = s3.head_object("b", "k").unwrap();
     let delta = world.meters() - before;
@@ -150,19 +168,24 @@ fn head_returns_metadata_without_body_transfer() {
 #[test]
 fn ranged_get_returns_slice_and_bills_slice() {
     let (world, s3) = counting();
-    s3.put_object("b", "k", Blob::synthetic(9, 10_000), Metadata::new()).unwrap();
+    s3.put_object("b", "k", Blob::synthetic(9, 10_000), Metadata::new())
+        .unwrap();
     let before = world.meters();
     let obj = s3.get_object_range("b", "k", 100..200).unwrap();
     let delta = world.meters() - before;
     assert_eq!(obj.body.len(), 100);
-    assert_eq!(obj.body.to_bytes(), Blob::synthetic(9, 10_000).slice(100..200).to_bytes());
+    assert_eq!(
+        obj.body.to_bytes(),
+        Blob::synthetic(9, 10_000).slice(100..200).to_bytes()
+    );
     assert_eq!(delta.bytes_out(), 100);
 }
 
 #[test]
 fn ranged_get_out_of_bounds_is_invalid_range() {
     let (_, s3) = counting();
-    s3.put_object("b", "k", Blob::from("abc"), Metadata::new()).unwrap();
+    s3.put_object("b", "k", Blob::from("abc"), Metadata::new())
+        .unwrap();
     assert!(matches!(
         s3.get_object_range("b", "k", 2..9),
         Err(S3Error::InvalidRange { len: 3, .. })
@@ -173,16 +196,24 @@ fn ranged_get_out_of_bounds_is_invalid_range() {
 fn copy_preserves_body_and_can_replace_metadata() {
     let (world, s3) = counting();
     let meta = Metadata::from_pairs([("x-amz-meta-src", "yes")]);
-    s3.put_object("b", "src", Blob::from("content"), meta).unwrap();
+    s3.put_object("b", "src", Blob::from("content"), meta)
+        .unwrap();
 
-    s3.copy_object("b", "src", "b", "dst-copy", MetadataDirective::Copy).unwrap();
+    s3.copy_object("b", "src", "b", "dst-copy", MetadataDirective::Copy)
+        .unwrap();
     let copied = s3.get_object("b", "dst-copy").unwrap();
     assert_eq!(copied.metadata.get("x-amz-meta-src"), Some("yes"));
     assert_eq!(&copied.body.to_bytes()[..], b"content");
 
     let replacement = Metadata::from_pairs([("x-amz-meta-nonce", "7")]);
-    s3.copy_object("b", "src", "b", "dst-replace", MetadataDirective::Replace(replacement))
-        .unwrap();
+    s3.copy_object(
+        "b",
+        "src",
+        "b",
+        "dst-replace",
+        MetadataDirective::Replace(replacement),
+    )
+    .unwrap();
     let replaced = s3.get_object("b", "dst-replace").unwrap();
     assert_eq!(replaced.metadata.get("x-amz-meta-src"), None);
     assert_eq!(replaced.metadata.get("x-amz-meta-nonce"), Some("7"));
@@ -192,12 +223,18 @@ fn copy_preserves_body_and_can_replace_metadata() {
 #[test]
 fn copy_bills_no_transfer_bytes() {
     let (world, s3) = counting();
-    s3.put_object("b", "src", Blob::synthetic(2, 1 << 20), Metadata::new()).unwrap();
+    s3.put_object("b", "src", Blob::synthetic(2, 1 << 20), Metadata::new())
+        .unwrap();
     let before = world.meters();
-    s3.copy_object("b", "src", "b", "dst", MetadataDirective::Copy).unwrap();
+    s3.copy_object("b", "src", "b", "dst", MetadataDirective::Copy)
+        .unwrap();
     let delta = world.meters() - before;
     assert_eq!(delta.op_count(Op::S3Copy), 1);
-    assert_eq!(delta.bytes_in(), 0, "COPY is not billed for transfer (paper §5)");
+    assert_eq!(
+        delta.bytes_in(),
+        0,
+        "COPY is not billed for transfer (paper §5)"
+    );
     assert_eq!(delta.bytes_out(), 0);
 }
 
@@ -213,19 +250,25 @@ fn copy_missing_source_errors() {
 #[test]
 fn delete_is_idempotent() {
     let (world, s3) = counting();
-    s3.put_object("b", "k", Blob::from("x"), Metadata::new()).unwrap();
+    s3.put_object("b", "k", Blob::from("x"), Metadata::new())
+        .unwrap();
     s3.delete_object("b", "k").unwrap();
     s3.delete_object("b", "k").unwrap(); // second delete also succeeds
     world.settle();
-    assert!(matches!(s3.get_object("b", "k"), Err(S3Error::NoSuchKey { .. })));
+    assert!(matches!(
+        s3.get_object("b", "k"),
+        Err(S3Error::NoSuchKey { .. })
+    ));
 }
 
 #[test]
 fn stored_bytes_gauge_tracks_put_overwrite_delete() {
     let (world, s3) = counting();
-    s3.put_object("b", "k", Blob::synthetic(0, 1000), Metadata::new()).unwrap();
+    s3.put_object("b", "k", Blob::synthetic(0, 1000), Metadata::new())
+        .unwrap();
     assert_eq!(world.meters().stored_bytes(Service::S3), 1000);
-    s3.put_object("b", "k", Blob::synthetic(0, 400), Metadata::new()).unwrap();
+    s3.put_object("b", "k", Blob::synthetic(0, 400), Metadata::new())
+        .unwrap();
     assert_eq!(world.meters().stored_bytes(Service::S3), 400);
     s3.delete_object("b", "k").unwrap();
     assert_eq!(world.meters().stored_bytes(Service::S3), 0);
@@ -235,9 +278,16 @@ fn stored_bytes_gauge_tracks_put_overwrite_delete() {
 fn list_filters_prefix_and_paginates() {
     let (world, s3) = counting();
     for i in 0..25 {
-        s3.put_object("b", &format!("logs/{i:02}"), Blob::from("x"), Metadata::new()).unwrap();
+        s3.put_object(
+            "b",
+            &format!("logs/{i:02}"),
+            Blob::from("x"),
+            Metadata::new(),
+        )
+        .unwrap();
     }
-    s3.put_object("b", "other/a", Blob::from("x"), Metadata::new()).unwrap();
+    s3.put_object("b", "other/a", Blob::from("x"), Metadata::new())
+        .unwrap();
     world.settle();
 
     let page1 = s3.list_objects("b", "logs/", None, 10).unwrap();
@@ -258,10 +308,16 @@ fn list_filters_prefix_and_paginates() {
 fn list_is_lexicographically_sorted() {
     let (world, s3) = counting();
     for key in ["b", "a", "c/x", "c/a"] {
-        s3.put_object("b", key, Blob::from("x"), Metadata::new()).unwrap();
+        s3.put_object("b", key, Blob::from("x"), Metadata::new())
+            .unwrap();
     }
     world.settle();
-    let keys: Vec<_> = s3.list_all("b", "").unwrap().into_iter().map(|o| o.key).collect();
+    let keys: Vec<_> = s3
+        .list_all("b", "")
+        .unwrap()
+        .into_iter()
+        .map(|o| o.key)
+        .collect();
     assert_eq!(keys, vec!["a", "b", "c/a", "c/x"]);
 }
 
@@ -270,7 +326,8 @@ fn put_bills_body_plus_metadata_bytes_in() {
     let (world, s3) = counting();
     let meta = Metadata::from_pairs([("k", "v")]); // 2 bytes
     let before = world.meters();
-    s3.put_object("b", "k", Blob::synthetic(0, 500), meta).unwrap();
+    s3.put_object("b", "k", Blob::synthetic(0, 500), meta)
+        .unwrap();
     let delta = world.meters() - before;
     assert_eq!(delta.bytes_in(), 502);
     assert_eq!(delta.op_count(Op::S3Put), 1);
@@ -279,7 +336,8 @@ fn put_bills_body_plus_metadata_bytes_in() {
 #[test]
 fn authoritative_views_do_not_bill() {
     let (world, s3) = counting();
-    s3.put_object("b", "k", Blob::from("x"), Metadata::new()).unwrap();
+    s3.put_object("b", "k", Blob::from("x"), Metadata::new())
+        .unwrap();
     let before = world.meters();
     let _ = s3.latest_object("b", "k");
     let _ = s3.latest_keys("b", "");
@@ -290,7 +348,8 @@ fn authoritative_views_do_not_bill() {
 #[test]
 fn latest_views_reflect_authoritative_state() {
     let (_, s3) = eventual(77);
-    s3.put_object("b", "k", Blob::from("fresh"), Metadata::new()).unwrap();
+    s3.put_object("b", "k", Blob::from("fresh"), Metadata::new())
+        .unwrap();
     // Even though replicas lag, the authoritative view sees the write.
     let obj = s3.latest_object("b", "k").unwrap();
     assert_eq!(&obj.body.to_bytes()[..], b"fresh");
@@ -301,6 +360,7 @@ fn latest_views_reflect_authoritative_state() {
 fn clones_share_the_store() {
     let (_, s3) = counting();
     let s3b = s3.clone();
-    s3.put_object("b", "k", Blob::from("x"), Metadata::new()).unwrap();
+    s3.put_object("b", "k", Blob::from("x"), Metadata::new())
+        .unwrap();
     assert!(s3b.get_object("b", "k").is_ok());
 }

@@ -68,19 +68,31 @@ impl fmt::Display for SdbError {
                 write!(f, "account domain limit of {limit} reached")
             }
             SdbError::AttributeNameTooLong { length } => {
-                write!(f, "attribute name of {length} bytes exceeds the 1024-byte limit")
+                write!(
+                    f,
+                    "attribute name of {length} bytes exceeds the 1024-byte limit"
+                )
             }
             SdbError::AttributeValueTooLong { length } => {
-                write!(f, "attribute value of {length} bytes exceeds the 1024-byte limit")
+                write!(
+                    f,
+                    "attribute value of {length} bytes exceeds the 1024-byte limit"
+                )
             }
             SdbError::ItemNameTooLong { length } => {
                 write!(f, "item name of {length} bytes exceeds the 1024-byte limit")
             }
             SdbError::TooManyAttributesInCall { submitted } => {
-                write!(f, "{submitted} attributes submitted; PutAttributes accepts at most 100")
+                write!(
+                    f,
+                    "{submitted} attributes submitted; PutAttributes accepts at most 100"
+                )
             }
             SdbError::TooManyAttributesOnItem { item, pairs } => {
-                write!(f, "item {item:?} would hold {pairs} pairs; the limit is 256")
+                write!(
+                    f,
+                    "item {item:?} would hold {pairs} pairs; the limit is 256"
+                )
             }
             SdbError::EmptyAttributeList => f.write_str("attribute list must not be empty"),
             SdbError::InvalidQuery { message } => write!(f, "invalid query expression: {message}"),

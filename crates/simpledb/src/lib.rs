@@ -58,8 +58,8 @@ pub use model::{
 pub use query::{CmpOp, Predicate, QueryExpr};
 pub use select::{Cond, Operand, Output, SelectStatement, DEFAULT_LIMIT, MAX_LIMIT};
 pub use service::{
-    DeletableAttribute, QueryResult, QueryWithAttributesResult, ResultItem, SelectResult,
-    SimpleDb, QUERY_DEFAULT_PAGE, QUERY_MAX_PAGE,
+    DeletableAttribute, QueryResult, QueryWithAttributesResult, ResultItem, SelectResult, SimpleDb,
+    QUERY_DEFAULT_PAGE, QUERY_MAX_PAGE,
 };
 
 #[cfg(test)]

@@ -33,7 +33,10 @@ pub struct Attribute {
 impl Attribute {
     /// Builds a pair.
     pub fn new(name: impl Into<String>, value: impl Into<String>) -> Attribute {
-        Attribute { name: name.into(), value: value.into() }
+        Attribute {
+            name: name.into(),
+            value: value.into(),
+        }
     }
 }
 
@@ -53,12 +56,20 @@ pub struct ReplaceableAttribute {
 impl ReplaceableAttribute {
     /// An additive attribute (`replace = false`).
     pub fn add(name: impl Into<String>, value: impl Into<String>) -> ReplaceableAttribute {
-        ReplaceableAttribute { name: name.into(), value: value.into(), replace: false }
+        ReplaceableAttribute {
+            name: name.into(),
+            value: value.into(),
+            replace: false,
+        }
     }
 
     /// A replacing attribute (`replace = true`).
     pub fn replace(name: impl Into<String>, value: impl Into<String>) -> ReplaceableAttribute {
-        ReplaceableAttribute { name: name.into(), value: value.into(), replace: true }
+        ReplaceableAttribute {
+            name: name.into(),
+            value: value.into(),
+            replace: true,
+        }
     }
 
     /// Validates the 1 KB name/value limits.
@@ -69,10 +80,14 @@ impl ReplaceableAttribute {
     /// [`SdbError::AttributeValueTooLong`].
     pub fn check_limits(&self) -> Result<()> {
         if self.name.len() > ATTR_LIMIT {
-            return Err(SdbError::AttributeNameTooLong { length: self.name.len() });
+            return Err(SdbError::AttributeNameTooLong {
+                length: self.name.len(),
+            });
         }
         if self.value.len() > ATTR_LIMIT {
-            return Err(SdbError::AttributeValueTooLong { length: self.value.len() });
+            return Err(SdbError::AttributeValueTooLong {
+                length: self.value.len(),
+            });
         }
         Ok(())
     }
@@ -95,7 +110,10 @@ pub fn pair_count(item: &ItemState) -> usize {
 pub fn byte_size(item: &ItemState) -> u64 {
     item.iter()
         .map(|(name, values)| {
-            values.iter().map(|v| (name.len() + v.len()) as u64).sum::<u64>()
+            values
+                .iter()
+                .map(|v| (name.len() + v.len()) as u64)
+                .sum::<u64>()
         })
         .sum()
 }
@@ -104,7 +122,9 @@ pub fn byte_size(item: &ItemState) -> u64 {
 pub fn to_attributes(item: &ItemState) -> Vec<Attribute> {
     item.iter()
         .flat_map(|(name, values)| {
-            values.iter().map(move |v| Attribute::new(name.clone(), v.clone()))
+            values
+                .iter()
+                .map(move |v| Attribute::new(name.clone(), v.clone()))
         })
         .collect()
 }
@@ -130,7 +150,9 @@ mod tests {
     #[test]
     fn exactly_1kb_is_allowed() {
         let edge = "x".repeat(1024);
-        assert!(ReplaceableAttribute::add(edge.clone(), edge).check_limits().is_ok());
+        assert!(ReplaceableAttribute::add(edge.clone(), edge)
+            .check_limits()
+            .is_ok());
     }
 
     #[test]
@@ -139,7 +161,9 @@ mod tests {
         item.entry("phone".into())
             .or_default()
             .extend(["111".to_string(), "222".to_string()]);
-        item.entry("name".into()).or_default().insert("bob".to_string());
+        item.entry("name".into())
+            .or_default()
+            .insert("bob".to_string());
         assert_eq!(pair_count(&item), 3);
         assert_eq!(byte_size(&item), (5 + 3) + (5 + 3) + (4 + 3));
     }
@@ -150,6 +174,9 @@ mod tests {
         item.entry("b".into()).or_default().insert("2".to_string());
         item.entry("a".into()).or_default().insert("1".to_string());
         let attrs = to_attributes(&item);
-        assert_eq!(attrs, vec![Attribute::new("a", "1"), Attribute::new("b", "2")]);
+        assert_eq!(
+            attrs,
+            vec![Attribute::new("a", "1"), Attribute::new("b", "2")]
+        );
     }
 }

@@ -198,7 +198,10 @@ struct Parser {
 
 impl Parser {
     fn new(input: &str) -> Parser {
-        Parser { toks: lex(input), pos: 0 }
+        Parser {
+            toks: lex(input),
+            pos: 0,
+        }
     }
 
     fn peek(&self) -> Option<&Tok> {
@@ -214,7 +217,9 @@ impl Parser {
     }
 
     fn err<T>(&self, message: impl Into<String>) -> Result<T> {
-        Err(SdbError::InvalidQuery { message: message.into() })
+        Err(SdbError::InvalidQuery {
+            message: message.into(),
+        })
     }
 
     fn parse_query(&mut self) -> Result<QueryExpr> {
@@ -226,15 +231,21 @@ impl Parser {
             match self.next() {
                 None => break,
                 Some(Tok::Word(w)) if w == "intersection" || w == "union" => {
-                    let setop =
-                        if w == "intersection" { SetOp::Intersection } else { SetOp::Union };
+                    let setop = if w == "intersection" {
+                        SetOp::Intersection
+                    } else {
+                        SetOp::Union
+                    };
                     let (negated, pred) = self.parse_term()?;
                     terms.push((setop, negated, pred));
                 }
                 Some(Tok::Word(w)) if w == "sort" => {
                     let attr = match self.next() {
                         Some(Tok::Str(s)) => s,
-                        other => return self.err(format!("sort expects a quoted attribute, got {other:?}")),
+                        other => {
+                            return self
+                                .err(format!("sort expects a quoted attribute, got {other:?}"))
+                        }
                     };
                     let asc = match self.peek() {
                         Some(Tok::Word(w)) if w == "asc" => {
@@ -407,12 +418,13 @@ fn lex(input: &str) -> Vec<Tok> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::collections::BTreeSet;
 
     fn item(pairs: &[(&str, &str)]) -> ItemState {
         let mut m = ItemState::new();
         for (k, v) in pairs {
-            m.entry((*k).to_string()).or_insert_with(BTreeSet::new).insert((*v).to_string());
+            m.entry((*k).to_string())
+                .or_default()
+                .insert((*v).to_string());
         }
         m
     }
@@ -455,7 +467,10 @@ mod tests {
         assert!(q.matches(&item(&[("t", "b")])));
         let q = QueryExpr::parse("not ['t' = 'a']").unwrap();
         assert!(q.matches(&item(&[("t", "b")])));
-        assert!(q.matches(&item(&[("z", "1")])), "missing attribute satisfies not");
+        assert!(
+            q.matches(&item(&[("z", "1")])),
+            "missing attribute satisfies not"
+        );
         assert!(!q.matches(&item(&[("t", "a")])));
     }
 
@@ -495,8 +510,14 @@ mod tests {
 
     #[test]
     fn parse_errors_are_descriptive() {
-        for bad in ["", "['a' = ]", "['a' ?? 'b']", "['a' = 'b'] nonsense ['c' = 'd']",
-                    "['a' = 'b'] sort", "['a' = 'b'] sort 'x' asc trailing"] {
+        for bad in [
+            "",
+            "['a' = ]",
+            "['a' ?? 'b']",
+            "['a' = 'b'] nonsense ['c' = 'd']",
+            "['a' = 'b'] sort",
+            "['a' = 'b'] sort 'x' asc trailing",
+        ] {
             let err = QueryExpr::parse(bad).unwrap_err();
             assert!(matches!(err, SdbError::InvalidQuery { .. }), "input: {bad}");
         }

@@ -136,9 +136,10 @@ fn eval_operand(
 ) -> bool {
     match operand {
         Operand::ItemName => pred(name),
-        Operand::Attr(attr) => {
-            item.get(attr).map(|vs| vs.iter().any(|v| pred(v))).unwrap_or(false)
-        }
+        Operand::Attr(attr) => item
+            .get(attr)
+            .map(|vs| vs.iter().any(|v| pred(v)))
+            .unwrap_or(false),
         Operand::Every(attr) => item
             .get(attr)
             .map(|vs| !vs.is_empty() && vs.iter().all(|v| pred(v)))
@@ -191,7 +192,12 @@ impl SelectStatement {
     pub fn apply(&self, rows: Vec<(String, ItemState)>) -> Vec<(String, ItemState)> {
         let mut out: Vec<(String, ItemState)> = rows
             .into_iter()
-            .filter(|(n, i)| self.condition.as_ref().map(|c| c.matches(n, i)).unwrap_or(true))
+            .filter(|(n, i)| {
+                self.condition
+                    .as_ref()
+                    .map(|c| c.matches(n, i))
+                    .unwrap_or(true)
+            })
             .collect();
         if let Some((operand, asc)) = &self.order_by {
             match operand {
@@ -287,7 +293,9 @@ fn lex(input: &str) -> Result<Vec<Tok>> {
                     chars.next();
                     toks.push(Tok::Sym("!=".into()));
                 } else {
-                    return Err(SdbError::InvalidQuery { message: "stray '!'".into() });
+                    return Err(SdbError::InvalidQuery {
+                        message: "stray '!'".into(),
+                    });
                 }
             }
             '<' | '>' => {
@@ -330,7 +338,10 @@ struct Parser {
 
 impl Parser {
     fn new(sql: &str) -> Result<Parser> {
-        Ok(Parser { toks: lex(sql)?, pos: 0 })
+        Ok(Parser {
+            toks: lex(sql)?,
+            pos: 0,
+        })
     }
 
     fn peek(&self) -> Option<&Tok> {
@@ -346,7 +357,9 @@ impl Parser {
     }
 
     fn err<T>(&self, message: impl Into<String>) -> Result<T> {
-        Err(SdbError::InvalidQuery { message: message.into() })
+        Err(SdbError::InvalidQuery {
+            message: message.into(),
+        })
     }
 
     fn eat_keyword(&mut self, kw: &str) -> bool {
@@ -386,7 +399,11 @@ impl Parser {
             Some(Tok::Quoted(w)) => w,
             other => return self.err(format!("expected domain name, got {other:?}")),
         };
-        let condition = if self.eat_keyword("where") { Some(self.parse_or()?) } else { None };
+        let condition = if self.eat_keyword("where") {
+            Some(self.parse_or()?)
+        } else {
+            None
+        };
         let order_by = if self.eat_keyword("order") {
             self.expect_keyword("by")?;
             let operand = self.parse_operand()?;
@@ -414,7 +431,13 @@ impl Parser {
         if let Some(t) = self.peek() {
             return self.err(format!("unexpected trailing token {t:?}"));
         }
-        Ok(SelectStatement { output, domain, condition, order_by, limit })
+        Ok(SelectStatement {
+            output,
+            domain,
+            condition,
+            order_by,
+            limit,
+        })
     }
 
     fn parse_output(&mut self) -> Result<Output> {
@@ -444,7 +467,9 @@ impl Parser {
             match self.next() {
                 Some(Tok::Word(w)) => attrs.push(w),
                 Some(Tok::Quoted(w)) => attrs.push(w),
-                other => return self.err(format!("expected attribute in select list, got {other:?}")),
+                other => {
+                    return self.err(format!("expected attribute in select list, got {other:?}"))
+                }
             }
             if !self.eat_sym(",") {
                 break;
@@ -458,7 +483,11 @@ impl Parser {
         while self.eat_keyword("or") {
             parts.push(self.parse_and()?);
         }
-        Ok(if parts.len() == 1 { parts.pop().expect("one part") } else { Cond::Or(parts) })
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("one part")
+        } else {
+            Cond::Or(parts)
+        })
     }
 
     fn parse_and(&mut self) -> Result<Cond> {
@@ -466,7 +495,11 @@ impl Parser {
         while self.eat_keyword("and") {
             parts.push(self.parse_not()?);
         }
-        Ok(if parts.len() == 1 { parts.pop().expect("one part") } else { Cond::And(parts) })
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("one part")
+        } else {
+            Cond::And(parts)
+        })
     }
 
     fn parse_not(&mut self) -> Result<Cond> {
@@ -557,7 +590,9 @@ impl Parser {
                 let attr = match self.next() {
                     Some(Tok::Word(a)) => a,
                     Some(Tok::Quoted(a)) => a,
-                    other => return self.err(format!("expected attribute in every(), got {other:?}")),
+                    other => {
+                        return self.err(format!("expected attribute in every(), got {other:?}"))
+                    }
                 };
                 if !self.eat_sym(")") {
                     return self.err("expected ')' after every(attr");
@@ -580,12 +615,13 @@ impl Parser {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::collections::BTreeSet;
 
     fn item(pairs: &[(&str, &str)]) -> ItemState {
         let mut m = ItemState::new();
         for (k, v) in pairs {
-            m.entry((*k).to_string()).or_insert_with(BTreeSet::new).insert((*v).to_string());
+            m.entry((*k).to_string())
+                .or_default()
+                .insert((*v).to_string());
         }
         m
     }
@@ -618,7 +654,9 @@ mod tests {
     #[test]
     fn any_value_semantics_vs_every() {
         let any = parses("select * from d where tag = 'x'").condition.unwrap();
-        let every = parses("select * from d where every(tag) = 'x'").condition.unwrap();
+        let every = parses("select * from d where every(tag) = 'x'")
+            .condition
+            .unwrap();
         let mixed = item(&[("tag", "x"), ("tag", "y")]);
         let uniform = item(&[("tag", "x")]);
         assert!(any.matches("i", &mixed));
@@ -628,30 +666,42 @@ mod tests {
 
     #[test]
     fn itemname_comparisons() {
-        let c = parses("select * from d where itemName() like 'foo%'").condition.unwrap();
+        let c = parses("select * from d where itemName() like 'foo%'")
+            .condition
+            .unwrap();
         assert!(c.matches("foo_2", &item(&[])));
         assert!(!c.matches("bar_2", &item(&[])));
     }
 
     #[test]
     fn like_wildcards() {
-        let both = parses("select * from d where a like '%mid%'").condition.unwrap();
+        let both = parses("select * from d where a like '%mid%'")
+            .condition
+            .unwrap();
         assert!(both.matches("i", &item(&[("a", "a-mid-z")])));
-        let suffix = parses("select * from d where a like '%end'").condition.unwrap();
+        let suffix = parses("select * from d where a like '%end'")
+            .condition
+            .unwrap();
         assert!(suffix.matches("i", &item(&[("a", "the-end")])));
         assert!(!suffix.matches("i", &item(&[("a", "end-the")])));
-        let exact = parses("select * from d where a like 'x'").condition.unwrap();
+        let exact = parses("select * from d where a like 'x'")
+            .condition
+            .unwrap();
         assert!(exact.matches("i", &item(&[("a", "x")])));
         assert!(!exact.matches("i", &item(&[("a", "xy")])));
     }
 
     #[test]
     fn between_in_null() {
-        let between = parses("select * from d where v between '3' and '5'").condition.unwrap();
+        let between = parses("select * from d where v between '3' and '5'")
+            .condition
+            .unwrap();
         assert!(between.matches("i", &item(&[("v", "4")])));
         assert!(!between.matches("i", &item(&[("v", "6")])));
 
-        let inlist = parses("select * from d where v in ('a', 'b')").condition.unwrap();
+        let inlist = parses("select * from d where v in ('a', 'b')")
+            .condition
+            .unwrap();
         assert!(inlist.matches("i", &item(&[("v", "b")])));
         assert!(!inlist.matches("i", &item(&[("v", "c")])));
 
@@ -659,7 +709,9 @@ mod tests {
         assert!(isnull.matches("i", &item(&[("w", "1")])));
         assert!(!isnull.matches("i", &item(&[("v", "1")])));
 
-        let notnull = parses("select * from d where v is not null").condition.unwrap();
+        let notnull = parses("select * from d where v is not null")
+            .condition
+            .unwrap();
         assert!(notnull.matches("i", &item(&[("v", "1")])));
     }
 
@@ -682,14 +734,18 @@ mod tests {
 
     #[test]
     fn not_negates() {
-        let c = parses("select * from d where not a = '1'").condition.unwrap();
+        let c = parses("select * from d where not a = '1'")
+            .condition
+            .unwrap();
         assert!(c.matches("i", &item(&[("a", "2")])));
         assert!(!c.matches("i", &item(&[("a", "1")])));
     }
 
     #[test]
     fn backtick_attributes_and_escaped_quotes() {
-        let c = parses("select * from d where `weird attr` = 'o''brien'").condition.unwrap();
+        let c = parses("select * from d where `weird attr` = 'o''brien'")
+            .condition
+            .unwrap();
         assert!(c.matches("i", &item(&[("weird attr", "o'brien")])));
     }
 
@@ -711,10 +767,7 @@ mod tests {
     #[test]
     fn order_by_itemname() {
         let s = parses("select itemName() from d order by itemName()");
-        let rows = vec![
-            ("b".to_string(), item(&[])),
-            ("a".to_string(), item(&[])),
-        ];
+        let rows = vec![("b".to_string(), item(&[])), ("a".to_string(), item(&[]))];
         let out = s.apply(rows);
         assert_eq!(out[0].0, "a");
     }
@@ -739,7 +792,10 @@ mod tests {
             "select * from d where a = 'unterminated",
         ] {
             assert!(
-                matches!(SelectStatement::parse(bad), Err(SdbError::InvalidQuery { .. })),
+                matches!(
+                    SelectStatement::parse(bad),
+                    Err(SdbError::InvalidQuery { .. })
+                ),
                 "should fail: {bad}"
             );
         }

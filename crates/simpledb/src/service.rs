@@ -38,12 +38,18 @@ pub struct DeletableAttribute {
 impl DeletableAttribute {
     /// Deletes every value of `name`.
     pub fn all_of(name: impl Into<String>) -> DeletableAttribute {
-        DeletableAttribute { name: name.into(), value: None }
+        DeletableAttribute {
+            name: name.into(),
+            value: None,
+        }
     }
 
     /// Deletes one `(name, value)` pair.
     pub fn pair(name: impl Into<String>, value: impl Into<String>) -> DeletableAttribute {
-        DeletableAttribute { name: name.into(), value: Some(value.into()) }
+        DeletableAttribute {
+            name: name.into(),
+            value: Some(value.into()),
+        }
     }
 }
 
@@ -134,7 +140,10 @@ impl std::fmt::Debug for SimpleDb {
 impl SimpleDb {
     /// Connects a new simulated SimpleDB endpoint to `world`.
     pub fn new(world: &SimWorld) -> SimpleDb {
-        SimpleDb { world: world.clone(), inner: Arc::new(Mutex::new(Inner::default())) }
+        SimpleDb {
+            world: world.clone(),
+            inner: Arc::new(Mutex::new(Inner::default())),
+        }
     }
 
     /// Creates a domain. Idempotent, as in the real service.
@@ -145,7 +154,8 @@ impl SimpleDb {
     pub fn create_domain(&self, domain: impl Into<String>) -> Result<()> {
         let domain = domain.into();
         let mut inner = self.inner.lock();
-        self.world.record_op(Op::SdbCreateDomain, domain.len() as u64, 0);
+        self.world
+            .record_op(Op::SdbCreateDomain, domain.len() as u64, 0);
         if inner.domains.contains_key(&domain) {
             return Ok(());
         }
@@ -183,10 +193,14 @@ impl SimpleDb {
             return Err(SdbError::EmptyAttributeList);
         }
         if attrs.len() > MAX_ATTRS_PER_CALL {
-            return Err(SdbError::TooManyAttributesInCall { submitted: attrs.len() });
+            return Err(SdbError::TooManyAttributesInCall {
+                submitted: attrs.len(),
+            });
         }
         if item_name.len() > ITEM_NAME_LIMIT {
-            return Err(SdbError::ItemNameTooLong { length: item_name.len() });
+            return Err(SdbError::ItemNameTooLong {
+                length: item_name.len(),
+            });
         }
         for a in attrs {
             a.check_limits()?;
@@ -206,7 +220,9 @@ impl SimpleDb {
             }
         }
         for a in attrs {
-            item.entry(a.name.clone()).or_default().insert(a.value.clone());
+            item.entry(a.name.clone())
+                .or_default()
+                .insert(a.value.clone());
         }
         let pairs = pair_count(&item);
         if pairs > MAX_PAIRS_PER_ITEM {
@@ -216,8 +232,12 @@ impl SimpleDb {
             });
         }
         let after_bytes = byte_size(&item);
-        let bytes_in: u64 = attrs.iter().map(|a| (a.name.len() + a.value.len()) as u64).sum();
-        self.world.record_op(Op::SdbPutAttributes, bytes_in + item_name.len() as u64, 0);
+        let bytes_in: u64 = attrs
+            .iter()
+            .map(|a| (a.name.len() + a.value.len()) as u64)
+            .sum();
+        self.world
+            .record_op(Op::SdbPutAttributes, bytes_in + item_name.len() as u64, 0);
         self.world
             .adjust_stored(Service::SimpleDb, after_bytes as i64 - before_bytes as i64);
         map.write(&self.world, item_name.to_string(), Some(item));
@@ -240,13 +260,19 @@ impl SimpleDb {
     ) -> Result<Vec<Attribute>> {
         let inner = self.inner.lock();
         let map = domain_ref(&inner, domain)?;
-        let item = map.read(&self.world, &item_name.to_string()).unwrap_or_default();
+        let item = map
+            .read(&self.world, &item_name.to_string())
+            .unwrap_or_default();
         let mut attrs = to_attributes(&item);
         if let Some(filter) = names {
             attrs.retain(|a| filter.contains(&a.name.as_str()));
         }
-        let bytes: u64 = attrs.iter().map(|a| (a.name.len() + a.value.len()) as u64).sum();
-        self.world.record_op(Op::SdbGetAttributes, item_name.len() as u64, bytes);
+        let bytes: u64 = attrs
+            .iter()
+            .map(|a| (a.name.len() + a.value.len()) as u64)
+            .sum();
+        self.world
+            .record_op(Op::SdbGetAttributes, item_name.len() as u64, bytes);
         Ok(attrs)
     }
 
@@ -264,7 +290,8 @@ impl SimpleDb {
     ) -> Result<()> {
         let mut inner = self.inner.lock();
         let map = domain_mut(&mut inner, domain)?;
-        self.world.record_op(Op::SdbDeleteAttributes, item_name.len() as u64, 0);
+        self.world
+            .record_op(Op::SdbDeleteAttributes, item_name.len() as u64, 0);
         let Some(mut item) = map.read_latest(&item_name.to_string()) else {
             return Ok(());
         };
@@ -319,11 +346,19 @@ impl SimpleDb {
     ) -> Result<QueryResult> {
         let (rows, next) = self.run_query(domain, expression, max_items, next_token)?;
         let item_names: Vec<String> = rows.into_iter().map(|(n, _)| n).collect();
-        let bytes: u64 =
-            item_names.iter().map(|n| n.len() as u64 + ITEM_ENTRY_OVERHEAD).sum();
-        self.world
-            .record_op(Op::SdbQuery, expression.map(|e| e.len() as u64).unwrap_or(0), bytes);
-        Ok(QueryResult { item_names, next_token: next })
+        let bytes: u64 = item_names
+            .iter()
+            .map(|n| n.len() as u64 + ITEM_ENTRY_OVERHEAD)
+            .sum();
+        self.world.record_op(
+            Op::SdbQuery,
+            expression.map(|e| e.len() as u64).unwrap_or(0),
+            bytes,
+        );
+        Ok(QueryResult {
+            item_names,
+            next_token: next,
+        })
     }
 
     /// `QueryWithAttributes`: matching items together with (optionally a
@@ -367,7 +402,10 @@ impl SimpleDb {
             expression.map(|e| e.len() as u64).unwrap_or(0),
             bytes,
         );
-        Ok(QueryWithAttributesResult { items, next_token: next })
+        Ok(QueryWithAttributesResult {
+            items,
+            next_token: next,
+        })
     }
 
     /// `Select`: the SQL-form interface.
@@ -388,14 +426,26 @@ impl SimpleDb {
         if stmt.output == Output::Count {
             let count = matched.len().min(stmt.limit) as u64;
             self.world.record_op(Op::SdbSelect, sql.len() as u64, 16);
-            return Ok(SelectResult { items: Vec::new(), count: Some(count), next_token: None });
+            return Ok(SelectResult {
+                items: Vec::new(),
+                count: Some(count),
+                next_token: None,
+            });
         }
 
         let offset = parse_token(next_token)?;
-        let page: Vec<(String, ItemState)> =
-            matched.iter().skip(offset).take(stmt.limit).cloned().collect();
+        let page: Vec<(String, ItemState)> = matched
+            .iter()
+            .skip(offset)
+            .take(stmt.limit)
+            .cloned()
+            .collect();
         let consumed = offset + page.len();
-        let next = if consumed < matched.len() { Some(consumed.to_string()) } else { None };
+        let next = if consumed < matched.len() {
+            Some(consumed.to_string())
+        } else {
+            None
+        };
 
         let items: Vec<ResultItem> = page
             .into_iter()
@@ -424,7 +474,11 @@ impl SimpleDb {
             })
             .sum();
         self.world.record_op(Op::SdbSelect, sql.len() as u64, bytes);
-        Ok(SelectResult { items, count: None, next_token: next })
+        Ok(SelectResult {
+            items,
+            count: None,
+            next_token: next,
+        })
     }
 
     // --- authoritative (non-billed) views for invariant checks ---
@@ -434,7 +488,8 @@ impl SimpleDb {
     pub fn latest_item(&self, domain: &str, item_name: &str) -> Option<Vec<Attribute>> {
         let inner = self.inner.lock();
         let map = inner.domains.get(domain)?;
-        map.read_latest(&item_name.to_string()).map(|s| to_attributes(&s))
+        map.read_latest(&item_name.to_string())
+            .map(|s| to_attributes(&s))
     }
 
     /// Authoritative list of live item names, unbilled. For tests and
@@ -457,7 +512,9 @@ impl SimpleDb {
         next_token: Option<&str>,
     ) -> Result<(Vec<(String, ItemState)>, Option<String>)> {
         let parsed = expression.map(QueryExpr::parse).transpose()?;
-        let page_size = max_items.unwrap_or(QUERY_DEFAULT_PAGE).clamp(1, QUERY_MAX_PAGE);
+        let page_size = max_items
+            .unwrap_or(QUERY_DEFAULT_PAGE)
+            .clamp(1, QUERY_MAX_PAGE);
         let offset = parse_token(next_token)?;
         let inner = self.inner.lock();
         let map = domain_ref(&inner, domain)?;
@@ -474,7 +531,11 @@ impl SimpleDb {
                 .filter_map(|k| map.read(&self.world, &k).map(|item| (k, item)))
                 .collect();
             let consumed = offset + page.len();
-            let next = if consumed < total { Some(consumed.to_string()) } else { None };
+            let next = if consumed < total {
+                Some(consumed.to_string())
+            } else {
+                None
+            };
             return Ok((page, next));
         }
         let snapshot = map.visible_entries(&self.world);
@@ -488,7 +549,11 @@ impl SimpleDb {
         let page: Vec<(String, ItemState)> =
             rows.iter().skip(offset).take(page_size).cloned().collect();
         let consumed = offset + page.len();
-        let next = if consumed < rows.len() { Some(consumed.to_string()) } else { None };
+        let next = if consumed < rows.len() {
+            Some(consumed.to_string())
+        } else {
+            None
+        };
         Ok((page, next))
     }
 }
@@ -500,19 +565,20 @@ fn parse_token(token: Option<&str>) -> Result<usize> {
     }
 }
 
-fn domain_mut<'a>(
-    inner: &'a mut Inner,
-    domain: &str,
-) -> Result<&'a mut EcMap<String, ItemState>> {
+fn domain_mut<'a>(inner: &'a mut Inner, domain: &str) -> Result<&'a mut EcMap<String, ItemState>> {
     inner
         .domains
         .get_mut(domain)
-        .ok_or_else(|| SdbError::NoSuchDomain { domain: domain.to_string() })
+        .ok_or_else(|| SdbError::NoSuchDomain {
+            domain: domain.to_string(),
+        })
 }
 
 fn domain_ref<'a>(inner: &'a Inner, domain: &str) -> Result<&'a EcMap<String, ItemState>> {
     inner
         .domains
         .get(domain)
-        .ok_or_else(|| SdbError::NoSuchDomain { domain: domain.to_string() })
+        .ok_or_else(|| SdbError::NoSuchDomain {
+            domain: domain.to_string(),
+        })
 }

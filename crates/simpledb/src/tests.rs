@@ -33,15 +33,20 @@ fn add(name: impl Into<String>, value: impl Into<String>) -> ReplaceableAttribut
 #[test]
 fn put_and_get_round_trip() {
     let (_, db) = counting();
-    db.put_attributes("d", "item", &[add("a", "1"), add("b", "2")]).unwrap();
+    db.put_attributes("d", "item", &[add("a", "1"), add("b", "2")])
+        .unwrap();
     let attrs = db.get_attributes("d", "item", None).unwrap();
-    assert_eq!(attrs, vec![Attribute::new("a", "1"), Attribute::new("b", "2")]);
+    assert_eq!(
+        attrs,
+        vec![Attribute::new("a", "1"), Attribute::new("b", "2")]
+    );
 }
 
 #[test]
 fn get_with_name_filter() {
     let (_, db) = counting();
-    db.put_attributes("d", "item", &[add("a", "1"), add("b", "2")]).unwrap();
+    db.put_attributes("d", "item", &[add("a", "1"), add("b", "2")])
+        .unwrap();
     let attrs = db.get_attributes("d", "item", Some(&["b"])).unwrap();
     assert_eq!(attrs, vec![Attribute::new("b", "2")]);
 }
@@ -64,8 +69,10 @@ fn multivalued_attributes_accumulate() {
 #[test]
 fn replace_drops_previous_values() {
     let (_, db) = counting();
-    db.put_attributes("d", "i", &[add("phone", "111"), add("phone", "222")]).unwrap();
-    db.put_attributes("d", "i", &[ReplaceableAttribute::replace("phone", "333")]).unwrap();
+    db.put_attributes("d", "i", &[add("phone", "111"), add("phone", "222")])
+        .unwrap();
+    db.put_attributes("d", "i", &[ReplaceableAttribute::replace("phone", "333")])
+        .unwrap();
     let attrs = db.get_attributes("d", "i", None).unwrap();
     assert_eq!(attrs, vec![Attribute::new("phone", "333")]);
 }
@@ -84,7 +91,11 @@ fn replace_within_one_call_keeps_all_new_values() {
     )
     .unwrap();
     let attrs = db.get_attributes("d", "i", None).unwrap();
-    assert_eq!(attrs.len(), 2, "both new values survive; only pre-call values dropped");
+    assert_eq!(
+        attrs.len(),
+        2,
+        "both new values survive; only pre-call values dropped"
+    );
 }
 
 #[test]
@@ -102,7 +113,10 @@ fn put_is_idempotent() {
 fn limits_enforced() {
     let (_, db) = counting();
     // Empty list
-    assert!(matches!(db.put_attributes("d", "i", &[]), Err(SdbError::EmptyAttributeList)));
+    assert!(matches!(
+        db.put_attributes("d", "i", &[]),
+        Err(SdbError::EmptyAttributeList)
+    ));
     // >100 attributes per call
     let many: Vec<_> = (0..101).map(|i| add("a", format!("{i}"))).collect();
     assert!(matches!(
@@ -123,8 +137,12 @@ fn limits_enforced() {
     db.put_attributes("d", "big", &batch(200, 56)).unwrap();
     // 1KB name/value limits
     let long = "x".repeat(1025);
-    assert!(db.put_attributes("d", "i", &[add(long.clone(), "v")]).is_err());
-    assert!(db.put_attributes("d", "i", &[add("n", long.clone())]).is_err());
+    assert!(db
+        .put_attributes("d", "i", &[add(long.clone(), "v")])
+        .is_err());
+    assert!(db
+        .put_attributes("d", "i", &[add("n", long.clone())])
+        .is_err());
     assert!(db.put_attributes("d", &long, &[add("n", "v")]).is_err());
 }
 
@@ -135,7 +153,10 @@ fn missing_domain_errors() {
         db.put_attributes("zzz", "i", &[add("a", "1")]),
         Err(SdbError::NoSuchDomain { .. })
     ));
-    assert!(matches!(db.query("zzz", None, None, None), Err(SdbError::NoSuchDomain { .. })));
+    assert!(matches!(
+        db.query("zzz", None, None, None),
+        Err(SdbError::NoSuchDomain { .. })
+    ));
     assert!(matches!(
         db.select("select * from zzz", None),
         Err(SdbError::NoSuchDomain { .. })
@@ -159,16 +180,22 @@ fn create_domain_is_idempotent_but_limited() {
 #[test]
 fn delete_attribute_variants() {
     let (_, db) = counting();
-    db.put_attributes("d", "i", &[add("a", "1"), add("a", "2"), add("b", "3")]).unwrap();
+    db.put_attributes("d", "i", &[add("a", "1"), add("a", "2"), add("b", "3")])
+        .unwrap();
     // delete one pair
-    db.delete_attributes("d", "i", Some(&[DeletableAttribute::pair("a", "1")])).unwrap();
+    db.delete_attributes("d", "i", Some(&[DeletableAttribute::pair("a", "1")]))
+        .unwrap();
     assert_eq!(
         db.get_attributes("d", "i", None).unwrap(),
         vec![Attribute::new("a", "2"), Attribute::new("b", "3")]
     );
     // delete all values of a name
-    db.delete_attributes("d", "i", Some(&[DeletableAttribute::all_of("a")])).unwrap();
-    assert_eq!(db.get_attributes("d", "i", None).unwrap(), vec![Attribute::new("b", "3")]);
+    db.delete_attributes("d", "i", Some(&[DeletableAttribute::all_of("a")]))
+        .unwrap();
+    assert_eq!(
+        db.get_attributes("d", "i", None).unwrap(),
+        vec![Attribute::new("b", "3")]
+    );
     // delete the whole item
     db.delete_attributes("d", "i", None).unwrap();
     assert!(db.get_attributes("d", "i", None).unwrap().is_empty());
@@ -182,24 +209,31 @@ fn delete_is_idempotent() {
     db.put_attributes("d", "i", &[add("a", "1")]).unwrap();
     db.delete_attributes("d", "i", None).unwrap();
     db.delete_attributes("d", "i", None).unwrap();
-    db.delete_attributes("d", "i", Some(&[DeletableAttribute::all_of("a")])).unwrap();
+    db.delete_attributes("d", "i", Some(&[DeletableAttribute::all_of("a")]))
+        .unwrap();
 }
 
 #[test]
 fn deleting_last_attribute_removes_item() {
     let (_, db) = counting();
     db.put_attributes("d", "i", &[add("a", "1")]).unwrap();
-    db.delete_attributes("d", "i", Some(&[DeletableAttribute::pair("a", "1")])).unwrap();
+    db.delete_attributes("d", "i", Some(&[DeletableAttribute::pair("a", "1")]))
+        .unwrap();
     assert!(db.latest_item_names("d").is_empty());
 }
 
 #[test]
 fn query_filters_and_returns_names() {
     let (_, db) = counting();
-    db.put_attributes("d", "f1", &[add("type", "file")]).unwrap();
-    db.put_attributes("d", "p1", &[add("type", "process")]).unwrap();
-    db.put_attributes("d", "f2", &[add("type", "file")]).unwrap();
-    let r = db.query("d", Some("['type' = 'file']"), None, None).unwrap();
+    db.put_attributes("d", "f1", &[add("type", "file")])
+        .unwrap();
+    db.put_attributes("d", "p1", &[add("type", "process")])
+        .unwrap();
+    db.put_attributes("d", "f2", &[add("type", "file")])
+        .unwrap();
+    let r = db
+        .query("d", Some("['type' = 'file']"), None, None)
+        .unwrap();
     assert_eq!(r.item_names, vec!["f1", "f2"]);
     assert!(r.next_token.is_none());
 }
@@ -216,13 +250,16 @@ fn query_none_matches_all() {
 fn query_pagination_round_trip() {
     let (_, db) = counting();
     for i in 0..25 {
-        db.put_attributes("d", &format!("i{i:02}"), &[add("t", "x")]).unwrap();
+        db.put_attributes("d", &format!("i{i:02}"), &[add("t", "x")])
+            .unwrap();
     }
     let mut names = Vec::new();
     let mut token: Option<String> = None;
     let mut pages = 0;
     loop {
-        let r = db.query("d", Some("['t' = 'x']"), Some(10), token.as_deref()).unwrap();
+        let r = db
+            .query("d", Some("['t' = 'x']"), Some(10), token.as_deref())
+            .unwrap();
         names.extend(r.item_names);
         pages += 1;
         match r.next_token {
@@ -232,14 +269,18 @@ fn query_pagination_round_trip() {
     }
     assert_eq!(pages, 3);
     assert_eq!(names.len(), 25);
-    assert!(names.windows(2).all(|w| w[0] < w[1]), "name-ordered across pages");
+    assert!(
+        names.windows(2).all(|w| w[0] < w[1]),
+        "name-ordered across pages"
+    );
 }
 
 #[test]
 fn query_page_size_clamped() {
     let (_, db) = counting();
     for i in 0..(QUERY_MAX_PAGE + 50) {
-        db.put_attributes("d", &format!("i{i:04}"), &[add("t", "x")]).unwrap();
+        db.put_attributes("d", &format!("i{i:04}"), &[add("t", "x")])
+            .unwrap();
     }
     let r = db.query("d", None, Some(100_000), None).unwrap();
     assert_eq!(r.item_names.len(), QUERY_MAX_PAGE);
@@ -258,9 +299,16 @@ fn invalid_next_token_rejected() {
 #[test]
 fn query_with_attributes_and_filter() {
     let (_, db) = counting();
-    db.put_attributes("d", "i", &[add("a", "1"), add("b", "2")]).unwrap();
+    db.put_attributes("d", "i", &[add("a", "1"), add("b", "2")])
+        .unwrap();
     let r = db
-        .query_with_attributes("d", Some("['a' = '1']"), Some(&["b".to_string()]), None, None)
+        .query_with_attributes(
+            "d",
+            Some("['a' = '1']"),
+            Some(&["b".to_string()]),
+            None,
+            None,
+        )
         .unwrap();
     assert_eq!(r.items.len(), 1);
     assert_eq!(r.items[0].attributes, vec![Attribute::new("b", "2")]);
@@ -269,7 +317,8 @@ fn query_with_attributes_and_filter() {
 #[test]
 fn select_projection_forms() {
     let (_, db) = counting();
-    db.put_attributes("d", "i1", &[add("a", "1"), add("b", "2")]).unwrap();
+    db.put_attributes("d", "i1", &[add("a", "1"), add("b", "2")])
+        .unwrap();
     db.put_attributes("d", "i2", &[add("a", "9")]).unwrap();
 
     let all = db.select("select * from d where a = '1'", None).unwrap();
@@ -291,13 +340,18 @@ fn select_projection_forms() {
 fn select_pagination() {
     let (_, db) = counting();
     for i in 0..12 {
-        db.put_attributes("d", &format!("i{i:02}"), &[add("t", "x")]).unwrap();
+        db.put_attributes("d", &format!("i{i:02}"), &[add("t", "x")])
+            .unwrap();
     }
     let p1 = db.select("select itemName() from d limit 5", None).unwrap();
     assert_eq!(p1.items.len(), 5);
-    let p2 = db.select("select itemName() from d limit 5", p1.next_token.as_deref()).unwrap();
+    let p2 = db
+        .select("select itemName() from d limit 5", p1.next_token.as_deref())
+        .unwrap();
     assert_eq!(p2.items.len(), 5);
-    let p3 = db.select("select itemName() from d limit 5", p2.next_token.as_deref()).unwrap();
+    let p3 = db
+        .select("select itemName() from d limit 5", p2.next_token.as_deref())
+        .unwrap();
     assert_eq!(p3.items.len(), 2);
     assert!(p3.next_token.is_none());
 }
@@ -308,14 +362,28 @@ fn eventual_consistency_hides_fresh_inserts_sometimes() {
     db.put_attributes("d", "fresh", &[add("t", "x")]).unwrap();
     let mut missed = false;
     for _ in 0..64 {
-        if db.query("d", Some("['t' = 'x']"), None, None).unwrap().item_names.is_empty() {
+        if db
+            .query("d", Some("['t' = 'x']"), None, None)
+            .unwrap()
+            .item_names
+            .is_empty()
+        {
             missed = true;
             break;
         }
     }
-    assert!(missed, "a query right after insert should sometimes miss it (§2.2)");
+    assert!(
+        missed,
+        "a query right after insert should sometimes miss it (§2.2)"
+    );
     world.settle();
-    assert_eq!(db.query("d", Some("['t' = 'x']"), None, None).unwrap().item_names.len(), 1);
+    assert_eq!(
+        db.query("d", Some("['t' = 'x']"), None, None)
+            .unwrap()
+            .item_names
+            .len(),
+        1
+    );
 }
 
 #[test]
@@ -325,7 +393,10 @@ fn billing_records_ops_and_bytes() {
     db.put_attributes("d", "i", &[add("abc", "defg")]).unwrap();
     let delta = world.meters() - before;
     assert_eq!(delta.op_count(Op::SdbPutAttributes), 1);
-    assert_eq!(delta.bytes_in(), ("abc".len() + "defg".len() + "i".len()) as u64);
+    assert_eq!(
+        delta.bytes_in(),
+        ("abc".len() + "defg".len() + "i".len()) as u64
+    );
 
     let before = world.meters();
     let _ = db.query("d", Some("['abc' = 'defg']"), None, None).unwrap();
@@ -353,9 +424,13 @@ fn select_on_missing_domain_errors_before_billing_items() {
 #[test]
 fn query_sort_via_expression() {
     let (_, db) = counting();
-    db.put_attributes("d", "low", &[add("t", "x"), add("rank", "1")]).unwrap();
-    db.put_attributes("d", "high", &[add("t", "x"), add("rank", "9")]).unwrap();
-    let r = db.query("d", Some("['t' = 'x'] sort 'rank' desc"), None, None).unwrap();
+    db.put_attributes("d", "low", &[add("t", "x"), add("rank", "1")])
+        .unwrap();
+    db.put_attributes("d", "high", &[add("t", "x"), add("rank", "9")])
+        .unwrap();
+    let r = db
+        .query("d", Some("['t' = 'x'] sort 'rank' desc"), None, None)
+        .unwrap();
     assert_eq!(r.item_names, vec!["high", "low"]);
 }
 

@@ -24,7 +24,11 @@ enum Repr {
     Inline(#[serde(with = "serde_bytes_compat")] Bytes),
     /// `len` pseudo-random bytes; byte `i` of the stream is
     /// `synthetic_byte(seed, start + i)`.
-    Synthetic { seed: u64, start: u64, len: u64 },
+    Synthetic {
+        seed: u64,
+        start: u64,
+        len: u64,
+    },
 }
 
 /// A byte payload that may be inline or synthetically generated.
@@ -55,14 +59,22 @@ impl Blob {
 
     /// Wraps owned bytes.
     pub fn from_bytes(bytes: impl Into<Bytes>) -> Blob {
-        Blob { repr: Repr::Inline(bytes.into()) }
+        Blob {
+            repr: Repr::Inline(bytes.into()),
+        }
     }
 
     /// Creates a deterministic pseudo-random blob of `len` bytes.
     ///
     /// Two blobs with the same `seed` and `len` have identical content.
     pub fn synthetic(seed: u64, len: u64) -> Blob {
-        Blob { repr: Repr::Synthetic { seed, start: 0, len } }
+        Blob {
+            repr: Repr::Synthetic {
+                seed,
+                start: 0,
+                len,
+            },
+        }
     }
 
     /// Length in bytes.
@@ -85,11 +97,13 @@ impl Blob {
     /// Panics if the range is out of bounds or inverted.
     pub fn slice(&self, range: Range<u64>) -> Blob {
         assert!(range.start <= range.end, "inverted range {range:?}");
-        assert!(range.end <= self.len(), "range {range:?} out of bounds for len {}", self.len());
+        assert!(
+            range.end <= self.len(),
+            "range {range:?} out of bounds for len {}",
+            self.len()
+        );
         match &self.repr {
-            Repr::Inline(b) => {
-                Blob::from_bytes(b.slice(range.start as usize..range.end as usize))
-            }
+            Repr::Inline(b) => Blob::from_bytes(b.slice(range.start as usize..range.end as usize)),
             Repr::Synthetic { seed, start, .. } => Blob {
                 repr: Repr::Synthetic {
                     seed: *seed,
@@ -121,7 +135,10 @@ impl Blob {
     /// Iterates the content in chunks of at most [`CHUNK`] bytes without
     /// materialising the whole payload.
     pub fn chunks(&self) -> Chunks<'_> {
-        Chunks { blob: self, offset: 0 }
+        Chunks {
+            blob: self,
+            offset: 0,
+        }
     }
 
     /// Streaming MD5 of the content.
@@ -233,6 +250,9 @@ fn splitmix64(mut x: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+// Only reachable through the `#[serde(with = ...)]` attribute, which the
+// vendored no-op serde derive leaves inert — hence dead to rustc.
+#[allow(dead_code)]
 mod serde_bytes_compat {
     //! `bytes::Bytes` serde support without enabling the `serde` feature of
     //! the `bytes` crate.
@@ -275,7 +295,14 @@ mod tests {
     fn synthetic_slice_matches_materialised_slice() {
         let blob = Blob::synthetic(99, 10_000);
         let all = blob.to_bytes();
-        for range in [0..0u64, 0..1, 100..200, 9_999..10_000, 0..10_000, 4_095..4_097] {
+        for range in [
+            0..0u64,
+            0..1,
+            100..200,
+            9_999..10_000,
+            0..10_000,
+            4_095..4_097,
+        ] {
             let sliced = blob.slice(range.clone()).to_bytes();
             assert_eq!(&sliced[..], &all[range.start as usize..range.end as usize]);
         }

@@ -181,7 +181,12 @@ impl fmt::Display for SimDuration {
         } else if micros < 1_000_000 {
             write!(f, "{}.{:03}ms", micros / 1_000, micros % 1_000)
         } else {
-            write!(f, "{}.{:03}s", micros / 1_000_000, (micros % 1_000_000) / 1_000)
+            write!(
+                f,
+                "{}.{:03}s",
+                micros / 1_000_000,
+                (micros % 1_000_000) / 1_000
+            )
         }
     }
 }

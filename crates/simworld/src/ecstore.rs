@@ -38,7 +38,9 @@ impl<V> Cell<V> {
     }
 
     fn latest(&self) -> &Write<V> {
-        self.writes.last().expect("cells always hold at least one write")
+        self.writes
+            .last()
+            .expect("cells always hold at least one write")
     }
 
     /// Drops history that every replica has moved past.
@@ -87,7 +89,10 @@ pub struct EcMap<K: Ord, V> {
 impl<K: Ord + Clone, V: Clone> EcMap<K, V> {
     /// An empty map.
     pub fn new() -> EcMap<K, V> {
-        EcMap { cells: BTreeMap::new(), next_seq: 0 }
+        EcMap {
+            cells: BTreeMap::new(),
+            next_seq: 0,
+        }
     }
 
     /// Applies a write (`Some`) or delete (`None`) at the current virtual
@@ -100,7 +105,10 @@ impl<K: Ord + Clone, V: Clone> EcMap<K, V> {
             value,
         };
         let now = world.now();
-        let cell = self.cells.entry(key).or_insert_with(|| Cell { writes: Vec::new() });
+        let cell = self
+            .cells
+            .entry(key)
+            .or_insert_with(|| Cell { writes: Vec::new() });
         cell.writes.push(write);
         cell.compact(now);
     }
@@ -136,7 +144,10 @@ impl<K: Ord + Clone, V: Clone> EcMap<K, V> {
 
     /// Number of keys whose newest write is a value.
     pub fn len_latest(&self) -> usize {
-        self.cells.values().filter(|c| c.latest().value.is_some()).count()
+        self.cells
+            .values()
+            .filter(|c| c.latest().value.is_some())
+            .count()
     }
 
     /// Iterates the authoritative live entries in key order.
@@ -155,7 +166,9 @@ impl<K: Ord + Clone, V: Clone> EcMap<K, V> {
         self.cells
             .iter()
             .filter_map(|(k, c)| {
-                c.visible(replica, now).and_then(|w| w.value.as_ref()).map(|_| k.clone())
+                c.visible(replica, now)
+                    .and_then(|w| w.value.as_ref())
+                    .map(|_| k.clone())
             })
             .collect()
     }
@@ -226,7 +239,10 @@ mod tests {
                 break;
             }
         }
-        assert!(saw_stale, "with 60s lag and 3 replicas a stale read should occur");
+        assert!(
+            saw_stale,
+            "with 60s lag and 3 replicas a stale read should occur"
+        );
         // After the lag bound passes, every replica serves "new".
         world.settle();
         for _ in 0..16 {
@@ -343,12 +359,15 @@ mod tests {
             map.write(&world, format!("k{i:02}"), Some(i));
         }
         map.write(&world, "k05".to_string(), None); // delete one
-        // At any staleness level the key listing agrees with the full
-        // entry listing taken under the same conditions after settling.
+                                                    // At any staleness level the key listing agrees with the full
+                                                    // entry listing taken under the same conditions after settling.
         world.settle();
         let keys = map.visible_keys(&world);
-        let entries: Vec<String> =
-            map.visible_entries(&world).into_iter().map(|(k, _)| k).collect();
+        let entries: Vec<String> = map
+            .visible_entries(&world)
+            .into_iter()
+            .map(|(k, _)| k)
+            .collect();
         assert_eq!(keys, entries);
         assert_eq!(keys.len(), 19);
         assert!(!keys.contains(&"k05".to_string()));

@@ -94,7 +94,13 @@ impl FaultPlan {
 
     /// Arms `site` to fire on visit number `skip_visits + 1`.
     pub fn arm_after(&mut self, site: CrashSite, skip_visits: u64) {
-        self.armed.insert(site, Armed { skip_visits, fired: false });
+        self.armed.insert(
+            site,
+            Armed {
+                skip_visits,
+                fired: false,
+            },
+        );
     }
 
     /// Disarms `site`; visits to it succeed again.

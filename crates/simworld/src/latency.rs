@@ -68,7 +68,11 @@ impl LatencyModel {
             per_8kb: SimDuration::ZERO,
             jitter: SimDuration::ZERO,
         };
-        LatencyModel { s3: z, simpledb: z, sqs: z }
+        LatencyModel {
+            s3: z,
+            simpledb: z,
+            sqs: z,
+        }
     }
 
     /// Parameters for `service`.

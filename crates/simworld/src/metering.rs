@@ -87,11 +87,18 @@ impl Op {
         use Op::*;
         match self {
             S3Put | S3Get | S3Head | S3Copy | S3Delete | S3List => Service::S3,
-            SdbPutAttributes | SdbGetAttributes | SdbDeleteAttributes | SdbQuery
-            | SdbQueryWithAttributes | SdbSelect | SdbCreateDomain | SdbListDomains => {
-                Service::SimpleDb
-            }
-            SqsCreateQueue | SqsSendMessage | SqsReceiveMessage | SqsDeleteMessage
+            SdbPutAttributes
+            | SdbGetAttributes
+            | SdbDeleteAttributes
+            | SdbQuery
+            | SdbQueryWithAttributes
+            | SdbSelect
+            | SdbCreateDomain
+            | SdbListDomains => Service::SimpleDb,
+            SqsCreateQueue
+            | SqsSendMessage
+            | SqsReceiveMessage
+            | SqsDeleteMessage
             | SqsGetQueueAttributes => Service::Sqs,
         }
     }
@@ -213,7 +220,10 @@ pub struct MeterSnapshot {
 impl MeterSnapshot {
     /// Total ops across all services.
     pub fn total_ops(&self) -> u64 {
-        Service::ALL.iter().map(|s| self.book.service(*s).total_ops()).sum()
+        Service::ALL
+            .iter()
+            .map(|s| self.book.service(*s).total_ops())
+            .sum()
     }
 
     /// Ops for one service.
@@ -228,12 +238,18 @@ impl MeterSnapshot {
 
     /// Bytes in across all services.
     pub fn bytes_in(&self) -> u64 {
-        Service::ALL.iter().map(|s| self.book.service(*s).bytes_in).sum()
+        Service::ALL
+            .iter()
+            .map(|s| self.book.service(*s).bytes_in)
+            .sum()
     }
 
     /// Bytes out across all services.
     pub fn bytes_out(&self) -> u64 {
-        Service::ALL.iter().map(|s| self.book.service(*s).bytes_out).sum()
+        Service::ALL
+            .iter()
+            .map(|s| self.book.service(*s).bytes_out)
+            .sum()
     }
 
     /// Bytes currently stored on one service.
@@ -243,7 +259,10 @@ impl MeterSnapshot {
 
     /// Bytes stored across all services.
     pub fn total_stored_bytes(&self) -> u64 {
-        Service::ALL.iter().map(|s| self.book.service(*s).stored_bytes).sum()
+        Service::ALL
+            .iter()
+            .map(|s| self.book.service(*s).stored_bytes)
+            .sum()
     }
 
     /// Per-service view.
@@ -370,7 +389,10 @@ mod tests {
         assert_eq!(format_bytes(500), "500B");
         assert_eq!(format_bytes(2 * 1024), "2.0KB");
         assert_eq!(format_bytes((121.8 * 1024.0 * 1024.0) as u64), "121.8MB");
-        assert_eq!(format_bytes((1.27 * 1024.0 * 1024.0 * 1024.0) as u64), "1.27GB");
+        assert_eq!(
+            format_bytes((1.27 * 1024.0 * 1024.0 * 1024.0) as u64),
+            "1.27GB"
+        );
     }
 
     #[test]

@@ -58,7 +58,9 @@ impl Default for SimConfig {
     fn default() -> Self {
         SimConfig {
             seed: 0,
-            consistency: Consistency::Eventual { max_lag: SimDuration::from_millis(500) },
+            consistency: Consistency::Eventual {
+                max_lag: SimDuration::from_millis(500),
+            },
             latency: LatencyModel::default(),
             replicas: 3,
         }
@@ -119,7 +121,10 @@ impl std::fmt::Debug for SimWorld {
 impl SimWorld {
     /// A world with default config and the given seed.
     pub fn new(seed: u64) -> SimWorld {
-        SimWorld::with_config(SimConfig { seed, ..SimConfig::default() })
+        SimWorld::with_config(SimConfig {
+            seed,
+            ..SimConfig::default()
+        })
     }
 
     /// A world with explicit configuration.
@@ -335,7 +340,7 @@ mod tests {
         let now = w.now();
         let vis = w.sample_visibility();
         assert_eq!(vis.len(), 5);
-        assert!(vis.iter().any(|t| *t == now), "primary replica is immediate");
+        assert!(vis.contains(&now), "primary replica is immediate");
         assert!(vis.iter().all(|t| *t <= now + SimDuration::from_secs(10)));
     }
 
@@ -369,7 +374,10 @@ mod tests {
 
     #[test]
     fn read_replica_in_range() {
-        let w = SimWorld::with_config(SimConfig { replicas: 3, ..SimConfig::default() });
+        let w = SimWorld::with_config(SimConfig {
+            replicas: 3,
+            ..SimConfig::default()
+        });
         for _ in 0..50 {
             assert!(w.sample_read_replica() < 3);
         }

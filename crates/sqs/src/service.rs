@@ -105,14 +105,19 @@ pub struct Sqs {
 impl std::fmt::Debug for Sqs {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let inner = self.inner.lock();
-        f.debug_struct("Sqs").field("queues", &inner.queues.len()).finish_non_exhaustive()
+        f.debug_struct("Sqs")
+            .field("queues", &inner.queues.len())
+            .finish_non_exhaustive()
     }
 }
 
 impl Sqs {
     /// Connects a new simulated SQS endpoint to `world`.
     pub fn new(world: &SimWorld) -> Sqs {
-        Sqs { world: world.clone(), inner: Arc::new(Mutex::new(Inner::default())) }
+        Sqs {
+            world: world.clone(),
+            inner: Arc::new(Mutex::new(Inner::default())),
+        }
     }
 
     /// Creates a queue (idempotent) and returns its URL.
@@ -120,7 +125,8 @@ impl Sqs {
         let name = name.into();
         let url = format!("https://sqs.sim/{name}");
         let mut inner = self.inner.lock();
-        self.world.record_op(Op::SqsCreateQueue, name.len() as u64, url.len() as u64);
+        self.world
+            .record_op(Op::SqsCreateQueue, name.len() as u64, url.len() as u64);
         inner.queues.entry(url.clone()).or_insert_with(|| Queue {
             name,
             messages: BTreeMap::new(),
@@ -150,7 +156,10 @@ impl Sqs {
     pub fn send_message(&self, url: &str, body: impl Into<String>) -> Result<String> {
         let body = body.into();
         if body.len() > MAX_MESSAGE_SIZE {
-            return Err(SqsError::MessageTooLong { size: body.len(), limit: MAX_MESSAGE_SIZE });
+            return Err(SqsError::MessageTooLong {
+                size: body.len(),
+                limit: MAX_MESSAGE_SIZE,
+            });
         }
         let server = self.world.rand_below(QUEUE_SERVERS as u64) as usize;
         let now = self.world.now();
@@ -251,9 +260,11 @@ impl Sqs {
         let seq = parse_receipt_seq(receipt_handle)?;
         let mut inner = self.inner.lock();
         let queue = queue_mut(&mut inner, url)?;
-        self.world.record_op(Op::SqsDeleteMessage, receipt_handle.len() as u64, 0);
+        self.world
+            .record_op(Op::SqsDeleteMessage, receipt_handle.len() as u64, 0);
         if let Some(msg) = queue.messages.remove(&seq) {
-            self.world.adjust_stored(Service::Sqs, -(msg.body.len() as i64));
+            self.world
+                .adjust_stored(Service::Sqs, -(msg.body.len() as i64));
         }
         Ok(())
     }
@@ -347,12 +358,16 @@ fn parse_receipt_seq(handle: &str) -> Result<u64> {
             return Ok(seq);
         }
     }
-    Err(SqsError::InvalidReceiptHandle { handle: handle.to_string() })
+    Err(SqsError::InvalidReceiptHandle {
+        handle: handle.to_string(),
+    })
 }
 
 fn queue_mut<'a>(inner: &'a mut Inner, url: &str) -> Result<&'a mut Queue> {
     inner
         .queues
         .get_mut(url)
-        .ok_or_else(|| SqsError::QueueDoesNotExist { url: url.to_string() })
+        .ok_or_else(|| SqsError::QueueDoesNotExist {
+            url: url.to_string(),
+        })
 }

@@ -2,7 +2,7 @@
 
 use simworld::{Op, Service, SimDuration, SimWorld};
 
-use crate::{SqsError, Sqs, DEFAULT_VISIBILITY_TIMEOUT, MAX_MESSAGE_SIZE, RETENTION};
+use crate::{Sqs, SqsError, DEFAULT_VISIBILITY_TIMEOUT, MAX_MESSAGE_SIZE, RETENTION};
 
 fn setup(seed: u64) -> (SimWorld, Sqs, String) {
     let world = SimWorld::new(seed);
@@ -46,7 +46,11 @@ fn create_queue_is_idempotent_and_urls_are_stable() {
     sqs.send_message(&url, "x").unwrap();
     let url2 = sqs.create_queue("q");
     assert_eq!(url, url2);
-    assert_eq!(sqs.exact_message_count(&url2), 1, "recreate must not clear the queue");
+    assert_eq!(
+        sqs.exact_message_count(&url2),
+        1,
+        "recreate must not clear the queue"
+    );
 }
 
 #[test]
@@ -124,13 +128,17 @@ fn visibility_timeout_hides_then_redelivers() {
         }
     };
     assert_eq!(again.message_id, msg.message_id);
-    assert_ne!(again.receipt_handle, msg.receipt_handle, "new delivery, new handle");
+    assert_ne!(
+        again.receipt_handle, msg.receipt_handle,
+        "new delivery, new handle"
+    );
 }
 
 #[test]
 fn configurable_visibility_timeout() {
     let (world, sqs, url) = setup(7);
-    sqs.set_visibility_timeout(&url, SimDuration::from_secs(2)).unwrap();
+    sqs.set_visibility_timeout(&url, SimDuration::from_secs(2))
+        .unwrap();
     sqs.send_message(&url, "m").unwrap();
     while sqs.receive_message(&url, 10).unwrap().is_empty() {}
     world.advance(SimDuration::from_secs(3));
@@ -185,8 +193,14 @@ fn malformed_receipt_handle_rejected() {
 fn missing_queue_errors() {
     let (_, sqs, _) = setup(10);
     let bad = "https://sqs.sim/never-created";
-    assert!(matches!(sqs.send_message(bad, "x"), Err(SqsError::QueueDoesNotExist { .. })));
-    assert!(matches!(sqs.receive_message(bad, 1), Err(SqsError::QueueDoesNotExist { .. })));
+    assert!(matches!(
+        sqs.send_message(bad, "x"),
+        Err(SqsError::QueueDoesNotExist { .. })
+    ));
+    assert!(matches!(
+        sqs.receive_message(bad, 1),
+        Err(SqsError::QueueDoesNotExist { .. })
+    ));
     assert!(matches!(
         sqs.approximate_number_of_messages(bad),
         Err(SqsError::QueueDoesNotExist { .. })
@@ -201,10 +215,14 @@ fn approximate_count_is_in_the_right_ballpark() {
     }
     // Average several approximations; each samples half the servers and
     // extrapolates, so the mean should land near 200.
-    let total: usize =
-        (0..32).map(|_| sqs.approximate_number_of_messages(&url).unwrap()).sum();
+    let total: usize = (0..32)
+        .map(|_| sqs.approximate_number_of_messages(&url).unwrap())
+        .sum();
     let mean = total / 32;
-    assert!((100..=300).contains(&mean), "mean approximation {mean} too far from 200");
+    assert!(
+        (100..=300).contains(&mean),
+        "mean approximation {mean} too far from 200"
+    );
 }
 
 #[test]
@@ -214,7 +232,11 @@ fn retention_expires_old_messages() {
     world.advance(RETENTION + SimDuration::from_hours(1));
     assert_eq!(sqs.exact_message_count(&url), 0);
     assert!(sqs.receive_message(&url, 10).unwrap().is_empty());
-    assert_eq!(world.meters().stored_bytes(Service::Sqs), 0, "expiry frees storage");
+    assert_eq!(
+        world.meters().stored_bytes(Service::Sqs),
+        0,
+        "expiry frees storage"
+    );
 }
 
 #[test]
@@ -275,7 +297,10 @@ fn message_ids_are_unique_and_stable() {
             break;
         }
     }
-    assert!(redelivered.is_some(), "message redelivered with the same id");
+    assert!(
+        redelivered.is_some(),
+        "message redelivered with the same id"
+    );
 }
 
 #[test]

@@ -47,8 +47,9 @@ impl Blast {
     /// Appends the trace to `t`.
     pub fn generate(&self, t: &mut TraceBuilder) {
         // The raw database fragments exist up front.
-        let fragments: Vec<String> =
-            (0..self.db_fragments).map(|i| format!("blast/db/nr{i:02}.fasta")).collect();
+        let fragments: Vec<String> = (0..self.db_fragments)
+            .map(|i| format!("blast/db/nr{i:02}.fasta"))
+            .collect();
         for f in &fragments {
             t.source(f, self.db_fragment_size);
         }
@@ -100,7 +101,7 @@ impl Blast {
                 format!("tophits {hits}"),
                 env_len,
                 None,
-                &[hits.clone()],
+                std::slice::from_ref(&hits),
                 &[(top, (hits_size / 20).max(1))],
             );
         }
@@ -132,10 +133,16 @@ mod tests {
         }
         flushes.extend(obs.finish());
         // Files: 2 fragments + 3 index + 3 queries + 3 hits + 3 top = 14.
-        let files = flushes.iter().filter(|f| f.kind == pass::ObjectKind::File).count();
+        let files = flushes
+            .iter()
+            .filter(|f| f.kind == pass::ObjectKind::File)
+            .count();
         assert_eq!(files, 14);
         // Processes: formatdb + 3 blastall + 3 tophits = 7.
-        let procs = flushes.iter().filter(|f| f.kind == pass::ObjectKind::Process).count();
+        let procs = flushes
+            .iter()
+            .filter(|f| f.kind == pass::ObjectKind::Process)
+            .count();
         assert_eq!(procs, 7);
     }
 
@@ -148,7 +155,10 @@ mod tests {
         for ev in t.finish() {
             flushes.extend(obs.observe(ev).unwrap());
         }
-        let hits = flushes.iter().find(|f| f.object.name.ends_with(".hits")).unwrap();
+        let hits = flushes
+            .iter()
+            .find(|f| f.object.name.ends_with(".hits"))
+            .unwrap();
         let blast_ref = hits.ancestors()[0].clone();
         assert!(blast_ref.name.contains(":blastall"));
         let blast = flushes.iter().find(|f| f.object == blast_ref).unwrap();

@@ -18,7 +18,12 @@ impl TraceBuilder {
     /// A builder whose sampled sizes and blob contents derive from
     /// `seed`.
     pub fn new(seed: u64) -> TraceBuilder {
-        TraceBuilder { events: Vec::new(), next_pid: 1, rng_state: seed, blob_seed: seed << 20 }
+        TraceBuilder {
+            events: Vec::new(),
+            next_pid: 1,
+            rng_state: seed,
+            blob_seed: seed << 20,
+        }
     }
 
     /// Allocates a fresh pid.
@@ -143,7 +148,14 @@ mod tests {
             let mut t = TraceBuilder::new(42);
             let size = t.size(10, 100);
             t.source("in", size);
-            t.run_process("tool", "tool in".into(), 900, None, &["in".into()], &[("out".into(), 10)]);
+            t.run_process(
+                "tool",
+                "tool in".into(),
+                900,
+                None,
+                &["in".into()],
+                &[("out".into(), 10)],
+            );
             t.finish()
         };
         assert_eq!(build(), build());
@@ -179,7 +191,14 @@ mod tests {
     fn run_process_emits_full_lifecycle() {
         let mut t = TraceBuilder::new(0);
         t.source("in", 5);
-        t.run_process("x", "x".into(), 100, None, &["in".into()], &[("out".into(), 3)]);
+        t.run_process(
+            "x",
+            "x".into(),
+            100,
+            None,
+            &["in".into()],
+            &[("out".into(), 3)],
+        );
         let events = t.finish();
         assert_eq!(events.len(), 6); // source, exec, read, write, close, exit
         assert!(matches!(events.last(), Some(TraceEvent::Exit { .. })));

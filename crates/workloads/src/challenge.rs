@@ -50,8 +50,10 @@ impl ProvenanceChallenge {
         // The shared reference brain.
         t.source("fmri/reference.img", self.image_size);
         t.source("fmri/reference.hdr", self.header_size);
-        let reference =
-            vec!["fmri/reference.img".to_string(), "fmri/reference.hdr".to_string()];
+        let reference = [
+            "fmri/reference.img".to_string(),
+            "fmri/reference.hdr".to_string(),
+        ];
 
         for s in 0..self.subjects {
             let dir = format!("fmri/s{s:03}");
@@ -90,7 +92,10 @@ impl ProvenanceChallenge {
                     env_len,
                     None,
                     &[warp.clone(), img.clone(), hdr.clone()],
-                    &[(rimg.clone(), self.image_size), (rhdr.clone(), self.header_size)],
+                    &[
+                        (rimg.clone(), self.image_size),
+                        (rhdr.clone(), self.header_size),
+                    ],
                 );
                 resliced.push(rimg);
                 resliced.push(rhdr);
@@ -107,7 +112,10 @@ impl ProvenanceChallenge {
                 env_len,
                 None,
                 &resliced,
-                &[(atlas_img.clone(), self.image_size), (atlas_hdr.clone(), self.header_size)],
+                &[
+                    (atlas_img.clone(), self.image_size),
+                    (atlas_hdr.clone(), self.header_size),
+                ],
             );
 
             // Stages 4 and 5: slicer + convert per axis.
@@ -143,7 +151,11 @@ mod tests {
     use pass::Observer;
 
     fn tiny() -> ProvenanceChallenge {
-        ProvenanceChallenge { subjects: 1, image_size: 5_000, ..Default::default() }
+        ProvenanceChallenge {
+            subjects: 1,
+            image_size: 5_000,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -158,11 +170,17 @@ mod tests {
         flushes.extend(obs.finish());
         // Files: 2 reference + 8 anatomy + 4 warp + 8 resliced + 2 atlas
         // + 3 pgm + 3 jpg = 30.
-        let files = flushes.iter().filter(|f| f.kind == pass::ObjectKind::File).count();
+        let files = flushes
+            .iter()
+            .filter(|f| f.kind == pass::ObjectKind::File)
+            .count();
         assert_eq!(files, 30);
         // Processes: 4 align_warp + 4 reslice + 1 softmean + 3 slicer +
         // 3 convert = 15.
-        let procs = flushes.iter().filter(|f| f.kind == pass::ObjectKind::Process).count();
+        let procs = flushes
+            .iter()
+            .filter(|f| f.kind == pass::ObjectKind::Process)
+            .count();
         assert_eq!(procs, 15);
     }
 
@@ -193,7 +211,8 @@ mod tests {
         }
         for i in 1..=ANATOMY_PAIRS {
             assert!(
-                seen.iter().any(|o| o.name.ends_with(&format!("anatomy{i}.img"))),
+                seen.iter()
+                    .any(|o| o.name.ends_with(&format!("anatomy{i}.img"))),
                 "anatomy{i}.img must be in the atlas ancestry"
             );
         }

@@ -53,7 +53,10 @@ impl Combined {
         Combined {
             seed: 2009,
             compile: LinuxCompile::default().scaled(2.0),
-            blast: Blast { db_fragment_size: 8 * 1024 * 1024, ..Blast::default() },
+            blast: Blast {
+                db_fragment_size: 8 * 1024 * 1024,
+                ..Blast::default()
+            },
             challenge: ProvenanceChallenge {
                 image_size: 512 * 1024,
                 ..ProvenanceChallenge::default()
@@ -160,7 +163,11 @@ mod tests {
         let (flushes, stats) = Combined::small().flushes();
         assert!(!flushes.is_empty());
         assert!(stats.file_versions > 50, "files: {}", stats.file_versions);
-        assert!(stats.process_versions > 20, "procs: {}", stats.process_versions);
+        assert!(
+            stats.process_versions > 20,
+            "procs: {}",
+            stats.process_versions
+        );
         // Provenance overhead must be a small fraction of data (9–32 %
         // in the paper; the exact ratio depends on scale).
         assert!(stats.provenance_bytes < stats.raw_data_bytes);
@@ -204,7 +211,10 @@ mod tests {
         let half = flushes.len() / 2;
         let first = DatasetStats::measure(&flushes[..half]);
         let second = DatasetStats::measure(&flushes[half..]);
-        assert_eq!(first.total_versions() + second.total_versions(), stats.total_versions());
+        assert_eq!(
+            first.total_versions() + second.total_versions(),
+            stats.total_versions()
+        );
         assert_eq!(
             first.provenance_bytes + second.provenance_bytes,
             stats.provenance_bytes

@@ -51,14 +51,16 @@ impl LinuxCompile {
         // Sources.
         let makefile = "linux/Makefile".to_string();
         t.source(&makefile, 48_000);
-        let headers: Vec<String> =
-            (0..self.headers).map(|i| format!("linux/include/h{i:04}.h")).collect();
+        let headers: Vec<String> = (0..self.headers)
+            .map(|i| format!("linux/include/h{i:04}.h"))
+            .collect();
         for h in &headers {
             let size = t.size(self.h_size.0, self.h_size.1);
             t.source(h, size);
         }
-        let sources: Vec<String> =
-            (0..self.c_files).map(|i| format!("linux/src/f{i:05}.c")).collect();
+        let sources: Vec<String> = (0..self.c_files)
+            .map(|i| format!("linux/src/f{i:05}.c"))
+            .collect();
         for c in &sources {
             let size = t.size(self.c_size.0, self.c_size.1);
             t.source(c, size);
@@ -144,8 +146,13 @@ mod tests {
     #[test]
     fn trace_is_well_formed_and_flushes_cleanly() {
         let mut t = TraceBuilder::new(1);
-        LinuxCompile { c_files: 10, headers: 5, includes_per_file: 3, ..Default::default() }
-            .generate(&mut t);
+        LinuxCompile {
+            c_files: 10,
+            headers: 5,
+            includes_per_file: 3,
+            ..Default::default()
+        }
+        .generate(&mut t);
         let mut obs = Observer::new();
         let mut flushes = Vec::new();
         for ev in t.finish() {
@@ -154,8 +161,14 @@ mod tests {
         flushes.extend(obs.finish());
         // 1 Makefile + 5 headers + 10 .c + 10 .o + vmlinux = 27 files;
         // 10 cc + ld + make = 12 processes.
-        let files = flushes.iter().filter(|f| f.kind == pass::ObjectKind::File).count();
-        let procs = flushes.iter().filter(|f| f.kind == pass::ObjectKind::Process).count();
+        let files = flushes
+            .iter()
+            .filter(|f| f.kind == pass::ObjectKind::File)
+            .count();
+        let procs = flushes
+            .iter()
+            .filter(|f| f.kind == pass::ObjectKind::Process)
+            .count();
         assert_eq!(files, 27);
         assert_eq!(procs, 12);
     }
@@ -163,8 +176,13 @@ mod tests {
     #[test]
     fn object_files_depend_on_cc_which_depends_on_source() {
         let mut t = TraceBuilder::new(2);
-        LinuxCompile { c_files: 3, headers: 2, includes_per_file: 1, ..Default::default() }
-            .generate(&mut t);
+        LinuxCompile {
+            c_files: 3,
+            headers: 2,
+            includes_per_file: 1,
+            ..Default::default()
+        }
+        .generate(&mut t);
         let mut obs = Observer::new();
         let mut flushes = Vec::new();
         for ev in t.finish() {
@@ -193,8 +211,13 @@ mod tests {
     fn deterministic_across_runs() {
         let gen = || {
             let mut t = TraceBuilder::new(9);
-            LinuxCompile { c_files: 4, headers: 3, includes_per_file: 2, ..Default::default() }
-                .generate(&mut t);
+            LinuxCompile {
+                c_files: 4,
+                headers: 3,
+                includes_per_file: 2,
+                ..Default::default()
+            }
+            .generate(&mut t);
             t.finish()
         };
         assert_eq!(gen().len(), gen().len());

@@ -33,7 +33,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let input = format!("census/2000/{state}.dat");
         let extract = format!("work/{state}-income.csv");
         for event in [
-            TraceEvent::exec(pid, "extract", format!("extract --income {input}"), "LANG=C", None),
+            TraceEvent::exec(
+                pid,
+                "extract",
+                format!("extract --income {input}"),
+                "LANG=C",
+                None,
+            ),
             TraceEvent::read(pid, &input),
             TraceEvent::write(pid, &extract),
             TraceEvent::close(pid, &extract, Blob::synthetic(pid as u64, 512 * 1024)),
@@ -66,10 +72,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     pid += 1;
     for event in [
-        TraceEvent::exec(pid, "trend-model", "trend-model --by-county", "LANG=C", None),
+        TraceEvent::exec(
+            pid,
+            "trend-model",
+            "trend-model --by-county",
+            "LANG=C",
+            None,
+        ),
         TraceEvent::read(pid, "work/income-merged.csv"),
         TraceEvent::write(pid, "results/income-trends-2000.csv"),
-        TraceEvent::close(pid, "results/income-trends-2000.csv", Blob::synthetic(99, 96 * 1024)),
+        TraceEvent::close(
+            pid,
+            "results/income-trends-2000.csv",
+            Blob::synthetic(99, 96 * 1024),
+        ),
         TraceEvent::exit(pid),
     ] {
         flushes.extend(observer.observe(event)?);
@@ -84,7 +100,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A fellow researcher downloads the result and checks its lineage
     // before trusting it.
     let result = store.read("results/income-trends-2000.csv")?;
-    println!("downloaded {} — consistent: {}", result.object, result.consistent());
+    println!(
+        "downloaded {} — consistent: {}",
+        result.object,
+        result.consistent()
+    );
 
     // "Which census extracts fed this result?" — walk the ancestry.
     let mut frontier = vec![result.object.clone()];
@@ -106,6 +126,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     sources.sort();
     sources.dedup();
     println!("derived from census extracts: {sources:?}");
-    assert_eq!(sources.len(), 3, "all three state extracts appear in the lineage");
+    assert_eq!(
+        sources.len(),
+        3,
+        "all three state extracts appear in the lineage"
+    );
     Ok(())
 }

@@ -57,17 +57,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // A successful persist, but the commit daemon crashes mid-apply...
-    let flush2 = FileFlush::builder("results/run2.csv").data(Blob::from("x,y\n")).build();
+    let flush2 = FileFlush::builder("results/run2.csv")
+        .data(Blob::from("x,y\n"))
+        .build();
     arch3.persist(&flush2)?;
     world.with_faults(|f| f.arm(D3_BEFORE_MSG_DELETE));
-    let err = arch3.run_daemons_until_idle().expect_err("daemon crash fires");
+    let err = arch3
+        .run_daemons_until_idle()
+        .expect_err("daemon crash fires");
     println!("daemon died mid-apply: {err}");
 
     // ...and the restarted daemon replays the still-logged transaction.
     let report = arch3.recover()?;
-    println!("restart replayed {} transaction(s)", report.transactions_replayed);
+    println!(
+        "restart replayed {} transaction(s)",
+        report.transactions_replayed
+    );
     let read = arch3.read("results/run2.csv")?;
-    println!("read after replay: {} — status {}", read.object, read.status);
+    println!(
+        "read after replay: {} — status {}",
+        read.object, read.status
+    );
     assert!(read.consistent());
     Ok(())
 }

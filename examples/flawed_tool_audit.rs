@@ -29,7 +29,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         pid += 1;
         for event in [
             TraceEvent::source(&raw, Blob::synthetic(i, 64 * 1024)),
-            TraceEvent::exec(pid, tool, format!("{tool} {raw}"), "OMP_NUM_THREADS=8", None),
+            TraceEvent::exec(
+                pid,
+                tool,
+                format!("{tool} {raw}"),
+                "OMP_NUM_THREADS=8",
+                None,
+            ),
             TraceEvent::read(pid, &raw),
             TraceEvent::write(pid, &fit),
             TraceEvent::close(pid, &fit, Blob::synthetic(100 + i, 16 * 1024)),
@@ -41,12 +47,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // A summary paper aggregates *all* fits — so it is tainted too.
     pid += 1;
-    let mut events = vec![TraceEvent::exec(pid, "aggregate", "aggregate fits/*", "", None)];
+    let mut events = vec![TraceEvent::exec(
+        pid,
+        "aggregate",
+        "aggregate fits/*",
+        "",
+        None,
+    )];
     for i in 0..12 {
         events.push(TraceEvent::read(pid, format!("fits/run{i:02}.fit")));
     }
     events.push(TraceEvent::write(pid, "paper/figure3.csv"));
-    events.push(TraceEvent::close(pid, "paper/figure3.csv", Blob::synthetic(999, 8 * 1024)));
+    events.push(TraceEvent::close(
+        pid,
+        "paper/figure3.csv",
+        Blob::synthetic(999, 8 * 1024),
+    ));
     events.push(TraceEvent::exit(pid));
     for event in events {
         flushes.extend(observer.observe(event)?);
@@ -59,7 +75,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- the audit ---
 
     // Q2: data sets directly produced by the flawed tool.
-    let direct = store.query(&ProvQuery::OutputsOf { program: "fitter-v1".into() })?;
+    let direct = store.query(&ProvQuery::OutputsOf {
+        program: "fitter-v1".into(),
+    })?;
     println!("directly affected by fitter-v1 ({}):", direct.len());
     for name in direct.names() {
         println!("  {name}");
@@ -67,18 +85,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert_eq!(direct.len(), 6);
 
     // Q3: everything transitively derived from those outputs.
-    let tainted = store.query(&ProvQuery::DescendantsOf { program: "fitter-v1".into() })?;
+    let tainted = store.query(&ProvQuery::DescendantsOf {
+        program: "fitter-v1".into(),
+    })?;
     println!("transitively tainted ({}):", tainted.len());
     for name in tainted.names() {
         println!("  {name}");
     }
     assert!(
-        tainted.names().iter().any(|n| n.starts_with("paper/figure3.csv")),
+        tainted
+            .names()
+            .iter()
+            .any(|n| n.starts_with("paper/figure3.csv")),
         "the aggregated figure is flagged because one input was flawed"
     );
 
     // The v2 outputs are NOT flagged.
-    let clean = store.query(&ProvQuery::OutputsOf { program: "fitter-v2".into() })?;
+    let clean = store.query(&ProvQuery::OutputsOf {
+        program: "fitter-v2".into(),
+    })?;
     for name in clean.names() {
         assert!(!tainted.names().contains(&name));
     }

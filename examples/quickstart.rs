@@ -20,7 +20,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut flushes = Vec::new();
     for event in [
         TraceEvent::source("data/readings.csv", Blob::synthetic(1, 256 * 1024)),
-        TraceEvent::exec(100, "analyze", "analyze readings.csv", "PATH=/usr/bin", None),
+        TraceEvent::exec(
+            100,
+            "analyze",
+            "analyze readings.csv",
+            "PATH=/usr/bin",
+            None,
+        ),
         TraceEvent::read(100, "data/readings.csv"),
         TraceEvent::write(100, "results/summary.csv"),
         TraceEvent::close(100, "results/summary.csv", Blob::synthetic(2, 4 * 1024)),
@@ -38,14 +44,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Read correctness: data + provenance verified via MD5(data ‖ nonce).
     let read = store.read("results/summary.csv")?;
-    println!("read {} ({} bytes), status: {}", read.object, read.data.len(), read.status);
+    println!(
+        "read {} ({} bytes), status: {}",
+        read.object,
+        read.data.len(),
+        read.status
+    );
     for record in &read.records {
         println!("  provenance {record}");
     }
     assert!(read.consistent());
 
     // Q2-style query: which files did `analyze` produce?
-    let outputs = store.query(&ProvQuery::OutputsOf { program: "analyze".into() })?;
+    let outputs = store.query(&ProvQuery::OutputsOf {
+        program: "analyze".into(),
+    })?;
     println!("outputs of analyze: {:?}", outputs.names());
     assert_eq!(outputs.names(), vec!["results/summary.csv:1"]);
 

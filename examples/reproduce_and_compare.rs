@@ -9,7 +9,7 @@
 //!
 //! Run with: `cargo run --example reproduce_and_compare`
 
-use pass_cloud::cloud::{ProvQuery, ProvGraph, ProvenanceStore, S3SimpleDbSqs};
+use pass_cloud::cloud::{ProvGraph, ProvQuery, ProvenanceStore, S3SimpleDbSqs};
 use pass_cloud::pass::{Observer, TraceEvent};
 use pass_cloud::simworld::{Blob, SimWorld};
 
@@ -33,7 +33,13 @@ fn run_lab(
         TraceEvent::write(1, "work/calibrated.dat"),
         TraceEvent::close(1, "work/calibrated.dat", Blob::synthetic(8, 128 * 1024)),
         TraceEvent::exit(1),
-        TraceEvent::exec(2, "solver", format!("solver {solver_flag} calibrated.dat"), "LAB=shared", None),
+        TraceEvent::exec(
+            2,
+            "solver",
+            format!("solver {solver_flag} calibrated.dat"),
+            "LAB=shared",
+            None,
+        ),
         TraceEvent::read(2, "work/calibrated.dat"),
         TraceEvent::write(2, "results/spectrum.csv"),
         TraceEvent::close(2, "results/spectrum.csv", Blob::synthetic(9, 16 * 1024)),
@@ -57,8 +63,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // a different solver flag.
     let lab_b = run_lab("lab-b", Blob::synthetic(200, 4 * 1024), "--explicit")?;
 
-    println!("lab A graph: {} versions, depth {}", lab_a.len(), lab_a.depth());
-    println!("lab B graph: {} versions, depth {}", lab_b.len(), lab_b.depth());
+    println!(
+        "lab A graph: {} versions, depth {}",
+        lab_a.len(),
+        lab_a.depth()
+    );
+    println!(
+        "lab B graph: {} versions, depth {}",
+        lab_b.len(),
+        lab_b.depth()
+    );
     assert!(lab_a.is_acyclic() && lab_b.is_acyclic());
 
     let diff = lab_a.diff(&lab_b);
@@ -66,15 +80,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     print!("{}", diff.render());
 
     // The diff isolates exactly the divergence: the solver's argv.
-    assert!(!diff.is_empty(), "the runs differ, so must their provenance");
+    assert!(
+        !diff.is_empty(),
+        "the runs differ, so must their provenance"
+    );
     let argv_changed = diff.changed.iter().any(|c| {
-        c.added.iter().any(|(k, v)| k == "argv" && v.contains("--explicit"))
+        c.added
+            .iter()
+            .any(|(k, v)| k == "argv" && v.contains("--explicit"))
     });
     assert!(argv_changed, "the solver flag difference must surface");
 
     // And the ancestry of the differing result can be rendered for the
     // inevitable lab meeting:
     let dot = lab_a.to_dot();
-    println!("\nGraphviz export of lab A ({} bytes) — pipe to `dot -Tsvg`", dot.len());
+    println!(
+        "\nGraphviz export of lab A ({} bytes) — pipe to `dot -Tsvg`",
+        dot.len()
+    );
     Ok(())
 }

@@ -11,7 +11,9 @@ fn flushes() -> Vec<FileFlush> {
     // protocol branch (overflow staging included) is on the path.
     let env = format!("E={}", "x".repeat(2_500));
     vec![
-        FileFlush::builder("a").data(Blob::synthetic(1, 2048)).build(),
+        FileFlush::builder("a")
+            .data(Blob::synthetic(1, 2048))
+            .build(),
         FileFlush::builder("proc:1:tool")
             .process()
             .record("name", "tool")
@@ -67,7 +69,9 @@ fn every_client_crash_site_recovers_to_a_queryable_state() {
                 let read = store.read("b").expect("b readable after recovery");
                 assert!(read.consistent(), "{kind:?}/{site}/{ordinal}");
                 let q = store
-                    .query(&ProvQuery::OutputsOf { program: "tool".into() })
+                    .query(&ProvQuery::OutputsOf {
+                        program: "tool".into(),
+                    })
                     .expect("query succeeds");
                 assert_eq!(
                     q.names(),
@@ -98,12 +102,19 @@ fn every_daemon_crash_site_replays_to_the_same_state() {
             assert!(read.consistent(), "{site}/{ordinal} (crashed={crashed})");
             // Idempotent replay: record sets contain no duplicates.
             let q = store
-                .query(&ProvQuery::ProvenanceOf { name: "b".into(), version: 1 })
+                .query(&ProvQuery::ProvenanceOf {
+                    name: "b".into(),
+                    version: 1,
+                })
                 .unwrap();
             let records = &q.items[0].records;
             let unique: std::collections::BTreeSet<_> =
                 records.iter().map(|r| r.to_pair()).collect();
-            assert_eq!(records.len(), unique.len(), "{site}/{ordinal}: duplicated records");
+            assert_eq!(
+                records.len(),
+                unique.len(),
+                "{site}/{ordinal}: duplicated records"
+            );
         }
     }
 }
@@ -150,11 +161,17 @@ fn repeated_whole_dataset_persist_is_idempotent() {
         }
         world.settle();
         let q = store
-            .query(&ProvQuery::ProvenanceOf { name: "b".into(), version: 1 })
+            .query(&ProvQuery::ProvenanceOf {
+                name: "b".into(),
+                version: 1,
+            })
             .unwrap();
         let records = &q.items[0].records;
-        let unique: std::collections::BTreeSet<_> =
-            records.iter().map(|r| r.to_pair()).collect();
-        assert_eq!(records.len(), unique.len(), "{kind:?}: duplicate records after re-run");
+        let unique: std::collections::BTreeSet<_> = records.iter().map(|r| r.to_pair()).collect();
+        assert_eq!(
+            records.len(),
+            unique.len(),
+            "{kind:?}: duplicate records after re-run"
+        );
     }
 }

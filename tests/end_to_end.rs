@@ -37,7 +37,11 @@ fn combined_dataset_round_trips_on_every_architecture() {
         // Every file version is readable and consistent; content
         // matches what PASS flushed.
         let mut checked = 0;
-        for flush in flushes.iter().filter(|f| f.kind == ObjectKind::File).take(25) {
+        for flush in flushes
+            .iter()
+            .filter(|f| f.kind == ObjectKind::File)
+            .take(25)
+        {
             let read = store.read(&flush.object.name).unwrap();
             assert!(read.consistent(), "{kind:?}: {} inconsistent", flush.object);
             checked += 1;
@@ -56,10 +60,21 @@ fn architectures_agree_on_all_three_queries() {
         let world = counting();
         let mut store = loaded(kind, &world);
         let q1 = store
-            .query(&ProvQuery::ProvenanceOf { name: "linux/vmlinux".into(), version: 1 })
+            .query(&ProvQuery::ProvenanceOf {
+                name: "linux/vmlinux".into(),
+                version: 1,
+            })
             .unwrap();
-        let q2 = store.query(&ProvQuery::OutputsOf { program: "blastall".into() }).unwrap();
-        let q3 = store.query(&ProvQuery::DescendantsOf { program: "formatdb".into() }).unwrap();
+        let q2 = store
+            .query(&ProvQuery::OutputsOf {
+                program: "blastall".into(),
+            })
+            .unwrap();
+        let q3 = store
+            .query(&ProvQuery::DescendantsOf {
+                program: "formatdb".into(),
+            })
+            .unwrap();
         per_arch.push((q1.names(), q2.names(), q3.names()));
     }
     assert_eq!(per_arch[0], per_arch[1]);
@@ -74,12 +89,20 @@ fn architectures_agree_on_all_three_queries() {
 fn blast_outputs_match_the_generator() {
     let world = counting();
     let mut store = loaded(ArchKind::S3SimpleDb, &world);
-    let q2 = store.query(&ProvQuery::OutputsOf { program: "blastall".into() }).unwrap();
+    let q2 = store
+        .query(&ProvQuery::OutputsOf {
+            program: "blastall".into(),
+        })
+        .unwrap();
     // One .hits file per query; the small dataset runs 5 queries.
     assert!(q2.names().iter().all(|n| n.contains(".hits")));
     assert_eq!(q2.len(), 5);
     // Their descendants are the tophits processes and .top files.
-    let q3 = store.query(&ProvQuery::DescendantsOf { program: "blastall".into() }).unwrap();
+    let q3 = store
+        .query(&ProvQuery::DescendantsOf {
+            program: "blastall".into(),
+        })
+        .unwrap();
     assert!(q3.names().iter().any(|n| n.contains(".top:")));
     assert_eq!(q3.len(), 10, "5 tophits processes + 5 .top files");
 }
@@ -103,7 +126,11 @@ fn full_pipeline_under_realistic_conditions() {
     world.settle();
     let read = store.read("linux/vmlinux").unwrap();
     assert!(read.consistent());
-    let q2 = store.query(&ProvQuery::OutputsOf { program: "blastall".into() }).unwrap();
+    let q2 = store
+        .query(&ProvQuery::OutputsOf {
+            program: "blastall".into(),
+        })
+        .unwrap();
     assert_eq!(q2.len(), 5);
 }
 
@@ -125,7 +152,10 @@ fn provenance_chain_depth_spans_the_fmri_workflow() {
                 continue;
             }
             let answer = store
-                .query(&ProvQuery::ProvenanceOf { name: obj.name.clone(), version: obj.version })
+                .query(&ProvQuery::ProvenanceOf {
+                    name: obj.name.clone(),
+                    version: obj.version,
+                })
                 .unwrap();
             for item in &answer.items {
                 next.extend(item.records.iter().filter_map(|r| r.reference()).cloned());

@@ -2,7 +2,7 @@
 //! invariants the PASS observer is supposed to guarantee, checked on
 //! real (generated) provenance pulled back out of the cloud store.
 
-use pass_cloud::cloud::{ArchKind, ProvGraph, ProvQuery, ProvenanceStore};
+use pass_cloud::cloud::{ArchKind, ProvGraph, ProvQuery};
 use pass_cloud::simworld::SimWorld;
 use pass_cloud::workloads::Combined;
 
@@ -21,7 +21,11 @@ fn graph_from_cloud() -> ProvGraph {
 #[test]
 fn cloud_provenance_forms_a_complete_acyclic_graph() {
     let g = graph_from_cloud();
-    assert!(g.len() > 150, "small corpus too small: {} versions", g.len());
+    assert!(
+        g.len() > 150,
+        "small corpus too small: {} versions",
+        g.len()
+    );
     // PASS versioning guarantees acyclicity.
     assert!(g.is_acyclic());
     // Eventual causal ordering: nothing references a version that was
@@ -44,7 +48,11 @@ fn roots_are_exactly_the_source_files() {
             || root.name.contains("anatomy")
             || root.name.contains("reference.")
             || root.name.contains("proc:");
-        assert!(is_source, "unexpected root {} with records {:?}", root, records);
+        assert!(
+            is_source,
+            "unexpected root {} with records {:?}",
+            root, records
+        );
     }
     assert!(!g.roots().is_empty());
     assert!(!g.leaves().is_empty());
@@ -63,8 +71,11 @@ fn topological_order_is_a_valid_schedule() {
     let g = graph_from_cloud();
     let order = g.topological_order().unwrap();
     assert_eq!(order.len(), g.len());
-    let position: std::collections::HashMap<_, _> =
-        order.iter().enumerate().map(|(i, o)| (o.clone(), i)).collect();
+    let position: std::collections::HashMap<_, _> = order
+        .iter()
+        .enumerate()
+        .map(|(i, o)| (o.clone(), i))
+        .collect();
     for (object, _) in g.iter() {
         for parent in g.parents(object) {
             assert!(
@@ -86,17 +97,27 @@ fn blast_ancestry_matches_query_engine_answers() {
         store.persist(flush).unwrap();
     }
     world.settle();
-    let engine_answer =
-        store.query(&ProvQuery::DescendantsOf { program: "blastall".into() }).unwrap();
+    let engine_answer = store
+        .query(&ProvQuery::DescendantsOf {
+            program: "blastall".into(),
+        })
+        .unwrap();
     let g = ProvGraph::from_answer(&store.query(&ProvQuery::ProvenanceOfAll).unwrap());
 
     // Union of graph-descendants over every output of blastall.
-    let outputs = store.query(&ProvQuery::OutputsOf { program: "blastall".into() }).unwrap();
+    let outputs = store
+        .query(&ProvQuery::OutputsOf {
+            program: "blastall".into(),
+        })
+        .unwrap();
     let mut graph_desc = std::collections::BTreeSet::new();
     for item in &outputs.items {
         graph_desc.extend(g.descendants(&item.object));
     }
-    let engine_set: std::collections::BTreeSet<_> =
-        engine_answer.items.iter().map(|i| i.object.clone()).collect();
+    let engine_set: std::collections::BTreeSet<_> = engine_answer
+        .items
+        .iter()
+        .map(|i| i.object.clone())
+        .collect();
     assert_eq!(graph_desc, engine_set);
 }

@@ -70,11 +70,14 @@ fn one_client_crash_does_not_disturb_the_others() {
     let mut doomed = S3SimpleDbSqs::with_services(&world, &s3, &db, &sqs, "doomed");
 
     world.with_faults(|f| f.arm(pass_cloud::cloud::A3_BEFORE_COMMIT));
-    let crash_flush =
-        FileFlush::builder("doomed/file").data(Blob::from("lost")).build();
+    let crash_flush = FileFlush::builder("doomed/file")
+        .data(Blob::from("lost"))
+        .build();
     assert!(doomed.persist(&crash_flush).unwrap_err().is_crash());
 
-    let ok_flush = FileFlush::builder("healthy/file").data(Blob::from("fine")).build();
+    let ok_flush = FileFlush::builder("healthy/file")
+        .data(Blob::from("fine"))
+        .build();
     healthy.persist(&ok_flush).unwrap();
     healthy.run_daemons_until_idle().unwrap();
     doomed.run_daemons_until_idle().unwrap();
@@ -98,8 +101,10 @@ fn clients_can_share_one_wal_queue_daemon() {
     let mut b = S3SimpleDbSqs::with_services(&world, &s3, &db, &sqs, "shared");
     assert_eq!(a.wal_url(), b.wal_url());
 
-    a.persist(&FileFlush::builder("a").data(Blob::from("1")).build()).unwrap();
-    b.persist(&FileFlush::builder("b").data(Blob::from("2")).build()).unwrap();
+    a.persist(&FileFlush::builder("a").data(Blob::from("1")).build())
+        .unwrap();
+    b.persist(&FileFlush::builder("b").data(Blob::from("2")).build())
+        .unwrap();
     // Only B's daemon runs; it applies both transactions.
     b.run_daemons_until_idle().unwrap();
     world.settle();

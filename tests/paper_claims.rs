@@ -8,14 +8,27 @@ use prov_bench::{table2, table3, Scale};
 fn table1_matches_the_paper_exactly() {
     let matrix = full_property_table(2009).unwrap();
     let as_tuple = |r: &pass_cloud::cloud::PropertyMatrix| {
-        (r.atomicity, r.consistency, r.causal_ordering, r.efficient_query)
+        (
+            r.atomicity,
+            r.consistency,
+            r.causal_ordering,
+            r.efficient_query,
+        )
     };
     assert_eq!(matrix[0].architecture, "S3");
     assert_eq!(as_tuple(&matrix[0]), (true, true, true, false), "S3 row");
     assert_eq!(matrix[1].architecture, "S3+SimpleDB");
-    assert_eq!(as_tuple(&matrix[1]), (false, true, true, true), "S3+SimpleDB row");
+    assert_eq!(
+        as_tuple(&matrix[1]),
+        (false, true, true, true),
+        "S3+SimpleDB row"
+    );
     assert_eq!(matrix[2].architecture, "S3+SimpleDB+SQS");
-    assert_eq!(as_tuple(&matrix[2]), (true, true, true, true), "S3+SimpleDB+SQS row");
+    assert_eq!(
+        as_tuple(&matrix[2]),
+        (true, true, true, true),
+        "S3+SimpleDB+SQS row"
+    );
 }
 
 #[test]
@@ -44,7 +57,12 @@ fn table3_shape_simpledb_wins_queries_by_orders_of_magnitude() {
     let t = table3(&Scale::Small.dataset()).unwrap();
     // Q2: the paper's 56,132-vs-6 contrast. At test scale we demand a
     // factor ≥ 10 in ops and bytes.
-    assert!(t.q2.1.ops * 10 <= t.q2.0.ops, "{} vs {}", t.q2.1.ops, t.q2.0.ops);
+    assert!(
+        t.q2.1.ops * 10 <= t.q2.0.ops,
+        "{} vs {}",
+        t.q2.1.ops,
+        t.q2.0.ops
+    );
     assert!(t.q2.1.data_out * 10 <= t.q2.0.data_out);
     // Q3: SimpleDB walks the graph, still far ahead of the scan.
     assert!(t.q3.1.ops * 3 <= t.q3.0.ops);
@@ -67,8 +85,8 @@ fn section5_conclusion_full_architecture_overhead_is_reasonable() {
     let t3 = table3(&dataset).unwrap();
     let full = &t2.rows[2]; // S3+SimpleDB+SQS
     let strawman = &t2.rows[0]; // S3
-    // Storage overhead of the full architecture vs the strawman stays
-    // within a single-digit factor (22.9% extra in the paper).
+                                // Storage overhead of the full architecture vs the strawman stays
+                                // within a single-digit factor (22.9% extra in the paper).
     assert!(full.provenance_bytes < strawman.provenance_bytes * 8);
     // Query: orders of magnitude better (SimpleDB numbers apply to the
     // full architecture, §5).

@@ -1,5 +1,19 @@
 //! Property-based tests over the core data structures and invariants,
 //! spanning crates.
+//!
+//! # Reproducibility
+//!
+//! The suite runs on the vendored proptest shim, which is deterministic
+//! by construction: case `k` of a test is seeded from the test's name,
+//! `k`, and the `PROPTEST_SEED` environment variable (default 0) — so a
+//! failure on CI replays identically on any machine with no
+//! seed-copying ritual. The in-source case counts below are the CI
+//! floor; to widen locally run e.g.
+//!
+//! ```sh
+//! PROPTEST_CASES=2000 cargo test --test proptests
+//! PROPTEST_SEED=7 PROPTEST_CASES=2000 cargo test --test proptests  # new universe
+//! ```
 
 use pass_cloud::cloud::{encode_metadata, encode_records, CloudError, WalRecord};
 use pass_cloud::pass::{FileFlush, ObjectRef, ProvenanceRecord};

@@ -1,0 +1,277 @@
+//! Vendored minimal stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment has no network access, so the workspace vendors
+//! the subset of the criterion API its benches use: groups, ids,
+//! throughput annotations, `iter` / `iter_batched`, and the
+//! `criterion_group!` / `criterion_main!` macros. Measurement is a
+//! simple warm-up + timed-batch loop reporting the mean wall-clock time
+//! per iteration — adequate for relative comparisons, not a statistics
+//! engine.
+//!
+//! Benches honour the usual harness conventions: a positional CLI filter
+//! selects benchmarks by substring, and `--list` prints names without
+//! running. Unknown flags (`--bench`, `--save-baseline`, ...) are
+//! ignored so `cargo bench` invocations keep working.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target wall-clock budget spent measuring one benchmark.
+const MEASURE_BUDGET: Duration = Duration::from_millis(300);
+
+/// The benchmark context handed to every registered function.
+#[derive(Debug)]
+pub struct Criterion {
+    filter: Option<String>,
+    list_only: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion::from_args()
+    }
+}
+
+impl Criterion {
+    /// Builds a context from the process CLI arguments.
+    pub fn from_args() -> Criterion {
+        // Real-criterion flags that take a separate value; their value
+        // must not be mistaken for the positional name filter.
+        const VALUE_FLAGS: &[&str] = &[
+            "--save-baseline",
+            "--baseline",
+            "--load-baseline",
+            "--measurement-time",
+            "--warm-up-time",
+            "--sample-size",
+            "--nresamples",
+            "--significance-level",
+            "--noise-threshold",
+            "--confidence-level",
+            "--profile-time",
+            "--output-format",
+            "--color",
+        ];
+        let mut filter = None;
+        let mut list_only = false;
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--list" => list_only = true,
+                a if VALUE_FLAGS.contains(&a) => {
+                    args.next(); // consume and ignore the flag's value
+                }
+                a if a.starts_with("--") => {} // --bench, --quiet, --flag=value, ...
+                a => filter = Some(a.to_string()),
+            }
+        }
+        Criterion { filter, list_only }
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, f: F) -> &mut Self {
+        let name = id.to_string();
+        run_one(self, &name, f);
+        self
+    }
+
+    fn selected(&self, full_name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| full_name.contains(f))
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim sizes batches by time.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the shim does not normalise by
+    /// throughput.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `f` under `id` within this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, f: F) -> &mut Self {
+        let name = format!("{}/{}", self.name, id);
+        run_one(self.criterion, &name, f);
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input under `id`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Display,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(criterion: &Criterion, name: &str, mut f: F) {
+    if !criterion.selected(name) {
+        return;
+    }
+    if criterion.list_only {
+        println!("{name}: bench");
+        return;
+    }
+    let mut bencher = Bencher {
+        iters: 0,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    let per_iter = if bencher.iters == 0 {
+        Duration::ZERO
+    } else {
+        bencher.elapsed / bencher.iters.max(1) as u32
+    };
+    println!(
+        "bench: {name:<60} {:>12.3} µs/iter ({} iters)",
+        per_iter.as_nanos() as f64 / 1_000.0,
+        bencher.iters
+    );
+}
+
+/// Times closures handed to it by a benchmark function.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: usize,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine()); // warm-up
+        let started = Instant::now();
+        let mut iters = 0;
+        while started.elapsed() < MEASURE_BUDGET {
+            black_box(routine());
+            iters += 1;
+        }
+        self.iters = iters;
+        self.elapsed = started.elapsed();
+    }
+
+    /// Times `routine` over fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        black_box(routine(setup())); // warm-up
+        let mut measured = Duration::ZERO;
+        let mut iters = 0;
+        let started = Instant::now();
+        while started.elapsed() < MEASURE_BUDGET {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            measured += t0.elapsed();
+            iters += 1;
+        }
+        self.iters = iters;
+        self.elapsed = measured;
+    }
+}
+
+/// How `iter_batched` amortises setup; accepted for API compatibility.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: many per batch.
+    SmallInput,
+    /// Large inputs: few per batch.
+    LargeInput,
+    /// One input per measured iteration.
+    PerIteration,
+}
+
+/// Units processed per iteration, for throughput reporting.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier composed of a function name and a parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with both a function name and a parameter value.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// An id distinguished only by a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Declares a group function that runs each listed benchmark function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group(criterion: &mut $crate::Criterion) {
+            $( $target(criterion); )+
+        }
+    };
+}
+
+/// Declares `main` for a bench target built with `harness = false`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::from_args();
+            $( $group(&mut criterion); )+
+        }
+    };
+}

@@ -1,0 +1,203 @@
+//! Vendored minimal stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access, so the workspace vendors
+//! the subset of the proptest API its property suite uses:
+//!
+//! * the [`proptest!`] macro (with `#![proptest_config(...)]`);
+//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`];
+//! * strategies: integer ranges, `any::<T>()`, regex-subset string
+//!   literals, tuples, [`collection::vec`], [`sample::select`];
+//! * [`test_runner::ProptestConfig`] with `with_cases`.
+//!
+//! Unlike the real crate there is **no shrinking**: a failing case
+//! reports its case number and generated inputs instead. Runs are fully
+//! deterministic — the RNG for case *k* of test *t* is seeded from
+//! `(t, k, PROPTEST_SEED)` — so CI is reproducible by construction.
+//! Set `PROPTEST_CASES` to widen or narrow the number of cases and
+//! `PROPTEST_SEED` to explore a different deterministic universe.
+
+#![forbid(unsafe_code)]
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Regex-subset string generation (used by `&str` strategies).
+mod string;
+
+/// Collection strategies (`vec`).
+pub mod collection {
+    use crate::strategy::{Strategy, VecStrategy};
+    use std::ops::Range;
+
+    /// A strategy producing `Vec`s of `element` with a length drawn
+    /// uniformly from `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+}
+
+/// Sampling strategies (`select`).
+pub mod sample {
+    use crate::strategy::Select;
+
+    /// A strategy choosing uniformly among `items`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `items` is empty.
+    pub fn select<T: Clone + std::fmt::Debug>(items: Vec<T>) -> Select<T> {
+        assert!(!items.is_empty(), "select requires at least one item");
+        Select { items }
+    }
+}
+
+/// Arbitrary-value strategies (`any`).
+pub mod arbitrary {
+    use crate::strategy::Any;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws an arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            // Finite values only, spread over a wide magnitude range.
+            let mantissa = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+            let exp = (rng.next_u64() % 61) as i32 - 30;
+            let sign = if rng.next_u64() & 1 == 1 { -1.0 } else { 1.0 };
+            sign * mantissa * 2f64.powi(exp)
+        }
+    }
+
+    /// The strategy of all values of `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+/// The glob-import module, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// Alias so `prop::sample::select`-style paths work, as in the real
+    /// prelude.
+    pub use crate as prop;
+}
+
+/// Runs each embedded test function over many generated cases.
+///
+/// Supports the subset of the real macro's grammar used here: an
+/// optional leading `#![proptest_config(expr)]`, then one or more
+/// `#[test] fn name(arg in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($config:expr)
+      $( #[test] fn $name:ident( $( $arg:ident in $strategy:expr ),* $(,)? ) $body:block )*
+    ) => {
+        $(
+            #[test]
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let cases = $crate::test_runner::resolve_cases(&config);
+                let test_name = concat!(module_path!(), "::", stringify!($name));
+                for case in 0..cases {
+                    let mut rng = $crate::test_runner::TestRng::for_case(test_name, case);
+                    $( let $arg = $crate::strategy::Strategy::generate(&($strategy), &mut rng); )*
+                    // Render inputs up front: the body may consume them.
+                    let inputs: ::std::string::String =
+                        [$( format!("\n  {} = {:?}", stringify!($arg), &$arg) ),*].concat();
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body; ::std::result::Result::Ok(()) })();
+                    if let ::std::result::Result::Err(err) = outcome {
+                        panic!(
+                            "property failed at case {case}/{cases}: {err}\n\
+                             inputs:{inputs}\n\
+                             (deterministic; rerun reproduces — set PROPTEST_SEED \
+                             to explore other universes, PROPTEST_CASES to widen)",
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body, failing the case
+/// (not the process) so the runner can report the generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`",
+            left,
+            right
+        );
+    }};
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `left != right`\n  both: `{:?}`",
+            left
+        );
+    }};
+}

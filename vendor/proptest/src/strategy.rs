@@ -1,0 +1,173 @@
+//! The [`Strategy`] trait and the built-in strategies.
+
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+use crate::arbitrary::Arbitrary;
+use crate::string::generate_from_pattern;
+use crate::test_runner::TestRng;
+
+/// A recipe for generating values of one type.
+///
+/// Unlike the real crate this shim has no shrinking: `generate` draws a
+/// single value from the deterministic [`TestRng`].
+pub trait Strategy {
+    /// The type of generated values.
+    type Value: std::fmt::Debug;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// `any::<T>()` — all values of `T`.
+#[derive(Clone, Copy, Debug)]
+pub struct Any<T>(pub(crate) PhantomData<T>);
+
+impl<T: Arbitrary + std::fmt::Debug> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_strategy_for_int_ranges {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                rng.below_inclusive(self.start as u64, self.end as u64 - 1) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.below_inclusive(*self.start() as u64, *self.end() as u64) as $t
+            }
+        }
+    )*};
+}
+
+impl_strategy_for_int_ranges!(u8, u16, u32, u64, usize);
+
+/// String literals are regex-subset strategies, as in the real crate.
+impl Strategy for str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_from_pattern(self, rng)
+    }
+}
+
+/// A fixed value (`Just`).
+#[derive(Clone, Copy, Debug)]
+pub struct Just<T: Clone + std::fmt::Debug>(pub T);
+
+impl<T: Clone + std::fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_strategy_for_tuples {
+    ($( ($($name:ident),+) ),+) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_strategy_for_tuples!((A, B), (A, B, C), (A, B, C, D));
+
+/// Produced by [`crate::collection::vec`].
+#[derive(Clone, Debug)]
+pub struct VecStrategy<S: Strategy> {
+    pub(crate) element: S,
+    pub(crate) size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        assert!(
+            self.size.start < self.size.end,
+            "cannot sample empty size range"
+        );
+        let len = rng.below_inclusive(self.size.start as u64, self.size.end as u64 - 1) as usize;
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Produced by [`crate::sample::select`].
+#[derive(Clone, Debug)]
+pub struct Select<T: Clone + std::fmt::Debug> {
+    pub(crate) items: Vec<T>,
+}
+
+impl<T: Clone + std::fmt::Debug> Strategy for Select<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let idx = rng.below_inclusive(0, self.items.len() as u64 - 1) as usize;
+        self.items[idx].clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arbitrary::any;
+
+    fn rng() -> TestRng {
+        TestRng::for_case("strategy::tests", 0)
+    }
+
+    #[test]
+    fn ranges_and_any() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let v = (5u64..9).generate(&mut r);
+            assert!((5..9).contains(&v));
+            let _: u64 = any::<u64>().generate(&mut r);
+        }
+    }
+
+    #[test]
+    fn vec_respects_size() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let v = crate::collection::vec(any::<u8>(), 2..5).generate(&mut r);
+            assert!((2..5).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn tuples_and_select() {
+        let mut r = rng();
+        let (a, b) = (0u32..10, "[a-c]{2}").generate(&mut r);
+        assert!(a < 10);
+        assert_eq!(b.chars().count(), 2);
+        let s = crate::sample::select(vec!["x", "y"]).generate(&mut r);
+        assert!(s == "x" || s == "y");
+    }
+}

@@ -1,0 +1,262 @@
+//! Generation of strings from the regex subset the workspace's
+//! properties use: literal characters, character classes (`[a-z0-9_]`,
+//! including ranges and `\u{..}` escapes), the `\PC` "any
+//! non-control character" escape, and `{m,n}` / `{n}` quantifiers.
+
+use crate::test_runner::TestRng;
+
+/// Characters `\PC` draws from: printable ASCII plus a handful of
+/// multi-byte code points so UTF-8 boundary handling gets exercised.
+fn non_control_alphabet() -> Vec<char> {
+    let mut chars: Vec<char> = (0x20u8..=0x7e).map(char::from).collect();
+    chars.extend(['\u{a0}', 'é', 'ß', 'λ', '→', '‖', '☃', '中', '🦀']);
+    chars
+}
+
+#[derive(Debug)]
+enum Element {
+    /// One character drawn from a set.
+    Class(Vec<char>),
+    /// A fixed character.
+    Literal(char),
+}
+
+#[derive(Debug)]
+struct Quantified {
+    element: Element,
+    min: u32,
+    max: u32,
+}
+
+/// Generates one string matching `pattern`.
+///
+/// # Panics
+///
+/// Panics on syntax outside the supported subset, naming the pattern —
+/// a property author error, not a runtime condition.
+pub fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let elements = parse(pattern);
+    let mut out = String::new();
+    for q in &elements {
+        let count = rng.below_inclusive(u64::from(q.min), u64::from(q.max)) as u32;
+        for _ in 0..count {
+            match &q.element {
+                Element::Literal(c) => out.push(*c),
+                Element::Class(set) => {
+                    let idx = rng.below_inclusive(0, set.len() as u64 - 1) as usize;
+                    out.push(set[idx]);
+                }
+            }
+        }
+    }
+    out
+}
+
+fn parse(pattern: &str) -> Vec<Quantified> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    let mut out = Vec::new();
+    while i < chars.len() {
+        let element = match chars[i] {
+            '[' => {
+                let (set, next) = parse_class(pattern, &chars, i + 1);
+                i = next;
+                Element::Class(set)
+            }
+            '\\' => {
+                let (c, next) = parse_escape(pattern, &chars, i + 1);
+                i = next;
+                c
+            }
+            c => {
+                i += 1;
+                Element::Literal(c)
+            }
+        };
+        let (min, max) = parse_quantifier(pattern, &chars, &mut i);
+        out.push(Quantified { element, min, max });
+    }
+    out
+}
+
+/// Parses the inside of a `[...]` class starting at `i`; returns the
+/// expanded set and the index just past the closing `]`.
+fn parse_class(pattern: &str, chars: &[char], mut i: usize) -> (Vec<char>, usize) {
+    let mut set = Vec::new();
+    let mut pending: Option<char> = None; // candidate left end of a range
+    loop {
+        let c = *unsupported_if_none(pattern, chars.get(i));
+        match c {
+            ']' => {
+                set.extend(pending);
+                assert!(
+                    !set.is_empty(),
+                    "empty character class in pattern {pattern:?}"
+                );
+                return (set, i + 1);
+            }
+            '-' if pending.is_some() && chars.get(i + 1).is_some_and(|c| *c != ']') => {
+                let lo = pending.take().unwrap();
+                let (hi, next) = parse_class_char(pattern, chars, i + 1);
+                i = next;
+                assert!(lo <= hi, "inverted class range in pattern {pattern:?}");
+                set.extend(lo..=hi);
+            }
+            _ => {
+                set.extend(pending);
+                let (c, next) = parse_class_char(pattern, chars, i);
+                pending = Some(c);
+                i = next;
+            }
+        }
+    }
+}
+
+/// One (possibly escaped) concrete character inside a class.
+fn parse_class_char(pattern: &str, chars: &[char], i: usize) -> (char, usize) {
+    let c = *unsupported_if_none(pattern, chars.get(i));
+    if c != '\\' {
+        return (c, i + 1);
+    }
+    let (element, next) = parse_escape(pattern, chars, i + 1);
+    match element {
+        Element::Literal(c) => (c, next),
+        Element::Class(_) => panic!("class escapes not supported inside [...] in {pattern:?}"),
+    }
+}
+
+/// An escape sequence starting just after the backslash.
+fn parse_escape(pattern: &str, chars: &[char], i: usize) -> (Element, usize) {
+    let c = *unsupported_if_none(pattern, chars.get(i));
+    match c {
+        'P' | 'p' => {
+            // Only \PC ("not a control character") is supported.
+            let class = *unsupported_if_none(pattern, chars.get(i + 1));
+            assert!(
+                c == 'P' && class == 'C',
+                "only the \\PC class escape is supported, in pattern {pattern:?}"
+            );
+            (Element::Class(non_control_alphabet()), i + 2)
+        }
+        'u' => {
+            assert!(
+                chars.get(i + 1) == Some(&'{'),
+                "\\u must be \\u{{hex}} in pattern {pattern:?}"
+            );
+            let mut j = i + 2;
+            let mut value = 0u32;
+            while let Some(d) = chars.get(j).and_then(|c| c.to_digit(16)) {
+                value = value * 16 + d;
+                j += 1;
+            }
+            assert!(
+                chars.get(j) == Some(&'}'),
+                "unterminated \\u{{...}} in pattern {pattern:?}"
+            );
+            let c = char::from_u32(value)
+                .unwrap_or_else(|| panic!("invalid code point \\u{{{value:x}}} in {pattern:?}"));
+            (Element::Literal(c), j + 1)
+        }
+        'n' => (Element::Literal('\n'), i + 1),
+        'r' => (Element::Literal('\r'), i + 1),
+        't' => (Element::Literal('\t'), i + 1),
+        '\\' | '.' | '[' | ']' | '{' | '}' | '(' | ')' | '-' | '+' | '*' | '?' | '|' | '^'
+        | '$' | '/' | '%' | ' ' => (Element::Literal(c), i + 1),
+        other => panic!("unsupported escape \\{other} in pattern {pattern:?}"),
+    }
+}
+
+/// A `{m,n}` / `{n}` quantifier at `*i` (advancing it), else `{1,1}`.
+fn parse_quantifier(pattern: &str, chars: &[char], i: &mut usize) -> (u32, u32) {
+    if chars.get(*i) != Some(&'{') {
+        return (1, 1);
+    }
+    let close = (*i..chars.len())
+        .find(|&j| chars[j] == '}')
+        .unwrap_or_else(|| panic!("unterminated quantifier in pattern {pattern:?}"));
+    let body: String = chars[*i + 1..close].iter().collect();
+    *i = close + 1;
+    let parse_u32 = |s: &str| {
+        s.trim()
+            .parse::<u32>()
+            .unwrap_or_else(|_| panic!("bad quantifier {body:?} in pattern {pattern:?}"))
+    };
+    match body.split_once(',') {
+        Some((m, n)) => {
+            let (m, n) = (parse_u32(m), parse_u32(n));
+            assert!(
+                m <= n,
+                "inverted quantifier {body:?} in pattern {pattern:?}"
+            );
+            (m, n)
+        }
+        None => {
+            let n = parse_u32(&body);
+            (n, n)
+        }
+    }
+}
+
+fn unsupported_if_none<'a, T>(pattern: &str, v: Option<&'a T>) -> &'a T {
+    v.unwrap_or_else(|| panic!("truncated pattern {pattern:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::for_case("string::tests", 0)
+    }
+
+    fn check(pattern: &str, times: usize, ok: impl Fn(&str) -> bool) {
+        let mut r = rng();
+        for _ in 0..times {
+            let s = generate_from_pattern(pattern, &mut r);
+            assert!(ok(&s), "pattern {pattern:?} generated {s:?}");
+        }
+    }
+
+    #[test]
+    fn class_with_ranges_and_literals() {
+        check("[a-zA-Z0-9_/.:-]{1,40}", 200, |s| {
+            (1..=40).contains(&s.chars().count())
+                && s.chars()
+                    .all(|c| c.is_ascii_alphanumeric() || "_/.:-".contains(c))
+        });
+    }
+
+    #[test]
+    fn printable_ascii_range() {
+        check("[ -~]{0,200}", 100, |s| {
+            s.chars().count() <= 200 && s.chars().all(|c| (' '..='~').contains(&c))
+        });
+    }
+
+    #[test]
+    fn unicode_escapes_in_class() {
+        check("[ -~\u{1f}\u{1e}%]{0,50}", 200, |s| {
+            s.chars()
+                .all(|c| (' '..='~').contains(&c) || c == '\u{1f}' || c == '\u{1e}')
+        });
+        // The pattern as the test file spells it (escapes in the regex,
+        // not in the Rust literal):
+        check("[ -~\\u{1f}\\u{1e}%]{0,50}", 200, |s| {
+            s.chars()
+                .all(|c| (' '..='~').contains(&c) || c == '\u{1f}' || c == '\u{1e}')
+        });
+    }
+
+    #[test]
+    fn not_control_escape() {
+        check("\\PC{0,300}", 50, |s| {
+            s.chars().count() <= 300 && s.chars().all(|c| !c.is_control())
+        });
+    }
+
+    #[test]
+    fn exact_count_and_literals() {
+        check("[a-c]{3}", 50, |s| s.len() == 3);
+        check("abc", 5, |s| s == "abc");
+    }
+}

@@ -1,0 +1,142 @@
+//! Deterministic case runner: config, RNG, and failure type.
+
+use std::fmt;
+
+/// Configuration accepted by `#![proptest_config(...)]`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+/// Resolves the effective case count: the `PROPTEST_CASES` environment
+/// variable overrides the in-source config when set.
+pub fn resolve_cases(config: &ProptestConfig) -> u32 {
+    match std::env::var("PROPTEST_CASES") {
+        Ok(v) => v
+            .trim()
+            .parse()
+            .unwrap_or_else(|_| panic!("PROPTEST_CASES must be an integer, got {v:?}")),
+        Err(_) => config.cases,
+    }
+}
+
+/// A failed property case (produced by `prop_assert!` and friends).
+#[derive(Clone, Debug)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Builds a failure with the given message.
+    pub fn fail(message: impl Into<String>) -> TestCaseError {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// The deterministic generator strategies draw from.
+///
+/// Case `k` of test `t` is seeded from `(hash(t), k, PROPTEST_SEED)`, so
+/// every run regenerates the same inputs unless `PROPTEST_SEED` changes.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+fn splitmix64(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+impl TestRng {
+    /// The RNG for one case of one named test.
+    pub fn for_case(test_name: &str, case: u32) -> TestRng {
+        let universe: u64 = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or(0);
+        let mut state = fnv1a(test_name.as_bytes()) ^ universe.rotate_left(17);
+        state = state.wrapping_add(u64::from(case).wrapping_mul(0x9e3779b97f4a7c15));
+        // Re-seed from the permutation's *output*: consecutive cases must
+        // not be shifted copies of one stream.
+        let mixed = splitmix64(&mut state);
+        TestRng { state: mixed }
+    }
+
+    /// Next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        splitmix64(&mut self.state)
+    }
+
+    /// Uniform value in `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `lo > hi`.
+    pub fn below_inclusive(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "cannot sample empty range {lo}..={hi}");
+        let span = (hi - lo) as u128 + 1;
+        if span == 1 << 64 {
+            return self.next_u64();
+        }
+        lo + ((self.next_u64() as u128 * span) >> 64) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_case_same_stream() {
+        let mut a = TestRng::for_case("t::x", 3);
+        let mut b = TestRng::for_case("t::x", 3);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = TestRng::for_case("t::x", 4);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn bounded_draws_stay_in_bounds() {
+        let mut rng = TestRng::for_case("t::bounds", 0);
+        for _ in 0..1000 {
+            let v = rng.below_inclusive(10, 20);
+            assert!((10..=20).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Vendored minimal stand-in for the `serde` crate.
+//!
+//! The build environment has no network access and the workspace never
+//! serializes at runtime (there is no `serde_json`/`bincode` backend), so
+//! this shim provides just enough trait surface for the code to compile:
+//! the four core traits and a `Vec<u8>` deserialize impl used by the
+//! `bytes` compatibility helper in `simworld`. The paired derive macros
+//! (re-exported from [`serde_derive`]) expand to nothing.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Error behaviour shared by serializer/deserializer error types.
+pub mod de {
+    use std::fmt::Display;
+
+    /// Minimal version of `serde::de::Error`.
+    pub trait Error: Sized + Display {
+        /// Builds an error from a message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+}
+
+/// Error behaviour for serializers, mirroring `serde::ser::Error`.
+pub mod ser {
+    pub use super::de::Error;
+}
+
+/// A data structure that can be serialized (marker in this shim; the
+/// no-op derive does not implement it).
+pub trait Serialize {}
+
+/// A format backend that serializes values.
+pub trait Serializer: Sized {
+    /// Output of a successful serialization.
+    type Ok;
+    /// Error type of the backend.
+    type Error: de::Error;
+
+    /// Serializes a raw byte string.
+    ///
+    /// # Errors
+    ///
+    /// Backend-defined.
+    fn serialize_bytes(self, v: &[u8]) -> Result<Self::Ok, Self::Error>;
+}
+
+/// A format backend that deserializes values.
+pub trait Deserializer<'de>: Sized {
+    /// Error type of the backend.
+    type Error: de::Error;
+}
+
+/// A data structure deserializable from any [`Deserializer`].
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes `Self` from the given backend.
+    ///
+    /// # Errors
+    ///
+    /// Backend-defined.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+impl<'de> Deserialize<'de> for Vec<u8> {
+    fn deserialize<D: Deserializer<'de>>(_deserializer: D) -> Result<Self, D::Error> {
+        Err(<D::Error as de::Error>::custom(
+            "the vendored serde shim has no deserialization backend",
+        ))
+    }
+}
+
+/// A ready-made error type for backends built on this shim.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShimError(pub String);
+
+impl Display for ShimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ShimError {}
+
+impl de::Error for ShimError {
+    fn custom<T: Display>(msg: T) -> Self {
+        ShimError(msg.to_string())
+    }
+}

@@ -1,0 +1,21 @@
+//! Vendored no-op `Serialize` / `Deserialize` derives.
+//!
+//! The workspace never serializes at runtime (no `serde_json`/`bincode`
+//! backend is compiled in), so these derives exist purely to accept the
+//! `#[derive(Serialize, Deserialize)]` and `#[serde(...)]` annotations
+//! scattered through the codebase while building offline. They register
+//! the `serde` helper attribute and expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
