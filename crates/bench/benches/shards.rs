@@ -1,0 +1,25 @@
+//! Criterion bench: the multi-thread query/select burst at three shard
+//! counts — the wall-clock view of per-shard locking.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use prov_bench::shardbench::{burst, prepare};
+use workloads::Combined;
+
+fn bench_shard_scaling(c: &mut Criterion) {
+    let dataset = Combined::small();
+    let mut group = c.benchmark_group("shard_scaling");
+    group.sample_size(10);
+    for shards in [1usize, 4, 16] {
+        let db = prepare(shards, &dataset).expect("persist corpus");
+        group.bench_function(BenchmarkId::new("query_select_burst_4thr", shards), |b| {
+            b.iter(|| {
+                let (hits, _) = burst(&db, 4, 6);
+                assert!(hits > 0);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_shard_scaling);
+criterion_main!(benches);

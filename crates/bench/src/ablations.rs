@@ -269,10 +269,7 @@ fn lag_retries_ablation(seed: u64) -> Result<Vec<(u64, f64)>> {
         });
         let mut store = S3SimpleDb::new(&world);
         store.set_config(provenance_cloud::Arch2Config {
-            retry: RetryPolicy {
-                max_retries: 500,
-                backoff: SimDuration::from_millis(50),
-            },
+            retry: RetryPolicy::flat(500, SimDuration::from_millis(50)),
             ..provenance_cloud::Arch2Config::default()
         });
         let reads = 24u32;

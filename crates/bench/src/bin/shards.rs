@@ -1,0 +1,82 @@
+//! Shard-scaling bench: multi-thread `Query`/`Select` throughput as the
+//! SimpleDB shard count grows.
+//!
+//! Usage: `cargo run --release -p prov-bench --bin shards
+//!         [--smoke] [--threads=N] [--queries=N]
+//!         [--scale=small|medium|paper]`
+//!
+//! `--smoke` runs a seconds-scale sweep for CI: it checks that the
+//! sweep completes and that result counts agree across shard counts
+//! (shard layout must never change query semantics). The full run's
+//! numbers are committed to `BASELINE.md`.
+
+use prov_bench::shardbench::{
+    render, render_virtual, shard_scaling, virtual_scaling, DEFAULT_SHARD_COUNTS,
+};
+use workloads::Combined;
+
+fn parse_flag(args: &[String], prefix: &str, default: usize) -> usize {
+    args.iter()
+        .find_map(|a| a.strip_prefix(prefix).and_then(|v| v.parse().ok()))
+        .unwrap_or(default)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let (shard_counts, threads, queries): (&[usize], usize, usize) = if smoke {
+        (&[1, 4, 16], 2, parse_flag(&args, "--queries=", 6))
+    } else {
+        (
+            DEFAULT_SHARD_COUNTS,
+            parse_flag(&args, "--threads=", 4),
+            parse_flag(&args, "--queries=", 60),
+        )
+    };
+    let dataset = if smoke {
+        Combined::small()
+    } else if args.iter().any(|a| a.starts_with("--scale=")) {
+        prov_bench::parse_scale(&args).dataset()
+    } else {
+        Combined::medium()
+    };
+
+    let vrows = match virtual_scaling(&dataset, shard_counts, queries) {
+        Ok(rows) => rows,
+        Err(e) => {
+            eprintln!("shard bench (virtual) failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    print!("{}", render_virtual(&vrows));
+    println!();
+
+    match shard_scaling(&dataset, shard_counts, threads, queries) {
+        Ok(rows) => {
+            print!("{}", render(&rows, threads));
+            println!(
+                "(wall-clock scaling needs real cores; virtual time is the deterministic view)"
+            );
+            if smoke {
+                let wall_ok = rows.windows(2).all(|w| w[0].hits == w[1].hits)
+                    && rows.iter().all(|r| r.hits > 0);
+                let virt_ok = vrows
+                    .windows(2)
+                    .all(|w| w[1].avg_query_ms < w[0].avg_query_ms);
+                if !wall_ok {
+                    eprintln!("smoke check failed: hit counts diverged across shard counts");
+                    std::process::exit(1);
+                }
+                if !virt_ok {
+                    eprintln!("smoke check failed: virtual latency did not fall with shards");
+                    std::process::exit(1);
+                }
+                println!("smoke ok: hits agree; virtual query latency falls as shards grow");
+            }
+        }
+        Err(e) => {
+            eprintln!("shard bench failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -76,8 +76,22 @@ impl std::fmt::Debug for PersistedStore {
 ///
 /// Propagates service errors.
 pub fn persist_dataset(kind: ArchKind, dataset: &Combined) -> Result<PersistedStore> {
+    persist_dataset_sharded(kind, dataset, sim_simpledb::DEFAULT_SHARDS)
+}
+
+/// [`persist_dataset`] with an explicit SimpleDB shard count — the entry
+/// point of the shard-scaling experiments.
+///
+/// # Errors
+///
+/// Propagates service errors.
+pub fn persist_dataset_sharded(
+    kind: ArchKind,
+    dataset: &Combined,
+    shards: usize,
+) -> Result<PersistedStore> {
     let world = SimWorld::counting();
-    let mut store = kind.build(&world);
+    let mut store = kind.build_with_shards(&world, shards);
     let (flushes, stats) = dataset.flushes();
     let before = world.meters();
     for flush in &flushes {

@@ -24,8 +24,9 @@
 
 pub mod ablations;
 pub mod harness;
+pub mod shardbench;
 pub mod tables;
 
 pub use ablations::{ablations, AblationResults};
-pub use harness::{parse_scale, PersistedStore, Scale};
+pub use harness::{parse_scale, persist_dataset, persist_dataset_sharded, PersistedStore, Scale};
 pub use tables::{costs, table1, table2, table3, CostResults, Table2, Table3};

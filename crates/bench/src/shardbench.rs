@@ -1,0 +1,330 @@
+//! Shard-scaling experiment: multi-thread `Query`/`Select` throughput
+//! against the SimpleDB shard count.
+//!
+//! The tentpole claim behind the sharded `sim-simpledb` is that hash
+//! sharding with per-shard locks unlocks parallel query/select: with one
+//! shard every scan serialises on one lock, with N shards concurrent
+//! scans interleave across shards. This harness measures exactly that —
+//! a fixed workload corpus, T OS threads issuing the paper's style of
+//! provenance queries against shared [`SimpleDb`] handles, wall-clock
+//! throughput per shard count.
+//!
+//! Everything except the thread scheduling is deterministic (fixed
+//! dataset seed, strongly-consistent counting world), so the per-query
+//! *result* counts must agree across shard counts — the smoke test and
+//! the CI step assert that while the throughput column tells the
+//! scaling story.
+
+use std::thread;
+use std::time::Instant;
+
+use provenance_cloud::{layout, ProvenanceStore, Result, S3SimpleDb};
+use sim_simpledb::SimpleDb;
+use simworld::{Consistency, LatencyModel, SimConfig, SimWorld};
+use workloads::Combined;
+
+/// The shard counts the scaling sweep visits by default.
+pub const DEFAULT_SHARD_COUNTS: &[usize] = &[1, 2, 4, 8, 16];
+
+/// One row of the scaling table.
+#[derive(Clone, Debug)]
+pub struct ShardRow {
+    /// Shard count of this run.
+    pub shards: usize,
+    /// Queries issued (threads × queries-per-thread).
+    pub queries: u64,
+    /// Total result rows returned — identical across shard counts for
+    /// the same corpus, or the sharding broke query semantics.
+    pub hits: u64,
+    /// Wall-clock seconds for the whole burst.
+    pub wall_secs: f64,
+    /// Queries per wall-clock second.
+    pub throughput: f64,
+}
+
+/// Persists `dataset` into a fresh Architecture-2 store whose SimpleDB
+/// runs `shards` hash shards, and hands back the shared SimpleDB handle
+/// (settled, so every query sees the full corpus).
+///
+/// # Errors
+///
+/// Propagates service errors from the persist phase.
+pub fn prepare(shards: usize, dataset: &Combined) -> Result<SimpleDb> {
+    let world = SimWorld::counting();
+    let mut store = S3SimpleDb::with_shards(&world, shards);
+    let (flushes, _) = dataset.flushes();
+    for flush in &flushes {
+        store.persist(flush)?;
+    }
+    world.settle();
+    Ok(store.simpledb().clone())
+}
+
+/// One query of the benchmark mix, selected by `slot`: an indexed
+/// `Select` by type, a bracketed `Query` by type, a two-page paginated
+/// full scan, or a full-domain `count(*)` — the scan-dominated member
+/// of the mix. Returns how many rows came back.
+///
+/// # Errors
+///
+/// Propagates query errors.
+pub fn run_one(db: &SimpleDb, slot: usize) -> Result<u64> {
+    Ok(match slot % 4 {
+        0 => {
+            let r = db.select(
+                "select itemName() from provenance where type = 'file'",
+                None,
+            )?;
+            r.items.len() as u64
+        }
+        1 => {
+            let r = db.query(
+                layout::DOMAIN,
+                Some("['type' = 'process']"),
+                Some(100),
+                None,
+            )?;
+            r.item_names.len() as u64
+        }
+        2 => {
+            let first = db.query(layout::DOMAIN, None, Some(50), None)?;
+            let mut n = first.item_names.len() as u64;
+            if let Some(token) = first.next_token {
+                n += db
+                    .query(layout::DOMAIN, None, Some(50), Some(&token))?
+                    .item_names
+                    .len() as u64;
+            }
+            n
+        }
+        _ => {
+            let r = db.select("select count(*) from provenance", None)?;
+            r.count.unwrap_or(0)
+        }
+    })
+}
+
+/// Fires `threads × queries_per_thread` queries at shared clones of
+/// `db` and returns `(total hits, wall seconds)`.
+pub fn burst(db: &SimpleDb, threads: usize, queries_per_thread: usize) -> (u64, f64) {
+    let start = Instant::now();
+    let hits = thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let db = db.clone();
+                scope.spawn(move || -> u64 {
+                    (0..queries_per_thread)
+                        .map(|q| run_one(&db, t + q).expect("bench query failed"))
+                        .sum()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("bench thread panicked"))
+            .sum()
+    });
+    (hits, start.elapsed().as_secs_f64())
+}
+
+/// Runs the full sweep: for each shard count, persist the corpus and
+/// fire the multi-thread query burst.
+///
+/// # Errors
+///
+/// Propagates service errors.
+pub fn shard_scaling(
+    dataset: &Combined,
+    shard_counts: &[usize],
+    threads: usize,
+    queries_per_thread: usize,
+) -> Result<Vec<ShardRow>> {
+    let mut rows = Vec::with_capacity(shard_counts.len());
+    for &shards in shard_counts {
+        let db = prepare(shards, dataset)?;
+        let (hits, wall_secs) = burst(&db, threads, queries_per_thread);
+        let queries = (threads * queries_per_thread) as u64;
+        rows.push(ShardRow {
+            shards,
+            queries,
+            hits,
+            wall_secs,
+            throughput: queries as f64 / wall_secs.max(f64::EPSILON),
+        });
+    }
+    Ok(rows)
+}
+
+/// Renders the sweep like the paper renders its tables, with a speedup
+/// column against the single-shard row.
+pub fn render(rows: &[ShardRow], threads: usize) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Shard scaling — {threads} threads, query/select mix, fixed corpus\n"
+    ));
+    out.push_str("shards | queries |    hits | wall (s) | queries/s | speedup\n");
+    out.push_str("-------|---------|---------|----------|-----------|--------\n");
+    let base = rows.first().map(|r| r.throughput).unwrap_or(1.0);
+    for r in rows {
+        out.push_str(&format!(
+            "{:>6} | {:>7} | {:>7} | {:>8.3} | {:>9.1} | {:>6.2}x\n",
+            r.shards,
+            r.queries,
+            r.hits,
+            r.wall_secs,
+            r.throughput,
+            r.throughput / base,
+        ));
+    }
+    out
+}
+
+/// One row of the virtual-time scaling table.
+#[derive(Clone, Debug)]
+pub struct VirtualRow {
+    /// Shard count of this run.
+    pub shards: usize,
+    /// Queries issued.
+    pub queries: u64,
+    /// Total result rows returned.
+    pub hits: u64,
+    /// Virtual time the whole query burst consumed.
+    pub virtual_secs: f64,
+    /// Mean virtual milliseconds per query.
+    pub avg_query_ms: f64,
+    /// Mean virtual milliseconds of the scan-dominated class alone
+    /// (`count(*)` over the whole domain) — where partition parallelism
+    /// pays off hardest.
+    pub scan_query_ms: f64,
+}
+
+/// Like [`prepare`], but on a world with the default latency model and
+/// strong consistency, so the virtual clock prices every call and every
+/// query sees the full corpus.
+///
+/// # Errors
+///
+/// Propagates service errors from the persist phase.
+pub fn prepare_virtual(shards: usize, dataset: &Combined) -> Result<(SimWorld, SimpleDb)> {
+    let world = SimWorld::with_config(SimConfig {
+        seed: 2009,
+        consistency: Consistency::Strong,
+        latency: LatencyModel::default(),
+        replicas: 1,
+    });
+    let mut store = S3SimpleDb::with_shards(&world, shards);
+    let (flushes, _) = dataset.flushes();
+    for flush in &flushes {
+        store.persist(flush)?;
+    }
+    let db = store.simpledb().clone();
+    Ok((world, db))
+}
+
+/// The deterministic half of the experiment: the same query mix, priced
+/// in virtual time by the latency model's parallel scan term. A sharded
+/// query charges the largest partition's share of the scan, so the mean
+/// virtual query latency must fall as the shard count grows — on any
+/// host, regardless of core count.
+///
+/// # Errors
+///
+/// Propagates service errors.
+pub fn virtual_scaling(
+    dataset: &Combined,
+    shard_counts: &[usize],
+    queries: usize,
+) -> Result<Vec<VirtualRow>> {
+    let mut rows = Vec::with_capacity(shard_counts.len());
+    for &shards in shard_counts {
+        let (world, db) = prepare_virtual(shards, dataset)?;
+        let start = world.now();
+        let mut hits = 0u64;
+        let mut scan_secs = 0.0f64;
+        let mut scan_queries = 0u64;
+        for slot in 0..queries {
+            let before = world.now();
+            hits += run_one(&db, slot)?;
+            if slot % 4 == 3 {
+                scan_secs += (world.now() - before).as_secs_f64();
+                scan_queries += 1;
+            }
+        }
+        let virtual_secs = (world.now() - start).as_secs_f64();
+        rows.push(VirtualRow {
+            shards,
+            queries: queries as u64,
+            hits,
+            virtual_secs,
+            avg_query_ms: virtual_secs * 1_000.0 / (queries as f64).max(1.0),
+            scan_query_ms: scan_secs * 1_000.0 / (scan_queries as f64).max(1.0),
+        });
+    }
+    Ok(rows)
+}
+
+/// Renders the virtual-time sweep with a speedup column against the
+/// single-shard row.
+pub fn render_virtual(rows: &[VirtualRow]) -> String {
+    let mut out = String::new();
+    out.push_str("Virtual-time query latency — parallel scan model, fixed corpus\n");
+    out.push_str(
+        "shards | queries |    hits | virt (s) | ms/query | speedup | scan ms | scan speedup\n",
+    );
+    out.push_str(
+        "-------|---------|---------|----------|----------|---------|---------|-------------\n",
+    );
+    let base = rows.first().map(|r| r.avg_query_ms).unwrap_or(1.0);
+    let scan_base = rows.first().map(|r| r.scan_query_ms).unwrap_or(1.0);
+    for r in rows {
+        out.push_str(&format!(
+            "{:>6} | {:>7} | {:>7} | {:>8.2} | {:>8.2} | {:>6.2}x | {:>7.2} | {:>11.2}x\n",
+            r.shards,
+            r.queries,
+            r.hits,
+            r.virtual_secs,
+            r.avg_query_ms,
+            base / r.avg_query_ms.max(f64::EPSILON),
+            r.scan_query_ms,
+            scan_base / r.scan_query_ms.max(f64::EPSILON),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hits_agree_across_shard_counts() {
+        // Query *semantics* must be independent of the shard layout:
+        // same corpus, same queries, same result counts.
+        let dataset = Combined::small();
+        let rows = shard_scaling(&dataset, &[1, 4, 16], 2, 3).unwrap();
+        assert_eq!(rows.len(), 3);
+        assert!(rows[0].hits > 0, "the query mix must return results");
+        assert!(
+            rows.windows(2).all(|w| w[0].hits == w[1].hits),
+            "hit counts diverged across shard counts: {rows:?}"
+        );
+    }
+
+    #[test]
+    fn virtual_query_latency_improves_with_shards() {
+        // The acceptance bar of the sharding issue, in the simulator's
+        // own currency: more shards → parallel scan → lower virtual
+        // query latency, deterministically on any host.
+        let dataset = Combined::small();
+        let rows = virtual_scaling(&dataset, &[1, 4, 16], 9).unwrap();
+        assert!(
+            rows.windows(2).all(|w| w[0].hits == w[1].hits),
+            "hit counts diverged: {rows:?}"
+        );
+        assert!(
+            rows.windows(2)
+                .all(|w| w[1].avg_query_ms < w[0].avg_query_ms),
+            "virtual latency must fall as shards grow: {rows:?}"
+        );
+    }
+}

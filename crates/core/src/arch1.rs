@@ -17,9 +17,10 @@ use pass::{CacheDir, FileFlush, ObjectRef};
 use sim_s3::{Metadata, S3Error, S3};
 use simworld::{CrashSite, SimWorld};
 
-use crate::error::{CloudError, Result};
+use crate::error::Result;
 use crate::layout::{data_key, BUCKET, PROV_PREFIX};
 use crate::query::{ProvQuery, QueryAnswer, S3QueryEngine};
+use crate::readpath::{get_object_with_retry, overflow_to_string};
 use crate::retry::RetryPolicy;
 use crate::serialize::{decode_metadata, encode_metadata, encode_records, read_version};
 use crate::store::{ProvenanceStore, ReadOutcome, ReadStatus, RecoveryReport};
@@ -125,43 +126,24 @@ impl ProvenanceStore for StandaloneS3 {
 
     fn read(&mut self, name: &str) -> Result<ReadOutcome> {
         let key = data_key(name);
-        let mut attempt = 0;
-        loop {
-            match self.s3.get_object(BUCKET, &key) {
-                Ok(object) => {
-                    let version = read_version(&object.metadata)?;
-                    let records = decode_metadata(&object.metadata, |k| {
-                        let o = self.s3.get_object(BUCKET, k)?;
-                        String::from_utf8(o.body.to_bytes().to_vec()).map_err(|_| {
-                            CloudError::Corrupt {
-                                message: format!("overflow {k} not UTF-8"),
-                            }
-                        })
-                    })?;
-                    return Ok(ReadOutcome {
-                        object: ObjectRef::new(name.to_string(), version),
-                        data: object.body,
-                        records,
-                        status: ReadStatus::AtomicUnit,
-                    });
-                }
-                Err(S3Error::NoSuchKey { .. }) if attempt < self.retry.max_retries => {
-                    // Possibly a replica that has not seen the PUT yet.
-                    attempt += 1;
-                    self.retry.pause(&self.world);
-                }
-                Err(S3Error::NoSuchKey { .. }) => {
-                    return Err(CloudError::NotFound {
-                        name: name.to_string(),
-                    })
-                }
-                Err(e) => return Err(e.into()),
-            }
-        }
+        let object = get_object_with_retry(&self.s3, &self.world, &self.retry, &key, name)?;
+        let version = read_version(&object.metadata)?;
+        // Overflow chunks ride the same retry: they were PUT before the
+        // main object, but a different replica may serve their GET.
+        let records = decode_metadata(&object.metadata, |k| {
+            let o = get_object_with_retry(&self.s3, &self.world, &self.retry, k, k)?;
+            overflow_to_string(k, o)
+        })?;
+        Ok(ReadOutcome {
+            object: ObjectRef::new(name.to_string(), version),
+            data: object.body,
+            records,
+            status: ReadStatus::AtomicUnit,
+        })
     }
 
     fn query(&mut self, query: &ProvQuery) -> Result<QueryAnswer> {
-        S3QueryEngine::new(&self.s3).execute(query)
+        S3QueryEngine::new(&self.s3, &self.world, self.retry).execute(query)
     }
 
     /// Architecture 1 has no protocol-level recovery to run; the only

@@ -92,12 +92,20 @@ pub struct S3SimpleDb {
 }
 
 impl S3SimpleDb {
-    /// Creates the store with fresh S3/SimpleDB endpoints.
+    /// Creates the store with fresh S3/SimpleDB endpoints (default
+    /// SimpleDB shard count).
     pub fn new(world: &SimWorld) -> S3SimpleDb {
+        S3SimpleDb::with_shards(world, sim_simpledb::DEFAULT_SHARDS)
+    }
+
+    /// Creates the store with fresh endpoints whose SimpleDB domains are
+    /// split into `shards` hash shards — the knob behind the parallel
+    /// query/select scaling experiments.
+    pub fn with_shards(world: &SimWorld, shards: usize) -> S3SimpleDb {
         let s3 = S3::new(world);
         s3.create_bucket(BUCKET)
             .expect("fresh endpoint has no buckets");
-        let db = SimpleDb::new(world);
+        let db = SimpleDb::with_shards(world, shards);
         db.create_domain(DOMAIN)
             .expect("fresh endpoint has no domains");
         S3SimpleDb::with_services(world, &s3, &db)
@@ -223,7 +231,7 @@ impl ProvenanceStore for S3SimpleDb {
     }
 
     fn query(&mut self, query: &ProvQuery) -> Result<QueryAnswer> {
-        SimpleDbQueryEngine::new(&self.db, &self.s3).execute(query)
+        SimpleDbQueryEngine::new(&self.db, &self.s3, &self.world, self.config.retry).execute(query)
     }
 
     /// The orphan-provenance scan the paper calls inelegant (§4.2): walk

@@ -352,7 +352,7 @@ impl CommitDaemon {
                         });
                     }
                     attempts += 1;
-                    self.config.retry.pause(&self.world);
+                    self.config.retry.pause(&self.world, attempts);
                 }
                 Err(e) => return Err(e.into()),
             }
@@ -397,12 +397,19 @@ pub struct S3SimpleDbSqs {
 }
 
 impl S3SimpleDbSqs {
-    /// Creates the store with fresh endpoints and a per-client WAL queue.
+    /// Creates the store with fresh endpoints and a per-client WAL queue
+    /// (default SimpleDB shard count).
     pub fn new(world: &SimWorld, client_id: &str) -> S3SimpleDbSqs {
+        S3SimpleDbSqs::with_shards(world, client_id, sim_simpledb::DEFAULT_SHARDS)
+    }
+
+    /// Creates the store with fresh endpoints whose SimpleDB domains are
+    /// split into `shards` hash shards.
+    pub fn with_shards(world: &SimWorld, client_id: &str, shards: usize) -> S3SimpleDbSqs {
         let s3 = S3::new(world);
         s3.create_bucket(BUCKET)
             .expect("fresh endpoint has no buckets");
-        let db = SimpleDb::new(world);
+        let db = SimpleDb::with_shards(world, shards);
         db.create_domain(DOMAIN)
             .expect("fresh endpoint has no domains");
         let sqs = Sqs::new(world);
@@ -612,7 +619,7 @@ impl ProvenanceStore for S3SimpleDbSqs {
     }
 
     fn query(&mut self, query: &ProvQuery) -> Result<QueryAnswer> {
-        SimpleDbQueryEngine::new(&self.db, &self.s3).execute(query)
+        SimpleDbQueryEngine::new(&self.db, &self.s3, &self.world, self.config.retry).execute(query)
     }
 
     /// Recovery after a crash (client or daemon): replay the WAL — the

@@ -70,12 +70,21 @@ impl ArchKind {
         }
     }
 
-    /// Builds a store of this kind on `world`.
+    /// Builds a store of this kind on `world` (default SimpleDB shard
+    /// count for the architectures that carry one).
     pub fn build(self, world: &SimWorld) -> Box<dyn ProvenanceStore> {
+        self.build_with_shards(world, sim_simpledb::DEFAULT_SHARDS)
+    }
+
+    /// Builds a store of this kind with an explicit SimpleDB shard count
+    /// (ignored by the standalone-S3 architecture, which has no index).
+    pub fn build_with_shards(self, world: &SimWorld, shards: usize) -> Box<dyn ProvenanceStore> {
         match self {
             ArchKind::S3 => Box::new(StandaloneS3::new(world)),
-            ArchKind::S3SimpleDb => Box::new(S3SimpleDb::new(world)),
-            ArchKind::S3SimpleDbSqs => Box::new(S3SimpleDbSqs::new(world, "prop-client")),
+            ArchKind::S3SimpleDb => Box::new(S3SimpleDb::with_shards(world, shards)),
+            ArchKind::S3SimpleDbSqs => {
+                Box::new(S3SimpleDbSqs::with_shards(world, "prop-client", shards))
+            }
         }
     }
 

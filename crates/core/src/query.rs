@@ -19,9 +19,12 @@ use pass::{ObjectRef, ProvenanceRecord, RecordKey};
 use serde::{Deserialize, Serialize};
 use sim_s3::{S3Error, S3};
 use sim_simpledb::SimpleDb;
+use simworld::SimWorld;
 
-use crate::error::{CloudError, Result};
+use crate::error::Result;
 use crate::layout::{data_key, parse_data_key, BUCKET, DOMAIN};
+use crate::readpath::{get_object_with_retry, overflow_to_string};
+use crate::retry::RetryPolicy;
 use crate::serialize::{decode_attributes, decode_metadata, read_version};
 
 /// How many `union` predicates we pack into one SimpleDB query
@@ -136,12 +139,19 @@ fn quote(value: &str) -> String {
 #[derive(Clone, Debug)]
 pub struct S3QueryEngine {
     s3: S3,
+    world: SimWorld,
+    retry: RetryPolicy,
 }
 
 impl S3QueryEngine {
-    /// An engine reading from `s3`.
-    pub fn new(s3: &S3) -> S3QueryEngine {
-        S3QueryEngine { s3: s3.clone() }
+    /// An engine reading from `s3`, retrying stale overflow GETs under
+    /// `retry`.
+    pub fn new(s3: &S3, world: &SimWorld, retry: RetryPolicy) -> S3QueryEngine {
+        S3QueryEngine {
+            s3: s3.clone(),
+            world: world.clone(),
+            retry,
+        }
     }
 
     /// Executes a query.
@@ -181,13 +191,14 @@ impl S3QueryEngine {
             Err(e) => return Err(e.into()),
         };
         let version = read_version(&head.metadata)?;
-        let records = decode_metadata(&head.metadata, |key| {
-            let obj = self.s3.get_object(BUCKET, key)?;
-            String::from_utf8(obj.body.to_bytes().to_vec()).map_err(|_| CloudError::Corrupt {
-                message: format!("overflow {key} not UTF-8"),
-            })
-        })?;
+        let records = decode_metadata(&head.metadata, |key| self.fetch_overflow(key))?;
         Ok(Some((ObjectRef::new(name.to_string(), version), records)))
+    }
+
+    /// One overflow chunk, with stale-replica GETs retried.
+    fn fetch_overflow(&self, key: &str) -> Result<String> {
+        let obj = get_object_with_retry(&self.s3, &self.world, &self.retry, key, key)?;
+        overflow_to_string(key, obj)
     }
 
     /// The full repository scan: LIST pages + one HEAD per object.
@@ -212,14 +223,24 @@ impl S3QueryEngine {
 pub struct SimpleDbQueryEngine {
     db: SimpleDb,
     s3: S3,
+    world: SimWorld,
+    retry: RetryPolicy,
 }
 
 impl SimpleDbQueryEngine {
-    /// An engine reading items from `db` and overflow values from `s3`.
-    pub fn new(db: &SimpleDb, s3: &S3) -> SimpleDbQueryEngine {
+    /// An engine reading items from `db` and overflow values from `s3`,
+    /// retrying stale overflow GETs under `retry`.
+    pub fn new(
+        db: &SimpleDb,
+        s3: &S3,
+        world: &SimWorld,
+        retry: RetryPolicy,
+    ) -> SimpleDbQueryEngine {
         SimpleDbQueryEngine {
             db: db.clone(),
             s3: s3.clone(),
+            world: world.clone(),
+            retry,
         }
     }
 
@@ -352,10 +373,8 @@ impl SimpleDbQueryEngine {
     }
 
     fn fetch_overflow(&self, key: &str) -> Result<String> {
-        let obj = self.s3.get_object(BUCKET, key)?;
-        String::from_utf8(obj.body.to_bytes().to_vec()).map_err(|_| CloudError::Corrupt {
-            message: format!("overflow {key} not UTF-8"),
-        })
+        let obj = get_object_with_retry(&self.s3, &self.world, &self.retry, key, key)?;
+        overflow_to_string(key, obj)
     }
 }
 

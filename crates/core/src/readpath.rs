@@ -44,7 +44,7 @@ pub(crate) fn verified_read(ctx: &ReadContext<'_>, name: &str) -> Result<ReadOut
             Ok(o) => o,
             Err(S3Error::NoSuchKey { .. }) if retries < ctx.retry.max_retries => {
                 retries += 1;
-                ctx.retry.pause(ctx.world);
+                ctx.retry.pause(ctx.world, retries);
                 continue;
             }
             Err(S3Error::NoSuchKey { .. }) => {
@@ -66,7 +66,7 @@ pub(crate) fn verified_read(ctx: &ReadContext<'_>, name: &str) -> Result<ReadOut
             .map(|a| a.value.clone());
 
         let finish = |status: ReadStatus| -> Result<ReadOutcome> {
-            let records = decode_attributes(&attrs, |k| fetch_overflow(ctx.s3, k))?;
+            let records = decode_attributes(&attrs, |k| fetch_overflow(ctx, k))?;
             Ok(ReadOutcome {
                 object: object_ref.clone(),
                 data: object.body.clone(),
@@ -86,13 +86,50 @@ pub(crate) fn verified_read(ctx: &ReadContext<'_>, name: &str) -> Result<ReadOut
             return finish(ReadStatus::InconsistencyDetected { retries });
         }
         retries += 1;
-        ctx.retry.pause(ctx.world);
+        ctx.retry.pause(ctx.world, retries);
     }
 }
 
-pub(crate) fn fetch_overflow(s3: &S3, key: &str) -> Result<String> {
-    let obj = s3.get_object(BUCKET, key)?;
+/// GETs `key` from the provenance bucket, retrying `NoSuchKey` under
+/// `retry` — a fresh PUT that has not reached the sampled replica yet
+/// is a transient stale read, not a hard error (§4.2's remedy). When
+/// the budget runs out, the error names `not_found_name` (the logical
+/// object a caller asked about, which may differ from the raw key).
+pub(crate) fn get_object_with_retry(
+    s3: &S3,
+    world: &SimWorld,
+    retry: &RetryPolicy,
+    key: &str,
+    not_found_name: &str,
+) -> Result<sim_s3::Object> {
+    let mut attempt = 0u32;
+    loop {
+        match s3.get_object(BUCKET, key) {
+            Ok(o) => return Ok(o),
+            Err(S3Error::NoSuchKey { .. }) if attempt < retry.max_retries => {
+                attempt += 1;
+                retry.pause(world, attempt);
+            }
+            Err(S3Error::NoSuchKey { .. }) => {
+                return Err(CloudError::NotFound {
+                    name: not_found_name.to_string(),
+                })
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
+}
+
+/// Decodes one fetched overflow chunk as UTF-8.
+pub(crate) fn overflow_to_string(key: &str, obj: sim_s3::Object) -> Result<String> {
     String::from_utf8(obj.body.to_bytes().to_vec()).map_err(|_| CloudError::Corrupt {
         message: format!("overflow {key} not UTF-8"),
     })
+}
+
+/// Fetches one overflow chunk, riding out eventual consistency the same
+/// way the main object read does.
+pub(crate) fn fetch_overflow(ctx: &ReadContext<'_>, key: &str) -> Result<String> {
+    let obj = get_object_with_retry(ctx.s3, ctx.world, &ctx.retry, key, key)?;
+    overflow_to_string(key, obj)
 }

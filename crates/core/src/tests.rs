@@ -398,10 +398,7 @@ fn md5_detects_stale_provenance_and_retry_converges() {
     let world = eventual(9, 2);
     let mut store = S3SimpleDb::new(&world);
     let config = Arch2Config {
-        retry: RetryPolicy {
-            max_retries: 100,
-            backoff: SimDuration::from_millis(100),
-        },
+        retry: RetryPolicy::flat(100, SimDuration::from_millis(100)),
         ..Arch2Config::default()
     };
     store.set_config(config);
@@ -480,6 +477,68 @@ fn nonce_distinguishes_same_content_overwrites() {
         md5_of(&store, "f 1"),
         md5_of(&store, "f 2"),
         "without the nonce the overwrite is undetectable"
+    );
+}
+
+#[test]
+fn overflow_chunks_ride_out_replication_lag() {
+    // Regression: a freshly written overflow chunk that has not reached
+    // the sampled replica yet used to turn the whole read into a hard
+    // error. With a long visibility window the stale sample is near
+    // certain; the read loop must instead retry the chunk like it
+    // retries the main object.
+    let world = eventual(17, 60);
+    let mut store = S3SimpleDb::new(&world);
+    let big_env = format!("HUGE={}", "x".repeat(5000));
+    for i in 0..12 {
+        let name = format!("proc:{i}:tool");
+        let flush = FileFlush::builder(&name)
+            .process()
+            .record("name", "tool")
+            .record("env", &big_env)
+            .build();
+        store.persist(&flush).unwrap();
+        // Read immediately, mid-propagation: must converge, not error.
+        let read = store.read(&name).unwrap();
+        assert!(read.consistent(), "read {i} must converge");
+        let env = read
+            .records
+            .iter()
+            .find(|r| r.key.attr_name() == "env")
+            .expect("env record present");
+        assert_eq!(env.value.render(), big_env);
+    }
+}
+
+#[test]
+fn permanently_missing_key_costs_bounded_sublinear_virtual_time() {
+    // A missing object exhausts the retry budget; exponential pacing
+    // keeps the total within the old flat 5 s envelope...
+    let world = eventual(23, 1);
+    let mut store = S3SimpleDb::new(&world);
+    let t0 = world.now();
+    assert!(matches!(
+        store.read("ghost.dat"),
+        Err(CloudError::NotFound { .. })
+    ));
+    let elapsed = world.now() - t0;
+    assert!(
+        elapsed <= SimDuration::from_secs(5),
+        "50 exhausted retries must stay within the flat-rate bound, took {elapsed}"
+    );
+    // ...and a shallow budget no longer charges retries × flat-rate:
+    // 10 retries used to cost exactly 1 s, now 427 ms.
+    let world = eventual(29, 1);
+    let mut store = S3SimpleDb::new(&world);
+    let mut config = Arch2Config::default();
+    config.retry.max_retries = 10;
+    store.set_config(config);
+    let t0 = world.now();
+    assert!(store.read("ghost.dat").is_err());
+    let elapsed = world.now() - t0;
+    assert!(
+        elapsed < SimDuration::from_millis(10 * 100),
+        "10 retries must cost less than 10 flat pauses, took {elapsed}"
     );
 }
 

@@ -385,10 +385,16 @@ impl S3 {
         let inner = self.inner.lock();
         let map = bucket_ref(&inner, bucket)?;
         let cap = max_keys.clamp(1, MAX_LIST_KEYS);
+        // One replica serves the whole LIST: the key listing and the
+        // per-key materialisation must agree, or a key counted toward
+        // the page cap could vanish from the page and be skipped by a
+        // marker-based walk forever.
+        let replica = self.world.sample_read_replica();
+        let now = self.world.now();
         // Key-only listing first; object state is materialised for the
         // returned page only, so paging a large bucket costs O(page).
         let mut keys: Vec<String> = map
-            .visible_keys(&self.world)
+            .visible_keys_on(replica, now)
             .into_iter()
             .filter(|k| k.starts_with(prefix) && marker.map(|m| k.as_str() > m).unwrap_or(true))
             .collect();
@@ -398,7 +404,7 @@ impl S3 {
         let matching: Vec<ObjectSummary> = keys
             .into_iter()
             .filter_map(|key| {
-                map.read(&self.world, &key).map(|s| ObjectSummary {
+                map.read_on(replica, now, &key).map(|s| ObjectSummary {
                     size: s.body.len(),
                     key,
                 })
@@ -408,7 +414,10 @@ impl S3 {
             .iter()
             .map(|o| o.key.len() as u64 + LIST_ENTRY_OVERHEAD)
             .sum();
-        self.world.record_op(Op::S3List, 0, bytes_out);
+        // A LIST examines the whole (unsharded) bucket index; charge the
+        // server-side scan in addition to the transfer.
+        self.world
+            .record_scan(Op::S3List, 0, bytes_out, map.cell_count() as u64);
         Ok(Listing {
             objects: matching,
             is_truncated,

@@ -59,7 +59,7 @@ pub use query::{CmpOp, Predicate, QueryExpr};
 pub use select::{Cond, Operand, Output, SelectStatement, DEFAULT_LIMIT, MAX_LIMIT};
 pub use service::{
     DeletableAttribute, QueryResult, QueryWithAttributesResult, ResultItem, SelectResult, SimpleDb,
-    QUERY_DEFAULT_PAGE, QUERY_MAX_PAGE,
+    DEFAULT_SHARDS, MAX_SHARDS, QUERY_DEFAULT_PAGE, QUERY_MAX_PAGE,
 };
 
 #[cfg(test)]

@@ -187,23 +187,38 @@ impl SelectStatement {
         Parser::new(sql)?.parse_select()
     }
 
+    /// `true` when this statement's result set includes the row: the
+    /// `where` clause matches and, when ordering by an attribute, the
+    /// item carries it (the real service requires the sort attribute to
+    /// be constrained; dropping attribute-less items is the equivalent
+    /// observable behaviour). The single source of truth for both
+    /// [`SelectStatement::apply`] and the `count(*)` fast path.
+    pub fn selects_row(&self, name: &str, item: &ItemState) -> bool {
+        if !self
+            .condition
+            .as_ref()
+            .map(|c| c.matches(name, item))
+            .unwrap_or(true)
+        {
+            return false;
+        }
+        match &self.order_by {
+            Some((Operand::Attr(attr) | Operand::Every(attr), _)) => item.contains_key(attr),
+            _ => true,
+        }
+    }
+
     /// Filters, orders and projects `(name, item)` rows. Returns the rows
     /// this statement selects, before pagination.
     pub fn apply(&self, rows: Vec<(String, ItemState)>) -> Vec<(String, ItemState)> {
         let mut out: Vec<(String, ItemState)> = rows
             .into_iter()
-            .filter(|(n, i)| {
-                self.condition
-                    .as_ref()
-                    .map(|c| c.matches(n, i))
-                    .unwrap_or(true)
-            })
+            .filter(|(n, i)| self.selects_row(n, i))
             .collect();
         if let Some((operand, asc)) = &self.order_by {
             match operand {
                 Operand::ItemName => out.sort_by(|(a, _), (b, _)| a.cmp(b)),
                 Operand::Attr(attr) | Operand::Every(attr) => {
-                    out.retain(|(_, item)| item.contains_key(attr));
                     out.sort_by(|(an, a), (bn, b)| {
                         let av = a.get(attr).and_then(|s| s.iter().next());
                         let bv = b.get(attr).and_then(|s| s.iter().next());

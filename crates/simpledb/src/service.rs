@@ -1,11 +1,34 @@
 //! The SimpleDB service simulator.
+//!
+//! # Sharded storage layout
+//!
+//! Each domain is partitioned into a fixed set of hash shards (default
+//! [`DEFAULT_SHARDS`], configurable via [`SimpleDb::with_shards`]); an
+//! item lives on the shard selected by an FNV-1a hash of its name. Every
+//! shard sits behind its own lock, so point operations
+//! (`PutAttributes`/`GetAttributes`/`DeleteAttributes`) contend only for
+//! one shard while `Query`/`Select` fan out across all shards and merge
+//! the per-shard results in item-name order. This models both the real
+//! service's internal partitioning and the concurrency story the
+//! ROADMAP's multi-client scaling work needs.
+//!
+//! # Shard-aware pagination tokens
+//!
+//! A `next_token` encodes the shard count, one **pinned replica per
+//! shard**, and a cursor. Pinning replicas means every page of one
+//! logical scan reads the same replica view per shard (the
+//! `visible_entries` single-replica contract, stretched across pages).
+//! Unsorted scans use a *resume-after-name* cursor, so a paginated scan
+//! neither skips nor duplicates an item no matter what is inserted or
+//! deleted between pages; sorted scans (whose global order can shift
+//! under writes) fall back to an offset cursor over the pinned views.
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use serde::{Deserialize, Serialize};
-use simworld::{Op, Service, SimWorld};
+use simworld::{EcMap, Op, Service, SimWorld};
 
 use crate::error::{Result, SdbError};
 use crate::model::{
@@ -14,13 +37,19 @@ use crate::model::{
 };
 use crate::query::QueryExpr;
 use crate::select::{Output, SelectStatement};
-use simworld::EcMap;
 
 /// Default page size for `Query`/`QueryWithAttributes`.
 pub const QUERY_DEFAULT_PAGE: usize = 100;
 
 /// Maximum page size for `Query`/`QueryWithAttributes`.
 pub const QUERY_MAX_PAGE: usize = 250;
+
+/// Default number of hash shards per domain.
+pub const DEFAULT_SHARDS: usize = 16;
+
+/// Upper bound on shards per domain (a sanity bound standing in for the
+/// real service's partitioning limits).
+pub const MAX_SHARDS: usize = 256;
 
 /// Approximate fixed response overhead per returned item name.
 const ITEM_ENTRY_OVERHEAD: u64 = 32;
@@ -92,9 +121,42 @@ pub struct SelectResult {
     pub next_token: Option<String>,
 }
 
-#[derive(Default)]
+/// FNV-1a, 64-bit: a stable, seed-free hash so an item's shard is the
+/// same in every run and on every platform.
+fn fnv1a(s: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in s.as_bytes() {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// One domain: a fixed set of hash shards, each behind its own lock.
+struct Domain {
+    shards: Vec<Mutex<EcMap<String, ItemState>>>,
+}
+
+impl Domain {
+    fn new(shard_count: usize) -> Domain {
+        Domain {
+            shards: (0..shard_count.clamp(1, MAX_SHARDS))
+                .map(|_| Mutex::new(EcMap::new()))
+                .collect(),
+        }
+    }
+
+    fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard_of(&self, item_name: &str) -> usize {
+        (fnv1a(item_name) % self.shards.len() as u64) as usize
+    }
+}
+
 struct Inner {
-    domains: BTreeMap<String, EcMap<String, ItemState>>,
+    domains: RwLock<BTreeMap<String, Arc<Domain>>>,
 }
 
 /// The simulated SimpleDB service.
@@ -125,25 +187,44 @@ struct Inner {
 #[derive(Clone)]
 pub struct SimpleDb {
     world: SimWorld,
-    inner: Arc<Mutex<Inner>>,
+    shard_count: usize,
+    inner: Arc<Inner>,
 }
 
 impl std::fmt::Debug for SimpleDb {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let inner = self.inner.lock();
+        let domains = self.inner.domains.read();
         f.debug_struct("SimpleDb")
-            .field("domains", &inner.domains.len())
+            .field("domains", &domains.len())
+            .field("shards", &self.shard_count)
             .finish_non_exhaustive()
     }
 }
 
 impl SimpleDb {
-    /// Connects a new simulated SimpleDB endpoint to `world`.
+    /// Connects a new simulated SimpleDB endpoint to `world` with
+    /// [`DEFAULT_SHARDS`] shards per domain.
     pub fn new(world: &SimWorld) -> SimpleDb {
+        SimpleDb::with_shards(world, DEFAULT_SHARDS)
+    }
+
+    /// Connects an endpoint whose domains are split into `shards` hash
+    /// shards (clamped to `1..=`[`MAX_SHARDS`]). More shards mean less
+    /// lock contention between concurrent point operations and more
+    /// fan-out parallelism for `Query`/`Select`.
+    pub fn with_shards(world: &SimWorld, shards: usize) -> SimpleDb {
         SimpleDb {
             world: world.clone(),
-            inner: Arc::new(Mutex::new(Inner::default())),
+            shard_count: shards.clamp(1, MAX_SHARDS),
+            inner: Arc::new(Inner {
+                domains: RwLock::new(BTreeMap::new()),
+            }),
         }
+    }
+
+    /// Hash shards per domain on this endpoint.
+    pub fn shard_count(&self) -> usize {
+        self.shard_count
     }
 
     /// Creates a domain. Idempotent, as in the real service.
@@ -153,30 +234,31 @@ impl SimpleDb {
     /// [`SdbError::TooManyDomains`] past the account limit.
     pub fn create_domain(&self, domain: impl Into<String>) -> Result<()> {
         let domain = domain.into();
-        let mut inner = self.inner.lock();
+        let mut domains = self.inner.domains.write();
         self.world
             .record_op(Op::SdbCreateDomain, domain.len() as u64, 0);
-        if inner.domains.contains_key(&domain) {
+        if domains.contains_key(&domain) {
             return Ok(());
         }
-        if inner.domains.len() >= MAX_DOMAINS {
+        if domains.len() >= MAX_DOMAINS {
             return Err(SdbError::TooManyDomains { limit: MAX_DOMAINS });
         }
-        inner.domains.insert(domain, EcMap::new());
+        domains.insert(domain, Arc::new(Domain::new(self.shard_count)));
         Ok(())
     }
 
     /// Lists domain names.
     pub fn list_domains(&self) -> Vec<String> {
-        let inner = self.inner.lock();
-        let names: Vec<String> = inner.domains.keys().cloned().collect();
+        let domains = self.inner.domains.read();
+        let names: Vec<String> = domains.keys().cloned().collect();
         let bytes: u64 = names.iter().map(|n| n.len() as u64).sum();
         self.world.record_op(Op::SdbListDomains, 0, bytes);
         names
     }
 
     /// Inserts or updates attributes of an item. Idempotent: re-running
-    /// the same call converges to the same state (§2.2).
+    /// the same call converges to the same state (§2.2). Touches exactly
+    /// one shard.
     ///
     /// # Errors
     ///
@@ -205,8 +287,9 @@ impl SimpleDb {
         for a in attrs {
             a.check_limits()?;
         }
-        let mut inner = self.inner.lock();
-        let map = domain_mut(&mut inner, domain)?;
+        let dom = self.domain(domain)?;
+        let shard = dom.shard_of(item_name);
+        let mut map = dom.shards[shard].lock();
 
         let mut item = map.read_latest(&item_name.to_string()).unwrap_or_default();
         let before_bytes = byte_size(&item);
@@ -239,6 +322,8 @@ impl SimpleDb {
         self.world
             .record_op(Op::SdbPutAttributes, bytes_in + item_name.len() as u64, 0);
         self.world
+            .record_shard_touch(Service::SimpleDb, shard as u32);
+        self.world
             .adjust_stored(Service::SimpleDb, after_bytes as i64 - before_bytes as i64);
         map.write(&self.world, item_name.to_string(), Some(item));
         Ok(())
@@ -247,7 +332,7 @@ impl SimpleDb {
     /// Reads an item's attributes, optionally filtered to a set of names.
     /// Served from a sampled replica; a freshly written item may be
     /// missing or stale. Absent items return an empty list, as in the
-    /// real service.
+    /// real service. Touches exactly one shard.
     ///
     /// # Errors
     ///
@@ -258,11 +343,13 @@ impl SimpleDb {
         item_name: &str,
         names: Option<&[&str]>,
     ) -> Result<Vec<Attribute>> {
-        let inner = self.inner.lock();
-        let map = domain_ref(&inner, domain)?;
-        let item = map
-            .read(&self.world, &item_name.to_string())
-            .unwrap_or_default();
+        let dom = self.domain(domain)?;
+        let shard = dom.shard_of(item_name);
+        let item = {
+            let map = dom.shards[shard].lock();
+            map.read(&self.world, &item_name.to_string())
+                .unwrap_or_default()
+        };
         let mut attrs = to_attributes(&item);
         if let Some(filter) = names {
             attrs.retain(|a| filter.contains(&a.name.as_str()));
@@ -273,11 +360,14 @@ impl SimpleDb {
             .sum();
         self.world
             .record_op(Op::SdbGetAttributes, item_name.len() as u64, bytes);
+        self.world
+            .record_shard_touch(Service::SimpleDb, shard as u32);
         Ok(attrs)
     }
 
     /// Deletes attributes (or, with `attrs = None`, the entire item).
     /// Idempotent: deleting absent attributes or items succeeds (§2.2).
+    /// Touches exactly one shard.
     ///
     /// # Errors
     ///
@@ -288,10 +378,13 @@ impl SimpleDb {
         item_name: &str,
         attrs: Option<&[DeletableAttribute]>,
     ) -> Result<()> {
-        let mut inner = self.inner.lock();
-        let map = domain_mut(&mut inner, domain)?;
+        let dom = self.domain(domain)?;
+        let shard = dom.shard_of(item_name);
+        let mut map = dom.shards[shard].lock();
         self.world
             .record_op(Op::SdbDeleteAttributes, item_name.len() as u64, 0);
+        self.world
+            .record_shard_touch(Service::SimpleDb, shard as u32);
         let Some(mut item) = map.read_latest(&item_name.to_string()) else {
             return Ok(());
         };
@@ -331,7 +424,8 @@ impl SimpleDb {
     }
 
     /// `Query`: returns matching item names. `expression = None` matches
-    /// every item. Results reflect one sampled replica.
+    /// every item. Fans out across shards; each page of one paginated
+    /// scan reads the replica view pinned in its token.
     ///
     /// # Errors
     ///
@@ -344,16 +438,17 @@ impl SimpleDb {
         max_items: Option<usize>,
         next_token: Option<&str>,
     ) -> Result<QueryResult> {
-        let (rows, next) = self.run_query(domain, expression, max_items, next_token)?;
+        let (rows, next, scanned) = self.run_query(domain, expression, max_items, next_token)?;
         let item_names: Vec<String> = rows.into_iter().map(|(n, _)| n).collect();
         let bytes: u64 = item_names
             .iter()
             .map(|n| n.len() as u64 + ITEM_ENTRY_OVERHEAD)
             .sum();
-        self.world.record_op(
+        self.world.record_scan(
             Op::SdbQuery,
             expression.map(|e| e.len() as u64).unwrap_or(0),
             bytes,
+            scanned,
         );
         Ok(QueryResult {
             item_names,
@@ -375,7 +470,7 @@ impl SimpleDb {
         max_items: Option<usize>,
         next_token: Option<&str>,
     ) -> Result<QueryWithAttributesResult> {
-        let (rows, next) = self.run_query(domain, expression, max_items, next_token)?;
+        let (rows, next, scanned) = self.run_query(domain, expression, max_items, next_token)?;
         let items: Vec<ResultItem> = rows
             .into_iter()
             .map(|(name, state)| {
@@ -397,10 +492,11 @@ impl SimpleDb {
                         .sum::<u64>()
             })
             .sum();
-        self.world.record_op(
+        self.world.record_scan(
             Op::SdbQueryWithAttributes,
             expression.map(|e| e.len() as u64).unwrap_or(0),
             bytes,
+            scanned,
         );
         Ok(QueryWithAttributesResult {
             items,
@@ -408,7 +504,8 @@ impl SimpleDb {
         })
     }
 
-    /// `Select`: the SQL-form interface.
+    /// `Select`: the SQL-form interface. Fans out across shards like
+    /// [`SimpleDb::query`], with the same shard-aware tokens.
     ///
     /// # Errors
     ///
@@ -416,16 +513,28 @@ impl SimpleDb {
     /// exist.
     pub fn select(&self, sql: &str, next_token: Option<&str>) -> Result<SelectResult> {
         let stmt = SelectStatement::parse(sql)?;
-        let snapshot = {
-            let inner = self.inner.lock();
-            let map = domain_ref(&inner, &stmt.domain)?;
-            map.visible_entries(&self.world)
-        };
-        let matched = stmt.apply(snapshot);
+        let dom = self.domain(&stmt.domain)?;
 
         if stmt.output == Output::Count {
-            let count = matched.len().min(stmt.limit) as u64;
-            self.world.record_op(Op::SdbSelect, sql.len() as u64, 16);
+            // count(*) is unpaginated: one fan-out over freshly sampled
+            // replica views, counting matches without materialising a
+            // single item.
+            let replicas = self.sample_replicas(dom.shard_count());
+            let now = self.world.now();
+            self.world
+                .record_shard_fanout(Service::SimpleDb, dom.shard_count() as u32);
+            let mut matched = 0u64;
+            let mut scanned = 0u64;
+            for (i, shard) in dom.shards.iter().enumerate() {
+                let map = shard.lock();
+                let (m, examined) = map
+                    .visible_count_on(replicas[i], now, |name, item| stmt.selects_row(name, item));
+                matched += m;
+                scanned = scanned.max(examined);
+            }
+            let count = matched.min(stmt.limit as u64);
+            self.world
+                .record_scan(Op::SdbSelect, sql.len() as u64, 16, scanned);
             return Ok(SelectResult {
                 items: Vec::new(),
                 count: Some(count),
@@ -433,18 +542,44 @@ impl SimpleDb {
             });
         }
 
-        let offset = parse_token(next_token)?;
-        let page: Vec<(String, ItemState)> = matched
-            .iter()
-            .skip(offset)
-            .take(stmt.limit)
-            .cloned()
-            .collect();
-        let consumed = offset + page.len();
-        let next = if consumed < matched.len() {
-            Some(consumed.to_string())
+        let token = decode_token(next_token, &dom, &self.world)?;
+        let (page, next, scanned) = if stmt.order_by.is_some() {
+            // Sorted output: global order can interleave shards
+            // arbitrarily, so paginate by offset over the pinned views.
+            let (replicas, offset) = match token {
+                Some(PageToken {
+                    replicas,
+                    cursor: Cursor::Offset(o),
+                }) => (replicas, o),
+                Some(_) => return Err(SdbError::InvalidNextToken),
+                None => (self.sample_replicas(dom.shard_count()), 0),
+            };
+            let (rows, scanned) = self.collect_entries(&dom, &replicas, |_, _| true);
+            let matched = stmt.apply(rows);
+            let page: Vec<(String, ItemState)> = matched
+                .iter()
+                .skip(offset)
+                .take(stmt.limit)
+                .cloned()
+                .collect();
+            let consumed = offset + page.len();
+            let next = (consumed < matched.len()).then(|| {
+                PageToken {
+                    replicas,
+                    cursor: Cursor::Offset(consumed),
+                }
+                .encode()
+            });
+            (page, next, scanned)
         } else {
-            None
+            // Name-ordered output: cursor-based merge across shards.
+            let condition = stmt.condition.clone();
+            self.merged_page(&dom, token, stmt.limit, |name, item| {
+                condition
+                    .as_ref()
+                    .map(|c| c.matches(name, item))
+                    .unwrap_or(true)
+            })?
         };
 
         let items: Vec<ResultItem> = page
@@ -473,7 +608,8 @@ impl SimpleDb {
                         .sum::<u64>()
             })
             .sum();
-        self.world.record_op(Op::SdbSelect, sql.len() as u64, bytes);
+        self.world
+            .record_scan(Op::SdbSelect, sql.len() as u64, bytes, scanned);
         Ok(SelectResult {
             items,
             count: None,
@@ -486,8 +622,8 @@ impl SimpleDb {
     /// The newest committed attributes of an item, ignoring replication
     /// lag and without billing. For tests and property validators only.
     pub fn latest_item(&self, domain: &str, item_name: &str) -> Option<Vec<Attribute>> {
-        let inner = self.inner.lock();
-        let map = inner.domains.get(domain)?;
+        let dom = self.domain(domain).ok()?;
+        let map = dom.shards[dom.shard_of(item_name)].lock();
         map.read_latest(&item_name.to_string())
             .map(|s| to_attributes(&s))
     }
@@ -495,90 +631,328 @@ impl SimpleDb {
     /// Authoritative list of live item names, unbilled. For tests and
     /// property validators only.
     pub fn latest_item_names(&self, domain: &str) -> Vec<String> {
-        let inner = self.inner.lock();
-        match inner.domains.get(domain) {
-            Some(map) => map.iter_latest().map(|(k, _)| k.clone()).collect(),
-            None => Vec::new(),
+        let Ok(dom) = self.domain(domain) else {
+            return Vec::new();
+        };
+        let mut names: Vec<String> = Vec::new();
+        for shard in &dom.shards {
+            let map = shard.lock();
+            names.extend(map.iter_latest().map(|(k, _)| k.clone()));
         }
+        names.sort_unstable();
+        names
     }
 
-    /// Shared implementation of `Query`/`QueryWithAttributes`: snapshot a
-    /// replica, filter, sort, paginate.
+    /// Looks a domain up, cloning its handle out so the domains map lock
+    /// is held only for the lookup.
+    fn domain(&self, domain: &str) -> Result<Arc<Domain>> {
+        self.inner
+            .domains
+            .read()
+            .get(domain)
+            .cloned()
+            .ok_or_else(|| SdbError::NoSuchDomain {
+                domain: domain.to_string(),
+            })
+    }
+
+    /// One freshly sampled read replica per shard.
+    fn sample_replicas(&self, shard_count: usize) -> Vec<usize> {
+        self.world.sample_read_replicas(shard_count)
+    }
+
+    /// Fans out over every shard, collecting the entries visible on each
+    /// shard's pinned replica that `pred` accepts, merged in item-name
+    /// order. Records one shard touch per shard.
+    fn collect_entries<F>(
+        &self,
+        dom: &Domain,
+        replicas: &[usize],
+        mut pred: F,
+    ) -> (Vec<(String, ItemState)>, u64)
+    where
+        F: FnMut(&str, &ItemState) -> bool,
+    {
+        let now = self.world.now();
+        self.world
+            .record_shard_fanout(Service::SimpleDb, dom.shard_count() as u32);
+        let mut rows: Vec<(String, ItemState)> = Vec::new();
+        let mut scanned = 0u64;
+        for (i, shard) in dom.shards.iter().enumerate() {
+            let map = shard.lock();
+            // Shards scan in parallel: the largest one gates the call.
+            scanned = scanned.max(map.cell_count() as u64);
+            rows.extend(
+                map.visible_entries_on(replicas[i], now)
+                    .into_iter()
+                    .filter(|(k, v)| pred(k, v)),
+            );
+        }
+        // Shards hold disjoint key ranges only in hash space; restore
+        // global item-name order.
+        rows.sort_unstable_by(|(a, _), (b, _)| a.cmp(b));
+        (rows, scanned)
+    }
+
+    /// One page of a name-ordered scan: each shard contributes its next
+    /// `page_size + 1` visible matches after the cursor, the candidates
+    /// merge in name order, and the page is the first `page_size` of the
+    /// merge. The returned token resumes strictly after the last name
+    /// served, on the same pinned replica per shard.
+    fn merged_page<F>(
+        &self,
+        dom: &Arc<Domain>,
+        token: Option<PageToken>,
+        page_size: usize,
+        mut pred: F,
+    ) -> Result<(Vec<(String, ItemState)>, Option<String>, u64)>
+    where
+        F: FnMut(&str, &ItemState) -> bool,
+    {
+        let (replicas, after) = match token {
+            Some(PageToken {
+                replicas,
+                cursor: Cursor::After(name),
+            }) => (replicas, Some(name)),
+            Some(_) => return Err(SdbError::InvalidNextToken),
+            None => (self.sample_replicas(dom.shard_count()), None),
+        };
+        let now = self.world.now();
+        self.world
+            .record_shard_fanout(Service::SimpleDb, dom.shard_count() as u32);
+        let shard_count = dom.shard_count();
+        let need = page_size + 1;
+        // Adaptive fan-out fetch: ask each shard for its proportional
+        // share first (the hash spreads consecutive names uniformly, so
+        // one round is the common case), then double the quota for the
+        // shards that still gate the merge. A candidate is *final* once
+        // its name is at or below every unexhausted shard's fetch
+        // horizon — no shard can still produce a smaller name.
+        let mut cursors: Vec<(Option<String>, bool)> = vec![(after.clone(), false); shard_count];
+        let mut pool: Vec<(String, ItemState)> = Vec::new();
+        let mut examined_per_shard = vec![0u64; shard_count];
+        let mut quota = need.div_ceil(shard_count).max(1);
+        // First round: every shard contributes its proportional share.
+        // Refill rounds: names below the finalization boundary can only
+        // come from the *gating* shard (the unexhausted shard with the
+        // smallest fetch horizon — shards hold disjoint names), so only
+        // it is fetched again, with a doubled quota while it blocks.
+        let mut targets: Vec<usize> = (0..shard_count).collect();
+        loop {
+            for &i in &targets {
+                let (cursor, exhausted) = &mut cursors[i];
+                if *exhausted {
+                    continue;
+                }
+                let map = dom.shards[i].lock();
+                let (items, examined) =
+                    map.visible_page_on(replicas[i], now, cursor.as_ref(), quota, |k, v| {
+                        pred(k, v)
+                    });
+                drop(map);
+                examined_per_shard[i] += examined;
+                if items.len() < quota {
+                    *exhausted = true;
+                }
+                if let Some((last, _)) = items.last() {
+                    *cursor = Some(last.clone());
+                }
+                pool.extend(items);
+            }
+            let gate: Option<(usize, &String)> = cursors
+                .iter()
+                .enumerate()
+                .filter(|(_, (_, exhausted))| !exhausted)
+                .map(|(i, (c, _))| {
+                    (
+                        i,
+                        c.as_ref().expect("unexhausted shards have fetched a page"),
+                    )
+                })
+                .min_by(|a, b| a.1.cmp(b.1));
+            let Some((gate, horizon)) = gate else {
+                break; // every shard exhausted: the pool is complete
+            };
+            let finalized = pool.iter().filter(|(k, _)| k <= horizon).count();
+            if finalized >= need {
+                break;
+            }
+            targets = vec![gate];
+            quota = quota.saturating_mul(2);
+        }
+        let mut candidates = pool;
+        candidates.sort_unstable_by(|(a, _), (b, _)| a.cmp(b));
+        let more = candidates.len() > page_size;
+        candidates.truncate(page_size);
+        let next = if more {
+            let last = candidates
+                .last()
+                .map(|(n, _)| n.clone())
+                .expect("page_size >= 1, so a truncated page is non-empty");
+            Some(
+                PageToken {
+                    replicas,
+                    cursor: Cursor::After(last),
+                }
+                .encode(),
+            )
+        } else {
+            None
+        };
+        // Shards scan in parallel: the busiest one gates the call.
+        let scanned = examined_per_shard.iter().copied().max().unwrap_or(0);
+        Ok((candidates, next, scanned))
+    }
+
+    /// Shared implementation of `Query`/`QueryWithAttributes`.
     fn run_query(
         &self,
         domain: &str,
         expression: Option<&str>,
         max_items: Option<usize>,
         next_token: Option<&str>,
-    ) -> Result<(Vec<(String, ItemState)>, Option<String>)> {
+    ) -> Result<(Vec<(String, ItemState)>, Option<String>, u64)> {
         let parsed = expression.map(QueryExpr::parse).transpose()?;
         let page_size = max_items
             .unwrap_or(QUERY_DEFAULT_PAGE)
             .clamp(1, QUERY_MAX_PAGE);
-        let offset = parse_token(next_token)?;
-        let inner = self.inner.lock();
-        let map = domain_ref(&inner, domain)?;
-        // Fast path for the match-everything query: page over the key
-        // listing and materialise only the returned page, so enumerating
-        // a large domain is O(page) per call instead of O(domain).
-        if parsed.is_none() {
-            let keys = map.visible_keys(&self.world);
-            let total = keys.len();
-            let page: Vec<(String, ItemState)> = keys
-                .into_iter()
-                .skip(offset)
-                .take(page_size)
-                .filter_map(|k| map.read(&self.world, &k).map(|item| (k, item)))
-                .collect();
-            let consumed = offset + page.len();
-            let next = if consumed < total {
-                Some(consumed.to_string())
-            } else {
-                None
+        let dom = self.domain(domain)?;
+        let token = decode_token(next_token, &dom, &self.world)?;
+
+        if parsed.as_ref().and_then(|q| q.sort()).is_some() {
+            // Sorted output: offset cursor over the pinned views.
+            let q = parsed.expect("sort implies a parsed expression");
+            let (replicas, offset) = match token {
+                Some(PageToken {
+                    replicas,
+                    cursor: Cursor::Offset(o),
+                }) => (replicas, o),
+                Some(_) => return Err(SdbError::InvalidNextToken),
+                None => (self.sample_replicas(dom.shard_count()), 0),
             };
-            return Ok((page, next));
+            let (rows, scanned) = self.collect_entries(&dom, &replicas, |_, item| q.matches(item));
+            let rows = q.apply_sort(rows);
+            let page: Vec<(String, ItemState)> =
+                rows.iter().skip(offset).take(page_size).cloned().collect();
+            let consumed = offset + page.len();
+            let next = (consumed < rows.len()).then(|| {
+                PageToken {
+                    replicas,
+                    cursor: Cursor::Offset(consumed),
+                }
+                .encode()
+            });
+            return Ok((page, next, scanned));
         }
-        let snapshot = map.visible_entries(&self.world);
-        let mut rows: Vec<(String, ItemState)> = snapshot
-            .into_iter()
-            .filter(|(_, item)| parsed.as_ref().map(|q| q.matches(item)).unwrap_or(true))
-            .collect();
-        if let Some(q) = &parsed {
-            rows = q.apply_sort(rows);
+
+        self.merged_page(&dom, token, page_size, |_, item| {
+            parsed.as_ref().map(|q| q.matches(item)).unwrap_or(true)
+        })
+    }
+}
+
+// --- shard-aware pagination tokens ---
+
+/// Cursor half of a [`PageToken`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+enum Cursor {
+    /// Resume strictly after this item name (name-ordered scans).
+    After(String),
+    /// Global offset into the sorted row set (sorted scans).
+    Offset(usize),
+}
+
+/// A decoded `next_token`: the pinned replica per shard plus a cursor.
+#[derive(Clone, PartialEq, Eq, Debug)]
+struct PageToken {
+    /// `replicas[i]` is the replica shard `i` serves this scan from.
+    replicas: Vec<usize>,
+    cursor: Cursor,
+}
+
+impl PageToken {
+    /// Wire format: `s<shards>;r<r0.r1...>;a<hex(name)>` for
+    /// resume-after-name cursors, `s<shards>;r<...>;o<offset>` for offset
+    /// cursors. The item name is hex-encoded so the token survives any
+    /// byte the 1 KB item-name budget allows.
+    fn encode(&self) -> String {
+        let rs = self
+            .replicas
+            .iter()
+            .map(|r| r.to_string())
+            .collect::<Vec<_>>()
+            .join(".");
+        match &self.cursor {
+            Cursor::After(name) => {
+                format!("s{};r{};a{}", self.replicas.len(), rs, hex_encode(name))
+            }
+            Cursor::Offset(o) => format!("s{};r{};o{}", self.replicas.len(), rs, o),
         }
-        let page: Vec<(String, ItemState)> =
-            rows.iter().skip(offset).take(page_size).cloned().collect();
-        let consumed = offset + page.len();
-        let next = if consumed < rows.len() {
-            Some(consumed.to_string())
+    }
+
+    fn decode(token: &str) -> Option<PageToken> {
+        let rest = token.strip_prefix('s')?;
+        let (shards, rest) = rest.split_once(';')?;
+        let shards: usize = shards.parse().ok()?;
+        let rest = rest.strip_prefix('r')?;
+        let (rs, cursor) = rest.split_once(';')?;
+        let replicas: Vec<usize> = if rs.is_empty() {
+            Vec::new()
         } else {
-            None
+            rs.split('.')
+                .map(|r| r.parse::<usize>().ok())
+                .collect::<Option<Vec<_>>>()?
         };
-        Ok((page, next))
+        if replicas.len() != shards {
+            return None;
+        }
+        let cursor = if let Some(hex) = cursor.strip_prefix('a') {
+            Cursor::After(hex_decode(hex)?)
+        } else if let Some(o) = cursor.strip_prefix('o') {
+            Cursor::Offset(o.parse().ok()?)
+        } else {
+            return None;
+        };
+        Some(PageToken { replicas, cursor })
     }
 }
 
-fn parse_token(token: Option<&str>) -> Result<usize> {
-    match token {
-        None => Ok(0),
-        Some(t) => t.parse::<usize>().map_err(|_| SdbError::InvalidNextToken),
+/// Decodes and validates a client token against the domain's shard
+/// layout and the world's replica count.
+fn decode_token(token: Option<&str>, dom: &Domain, world: &SimWorld) -> Result<Option<PageToken>> {
+    let Some(token) = token else {
+        return Ok(None);
+    };
+    let parsed = PageToken::decode(token).ok_or(SdbError::InvalidNextToken)?;
+    let replica_bound = world.replicas().max(1);
+    if parsed.replicas.len() != dom.shard_count()
+        || parsed.replicas.iter().any(|r| *r >= replica_bound)
+    {
+        return Err(SdbError::InvalidNextToken);
     }
+    Ok(Some(parsed))
 }
 
-fn domain_mut<'a>(inner: &'a mut Inner, domain: &str) -> Result<&'a mut EcMap<String, ItemState>> {
-    inner
-        .domains
-        .get_mut(domain)
-        .ok_or_else(|| SdbError::NoSuchDomain {
-            domain: domain.to_string(),
-        })
+fn hex_encode(s: &str) -> String {
+    const HEX: &[u8; 16] = b"0123456789abcdef";
+    let mut out = String::with_capacity(s.len() * 2);
+    for b in s.as_bytes() {
+        out.push(HEX[(b >> 4) as usize] as char);
+        out.push(HEX[(b & 0xf) as usize] as char);
+    }
+    out
 }
 
-fn domain_ref<'a>(inner: &'a Inner, domain: &str) -> Result<&'a EcMap<String, ItemState>> {
-    inner
-        .domains
-        .get(domain)
-        .ok_or_else(|| SdbError::NoSuchDomain {
-            domain: domain.to_string(),
-        })
+fn hex_decode(hex: &str) -> Option<String> {
+    if !hex.len().is_multiple_of(2) {
+        return None;
+    }
+    let mut bytes = Vec::with_capacity(hex.len() / 2);
+    let raw = hex.as_bytes();
+    for pair in raw.chunks(2) {
+        let hi = (pair[0] as char).to_digit(16)?;
+        let lo = (pair[1] as char).to_digit(16)?;
+        bytes.push((hi * 16 + lo) as u8);
+    }
+    String::from_utf8(bytes).ok()
 }

@@ -3,8 +3,8 @@
 use simworld::{Consistency, LatencyModel, Op, Service, SimConfig, SimDuration, SimWorld};
 
 use crate::{
-    Attribute, DeletableAttribute, ReplaceableAttribute, SdbError, SimpleDb, MAX_DOMAINS,
-    QUERY_MAX_PAGE,
+    Attribute, DeletableAttribute, ReplaceableAttribute, SdbError, SimpleDb, DEFAULT_SHARDS,
+    MAX_DOMAINS, QUERY_MAX_PAGE,
 };
 
 fn counting() -> (SimWorld, SimpleDb) {
@@ -440,4 +440,220 @@ fn clones_share_state() {
     let db2 = db.clone();
     db.put_attributes("d", "i", &[add("a", "1")]).unwrap();
     assert_eq!(db2.get_attributes("d", "i", None).unwrap().len(), 1);
+}
+
+// --- sharding ---
+
+fn eventual_sharded(seed: u64, shards: usize) -> (SimWorld, SimpleDb) {
+    let world = SimWorld::with_config(SimConfig {
+        seed,
+        consistency: Consistency::eventual(SimDuration::from_secs(30)),
+        latency: LatencyModel::zero(),
+        replicas: 3,
+    });
+    let db = SimpleDb::with_shards(&world, shards);
+    db.create_domain("d").unwrap();
+    (world, db)
+}
+
+#[test]
+fn shard_count_defaults_and_clamps() {
+    let world = SimWorld::counting();
+    assert_eq!(SimpleDb::new(&world).shard_count(), DEFAULT_SHARDS);
+    assert_eq!(SimpleDb::with_shards(&world, 0).shard_count(), 1);
+    assert_eq!(SimpleDb::with_shards(&world, 7).shard_count(), 7);
+    assert_eq!(
+        SimpleDb::with_shards(&world, 100_000).shard_count(),
+        crate::MAX_SHARDS
+    );
+}
+
+#[test]
+fn point_ops_touch_one_shard_queries_touch_all() {
+    let world = SimWorld::counting();
+    let db = SimpleDb::with_shards(&world, 4);
+    db.create_domain("d").unwrap();
+    let before = world.meters();
+    db.put_attributes("d", "item", &[add("a", "1")]).unwrap();
+    let delta = world.meters() - before;
+    let touched: u64 = (0..4)
+        .map(|s| delta.shard_op_count(Service::SimpleDb, s))
+        .sum();
+    assert_eq!(touched, 1, "a put lands on exactly one shard");
+
+    let before = world.meters();
+    let _ = db.query("d", None, None, None).unwrap();
+    let delta = world.meters() - before;
+    for shard in 0..4 {
+        assert_eq!(
+            delta.shard_op_count(Service::SimpleDb, shard),
+            1,
+            "a query fans out to shard {shard}"
+        );
+    }
+}
+
+#[test]
+fn items_spread_across_shards_and_merge_in_name_order() {
+    let (_, db) = counting(); // default 16 shards
+    for i in (0..40).rev() {
+        db.put_attributes("d", &format!("i{i:02}"), &[add("t", "x")])
+            .unwrap();
+    }
+    let r = db.query("d", None, None, None).unwrap();
+    let want: Vec<String> = (0..40).map(|i| format!("i{i:02}")).collect();
+    assert_eq!(r.item_names, want, "merge restores global name order");
+}
+
+#[test]
+fn token_from_a_different_shard_layout_is_rejected() {
+    let world = SimWorld::counting();
+    let db2 = SimpleDb::with_shards(&world, 2);
+    db2.create_domain("d").unwrap();
+    for i in 0..10 {
+        db2.put_attributes("d", &format!("i{i}"), &[add("t", "x")])
+            .unwrap();
+    }
+    let token = db2
+        .query("d", None, Some(3), None)
+        .unwrap()
+        .next_token
+        .expect("more pages");
+
+    let db4 = SimpleDb::with_shards(&world, 4);
+    db4.create_domain("d").unwrap();
+    db4.put_attributes("d", "i", &[add("t", "x")]).unwrap();
+    assert!(matches!(
+        db4.query("d", None, Some(3), Some(&token)),
+        Err(SdbError::InvalidNextToken)
+    ));
+}
+
+/// Runs one full paginated `Query` scan, mutating the domain between
+/// pages with the supplied closure. Returns every name served.
+fn scan_with_churn(db: &SimpleDb, page: usize, mut churn: impl FnMut(u32)) -> Vec<String> {
+    let mut names = Vec::new();
+    let mut token: Option<String> = None;
+    let mut round = 0u32;
+    loop {
+        let r = db
+            .query("d", Some("['t' = 'x']"), Some(page), token.as_deref())
+            .unwrap();
+        names.extend(r.item_names);
+        churn(round);
+        round += 1;
+        match r.next_token {
+            Some(t) => token = Some(t),
+            None => break,
+        }
+    }
+    names
+}
+
+#[test]
+fn paginated_query_never_skips_or_duplicates_under_concurrent_writes() {
+    // The acceptance bar of the sharding issue: with shards > 1, a full
+    // paginated scan must neither duplicate an item name nor miss an
+    // item that was visible in the scanned replica view for the whole
+    // scan — no matter what is inserted or deleted between pages.
+    for seed in [1u64, 7, 23] {
+        let (world, db) = eventual_sharded(seed, 8);
+        let stable: Vec<String> = (0..40).map(|i| format!("stable{i:02}")).collect();
+        for name in &stable {
+            db.put_attributes("d", name, &[add("t", "x")]).unwrap();
+        }
+        // Fully propagated: visible on every replica for the whole scan.
+        world.settle();
+
+        let names = scan_with_churn(&db, 7, |round| {
+            // Churn both sides of the key space mid-scan, with the same
+            // matching attribute so the filter cannot hide mistakes.
+            db.put_attributes("d", &format!("aa-churn{round:02}"), &[add("t", "x")])
+                .unwrap();
+            db.put_attributes("d", &format!("zz-churn{round:02}"), &[add("t", "x")])
+                .unwrap();
+            db.put_attributes("d", &format!("stable-churn{round:02}"), &[add("t", "x")])
+                .unwrap();
+            if round > 0 {
+                db.delete_attributes("d", &format!("aa-churn{:02}", round - 1), None)
+                    .unwrap();
+            }
+        });
+
+        let mut seen = std::collections::BTreeSet::new();
+        for name in &names {
+            assert!(seen.insert(name.clone()), "seed {seed}: duplicate {name}");
+        }
+        for name in &stable {
+            assert!(
+                seen.contains(name),
+                "seed {seed}: stable item {name} skipped"
+            );
+        }
+    }
+}
+
+#[test]
+fn paginated_select_never_skips_or_duplicates_under_concurrent_writes() {
+    for seed in [3u64, 11] {
+        let (world, db) = eventual_sharded(seed, 8);
+        let stable: Vec<String> = (0..30).map(|i| format!("stable{i:02}")).collect();
+        for name in &stable {
+            db.put_attributes("d", name, &[add("t", "x")]).unwrap();
+        }
+        world.settle();
+
+        let mut names = Vec::new();
+        let mut token: Option<String> = None;
+        let mut round = 0u32;
+        loop {
+            let r = db
+                .select(
+                    "select itemName() from d where t = 'x' limit 7",
+                    token.as_deref(),
+                )
+                .unwrap();
+            names.extend(r.items.into_iter().map(|i| i.name));
+            db.put_attributes("d", &format!("mid-churn{round:02}"), &[add("t", "x")])
+                .unwrap();
+            if round > 0 {
+                db.delete_attributes("d", &format!("mid-churn{:02}", round - 1), None)
+                    .unwrap();
+            }
+            round += 1;
+            match r.next_token {
+                Some(t) => token = Some(t),
+                None => break,
+            }
+        }
+
+        let mut seen = std::collections::BTreeSet::new();
+        for name in &names {
+            assert!(seen.insert(name.clone()), "seed {seed}: duplicate {name}");
+        }
+        for name in &stable {
+            assert!(
+                seen.contains(name),
+                "seed {seed}: stable item {name} skipped"
+            );
+        }
+    }
+}
+
+#[test]
+fn pinned_replicas_keep_one_scan_on_one_view_per_shard() {
+    // A token pins a replica per shard; a scan started after settling
+    // must therefore see exactly the settled state even if fresh writes
+    // land mid-scan (they may appear, but the settled items cannot
+    // flicker out page-to-page under replica resampling).
+    let (world, db) = eventual_sharded(5, 4);
+    for i in 0..20 {
+        db.put_attributes("d", &format!("i{i:02}"), &[add("t", "x")])
+            .unwrap();
+    }
+    world.settle();
+    for trial in 0..16 {
+        let names = scan_with_churn(&db, 3, |_| {});
+        assert_eq!(names.len(), 20, "trial {trial}: settled scan is complete");
+    }
 }

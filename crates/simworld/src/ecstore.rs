@@ -98,13 +98,27 @@ impl<K: Ord + Clone, V: Clone> EcMap<K, V> {
     /// Applies a write (`Some`) or delete (`None`) at the current virtual
     /// time, with per-replica propagation sampled from `world`.
     pub fn write(&mut self, world: &SimWorld, key: K, value: Option<V>) {
+        self.write_at(world.now(), world.sample_visibility(), key, value);
+    }
+
+    /// Applies a write with an explicit propagation schedule: replica `i`
+    /// starts serving the write at `visible_at[i]`. This is the
+    /// deterministic core of [`EcMap::write`]; tests (notably the
+    /// compaction-invariant proptest) use it to inject adversarial
+    /// schedules without going through the world RNG.
+    pub fn write_at(
+        &mut self,
+        now: SimInstant,
+        visible_at: Vec<SimInstant>,
+        key: K,
+        value: Option<V>,
+    ) {
         self.next_seq += 1;
         let write = Write {
             seq: self.next_seq,
-            visible_at: world.sample_visibility(),
+            visible_at,
             value,
         };
-        let now = world.now();
         let cell = self
             .cells
             .entry(key)
@@ -116,8 +130,13 @@ impl<K: Ord + Clone, V: Clone> EcMap<K, V> {
     /// Serves a read from a randomly chosen replica; may return stale
     /// state under eventual consistency.
     pub fn read(&self, world: &SimWorld, key: &K) -> Option<V> {
-        let replica = world.sample_read_replica();
-        let now = world.now();
+        self.read_on(world.sample_read_replica(), world.now(), key)
+    }
+
+    /// Serves a read from an explicitly chosen replica at an explicit
+    /// instant. A paginated scan that pins one replica per shard uses
+    /// this to keep every page of one logical scan on the same view.
+    pub fn read_on(&self, replica: usize, now: SimInstant, key: &K) -> Option<V> {
         self.cells
             .get(key)?
             .visible(replica, now)
@@ -161,8 +180,11 @@ impl<K: Ord + Clone, V: Clone> EcMap<K, V> {
     /// [`EcMap::visible_entries`] when values are heavyweight, which is
     /// what makes paginated LIST/Query over large stores affordable.
     pub fn visible_keys(&self, world: &SimWorld) -> Vec<K> {
-        let replica = world.sample_read_replica();
-        let now = world.now();
+        self.visible_keys_on(world.sample_read_replica(), world.now())
+    }
+
+    /// [`EcMap::visible_keys`] on an explicitly chosen replica.
+    pub fn visible_keys_on(&self, replica: usize, now: SimInstant) -> Vec<K> {
         self.cells
             .iter()
             .filter_map(|(k, c)| {
@@ -176,8 +198,11 @@ impl<K: Ord + Clone, V: Clone> EcMap<K, V> {
     /// One replica's view of the whole map, as a simulated `LIST` would
     /// see it: a single replica is sampled for the entire scan.
     pub fn visible_entries(&self, world: &SimWorld) -> Vec<(K, V)> {
-        let replica = world.sample_read_replica();
-        let now = world.now();
+        self.visible_entries_on(world.sample_read_replica(), world.now())
+    }
+
+    /// [`EcMap::visible_entries`] on an explicitly chosen replica.
+    pub fn visible_entries_on(&self, replica: usize, now: SimInstant) -> Vec<(K, V)> {
         self.cells
             .iter()
             .filter_map(|(k, c)| {
@@ -186,6 +211,76 @@ impl<K: Ord + Clone, V: Clone> EcMap<K, V> {
                     .map(|v| (k.clone(), v))
             })
             .collect()
+    }
+
+    /// Up to `limit` live entries visible on `replica`, in key order,
+    /// strictly after `after` (`None` starts from the beginning), keeping
+    /// only entries `pred` accepts. This is the per-shard building block
+    /// of cursor-based pagination: resuming strictly after the last key
+    /// served can neither skip nor duplicate a key, no matter what was
+    /// inserted or deleted between pages.
+    ///
+    /// Also returns how many cells the scan examined, so callers can
+    /// charge a scan cost proportional to work done, not results
+    /// returned.
+    pub fn visible_page_on<F>(
+        &self,
+        replica: usize,
+        now: SimInstant,
+        after: Option<&K>,
+        limit: usize,
+        mut pred: F,
+    ) -> (Vec<(K, V)>, u64)
+    where
+        F: FnMut(&K, &V) -> bool,
+    {
+        use std::ops::Bound;
+        let range = match after {
+            Some(k) => (Bound::Excluded(k), Bound::Unbounded),
+            None => (Bound::Unbounded, Bound::Unbounded),
+        };
+        let mut scanned = 0u64;
+        let mut out = Vec::new();
+        for (k, c) in self.cells.range::<K, _>(range) {
+            scanned += 1;
+            let Some(v) = c.visible(replica, now).and_then(|w| w.value.as_ref()) else {
+                continue;
+            };
+            if !pred(k, v) {
+                continue;
+            }
+            out.push((k.clone(), v.clone()));
+            if out.len() >= limit {
+                break;
+            }
+        }
+        (out, scanned)
+    }
+
+    /// Number of cells currently stored, live or tombstoned — the rows
+    /// a full scan examines.
+    pub fn cell_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Counts the live entries visible on `replica` that `pred` accepts,
+    /// without cloning any value — the engine under `count(*)`. Returns
+    /// `(matches, cells examined)`.
+    pub fn visible_count_on<F>(&self, replica: usize, now: SimInstant, mut pred: F) -> (u64, u64)
+    where
+        F: FnMut(&K, &V) -> bool,
+    {
+        let mut matched = 0u64;
+        let mut scanned = 0u64;
+        for (k, c) in &self.cells {
+            scanned += 1;
+            if let Some(v) = c.visible(replica, now).and_then(|w| w.value.as_ref()) {
+                if pred(k, v) {
+                    matched += 1;
+                }
+            }
+        }
+        (matched, scanned)
     }
 
     /// Drops tombstoned keys whose deletion has reached every replica and

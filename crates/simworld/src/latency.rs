@@ -20,6 +20,11 @@ pub struct ServiceLatency {
     pub per_8kb: SimDuration,
     /// Uniform jitter in `[0, jitter]` added per request.
     pub jitter: SimDuration,
+    /// Server-side cost per row a scan examines. Unlike the transfer
+    /// term this parallelises across storage partitions: a sharded
+    /// query charges the *largest partition's share* of the scan (see
+    /// [`LatencyModel::sample_scan`]).
+    pub per_scanned_row: SimDuration,
 }
 
 /// Latency model for the whole cloud.
@@ -44,16 +49,21 @@ impl Default for LatencyModel {
                 base: SimDuration::from_millis(40),
                 per_8kb: SimDuration::from_micros(800),
                 jitter: SimDuration::from_millis(10),
+                per_scanned_row: SimDuration::from_micros(20),
             },
             simpledb: ServiceLatency {
                 base: SimDuration::from_millis(50),
                 per_8kb: SimDuration::from_millis(2),
                 jitter: SimDuration::from_millis(15),
+                per_scanned_row: SimDuration::from_micros(50),
             },
             sqs: ServiceLatency {
                 base: SimDuration::from_millis(30),
                 per_8kb: SimDuration::from_millis(1),
                 jitter: SimDuration::from_millis(8),
+                // No SQS op is scan-priced yet: receives go through
+                // `record_op`, which ignores this term.
+                per_scanned_row: SimDuration::ZERO,
             },
         }
     }
@@ -67,6 +77,7 @@ impl LatencyModel {
             base: SimDuration::ZERO,
             per_8kb: SimDuration::ZERO,
             jitter: SimDuration::ZERO,
+            per_scanned_row: SimDuration::ZERO,
         };
         LatencyModel {
             s3: z,
@@ -93,6 +104,26 @@ impl LatencyModel {
             (p.jitter.as_micros() as f64 * jitter_draw.clamp(0.0, 1.0)) as u64,
         );
         p.base + p.per_8kb.saturating_mul(chunks) + jitter
+    }
+
+    /// Latency of a scanning call (`Query`/`Select`/`LIST`) whose
+    /// server-side partitions scan in parallel. `scan_share_rows` is
+    /// the rows the *largest* partition examined — the caller knows the
+    /// real per-partition split, and elapsed time follows the slowest
+    /// partition, so a skewed shard layout is charged honestly. The
+    /// base round trip, the client-bound transfer term and the jitter
+    /// stay serial. This is where sharding buys virtual-time query
+    /// speedup.
+    pub fn sample_scan(
+        &self,
+        op: Op,
+        payload_bytes: u64,
+        scan_share_rows: u64,
+        jitter_draw: f64,
+    ) -> SimDuration {
+        let p = self.service(op.service());
+        self.sample(op, payload_bytes, jitter_draw)
+            + p.per_scanned_row.saturating_mul(scan_share_rows)
     }
 }
 

@@ -128,6 +128,11 @@ pub struct ServiceMeter {
     pub bytes_out: u64,
     /// Bytes currently stored (gauge, not a counter).
     pub stored_bytes: u64,
+    /// How many operations touched each storage shard of the service
+    /// (sharded backends only; single-shard ops land on shard 0). A
+    /// point read/write touches one shard; a fan-out query touches all
+    /// of them — the skew of this map is the load-balance picture.
+    pub shard_ops: BTreeMap<u32, u64>,
 }
 
 impl ServiceMeter {
@@ -139,6 +144,11 @@ impl ServiceMeter {
     /// Count for one op kind.
     pub fn op_count(&self, op: Op) -> u64 {
         self.ops.get(&op).copied().unwrap_or(0)
+    }
+
+    /// Operations that touched one shard.
+    pub fn shard_op_count(&self, shard: u32) -> u64 {
+        self.shard_ops.get(&shard).copied().unwrap_or(0)
     }
 }
 
@@ -162,6 +172,17 @@ impl MeterBook {
         *meter.ops.entry(op).or_insert(0) += 1;
         meter.bytes_in += bytes_in;
         meter.bytes_out += bytes_out;
+    }
+
+    /// Records that an operation touched `shard` of `service`'s storage.
+    /// Point ops report their single shard; fan-out queries report every
+    /// shard they read.
+    pub fn record_shard_touch(&mut self, service: Service, shard: u32) {
+        *self
+            .service_mut(service)
+            .shard_ops
+            .entry(shard)
+            .or_insert(0) += 1;
     }
 
     /// Adjusts the stored-bytes gauge for `service` by `delta`.
@@ -270,6 +291,11 @@ impl MeterSnapshot {
         self.book.service(service)
     }
 
+    /// Operations that touched one storage shard of `service`.
+    pub fn shard_op_count(&self, service: Service, shard: u32) -> u64 {
+        self.book.service(service).shard_op_count(shard)
+    }
+
     /// Iterates `(op, count)` over every nonzero counter.
     pub fn iter_ops(&self) -> impl Iterator<Item = (Op, u64)> + '_ {
         Service::ALL
@@ -296,6 +322,12 @@ impl Sub for MeterSnapshot {
                 .ops
                 .iter()
                 .map(|(op, n)| (*op, n.saturating_sub(then.op_count(*op))))
+                .filter(|(_, n)| *n > 0)
+                .collect();
+            meter.shard_ops = now
+                .shard_ops
+                .iter()
+                .map(|(shard, n)| (*shard, n.saturating_sub(then.shard_op_count(*shard))))
                 .filter(|(_, n)| *n > 0)
                 .collect();
         }
@@ -393,6 +425,22 @@ mod tests {
             format_bytes((1.27 * 1024.0 * 1024.0 * 1024.0) as u64),
             "1.27GB"
         );
+    }
+
+    #[test]
+    fn shard_touches_accumulate_and_subtract() {
+        let mut book = MeterBook::new();
+        book.record_shard_touch(Service::SimpleDb, 0);
+        book.record_shard_touch(Service::SimpleDb, 3);
+        book.record_shard_touch(Service::SimpleDb, 3);
+        let mid = book.snapshot();
+        assert_eq!(mid.shard_op_count(Service::SimpleDb, 3), 2);
+        assert_eq!(mid.shard_op_count(Service::SimpleDb, 1), 0);
+        assert_eq!(mid.shard_op_count(Service::S3, 0), 0);
+        book.record_shard_touch(Service::SimpleDb, 3);
+        let phase = book.snapshot() - mid;
+        assert_eq!(phase.shard_op_count(Service::SimpleDb, 3), 1);
+        assert_eq!(phase.shard_op_count(Service::SimpleDb, 0), 0);
     }
 
     #[test]

@@ -196,6 +196,38 @@ impl SimWorld {
         st.now += latency;
     }
 
+    /// Records a billable scanning API call (e.g. a sharded
+    /// `Query`/`Select`): meters like [`SimWorld::record_op`], but the
+    /// clock additionally advances by the server-side scan cost of
+    /// `scan_share_rows` — the rows the largest partition examined,
+    /// since partitions scan in parallel and the slowest one gates the
+    /// response.
+    pub fn record_scan(&self, op: Op, bytes_in: u64, bytes_out: u64, scan_share_rows: u64) {
+        let mut st = self.inner.lock();
+        st.meters.record(op, bytes_in, bytes_out);
+        let draw: f64 = st.rng.gen();
+        let latency =
+            st.config
+                .latency
+                .sample_scan(op, bytes_in + bytes_out, scan_share_rows, draw);
+        st.now += latency;
+    }
+
+    /// Records that an operation touched one storage shard of `service`
+    /// (no billing, no clock movement — pure load accounting).
+    pub fn record_shard_touch(&self, service: Service, shard: u32) {
+        self.inner.lock().meters.record_shard_touch(service, shard);
+    }
+
+    /// Records that a fan-out operation touched every shard in
+    /// `0..shards` of `service`, under one lock acquisition.
+    pub fn record_shard_fanout(&self, service: Service, shards: u32) {
+        let mut st = self.inner.lock();
+        for shard in 0..shards {
+            st.meters.record_shard_touch(service, shard);
+        }
+    }
+
     /// Adjusts a service's stored-bytes gauge.
     pub fn adjust_stored(&self, service: Service, delta: i64) {
         self.inner.lock().meters.adjust_stored(service, delta);
@@ -240,6 +272,14 @@ impl SimWorld {
         let mut st = self.inner.lock();
         let replicas = st.config.replicas.max(1);
         st.rng.gen_range(0..replicas)
+    }
+
+    /// Samples `n` independent read replicas under one lock acquisition
+    /// — one per shard of a fan-out scan.
+    pub fn sample_read_replicas(&self, n: usize) -> Vec<usize> {
+        let mut st = self.inner.lock();
+        let replicas = st.config.replicas.max(1);
+        (0..n).map(|_| st.rng.gen_range(0..replicas)).collect()
     }
 
     /// Declares a protocol step boundary; returns `Err` if a test armed a

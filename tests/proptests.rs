@@ -18,7 +18,7 @@
 use pass_cloud::cloud::{encode_metadata, encode_records, CloudError, WalRecord};
 use pass_cloud::pass::{FileFlush, ObjectRef, ProvenanceRecord};
 use pass_cloud::simworld::{
-    Blob, Consistency, EcMap, LatencyModel, Md5, SimConfig, SimDuration, SimWorld,
+    Blob, Consistency, EcMap, LatencyModel, Md5, SimConfig, SimDuration, SimInstant, SimWorld,
 };
 use proptest::prelude::*;
 
@@ -104,6 +104,53 @@ proptest! {
             map.write(&world, "k", Some(*w));
             if let Some(got) = map.read(&world, &"k") {
                 prop_assert!(writes.contains(&got));
+            }
+        }
+    }
+
+    #[test]
+    fn ecmap_compaction_never_hides_a_servable_write(
+        ops in proptest::collection::vec(
+            ((0u64..4, 0u64..3, any::<u16>()), (0u64..5_000, 0u64..5_000, 0u64..5_000)),
+            1..50,
+        ),
+    ) {
+        // `EcMap::write` compacts eagerly on every write. The invariant
+        // that makes this safe: compaction must never drop a write some
+        // replica would still serve. Pin it by replaying an arbitrary
+        // op sequence — writes, deletes, clock advances, adversarial
+        // (even out-of-order) propagation schedules — against a shadow
+        // that keeps the full, uncompacted history, and demanding every
+        // replica's view of every key agree after every step.
+        const REPLICAS: usize = 3;
+        let ms = SimDuration::from_millis;
+        let mut now = SimInstant::EPOCH;
+        let mut map: EcMap<u64, u16> = EcMap::new();
+        type History = Vec<(Vec<SimInstant>, Option<u16>)>;
+        let mut shadow: std::collections::BTreeMap<u64, History> =
+            std::collections::BTreeMap::new();
+        for ((key, kind, value), (l0, l1, l2)) in ops {
+            match kind {
+                0 | 1 => {
+                    let value = (kind == 0).then_some(value);
+                    let visible_at = vec![now + ms(l0), now + ms(l1), now + ms(l2)];
+                    map.write_at(now, visible_at.clone(), key, value);
+                    shadow.entry(key).or_default().push((visible_at, value));
+                }
+                _ => {
+                    now += ms(l0);
+                    map.gc(now);
+                }
+            }
+            for (k, history) in &shadow {
+                for replica in 0..REPLICAS {
+                    let expect = history
+                        .iter()
+                        .rev()
+                        .find(|(visible_at, _)| visible_at[replica] <= now)
+                        .and_then(|(_, v)| *v);
+                    prop_assert_eq!(map.read_on(replica, now, k), expect);
+                }
             }
         }
     }
