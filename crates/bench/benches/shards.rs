@@ -1,8 +1,9 @@
-//! Criterion bench: the multi-thread query/select burst at three shard
-//! counts — the wall-clock view of per-shard locking.
+//! Criterion bench: the multi-thread query/select and S3 LIST/GET
+//! bursts at three shard counts — the wall-clock view of per-shard
+//! locking.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use prov_bench::shardbench::{burst, prepare};
+use prov_bench::shardbench::{burst, prepare, prepare_s3, s3_burst};
 use workloads::Combined;
 
 fn bench_shard_scaling(c: &mut Criterion) {
@@ -21,5 +22,20 @@ fn bench_shard_scaling(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_shard_scaling);
+fn bench_s3_shard_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("s3_shard_scaling");
+    group.sample_size(10);
+    for shards in [1usize, 4, 16] {
+        let (_, s3) = prepare_s3(shards, 400).expect("fill bucket");
+        group.bench_function(BenchmarkId::new("list_get_burst_4thr", shards), |b| {
+            b.iter(|| {
+                let (hits, _) = s3_burst(&s3, 400, 4, 6);
+                assert!(hits > 0);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_shard_scaling, bench_s3_shard_scaling);
 criterion_main!(benches);

@@ -1,17 +1,22 @@
-//! Shard-scaling bench: multi-thread `Query`/`Select` throughput as the
-//! SimpleDB shard count grows.
+//! Shard-scaling bench: throughput and deterministic virtual-time
+//! latency as the shard/queue count grows, for each sharded backend.
 //!
 //! Usage: `cargo run --release -p prov-bench --bin shards
-//!         [--smoke] [--threads=N] [--queries=N]
+//!         [--mode=simpledb|s3|sqs|all] [--smoke]
+//!         [--threads=N] [--queries=N]
 //!         [--scale=small|medium|paper]`
 //!
 //! `--smoke` runs a seconds-scale sweep for CI: it checks that the
-//! sweep completes and that result counts agree across shard counts
-//! (shard layout must never change query semantics). The full run's
-//! numbers are committed to `BASELINE.md`.
+//! sweep completes, that result counts agree across shard/queue layouts
+//! (layout must never change semantics), and that the virtual-time
+//! latency of the sharded class falls as the layout spreads. The full
+//! run's numbers are committed to `BASELINE.md`.
 
 use prov_bench::shardbench::{
-    render, render_virtual, shard_scaling, virtual_scaling, DEFAULT_SHARD_COUNTS,
+    render, render_s3_virtual, render_s3_wall, render_sqs_virtual, render_sqs_wall, render_virtual,
+    s3_scaling, s3_virtual_scaling, shard_scaling, sqs_scaling, sqs_virtual_scaling,
+    virtual_scaling, DEFAULT_QUEUE_COUNTS, DEFAULT_S3_OBJECTS, DEFAULT_SHARD_COUNTS,
+    DEFAULT_SQS_MESSAGES,
 };
 use workloads::Combined;
 
@@ -21,32 +26,38 @@ fn parse_flag(args: &[String], prefix: &str, default: usize) -> usize {
         .unwrap_or(default)
 }
 
-fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let smoke = args.iter().any(|a| a == "--smoke");
+fn parse_mode(args: &[String]) -> String {
+    args.iter()
+        .find_map(|a| a.strip_prefix("--mode=").map(str::to_string))
+        .unwrap_or_else(|| "simpledb".to_string())
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(1);
+}
+
+fn run_simpledb(args: &[String], smoke: bool) {
     let (shard_counts, threads, queries): (&[usize], usize, usize) = if smoke {
-        (&[1, 4, 16], 2, parse_flag(&args, "--queries=", 6))
+        (&[1, 4, 16], 2, parse_flag(args, "--queries=", 6))
     } else {
         (
             DEFAULT_SHARD_COUNTS,
-            parse_flag(&args, "--threads=", 4),
-            parse_flag(&args, "--queries=", 60),
+            parse_flag(args, "--threads=", 4),
+            parse_flag(args, "--queries=", 60),
         )
     };
     let dataset = if smoke {
         Combined::small()
     } else if args.iter().any(|a| a.starts_with("--scale=")) {
-        prov_bench::parse_scale(&args).dataset()
+        prov_bench::parse_scale(args).dataset()
     } else {
         Combined::medium()
     };
 
     let vrows = match virtual_scaling(&dataset, shard_counts, queries) {
         Ok(rows) => rows,
-        Err(e) => {
-            eprintln!("shard bench (virtual) failed: {e}");
-            std::process::exit(1);
-        }
+        Err(e) => fail(&format!("shard bench (virtual) failed: {e}")),
     };
     print!("{}", render_virtual(&vrows));
     println!();
@@ -64,19 +75,117 @@ fn main() {
                     .windows(2)
                     .all(|w| w[1].avg_query_ms < w[0].avg_query_ms);
                 if !wall_ok {
-                    eprintln!("smoke check failed: hit counts diverged across shard counts");
-                    std::process::exit(1);
+                    fail("smoke check failed: hit counts diverged across shard counts");
                 }
                 if !virt_ok {
-                    eprintln!("smoke check failed: virtual latency did not fall with shards");
-                    std::process::exit(1);
+                    fail("smoke check failed: virtual latency did not fall with shards");
                 }
                 println!("smoke ok: hits agree; virtual query latency falls as shards grow");
             }
         }
-        Err(e) => {
-            eprintln!("shard bench failed: {e}");
-            std::process::exit(1);
+        Err(e) => fail(&format!("shard bench failed: {e}")),
+    }
+}
+
+fn run_s3(args: &[String], smoke: bool) {
+    let (shard_counts, objects, threads, ops): (&[usize], usize, usize, usize) = if smoke {
+        (&[1, 4, 16], 400, 2, 8)
+    } else {
+        (
+            DEFAULT_SHARD_COUNTS,
+            parse_flag(args, "--objects=", DEFAULT_S3_OBJECTS),
+            parse_flag(args, "--threads=", 4),
+            parse_flag(args, "--queries=", 40),
+        )
+    };
+    let vrows = match s3_virtual_scaling(shard_counts, objects, ops) {
+        Ok(rows) => rows,
+        Err(e) => fail(&format!("s3 shard bench (virtual) failed: {e}")),
+    };
+    print!("{}", render_s3_virtual(&vrows));
+    println!();
+    match s3_scaling(shard_counts, objects, threads, ops) {
+        Ok(rows) => {
+            print!("{}", render_s3_wall(&rows, threads));
+            println!(
+                "(wall-clock scaling needs real cores; virtual time is the deterministic view)"
+            );
+            if smoke {
+                let hits_ok = vrows.windows(2).all(|w| w[0].hits == w[1].hits)
+                    && rows.windows(2).all(|w| w[0].hits == w[1].hits)
+                    && vrows.iter().all(|r| r.hits > 0);
+                let virt_ok = vrows.windows(2).all(|w| w[1].list_op_ms < w[0].list_op_ms);
+                if !hits_ok {
+                    fail("smoke check failed: S3 hit counts diverged across shard counts");
+                }
+                if !virt_ok {
+                    fail("smoke check failed: S3 LIST latency did not fall with shards");
+                }
+                println!("smoke ok: hits agree; virtual LIST latency falls as shards grow");
+            }
         }
+        Err(e) => fail(&format!("s3 shard bench failed: {e}")),
+    }
+}
+
+fn run_sqs(args: &[String], smoke: bool) {
+    let (queue_counts, messages, threads): (&[usize], usize, usize) = if smoke {
+        (&[1, 2, 4], 480, 2)
+    } else {
+        (
+            DEFAULT_QUEUE_COUNTS,
+            parse_flag(args, "--messages=", DEFAULT_SQS_MESSAGES),
+            parse_flag(args, "--threads=", 4),
+        )
+    };
+    let vrows = match sqs_virtual_scaling(queue_counts, messages) {
+        Ok(rows) => rows,
+        Err(e) => fail(&format!("sqs queue bench (virtual) failed: {e}")),
+    };
+    print!("{}", render_sqs_virtual(&vrows));
+    println!();
+    match sqs_scaling(queue_counts, messages, threads) {
+        Ok(rows) => {
+            print!("{}", render_sqs_wall(&rows, threads));
+            println!(
+                "(wall-clock scaling needs real cores; virtual time is the deterministic view)"
+            );
+            if smoke {
+                let lossless = vrows.iter().all(|r| r.received == r.messages)
+                    && rows.iter().all(|r| r.received == r.messages);
+                let virt_ok = vrows
+                    .windows(2)
+                    .all(|w| w[1].avg_receive_ms < w[0].avg_receive_ms);
+                if !lossless {
+                    fail("smoke check failed: an SQS sweep lost messages");
+                }
+                if !virt_ok {
+                    fail("smoke check failed: SQS receive latency did not fall with queues");
+                }
+                println!("smoke ok: sweeps lossless; receive latency falls as queues grow");
+            }
+        }
+        Err(e) => fail(&format!("sqs queue bench failed: {e}")),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let mode = parse_mode(&args);
+    match mode.as_str() {
+        "simpledb" => run_simpledb(&args, smoke),
+        "s3" => run_s3(&args, smoke),
+        "sqs" => run_sqs(&args, smoke),
+        "all" => {
+            run_simpledb(&args, smoke);
+            println!();
+            run_s3(&args, smoke);
+            println!();
+            run_sqs(&args, smoke);
+        }
+        other => fail(&format!(
+            "unknown mode {other:?}; expected simpledb|s3|sqs|all"
+        )),
     }
 }

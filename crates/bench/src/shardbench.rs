@@ -1,30 +1,57 @@
-//! Shard-scaling experiment: multi-thread `Query`/`Select` throughput
-//! against the SimpleDB shard count.
+//! Shard-scaling experiments: multi-thread throughput and deterministic
+//! virtual-time latency against the shard/queue count, for all three
+//! sharded backends.
 //!
-//! The tentpole claim behind the sharded `sim-simpledb` is that hash
-//! sharding with per-shard locks unlocks parallel query/select: with one
-//! shard every scan serialises on one lock, with N shards concurrent
-//! scans interleave across shards. This harness measures exactly that —
-//! a fixed workload corpus, T OS threads issuing the paper's style of
-//! provenance queries against shared [`SimpleDb`] handles, wall-clock
-//! throughput per shard count.
+//! The tentpole claim behind per-shard locking is that it unlocks
+//! parallel service paths: with one global lock every call serialises,
+//! with N shards (SimpleDB domains, S3 buckets) or per-queue locks (SQS)
+//! concurrent calls interleave. This harness measures that three ways —
+//! SimpleDB `Query`/`Select` bursts ([`shard_scaling`]), an S3
+//! LIST/GET/HEAD mix ([`s3_scaling`], [`s3_virtual_scaling`]) and an SQS
+//! multi-queue receive sweep ([`sqs_scaling`], [`sqs_virtual_scaling`]).
 //!
 //! Everything except the thread scheduling is deterministic (fixed
-//! dataset seed, strongly-consistent counting world), so the per-query
-//! *result* counts must agree across shard counts — the smoke test and
-//! the CI step assert that while the throughput column tells the
-//! scaling story.
+//! dataset seed, strongly-consistent worlds), so the per-call *result*
+//! counts must agree across shard/queue layouts — the smoke tests and
+//! the CI steps assert that while the throughput and virtual-latency
+//! columns tell the scaling story.
 
 use std::thread;
 use std::time::Instant;
 
 use provenance_cloud::{layout, ProvenanceStore, Result, S3SimpleDb};
+use sim_s3::{Metadata, S3};
 use sim_simpledb::SimpleDb;
-use simworld::{Consistency, LatencyModel, SimConfig, SimWorld};
+use sim_sqs::Sqs;
+use simworld::{Blob, Consistency, LatencyModel, SimConfig, SimDuration, SimWorld};
 use workloads::Combined;
 
 /// The shard counts the scaling sweep visits by default.
 pub const DEFAULT_SHARD_COUNTS: &[usize] = &[1, 2, 4, 8, 16];
+
+/// The queue counts the SQS multi-queue sweep visits by default.
+pub const DEFAULT_QUEUE_COUNTS: &[usize] = &[1, 2, 4, 8];
+
+/// Objects in the S3 sweep's bucket by default.
+pub const DEFAULT_S3_OBJECTS: usize = 2000;
+
+/// Messages spread over the SQS sweep's queues by default.
+pub const DEFAULT_SQS_MESSAGES: usize = 2400;
+
+/// Bucket the S3 sweep fills.
+const S3_BENCH_BUCKET: &str = "shardbench";
+
+/// A fresh world for virtual-time sweeps: strong consistency so results
+/// are layout-invariant, the default latency model so the virtual clock
+/// prices every call.
+fn virtual_world() -> SimWorld {
+    SimWorld::with_config(SimConfig {
+        seed: 2009,
+        consistency: Consistency::Strong,
+        latency: LatencyModel::default(),
+        replicas: 1,
+    })
+}
 
 /// One row of the scaling table.
 #[derive(Clone, Debug)]
@@ -206,12 +233,7 @@ pub struct VirtualRow {
 ///
 /// Propagates service errors from the persist phase.
 pub fn prepare_virtual(shards: usize, dataset: &Combined) -> Result<(SimWorld, SimpleDb)> {
-    let world = SimWorld::with_config(SimConfig {
-        seed: 2009,
-        consistency: Consistency::Strong,
-        latency: LatencyModel::default(),
-        replicas: 1,
-    });
+    let world = virtual_world();
     let mut store = S3SimpleDb::with_shards(&world, shards);
     let (flushes, _) = dataset.flushes();
     for flush in &flushes {
@@ -292,6 +314,427 @@ pub fn render_virtual(rows: &[VirtualRow]) -> String {
     out
 }
 
+// --- S3 LIST/mixed sweep ---
+
+/// One row of the S3 scaling tables.
+#[derive(Clone, Debug)]
+pub struct S3Row {
+    /// Bucket shard count of this run.
+    pub shards: usize,
+    /// Operations issued.
+    pub ops: u64,
+    /// Total keys listed / objects fetched — identical across shard
+    /// counts for the same corpus, or sharding broke LIST semantics.
+    pub hits: u64,
+    /// Virtual time the whole mix consumed.
+    pub virtual_secs: f64,
+    /// Mean virtual milliseconds per operation.
+    pub avg_op_ms: f64,
+    /// Mean virtual milliseconds of the LIST class alone (single pages
+    /// and full `list_all` walks) — where the fan-out scan term pays.
+    pub list_op_ms: f64,
+    /// Wall-clock seconds of the multi-thread burst (0 for
+    /// virtual-only runs).
+    pub wall_secs: f64,
+}
+
+/// Fills a fresh `shards`-sharded bucket with `objects` small objects
+/// on a virtual-pricing world.
+///
+/// # Errors
+///
+/// Propagates S3 errors from the fill phase.
+pub fn prepare_s3(shards: usize, objects: usize) -> Result<(SimWorld, S3)> {
+    let world = virtual_world();
+    let s3 = S3::with_shards(&world, shards);
+    s3.create_bucket(S3_BENCH_BUCKET)?;
+    for i in 0..objects {
+        s3.put_object(
+            S3_BENCH_BUCKET,
+            &format!("obj/{i:05}"),
+            Blob::synthetic(i as u64, 256),
+            Metadata::new(),
+        )?;
+    }
+    Ok((world, s3))
+}
+
+/// One operation of the S3 mix, selected by `slot`: a single LIST page,
+/// a GET, a full paginated `list_all` walk, or a HEAD. Read-only, so
+/// bursts can share one corpus. Returns how many keys/objects came back.
+///
+/// # Errors
+///
+/// Propagates S3 errors.
+pub fn run_one_s3(s3: &S3, slot: usize, objects: usize) -> Result<u64> {
+    let key_of = |slot: usize| format!("obj/{:05}", (slot * 7919) % objects.max(1));
+    Ok(match slot % 4 {
+        0 => s3
+            .list_objects(S3_BENCH_BUCKET, "obj/", None, 1000)?
+            .objects
+            .len() as u64,
+        1 => {
+            s3.get_object(S3_BENCH_BUCKET, &key_of(slot))?;
+            1
+        }
+        2 => s3.list_all(S3_BENCH_BUCKET, "obj/")?.len() as u64,
+        _ => {
+            s3.head_object(S3_BENCH_BUCKET, &key_of(slot))?;
+            1
+        }
+    })
+}
+
+/// `true` for the slots of [`run_one_s3`] that are LIST-class.
+fn s3_list_class(slot: usize) -> bool {
+    slot.is_multiple_of(2)
+}
+
+/// Fires `threads × ops_per_thread` mixed S3 ops at shared clones of
+/// `s3` and returns `(total hits, wall seconds)`.
+pub fn s3_burst(s3: &S3, objects: usize, threads: usize, ops_per_thread: usize) -> (u64, f64) {
+    let start = Instant::now();
+    let hits = thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let s3 = s3.clone();
+                scope.spawn(move || -> u64 {
+                    (0..ops_per_thread)
+                        .map(|q| run_one_s3(&s3, t + q, objects).expect("bench op failed"))
+                        .sum()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("bench thread panicked"))
+            .sum()
+    });
+    (hits, start.elapsed().as_secs_f64())
+}
+
+/// The deterministic half of the S3 experiment: the same op mix, priced
+/// in virtual time. A sharded LIST charges the busiest shard's share of
+/// the index scan, so LIST-class virtual latency must fall as the shard
+/// count grows — on any host.
+///
+/// # Errors
+///
+/// Propagates S3 errors.
+pub fn s3_virtual_scaling(
+    shard_counts: &[usize],
+    objects: usize,
+    ops: usize,
+) -> Result<Vec<S3Row>> {
+    let mut rows = Vec::with_capacity(shard_counts.len());
+    for &shards in shard_counts {
+        let (world, s3) = prepare_s3(shards, objects)?;
+        let start = world.now();
+        let mut hits = 0u64;
+        let mut list_secs = 0.0f64;
+        let mut list_ops = 0u64;
+        for slot in 0..ops {
+            let before = world.now();
+            hits += run_one_s3(&s3, slot, objects)?;
+            if s3_list_class(slot) {
+                list_secs += (world.now() - before).as_secs_f64();
+                list_ops += 1;
+            }
+        }
+        let virtual_secs = (world.now() - start).as_secs_f64();
+        rows.push(S3Row {
+            shards,
+            ops: ops as u64,
+            hits,
+            virtual_secs,
+            avg_op_ms: virtual_secs * 1_000.0 / (ops as f64).max(1.0),
+            list_op_ms: list_secs * 1_000.0 / (list_ops as f64).max(1.0),
+            wall_secs: 0.0,
+        });
+    }
+    Ok(rows)
+}
+
+/// The wall-clock half: persist the corpus per shard count and fire the
+/// multi-thread mixed burst.
+///
+/// # Errors
+///
+/// Propagates S3 errors.
+pub fn s3_scaling(
+    shard_counts: &[usize],
+    objects: usize,
+    threads: usize,
+    ops_per_thread: usize,
+) -> Result<Vec<S3Row>> {
+    let mut rows = Vec::with_capacity(shard_counts.len());
+    for &shards in shard_counts {
+        let (_, s3) = prepare_s3(shards, objects)?;
+        let (hits, wall_secs) = s3_burst(&s3, objects, threads, ops_per_thread);
+        rows.push(S3Row {
+            shards,
+            ops: (threads * ops_per_thread) as u64,
+            hits,
+            virtual_secs: 0.0,
+            avg_op_ms: 0.0,
+            list_op_ms: 0.0,
+            wall_secs,
+        });
+    }
+    Ok(rows)
+}
+
+/// Renders the S3 virtual-time sweep with speedup columns against the
+/// single-shard row.
+pub fn render_s3_virtual(rows: &[S3Row]) -> String {
+    let mut out = String::new();
+    out.push_str("S3 virtual-time latency — LIST fan-out scan model, fixed corpus\n");
+    out.push_str(
+        "shards |  ops |    hits | virt (s) |  ms/op | speedup | list ms | list speedup\n",
+    );
+    out.push_str(
+        "-------|------|---------|----------|--------|---------|---------|-------------\n",
+    );
+    let base = rows.first().map(|r| r.avg_op_ms).unwrap_or(1.0);
+    let list_base = rows.first().map(|r| r.list_op_ms).unwrap_or(1.0);
+    for r in rows {
+        out.push_str(&format!(
+            "{:>6} | {:>4} | {:>7} | {:>8.2} | {:>6.2} | {:>6.2}x | {:>7.2} | {:>11.2}x\n",
+            r.shards,
+            r.ops,
+            r.hits,
+            r.virtual_secs,
+            r.avg_op_ms,
+            base / r.avg_op_ms.max(f64::EPSILON),
+            r.list_op_ms,
+            list_base / r.list_op_ms.max(f64::EPSILON),
+        ));
+    }
+    out
+}
+
+/// Renders the S3 wall-clock burst table.
+pub fn render_s3_wall(rows: &[S3Row], threads: usize) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "S3 wall-clock — {threads} threads, LIST/GET/HEAD mix, fixed corpus\n"
+    ));
+    out.push_str("shards |  ops |    hits | wall (s) |  ops/s\n");
+    out.push_str("-------|------|---------|----------|-------\n");
+    for r in rows {
+        out.push_str(&format!(
+            "{:>6} | {:>4} | {:>7} | {:>8.3} | {:>6.1}\n",
+            r.shards,
+            r.ops,
+            r.hits,
+            r.wall_secs,
+            r.ops as f64 / r.wall_secs.max(f64::EPSILON),
+        ));
+    }
+    out
+}
+
+// --- SQS multi-queue sweep ---
+
+/// One row of the SQS multi-queue tables.
+#[derive(Clone, Debug)]
+pub struct SqsRow {
+    /// Queue count the message load is spread over.
+    pub queues: usize,
+    /// Messages sent.
+    pub messages: u64,
+    /// Distinct messages received — must equal `messages` for every
+    /// layout, or queue spreading lost work.
+    pub received: u64,
+    /// Receive calls the sweep needed.
+    pub receives: u64,
+    /// Virtual time of the receive phase.
+    pub virtual_secs: f64,
+    /// Mean virtual milliseconds per receive call — the multi-queue
+    /// class: each queue's servers scan only that queue's messages, so
+    /// spreading load over more queues shrinks the busiest server's
+    /// share and this must fall.
+    pub avg_receive_ms: f64,
+    /// Wall-clock seconds of the multi-thread drain (0 for virtual-only
+    /// runs).
+    pub wall_secs: f64,
+}
+
+/// Creates `queues` queues on a virtual-pricing world and spreads
+/// `messages` messages over them round-robin. Visibility timeouts are
+/// set long so one receive sweep sees each message exactly once.
+///
+/// # Errors
+///
+/// Propagates SQS errors.
+pub fn prepare_sqs(queues: usize, messages: usize) -> Result<(SimWorld, Sqs, Vec<String>)> {
+    let world = virtual_world();
+    let sqs = Sqs::new(&world);
+    let urls: Vec<String> = (0..queues)
+        .map(|q| sqs.create_queue(format!("sweep-{q}")))
+        .collect();
+    for url in &urls {
+        sqs.set_visibility_timeout(url, SimDuration::from_secs(3600))?;
+    }
+    for i in 0..messages {
+        sqs.send_message(&urls[i % queues], format!("m{i:06}"))?;
+    }
+    Ok((world, sqs, urls))
+}
+
+/// Receives every message on `url` exactly once (long visibility
+/// timeout, no deletes — the paper's commit daemon scanning a deep WAL).
+/// Returns `(messages seen, receive calls)`.
+///
+/// # Errors
+///
+/// Propagates SQS errors.
+pub fn sweep_queue(sqs: &Sqs, url: &str, expected: usize) -> Result<(u64, u64)> {
+    let mut seen = std::collections::BTreeSet::new();
+    let mut receives = 0u64;
+    while seen.len() < expected {
+        receives += 1;
+        for msg in sqs.receive_message(url, 10)? {
+            seen.insert(msg.message_id);
+        }
+    }
+    Ok((seen.len() as u64, receives))
+}
+
+/// Messages queue `q` of `queues` holds after a round-robin spread of
+/// `messages` — the first `messages % queues` queues carry the
+/// remainder, so non-divisible loads are swept in full.
+fn queue_load(messages: usize, queues: usize, q: usize) -> usize {
+    messages / queues + usize::from(q < messages % queues)
+}
+
+/// The deterministic half of the SQS experiment: spread a fixed message
+/// load over more queues and sweep every queue. Each receive is charged
+/// the busiest sampled server's share of *its own queue's* messages, so
+/// the mean virtual receive latency must fall as the queue count grows.
+///
+/// # Errors
+///
+/// Propagates SQS errors.
+pub fn sqs_virtual_scaling(queue_counts: &[usize], messages: usize) -> Result<Vec<SqsRow>> {
+    let mut rows = Vec::with_capacity(queue_counts.len());
+    for &queues in queue_counts {
+        let (world, sqs, urls) = prepare_sqs(queues, messages)?;
+        let start = world.now();
+        let mut received = 0u64;
+        let mut receives = 0u64;
+        for (q, url) in urls.iter().enumerate() {
+            let (seen, calls) = sweep_queue(&sqs, url, queue_load(messages, queues, q))?;
+            received += seen;
+            receives += calls;
+        }
+        let virtual_secs = (world.now() - start).as_secs_f64();
+        rows.push(SqsRow {
+            queues,
+            messages: messages as u64,
+            received,
+            receives,
+            virtual_secs,
+            avg_receive_ms: virtual_secs * 1_000.0 / (receives as f64).max(1.0),
+            wall_secs: 0.0,
+        });
+    }
+    Ok(rows)
+}
+
+/// The wall-clock half: `threads` OS threads sweep disjoint queue
+/// subsets concurrently — with per-queue locks they no longer serialise
+/// on one service mutex.
+///
+/// # Errors
+///
+/// Propagates SQS errors.
+pub fn sqs_scaling(queue_counts: &[usize], messages: usize, threads: usize) -> Result<Vec<SqsRow>> {
+    let mut rows = Vec::with_capacity(queue_counts.len());
+    for &queues in queue_counts {
+        let (_, sqs, urls) = prepare_sqs(queues, messages)?;
+        let start = Instant::now();
+        let (received, receives) = thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads.min(queues))
+                .map(|t| {
+                    let sqs = sqs.clone();
+                    let urls = &urls;
+                    scope.spawn(move || -> (u64, u64) {
+                        let mut totals = (0u64, 0u64);
+                        let stride = threads.min(queues);
+                        for (q, url) in urls.iter().enumerate().skip(t).step_by(stride) {
+                            let (seen, calls) =
+                                sweep_queue(&sqs, url, queue_load(messages, queues, q))
+                                    .expect("sweep failed");
+                            totals.0 += seen;
+                            totals.1 += calls;
+                        }
+                        totals
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("bench thread panicked"))
+                .fold((0, 0), |acc, (s, c)| (acc.0 + s, acc.1 + c))
+        });
+        rows.push(SqsRow {
+            queues,
+            messages: messages as u64,
+            received,
+            receives,
+            virtual_secs: 0.0,
+            avg_receive_ms: 0.0,
+            wall_secs: start.elapsed().as_secs_f64(),
+        });
+    }
+    Ok(rows)
+}
+
+/// Renders the SQS virtual-time sweep with a speedup column on the
+/// receive class against the single-queue row.
+pub fn render_sqs_virtual(rows: &[SqsRow]) -> String {
+    let mut out = String::new();
+    out.push_str("SQS virtual-time receive latency — per-queue server scan, fixed load\n");
+    out.push_str("queues |  msgs | received | receives | virt (s) | ms/receive | speedup\n");
+    out.push_str("-------|-------|----------|----------|----------|------------|--------\n");
+    let base = rows.first().map(|r| r.avg_receive_ms).unwrap_or(1.0);
+    for r in rows {
+        out.push_str(&format!(
+            "{:>6} | {:>5} | {:>8} | {:>8} | {:>8.2} | {:>10.2} | {:>6.2}x\n",
+            r.queues,
+            r.messages,
+            r.received,
+            r.receives,
+            r.virtual_secs,
+            r.avg_receive_ms,
+            base / r.avg_receive_ms.max(f64::EPSILON),
+        ));
+    }
+    out
+}
+
+/// Renders the SQS wall-clock sweep table.
+pub fn render_sqs_wall(rows: &[SqsRow], threads: usize) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "SQS wall-clock — {threads} threads sweeping disjoint queues, fixed load\n"
+    ));
+    out.push_str("queues |  msgs | received | wall (s) | msgs/s\n");
+    out.push_str("-------|-------|----------|----------|-------\n");
+    for r in rows {
+        out.push_str(&format!(
+            "{:>6} | {:>5} | {:>8} | {:>8.3} | {:>6.1}\n",
+            r.queues,
+            r.messages,
+            r.received,
+            r.wall_secs,
+            r.received as f64 / r.wall_secs.max(f64::EPSILON),
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -326,5 +769,50 @@ mod tests {
                 .all(|w| w[1].avg_query_ms < w[0].avg_query_ms),
             "virtual latency must fall as shards grow: {rows:?}"
         );
+    }
+
+    #[test]
+    fn s3_hits_agree_and_list_latency_falls() {
+        // LIST semantics must be independent of the bucket shard layout,
+        // while the fan-out scan term makes the LIST class faster.
+        let rows = s3_virtual_scaling(&[1, 4, 16], 400, 8).unwrap();
+        assert!(rows[0].hits > 0, "the op mix must return results");
+        assert!(
+            rows.windows(2).all(|w| w[0].hits == w[1].hits),
+            "hit counts diverged across shard counts: {rows:?}"
+        );
+        assert!(
+            rows.windows(2).all(|w| w[1].list_op_ms < w[0].list_op_ms),
+            "LIST-class virtual latency must fall as shards grow: {rows:?}"
+        );
+    }
+
+    #[test]
+    fn s3_wall_burst_hits_agree() {
+        let rows = s3_scaling(&[1, 16], 200, 2, 4).unwrap();
+        assert!(rows[0].hits > 0);
+        assert_eq!(rows[0].hits, rows[1].hits);
+    }
+
+    #[test]
+    fn sqs_sweep_is_lossless_and_receive_latency_falls() {
+        // Spreading a fixed load over more queues must lose nothing and
+        // must shrink the per-receive server-scan share.
+        let rows = sqs_virtual_scaling(&[1, 2, 4], 240).unwrap();
+        assert!(
+            rows.iter().all(|r| r.received == r.messages),
+            "a sweep lost messages: {rows:?}"
+        );
+        assert!(
+            rows.windows(2)
+                .all(|w| w[1].avg_receive_ms < w[0].avg_receive_ms),
+            "receive latency must fall as queues grow: {rows:?}"
+        );
+    }
+
+    #[test]
+    fn sqs_wall_sweep_is_lossless() {
+        let rows = sqs_scaling(&[2, 4], 160, 2).unwrap();
+        assert!(rows.iter().all(|r| r.received == r.messages), "{rows:?}");
     }
 }

@@ -58,9 +58,17 @@ pub struct StandaloneS3 {
 }
 
 impl StandaloneS3 {
-    /// Creates the store with its own S3 endpoint and bucket.
+    /// Creates the store with its own S3 endpoint and bucket (default
+    /// S3 shard count).
     pub fn new(world: &SimWorld) -> StandaloneS3 {
-        let s3 = S3::new(world);
+        StandaloneS3::with_shards(world, sim_s3::DEFAULT_SHARDS)
+    }
+
+    /// Creates the store with an S3 endpoint whose buckets are split
+    /// into `shards` hash shards — the knob behind the concurrent
+    /// multi-client experiments.
+    pub fn with_shards(world: &SimWorld, shards: usize) -> StandaloneS3 {
+        let s3 = S3::with_shards(world, shards);
         s3.create_bucket(BUCKET)
             .expect("fresh endpoint has no buckets");
         StandaloneS3::with_s3(world, &s3)

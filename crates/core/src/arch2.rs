@@ -98,11 +98,12 @@ impl S3SimpleDb {
         S3SimpleDb::with_shards(world, sim_simpledb::DEFAULT_SHARDS)
     }
 
-    /// Creates the store with fresh endpoints whose SimpleDB domains are
-    /// split into `shards` hash shards — the knob behind the parallel
-    /// query/select scaling experiments.
+    /// Creates the store with fresh endpoints whose SimpleDB domains
+    /// *and* S3 buckets are split into `shards` hash shards — the knob
+    /// behind the parallel query/select and multi-client scaling
+    /// experiments.
     pub fn with_shards(world: &SimWorld, shards: usize) -> S3SimpleDb {
-        let s3 = S3::new(world);
+        let s3 = S3::with_shards(world, shards);
         s3.create_bucket(BUCKET)
             .expect("fresh endpoint has no buckets");
         let db = SimpleDb::with_shards(world, shards);

@@ -403,10 +403,10 @@ impl S3SimpleDbSqs {
         S3SimpleDbSqs::with_shards(world, client_id, sim_simpledb::DEFAULT_SHARDS)
     }
 
-    /// Creates the store with fresh endpoints whose SimpleDB domains are
-    /// split into `shards` hash shards.
+    /// Creates the store with fresh endpoints whose SimpleDB domains
+    /// *and* S3 buckets are split into `shards` hash shards.
     pub fn with_shards(world: &SimWorld, client_id: &str, shards: usize) -> S3SimpleDbSqs {
-        let s3 = S3::new(world);
+        let s3 = S3::with_shards(world, shards);
         s3.create_bucket(BUCKET)
             .expect("fresh endpoint has no buckets");
         let db = SimpleDb::with_shards(world, shards);

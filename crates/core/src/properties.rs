@@ -76,11 +76,12 @@ impl ArchKind {
         self.build_with_shards(world, sim_simpledb::DEFAULT_SHARDS)
     }
 
-    /// Builds a store of this kind with an explicit SimpleDB shard count
-    /// (ignored by the standalone-S3 architecture, which has no index).
+    /// Builds a store of this kind with an explicit shard count, applied
+    /// to every sharded backend the architecture uses (S3 buckets, and
+    /// SimpleDB domains where present).
     pub fn build_with_shards(self, world: &SimWorld, shards: usize) -> Box<dyn ProvenanceStore> {
         match self {
-            ArchKind::S3 => Box::new(StandaloneS3::new(world)),
+            ArchKind::S3 => Box::new(StandaloneS3::with_shards(world, shards)),
             ArchKind::S3SimpleDb => Box::new(S3SimpleDb::with_shards(world, shards)),
             ArchKind::S3SimpleDbSqs => {
                 Box::new(S3SimpleDbSqs::with_shards(world, "prop-client", shards))

@@ -3,7 +3,8 @@
 //! An in-process object store reproducing the S3 semantics the paper
 //! *Making a Cloud Provenance-Aware* (TaPP '09) depends on:
 //!
-//! * objects from 1 byte to 5 GB, addressed `bucket/key`;
+//! * objects from 1 byte to 5 GB, addressed `bucket/key`, hash-sharded
+//!   per bucket behind per-shard locks ([`S3::with_shards`]);
 //! * up to **2 KB of user metadata** stored *atomically with* the object
 //!   on the same PUT — the foundation of the paper's Architecture 1;
 //! * `PUT`, `GET` (whole or ranged), `HEAD`, `COPY`, `DELETE`, `LIST`;
@@ -43,8 +44,8 @@ mod service;
 pub use error::{Result, S3Error};
 pub use metadata::{Metadata, METADATA_LIMIT};
 pub use service::{
-    Head, Listing, MetadataDirective, Object, ObjectSummary, MAX_KEY_LEN, MAX_LIST_KEYS,
-    MAX_OBJECT_SIZE, S3,
+    Head, Listing, MetadataDirective, Object, ObjectSummary, DEFAULT_SHARDS, MAX_KEY_LEN,
+    MAX_LIST_KEYS, MAX_OBJECT_SIZE, MAX_SHARDS, S3,
 };
 
 #[cfg(test)]

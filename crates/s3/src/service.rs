@@ -1,10 +1,31 @@
 //! The S3 service simulator.
+//!
+//! # Sharded storage layout
+//!
+//! Each bucket is partitioned into a fixed set of hash shards (default
+//! [`DEFAULT_SHARDS`], configurable via [`S3::with_shards`]); an object
+//! lives on the shard selected by an FNV-1a hash of its key. Every shard
+//! sits behind its own lock, so point operations (PUT/GET/HEAD/COPY/
+//! DELETE) contend only for one shard while LIST fans out across all
+//! shards and merges the per-shard key pages in lexicographic order —
+//! the same design the sharded SimpleDB simulator uses, extended here so
+//! the multi-client scaling experiments have a concurrent S3 substrate.
+//!
+//! # LIST consistency
+//!
+//! A LIST pins **one replica per shard** for the whole call: the key
+//! listing and the per-key sizes come from the same per-shard view, so a
+//! key counted toward the page cap can never vanish from the page.
+//! [`S3::list_all`] pins the replicas once for its *entire* internal
+//! pagination walk, so a marker-based scan is one coherent view per
+//! shard — a stale replica sampled mid-walk can no longer hide keys an
+//! earlier page's replica had already promised.
 
 use std::collections::BTreeMap;
 use std::ops::Range;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use serde::{Deserialize, Serialize};
 use simworld::{Blob, EcMap, Md5Digest, Op, Service, SimInstant, SimWorld};
 
@@ -19,6 +40,13 @@ pub const MAX_KEY_LEN: usize = 1024;
 
 /// Maximum keys returned per LIST page.
 pub const MAX_LIST_KEYS: usize = 1000;
+
+/// Default number of hash shards per bucket.
+pub const DEFAULT_SHARDS: usize = 16;
+
+/// Upper bound on shards per bucket (a sanity bound standing in for the
+/// real service's partitioning limits).
+pub const MAX_SHARDS: usize = 256;
 
 /// Approximate fixed response overhead per listed key (XML framing).
 const LIST_ENTRY_OVERHEAD: u64 = 64;
@@ -91,9 +119,31 @@ impl Stored {
     }
 }
 
-#[derive(Default)]
+/// One bucket: a fixed set of hash shards, each behind its own lock.
+struct Bucket {
+    shards: Vec<Mutex<EcMap<String, Stored>>>,
+}
+
+impl Bucket {
+    fn new(shard_count: usize) -> Bucket {
+        Bucket {
+            shards: (0..shard_count.clamp(1, MAX_SHARDS))
+                .map(|_| Mutex::new(EcMap::new()))
+                .collect(),
+        }
+    }
+
+    fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard_of(&self, key: &str) -> usize {
+        (simworld::fnv1a_64(key) % self.shards.len() as u64) as usize
+    }
+}
+
 struct Inner {
-    buckets: BTreeMap<String, EcMap<String, Stored>>,
+    buckets: RwLock<BTreeMap<String, Arc<Bucket>>>,
 }
 
 /// The simulated Simple Storage Service.
@@ -101,7 +151,8 @@ struct Inner {
 /// All clones share one backing store (they are handles to the same
 /// simulated service endpoint). Every operation is metered against the
 /// world's ledger and advances the virtual clock; reads are served from a
-/// sampled replica and may be stale under eventual consistency.
+/// sampled replica and may be stale under eventual consistency. Point
+/// operations lock only the hash shard their key lives on.
 ///
 /// # Examples
 ///
@@ -120,25 +171,44 @@ struct Inner {
 #[derive(Clone)]
 pub struct S3 {
     world: SimWorld,
-    inner: Arc<Mutex<Inner>>,
+    shard_count: usize,
+    inner: Arc<Inner>,
 }
 
 impl std::fmt::Debug for S3 {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let inner = self.inner.lock();
+        let buckets = self.inner.buckets.read();
         f.debug_struct("S3")
-            .field("buckets", &inner.buckets.len())
+            .field("buckets", &buckets.len())
+            .field("shards", &self.shard_count)
             .finish_non_exhaustive()
     }
 }
 
 impl S3 {
-    /// Connects a new simulated S3 endpoint to `world`.
+    /// Connects a new simulated S3 endpoint to `world` with
+    /// [`DEFAULT_SHARDS`] shards per bucket.
     pub fn new(world: &SimWorld) -> S3 {
+        S3::with_shards(world, DEFAULT_SHARDS)
+    }
+
+    /// Connects an endpoint whose buckets are split into `shards` hash
+    /// shards (clamped to `1..=`[`MAX_SHARDS`]). More shards mean less
+    /// lock contention between concurrent point operations and more
+    /// fan-out parallelism for LIST.
+    pub fn with_shards(world: &SimWorld, shards: usize) -> S3 {
         S3 {
             world: world.clone(),
-            inner: Arc::new(Mutex::new(Inner::default())),
+            shard_count: shards.clamp(1, MAX_SHARDS),
+            inner: Arc::new(Inner {
+                buckets: RwLock::new(BTreeMap::new()),
+            }),
         }
+    }
+
+    /// Hash shards per bucket on this endpoint.
+    pub fn shard_count(&self) -> usize {
+        self.shard_count
     }
 
     /// Creates a bucket.
@@ -152,18 +222,19 @@ impl S3 {
         if bucket.is_empty() || bucket.len() > 255 {
             return Err(S3Error::InvalidBucketName { bucket });
         }
-        let mut inner = self.inner.lock();
-        if inner.buckets.contains_key(&bucket) {
+        let mut buckets = self.inner.buckets.write();
+        if buckets.contains_key(&bucket) {
             return Err(S3Error::BucketAlreadyExists { bucket });
         }
         self.world.record_op(Op::S3Put, bucket.len() as u64, 0);
-        inner.buckets.insert(bucket, EcMap::new());
+        buckets.insert(bucket, Arc::new(Bucket::new(self.shard_count)));
         Ok(())
     }
 
     /// Stores an object, overwriting any existing object at the key.
     /// Data and metadata travel in the *same* request — the paper's
-    /// Architecture 1 leans on this for atomicity.
+    /// Architecture 1 leans on this for atomicity. Touches exactly one
+    /// shard.
     ///
     /// # Errors
     ///
@@ -183,8 +254,9 @@ impl S3 {
             return Err(S3Error::EntityTooLarge { size: body.len() });
         }
         metadata.check_limit()?;
-        let mut inner = self.inner.lock();
-        let map = bucket_mut(&mut inner, bucket)?;
+        let bkt = self.bucket(bucket)?;
+        let shard = bkt.shard_of(key);
+        let mut map = bkt.shards[shard].lock();
 
         let prev_footprint = map
             .read_latest(&key.to_string())
@@ -198,22 +270,28 @@ impl S3 {
         };
         let bytes_in = stored.footprint();
         self.world.record_op(Op::S3Put, bytes_in, 0);
+        self.world.record_shard_touch(Service::S3, shard as u32);
         self.world
             .adjust_stored(Service::S3, bytes_in as i64 - prev_footprint as i64);
         map.write(&self.world, key.to_string(), Some(stored));
         Ok(())
     }
 
-    /// Retrieves a whole object.
+    /// Retrieves a whole object. Touches exactly one shard.
     ///
     /// # Errors
     ///
     /// [`S3Error::NoSuchKey`] when absent *or not yet visible on the
     /// sampled replica* — retrying after the propagation lag succeeds.
     pub fn get_object(&self, bucket: &str, key: &str) -> Result<Object> {
-        let inner = self.inner.lock();
-        let map = bucket_ref(&inner, bucket)?;
-        let stored = map.read(&self.world, &key.to_string()).ok_or_else(|| {
+        let bkt = self.bucket(bucket)?;
+        let shard = bkt.shard_of(key);
+        self.world.record_shard_touch(Service::S3, shard as u32);
+        let stored = {
+            let map = bkt.shards[shard].lock();
+            map.read(&self.world, &key.to_string())
+        }
+        .ok_or_else(|| {
             self.world.record_op(Op::S3Get, 0, 0);
             S3Error::NoSuchKey {
                 bucket: bucket.to_string(),
@@ -238,9 +316,14 @@ impl S3 {
     /// [`S3Error::InvalidRange`] if the range does not fit the object;
     /// otherwise as [`S3::get_object`].
     pub fn get_object_range(&self, bucket: &str, key: &str, range: Range<u64>) -> Result<Object> {
-        let inner = self.inner.lock();
-        let map = bucket_ref(&inner, bucket)?;
-        let stored = map.read(&self.world, &key.to_string()).ok_or_else(|| {
+        let bkt = self.bucket(bucket)?;
+        let shard = bkt.shard_of(key);
+        self.world.record_shard_touch(Service::S3, shard as u32);
+        let stored = {
+            let map = bkt.shards[shard].lock();
+            map.read(&self.world, &key.to_string())
+        }
+        .ok_or_else(|| {
             self.world.record_op(Op::S3Get, 0, 0);
             S3Error::NoSuchKey {
                 bucket: bucket.to_string(),
@@ -266,15 +349,20 @@ impl S3 {
     }
 
     /// Retrieves only the metadata of an object — the sole provenance
-    /// "query" primitive Architecture 1 has.
+    /// "query" primitive Architecture 1 has. Touches exactly one shard.
     ///
     /// # Errors
     ///
     /// As [`S3::get_object`].
     pub fn head_object(&self, bucket: &str, key: &str) -> Result<Head> {
-        let inner = self.inner.lock();
-        let map = bucket_ref(&inner, bucket)?;
-        let stored = map.read(&self.world, &key.to_string()).ok_or_else(|| {
+        let bkt = self.bucket(bucket)?;
+        let shard = bkt.shard_of(key);
+        self.world.record_shard_touch(Service::S3, shard as u32);
+        let stored = {
+            let map = bkt.shards[shard].lock();
+            map.read(&self.world, &key.to_string())
+        }
+        .ok_or_else(|| {
             self.world.record_op(Op::S3Head, 0, 0);
             S3Error::NoSuchKey {
                 bucket: bucket.to_string(),
@@ -294,6 +382,8 @@ impl S3 {
     /// Server-side copy. Per the paper (§5), COPY is **not** billed for
     /// data transfer — only the operation itself — which is why
     /// Architecture 3's temp-object dance adds ops but no transfer bytes.
+    /// Locks the source shard, then the destination shard (never both at
+    /// once, so opposite-direction copies cannot deadlock).
     ///
     /// # Errors
     ///
@@ -312,16 +402,24 @@ impl S3 {
                 length: dst_key.len(),
             });
         }
-        let mut inner = self.inner.lock();
-        let src = bucket_ref_mutless(&inner, src_bucket)?
-            .read(&self.world, &src_key.to_string())
-            .ok_or_else(|| {
-                self.world.record_op(Op::S3Copy, 0, 0);
-                S3Error::NoSuchKey {
-                    bucket: src_bucket.to_string(),
-                    key: src_key.to_string(),
-                }
-            })?;
+        // Resolve both buckets before touching any state, so a copy
+        // into a missing bucket leaves no fingerprints (no shard touch,
+        // no RNG draw) on the simulation.
+        let src_bkt = self.bucket(src_bucket)?;
+        let dst_bkt = self.bucket(dst_bucket)?;
+        let src_shard = src_bkt.shard_of(src_key);
+        self.world.record_shard_touch(Service::S3, src_shard as u32);
+        let src = {
+            let map = src_bkt.shards[src_shard].lock();
+            map.read(&self.world, &src_key.to_string())
+        }
+        .ok_or_else(|| {
+            self.world.record_op(Op::S3Copy, 0, 0);
+            S3Error::NoSuchKey {
+                bucket: src_bucket.to_string(),
+                key: src_key.to_string(),
+            }
+        })?;
         let metadata = match directive {
             MetadataDirective::Copy => src.metadata.clone(),
             MetadataDirective::Replace(m) => {
@@ -329,7 +427,8 @@ impl S3 {
                 m
             }
         };
-        let dst_map = bucket_mut(&mut inner, dst_bucket)?;
+        let dst_shard = dst_bkt.shard_of(dst_key);
+        let mut dst_map = dst_bkt.shards[dst_shard].lock();
         let prev_footprint = dst_map
             .read_latest(&dst_key.to_string())
             .map(|s| s.footprint())
@@ -341,6 +440,7 @@ impl S3 {
             metadata,
         };
         self.world.record_op(Op::S3Copy, 0, 0);
+        self.world.record_shard_touch(Service::S3, dst_shard as u32);
         self.world.adjust_stored(
             Service::S3,
             stored.footprint() as i64 - prev_footprint as i64,
@@ -350,16 +450,18 @@ impl S3 {
     }
 
     /// Deletes an object. Idempotent: deleting an absent key succeeds,
-    /// as in the real service.
+    /// as in the real service. Touches exactly one shard.
     ///
     /// # Errors
     ///
     /// [`S3Error::NoSuchBucket`] only.
     pub fn delete_object(&self, bucket: &str, key: &str) -> Result<()> {
-        let mut inner = self.inner.lock();
-        let map = bucket_mut(&mut inner, bucket)?;
+        let bkt = self.bucket(bucket)?;
+        let shard = bkt.shard_of(key);
+        let mut map = bkt.shards[shard].lock();
         let prev = map.read_latest(&key.to_string()).map(|s| s.footprint());
         self.world.record_op(Op::S3Delete, 0, 0);
+        self.world.record_shard_touch(Service::S3, shard as u32);
         if let Some(footprint) = prev {
             self.world.adjust_stored(Service::S3, -(footprint as i64));
             map.write(&self.world, key.to_string(), None);
@@ -369,8 +471,8 @@ impl S3 {
 
     /// Lists keys (lexicographic) matching `prefix`, starting strictly
     /// after `marker`, up to `max_keys` (capped at [`MAX_LIST_KEYS`]).
-    /// The listing itself is eventually consistent: it reflects one
-    /// sampled replica.
+    /// The listing is eventually consistent: it reflects one sampled
+    /// replica per shard, pinned for the whole call.
     ///
     /// # Errors
     ///
@@ -382,59 +484,29 @@ impl S3 {
         marker: Option<&str>,
         max_keys: usize,
     ) -> Result<Listing> {
-        let inner = self.inner.lock();
-        let map = bucket_ref(&inner, bucket)?;
-        let cap = max_keys.clamp(1, MAX_LIST_KEYS);
-        // One replica serves the whole LIST: the key listing and the
-        // per-key materialisation must agree, or a key counted toward
-        // the page cap could vanish from the page and be skipped by a
-        // marker-based walk forever.
-        let replica = self.world.sample_read_replica();
-        let now = self.world.now();
-        // Key-only listing first; object state is materialised for the
-        // returned page only, so paging a large bucket costs O(page).
-        let mut keys: Vec<String> = map
-            .visible_keys_on(replica, now)
-            .into_iter()
-            .filter(|k| k.starts_with(prefix) && marker.map(|m| k.as_str() > m).unwrap_or(true))
-            .collect();
-        keys.sort_unstable();
-        let is_truncated = keys.len() > cap;
-        keys.truncate(cap);
-        let matching: Vec<ObjectSummary> = keys
-            .into_iter()
-            .filter_map(|key| {
-                map.read_on(replica, now, &key).map(|s| ObjectSummary {
-                    size: s.body.len(),
-                    key,
-                })
-            })
-            .collect();
-        let bytes_out: u64 = matching
-            .iter()
-            .map(|o| o.key.len() as u64 + LIST_ENTRY_OVERHEAD)
-            .sum();
-        // A LIST examines the whole (unsharded) bucket index; charge the
-        // server-side scan in addition to the transfer.
-        self.world
-            .record_scan(Op::S3List, 0, bytes_out, map.cell_count() as u64);
-        Ok(Listing {
-            objects: matching,
-            is_truncated,
-        })
+        let bkt = self.bucket(bucket)?;
+        let replicas = self.world.sample_read_replicas(bkt.shard_count());
+        self.list_page_on(&bkt, &replicas, prefix, marker, max_keys)
     }
 
     /// Lists *every* key with `prefix`, driving pagination internally.
-    /// Each page is a billed LIST op.
+    /// Each page is a billed LIST op. One replica per shard is pinned
+    /// for the **whole walk**, so the result is a coherent per-shard
+    /// view: a fresh (possibly stale) replica sampled mid-walk can no
+    /// longer hide keys that an earlier page counted toward its cap,
+    /// which previously made marker walks skip keys.
     ///
     /// # Errors
     ///
     /// [`S3Error::NoSuchBucket`].
     pub fn list_all(&self, bucket: &str, prefix: &str) -> Result<Vec<ObjectSummary>> {
+        let bkt = self.bucket(bucket)?;
+        let replicas = self.world.sample_read_replicas(bkt.shard_count());
         let mut out = Vec::new();
         let mut marker: Option<String> = None;
         loop {
-            let page = self.list_objects(bucket, prefix, marker.as_deref(), MAX_LIST_KEYS)?;
+            let page =
+                self.list_page_on(&bkt, &replicas, prefix, marker.as_deref(), MAX_LIST_KEYS)?;
             let truncated = page.is_truncated;
             marker = page.objects.last().map(|o| o.key.clone());
             out.extend(page.objects);
@@ -444,13 +516,80 @@ impl S3 {
         }
     }
 
+    /// One LIST page over the shard fan-out, on explicitly pinned
+    /// replicas. The cross-shard machinery is the same adaptive-quota
+    /// merge the sharded SimpleDB `Query` uses
+    /// ([`simworld::merged_shard_page`]); per shard, the scan is
+    /// range-bounded to the prefix's contiguous key range, so a
+    /// narrow-prefix LIST examines (and is charged for) only the cells
+    /// that could match.
+    fn list_page_on(
+        &self,
+        bkt: &Bucket,
+        replicas: &[usize],
+        prefix: &str,
+        marker: Option<&str>,
+        max_keys: usize,
+    ) -> Result<Listing> {
+        use std::ops::Bound;
+        let cap = max_keys.clamp(1, MAX_LIST_KEYS);
+        let now = self.world.now();
+        let shard_count = bkt.shard_count();
+        self.world
+            .record_shard_fanout(Service::S3, shard_count as u32);
+        let prefix_key = prefix.to_string();
+        let (page, more, scanned) = simworld::merged_shard_page(
+            shard_count,
+            marker.map(str::to_string),
+            cap,
+            |i, cursor, quota| {
+                // Seek straight to the prefix range; keys that share the
+                // prefix are contiguous under byte-wise string order, so
+                // the first key past it ends the shard's scan.
+                let start = match cursor {
+                    Some(c) if c.as_str() >= prefix => Bound::Excluded(c),
+                    _ if !prefix.is_empty() => Bound::Included(&prefix_key),
+                    _ => Bound::Unbounded,
+                };
+                let map = bkt.shards[i].lock();
+                map.visible_page_from(
+                    replicas[i],
+                    now,
+                    start,
+                    quota,
+                    |k| !k.starts_with(prefix),
+                    |_, _| true,
+                )
+            },
+        );
+        let objects: Vec<ObjectSummary> = page
+            .into_iter()
+            .map(|(key, stored)| ObjectSummary {
+                size: stored.body.len(),
+                key,
+            })
+            .collect();
+        let bytes_out: u64 = objects
+            .iter()
+            .map(|o| o.key.len() as u64 + LIST_ENTRY_OVERHEAD)
+            .sum();
+        // Shards scan in parallel: the busiest shard's examined rows
+        // gate the response — this is where bucket sharding buys
+        // deterministic virtual-time LIST speedup.
+        self.world.record_scan(Op::S3List, 0, bytes_out, scanned);
+        Ok(Listing {
+            objects,
+            is_truncated: more,
+        })
+    }
+
     // --- authoritative (non-billed) views, for invariant checks ---
 
     /// The newest committed object at a key, ignoring replication lag and
     /// without billing. For tests and property validators only.
     pub fn latest_object(&self, bucket: &str, key: &str) -> Option<Object> {
-        let inner = self.inner.lock();
-        let map = inner.buckets.get(bucket)?;
+        let bkt = self.bucket(bucket).ok()?;
+        let map = bkt.shards[bkt.shard_of(key)].lock();
         map.read_latest(&key.to_string()).map(|s| Object {
             body: s.body,
             metadata: s.metadata,
@@ -462,39 +601,32 @@ impl S3 {
     /// Authoritative list of live keys with `prefix`, unbilled. For tests
     /// and property validators only.
     pub fn latest_keys(&self, bucket: &str, prefix: &str) -> Vec<String> {
-        let inner = self.inner.lock();
-        match inner.buckets.get(bucket) {
-            Some(map) => map
-                .iter_latest()
-                .filter(|(k, _)| k.starts_with(prefix))
-                .map(|(k, _)| k.clone())
-                .collect(),
-            None => Vec::new(),
+        let Ok(bkt) = self.bucket(bucket) else {
+            return Vec::new();
+        };
+        let mut keys: Vec<String> = Vec::new();
+        for shard in &bkt.shards {
+            let map = shard.lock();
+            keys.extend(
+                map.iter_latest()
+                    .filter(|(k, _)| k.starts_with(prefix))
+                    .map(|(k, _)| k.clone()),
+            );
         }
+        keys.sort_unstable();
+        keys
     }
-}
 
-fn bucket_mut<'a>(inner: &'a mut Inner, bucket: &str) -> Result<&'a mut EcMap<String, Stored>> {
-    inner
-        .buckets
-        .get_mut(bucket)
-        .ok_or_else(|| S3Error::NoSuchBucket {
-            bucket: bucket.to_string(),
-        })
-}
-
-fn bucket_ref<'a>(inner: &'a Inner, bucket: &str) -> Result<&'a EcMap<String, Stored>> {
-    inner
-        .buckets
-        .get(bucket)
-        .ok_or_else(|| S3Error::NoSuchBucket {
-            bucket: bucket.to_string(),
-        })
-}
-
-// Identical to `bucket_ref`; exists so call sites that later need the map
-// mutably can borrow immutably first without convincing the borrow
-// checker of disjointness.
-fn bucket_ref_mutless<'a>(inner: &'a Inner, bucket: &str) -> Result<&'a EcMap<String, Stored>> {
-    bucket_ref(inner, bucket)
+    /// Looks a bucket up, cloning its handle out so the buckets map lock
+    /// is held only for the lookup.
+    fn bucket(&self, bucket: &str) -> Result<Arc<Bucket>> {
+        self.inner
+            .buckets
+            .read()
+            .get(bucket)
+            .cloned()
+            .ok_or_else(|| S3Error::NoSuchBucket {
+                bucket: bucket.to_string(),
+            })
+    }
 }

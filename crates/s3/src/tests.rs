@@ -2,7 +2,7 @@
 
 use simworld::{Blob, Consistency, LatencyModel, Op, Service, SimConfig, SimDuration, SimWorld};
 
-use crate::{Metadata, MetadataDirective, S3Error, S3};
+use crate::{Metadata, MetadataDirective, ObjectSummary, S3Error, S3};
 
 fn counting() -> (SimWorld, S3) {
     let world = SimWorld::counting();
@@ -248,6 +248,24 @@ fn copy_missing_source_errors() {
 }
 
 #[test]
+fn failed_copy_into_missing_bucket_mutates_no_state() {
+    // A copy into a bucket that does not exist must fail before it
+    // touches anything — no shard touch, no RNG draw, no billed op.
+    let (world, s3) = counting();
+    s3.put_object("b", "src", Blob::from("x"), Metadata::new())
+        .unwrap();
+    let before = world.meters();
+    assert!(matches!(
+        s3.copy_object("b", "src", "ghost", "dst", MetadataDirective::Copy),
+        Err(S3Error::NoSuchBucket { .. })
+    ));
+    let delta = world.meters() - before;
+    assert_eq!(delta.total_ops(), 0);
+    let touches: u64 = (0..16).map(|s| delta.shard_op_count(Service::S3, s)).sum();
+    assert_eq!(touches, 0);
+}
+
+#[test]
 fn delete_is_idempotent() {
     let (world, s3) = counting();
     s3.put_object("b", "k", Blob::from("x"), Metadata::new())
@@ -363,4 +381,195 @@ fn clones_share_the_store() {
     s3.put_object("b", "k", Blob::from("x"), Metadata::new())
         .unwrap();
     assert!(s3b.get_object("b", "k").is_ok());
+}
+
+// --- sharded layout ---
+
+#[test]
+fn results_are_invariant_to_shard_layout() {
+    // The shard count is a concurrency knob, never a semantics knob:
+    // the same writes must produce byte-identical GET/LIST results on
+    // every layout.
+    let reference: Vec<String> = (0..50)
+        .map(|i| format!("k/{:02}", (i * 37) % 100))
+        .collect();
+    let mut per_layout: Vec<(Vec<ObjectSummary>, Vec<String>)> = Vec::new();
+    for shards in [1, 3, 16, 64] {
+        let world = SimWorld::counting();
+        let s3 = S3::with_shards(&world, shards);
+        assert_eq!(s3.shard_count(), shards);
+        s3.create_bucket("b").unwrap();
+        for key in &reference {
+            s3.put_object("b", key, Blob::from(key.as_str()), Metadata::new())
+                .unwrap();
+        }
+        world.settle();
+        per_layout.push((s3.list_all("b", "k/").unwrap(), s3.latest_keys("b", "")));
+    }
+    assert!(per_layout[0].0.len() == 50);
+    assert!(
+        per_layout.windows(2).all(|w| w[0] == w[1]),
+        "LIST results diverged across shard layouts"
+    );
+}
+
+#[test]
+fn sharded_pagination_neither_skips_nor_duplicates() {
+    let (world, _) = counting();
+    let s3 = S3::with_shards(&world, 16);
+    s3.create_bucket("paged").unwrap();
+    let mut expected: Vec<String> = (0..40).map(|i| format!("p/{i:03}")).collect();
+    for key in &expected {
+        s3.put_object("paged", key, Blob::from("x"), Metadata::new())
+            .unwrap();
+    }
+    expected.sort();
+    let mut walked: Vec<String> = Vec::new();
+    let mut marker: Option<String> = None;
+    loop {
+        let page = s3
+            .list_objects("paged", "p/", marker.as_deref(), 7)
+            .unwrap();
+        assert!(page.objects.len() <= 7);
+        walked.extend(page.objects.iter().map(|o| o.key.clone()));
+        if !page.is_truncated {
+            break;
+        }
+        marker = page.objects.last().map(|o| o.key.clone());
+    }
+    assert_eq!(walked, expected);
+}
+
+#[test]
+fn point_ops_touch_exactly_one_shard_and_lists_fan_out() {
+    let world = SimWorld::counting();
+    let s3 = S3::with_shards(&world, 8);
+    s3.create_bucket("b").unwrap();
+    let before = world.meters();
+    s3.put_object("b", "k", Blob::from("x"), Metadata::new())
+        .unwrap();
+    let delta = world.meters() - before;
+    let touches: u64 = (0..8).map(|s| delta.shard_op_count(Service::S3, s)).sum();
+    assert_eq!(touches, 1, "a PUT touches exactly one shard");
+
+    let before = world.meters();
+    s3.get_object("b", "k").unwrap();
+    s3.head_object("b", "k").unwrap();
+    s3.delete_object("b", "k").unwrap();
+    let delta = world.meters() - before;
+    let touches: u64 = (0..8).map(|s| delta.shard_op_count(Service::S3, s)).sum();
+    assert_eq!(touches, 3, "GET/HEAD/DELETE touch one shard each");
+
+    let before = world.meters();
+    s3.list_objects("b", "", None, 10).unwrap();
+    let delta = world.meters() - before;
+    assert!(
+        (0..8).all(|s| delta.shard_op_count(Service::S3, s) == 1),
+        "a LIST fans out across every shard"
+    );
+}
+
+#[test]
+fn narrow_prefix_list_is_charged_only_its_key_range() {
+    // A LIST's scan charge (and so its virtual latency) must track the
+    // prefix's contiguous key range, not the whole bucket: listing the
+    // 10 "logs/" keys may not pay for the 1500 "data/" keys around them.
+    let world = SimWorld::with_config(SimConfig {
+        seed: 7,
+        consistency: Consistency::Strong,
+        latency: LatencyModel::default(),
+        replicas: 1,
+    });
+    let s3 = S3::with_shards(&world, 1);
+    s3.create_bucket("b").unwrap();
+    for i in 0..1500 {
+        s3.put_object(
+            "b",
+            &format!("data/{i:04}"),
+            Blob::from("x"),
+            Metadata::new(),
+        )
+        .unwrap();
+    }
+    for i in 0..10 {
+        s3.put_object("b", &format!("logs/{i}"), Blob::from("x"), Metadata::new())
+            .unwrap();
+    }
+    let t0 = world.now();
+    let narrow = s3.list_objects("b", "logs/", None, 1000).unwrap();
+    let narrow_elapsed = world.now() - t0;
+    assert_eq!(narrow.objects.len(), 10);
+    // Base (40 ms) + max jitter (10 ms) + ~11 scanned rows + one
+    // transfer chunk stay under 52 ms; charging the bucket's other
+    // 1500 cells would add 30 ms of scan time and blow this bound.
+    assert!(
+        narrow_elapsed.as_micros() < 55_000,
+        "narrow-prefix LIST was charged past its key range: {narrow_elapsed:?}"
+    );
+}
+
+#[test]
+fn list_marker_before_the_prefix_range_still_lists_it() {
+    let (world, s3) = counting();
+    for key in ["alpha", "logs/1", "logs/2", "zeta"] {
+        s3.put_object("b", key, Blob::from("x"), Metadata::new())
+            .unwrap();
+    }
+    world.settle();
+    // A marker below the prefix range must not truncate the range away.
+    let page = s3.list_objects("b", "logs/", Some("alpha"), 10).unwrap();
+    let keys: Vec<_> = page.objects.iter().map(|o| o.key.as_str()).collect();
+    assert_eq!(keys, vec!["logs/1", "logs/2"]);
+    // A marker past the range yields an empty, final page.
+    let done = s3.list_objects("b", "logs/", Some("logs0"), 10).unwrap();
+    assert!(done.objects.is_empty() && !done.is_truncated);
+}
+
+#[test]
+fn list_all_pins_replicas_for_the_whole_walk() {
+    // Regression for the eventual-consistency blind spot: `list_all`
+    // used to sample a fresh replica per page, so page 1 could count an
+    // unsettled key toward its cap (is_truncated = true) and page 2,
+    // served by a stale replica, could silently drop it. With the
+    // replicas pinned per walk, every walk satisfies the accounting
+    // identity `keys returned == 999 + LIST pages billed`: a walk that
+    // promises more (2 pages) must deliver the 1001st key.
+    let world = SimWorld::with_config(SimConfig {
+        seed: 42,
+        consistency: Consistency::eventual(SimDuration::from_secs(3600)),
+        latency: LatencyModel::zero(),
+        replicas: 3,
+    });
+    let s3 = S3::with_shards(&world, 1);
+    s3.create_bucket("b").unwrap();
+    for i in 0..1000 {
+        s3.put_object("b", &format!("a{i:04}"), Blob::from("x"), Metadata::new())
+            .unwrap();
+    }
+    world.settle();
+    // One more key, unsettled: visible only on its primary replica for
+    // the next hour. It sorts after the settled keys, i.e. exactly past
+    // the 1000-key page boundary.
+    s3.put_object("b", "b-unsettled", Blob::from("x"), Metadata::new())
+        .unwrap();
+    let (mut saw_short, mut saw_full) = (false, false);
+    for _ in 0..40 {
+        let before = world.meters();
+        let keys = s3.list_all("b", "").unwrap();
+        let pages = (world.meters() - before).op_count(Op::S3List);
+        assert_eq!(
+            keys.len() as u64,
+            999 + pages,
+            "a truncated page promised a key the walk never delivered"
+        );
+        match keys.len() {
+            1000 => saw_short = true,
+            1001 => saw_full = true,
+            n => panic!("unexpected listing length {n}"),
+        }
+    }
+    assert!(
+        saw_short && saw_full,
+        "the sweep should observe both the stale and the fresh replica view"
+    );
 }

@@ -121,17 +121,6 @@ pub struct SelectResult {
     pub next_token: Option<String>,
 }
 
-/// FNV-1a, 64-bit: a stable, seed-free hash so an item's shard is the
-/// same in every run and on every platform.
-fn fnv1a(s: &str) -> u64 {
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-    for byte in s.as_bytes() {
-        hash ^= u64::from(*byte);
-        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    hash
-}
-
 /// One domain: a fixed set of hash shards, each behind its own lock.
 struct Domain {
     shards: Vec<Mutex<EcMap<String, ItemState>>>,
@@ -151,7 +140,7 @@ impl Domain {
     }
 
     fn shard_of(&self, item_name: &str) -> usize {
-        (fnv1a(item_name) % self.shards.len() as u64) as usize
+        (simworld::fnv1a_64(item_name) % self.shards.len() as u64) as usize
     }
 }
 
@@ -514,6 +503,10 @@ impl SimpleDb {
     pub fn select(&self, sql: &str, next_token: Option<&str>) -> Result<SelectResult> {
         let stmt = SelectStatement::parse(sql)?;
         let dom = self.domain(&stmt.domain)?;
+        // Validate any client token up front — `count(*)` is unpaginated
+        // and ignores the cursor, but a malformed or foreign-layout
+        // token must fail on every API the same way.
+        let token = decode_token(next_token, &dom, &self.world)?;
 
         if stmt.output == Output::Count {
             // count(*) is unpaginated: one fan-out over freshly sampled
@@ -542,7 +535,6 @@ impl SimpleDb {
             });
         }
 
-        let token = decode_token(next_token, &dom, &self.world)?;
         let (page, next, scanned) = if stmt.order_by.is_some() {
             // Sorted output: global order can interleave shards
             // arbitrarily, so paginate by offset over the pinned views.
@@ -695,10 +687,11 @@ impl SimpleDb {
     }
 
     /// One page of a name-ordered scan: each shard contributes its next
-    /// `page_size + 1` visible matches after the cursor, the candidates
-    /// merge in name order, and the page is the first `page_size` of the
-    /// merge. The returned token resumes strictly after the last name
-    /// served, on the same pinned replica per shard.
+    /// visible matches after the cursor under the shared adaptive-quota
+    /// merge ([`simworld::merged_shard_page`] — the same machinery the
+    /// sharded S3 LIST runs on), and the page is the first `page_size`
+    /// of the merge. The returned token resumes strictly after the last
+    /// name served, on the same pinned replica per shard.
     fn merged_page<F>(
         &self,
         dom: &Arc<Domain>,
@@ -720,70 +713,11 @@ impl SimpleDb {
         let now = self.world.now();
         self.world
             .record_shard_fanout(Service::SimpleDb, dom.shard_count() as u32);
-        let shard_count = dom.shard_count();
-        let need = page_size + 1;
-        // Adaptive fan-out fetch: ask each shard for its proportional
-        // share first (the hash spreads consecutive names uniformly, so
-        // one round is the common case), then double the quota for the
-        // shards that still gate the merge. A candidate is *final* once
-        // its name is at or below every unexhausted shard's fetch
-        // horizon — no shard can still produce a smaller name.
-        let mut cursors: Vec<(Option<String>, bool)> = vec![(after.clone(), false); shard_count];
-        let mut pool: Vec<(String, ItemState)> = Vec::new();
-        let mut examined_per_shard = vec![0u64; shard_count];
-        let mut quota = need.div_ceil(shard_count).max(1);
-        // First round: every shard contributes its proportional share.
-        // Refill rounds: names below the finalization boundary can only
-        // come from the *gating* shard (the unexhausted shard with the
-        // smallest fetch horizon — shards hold disjoint names), so only
-        // it is fetched again, with a doubled quota while it blocks.
-        let mut targets: Vec<usize> = (0..shard_count).collect();
-        loop {
-            for &i in &targets {
-                let (cursor, exhausted) = &mut cursors[i];
-                if *exhausted {
-                    continue;
-                }
+        let (candidates, more, scanned) =
+            simworld::merged_shard_page(dom.shard_count(), after, page_size, |i, cursor, quota| {
                 let map = dom.shards[i].lock();
-                let (items, examined) =
-                    map.visible_page_on(replicas[i], now, cursor.as_ref(), quota, |k, v| {
-                        pred(k, v)
-                    });
-                drop(map);
-                examined_per_shard[i] += examined;
-                if items.len() < quota {
-                    *exhausted = true;
-                }
-                if let Some((last, _)) = items.last() {
-                    *cursor = Some(last.clone());
-                }
-                pool.extend(items);
-            }
-            let gate: Option<(usize, &String)> = cursors
-                .iter()
-                .enumerate()
-                .filter(|(_, (_, exhausted))| !exhausted)
-                .map(|(i, (c, _))| {
-                    (
-                        i,
-                        c.as_ref().expect("unexhausted shards have fetched a page"),
-                    )
-                })
-                .min_by(|a, b| a.1.cmp(b.1));
-            let Some((gate, horizon)) = gate else {
-                break; // every shard exhausted: the pool is complete
-            };
-            let finalized = pool.iter().filter(|(k, _)| k <= horizon).count();
-            if finalized >= need {
-                break;
-            }
-            targets = vec![gate];
-            quota = quota.saturating_mul(2);
-        }
-        let mut candidates = pool;
-        candidates.sort_unstable_by(|(a, _), (b, _)| a.cmp(b));
-        let more = candidates.len() > page_size;
-        candidates.truncate(page_size);
+                map.visible_page_on(replicas[i], now, cursor, quota, |k, v| pred(k, v))
+            });
         let next = if more {
             let last = candidates
                 .last()
@@ -799,8 +733,6 @@ impl SimpleDb {
         } else {
             None
         };
-        // Shards scan in parallel: the busiest one gates the call.
-        let scanned = examined_per_shard.iter().copied().max().unwrap_or(0);
         Ok((candidates, next, scanned))
     }
 

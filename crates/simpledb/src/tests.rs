@@ -337,6 +337,16 @@ fn select_projection_forms() {
 }
 
 #[test]
+fn count_rejects_malformed_tokens_like_every_other_path() {
+    let (_, db) = counting();
+    db.put_attributes("d", "i1", &[add("a", "1")]).unwrap();
+    assert!(matches!(
+        db.select("select count(*) from d", Some("garbage")),
+        Err(SdbError::InvalidNextToken)
+    ));
+}
+
+#[test]
 fn select_pagination() {
     let (_, db) = counting();
     for i in 0..12 {

@@ -229,19 +229,44 @@ impl<K: Ord + Clone, V: Clone> EcMap<K, V> {
         now: SimInstant,
         after: Option<&K>,
         limit: usize,
-        mut pred: F,
+        pred: F,
     ) -> (Vec<(K, V)>, u64)
     where
         F: FnMut(&K, &V) -> bool,
     {
         use std::ops::Bound;
-        let range = match after {
-            Some(k) => (Bound::Excluded(k), Bound::Unbounded),
-            None => (Bound::Unbounded, Bound::Unbounded),
+        let start = match after {
+            Some(k) => Bound::Excluded(k),
+            None => Bound::Unbounded,
         };
+        self.visible_page_from(replica, now, start, limit, |_| false, pred)
+    }
+
+    /// Range-bounded form of [`EcMap::visible_page_on`]: the scan starts
+    /// at `start` and stops at the first key `beyond` accepts, without
+    /// charging for cells past it. Keys scan in order, so a caller whose
+    /// matches form a contiguous key range — e.g. an S3 prefix LIST —
+    /// avoids examining (and being billed for) the rest of the shard.
+    pub fn visible_page_from<F, G>(
+        &self,
+        replica: usize,
+        now: SimInstant,
+        start: std::ops::Bound<&K>,
+        limit: usize,
+        mut beyond: G,
+        mut pred: F,
+    ) -> (Vec<(K, V)>, u64)
+    where
+        F: FnMut(&K, &V) -> bool,
+        G: FnMut(&K) -> bool,
+    {
+        use std::ops::Bound;
         let mut scanned = 0u64;
         let mut out = Vec::new();
-        for (k, c) in self.cells.range::<K, _>(range) {
+        for (k, c) in self.cells.range::<K, _>((start, Bound::Unbounded)) {
+            if beyond(k) {
+                break;
+            }
             scanned += 1;
             let Some(v) = c.visible(replica, now).and_then(|w| w.value.as_ref()) else {
                 continue;

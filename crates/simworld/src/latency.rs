@@ -61,9 +61,14 @@ impl Default for LatencyModel {
                 base: SimDuration::from_millis(30),
                 per_8kb: SimDuration::from_millis(1),
                 jitter: SimDuration::from_millis(8),
-                // No SQS op is scan-priced yet: receives go through
-                // `record_op`, which ignores this term.
-                per_scanned_row: SimDuration::ZERO,
+                // Receives scan the sampled storage servers for visible
+                // messages; servers scan in parallel, so the busiest
+                // sampled server's message count is the charged share.
+                // This is why spreading a workload over more queues
+                // yields deterministic virtual-time speedup. The 2009
+                // service had no long polling and notoriously slow
+                // receives on deep queues, hence the steep per-row cost.
+                per_scanned_row: SimDuration::from_micros(100),
             },
         }
     }

@@ -42,8 +42,10 @@ mod blob;
 mod clock;
 mod ecstore;
 mod faults;
+mod hash;
 mod latency;
 mod md5;
+mod merge;
 mod metering;
 mod world;
 
@@ -51,7 +53,9 @@ pub use blob::{Blob, Chunks, CHUNK};
 pub use clock::{SimDuration, SimInstant};
 pub use ecstore::EcMap;
 pub use faults::{CrashSite, Crashed, FaultPlan};
+pub use hash::fnv1a_64;
 pub use latency::{LatencyModel, ServiceLatency};
 pub use md5::{Md5, Md5Digest};
+pub use merge::merged_shard_page;
 pub use metering::{format_bytes, MeterBook, MeterSnapshot, Op, Service, ServiceMeter};
 pub use world::{Consistency, SimConfig, SimWorld};

@@ -25,9 +25,10 @@ pub enum SqsError {
         /// The malformed handle.
         handle: String,
     },
-    /// More than 10 messages requested in one receive
-    /// (`ReadCountOutOfRange`).
-    TooManyMessagesRequested {
+    /// A receive asked for a message count outside `1..=10`
+    /// (`ReadCountOutOfRange`). Zero is rejected too: the real API never
+    /// hands back a message the caller did not ask for.
+    ReceiveCountOutOfRange {
         /// Requested count.
         requested: usize,
     },
@@ -43,8 +44,11 @@ impl fmt::Display for SqsError {
             SqsError::InvalidReceiptHandle { handle } => {
                 write!(f, "invalid receipt handle: {handle:?}")
             }
-            SqsError::TooManyMessagesRequested { requested } => {
-                write!(f, "{requested} messages requested; the maximum is 10")
+            SqsError::ReceiveCountOutOfRange { requested } => {
+                write!(
+                    f,
+                    "{requested} messages requested; the valid range is 1..=10"
+                )
             }
         }
     }

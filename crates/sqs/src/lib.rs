@@ -5,8 +5,10 @@
 //! architecture on:
 //!
 //! * 8 KB Unicode message bodies;
-//! * sampled `ReceiveMessage` (≤ 10 messages; one call may miss messages
+//! * sampled `ReceiveMessage` (1–10 messages; one call may miss messages
 //!   that exist — callers repeat until done);
+//! * **per-queue locking** under a shared queue map, so operations on
+//!   different queues never contend;
 //! * per-delivery **receipt handles** and a **visibility timeout** that
 //!   turns the queue into a coarse distributed lock;
 //! * `ApproximateNumberOfMessages` that is genuinely approximate;

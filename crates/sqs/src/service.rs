@@ -1,9 +1,20 @@
 //! The SQS service simulator.
+//!
+//! # Locking layout
+//!
+//! Queues are independent: each queue sits behind its own lock under an
+//! `RwLock` queue map, and the global send sequence is a lock-free
+//! atomic. Operations on different queues therefore never contend —
+//! the concurrency property the multi-client scaling experiments need,
+//! mirroring the per-shard locking of the sharded S3/SimpleDB
+//! simulators (a queue is its own "shard": the real service partitions
+//! by queue too).
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use serde::{Deserialize, Serialize};
 use simworld::{Op, Service, SimDuration, SimInstant, SimWorld};
 
@@ -58,10 +69,13 @@ struct Queue {
     visibility_timeout: SimDuration,
 }
 
-#[derive(Default)]
 struct Inner {
-    queues: BTreeMap<String, Queue>, // keyed by URL
-    next_seq: u64,
+    /// Queues keyed by URL, each behind its own lock so operations on
+    /// different queues run concurrently.
+    queues: RwLock<BTreeMap<String, Arc<Mutex<Queue>>>>,
+    /// Global send sequence; atomic so sends on different queues never
+    /// serialise on it.
+    next_seq: AtomicU64,
 }
 
 /// The simulated Simple Queueing Service.
@@ -77,7 +91,8 @@ struct Inner {
 ///   consumer does not delete it in time it becomes visible again (so
 ///   exactly one client processes a message at a time, but a message may
 ///   be processed more than once);
-/// * messages older than **four days** evaporate;
+/// * messages older than **four days** evaporate (enforced on sends and
+///   receives alike, so a write-only queue's storage gauge still drains);
 /// * best-effort FIFO ordering, no more.
 ///
 /// # Examples
@@ -99,14 +114,14 @@ struct Inner {
 #[derive(Clone)]
 pub struct Sqs {
     world: SimWorld,
-    inner: Arc<Mutex<Inner>>,
+    inner: Arc<Inner>,
 }
 
 impl std::fmt::Debug for Sqs {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let inner = self.inner.lock();
+        let queues = self.inner.queues.read();
         f.debug_struct("Sqs")
-            .field("queues", &inner.queues.len())
+            .field("queues", &queues.len())
             .finish_non_exhaustive()
     }
 }
@@ -116,7 +131,10 @@ impl Sqs {
     pub fn new(world: &SimWorld) -> Sqs {
         Sqs {
             world: world.clone(),
-            inner: Arc::new(Mutex::new(Inner::default())),
+            inner: Arc::new(Inner {
+                queues: RwLock::new(BTreeMap::new()),
+                next_seq: AtomicU64::new(0),
+            }),
         }
     }
 
@@ -124,13 +142,15 @@ impl Sqs {
     pub fn create_queue(&self, name: impl Into<String>) -> String {
         let name = name.into();
         let url = format!("https://sqs.sim/{name}");
-        let mut inner = self.inner.lock();
+        let mut queues = self.inner.queues.write();
         self.world
             .record_op(Op::SqsCreateQueue, name.len() as u64, url.len() as u64);
-        inner.queues.entry(url.clone()).or_insert_with(|| Queue {
-            name,
-            messages: BTreeMap::new(),
-            visibility_timeout: DEFAULT_VISIBILITY_TIMEOUT,
+        queues.entry(url.clone()).or_insert_with(|| {
+            Arc::new(Mutex::new(Queue {
+                name,
+                messages: BTreeMap::new(),
+                visibility_timeout: DEFAULT_VISIBILITY_TIMEOUT,
+            }))
         });
         url
     }
@@ -141,13 +161,16 @@ impl Sqs {
     ///
     /// [`SqsError::QueueDoesNotExist`].
     pub fn set_visibility_timeout(&self, url: &str, timeout: SimDuration) -> Result<()> {
-        let mut inner = self.inner.lock();
-        let queue = queue_mut(&mut inner, url)?;
-        queue.visibility_timeout = timeout;
+        let queue = self.queue(url)?;
+        queue.lock().visibility_timeout = timeout;
         Ok(())
     }
 
-    /// Enqueues a message; returns its message id.
+    /// Enqueues a message; returns its message id. Retention is enforced
+    /// here too, so even a write-only queue sheds expired messages (and
+    /// their stored bytes). Validation happens before any state — RNG,
+    /// sequence counter, ledger — is touched, so a failed send leaves
+    /// the simulation exactly as it found it.
     ///
     /// # Errors
     ///
@@ -161,14 +184,14 @@ impl Sqs {
                 limit: MAX_MESSAGE_SIZE,
             });
         }
+        let queue = self.queue(url)?;
         let server = self.world.rand_below(QUEUE_SERVERS as u64) as usize;
         let now = self.world.now();
-        let mut inner = self.inner.lock();
-        inner.next_seq += 1;
-        let seq = inner.next_seq;
-        let queue = queue_mut(&mut inner, url)?;
+        let seq = self.inner.next_seq.fetch_add(1, Ordering::Relaxed) + 1;
         let message_id = format!("msg-{seq:016x}");
         let size = body.len() as u64;
+        let mut queue = queue.lock();
+        let freed = expire_old_messages(&mut queue, now);
         queue.messages.insert(
             seq,
             StoredMessage {
@@ -181,6 +204,10 @@ impl Sqs {
                 deliveries: 0,
             },
         );
+        drop(queue);
+        if freed > 0 {
+            self.world.adjust_stored(Service::Sqs, -(freed as i64));
+        }
         self.world.record_op(Op::SqsSendMessage, size, 0);
         self.world.adjust_stored(Service::Sqs, size as i64);
         Ok(message_id)
@@ -196,13 +223,13 @@ impl Sqs {
     ///
     /// # Errors
     ///
-    /// [`SqsError::TooManyMessagesRequested`] past 10;
-    /// [`SqsError::QueueDoesNotExist`].
+    /// [`SqsError::ReceiveCountOutOfRange`] outside `1..=10` (the real
+    /// API's `ReadCountOutOfRange`); [`SqsError::QueueDoesNotExist`].
     pub fn receive_message(&self, url: &str, max: usize) -> Result<Vec<ReceivedMessage>> {
-        if max > MAX_RECEIVE_BATCH {
-            return Err(SqsError::TooManyMessagesRequested { requested: max });
+        if max == 0 || max > MAX_RECEIVE_BATCH {
+            return Err(SqsError::ReceiveCountOutOfRange { requested: max });
         }
-        let max = max.max(1);
+        let queue = self.queue(url)?;
         // Sample a subset of servers: each server is polled with p = 1/2,
         // with at least one server always polled.
         let sample_mask = {
@@ -216,19 +243,22 @@ impl Sqs {
             mask
         };
         let now = self.world.now();
-        let mut inner = self.inner.lock();
-        let queue = queue_mut(&mut inner, url)?;
-        let freed = expire_old_messages(queue, now);
-        if freed > 0 {
-            self.world.adjust_stored(Service::Sqs, -(freed as i64));
-        }
+        let mut queue = queue.lock();
+        let freed = expire_old_messages(&mut queue, now);
         let timeout = queue.visibility_timeout;
-        let mut picked: Vec<u64> = queue
-            .messages
-            .values()
-            .filter(|m| sample_mask[m.server] && m.visible_at <= now)
-            .map(|m| m.seq)
-            .collect();
+        // Each sampled server scans its own messages (in parallel with
+        // the others); the busiest sampled server gates the response.
+        let mut per_server = [0u64; QUEUE_SERVERS];
+        let mut picked: Vec<u64> = Vec::new();
+        for m in queue.messages.values() {
+            if sample_mask[m.server] {
+                per_server[m.server] += 1;
+                if m.visible_at <= now {
+                    picked.push(m.seq);
+                }
+            }
+        }
+        let scan_share = per_server.iter().copied().max().unwrap_or(0);
         picked.sort_unstable(); // best-effort FIFO within the sample
         picked.truncate(max);
         let name = queue.name.clone();
@@ -245,7 +275,12 @@ impl Sqs {
                 body: msg.body.clone(),
             });
         }
-        self.world.record_op(Op::SqsReceiveMessage, 0, bytes_out);
+        drop(queue);
+        if freed > 0 {
+            self.world.adjust_stored(Service::Sqs, -(freed as i64));
+        }
+        self.world
+            .record_scan(Op::SqsReceiveMessage, 0, bytes_out, scan_share);
         Ok(out)
     }
 
@@ -258,11 +293,13 @@ impl Sqs {
     /// [`SqsError::QueueDoesNotExist`].
     pub fn delete_message(&self, url: &str, receipt_handle: &str) -> Result<()> {
         let seq = parse_receipt_seq(receipt_handle)?;
-        let mut inner = self.inner.lock();
-        let queue = queue_mut(&mut inner, url)?;
+        let queue = self.queue(url)?;
+        let mut queue = queue.lock();
+        let removed = queue.messages.remove(&seq);
+        drop(queue);
         self.world
             .record_op(Op::SqsDeleteMessage, receipt_handle.len() as u64, 0);
-        if let Some(msg) = queue.messages.remove(&seq) {
+        if let Some(msg) = removed {
             self.world
                 .adjust_stored(Service::Sqs, -(msg.body.len() as i64));
         }
@@ -277,26 +314,31 @@ impl Sqs {
     ///
     /// [`SqsError::QueueDoesNotExist`].
     pub fn approximate_number_of_messages(&self, url: &str) -> Result<usize> {
+        let queue = self.queue(url)?;
         // Sample half of the servers and extrapolate.
         let sampled: Vec<usize> = (0..QUEUE_SERVERS)
             .filter(|_| self.world.rand_below(2) == 1)
             .collect();
         let now = self.world.now();
-        let mut inner = self.inner.lock();
-        let queue = queue_mut(&mut inner, url)?;
-        let freed = expire_old_messages(queue, now);
+        let mut queue = queue.lock();
+        let freed = expire_old_messages(&mut queue, now);
+        let mut per_server = [0u64; QUEUE_SERVERS];
+        for m in queue.messages.values() {
+            if sampled.contains(&m.server) {
+                per_server[m.server] += 1;
+            }
+        }
+        drop(queue);
         if freed > 0 {
             self.world.adjust_stored(Service::Sqs, -(freed as i64));
         }
-        self.world.record_op(Op::SqsGetQueueAttributes, 0, 16);
+        let scan_share = per_server.iter().copied().max().unwrap_or(0);
+        self.world
+            .record_scan(Op::SqsGetQueueAttributes, 0, 16, scan_share);
         if sampled.is_empty() {
             return Ok(0);
         }
-        let on_sample = queue
-            .messages
-            .values()
-            .filter(|m| sampled.contains(&m.server))
-            .count();
+        let on_sample: usize = per_server.iter().sum::<u64>() as usize;
         Ok(on_sample * QUEUE_SERVERS / sampled.len())
     }
 
@@ -306,16 +348,18 @@ impl Sqs {
     /// For tests and property validators only.
     pub fn exact_message_count(&self, url: &str) -> usize {
         let now = self.world.now();
-        let mut inner = self.inner.lock();
-        match inner.queues.get_mut(url) {
-            Some(queue) => {
-                let freed = expire_old_messages(queue, now);
+        match self.queue(url) {
+            Ok(queue) => {
+                let mut queue = queue.lock();
+                let freed = expire_old_messages(&mut queue, now);
+                let len = queue.messages.len();
+                drop(queue);
                 if freed > 0 {
                     self.world.adjust_stored(Service::Sqs, -(freed as i64));
                 }
-                queue.messages.len()
+                len
             }
-            None => 0,
+            Err(_) => 0,
         }
     }
 
@@ -323,23 +367,50 @@ impl Sqs {
     /// tests and property validators only.
     pub fn peek_all(&self, url: &str) -> Vec<String> {
         let now = self.world.now();
-        let mut inner = self.inner.lock();
-        match inner.queues.get_mut(url) {
-            Some(queue) => {
-                let freed = expire_old_messages(queue, now);
+        match self.queue(url) {
+            Ok(queue) => {
+                let mut queue = queue.lock();
+                let freed = expire_old_messages(&mut queue, now);
+                let bodies = queue.messages.values().map(|m| m.body.clone()).collect();
+                drop(queue);
                 if freed > 0 {
                     self.world.adjust_stored(Service::Sqs, -(freed as i64));
                 }
-                queue.messages.values().map(|m| m.body.clone()).collect()
+                bodies
             }
-            None => Vec::new(),
+            Err(_) => Vec::new(),
         }
+    }
+
+    /// Looks a queue up, cloning its handle out so the queue-map lock is
+    /// held only for the lookup.
+    fn queue(&self, url: &str) -> Result<Arc<Mutex<Queue>>> {
+        self.inner
+            .queues
+            .read()
+            .get(url)
+            .cloned()
+            .ok_or_else(|| SqsError::QueueDoesNotExist {
+                url: url.to_string(),
+            })
     }
 }
 
 /// Drops messages past the retention window; returns the freed bytes so
 /// the caller can settle the stored-bytes gauge.
+///
+/// O(1) in the common case: messages arrive in sequence order and the
+/// clock is monotone, so the lowest-seq message is the oldest — if it is
+/// still inside the retention window, nothing needs reaping. (Concurrent
+/// sends can invert `sent_at` across adjacent sequence numbers by the
+/// width of their interleaving; such a message is reaped one early-out
+/// later, which the four-day window renders unobservable.) This keeps
+/// expiry-on-send from turning every send into a full queue scan.
 fn expire_old_messages(queue: &mut Queue, now: SimInstant) -> u64 {
+    match queue.messages.values().next() {
+        Some(oldest) if now.saturating_since(oldest.sent_at) > RETENTION => {}
+        _ => return 0,
+    }
     let mut freed = 0;
     queue.messages.retain(|_, m| {
         let keep = now.saturating_since(m.sent_at) <= RETENTION;
@@ -351,23 +422,38 @@ fn expire_old_messages(queue: &mut Queue, now: SimInstant) -> u64 {
     freed
 }
 
+/// Parses the sequence number out of a `rh/{name}/{seq}/{deliveries}`
+/// receipt handle. Parsed from the *ends* — prefix first, then the two
+/// trailing numeric fields — so queue names containing `/` produce
+/// handles that still round-trip.
 fn parse_receipt_seq(handle: &str) -> Result<u64> {
-    let parts: Vec<&str> = handle.split('/').collect();
-    if parts.len() == 4 && parts[0] == "rh" {
-        if let Ok(seq) = parts[2].parse::<u64>() {
-            return Ok(seq);
-        }
-    }
-    Err(SqsError::InvalidReceiptHandle {
+    let invalid = || SqsError::InvalidReceiptHandle {
         handle: handle.to_string(),
-    })
+    };
+    let rest = handle.strip_prefix("rh/").ok_or_else(invalid)?;
+    let (rest, deliveries) = rest.rsplit_once('/').ok_or_else(invalid)?;
+    let (name, seq) = rest.rsplit_once('/').ok_or_else(invalid)?;
+    if name.is_empty() || deliveries.parse::<u64>().is_err() {
+        return Err(invalid());
+    }
+    seq.parse::<u64>().map_err(|_| invalid())
 }
 
-fn queue_mut<'a>(inner: &'a mut Inner, url: &str) -> Result<&'a mut Queue> {
-    inner
-        .queues
-        .get_mut(url)
-        .ok_or_else(|| SqsError::QueueDoesNotExist {
-            url: url.to_string(),
-        })
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn receipt_seq_parses_from_the_ends() {
+        assert_eq!(parse_receipt_seq("rh/q/17/2"), Ok(17));
+        // Queue names may contain slashes; the numeric fields still
+        // parse because they anchor at the end.
+        assert_eq!(parse_receipt_seq("rh/team/alpha/wal/17/2"), Ok(17));
+        assert_eq!(parse_receipt_seq("rh/a/b/c/d/123/1"), Ok(123));
+        assert!(parse_receipt_seq("garbage").is_err());
+        assert!(parse_receipt_seq("rh/q/notanumber/1").is_err());
+        assert!(parse_receipt_seq("rh/q/1/notanumber").is_err());
+        assert!(parse_receipt_seq("rh//1/1").is_err());
+        assert!(parse_receipt_seq("rh/1/2").is_err());
+    }
 }

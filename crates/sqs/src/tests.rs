@@ -70,7 +70,7 @@ fn receive_respects_batch_limit() {
     let (_, sqs, url) = setup(4);
     assert!(matches!(
         sqs.receive_message(&url, 11),
-        Err(SqsError::TooManyMessagesRequested { requested: 11 })
+        Err(SqsError::ReceiveCountOutOfRange { requested: 11 })
     ));
     for i in 0..50 {
         sqs.send_message(&url, format!("m{i}")).unwrap();
@@ -300,6 +300,85 @@ fn message_ids_are_unique_and_stable() {
     assert!(
         redelivered.is_some(),
         "message redelivered with the same id"
+    );
+}
+
+#[test]
+fn queue_names_with_slashes_round_trip() {
+    // Regression: receipt handles are `rh/{name}/{seq}/{deliveries}`,
+    // so a queue name containing `/` used to produce handles that
+    // `DeleteMessage` rejected as invalid.
+    let (_, sqs, _) = setup(20);
+    let url = sqs.create_queue("team/alpha/wal");
+    sqs.send_message(&url, "payload").unwrap();
+    let bodies = drain(&sqs, &url, 1);
+    assert_eq!(bodies, vec!["payload"]);
+    assert_eq!(sqs.exact_message_count(&url), 0);
+}
+
+#[test]
+fn receive_zero_is_an_error_not_a_surprise_message() {
+    // Regression: `receive_message(url, 0)` used to bump the count to 1
+    // and hand back a message the caller never asked for.
+    let (_, sqs, url) = setup(21);
+    sqs.send_message(&url, "m").unwrap();
+    assert!(matches!(
+        sqs.receive_message(&url, 0),
+        Err(SqsError::ReceiveCountOutOfRange { requested: 0 })
+    ));
+    // The rejected call must not have delivered (and hidden) anything.
+    let got = drain(&sqs, &url, 1);
+    assert_eq!(got, vec!["m"]);
+}
+
+#[test]
+fn expiry_on_send_drains_a_write_only_queue() {
+    // Regression: retention was enforced only on read paths, so a
+    // write-only queue's expired messages inflated the stored-bytes
+    // gauge forever.
+    let (world, sqs, url) = setup(22);
+    sqs.send_message(&url, "x".repeat(100)).unwrap();
+    assert_eq!(world.meters().stored_bytes(Service::Sqs), 100);
+    world.advance(RETENTION + SimDuration::from_hours(1));
+    // The next *send* — no read ever happens — must reap the corpse.
+    sqs.send_message(&url, "y".repeat(7)).unwrap();
+    assert_eq!(world.meters().stored_bytes(Service::Sqs), 7);
+    assert_eq!(sqs.peek_all(&url), vec!["y".repeat(7)]);
+}
+
+#[test]
+fn failed_send_mutates_no_state() {
+    // Regression: a send to a missing queue used to burn a sequence
+    // number (and an RNG draw) before failing, so the error path left
+    // fingerprints on later message ids and on replay determinism.
+    let run = |with_failed_send: bool| -> (String, Vec<Vec<String>>) {
+        let world = SimWorld::new(23);
+        let sqs = Sqs::new(&world);
+        let url = sqs.create_queue("q");
+        if with_failed_send {
+            assert!(matches!(
+                sqs.send_message("https://sqs.sim/ghost", "lost"),
+                Err(SqsError::QueueDoesNotExist { .. })
+            ));
+        }
+        let id = sqs.send_message(&url, "kept").unwrap();
+        let receives = (0..10)
+            .map(|_| {
+                sqs.receive_message(&url, 10)
+                    .unwrap()
+                    .into_iter()
+                    .map(|m| m.receipt_handle)
+                    .collect()
+            })
+            .collect();
+        (id, receives)
+    };
+    let clean = run(false);
+    let with_failure = run(true);
+    assert_eq!(clean.0, format!("msg-{:016x}", 1));
+    assert_eq!(
+        clean, with_failure,
+        "an error-path send must leave the sequence, RNG and meters untouched"
     );
 }
 

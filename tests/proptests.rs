@@ -224,6 +224,121 @@ proptest! {
     }
 }
 
+// --- stored-bytes gauge vs an exact shadow model ---
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn stored_bytes_gauge_matches_shadow_across_services(
+        ops in proptest::collection::vec(
+            (0u8..7, 0u8..6, 1u64..2000, 0u64..30),
+            1..60,
+        ),
+    ) {
+        // The billing gauge is pure bookkeeping layered over every
+        // S3 put/copy/delete and SQS send/receive/delete/expiry path;
+        // under per-shard and per-queue locking each path settles the
+        // gauge itself, so pin it against a shadow that recomputes the
+        // exact expected footprint after every op. Strong consistency
+        // keeps the shadow exact (reads can't be stale); retention is
+        // modelled by mirroring the expiry trigger points (SQS reaps
+        // expired messages only when an op touches the queue).
+        use pass_cloud::s3::{Metadata, MetadataDirective, S3};
+        use pass_cloud::simworld::Service;
+        use pass_cloud::sqs::{Sqs, RETENTION};
+        use std::collections::BTreeMap;
+
+        let world = SimWorld::with_config(SimConfig {
+            seed: 0,
+            consistency: Consistency::Strong,
+            latency: LatencyModel::zero(),
+            replicas: 2,
+        });
+        let s3 = S3::with_shards(&world, 4);
+        s3.create_bucket("b").unwrap();
+        let sqs = Sqs::new(&world);
+        let urls = [sqs.create_queue("alpha"), sqs.create_queue("beta/wal")];
+
+        // Shadows: key -> footprint for S3; queue -> id -> (sent_at, len)
+        // for SQS.
+        let mut s3_shadow: BTreeMap<String, u64> = BTreeMap::new();
+        let mut sqs_shadow: [BTreeMap<String, (SimInstant, u64)>; 2] =
+            [BTreeMap::new(), BTreeMap::new()];
+        let keys = ["a", "b", "c", "d", "e", "f"];
+        let expire = |q: &mut BTreeMap<String, (SimInstant, u64)>, now: SimInstant| {
+            q.retain(|_, (sent_at, _)| now.saturating_since(*sent_at) <= RETENTION);
+        };
+
+        for (kind, slot, len, hours) in ops {
+            let key = keys[(slot % 6) as usize];
+            let qi = (slot % 2) as usize;
+            match kind {
+                0 => {
+                    // S3 PUT (with metadata, so footprints exceed bodies).
+                    let meta = Metadata::from_pairs([("x-amz-meta-p", "v".repeat((len % 64) as usize))]);
+                    let footprint = len + meta.byte_size();
+                    s3.put_object("b", key, Blob::synthetic(len, len), meta).unwrap();
+                    s3_shadow.insert(key.to_string(), footprint);
+                }
+                1 => {
+                    // S3 COPY (carrying source metadata).
+                    let src = keys[(len % 6) as usize];
+                    match s3.copy_object("b", src, "b", key, MetadataDirective::Copy) {
+                        Ok(()) => {
+                            let src_fp = *s3_shadow.get(src).expect("copy succeeded, source exists");
+                            s3_shadow.insert(key.to_string(), src_fp);
+                        }
+                        Err(_) => prop_assert!(!s3_shadow.contains_key(src)),
+                    }
+                }
+                2 => {
+                    // S3 DELETE (idempotent).
+                    s3.delete_object("b", key).unwrap();
+                    s3_shadow.remove(key);
+                }
+                3 => {
+                    // SQS send; triggers expiry on its queue first.
+                    let body = "m".repeat((len % 512) as usize);
+                    expire(&mut sqs_shadow[qi], world.now());
+                    let id = sqs.send_message(&urls[qi], body.clone()).unwrap();
+                    sqs_shadow[qi].insert(id, (world.now(), body.len() as u64));
+                }
+                4 => {
+                    // SQS receive + delete everything received.
+                    expire(&mut sqs_shadow[qi], world.now());
+                    for msg in sqs.receive_message(&urls[qi], 10).unwrap() {
+                        sqs.delete_message(&urls[qi], &msg.receipt_handle).unwrap();
+                        sqs_shadow[qi].remove(&msg.message_id);
+                    }
+                }
+                5 => {
+                    // Exact count is also an expiry trigger.
+                    expire(&mut sqs_shadow[qi], world.now());
+                    let n = sqs.exact_message_count(&urls[qi]);
+                    prop_assert_eq!(n, sqs_shadow[qi].len());
+                }
+                _ => {
+                    // Let time pass (sometimes past the retention
+                    // window); nothing expires until an op runs.
+                    world.advance(SimDuration::from_hours(hours * 4));
+                }
+            }
+            let meters = world.meters();
+            prop_assert_eq!(
+                meters.stored_bytes(Service::S3),
+                s3_shadow.values().sum::<u64>()
+            );
+            let sqs_expect: u64 = sqs_shadow
+                .iter()
+                .flat_map(|q| q.values())
+                .map(|(_, len)| *len)
+                .sum();
+            prop_assert_eq!(meters.stored_bytes(Service::Sqs), sqs_expect);
+        }
+    }
+}
+
 // --- end-to-end persist/read invariant, randomised ---
 
 proptest! {
