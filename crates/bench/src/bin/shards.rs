@@ -2,7 +2,7 @@
 //! latency as the shard/queue count grows, for each sharded backend.
 //!
 //! Usage: `cargo run --release -p prov-bench --bin shards
-//!         [--mode=simpledb|s3|sqs|all] [--smoke]
+//!         [--mode=simpledb|s3|sqs|batch|all] [--smoke]
 //!         [--threads=N] [--queries=N]
 //!         [--scale=small|medium|paper]`
 //!
@@ -11,13 +11,21 @@
 //! (layout must never change semantics), and that the virtual-time
 //! latency of the sharded class falls as the layout spreads. The full
 //! run's numbers are committed to `BASELINE.md`.
+//!
+//! `--mode=batch` sweeps the group-commit flusher's batch size over the
+//! arch2/arch3 persist paths; its smoke asserts the batched path issues
+//! strictly fewer billable requests than the point-op path, shrinks the
+//! provenance flush path ≥ 5x at full fill, and leaves the provenance
+//! graph bit-identical.
 
+use prov_bench::batchbench::{batch_sweep, render_batch, DEFAULT_GROUP_SIZES};
 use prov_bench::shardbench::{
     render, render_s3_virtual, render_s3_wall, render_sqs_virtual, render_sqs_wall, render_virtual,
     s3_scaling, s3_virtual_scaling, shard_scaling, sqs_scaling, sqs_virtual_scaling,
     virtual_scaling, DEFAULT_QUEUE_COUNTS, DEFAULT_S3_OBJECTS, DEFAULT_SHARD_COUNTS,
     DEFAULT_SQS_MESSAGES,
 };
+use provenance_cloud::ArchKind;
 use workloads::Combined;
 
 fn parse_flag(args: &[String], prefix: &str, default: usize) -> usize {
@@ -169,6 +177,51 @@ fn run_sqs(args: &[String], smoke: bool) {
     }
 }
 
+fn run_batch(args: &[String], smoke: bool) {
+    let (dataset, group_sizes): (Combined, &[usize]) = if smoke {
+        (Combined::small(), &[1, 10, 25])
+    } else if args.iter().any(|a| a.starts_with("--scale=")) {
+        (prov_bench::parse_scale(args).dataset(), DEFAULT_GROUP_SIZES)
+    } else {
+        (Combined::medium(), DEFAULT_GROUP_SIZES)
+    };
+    for kind in [ArchKind::S3SimpleDb, ArchKind::S3SimpleDbSqs] {
+        let (rows, graphs) = match batch_sweep(kind, &dataset, group_sizes) {
+            Ok(r) => r,
+            Err(e) => fail(&format!("batch sweep ({}) failed: {e}", kind.label())),
+        };
+        print!("{}", render_batch(kind, &rows));
+        println!();
+        if smoke {
+            let state_ok = graphs.windows(2).all(|w| w[0].diff(&w[1]).is_empty());
+            // Batched rows must beat the *point-op baseline*; between
+            // batch sizes the daemon's sampled receives add noise, so
+            // no monotonicity is claimed there.
+            let fewer = rows[1..].iter().all(|r| r.requests < rows[0].requests)
+                && rows[1..]
+                    .iter()
+                    .all(|r| r.virtual_secs < rows[0].virtual_secs);
+            let flush_win = rows
+                .last()
+                .map(|r| r.flush_requests * 5 <= rows[0].flush_requests)
+                .unwrap_or(false);
+            if !state_ok {
+                fail("smoke check failed: batching changed the provenance graph");
+            }
+            if !fewer {
+                fail("smoke check failed: a batched row did not issue strictly fewer requests (or was not faster)");
+            }
+            if !flush_win {
+                fail("smoke check failed: provenance flush path did not shrink >=5x at full fill");
+            }
+            println!(
+                "smoke ok ({}): graphs identical; requests and virtual time fall with group size; flush path >=5x smaller",
+                kind.label()
+            );
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let smoke = args.iter().any(|a| a == "--smoke");
@@ -177,15 +230,18 @@ fn main() {
         "simpledb" => run_simpledb(&args, smoke),
         "s3" => run_s3(&args, smoke),
         "sqs" => run_sqs(&args, smoke),
+        "batch" => run_batch(&args, smoke),
         "all" => {
             run_simpledb(&args, smoke);
             println!();
             run_s3(&args, smoke);
             println!();
             run_sqs(&args, smoke);
+            println!();
+            run_batch(&args, smoke);
         }
         other => fail(&format!(
-            "unknown mode {other:?}; expected simpledb|s3|sqs|all"
+            "unknown mode {other:?}; expected simpledb|s3|sqs|batch|all"
         )),
     }
 }

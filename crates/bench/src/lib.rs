@@ -23,6 +23,7 @@
 #![forbid(unsafe_code)]
 
 pub mod ablations;
+pub mod batchbench;
 pub mod harness;
 pub mod shardbench;
 pub mod tables;

@@ -26,7 +26,7 @@ use crate::layout::{
 use crate::query::{ProvQuery, QueryAnswer, SimpleDbQueryEngine};
 use crate::readpath::{verified_read, ReadContext};
 use crate::retry::RetryPolicy;
-use crate::serialize::{encode_records, fit_item_pairs, read_version};
+use crate::serialize::{encode_records, fit_item_pairs, pack_attr_batches, read_version};
 use crate::store::{ProvenanceStore, ReadOutcome, RecoveryReport};
 
 /// Crash site: before storing an overflow object.
@@ -153,21 +153,13 @@ impl S3SimpleDb {
             flush_data.md5().to_hex()
         }
     }
-}
 
-impl ProvenanceStore for S3SimpleDb {
-    fn architecture(&self) -> &'static str {
-        "s3+simpledb"
-    }
-
-    /// §4.2 protocol: (1) read cache, (2) build the provenance item
-    /// (overflow > 1 KB to S3, add the MD5 record), (3) PutAttributes
-    /// (possibly several calls — 100-attribute limit), (4) PUT the data
-    /// with the nonce in its metadata.
-    fn persist(&mut self, flush: &FileFlush) -> Result<()> {
+    /// Protocol steps 1–2 for one flush: cache it, store its overflow
+    /// and continuation objects, and return the finished provenance
+    /// item (name plus its ≤ 256 attributes, MD5/nonce included) ready
+    /// for SimpleDB.
+    fn stage_item(&mut self, flush: &FileFlush) -> Result<(String, Vec<ReplaceableAttribute>)> {
         self.cache.store(flush);
-
-        // Step 2: serialise with overflow.
         let encoded = encode_records(&flush.object, &flush.records);
         for (key, blob) in &encoded.overflows {
             self.world.crash_point(A2_BEFORE_OVERFLOW_PUT)?;
@@ -177,7 +169,7 @@ impl ProvenanceStore for S3SimpleDb {
         let nonce = nonce_for(&flush.object);
         // SimpleDB caps items at 256 pairs; excess (massive fan-in)
         // spills to a continuation object.
-        let (pairs, continuation) = fit_item_pairs(&flush.object, encoded.pairs.clone());
+        let (pairs, continuation) = fit_item_pairs(&flush.object, encoded.pairs);
         if let Some((key, blob)) = continuation {
             self.world.crash_point(A2_BEFORE_OVERFLOW_PUT)?;
             self.s3.put_object(BUCKET, &key, blob, Metadata::new())?;
@@ -190,11 +182,41 @@ impl ProvenanceStore for S3SimpleDb {
             ATTR_MD5,
             self.consistency_md5(&flush.data, &nonce),
         ));
-        attrs.push(ReplaceableAttribute::add(ATTR_NONCE, nonce.clone()));
+        attrs.push(ReplaceableAttribute::add(ATTR_NONCE, nonce));
+        Ok((flush.object.item_name(), attrs))
+    }
+
+    /// Protocol step 4 for one flush: the data PUT carrying the nonce.
+    fn put_data(&mut self, flush: &FileFlush) -> Result<()> {
+        self.world.crash_point(A2_BEFORE_DATA_PUT)?;
+        let mut meta = Metadata::new();
+        meta.insert(META_VERSION, flush.object.version.to_string());
+        meta.insert(META_NONCE, nonce_for(&flush.object));
+        self.s3.put_object(
+            BUCKET,
+            &data_key(&flush.object.name),
+            flush.data.clone(),
+            meta,
+        )?;
+        Ok(())
+    }
+}
+
+impl ProvenanceStore for S3SimpleDb {
+    fn architecture(&self) -> &'static str {
+        "s3+simpledb"
+    }
+
+    /// §4.2 protocol: (1) read cache, (2) build the provenance item
+    /// (overflow > 1 KB to S3, add the MD5 record), (3) PutAttributes
+    /// (possibly several calls — 100-attribute limit), (4) PUT the data
+    /// with the nonce in its metadata.
+    fn persist(&mut self, flush: &FileFlush) -> Result<()> {
+        // Steps 1–2: cache, overflow objects, finished attribute list.
+        let (item_name, attrs) = self.stage_item(flush)?;
 
         // Step 3: store the provenance item in ≤ 100-attribute batches.
         self.world.crash_point(A2_BEFORE_PROV_PUT)?;
-        let item_name = flush.object.item_name();
         for chunk in attrs.chunks(MAX_ATTRS_PER_CALL) {
             self.db.put_attributes(DOMAIN, &item_name, chunk)?;
             self.world.crash_point(A2_MID_PROV_PUT)?;
@@ -202,16 +224,41 @@ impl ProvenanceStore for S3SimpleDb {
 
         // Step 4: the data PUT, with the nonce as metadata. A crash just
         // before this line is the §4.2 atomicity violation.
-        self.world.crash_point(A2_BEFORE_DATA_PUT)?;
-        let mut meta = Metadata::new();
-        meta.insert(META_VERSION, flush.object.version.to_string());
-        meta.insert(META_NONCE, nonce);
-        self.s3.put_object(
-            BUCKET,
-            &data_key(&flush.object.name),
-            flush.data.clone(),
-            meta,
-        )?;
+        self.put_data(flush)
+    }
+
+    /// The batched §4.2 protocol: stage every flush's overflow objects
+    /// and attribute list, ship the provenance items through
+    /// `BatchPutAttributes` — up to 25 items / 256 summed pairs per
+    /// **single billable request**, instead of one `PutAttributes` per
+    /// ≤ 100-attribute chunk per item — then run the data PUTs. Final
+    /// store state is identical to sequential [`S3SimpleDb::persist`]
+    /// calls (provenance still lands before data, so the crash-ordering
+    /// story is unchanged); only the request count drops.
+    fn persist_batch(&mut self, flushes: &[FileFlush]) -> Result<()> {
+        if flushes.is_empty() {
+            return Ok(());
+        }
+        // Steps 1–2 for the whole group.
+        let mut items: Vec<(String, Vec<ReplaceableAttribute>)> = Vec::with_capacity(flushes.len());
+        for flush in flushes {
+            items.push(self.stage_item(flush)?);
+        }
+
+        // Step 3, grouped: greedy first-fit into BatchPutAttributes
+        // calls under both service limits (a repeated item name — the
+        // same object version flushed twice in one group — closes the
+        // group early, since the batch API rejects duplicates per call).
+        self.world.crash_point(A2_BEFORE_PROV_PUT)?;
+        for group in pack_attr_batches(items) {
+            self.db.batch_put_attributes(DOMAIN, &group)?;
+            self.world.crash_point(A2_MID_PROV_PUT)?;
+        }
+
+        // Step 4 for the whole group.
+        for flush in flushes {
+            self.put_data(flush)?;
+        }
         Ok(())
     }
 

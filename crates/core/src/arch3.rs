@@ -20,9 +20,9 @@
 use std::collections::{BTreeMap, HashMap, HashSet};
 
 use pass::{CacheDir, FileFlush};
-use sim_s3::{Metadata, MetadataDirective, S3Error, S3};
-use sim_simpledb::{ReplaceableAttribute, SimpleDb, MAX_ATTRS_PER_CALL};
-use sim_sqs::{Sqs, RETENTION};
+use sim_s3::{Metadata, MetadataDirective, S3Error, MAX_DELETE_KEYS, S3};
+use sim_simpledb::{ReplaceableAttribute, SimpleDb};
+use sim_sqs::{Sqs, MAX_BATCH_ENTRIES, RETENTION};
 use simworld::{CrashSite, SimWorld};
 
 use crate::error::{CloudError, Result};
@@ -33,9 +33,9 @@ use crate::layout::{
 use crate::query::{ProvQuery, QueryAnswer, SimpleDbQueryEngine};
 use crate::readpath::{verified_read, ReadContext};
 use crate::retry::RetryPolicy;
-use crate::serialize::{encode_records, fit_item_pairs};
+use crate::serialize::{encode_records, fit_item_pairs, pack_attr_batches};
 use crate::store::{ProvenanceStore, ReadOutcome, RecoveryReport};
-use crate::wal::{chunk_pairs, WalRecord};
+use crate::wal::{chunk_pairs, pack_wal_batches, WalRecord};
 
 /// Client crash site: before the begin record is logged.
 pub const A3_BEFORE_BEGIN: CrashSite = CrashSite::new("arch3.before_begin");
@@ -223,103 +223,145 @@ impl CommitDaemon {
                 }
             }
         }
-        let ready: Vec<u64> = self
+        let mut ready: Vec<u64> = self
             .assemblies
             .iter()
             .filter(|(_, a)| a.complete())
             .map(|(txid, _)| *txid)
             .collect();
-        for txid in ready {
-            let assembly = self.assemblies.remove(&txid).expect("listed above");
-            self.apply(&assembly)?;
-            self.applied_total += 1;
-            progress.applied += 1;
+        // The assemblies map is a HashMap; its iteration order would
+        // leak into the cross-transaction batch packing and make
+        // request counts (and so virtual time) nondeterministic across
+        // runs of the same seed. Apply in txid order instead.
+        ready.sort_unstable();
+        if !ready.is_empty() {
+            let group: Vec<Assembly> = ready
+                .iter()
+                .map(|txid| self.assemblies.remove(txid).expect("listed above"))
+                .collect();
+            self.apply_group(&group)?;
+            self.applied_total += group.len() as u64;
+            progress.applied += group.len();
         }
         Ok(progress)
     }
 
-    /// Applies one complete transaction. Every step is idempotent, so a
-    /// crash anywhere is repaired by replaying from the (still present)
-    /// log records.
-    fn apply(&mut self, assembly: &Assembly) -> Result<()> {
+    /// Applies a group of complete transactions — everything that came
+    /// ready in one daemon step — with the SimpleDB writes **batched
+    /// across transactions**: one `BatchPutAttributes` per ≤ 25 items /
+    /// ≤ 256 summed pairs instead of one `PutAttributes` per
+    /// 100-attribute chunk per item, and the log-record/temp-object
+    /// deletes through `DeleteMessageBatch` and multi-object delete.
+    /// Every step stays idempotent, so a crash anywhere is repaired by
+    /// replaying from the (still present) log records — grouping only
+    /// widens the replay window, never the outcome.
+    fn apply_group(&mut self, assemblies: &[Assembly]) -> Result<()> {
         let mut temp_keys: Vec<String> = Vec::new();
-        let mut attr_batches: BTreeMap<String, Vec<ReplaceableAttribute>> = BTreeMap::new();
+        let mut items: Vec<(String, Vec<ReplaceableAttribute>)> = Vec::new();
 
         self.world.crash_point(D3_BEFORE_COPY)?;
-        for record in &assembly.payload {
-            match record {
-                WalRecord::Data {
-                    temp_key,
-                    name,
-                    version,
-                    nonce,
-                    ..
-                } => {
-                    let mut meta = Metadata::new();
-                    meta.insert(META_VERSION, version.to_string());
-                    meta.insert(META_NONCE, nonce.clone());
-                    self.copy_with_retry(temp_key, &data_key(name), meta)?;
-                    temp_keys.push(temp_key.clone());
-                    self.world.crash_point(D3_AFTER_COPY)?;
-                }
-                WalRecord::Prov {
-                    item_name, pairs, ..
-                } => {
-                    let batch = attr_batches.entry(item_name.clone()).or_default();
-                    for (name, value) in pairs {
-                        let resolved = match parse_staged(value) {
-                            Some((tmp, perm)) => {
-                                self.copy_with_retry(tmp, perm, Metadata::new())?;
-                                temp_keys.push(tmp.to_string());
-                                pointer(perm)
-                            }
-                            None => value.clone(),
-                        };
-                        batch.push(ReplaceableAttribute::add(name.clone(), resolved));
+        for assembly in assemblies {
+            let mut attr_batches: BTreeMap<String, Vec<ReplaceableAttribute>> = BTreeMap::new();
+            for record in &assembly.payload {
+                match record {
+                    WalRecord::Data {
+                        temp_key,
+                        name,
+                        version,
+                        nonce,
+                        ..
+                    } => {
+                        let mut meta = Metadata::new();
+                        meta.insert(META_VERSION, version.to_string());
+                        meta.insert(META_NONCE, nonce.clone());
+                        self.copy_with_retry(temp_key, &data_key(name), meta)?;
+                        temp_keys.push(temp_key.clone());
+                        self.world.crash_point(D3_AFTER_COPY)?;
                     }
+                    WalRecord::Prov {
+                        item_name, pairs, ..
+                    } => {
+                        let batch = attr_batches.entry(item_name.clone()).or_default();
+                        for (name, value) in pairs {
+                            let resolved = match parse_staged(value) {
+                                Some((tmp, perm)) => {
+                                    self.copy_with_retry(tmp, perm, Metadata::new())?;
+                                    temp_keys.push(tmp.to_string());
+                                    pointer(perm)
+                                }
+                                None => value.clone(),
+                            };
+                            batch.push(ReplaceableAttribute::add(name.clone(), resolved));
+                        }
+                    }
+                    WalRecord::Md5 {
+                        item_name,
+                        md5_hex,
+                        nonce,
+                        ..
+                    } => {
+                        let batch = attr_batches.entry(item_name.clone()).or_default();
+                        batch.push(ReplaceableAttribute::add(ATTR_MD5, md5_hex.clone()));
+                        batch.push(ReplaceableAttribute::add(ATTR_NONCE, nonce.clone()));
+                    }
+                    WalRecord::Begin { .. } | WalRecord::Commit { .. } => {}
                 }
-                WalRecord::Md5 {
+            }
+            for (item_name, attrs) in attr_batches {
+                // Respect SimpleDB's 256-pair item cap: spill the tail
+                // of a massive item into a continuation object
+                // (idempotent PUT).
+                let object = pass::ObjectRef::parse_item_name(&item_name)
+                    .unwrap_or_else(|| pass::ObjectRef::new(item_name.clone(), 0));
+                let pairs: Vec<(String, String)> = attrs
+                    .iter()
+                    .map(|a| (a.name.clone(), a.value.clone()))
+                    .collect();
+                let (pairs, continuation) = fit_item_pairs(&object, pairs);
+                if let Some((key, blob)) = continuation {
+                    self.s3.put_object(BUCKET, &key, blob, Metadata::new())?;
+                }
+                items.push((
                     item_name,
-                    md5_hex,
-                    nonce,
-                    ..
-                } => {
-                    let batch = attr_batches.entry(item_name.clone()).or_default();
-                    batch.push(ReplaceableAttribute::add(ATTR_MD5, md5_hex.clone()));
-                    batch.push(ReplaceableAttribute::add(ATTR_NONCE, nonce.clone()));
-                }
-                WalRecord::Begin { .. } | WalRecord::Commit { .. } => {}
+                    pairs
+                        .into_iter()
+                        .map(|(name, value)| ReplaceableAttribute::add(name, value))
+                        .collect(),
+                ));
             }
         }
-        for (item_name, attrs) in &attr_batches {
-            // Respect SimpleDB's 256-pair item cap: spill the tail of a
-            // massive item into a continuation object (idempotent PUT).
-            let object = pass::ObjectRef::parse_item_name(item_name)
-                .unwrap_or_else(|| pass::ObjectRef::new(item_name.clone(), 0));
-            let pairs: Vec<(String, String)> = attrs
-                .iter()
-                .map(|a| (a.name.clone(), a.value.clone()))
-                .collect();
-            let (pairs, continuation) = fit_item_pairs(&object, pairs);
-            if let Some((key, blob)) = continuation {
-                self.s3.put_object(BUCKET, &key, blob, Metadata::new())?;
-            }
-            let attrs: Vec<ReplaceableAttribute> = pairs
-                .into_iter()
-                .map(|(name, value)| ReplaceableAttribute::add(name, value))
-                .collect();
-            for chunk in attrs.chunks(MAX_ATTRS_PER_CALL) {
-                self.db.put_attributes(DOMAIN, item_name, chunk)?;
-                self.world.crash_point(D3_MID_PUTATTRS)?;
-            }
+        // Two transactions re-flushing the same item version land in
+        // separate packed groups (pack_attr_batches splits duplicates),
+        // preserving the sequential-application result.
+        for group in pack_attr_batches(items) {
+            self.db.batch_put_attributes(DOMAIN, &group)?;
+            self.world.crash_point(D3_MID_PUTATTRS)?;
         }
         self.world.crash_point(D3_BEFORE_MSG_DELETE)?;
-        for handle in &assembly.handles {
-            self.sqs.delete_message(&self.wal_url, handle)?;
+        // Log records go 10 handles per DeleteMessageBatch — a
+        // transaction's ≥ 4 records cost one round trip, not four.
+        for assembly in assemblies {
+            for chunk in assembly.handles.chunks(MAX_BATCH_ENTRIES) {
+                for outcome in self.sqs.delete_message_batch(&self.wal_url, chunk)? {
+                    outcome?;
+                }
+            }
         }
         self.world.crash_point(D3_BEFORE_TMP_DELETE)?;
-        for temp_key in &temp_keys {
-            self.s3.delete_object(BUCKET, temp_key)?;
+        // Temp objects go through multi-object delete from two keys up:
+        // these deletes sit on the commit path, where the saved round
+        // trips outweigh multi-delete's pricier put-class request rate
+        // (~1e-5 USD per call — the cleaner, with no latency budget,
+        // honours the billing break-even instead). A single key stays a
+        // point DELETE: same round trip, cheaper request class.
+        match temp_keys.len() {
+            0 => {}
+            1 => self.s3.delete_object(BUCKET, &temp_keys[0])?,
+            _ => {
+                for chunk in temp_keys.chunks(MAX_DELETE_KEYS) {
+                    self.s3.delete_objects(BUCKET, chunk)?;
+                }
+            }
         }
         Ok(())
     }
@@ -498,6 +540,7 @@ impl S3SimpleDbSqs {
     pub fn run_cleaner(&mut self) -> Result<u64> {
         let mut removed = 0;
         let now = self.world.now();
+        let mut doomed: Vec<String> = Vec::new();
         for summary in self.s3.list_all(BUCKET, TMP_PREFIX)? {
             let head = match self.s3.head_object(BUCKET, &summary.key) {
                 Ok(h) => h,
@@ -505,8 +548,23 @@ impl S3SimpleDbSqs {
                 Err(e) => return Err(e.into()),
             };
             if now.saturating_since(head.last_modified) > RETENTION {
-                self.s3.delete_object(BUCKET, &summary.key)?;
+                doomed.push(summary.key);
+            }
+        }
+        // Reap through multi-object delete: a GC sweep of N expired
+        // temporaries costs ⌈N/1000⌉ requests instead of N. Below the
+        // billing break-even, point deletes stay cheaper: multi-delete
+        // is a put-class POST at 10x a point DELETE's get-class rate,
+        // and a background sweep has no latency budget to buy back.
+        const MULTI_DELETE_BREAK_EVEN: usize = 10;
+        if doomed.len() < MULTI_DELETE_BREAK_EVEN {
+            for key in &doomed {
+                self.s3.delete_object(BUCKET, key)?;
                 removed += 1;
+            }
+        } else {
+            for chunk in doomed.chunks(MAX_DELETE_KEYS) {
+                removed += self.s3.delete_objects(BUCKET, chunk)?;
             }
         }
         Ok(removed)
@@ -603,6 +661,105 @@ impl ProvenanceStore for S3SimpleDbSqs {
         self.world.crash_point(A3_BEFORE_COMMIT)?;
         self.sqs
             .send_message(&self.wal_url, WalRecord::Commit { txid }.encode())?;
+        Ok(())
+    }
+
+    /// The batched §4.3 log phase. Every flush's temporaries are staged
+    /// first; then the WAL records of the *whole group* — BEGIN, data
+    /// pointer, provenance chunks, MD5, COMMIT per transaction, in
+    /// order — travel as `SendMessageBatch` calls packed under both the
+    /// 10-entry and [`sim_sqs::MAX_BATCH_PAYLOAD`] limits
+    /// ([`pack_wal_batches`]). Order is preserved, so a crash between
+    /// batches can only drop a *suffix*: any transaction whose COMMIT
+    /// made it onto the queue is complete, and any transaction cut off
+    /// mid-payload is missing its COMMIT and is ignored forever — the
+    /// §4.3 atomicity argument is untouched, while a typical 5-record
+    /// transaction costs ⌈5/10⌉ send requests instead of 5.
+    fn persist_batch(&mut self, flushes: &[FileFlush]) -> Result<()> {
+        if flushes.is_empty() {
+            return Ok(());
+        }
+        self.world.crash_point(A3_BEFORE_BEGIN)?;
+        let mut records: Vec<WalRecord> = Vec::new();
+        for flush in flushes {
+            self.cache.store(flush);
+            // Random transaction ids stay unique across client restarts.
+            let txid = self.world.rand_u64();
+            let tmp = tmp_prefix(&self.client_id, txid);
+            let nonce = nonce_for(&flush.object);
+            let item_name = flush.object.item_name();
+
+            // Serialise provenance; oversized values are staged as temp
+            // objects now and COPYed to permanent keys at commit.
+            let encoded = encode_records(&flush.object, &flush.records);
+            let mut pairs = encoded.pairs.clone();
+            let mut staged: Vec<(String, simworld::Blob)> = Vec::new();
+            for (i, (perm_key, blob)) in encoded.overflows.iter().enumerate() {
+                let tmp_key = format!("{tmp}ovf{i}");
+                for (_, value) in pairs.iter_mut() {
+                    if value == &pointer(perm_key) {
+                        *value = format!("@tmp:{tmp_key}|{perm_key}");
+                    }
+                }
+                staged.push((tmp_key, blob.clone()));
+            }
+
+            // Stage the data and overflow temporaries before any record
+            // of this transaction can be committed.
+            self.world.crash_point(A3_BEFORE_TEMP_PUT)?;
+            let temp_key = format!("{tmp}data");
+            self.s3
+                .put_object(BUCKET, &temp_key, flush.data.clone(), Metadata::new())?;
+            for (tmp_key, blob) in &staged {
+                self.s3
+                    .put_object(BUCKET, tmp_key, blob.clone(), Metadata::new())?;
+            }
+            self.world.crash_point(A3_AFTER_TEMP_PUT)?;
+
+            let md5_hex = if self.config.use_nonce {
+                flush.data.md5_with_suffix(nonce.as_bytes()).to_hex()
+            } else {
+                flush.data.md5().to_hex()
+            };
+            let prov_chunks = chunk_pairs(txid, &item_name, &pairs);
+            let payload_count = 1 + prov_chunks.len() as u32 + 1; // data + chunks + md5
+            records.push(WalRecord::Begin {
+                txid,
+                records: payload_count,
+            });
+            records.push(WalRecord::Data {
+                txid,
+                temp_key,
+                name: flush.object.name.clone(),
+                version: flush.object.version,
+                nonce: nonce.clone(),
+            });
+            records.extend(prov_chunks);
+            records.push(WalRecord::Md5 {
+                txid,
+                item_name,
+                md5_hex,
+                nonce,
+            });
+            records.push(WalRecord::Commit { txid });
+        }
+
+        let batches = pack_wal_batches(&records);
+        let last = batches.len() - 1;
+        for (i, batch) in batches.iter().enumerate() {
+            if i == last {
+                // The group's final commit rides in this batch.
+                self.world.crash_point(A3_BEFORE_COMMIT)?;
+            }
+            for outcome in self.sqs.send_message_batch(&self.wal_url, batch)? {
+                // Entry failures cannot happen (the chunker caps every
+                // record at one message); surface them if they ever do.
+                outcome?;
+            }
+            if i != last {
+                self.world.crash_point(A3_MID_PROV_LOG)?;
+            }
+        }
         Ok(())
     }
 

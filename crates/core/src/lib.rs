@@ -90,11 +90,11 @@ pub use properties::{
 pub use query::{ProvQuery, QueryAnswer, QueryItem, S3QueryEngine, SimpleDbQueryEngine};
 pub use retry::RetryPolicy;
 pub use serialize::{
-    decode_attributes, decode_metadata, encode_metadata, encode_records, read_nonce, read_version,
-    to_simpledb_attributes, EncodedProvenance,
+    decode_attributes, decode_metadata, encode_metadata, encode_records, pack_attr_batches,
+    read_nonce, read_version, to_simpledb_attributes, EncodedProvenance,
 };
 pub use store::{ProvenanceStore, ReadOutcome, ReadStatus, RecoveryReport};
-pub use wal::{chunk_pairs, WalRecord};
+pub use wal::{chunk_pairs, pack_wal_batches, WalRecord};
 
 #[cfg(test)]
 mod tests;

@@ -225,6 +225,36 @@ pub fn fit_item_pairs(
     (pairs, Some((key, Blob::from(body))))
 }
 
+/// Greedy first-fit grouping of finished provenance items into
+/// `BatchPutAttributes`-shaped calls: at most
+/// [`sim_simpledb::MAX_BATCH_ITEMS`] items and
+/// [`sim_simpledb::MAX_PAIRS_PER_BATCH`] summed attributes per group,
+/// and never the same item name twice in one group (the batch API
+/// rejects duplicates; splitting preserves the sequential-application
+/// semantics instead). Item order is preserved.
+pub fn pack_attr_batches(
+    items: Vec<(String, Vec<ReplaceableAttribute>)>,
+) -> Vec<Vec<(String, Vec<ReplaceableAttribute>)>> {
+    let mut groups: Vec<Vec<(String, Vec<ReplaceableAttribute>)>> = Vec::new();
+    let mut group: Vec<(String, Vec<ReplaceableAttribute>)> = Vec::new();
+    let mut group_pairs = 0usize;
+    for (name, attrs) in items {
+        let overfull = group.len() == sim_simpledb::MAX_BATCH_ITEMS
+            || group_pairs + attrs.len() > sim_simpledb::MAX_PAIRS_PER_BATCH
+            || group.iter().any(|(n, _)| n == &name);
+        if overfull && !group.is_empty() {
+            groups.push(std::mem::take(&mut group));
+            group_pairs = 0;
+        }
+        group_pairs += attrs.len();
+        group.push((name, attrs));
+    }
+    if !group.is_empty() {
+        groups.push(group);
+    }
+    groups
+}
+
 /// Reads provenance records back from a SimpleDB item's attributes,
 /// resolving overflow pointers through `fetch` and skipping the
 /// consistency attributes (`md5`, `nonce`).

@@ -110,6 +110,27 @@ pub trait ProvenanceStore {
     /// injection kills the client mid-protocol.
     fn persist(&mut self, flush: &FileFlush) -> Result<()>;
 
+    /// Persists a *group* of flushes in one go — the sink of the
+    /// group-commit flusher (`pass::GroupCommitFlusher`). The final
+    /// store state is identical to persisting the flushes one by one in
+    /// order; architectures with native batch support override this to
+    /// ship the group in far fewer billable requests (arch2 packs up to
+    /// 25 provenance items per `BatchPutAttributes`, arch3 packs WAL
+    /// records 10 per `SendMessageBatch`). The default simply loops over
+    /// [`ProvenanceStore::persist`].
+    ///
+    /// # Errors
+    ///
+    /// As [`ProvenanceStore::persist`]. On error, flushes earlier in the
+    /// group may already be durable (exactly as with sequential point
+    /// persists).
+    fn persist_batch(&mut self, flushes: &[FileFlush]) -> Result<()> {
+        for flush in flushes {
+            self.persist(flush)?;
+        }
+        Ok(())
+    }
+
     /// Reads the current version of `name` together with its provenance,
     /// enforcing whatever consistency story the architecture has.
     ///

@@ -681,3 +681,135 @@ fn arch3_cleaner_spares_fresh_temp_objects() {
     world.advance(sim_sqs::RETENTION + SimDuration::from_secs(1));
     assert!(store.run_cleaner().unwrap() > 0);
 }
+
+// --- batched persist path ---
+
+mod batched_persist {
+    use super::*;
+    use simworld::{Op, Service};
+
+    /// Persists the pipeline twice — point ops vs one `persist_batch`
+    /// group — and returns the two worlds for comparison.
+    fn both_paths(
+        kind: ArchKind,
+    ) -> (
+        SimWorld,
+        Box<dyn ProvenanceStore>,
+        SimWorld,
+        Box<dyn ProvenanceStore>,
+    ) {
+        let flushes = pipeline_flushes();
+        let point_world = counting();
+        let mut point = kind.build(&point_world);
+        persist_all(point.as_mut(), &flushes);
+        let batch_world = counting();
+        let mut batch = kind.build(&batch_world);
+        batch.persist_batch(&flushes).unwrap();
+        batch.run_daemons_until_idle().unwrap();
+        (point_world, point, batch_world, batch)
+    }
+
+    #[test]
+    fn batch_equals_point_for_every_architecture() {
+        for kind in ArchKind::ALL {
+            let (_, mut point, _, mut batch) = both_paths(kind);
+            // Same data, same provenance, same graph.
+            for name in ["in.dat", "mid.dat", "out.dat"] {
+                let p = point.read(name).unwrap();
+                let b = batch.read(name).unwrap();
+                assert!(b.consistent(), "{kind:?}/{name}");
+                assert_eq!(p.data.md5(), b.data.md5(), "{kind:?}/{name}");
+                let mut pr: Vec<_> = p.records.iter().map(|r| r.to_pair()).collect();
+                let mut br: Vec<_> = b.records.iter().map(|r| r.to_pair()).collect();
+                pr.sort();
+                br.sort();
+                assert_eq!(pr, br, "{kind:?}/{name}");
+            }
+            let pg = point.query(&ProvQuery::ProvenanceOfAll).unwrap();
+            let bg = batch.query(&ProvQuery::ProvenanceOfAll).unwrap();
+            assert!(
+                crate::ProvGraph::from_answer(&pg)
+                    .diff(&crate::ProvGraph::from_answer(&bg))
+                    .is_empty(),
+                "{kind:?}: graphs diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn arch2_batch_issues_fewer_provenance_requests() {
+        let (pw, _, bw, _) = both_paths(ArchKind::S3SimpleDb);
+        let point_puts = pw.meters().op_count(Op::SdbPutAttributes);
+        let batch_puts = bw.meters().op_count(Op::SdbBatchPutAttributes)
+            + bw.meters().op_count(Op::SdbPutAttributes);
+        assert!(point_puts >= 5, "pipeline must exercise several items");
+        assert!(
+            batch_puts * 5 <= point_puts,
+            "batched SimpleDB writes {batch_puts} must be >=5x fewer than {point_puts}"
+        );
+        // Every staged item still arrived.
+        assert_eq!(
+            bw.meters().batch_entry_count(Op::SdbBatchPutAttributes),
+            point_puts
+        );
+    }
+
+    #[test]
+    fn arch3_batch_issues_fewer_wal_requests() {
+        let (pw, _, bw, _) = both_paths(ArchKind::S3SimpleDbSqs);
+        let point_sends = pw.meters().op_count(Op::SqsSendMessage);
+        let batch_sends = bw.meters().op_count(Op::SqsSendMessageBatch)
+            + bw.meters().op_count(Op::SqsSendMessage);
+        assert!(point_sends >= 20, "five flushes x >=4 records each");
+        assert!(
+            batch_sends * 5 <= point_sends,
+            "batched WAL sends {batch_sends} must be >=5x fewer than {point_sends}"
+        );
+        assert_eq!(
+            bw.meters().batch_entry_count(Op::SqsSendMessageBatch),
+            point_sends,
+            "same records, fewer requests"
+        );
+        // The daemon's log-record deletes are batched on both paths, so
+        // the queue still drains completely.
+        assert_eq!(bw.meters().stored_bytes(Service::Sqs), 0);
+    }
+
+    #[test]
+    fn arch3_batched_group_crash_before_commit_is_ignored() {
+        // A crash before the final batch (the one carrying the group's
+        // last COMMIT) must leave a prefix of complete transactions plus
+        // at most one commit-less residue — never a half-applied tail.
+        let world = counting();
+        let mut store = S3SimpleDbSqs::new(&world, "c");
+        let flushes = pipeline_flushes();
+        world.with_faults(|f| f.arm(A3_BEFORE_COMMIT));
+        let err = store.persist_batch(&flushes).unwrap_err();
+        assert!(err.is_crash());
+        store.run_daemons_until_idle().unwrap();
+        world.settle();
+        // The last object of the pipeline cannot have committed.
+        assert!(matches!(
+            store.read("out.dat"),
+            Err(CloudError::NotFound { .. })
+        ));
+        // Whatever did apply is fully consistent (no orphan halves).
+        for name in ["in.dat", "mid.dat"] {
+            if let Ok(read) = store.read(name) {
+                assert!(read.consistent(), "{name}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        for kind in ArchKind::ALL {
+            let world = counting();
+            let mut store = kind.build(&world);
+            let before = world.meters();
+            store.persist_batch(&[]).unwrap();
+            let delta = world.meters() - before;
+            assert_eq!(delta.total_ops(), 0, "{kind:?}");
+        }
+    }
+}

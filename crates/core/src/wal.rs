@@ -13,7 +13,7 @@
 //! limit except for the payload itself (the chunker guarantees that).
 
 use serde::{Deserialize, Serialize};
-use sim_sqs::MAX_MESSAGE_SIZE;
+use sim_sqs::{MAX_BATCH_ENTRIES, MAX_BATCH_PAYLOAD, MAX_MESSAGE_SIZE};
 
 /// One WAL record.
 #[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
@@ -240,6 +240,42 @@ pub fn chunk_pairs(txid: u64, item_name: &str, pairs: &[(String, String)]) -> Ve
     out
 }
 
+/// Packs already-encoded WAL records into `SendMessageBatch`-shaped
+/// groups, preserving order and respecting **both** batch limits: at
+/// most [`MAX_BATCH_ENTRIES`] entries and at most [`MAX_BATCH_PAYLOAD`]
+/// summed body bytes per group. Greedy first-fit in order — order is
+/// load-bearing for the WAL (a transaction's `Commit` must never travel
+/// before its payload), so records are never reordered to pack tighter.
+///
+/// Callers of [`chunk_pairs`] feed its output (plus the framing records)
+/// through here instead of one `SendMessage` per record; each returned
+/// group is exactly one billable request.
+pub fn pack_wal_batches(records: &[WalRecord]) -> Vec<Vec<String>> {
+    let mut batches: Vec<Vec<String>> = Vec::new();
+    let mut current: Vec<String> = Vec::new();
+    let mut current_bytes = 0usize;
+    for record in records {
+        let encoded = record.encode();
+        debug_assert!(
+            encoded.len() <= MAX_MESSAGE_SIZE,
+            "chunk_pairs guarantees every record fits one message"
+        );
+        if !current.is_empty()
+            && (current.len() == MAX_BATCH_ENTRIES
+                || current_bytes + encoded.len() > MAX_BATCH_PAYLOAD)
+        {
+            batches.push(std::mem::take(&mut current));
+            current_bytes = 0;
+        }
+        current_bytes += encoded.len();
+        current.push(encoded);
+    }
+    if !current.is_empty() {
+        batches.push(current);
+    }
+    batches
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -351,5 +387,90 @@ mod tests {
         let pairs = vec![("type".to_string(), "file".to_string())];
         let chunks = chunk_pairs(1, "i 1", &pairs);
         assert_eq!(chunks.len(), 1);
+    }
+
+    /// A `Prov` record whose encoded form is exactly `len` bytes.
+    fn record_of_len(txid: u64, len: usize) -> WalRecord {
+        let skeleton = WalRecord::Prov {
+            txid,
+            item_name: "i".into(),
+            pairs: vec![("k".into(), String::new())],
+        };
+        let pad = len
+            .checked_sub(skeleton.encode().len())
+            .expect("len must cover the framing");
+        let record = WalRecord::Prov {
+            txid,
+            item_name: "i".into(),
+            pairs: vec![("k".into(), "v".repeat(pad))],
+        };
+        assert_eq!(record.encode().len(), len);
+        record
+    }
+
+    #[test]
+    fn pack_respects_entry_limit() {
+        let records: Vec<WalRecord> = (0..25).map(|i| WalRecord::Commit { txid: i }).collect();
+        let batches = pack_wal_batches(&records);
+        assert_eq!(
+            batches.iter().map(Vec::len).collect::<Vec<_>>(),
+            vec![10, 10, 5],
+            "tiny records pack to the 10-entry limit"
+        );
+        // Order is preserved end to end.
+        let flat: Vec<String> = batches.into_iter().flatten().collect();
+        let want: Vec<String> = records.iter().map(WalRecord::encode).collect();
+        assert_eq!(flat, want);
+    }
+
+    #[test]
+    fn pack_respects_payload_limit_at_the_boundary() {
+        // Eight maximal 8 KB records sum to exactly MAX_BATCH_PAYLOAD:
+        // filling the limit to the byte is legal, so they ride one
+        // batch, and a ninth (tiny) record must open the next one even
+        // though the entry count (8 < 10) would admit it.
+        assert_eq!(8 * MAX_MESSAGE_SIZE, MAX_BATCH_PAYLOAD);
+        let mut records: Vec<WalRecord> =
+            (0..8).map(|i| record_of_len(i, MAX_MESSAGE_SIZE)).collect();
+        records.push(record_of_len(8, 100));
+        let batches = pack_wal_batches(&records);
+        assert_eq!(batches.iter().map(Vec::len).collect::<Vec<_>>(), vec![8, 1]);
+        assert_eq!(
+            batches[0].iter().map(String::len).sum::<usize>(),
+            MAX_BATCH_PAYLOAD,
+            "a batch may fill the payload limit exactly"
+        );
+        // Nudge the sum one record-width past the limit (a small record
+        // up front): the eighth maximal record no longer fits and the
+        // payload bound — not the 10-entry bound — forces the split.
+        let mut over: Vec<WalRecord> = vec![record_of_len(100, 100)];
+        over.extend((0..8).map(|i| record_of_len(i, MAX_MESSAGE_SIZE)));
+        let batches = pack_wal_batches(&over);
+        assert_eq!(batches.iter().map(Vec::len).collect::<Vec<_>>(), vec![8, 1]);
+        assert!(batches[0].iter().map(String::len).sum::<usize>() <= MAX_BATCH_PAYLOAD);
+    }
+
+    #[test]
+    fn pack_both_limits_bind_on_maximal_messages() {
+        // Ten maximal 8 KB records do NOT fit one batch: the 64 KB
+        // payload limit binds first, at eight entries.
+        let records: Vec<WalRecord> = (0..10)
+            .map(|i| record_of_len(i, MAX_MESSAGE_SIZE))
+            .collect();
+        let batches = pack_wal_batches(&records);
+        assert_eq!(batches.iter().map(Vec::len).collect::<Vec<_>>(), vec![8, 2]);
+        for batch in &batches {
+            assert!(batch.len() <= MAX_BATCH_ENTRIES);
+            assert!(batch.iter().map(String::len).sum::<usize>() <= MAX_BATCH_PAYLOAD);
+        }
+    }
+
+    #[test]
+    fn pack_empty_and_single() {
+        assert!(pack_wal_batches(&[]).is_empty());
+        let one = [WalRecord::Commit { txid: 1 }];
+        let batches = pack_wal_batches(&one);
+        assert_eq!(batches.len(), 1);
+        assert_eq!(batches[0], vec![one[0].encode()]);
     }
 }

@@ -186,9 +186,14 @@ pub fn cost_of(snapshot: &MeterSnapshot, months_stored: f64, book: &PriceBook) -
                 }
             }
             Service::SimpleDb => match op {
-                Op::SdbPutAttributes | Op::SdbDeleteAttributes | Op::SdbCreateDomain => {
-                    sdb_writes += count
-                }
+                // A batch is one billable write request however many
+                // items it carries — this is the measurable form of the
+                // paper's ship-provenance-in-few-round-trips argument.
+                Op::SdbPutAttributes
+                | Op::SdbBatchPutAttributes
+                | Op::SdbBatchDeleteAttributes
+                | Op::SdbDeleteAttributes
+                | Op::SdbCreateDomain => sdb_writes += count,
                 _ => sdb_reads += count,
             },
             Service::Sqs => sqs_requests += count,
@@ -277,6 +282,58 @@ mod tests {
         });
         let report = cost_of(&snap, 0.0, &PriceBook::january_2009());
         assert!((report.sqs.requests - 0.02).abs() < 1e-9);
+    }
+
+    #[test]
+    fn batches_bill_one_request_each() {
+        // 1,000 messages as point sends vs 100 full batches: the batch
+        // path must cost exactly 10x less in request charges, because a
+        // batch is one billable request however many entries it carries.
+        let point = snapshot_with(|b| {
+            for _ in 0..1_000 {
+                b.record(Op::SqsSendMessage, 100, 0);
+            }
+        });
+        let batched = snapshot_with(|b| {
+            for _ in 0..100 {
+                b.record_batch(Op::SqsSendMessageBatch, 10, 1000, 0);
+            }
+        });
+        let book = PriceBook::january_2009();
+        let point_cost = cost_of(&point, 0.0, &book);
+        let batch_cost = cost_of(&batched, 0.0, &book);
+        assert!((point_cost.sqs.requests - 10.0 * batch_cost.sqs.requests).abs() < 1e-9);
+        // Transfer charges stay identical: the same bytes moved.
+        assert!((point_cost.sqs.transfer_in - batch_cost.sqs.transfer_in).abs() < 1e-12);
+    }
+
+    #[test]
+    fn simpledb_batch_is_one_write_request() {
+        let snap = snapshot_with(|b| {
+            b.record_batch(Op::SdbBatchPutAttributes, 25, 0, 0);
+            b.record_batch(Op::SdbBatchDeleteAttributes, 25, 0, 0);
+        });
+        let report = cost_of(&snap, 0.0, &PriceBook::january_2009());
+        let expected = 2.0 * 0.0000219907 * 0.14; // two write requests
+        assert!((report.simpledb.requests - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multi_object_delete_bills_put_class_once() {
+        // 1,000 point deletes (get class) cost $0.001; one multi-delete
+        // of the same keys is a single put-class POST at $0.00001.
+        let point = snapshot_with(|b| {
+            for _ in 0..1_000 {
+                b.record(Op::S3Delete, 0, 0);
+            }
+        });
+        let batched = snapshot_with(|b| b.record_batch(Op::S3DeleteObjects, 1_000, 0, 0));
+        let book = PriceBook::january_2009();
+        let point_cost = cost_of(&point, 0.0, &book).s3.requests;
+        let batch_cost = cost_of(&batched, 0.0, &book).s3.requests;
+        assert!((point_cost - 0.001).abs() < 1e-9);
+        assert!((batch_cost - 0.00001).abs() < 1e-9);
+        assert!(batch_cost * 10.0 <= point_cost);
     }
 
     #[test]

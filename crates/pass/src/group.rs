@@ -1,0 +1,203 @@
+//! Group-commit flushing: coalesce pending [`FileFlush`]es and drain
+//! them in batches.
+//!
+//! The paper's cost argument is that provenance must reach the cloud in
+//! as few billable round trips as possible. The storage backends expose
+//! batch APIs (`BatchPutAttributes`, `SendMessageBatch`, multi-object
+//! delete), but PASS produces flushes one `close()` at a time — so the
+//! front end needs a place where consecutive closes *coalesce* before
+//! they ship. [`GroupCommitFlusher`] is that place: `submit` buffers a
+//! flush and hands back a full group the moment a count or byte
+//! threshold trips; the caller (the cloud layer's `persist_batch`, or
+//! the bench harness) pushes each group through the batch APIs in one
+//! round trip per service.
+//!
+//! The flusher is deliberately backend-agnostic: it owns the
+//! *when-to-drain* policy only, never a service handle, so the same
+//! buffering drives every architecture — and tests can pin the policy
+//! without a cloud in sight.
+
+use serde::{Deserialize, Serialize};
+
+use crate::flush::FileFlush;
+
+/// When a [`GroupCommitFlusher`] drains: whichever threshold trips
+/// first.
+///
+/// # Examples
+///
+/// ```
+/// use pass::FlushPolicy;
+///
+/// let policy = FlushPolicy::default();
+/// assert_eq!(policy.max_flushes, 25); // one SimpleDB batch per drain
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct FlushPolicy {
+    /// Drain once this many flushes are pending. The default matches
+    /// SimpleDB's 25-item batch limit, so one drain is (at most) one
+    /// `BatchPutAttributes` call on Architecture 2.
+    pub max_flushes: usize,
+    /// Drain once the pending flushes' data + provenance bytes reach
+    /// this. Keeps a group of large files from holding many megabytes
+    /// in memory waiting for the count threshold.
+    pub max_bytes: u64,
+}
+
+impl Default for FlushPolicy {
+    fn default() -> Self {
+        FlushPolicy {
+            max_flushes: 25,
+            max_bytes: 4 * 1024 * 1024,
+        }
+    }
+}
+
+impl FlushPolicy {
+    /// A policy that drains after exactly `n` flushes (bytes unbounded)
+    /// — the knob the batch-size sweeps turn.
+    pub fn every(n: usize) -> FlushPolicy {
+        FlushPolicy {
+            max_flushes: n.max(1),
+            max_bytes: u64::MAX,
+        }
+    }
+}
+
+/// Coalesces pending flushes into drain-ready groups.
+///
+/// # Examples
+///
+/// ```
+/// use pass::{FileFlush, FlushPolicy, GroupCommitFlusher};
+/// use simworld::Blob;
+///
+/// let mut flusher = GroupCommitFlusher::new(FlushPolicy::every(2));
+/// let a = FileFlush::builder("a").data(Blob::from("1")).build();
+/// let b = FileFlush::builder("b").data(Blob::from("2")).build();
+/// assert!(flusher.submit(a).is_none()); // buffered
+/// let group = flusher.submit(b).expect("second flush trips the policy");
+/// assert_eq!(group.len(), 2);
+/// assert_eq!(flusher.pending(), 0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct GroupCommitFlusher {
+    policy: FlushPolicy,
+    pending: Vec<FileFlush>,
+    pending_bytes: u64,
+}
+
+impl GroupCommitFlusher {
+    /// An empty flusher with the given policy.
+    pub fn new(policy: FlushPolicy) -> GroupCommitFlusher {
+        GroupCommitFlusher {
+            policy,
+            pending: Vec::new(),
+            pending_bytes: 0,
+        }
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> FlushPolicy {
+        self.policy
+    }
+
+    /// Flushes currently buffered.
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Data + provenance bytes currently buffered.
+    pub fn pending_bytes(&self) -> u64 {
+        self.pending_bytes
+    }
+
+    /// Buffers one flush. Returns `Some(group)` — every pending flush,
+    /// submission order preserved — the moment a threshold trips; the
+    /// caller must persist the group (it is no longer buffered).
+    /// Durability therefore lags `close()` by at most one group: a
+    /// client crash loses only the un-drained tail, which is the same
+    /// window a crash between point persists already had.
+    #[must_use = "a returned group is no longer buffered; it must be persisted"]
+    pub fn submit(&mut self, flush: FileFlush) -> Option<Vec<FileFlush>> {
+        self.pending_bytes += flush.data.len() + flush.provenance_bytes();
+        self.pending.push(flush);
+        if self.pending.len() >= self.policy.max_flushes
+            || self.pending_bytes >= self.policy.max_bytes
+        {
+            return Some(self.drain());
+        }
+        None
+    }
+
+    /// Hands back everything buffered (possibly empty) — the shutdown /
+    /// sync path, and the tail of every experiment.
+    pub fn drain(&mut self) -> Vec<FileFlush> {
+        self.pending_bytes = 0;
+        std::mem::take(&mut self.pending)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simworld::Blob;
+
+    fn flush_of(name: &str, bytes: u64) -> FileFlush {
+        FileFlush::builder(name)
+            .data(Blob::synthetic(1, bytes))
+            .record("input", "seed:1")
+            .build()
+    }
+
+    #[test]
+    fn count_threshold_trips_in_submission_order() {
+        let mut f = GroupCommitFlusher::new(FlushPolicy::every(3));
+        assert!(f.submit(flush_of("a", 10)).is_none());
+        assert!(f.submit(flush_of("b", 10)).is_none());
+        assert_eq!(f.pending(), 2);
+        let group = f.submit(flush_of("c", 10)).unwrap();
+        let names: Vec<&str> = group.iter().map(|g| g.object.name.as_str()).collect();
+        assert_eq!(names, vec!["a", "b", "c"]);
+        assert_eq!(f.pending(), 0);
+        assert_eq!(f.pending_bytes(), 0);
+    }
+
+    #[test]
+    fn byte_threshold_trips_before_count() {
+        let mut f = GroupCommitFlusher::new(FlushPolicy {
+            max_flushes: 100,
+            max_bytes: 1000,
+        });
+        assert!(f.submit(flush_of("small", 10)).is_none());
+        let group = f.submit(flush_of("big", 2000)).unwrap();
+        assert_eq!(group.len(), 2, "the oversized flush drains immediately");
+    }
+
+    #[test]
+    fn pending_bytes_counts_data_and_provenance() {
+        let mut f = GroupCommitFlusher::new(FlushPolicy::every(10));
+        let flush = flush_of("x", 100);
+        let expected = flush.data.len() + flush.provenance_bytes();
+        assert!(f.submit(flush).is_none());
+        assert_eq!(f.pending_bytes(), expected);
+    }
+
+    #[test]
+    fn drain_empties_and_is_idempotent() {
+        let mut f = GroupCommitFlusher::new(FlushPolicy::default());
+        assert!(f.submit(flush_of("a", 10)).is_none());
+        assert_eq!(f.drain().len(), 1);
+        assert!(f.drain().is_empty());
+    }
+
+    #[test]
+    fn every_clamps_to_one() {
+        let mut f = GroupCommitFlusher::new(FlushPolicy::every(0));
+        assert_eq!(
+            f.submit(flush_of("a", 1)).map(|g| g.len()),
+            Some(1),
+            "degenerate policy degrades to point flushing, never to stalling"
+        );
+    }
+}

@@ -49,12 +49,14 @@
 
 mod cache;
 mod flush;
+mod group;
 mod model;
 mod observer;
 mod records;
 
 pub use cache::{CacheDir, CacheEntry};
 pub use flush::{FileFlush, FileFlushBuilder};
+pub use group::{FlushPolicy, GroupCommitFlusher};
 pub use model::{process_name, ObjectKind, ObjectRef};
 pub use observer::{Observer, ObserverError, Result, TraceEvent};
 pub use records::{references, ProvenanceRecord, RecordKey, RecordValue};

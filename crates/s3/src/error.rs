@@ -58,6 +58,15 @@ pub enum S3Error {
         /// The rejected name.
         bucket: String,
     },
+    /// A multi-object delete carried no keys (`MalformedXML` in the real
+    /// service — an empty `<Delete>` document).
+    EmptyDelete,
+    /// A multi-object delete carried more than
+    /// [`crate::MAX_DELETE_KEYS`] keys (`MalformedXML`).
+    TooManyDeleteKeys {
+        /// Keys submitted.
+        submitted: usize,
+    },
 }
 
 impl fmt::Display for S3Error {
@@ -82,6 +91,13 @@ impl fmt::Display for S3Error {
             }
             S3Error::InvalidBucketName { bucket } => {
                 write!(f, "invalid bucket name: {bucket:?}")
+            }
+            S3Error::EmptyDelete => f.write_str("multi-object delete must carry at least one key"),
+            S3Error::TooManyDeleteKeys { submitted } => {
+                write!(
+                    f,
+                    "{submitted} keys submitted; a multi-object delete carries at most 1000"
+                )
             }
         }
     }

@@ -44,8 +44,8 @@ mod service;
 pub use error::{Result, S3Error};
 pub use metadata::{Metadata, METADATA_LIMIT};
 pub use service::{
-    Head, Listing, MetadataDirective, Object, ObjectSummary, DEFAULT_SHARDS, MAX_KEY_LEN,
-    MAX_LIST_KEYS, MAX_OBJECT_SIZE, MAX_SHARDS, S3,
+    Head, Listing, MetadataDirective, Object, ObjectSummary, DEFAULT_SHARDS, MAX_DELETE_KEYS,
+    MAX_KEY_LEN, MAX_LIST_KEYS, MAX_OBJECT_SIZE, MAX_SHARDS, S3,
 };
 
 #[cfg(test)]

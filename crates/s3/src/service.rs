@@ -41,6 +41,9 @@ pub const MAX_KEY_LEN: usize = 1024;
 /// Maximum keys returned per LIST page.
 pub const MAX_LIST_KEYS: usize = 1000;
 
+/// Maximum keys per multi-object delete request.
+pub const MAX_DELETE_KEYS: usize = 1000;
+
 /// Default number of hash shards per bucket.
 pub const DEFAULT_SHARDS: usize = 16;
 
@@ -467,6 +470,67 @@ impl S3 {
             map.write(&self.world, key.to_string(), None);
         }
         Ok(())
+    }
+
+    /// Multi-object delete (`POST ?delete`): removes up to
+    /// [`MAX_DELETE_KEYS`] keys in **one billable request**. Keys are
+    /// grouped by hash shard and every touched shard's lock is taken
+    /// exactly once; shards drop their keys in parallel, so the latency
+    /// model charges one round trip plus the busiest shard's share of
+    /// the per-key marginal cost. Idempotent per key, like
+    /// [`S3::delete_object`]. Returns how many keys actually held an
+    /// object.
+    ///
+    /// # Errors
+    ///
+    /// Every error mutates nothing: [`S3Error::EmptyDelete`],
+    /// [`S3Error::TooManyDeleteKeys`], [`S3Error::KeyTooLong`],
+    /// [`S3Error::NoSuchBucket`].
+    pub fn delete_objects(&self, bucket: &str, keys: &[String]) -> Result<u64> {
+        if keys.is_empty() {
+            return Err(S3Error::EmptyDelete);
+        }
+        if keys.len() > MAX_DELETE_KEYS {
+            return Err(S3Error::TooManyDeleteKeys {
+                submitted: keys.len(),
+            });
+        }
+        for key in keys {
+            if key.len() > MAX_KEY_LEN {
+                return Err(S3Error::KeyTooLong { length: key.len() });
+            }
+        }
+        let bkt = self.bucket(bucket)?;
+
+        // Group keys per shard and take each touched shard's lock once,
+        // in ascending shard order (deadlock-free against concurrent
+        // batches).
+        let mut by_shard: BTreeMap<usize, Vec<&String>> = BTreeMap::new();
+        for key in keys {
+            by_shard.entry(bkt.shard_of(key)).or_default().push(key);
+        }
+        let gating = by_shard.values().map(Vec::len).max().unwrap_or(0) as u64;
+        let bytes_in: u64 = keys.iter().map(|k| k.len() as u64).sum();
+        self.world
+            .record_batch(Op::S3DeleteObjects, keys.len() as u64, bytes_in, 0, gating);
+        let mut removed = 0u64;
+        let mut freed = 0i64;
+        for (shard, shard_keys) in &by_shard {
+            let mut map = bkt.shards[*shard].lock();
+            self.world.record_shard_touch(Service::S3, *shard as u32);
+            for key in shard_keys {
+                let prev = map.read_latest(&key.to_string()).map(|s| s.footprint());
+                if let Some(footprint) = prev {
+                    freed += footprint as i64;
+                    removed += 1;
+                    map.write(&self.world, key.to_string(), None);
+                }
+            }
+        }
+        if freed > 0 {
+            self.world.adjust_stored(Service::S3, -freed);
+        }
+        Ok(removed)
     }
 
     /// Lists keys (lexicographic) matching `prefix`, starting strictly

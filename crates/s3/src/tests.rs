@@ -573,3 +573,122 @@ fn list_all_pins_replicas_for_the_whole_walk() {
         "the sweep should observe both the stale and the fresh replica view"
     );
 }
+
+// --- multi-object delete ---
+
+mod delete_objects {
+    use super::*;
+    use crate::{MAX_DELETE_KEYS, MAX_KEY_LEN};
+
+    fn fill(s3: &S3, n: usize) -> Vec<String> {
+        (0..n)
+            .map(|i| {
+                let key = format!("obj/{i:03}");
+                s3.put_object("b", &key, Blob::synthetic(i as u64, 64), Metadata::new())
+                    .unwrap();
+                key
+            })
+            .collect()
+    }
+
+    #[test]
+    fn removes_all_keys_in_one_request() {
+        let (world, s3) = counting();
+        let keys = fill(&s3, 40);
+        let before = world.meters();
+        let removed = s3.delete_objects("b", &keys).unwrap();
+        let delta = world.meters() - before;
+        assert_eq!(removed, 40);
+        assert_eq!(delta.op_count(Op::S3DeleteObjects), 1);
+        assert_eq!(delta.batch_entry_count(Op::S3DeleteObjects), 40);
+        assert_eq!(delta.op_count(Op::S3Delete), 0);
+        assert!(s3.latest_keys("b", "").is_empty());
+        assert_eq!(world.meters().stored_bytes(Service::S3), 0);
+    }
+
+    #[test]
+    fn absent_keys_are_idempotent_and_uncounted() {
+        let (_, s3) = counting();
+        fill(&s3, 2);
+        let keys = vec![
+            "obj/000".to_string(),
+            "never/existed".to_string(),
+            "obj/001".to_string(),
+        ];
+        assert_eq!(s3.delete_objects("b", &keys).unwrap(), 2);
+        // Replay deletes nothing further.
+        assert_eq!(s3.delete_objects("b", &keys).unwrap(), 0);
+    }
+
+    #[test]
+    fn error_paths_mutate_nothing() {
+        let (world, s3) = counting();
+        let keys = fill(&s3, 3);
+        let stored_before = world.meters().stored_bytes(Service::S3);
+        let before = world.meters();
+        assert_eq!(s3.delete_objects("b", &[]), Err(S3Error::EmptyDelete));
+        let too_many: Vec<String> = (0..MAX_DELETE_KEYS + 1).map(|i| format!("k{i}")).collect();
+        assert_eq!(
+            s3.delete_objects("b", &too_many),
+            Err(S3Error::TooManyDeleteKeys {
+                submitted: MAX_DELETE_KEYS + 1
+            })
+        );
+        let bad_key = vec![keys[0].clone(), "x".repeat(MAX_KEY_LEN + 1)];
+        assert_eq!(
+            s3.delete_objects("b", &bad_key),
+            Err(S3Error::KeyTooLong {
+                length: MAX_KEY_LEN + 1
+            })
+        );
+        assert_eq!(
+            s3.delete_objects("nope", &keys),
+            Err(S3Error::NoSuchBucket {
+                bucket: "nope".to_string()
+            })
+        );
+        let delta = world.meters() - before;
+        assert_eq!(delta.total_ops(), 0, "rejected deletes leave no trace");
+        assert_eq!(world.meters().stored_bytes(Service::S3), stored_before);
+        assert_eq!(s3.latest_keys("b", "").len(), 3);
+    }
+
+    #[test]
+    fn matches_point_deletes_in_final_state() {
+        let (_, point_s3) = counting();
+        let (_, batch_s3) = counting();
+        let keys = fill(&point_s3, 12);
+        fill(&batch_s3, 12);
+        let doomed: Vec<String> = keys.iter().take(7).cloned().collect();
+        for key in &doomed {
+            point_s3.delete_object("b", key).unwrap();
+        }
+        batch_s3.delete_objects("b", &doomed).unwrap();
+        assert_eq!(point_s3.latest_keys("b", ""), batch_s3.latest_keys("b", ""));
+    }
+
+    #[test]
+    fn batch_delete_is_cheaper_than_point_deletes_in_virtual_time() {
+        let elapsed = |batched: bool| {
+            let world = SimWorld::new(91);
+            let s3 = S3::new(&world);
+            s3.create_bucket("b").unwrap();
+            let keys = fill(&s3, 30);
+            let t0 = world.now();
+            if batched {
+                s3.delete_objects("b", &keys).unwrap();
+            } else {
+                for key in &keys {
+                    s3.delete_object("b", key).unwrap();
+                }
+            }
+            (world.now() - t0).as_micros()
+        };
+        let point = elapsed(false);
+        let batch = elapsed(true);
+        assert!(
+            batch * 5 < point,
+            "batch {batch}µs must undercut point deletes {point}µs by >5x"
+        );
+    }
+}

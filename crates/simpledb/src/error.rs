@@ -49,6 +49,26 @@ pub enum SdbError {
     },
     /// An empty attribute list was submitted (`MissingParameter`).
     EmptyAttributeList,
+    /// A batch call carried no items (`MissingParameter`).
+    EmptyBatch,
+    /// More than 25 items in one batch call
+    /// (`NumberSubmittedItemsExceeded`).
+    TooManyItemsInBatch {
+        /// Items submitted.
+        submitted: usize,
+    },
+    /// One item name appeared more than once in a batch call
+    /// (`DuplicateItemName`).
+    DuplicateItemInBatch {
+        /// The repeated item name.
+        item: String,
+    },
+    /// The summed attribute count of a batch call exceeded 256
+    /// (`NumberSubmittedAttributesExceeded`).
+    TooManyAttributesInBatch {
+        /// Total attributes submitted across the batch's items.
+        submitted: usize,
+    },
     /// The query/select expression failed to parse
     /// (`InvalidQueryExpression`).
     InvalidQuery {
@@ -95,6 +115,19 @@ impl fmt::Display for SdbError {
                 )
             }
             SdbError::EmptyAttributeList => f.write_str("attribute list must not be empty"),
+            SdbError::EmptyBatch => f.write_str("batch must carry at least one item"),
+            SdbError::TooManyItemsInBatch { submitted } => {
+                write!(f, "{submitted} items submitted; a batch carries at most 25")
+            }
+            SdbError::DuplicateItemInBatch { item } => {
+                write!(f, "item {item:?} appears more than once in the batch")
+            }
+            SdbError::TooManyAttributesInBatch { submitted } => {
+                write!(
+                    f,
+                    "{submitted} attributes submitted across the batch; the limit is 256"
+                )
+            }
             SdbError::InvalidQuery { message } => write!(f, "invalid query expression: {message}"),
             SdbError::InvalidNextToken => f.write_str("invalid pagination token"),
         }

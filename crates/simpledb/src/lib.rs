@@ -59,7 +59,8 @@ pub use query::{CmpOp, Predicate, QueryExpr};
 pub use select::{Cond, Operand, Output, SelectStatement, DEFAULT_LIMIT, MAX_LIMIT};
 pub use service::{
     DeletableAttribute, QueryResult, QueryWithAttributesResult, ResultItem, SelectResult, SimpleDb,
-    DEFAULT_SHARDS, MAX_SHARDS, QUERY_DEFAULT_PAGE, QUERY_MAX_PAGE,
+    DEFAULT_SHARDS, MAX_BATCH_ITEMS, MAX_PAIRS_PER_BATCH, MAX_SHARDS, QUERY_DEFAULT_PAGE,
+    QUERY_MAX_PAGE,
 };
 
 #[cfg(test)]

@@ -44,6 +44,13 @@ pub const QUERY_DEFAULT_PAGE: usize = 100;
 /// Maximum page size for `Query`/`QueryWithAttributes`.
 pub const QUERY_MAX_PAGE: usize = 250;
 
+/// Maximum items per `BatchPutAttributes`/`BatchDeleteAttributes` call.
+pub const MAX_BATCH_ITEMS: usize = 25;
+
+/// Maximum attribute name-value pairs summed across one batch call's
+/// items (the real service's `NumberSubmittedAttributesExceeded` bound).
+pub const MAX_PAIRS_PER_BATCH: usize = 256;
+
 /// Default number of hash shards per domain.
 pub const DEFAULT_SHARDS: usize = 16;
 
@@ -280,29 +287,9 @@ impl SimpleDb {
         let shard = dom.shard_of(item_name);
         let mut map = dom.shards[shard].lock();
 
-        let mut item = map.read_latest(&item_name.to_string()).unwrap_or_default();
-        let before_bytes = byte_size(&item);
-        // Replacement drops all existing values of the name once per
-        // call, before any values from this call are added.
-        let mut replaced: Vec<&str> = Vec::new();
-        for a in attrs {
-            if a.replace && !replaced.contains(&a.name.as_str()) {
-                item.remove(&a.name);
-                replaced.push(&a.name);
-            }
-        }
-        for a in attrs {
-            item.entry(a.name.clone())
-                .or_default()
-                .insert(a.value.clone());
-        }
-        let pairs = pair_count(&item);
-        if pairs > MAX_PAIRS_PER_ITEM {
-            return Err(SdbError::TooManyAttributesOnItem {
-                item: item_name.to_string(),
-                pairs,
-            });
-        }
+        let current = map.read_latest(&item_name.to_string());
+        let before_bytes = current.as_ref().map(byte_size).unwrap_or(0);
+        let item = apply_put(item_name, current, attrs)?;
         let after_bytes = byte_size(&item);
         let bytes_in: u64 = attrs
             .iter()
@@ -374,41 +361,169 @@ impl SimpleDb {
             .record_op(Op::SdbDeleteAttributes, item_name.len() as u64, 0);
         self.world
             .record_shard_touch(Service::SimpleDb, shard as u32);
-        let Some(mut item) = map.read_latest(&item_name.to_string()) else {
+        let Some(item) = map.read_latest(&item_name.to_string()) else {
             return Ok(());
         };
         let before_bytes = byte_size(&item);
-        let new_state = match attrs {
-            None => None,
-            Some(specs) => {
-                for spec in specs {
-                    match &spec.value {
-                        None => {
-                            item.remove(&spec.name);
-                        }
-                        Some(v) => {
-                            if let Some(values) = item.get_mut(&spec.name) {
-                                values.remove(v);
-                                if values.is_empty() {
-                                    item.remove(&spec.name);
-                                }
-                            }
-                        }
-                    }
-                }
-                // An item with no attributes ceases to exist.
-                if item.is_empty() {
-                    None
-                } else {
-                    Some(item)
-                }
-            }
-        };
+        let new_state = apply_delete(item, attrs);
         let after_bytes = new_state.as_ref().map(byte_size).unwrap_or(0);
         self.world
             .adjust_stored(Service::SimpleDb, after_bytes as i64 - before_bytes as i64);
         map.write(&self.world, item_name.to_string(), new_state);
         map.gc(self.world.now());
+        Ok(())
+    }
+
+    /// `BatchPutAttributes`: writes up to [`MAX_BATCH_ITEMS`] items (and
+    /// [`MAX_PAIRS_PER_BATCH`] attributes summed across them) in **one
+    /// billable request**. Items are grouped by hash shard and every
+    /// touched shard's lock is taken exactly once per batch — then held
+    /// together while the batch applies, so the batch lands atomically
+    /// with respect to concurrent readers of those shards. The latency
+    /// model charges one round trip plus the busiest shard's share of
+    /// the per-item marginal cost, mirroring the fan-out scan pricing.
+    ///
+    /// # Errors
+    ///
+    /// Every error leaves the store untouched — **no entry of a
+    /// rejected batch applies** (the PR 3 invariant, extended):
+    /// [`SdbError::EmptyBatch`], [`SdbError::TooManyItemsInBatch`],
+    /// [`SdbError::DuplicateItemInBatch`],
+    /// [`SdbError::TooManyAttributesInBatch`], per-item limit errors as
+    /// [`SimpleDb::put_attributes`] (including
+    /// [`SdbError::TooManyAttributesOnItem`] for an entry that would
+    /// push an item past 256 pairs), and [`SdbError::NoSuchDomain`].
+    pub fn batch_put_attributes(
+        &self,
+        domain: &str,
+        items: &[(String, Vec<ReplaceableAttribute>)],
+    ) -> Result<()> {
+        check_batch_shape(items)?;
+        let submitted: usize = items.iter().map(|(_, attrs)| attrs.len()).sum();
+        if submitted > MAX_PAIRS_PER_BATCH {
+            return Err(SdbError::TooManyAttributesInBatch { submitted });
+        }
+        for (item_name, attrs) in items {
+            if attrs.is_empty() {
+                return Err(SdbError::EmptyAttributeList);
+            }
+            if item_name.len() > ITEM_NAME_LIMIT {
+                return Err(SdbError::ItemNameTooLong {
+                    length: item_name.len(),
+                });
+            }
+            for a in attrs {
+                a.check_limits()?;
+            }
+        }
+        let dom = self.domain(domain)?;
+
+        // Take each touched shard's lock once, in ascending shard order
+        // (a deterministic order keeps concurrent batches deadlock-free).
+        let shards: Vec<usize> = items.iter().map(|(n, _)| dom.shard_of(n)).collect();
+        let mut guards = lock_shards(&dom, &shards);
+
+        // Stage phase: compute every item's new state against the locked
+        // shards. Any failure returns here — nothing has been written.
+        let mut staged: Vec<(usize, &str, ItemState)> = Vec::with_capacity(items.len());
+        let mut stored_delta = 0i64;
+        let mut per_shard = BTreeMap::<usize, u64>::new();
+        for ((item_name, attrs), &shard) in items.iter().zip(&shards) {
+            let map = guards.get(&shard).expect("locked above");
+            let current = map.read_latest(&item_name.to_string());
+            let before_bytes = current.as_ref().map(byte_size).unwrap_or(0);
+            let item = apply_put(item_name, current, attrs)?;
+            stored_delta += byte_size(&item) as i64 - before_bytes as i64;
+            staged.push((shard, item_name, item));
+            *per_shard.entry(shard).or_insert(0) += 1;
+        }
+
+        // Apply phase: meter one request, then write every entry.
+        let bytes_in: u64 = items
+            .iter()
+            .map(|(name, attrs)| {
+                name.len() as u64
+                    + attrs
+                        .iter()
+                        .map(|a| (a.name.len() + a.value.len()) as u64)
+                        .sum::<u64>()
+            })
+            .sum();
+        let gating = per_shard.values().copied().max().unwrap_or(0);
+        self.world.record_batch(
+            Op::SdbBatchPutAttributes,
+            items.len() as u64,
+            bytes_in,
+            0,
+            gating,
+        );
+        for &shard in per_shard.keys() {
+            self.world
+                .record_shard_touch(Service::SimpleDb, shard as u32);
+        }
+        self.world.adjust_stored(Service::SimpleDb, stored_delta);
+        for (shard, item_name, item) in staged {
+            guards.get_mut(&shard).expect("locked above").write(
+                &self.world,
+                item_name.to_string(),
+                Some(item),
+            );
+        }
+        Ok(())
+    }
+
+    /// `BatchDeleteAttributes`: deletes attributes (or, with `None`
+    /// specs, whole items) from up to [`MAX_BATCH_ITEMS`] items in one
+    /// billable request, with the same single-acquisition shard locking
+    /// as [`SimpleDb::batch_put_attributes`]. Idempotent per entry, like
+    /// [`SimpleDb::delete_attributes`].
+    ///
+    /// # Errors
+    ///
+    /// Batch-shape errors mutate nothing: [`SdbError::EmptyBatch`],
+    /// [`SdbError::TooManyItemsInBatch`],
+    /// [`SdbError::DuplicateItemInBatch`], [`SdbError::NoSuchDomain`].
+    pub fn batch_delete_attributes(
+        &self,
+        domain: &str,
+        items: &[(String, Option<Vec<DeletableAttribute>>)],
+    ) -> Result<()> {
+        check_batch_shape(items)?;
+        let dom = self.domain(domain)?;
+        let shards: Vec<usize> = items.iter().map(|(n, _)| dom.shard_of(n)).collect();
+        let mut guards = lock_shards(&dom, &shards);
+        let bytes_in: u64 = items.iter().map(|(name, _)| name.len() as u64).sum();
+        let mut per_shard = BTreeMap::<usize, u64>::new();
+        for &shard in &shards {
+            *per_shard.entry(shard).or_insert(0) += 1;
+        }
+        let gating = per_shard.values().copied().max().unwrap_or(0);
+        self.world.record_batch(
+            Op::SdbBatchDeleteAttributes,
+            items.len() as u64,
+            bytes_in,
+            0,
+            gating,
+        );
+        for &shard in per_shard.keys() {
+            self.world
+                .record_shard_touch(Service::SimpleDb, shard as u32);
+        }
+        let mut stored_delta = 0i64;
+        let now = self.world.now();
+        for ((item_name, specs), &shard) in items.iter().zip(&shards) {
+            let map = guards.get_mut(&shard).expect("locked above");
+            let Some(item) = map.read_latest(&item_name.to_string()) else {
+                continue;
+            };
+            let before_bytes = byte_size(&item);
+            let new_state = apply_delete(item, specs.as_deref());
+            stored_delta +=
+                new_state.as_ref().map(byte_size).unwrap_or(0) as i64 - before_bytes as i64;
+            map.write(&self.world, item_name.to_string(), new_state);
+            map.gc(now);
+        }
+        self.world.adjust_stored(Service::SimpleDb, stored_delta);
         Ok(())
     }
 
@@ -781,6 +896,98 @@ impl SimpleDb {
             parsed.as_ref().map(|q| q.matches(item)).unwrap_or(true)
         })
     }
+}
+
+/// Applies one `PutAttributes` attribute list to an item's current
+/// state: the replace-once rule (existing values of a `replace`d name
+/// drop once per call, before any of this call's values land), then the
+/// 256-pair item cap.
+fn apply_put(
+    item_name: &str,
+    current: Option<ItemState>,
+    attrs: &[ReplaceableAttribute],
+) -> Result<ItemState> {
+    let mut item = current.unwrap_or_default();
+    let mut replaced: Vec<&str> = Vec::new();
+    for a in attrs {
+        if a.replace && !replaced.contains(&a.name.as_str()) {
+            item.remove(&a.name);
+            replaced.push(&a.name);
+        }
+    }
+    for a in attrs {
+        item.entry(a.name.clone())
+            .or_default()
+            .insert(a.value.clone());
+    }
+    let pairs = pair_count(&item);
+    if pairs > MAX_PAIRS_PER_ITEM {
+        return Err(SdbError::TooManyAttributesOnItem {
+            item: item_name.to_string(),
+            pairs,
+        });
+    }
+    Ok(item)
+}
+
+/// Applies `DeleteAttributes` specs to an item's current state; `None`
+/// specs (or an emptied item) erase the item entirely.
+fn apply_delete(mut item: ItemState, specs: Option<&[DeletableAttribute]>) -> Option<ItemState> {
+    let specs = specs?;
+    for spec in specs {
+        match &spec.value {
+            None => {
+                item.remove(&spec.name);
+            }
+            Some(v) => {
+                if let Some(values) = item.get_mut(&spec.name) {
+                    values.remove(v);
+                    if values.is_empty() {
+                        item.remove(&spec.name);
+                    }
+                }
+            }
+        }
+    }
+    // An item with no attributes ceases to exist.
+    if item.is_empty() {
+        None
+    } else {
+        Some(item)
+    }
+}
+
+/// Locks every distinct shard in `shards` exactly once, in ascending
+/// shard order — concurrent batches that overlap therefore acquire in
+/// the same order and cannot deadlock.
+fn lock_shards<'a>(
+    dom: &'a Domain,
+    shards: &[usize],
+) -> BTreeMap<usize, parking_lot::MutexGuard<'a, EcMap<String, ItemState>>> {
+    let distinct: std::collections::BTreeSet<usize> = shards.iter().copied().collect();
+    distinct
+        .into_iter()
+        .map(|s| (s, dom.shards[s].lock()))
+        .collect()
+}
+
+/// Shared batch-shape validation: item count, duplicate names.
+fn check_batch_shape<T>(items: &[(String, T)]) -> Result<()> {
+    if items.is_empty() {
+        return Err(SdbError::EmptyBatch);
+    }
+    if items.len() > MAX_BATCH_ITEMS {
+        return Err(SdbError::TooManyItemsInBatch {
+            submitted: items.len(),
+        });
+    }
+    let mut seen: std::collections::BTreeSet<&str> = std::collections::BTreeSet::new();
+    for (name, _) in items {
+        if !seen.insert(name) {
+            return Err(SdbError::DuplicateItemInBatch { item: name.clone() });
+        }
+    }
+    Ok(())
 }
 
 // --- shard-aware pagination tokens ---

@@ -667,3 +667,244 @@ fn pinned_replicas_keep_one_scan_on_one_view_per_shard() {
         assert_eq!(names.len(), 20, "trial {trial}: settled scan is complete");
     }
 }
+
+// --- batch operations ---
+
+mod batch {
+    use super::*;
+    use crate::{MAX_BATCH_ITEMS, MAX_PAIRS_PER_BATCH};
+
+    fn put_entry(name: &str, n: usize) -> (String, Vec<ReplaceableAttribute>) {
+        (
+            name.to_string(),
+            (0..n)
+                .map(|i| ReplaceableAttribute::add(format!("a{i}"), format!("v{i}")))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn batch_put_writes_all_items_in_one_request() {
+        let (world, db) = counting();
+        let items: Vec<_> = (0..10)
+            .map(|i| put_entry(&format!("item{i:02}"), 3))
+            .collect();
+        let before = world.meters();
+        db.batch_put_attributes("d", &items).unwrap();
+        let delta = world.meters() - before;
+        assert_eq!(delta.op_count(Op::SdbBatchPutAttributes), 1);
+        assert_eq!(delta.batch_entry_count(Op::SdbBatchPutAttributes), 10);
+        assert_eq!(delta.op_count(Op::SdbPutAttributes), 0);
+        for i in 0..10 {
+            let attrs = db
+                .get_attributes("d", &format!("item{i:02}"), None)
+                .unwrap();
+            assert_eq!(attrs.len(), 3, "item{i:02}");
+        }
+    }
+
+    #[test]
+    fn batch_put_equals_point_puts_in_final_state() {
+        // Same entries through the point API and the batch API must
+        // converge to identical store state.
+        let (_, point_db) = counting();
+        let (_, batch_db) = counting();
+        let items: Vec<_> = (0..8).map(|i| put_entry(&format!("f/{i}"), 4)).collect();
+        for (name, attrs) in &items {
+            point_db.put_attributes("d", name, attrs).unwrap();
+        }
+        batch_db.batch_put_attributes("d", &items).unwrap();
+        assert_eq!(
+            point_db.latest_item_names("d"),
+            batch_db.latest_item_names("d")
+        );
+        for (name, _) in &items {
+            assert_eq!(
+                point_db.latest_item("d", name),
+                batch_db.latest_item("d", name),
+                "{name}"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_put_respects_replace_semantics() {
+        let (_, db) = counting();
+        db.put_attributes("d", "x", &[ReplaceableAttribute::add("k", "old")])
+            .unwrap();
+        db.batch_put_attributes(
+            "d",
+            &[(
+                "x".to_string(),
+                vec![
+                    ReplaceableAttribute::replace("k", "new1"),
+                    ReplaceableAttribute::add("k", "new2"),
+                ],
+            )],
+        )
+        .unwrap();
+        let got = db.latest_item("d", "x").unwrap();
+        assert_eq!(
+            got,
+            vec![Attribute::new("k", "new1"), Attribute::new("k", "new2")]
+        );
+    }
+
+    #[test]
+    fn batch_shape_violations_mutate_nothing() {
+        let (world, db) = counting();
+        let before = world.meters();
+        assert_eq!(db.batch_put_attributes("d", &[]), Err(SdbError::EmptyBatch));
+        let too_many: Vec<_> = (0..MAX_BATCH_ITEMS + 1)
+            .map(|i| put_entry(&format!("i{i}"), 1))
+            .collect();
+        assert_eq!(
+            db.batch_put_attributes("d", &too_many),
+            Err(SdbError::TooManyItemsInBatch {
+                submitted: MAX_BATCH_ITEMS + 1
+            })
+        );
+        let dup = vec![put_entry("same", 1), put_entry("same", 2)];
+        assert_eq!(
+            db.batch_put_attributes("d", &dup),
+            Err(SdbError::DuplicateItemInBatch {
+                item: "same".to_string()
+            })
+        );
+        // Two items x 130 attrs = 260 > 256 total.
+        let heavy = vec![put_entry("a", 130), put_entry("b", 130)];
+        assert_eq!(
+            db.batch_put_attributes("d", &heavy),
+            Err(SdbError::TooManyAttributesInBatch { submitted: 260 })
+        );
+        assert_eq!(
+            db.batch_put_attributes("nope", &[put_entry("a", 1)]),
+            Err(SdbError::NoSuchDomain {
+                domain: "nope".to_string()
+            })
+        );
+        let delta = world.meters() - before;
+        assert_eq!(delta.total_ops(), 0, "rejected batches leave no trace");
+        assert!(db.latest_item_names("d").is_empty());
+        assert_eq!(world.meters().stored_bytes(Service::SimpleDb), 0);
+    }
+
+    #[test]
+    fn rejected_batch_applies_no_entries() {
+        // The satellite regression: one entry would push an item past
+        // the 256-pair limit — the *whole* batch must be a no-op,
+        // including the entries that were individually fine.
+        let (world, db) = counting();
+        // Pre-fill "full" with 250 pairs through the point API.
+        let mut pre: Vec<ReplaceableAttribute> = (0..250)
+            .map(|i| ReplaceableAttribute::add(format!("p{i:03}"), "v"))
+            .collect();
+        for chunk in pre.chunks(100) {
+            db.put_attributes("d", "full", chunk).unwrap();
+        }
+        let stored_before = world.meters().stored_bytes(Service::SimpleDb);
+        let ops_before = world.meters();
+        // "fresh" is fine on its own; "full" + 10 more pairs is not.
+        let batch = vec![
+            put_entry("fresh", 2),
+            (
+                "full".to_string(),
+                (0..10)
+                    .map(|i| ReplaceableAttribute::add(format!("q{i}"), "w"))
+                    .collect(),
+            ),
+        ];
+        let err = db.batch_put_attributes("d", &batch).unwrap_err();
+        assert!(
+            matches!(err, SdbError::TooManyAttributesOnItem { ref item, pairs } if item == "full" && pairs == 260),
+            "{err:?}"
+        );
+        assert!(
+            db.latest_item("d", "fresh").is_none(),
+            "no entry of a rejected batch may apply"
+        );
+        assert_eq!(db.latest_item("d", "full").unwrap().len(), 250);
+        assert_eq!(
+            world.meters().stored_bytes(Service::SimpleDb),
+            stored_before
+        );
+        let delta = world.meters() - ops_before;
+        assert_eq!(delta.total_ops(), 0);
+        pre.truncate(0);
+    }
+
+    #[test]
+    fn batch_delete_removes_items_and_attributes() {
+        let (world, db) = counting();
+        let items: Vec<_> = (0..6).map(|i| put_entry(&format!("g{i}"), 2)).collect();
+        db.batch_put_attributes("d", &items).unwrap();
+        let before = world.meters();
+        db.batch_delete_attributes(
+            "d",
+            &[
+                ("g0".to_string(), None), // whole item
+                (
+                    "g1".to_string(),
+                    Some(vec![DeletableAttribute::all_of("a0")]), // one name
+                ),
+                ("absent".to_string(), None), // idempotent
+            ],
+        )
+        .unwrap();
+        let delta = world.meters() - before;
+        assert_eq!(delta.op_count(Op::SdbBatchDeleteAttributes), 1);
+        assert_eq!(delta.batch_entry_count(Op::SdbBatchDeleteAttributes), 3);
+        assert!(db.latest_item("d", "g0").is_none());
+        assert_eq!(db.latest_item("d", "g1").unwrap().len(), 1);
+        assert_eq!(db.latest_item("d", "g2").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn batch_delete_settles_stored_bytes_exactly() {
+        let (world, db) = counting();
+        let items: Vec<_> = (0..4).map(|i| put_entry(&format!("h{i}"), 3)).collect();
+        db.batch_put_attributes("d", &items).unwrap();
+        let entries: Vec<(String, Option<Vec<DeletableAttribute>>)> =
+            (0..4).map(|i| (format!("h{i}"), None)).collect();
+        db.batch_delete_attributes("d", &entries).unwrap();
+        assert_eq!(world.meters().stored_bytes(Service::SimpleDb), 0);
+        assert!(db.latest_item_names("d").is_empty());
+    }
+
+    #[test]
+    fn batch_pairs_cap_admits_a_full_single_item() {
+        // A single 256-pair item is exactly one legal batch.
+        let (_, db) = counting();
+        let entry = put_entry("big", MAX_PAIRS_PER_BATCH);
+        db.batch_put_attributes("d", std::slice::from_ref(&entry))
+            .unwrap();
+        assert_eq!(db.latest_item("d", "big").unwrap().len(), 256);
+    }
+
+    #[test]
+    fn batch_put_is_cheaper_than_point_puts_in_virtual_time() {
+        let elapsed = |batched: bool| {
+            let world = SimWorld::new(77);
+            let db = SimpleDb::new(&world);
+            db.create_domain("d").unwrap();
+            let items: Vec<_> = (0..20).map(|i| put_entry(&format!("t{i:02}"), 3)).collect();
+            let t0 = world.now();
+            if batched {
+                for chunk in items.chunks(MAX_BATCH_ITEMS) {
+                    db.batch_put_attributes("d", chunk).unwrap();
+                }
+            } else {
+                for (name, attrs) in &items {
+                    db.put_attributes("d", name, attrs).unwrap();
+                }
+            }
+            (world.now() - t0).as_micros()
+        };
+        let point = elapsed(false);
+        let batch = elapsed(true);
+        assert!(
+            batch * 2 < point,
+            "batch {batch}µs must undercut point puts {point}µs by >2x"
+        );
+    }
+}

@@ -25,6 +25,13 @@ pub struct ServiceLatency {
     /// query charges the *largest partition's share* of the scan (see
     /// [`LatencyModel::sample_scan`]).
     pub per_scanned_row: SimDuration,
+    /// Marginal server-side cost per entry of a *batch* request
+    /// (`BatchPutAttributes`, `SendMessageBatch`, multi-object delete).
+    /// The batch pays one base round trip; each entry then adds this
+    /// term — and like the scan term it parallelises across storage
+    /// partitions, so a batch spread over shards charges only the
+    /// busiest shard's entry share (see [`LatencyModel::sample_batch`]).
+    pub per_batch_entry: SimDuration,
 }
 
 /// Latency model for the whole cloud.
@@ -50,12 +57,14 @@ impl Default for LatencyModel {
                 per_8kb: SimDuration::from_micros(800),
                 jitter: SimDuration::from_millis(10),
                 per_scanned_row: SimDuration::from_micros(20),
+                per_batch_entry: SimDuration::from_micros(100),
             },
             simpledb: ServiceLatency {
                 base: SimDuration::from_millis(50),
                 per_8kb: SimDuration::from_millis(2),
                 jitter: SimDuration::from_millis(15),
                 per_scanned_row: SimDuration::from_micros(50),
+                per_batch_entry: SimDuration::from_millis(1),
             },
             sqs: ServiceLatency {
                 base: SimDuration::from_millis(30),
@@ -69,6 +78,7 @@ impl Default for LatencyModel {
                 // service had no long polling and notoriously slow
                 // receives on deep queues, hence the steep per-row cost.
                 per_scanned_row: SimDuration::from_micros(100),
+                per_batch_entry: SimDuration::from_micros(300),
             },
         }
     }
@@ -83,6 +93,7 @@ impl LatencyModel {
             per_8kb: SimDuration::ZERO,
             jitter: SimDuration::ZERO,
             per_scanned_row: SimDuration::ZERO,
+            per_batch_entry: SimDuration::ZERO,
         };
         LatencyModel {
             s3: z,
@@ -130,6 +141,29 @@ impl LatencyModel {
         self.sample(op, payload_bytes, jitter_draw)
             + p.per_scanned_row.saturating_mul(scan_share_rows)
     }
+
+    /// Latency of a batch call carrying many entries in one request.
+    /// The batch pays one base round trip plus the transfer term for the
+    /// whole payload; each entry then adds the marginal
+    /// [`ServiceLatency::per_batch_entry`] cost. `gating_entries` is the
+    /// entry count of the *busiest* storage partition the batch lands on
+    /// (all entries, for an unsharded target like a single SQS queue):
+    /// partitions apply their entries in parallel, so the busiest one
+    /// gates the response — the same honesty rule as
+    /// [`LatencyModel::sample_scan`]. This is where batching buys its
+    /// virtual-time win: N point ops pay N round trips, one batch pays
+    /// one round trip plus N marginal terms.
+    pub fn sample_batch(
+        &self,
+        op: Op,
+        payload_bytes: u64,
+        gating_entries: u64,
+        jitter_draw: f64,
+    ) -> SimDuration {
+        let p = self.service(op.service());
+        self.sample(op, payload_bytes, jitter_draw)
+            + p.per_batch_entry.saturating_mul(gating_entries)
+    }
 }
 
 #[cfg(test)]
@@ -168,5 +202,31 @@ mod tests {
     fn zero_payload_charges_no_transfer_term() {
         let m = LatencyModel::default();
         assert_eq!(m.sample(Op::S3Head, 0, 0.0), m.s3.base);
+    }
+
+    #[test]
+    fn batch_beats_point_ops_for_same_work() {
+        // One 10-entry batch must be cheaper than 10 point round trips
+        // moving the same payload — the tentpole claim in miniature.
+        let m = LatencyModel::default();
+        let point_total = m.sample(Op::SqsSendMessage, 1024, 0.0).saturating_mul(10);
+        let batch = m.sample_batch(Op::SqsSendMessageBatch, 10 * 1024, 10, 0.0);
+        assert!(batch < point_total, "{batch:?} !< {point_total:?}");
+    }
+
+    #[test]
+    fn batch_gating_entries_charge_marginally() {
+        let m = LatencyModel::default();
+        let one = m.sample_batch(Op::SdbBatchPutAttributes, 0, 1, 0.0);
+        let ten = m.sample_batch(Op::SdbBatchPutAttributes, 0, 10, 0.0);
+        assert_eq!(
+            ten.as_micros() - one.as_micros(),
+            m.simpledb.per_batch_entry.as_micros() * 9
+        );
+        // A zero-entry gate collapses to the plain request latency.
+        assert_eq!(
+            m.sample_batch(Op::S3DeleteObjects, 0, 0, 0.0),
+            m.sample(Op::S3DeleteObjects, 0, 0.0)
+        );
     }
 }

@@ -51,10 +51,18 @@ pub enum Op {
     S3Copy,
     /// S3 `DELETE Object`.
     S3Delete,
+    /// S3 multi-object delete (`POST ?delete`, ≤ 1,000 keys per
+    /// request): one billable request however many keys it carries.
+    S3DeleteObjects,
     /// S3 `GET Bucket` (list objects).
     S3List,
     /// SimpleDB `PutAttributes` (≤ 100 attributes per call).
     SdbPutAttributes,
+    /// SimpleDB `BatchPutAttributes` (≤ 25 items per call): one billable
+    /// request however many items it carries.
+    SdbBatchPutAttributes,
+    /// SimpleDB `BatchDeleteAttributes` (≤ 25 items per call).
+    SdbBatchDeleteAttributes,
     /// SimpleDB `GetAttributes`.
     SdbGetAttributes,
     /// SimpleDB `DeleteAttributes`.
@@ -73,6 +81,11 @@ pub enum Op {
     SqsCreateQueue,
     /// SQS `SendMessage` (≤ 8 KB body).
     SqsSendMessage,
+    /// SQS `SendMessageBatch` (≤ 10 entries per call): one billable
+    /// request however many entries it carries.
+    SqsSendMessageBatch,
+    /// SQS `DeleteMessageBatch` (≤ 10 receipt handles per call).
+    SqsDeleteMessageBatch,
     /// SQS `ReceiveMessage` (≤ 10 messages, sampled).
     SqsReceiveMessage,
     /// SQS `DeleteMessage` (by receipt handle).
@@ -86,8 +99,10 @@ impl Op {
     pub fn service(self) -> Service {
         use Op::*;
         match self {
-            S3Put | S3Get | S3Head | S3Copy | S3Delete | S3List => Service::S3,
+            S3Put | S3Get | S3Head | S3Copy | S3Delete | S3DeleteObjects | S3List => Service::S3,
             SdbPutAttributes
+            | SdbBatchPutAttributes
+            | SdbBatchDeleteAttributes
             | SdbGetAttributes
             | SdbDeleteAttributes
             | SdbQuery
@@ -97,17 +112,38 @@ impl Op {
             | SdbListDomains => Service::SimpleDb,
             SqsCreateQueue
             | SqsSendMessage
+            | SqsSendMessageBatch
             | SqsReceiveMessage
             | SqsDeleteMessage
+            | SqsDeleteMessageBatch
             | SqsGetQueueAttributes => Service::Sqs,
         }
     }
 
     /// `true` for the ops S3 bills at the PUT/COPY/POST/LIST rate
     /// (USD 0.01 per 1,000); the rest of the S3 ops bill at the GET rate
-    /// (USD 0.01 per 10,000).
+    /// (USD 0.01 per 10,000). Multi-object delete is a POST, so it lands
+    /// in the put class — one put-class request per 1,000 keys still
+    /// undercuts 1,000 get-class singles by 10x.
     pub fn is_s3_put_class(self) -> bool {
-        matches!(self, Op::S3Put | Op::S3Copy | Op::S3List)
+        matches!(
+            self,
+            Op::S3Put | Op::S3Copy | Op::S3List | Op::S3DeleteObjects
+        )
+    }
+
+    /// `true` for the batch ops: one billable request carrying many
+    /// entries (the entry counts live in
+    /// [`ServiceMeter::batch_entries`]).
+    pub fn is_batch(self) -> bool {
+        matches!(
+            self,
+            Op::S3DeleteObjects
+                | Op::SdbBatchPutAttributes
+                | Op::SdbBatchDeleteAttributes
+                | Op::SqsSendMessageBatch
+                | Op::SqsDeleteMessageBatch
+        )
     }
 }
 
@@ -133,6 +169,11 @@ pub struct ServiceMeter {
     /// point read/write touches one shard; a fan-out query touches all
     /// of them — the skew of this map is the load-balance picture.
     pub shard_ops: BTreeMap<u32, u64>,
+    /// Total entries carried by batch requests, per batch op kind. A
+    /// batch increments `ops` once (one billable request) and this map
+    /// by its entry count, so `batch_entries / ops` is the realised
+    /// batch fill — the number the paper's round-trip argument turns on.
+    pub batch_entries: BTreeMap<Op, u64>,
 }
 
 impl ServiceMeter {
@@ -149,6 +190,11 @@ impl ServiceMeter {
     /// Operations that touched one shard.
     pub fn shard_op_count(&self, shard: u32) -> u64 {
         self.shard_ops.get(&shard).copied().unwrap_or(0)
+    }
+
+    /// Entries shipped through one batch op kind.
+    pub fn batch_entry_count(&self, op: Op) -> u64 {
+        self.batch_entries.get(&op).copied().unwrap_or(0)
     }
 }
 
@@ -172,6 +218,17 @@ impl MeterBook {
         *meter.ops.entry(op).or_insert(0) += 1;
         meter.bytes_in += bytes_in;
         meter.bytes_out += bytes_out;
+    }
+
+    /// Records one batch API call: a single billable request (op count,
+    /// transfer bytes) plus the number of entries it carried.
+    pub fn record_batch(&mut self, op: Op, entries: u64, bytes_in: u64, bytes_out: u64) {
+        self.record(op, bytes_in, bytes_out);
+        *self
+            .service_mut(op.service())
+            .batch_entries
+            .entry(op)
+            .or_insert(0) += entries;
     }
 
     /// Records that an operation touched `shard` of `service`'s storage.
@@ -296,6 +353,11 @@ impl MeterSnapshot {
         self.book.service(service).shard_op_count(shard)
     }
 
+    /// Entries shipped through one batch op kind.
+    pub fn batch_entry_count(&self, op: Op) -> u64 {
+        self.book.service(op.service()).batch_entry_count(op)
+    }
+
     /// Iterates `(op, count)` over every nonzero counter.
     pub fn iter_ops(&self) -> impl Iterator<Item = (Op, u64)> + '_ {
         Service::ALL
@@ -328,6 +390,12 @@ impl Sub for MeterSnapshot {
                 .shard_ops
                 .iter()
                 .map(|(shard, n)| (*shard, n.saturating_sub(then.shard_op_count(*shard))))
+                .filter(|(_, n)| *n > 0)
+                .collect();
+            meter.batch_entries = now
+                .batch_entries
+                .iter()
+                .map(|(op, n)| (*op, n.saturating_sub(then.batch_entry_count(*op))))
                 .filter(|(_, n)| *n > 0)
                 .collect();
         }
@@ -441,6 +509,45 @@ mod tests {
         let phase = book.snapshot() - mid;
         assert_eq!(phase.shard_op_count(Service::SimpleDb, 3), 1);
         assert_eq!(phase.shard_op_count(Service::SimpleDb, 0), 0);
+    }
+
+    #[test]
+    fn batch_records_one_op_many_entries() {
+        let mut book = MeterBook::new();
+        book.record_batch(Op::SqsSendMessageBatch, 10, 4096, 0);
+        book.record_batch(Op::SqsSendMessageBatch, 7, 2048, 0);
+        let snap = book.snapshot();
+        assert_eq!(snap.op_count(Op::SqsSendMessageBatch), 2);
+        assert_eq!(snap.batch_entry_count(Op::SqsSendMessageBatch), 17);
+        assert_eq!(snap.bytes_in(), 6144);
+        assert_eq!(snap.batch_entry_count(Op::S3DeleteObjects), 0);
+    }
+
+    #[test]
+    fn batch_entries_subtract_per_phase() {
+        let mut book = MeterBook::new();
+        book.record_batch(Op::SdbBatchPutAttributes, 25, 0, 0);
+        let mid = book.snapshot();
+        book.record_batch(Op::SdbBatchPutAttributes, 5, 0, 0);
+        let phase = book.snapshot() - mid;
+        assert_eq!(phase.op_count(Op::SdbBatchPutAttributes), 1);
+        assert_eq!(phase.batch_entry_count(Op::SdbBatchPutAttributes), 5);
+    }
+
+    #[test]
+    fn batch_op_classification() {
+        assert!(Op::S3DeleteObjects.is_batch());
+        assert!(Op::SdbBatchPutAttributes.is_batch());
+        assert!(Op::SdbBatchDeleteAttributes.is_batch());
+        assert!(Op::SqsSendMessageBatch.is_batch());
+        assert!(Op::SqsDeleteMessageBatch.is_batch());
+        assert!(!Op::S3Delete.is_batch());
+        assert!(!Op::SqsSendMessage.is_batch());
+        // Multi-object delete is a POST: put class.
+        assert!(Op::S3DeleteObjects.is_s3_put_class());
+        assert_eq!(Op::S3DeleteObjects.service(), Service::S3);
+        assert_eq!(Op::SdbBatchPutAttributes.service(), Service::SimpleDb);
+        assert_eq!(Op::SqsDeleteMessageBatch.service(), Service::Sqs);
     }
 
     #[test]

@@ -213,6 +213,32 @@ impl SimWorld {
         st.now += latency;
     }
 
+    /// Records a billable batch API call (`BatchPutAttributes`,
+    /// `SendMessageBatch`, multi-object delete): meters **one** request
+    /// carrying `entries` entries, and advances the clock by one round
+    /// trip plus the per-entry marginal cost of `gating_entries` — the
+    /// entry count of the busiest storage partition the batch lands on,
+    /// since partitions apply their entries in parallel and the busiest
+    /// one gates the response (consistent with [`SimWorld::record_scan`]
+    /// pricing).
+    pub fn record_batch(
+        &self,
+        op: Op,
+        entries: u64,
+        bytes_in: u64,
+        bytes_out: u64,
+        gating_entries: u64,
+    ) {
+        let mut st = self.inner.lock();
+        st.meters.record_batch(op, entries, bytes_in, bytes_out);
+        let draw: f64 = st.rng.gen();
+        let latency =
+            st.config
+                .latency
+                .sample_batch(op, bytes_in + bytes_out, gating_entries, draw);
+        st.now += latency;
+    }
+
     /// Records that an operation touched one storage shard of `service`
     /// (no billing, no clock movement — pure load accounting).
     pub fn record_shard_touch(&self, service: Service, shard: u32) {

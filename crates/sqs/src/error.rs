@@ -32,6 +32,22 @@ pub enum SqsError {
         /// Requested count.
         requested: usize,
     },
+    /// A batch call carried no entries (`EmptyBatchRequest`).
+    EmptyBatch,
+    /// A batch call carried more than
+    /// [`crate::MAX_BATCH_ENTRIES`] entries (`TooManyEntriesInBatchRequest`).
+    TooManyBatchEntries {
+        /// Entries submitted.
+        submitted: usize,
+    },
+    /// The summed body bytes of a `SendMessageBatch` exceeded
+    /// [`crate::MAX_BATCH_PAYLOAD`] (`BatchRequestTooLong`).
+    BatchPayloadTooLarge {
+        /// Total payload bytes submitted.
+        size: usize,
+        /// The enforced limit.
+        limit: usize,
+    },
 }
 
 impl fmt::Display for SqsError {
@@ -48,6 +64,19 @@ impl fmt::Display for SqsError {
                 write!(
                     f,
                     "{requested} messages requested; the valid range is 1..=10"
+                )
+            }
+            SqsError::EmptyBatch => f.write_str("batch request must carry at least one entry"),
+            SqsError::TooManyBatchEntries { submitted } => {
+                write!(
+                    f,
+                    "{submitted} entries submitted; a batch carries at most 10"
+                )
+            }
+            SqsError::BatchPayloadTooLarge { size, limit } => {
+                write!(
+                    f,
+                    "batch payload of {size} bytes exceeds the {limit}-byte limit"
                 )
             }
         }

@@ -52,8 +52,8 @@ mod service;
 
 pub use error::{Result, SqsError};
 pub use service::{
-    ReceivedMessage, Sqs, DEFAULT_VISIBILITY_TIMEOUT, MAX_MESSAGE_SIZE, MAX_RECEIVE_BATCH,
-    QUEUE_SERVERS, RETENTION,
+    BatchEntryOutcome, ReceivedMessage, Sqs, DEFAULT_VISIBILITY_TIMEOUT, MAX_BATCH_ENTRIES,
+    MAX_BATCH_PAYLOAD, MAX_MESSAGE_SIZE, MAX_RECEIVE_BATCH, QUEUE_SERVERS, RETENTION,
 };
 
 #[cfg(test)]

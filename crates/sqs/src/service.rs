@@ -26,6 +26,15 @@ pub const MAX_MESSAGE_SIZE: usize = 8 * 1024;
 /// Maximum messages returnable by one `ReceiveMessage`.
 pub const MAX_RECEIVE_BATCH: usize = 10;
 
+/// Maximum entries per `SendMessageBatch`/`DeleteMessageBatch` call.
+pub const MAX_BATCH_ENTRIES: usize = 10;
+
+/// Maximum summed body bytes per `SendMessageBatch` call. Tighter than
+/// `MAX_BATCH_ENTRIES × MAX_MESSAGE_SIZE` (80 KB), so a batcher must
+/// respect both limits — ten maximal 8 KB bodies do **not** fit one
+/// batch.
+pub const MAX_BATCH_PAYLOAD: usize = 64 * 1024;
+
 /// Message retention: SQS deletes messages older than four days (§4.3 —
 /// the paper's garbage-collection story leans on this).
 pub const RETENTION: SimDuration = SimDuration::from_days(4);
@@ -36,6 +45,12 @@ pub const DEFAULT_VISIBILITY_TIMEOUT: SimDuration = SimDuration::from_secs(30);
 /// How many storage servers a queue's messages spread over; receives
 /// sample a subset, which is why one call can miss messages.
 pub const QUEUE_SERVERS: usize = 8;
+
+/// Outcome of one entry of a batch call, in submission order: `Ok` is
+/// the entry's payload (the message id for sends, `()` for deletes),
+/// `Err` the per-entry failure — other entries of the same batch are
+/// unaffected, exactly like the real API's `Successful`/`Failed` lists.
+pub type BatchEntryOutcome<T> = std::result::Result<T, SqsError>;
 
 /// A message handed back by `ReceiveMessage`.
 #[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
@@ -213,6 +228,117 @@ impl Sqs {
         Ok(message_id)
     }
 
+    /// Enqueues up to [`MAX_BATCH_ENTRIES`] messages in **one billable
+    /// request** (`SendMessageBatch`): the queue lock is taken once,
+    /// sequence numbers are allocated in one batched reservation, and
+    /// the latency model charges one round trip plus the busiest storage
+    /// server's share of the per-entry marginal cost — the batching win
+    /// the paper's round-trip argument turns on.
+    ///
+    /// Entries fail *individually* (`Err` in the returned vector, which
+    /// is index-aligned with `bodies`): an oversized body poisons
+    /// neither its batch-mates nor the simulation — failed entries burn
+    /// no sequence numbers and no RNG draws, so a run with rejected
+    /// entries stays bit-identical to one that never submitted them.
+    ///
+    /// # Errors
+    ///
+    /// Batch-level failures mutate nothing: [`SqsError::EmptyBatch`],
+    /// [`SqsError::TooManyBatchEntries`] past [`MAX_BATCH_ENTRIES`],
+    /// [`SqsError::BatchPayloadTooLarge`] past [`MAX_BATCH_PAYLOAD`]
+    /// summed bytes, [`SqsError::QueueDoesNotExist`].
+    pub fn send_message_batch(
+        &self,
+        url: &str,
+        bodies: &[String],
+    ) -> Result<Vec<BatchEntryOutcome<String>>> {
+        if bodies.is_empty() {
+            return Err(SqsError::EmptyBatch);
+        }
+        if bodies.len() > MAX_BATCH_ENTRIES {
+            return Err(SqsError::TooManyBatchEntries {
+                submitted: bodies.len(),
+            });
+        }
+        let total: usize = bodies.iter().map(String::len).sum();
+        if total > MAX_BATCH_PAYLOAD {
+            return Err(SqsError::BatchPayloadTooLarge {
+                size: total,
+                limit: MAX_BATCH_PAYLOAD,
+            });
+        }
+        let queue = self.queue(url)?;
+
+        // Per-entry validation first: only the accepted entries draw
+        // RNG (server placement) and consume sequence numbers.
+        let accepted: Vec<usize> = (0..bodies.len())
+            .filter(|i| bodies[*i].len() <= MAX_MESSAGE_SIZE)
+            .collect();
+        let servers: Vec<usize> = accepted
+            .iter()
+            .map(|_| self.world.rand_below(QUEUE_SERVERS as u64) as usize)
+            .collect();
+        // One batched reservation: `fetch_add(k)` hands this batch the
+        // contiguous range `base+1 ..= base+k`.
+        let base = self
+            .inner
+            .next_seq
+            .fetch_add(accepted.len() as u64, Ordering::Relaxed);
+        let now = self.world.now();
+
+        let mut out: Vec<BatchEntryOutcome<String>> = bodies
+            .iter()
+            .map(|b| {
+                Err(SqsError::MessageTooLong {
+                    size: b.len(),
+                    limit: MAX_MESSAGE_SIZE,
+                })
+            })
+            .collect();
+        let mut per_server = [0u64; QUEUE_SERVERS];
+        let mut bytes_in = 0u64;
+        let mut queue = queue.lock();
+        let freed = expire_old_messages(&mut queue, now);
+        for (k, (&i, &server)) in accepted.iter().zip(&servers).enumerate() {
+            let seq = base + 1 + k as u64;
+            let message_id = format!("msg-{seq:016x}");
+            per_server[server] += 1;
+            bytes_in += bodies[i].len() as u64;
+            queue.messages.insert(
+                seq,
+                StoredMessage {
+                    seq,
+                    message_id: message_id.clone(),
+                    body: bodies[i].clone(),
+                    sent_at: now,
+                    visible_at: now,
+                    server,
+                    deliveries: 0,
+                },
+            );
+            out[i] = Ok(message_id);
+        }
+        drop(queue);
+        if freed > 0 {
+            self.world.adjust_stored(Service::Sqs, -(freed as i64));
+        }
+        // Storage servers append their entries in parallel; the busiest
+        // one gates the response (the receive-path rule, applied to the
+        // write path).
+        let gating = per_server.iter().copied().max().unwrap_or(0);
+        self.world.record_batch(
+            Op::SqsSendMessageBatch,
+            accepted.len() as u64,
+            bytes_in,
+            0,
+            gating,
+        );
+        if bytes_in > 0 {
+            self.world.adjust_stored(Service::Sqs, bytes_in as i64);
+        }
+        Ok(out)
+    }
+
     /// Receives up to `max` visible messages from a sampled subset of the
     /// queue's servers. Returned messages become invisible for the
     /// queue's visibility timeout.
@@ -304,6 +430,63 @@ impl Sqs {
                 .adjust_stored(Service::Sqs, -(msg.body.len() as i64));
         }
         Ok(())
+    }
+
+    /// Deletes up to [`MAX_BATCH_ENTRIES`] messages by receipt handle in
+    /// **one billable request** (`DeleteMessageBatch`), taking the queue
+    /// lock once. Entries fail individually (malformed handles); valid
+    /// handles succeed even when the message is already gone, so replays
+    /// are as harmless as for [`Sqs::delete_message`]. The returned
+    /// vector is index-aligned with `receipt_handles`.
+    ///
+    /// # Errors
+    ///
+    /// Batch-level failures mutate nothing: [`SqsError::EmptyBatch`],
+    /// [`SqsError::TooManyBatchEntries`], [`SqsError::QueueDoesNotExist`].
+    pub fn delete_message_batch(
+        &self,
+        url: &str,
+        receipt_handles: &[String],
+    ) -> Result<Vec<BatchEntryOutcome<()>>> {
+        if receipt_handles.is_empty() {
+            return Err(SqsError::EmptyBatch);
+        }
+        if receipt_handles.len() > MAX_BATCH_ENTRIES {
+            return Err(SqsError::TooManyBatchEntries {
+                submitted: receipt_handles.len(),
+            });
+        }
+        let queue = self.queue(url)?;
+        let parsed: Vec<BatchEntryOutcome<u64>> = receipt_handles
+            .iter()
+            .map(|h| parse_receipt_seq(h))
+            .collect();
+        let bytes_in: u64 = receipt_handles.iter().map(|h| h.len() as u64).sum();
+        let mut freed = 0u64;
+        let mut per_server = [0u64; QUEUE_SERVERS];
+        let mut entries = 0u64;
+        let mut queue = queue.lock();
+        let out: Vec<BatchEntryOutcome<()>> = parsed
+            .into_iter()
+            .map(|entry| {
+                let seq = entry?;
+                entries += 1;
+                if let Some(msg) = queue.messages.remove(&seq) {
+                    freed += msg.body.len() as u64;
+                    per_server[msg.server] += 1;
+                }
+                Ok(())
+            })
+            .collect();
+        drop(queue);
+        // Servers drop their entries in parallel; the busiest gates.
+        let gating = per_server.iter().copied().max().unwrap_or(0);
+        self.world
+            .record_batch(Op::SqsDeleteMessageBatch, entries, bytes_in, 0, gating);
+        if freed > 0 {
+            self.world.adjust_stored(Service::Sqs, -(freed as i64));
+        }
+        Ok(out)
     }
 
     /// `GetQueueAttributes: ApproximateNumberOfMessages`. The count is an

@@ -393,3 +393,222 @@ fn peek_all_sees_everything_without_billing() {
     let delta = world.meters() - before;
     assert_eq!(delta.total_ops(), 0);
 }
+
+// --- batch operations ---
+
+#[test]
+fn send_message_batch_round_trips_in_one_request() {
+    let (world, sqs, url) = setup(20);
+    let bodies: Vec<String> = (0..7).map(|i| format!("b{i}")).collect();
+    let before = world.meters();
+    let out = sqs.send_message_batch(&url, &bodies).unwrap();
+    let delta = world.meters() - before;
+    assert!(out.iter().all(|r| r.is_ok()), "{out:?}");
+    assert_eq!(delta.op_count(Op::SqsSendMessageBatch), 1);
+    assert_eq!(delta.batch_entry_count(Op::SqsSendMessageBatch), 7);
+    assert_eq!(delta.op_count(Op::SqsSendMessage), 0);
+    assert_eq!(sqs.exact_message_count(&url), 7);
+    let mut drained = drain(&sqs, &url, 7);
+    drained.sort();
+    let mut want = bodies.clone();
+    want.sort();
+    assert_eq!(drained, want);
+}
+
+#[test]
+fn send_message_batch_allocates_contiguous_sequences() {
+    let (_, sqs, url) = setup(21);
+    let bodies: Vec<String> = (0..5).map(|i| format!("m{i}")).collect();
+    let out = sqs.send_message_batch(&url, &bodies).unwrap();
+    let ids: Vec<String> = out.into_iter().map(|r| r.unwrap()).collect();
+    let want: Vec<String> = (1..=5).map(|seq| format!("msg-{seq:016x}")).collect();
+    assert_eq!(
+        ids, want,
+        "one fetch_add reservation, contiguous and ordered"
+    );
+    // The next point send continues right after the reservation.
+    assert_eq!(
+        sqs.send_message(&url, "tail").unwrap(),
+        format!("msg-{:016x}", 6)
+    );
+}
+
+#[test]
+fn send_message_batch_limits_are_enforced_and_mutate_nothing() {
+    let (world, sqs, url) = setup(22);
+    let before = world.meters();
+    assert_eq!(sqs.send_message_batch(&url, &[]), Err(SqsError::EmptyBatch));
+    let eleven: Vec<String> = (0..11).map(|i| format!("m{i}")).collect();
+    assert_eq!(
+        sqs.send_message_batch(&url, &eleven),
+        Err(SqsError::TooManyBatchEntries { submitted: 11 })
+    );
+    // Nine 8 KB bodies: every entry is individually legal, but the sum
+    // (72 KB) crosses MAX_BATCH_PAYLOAD (64 KB).
+    let heavy: Vec<String> = (0..9).map(|_| "x".repeat(MAX_MESSAGE_SIZE)).collect();
+    assert!(matches!(
+        sqs.send_message_batch(&url, &heavy),
+        Err(SqsError::BatchPayloadTooLarge { size, limit })
+            if size == 9 * MAX_MESSAGE_SIZE && limit == crate::MAX_BATCH_PAYLOAD
+    ));
+    assert_eq!(
+        sqs.send_message_batch("https://sqs.sim/nope", &eleven[..2]),
+        Err(SqsError::QueueDoesNotExist {
+            url: "https://sqs.sim/nope".to_string()
+        })
+    );
+    let delta = world.meters() - before;
+    assert_eq!(delta.total_ops(), 0, "rejected batches leave no trace");
+    assert_eq!(sqs.exact_message_count(&url), 0);
+    // And the sequence was never touched: the next send is msg 1.
+    assert_eq!(
+        sqs.send_message(&url, "first").unwrap(),
+        format!("msg-{:016x}", 1)
+    );
+}
+
+#[test]
+fn failed_batch_entries_burn_no_sequence_or_rng() {
+    // Two identical worlds: one submits a batch carrying a poisoned
+    // entry, the other submits only the healthy entries. Everything
+    // observable downstream — message ids, server placement (via the
+    // shared RNG stream), meters' entry counts — must agree.
+    let run = |poisoned: bool| {
+        let (world, sqs, url) = setup(23);
+        let mut bodies = vec!["alpha".to_string()];
+        if poisoned {
+            bodies.push("x".repeat(MAX_MESSAGE_SIZE + 1));
+        }
+        bodies.push("beta".to_string());
+        let out = sqs.send_message_batch(&url, &bodies).unwrap();
+        let ids: Vec<String> = out.into_iter().filter_map(|r| r.ok()).collect();
+        // Drain deterministically off the same RNG stream.
+        let mut drained = drain(&sqs, &url, 2);
+        drained.sort();
+        (
+            ids,
+            drained,
+            world.rand_u64(),
+            world.meters().batch_entry_count(Op::SqsSendMessageBatch),
+        )
+    };
+    let clean = run(false);
+    let with_failure = run(true);
+    assert_eq!(
+        clean.0,
+        vec![format!("msg-{:016x}", 1), format!("msg-{:016x}", 2)]
+    );
+    assert_eq!(
+        clean, with_failure,
+        "a rejected entry must leave the sequence, RNG and meters untouched"
+    );
+}
+
+#[test]
+fn send_message_batch_reports_entry_failures_in_place() {
+    let (_, sqs, url) = setup(24);
+    let bodies = vec![
+        "ok0".to_string(),
+        "y".repeat(MAX_MESSAGE_SIZE + 5),
+        "ok2".to_string(),
+    ];
+    let out = sqs.send_message_batch(&url, &bodies).unwrap();
+    assert!(out[0].is_ok());
+    assert_eq!(
+        out[1],
+        Err(SqsError::MessageTooLong {
+            size: MAX_MESSAGE_SIZE + 5,
+            limit: MAX_MESSAGE_SIZE
+        })
+    );
+    assert!(out[2].is_ok());
+    assert_eq!(sqs.exact_message_count(&url), 2);
+}
+
+#[test]
+fn delete_message_batch_deletes_in_one_request() {
+    let (world, sqs, url) = setup(25);
+    for i in 0..6 {
+        sqs.send_message(&url, format!("m{i}")).unwrap();
+    }
+    // Gather handles without deleting.
+    sqs.set_visibility_timeout(&url, SimDuration::from_secs(3600))
+        .unwrap();
+    let mut handles = Vec::new();
+    while handles.len() < 6 {
+        for msg in sqs.receive_message(&url, 10).unwrap() {
+            handles.push(msg.receipt_handle);
+        }
+    }
+    let before = world.meters();
+    let out = sqs.delete_message_batch(&url, &handles).unwrap();
+    let delta = world.meters() - before;
+    assert!(out.iter().all(|r| r.is_ok()));
+    assert_eq!(delta.op_count(Op::SqsDeleteMessageBatch), 1);
+    assert_eq!(delta.batch_entry_count(Op::SqsDeleteMessageBatch), 6);
+    assert_eq!(delta.op_count(Op::SqsDeleteMessage), 0);
+    assert_eq!(sqs.exact_message_count(&url), 0);
+    assert_eq!(world.meters().stored_bytes(Service::Sqs), 0);
+}
+
+#[test]
+fn delete_message_batch_mixed_entries() {
+    let (_, sqs, url) = setup(26);
+    sqs.send_message(&url, "keepalive").unwrap();
+    sqs.set_visibility_timeout(&url, SimDuration::from_secs(3600))
+        .unwrap();
+    let mut handle = None;
+    while handle.is_none() {
+        handle = sqs
+            .receive_message(&url, 10)
+            .unwrap()
+            .into_iter()
+            .next()
+            .map(|m| m.receipt_handle);
+    }
+    let handles = vec![
+        handle.unwrap(),
+        "not-a-handle".to_string(),
+        "rh/q/999/1".to_string(), // valid shape, message long gone
+    ];
+    let out = sqs.delete_message_batch(&url, &handles).unwrap();
+    assert!(out[0].is_ok());
+    assert!(matches!(out[1], Err(SqsError::InvalidReceiptHandle { .. })));
+    assert!(out[2].is_ok(), "deleting an absent message is idempotent");
+    assert_eq!(sqs.exact_message_count(&url), 0);
+    // Batch-level failures still mutate nothing.
+    assert_eq!(
+        sqs.delete_message_batch(&url, &[]),
+        Err(SqsError::EmptyBatch)
+    );
+    let eleven: Vec<String> = (0..11).map(|i| format!("rh/q/{i}/1")).collect();
+    assert_eq!(
+        sqs.delete_message_batch(&url, &eleven),
+        Err(SqsError::TooManyBatchEntries { submitted: 11 })
+    );
+}
+
+#[test]
+fn batch_send_is_cheaper_than_point_sends_in_virtual_time() {
+    // The tentpole claim at the service layer: same ten messages, one
+    // round trip instead of ten.
+    let elapsed_point = {
+        let (world, sqs, url) = setup(27);
+        let t0 = world.now();
+        for i in 0..10 {
+            sqs.send_message(&url, format!("m{i}")).unwrap();
+        }
+        world.now() - t0
+    };
+    let elapsed_batch = {
+        let (world, sqs, url) = setup(27);
+        let bodies: Vec<String> = (0..10).map(|i| format!("m{i}")).collect();
+        let t0 = world.now();
+        sqs.send_message_batch(&url, &bodies).unwrap();
+        world.now() - t0
+    };
+    assert!(
+        elapsed_batch.as_micros() * 2 < elapsed_point.as_micros(),
+        "batch {elapsed_batch:?} must undercut point sends {elapsed_point:?} by >2x"
+    );
+}

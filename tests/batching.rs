@@ -1,0 +1,190 @@
+//! The batched request path, end to end: for the combined workload,
+//! driving arch2/arch3 through the group-commit flusher and the
+//! services' native batch APIs must produce **identical** final store
+//! state and provenance graph to the point-op path — while issuing ≥ 5x
+//! fewer billable requests on the provenance flush path and finishing
+//! sooner in (deterministic) virtual time. This is the acceptance bar
+//! of the batching issue; `BASELINE.md` records the medium-scale sweep.
+
+use pass_cloud::cloud::{layout, ProvGraph, ProvQuery, ProvenanceStore, S3SimpleDb, S3SimpleDbSqs};
+use pass_cloud::pass::{FileFlush, FlushPolicy, GroupCommitFlusher};
+use pass_cloud::simworld::{SimDuration, SimWorld};
+use pass_cloud::workloads::Combined;
+// The bench harness owns the priced world and the flush-path request
+// definition; reusing them keeps the acceptance test and the BASELINE
+// sweep measuring identical quantities.
+use prov_bench::batchbench::{flush_path_requests, priced_world};
+
+/// Drives `flushes` into `store` — point persists, or groups of
+/// `group_size` through the group-commit flusher — and returns the
+/// requests on the provenance flush path plus the elapsed virtual time.
+fn drive(
+    world: &SimWorld,
+    store: &mut dyn ProvenanceStore,
+    flushes: &[FileFlush],
+    group_size: Option<usize>,
+) -> (u64, SimDuration) {
+    let before = world.meters();
+    let t0 = world.now();
+    match group_size {
+        None => {
+            for flush in flushes {
+                store.persist(flush).unwrap();
+            }
+        }
+        Some(n) => {
+            let mut flusher = GroupCommitFlusher::new(FlushPolicy::every(n));
+            for flush in flushes {
+                if let Some(group) = flusher.submit(flush.clone()) {
+                    store.persist_batch(&group).unwrap();
+                }
+            }
+            store.persist_batch(&flusher.drain()).unwrap();
+        }
+    }
+    store.run_daemons_until_idle().unwrap();
+    let elapsed = world.now() - t0;
+    let delta = world.meters() - before;
+    (flush_path_requests(&delta), elapsed)
+}
+
+/// Authoritative (unbilled) fingerprint of the cloud's final state:
+/// every S3 key, every SimpleDB item with its full attribute set.
+fn state_fingerprint(s3: &pass_cloud::s3::S3, db: &pass_cloud::simpledb::SimpleDb) -> String {
+    let mut out = String::new();
+    for key in s3.latest_keys(layout::BUCKET, "") {
+        let obj = s3.latest_object(layout::BUCKET, &key).unwrap();
+        out.push_str(&format!("s3 {key} {}\n", obj.etag.to_hex()));
+    }
+    for item in db.latest_item_names(layout::DOMAIN) {
+        out.push_str(&format!("sdb {item}"));
+        for attr in db.latest_item(layout::DOMAIN, &item).unwrap() {
+            out.push_str(&format!(" {}={}", attr.name, attr.value));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn graph_of(store: &mut dyn ProvenanceStore) -> ProvGraph {
+    ProvGraph::from_answer(&store.query(&ProvQuery::ProvenanceOfAll).unwrap())
+}
+
+#[test]
+fn batched_arch2_matches_point_path_with_5x_fewer_flush_requests() {
+    let (flushes, _) = Combined::small().flushes();
+
+    let point_world = priced_world();
+    let mut point = S3SimpleDb::new(&point_world);
+    let (point_reqs, point_time) = drive(&point_world, &mut point, &flushes, None);
+
+    let batch_world = priced_world();
+    let mut batch = S3SimpleDb::new(&batch_world);
+    let (batch_reqs, batch_time) = drive(&batch_world, &mut batch, &flushes, Some(25));
+
+    point_world.settle();
+    batch_world.settle();
+    assert_eq!(
+        state_fingerprint(point.s3(), point.simpledb()),
+        state_fingerprint(batch.s3(), batch.simpledb()),
+        "batching must not change a single byte of the final store"
+    );
+    assert!(
+        graph_of(&mut point).diff(&graph_of(&mut batch)).is_empty(),
+        "provenance graphs diverged"
+    );
+    assert!(
+        batch_reqs * 5 <= point_reqs,
+        "arch2 flush path: {batch_reqs} batched vs {point_reqs} point requests"
+    );
+    assert!(
+        batch_time < point_time,
+        "arch2 batched persist must be faster in virtual time ({batch_time:?} vs {point_time:?})"
+    );
+}
+
+#[test]
+fn batched_arch3_matches_point_path_with_5x_fewer_flush_requests() {
+    let (flushes, _) = Combined::small().flushes();
+
+    let point_world = priced_world();
+    let mut point = S3SimpleDbSqs::new(&point_world, "bench");
+    let (point_reqs, point_time) = drive(&point_world, &mut point, &flushes, None);
+
+    let batch_world = priced_world();
+    let mut batch = S3SimpleDbSqs::new(&batch_world, "bench");
+    let (batch_reqs, batch_time) = drive(&batch_world, &mut batch, &flushes, Some(25));
+
+    point_world.settle();
+    batch_world.settle();
+    assert_eq!(
+        point.wal_depth_exact(),
+        0,
+        "point path must drain its WAL completely"
+    );
+    assert_eq!(
+        batch.wal_depth_exact(),
+        0,
+        "batched path must drain its WAL completely"
+    );
+    // The WAL's temp keys embed random txids, so compare the *durable*
+    // namespace (data + provenance), not tmp residue — the cleaner owns
+    // that either way.
+    let durable = |s: &S3SimpleDbSqs| {
+        let mut keys = s.s3().latest_keys(layout::BUCKET, layout::DATA_PREFIX);
+        keys.extend(s.s3().latest_keys(layout::BUCKET, layout::PROV_PREFIX));
+        keys
+    };
+    assert_eq!(durable(&point), durable(&batch));
+    let items = |s: &S3SimpleDbSqs| {
+        s.simpledb()
+            .latest_item_names(layout::DOMAIN)
+            .into_iter()
+            .map(|item| {
+                let mut attrs = s.simpledb().latest_item(layout::DOMAIN, &item).unwrap();
+                attrs.sort();
+                (item, attrs)
+            })
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(items(&point), items(&batch));
+    assert!(
+        graph_of(&mut point).diff(&graph_of(&mut batch)).is_empty(),
+        "provenance graphs diverged"
+    );
+    assert!(
+        batch_reqs * 5 <= point_reqs,
+        "arch3 flush path: {batch_reqs} batched vs {point_reqs} point requests"
+    );
+    assert!(
+        batch_time < point_time,
+        "arch3 batched persist must be faster in virtual time ({batch_time:?} vs {point_time:?})"
+    );
+}
+
+#[test]
+fn batched_path_survives_eventual_consistency() {
+    // Same grouped drive on a laggy, jittery world: every object still
+    // reads back verified-consistent after the daemons settle.
+    let world = SimWorld::new(7);
+    let mut store = S3SimpleDbSqs::new(&world, "ec");
+    let (flushes, _) = Combined::small().flushes();
+    let mut flusher = GroupCommitFlusher::new(FlushPolicy::default());
+    for flush in flushes.iter().take(60) {
+        if let Some(group) = flusher.submit(flush.clone()) {
+            store.persist_batch(&group).unwrap();
+        }
+    }
+    store.persist_batch(&flusher.drain()).unwrap();
+    store.run_daemons_until_idle().unwrap();
+    world.settle();
+    let mut checked = 0;
+    for flush in flushes.iter().take(60) {
+        if flush.kind == pass_cloud::pass::ObjectKind::File {
+            let read = store.read(&flush.object.name).unwrap();
+            assert!(read.consistent(), "{}", flush.object.name);
+            checked += 1;
+        }
+    }
+    assert!(checked > 10, "the trace prefix must contain real files");
+}

@@ -207,3 +207,86 @@ fn sqs_concurrent_clients_on_distinct_queues_do_not_interfere() {
         assert_eq!(sqs.exact_message_count(&urls[t]), 0);
     }
 }
+
+#[test]
+fn concurrent_batch_ops_are_layout_invariant() {
+    // Threads fire the new batch APIs — multi-object delete on a shared
+    // bucket, SendMessageBatch/DeleteMessageBatch on private queues —
+    // while point ops interleave. A batch takes each touched shard lock
+    // once, so layouts change contention only: the surviving key set and
+    // the drained message sets must be identical on every layout.
+    const THREADS: usize = 3;
+    const KEYS_PER_THREAD: usize = 24;
+    let mut per_layout: Vec<Vec<String>> = Vec::new();
+    for shards in [1, 4, 16] {
+        let world = SimWorld::counting();
+        let s3 = S3::with_shards(&world, shards);
+        s3.create_bucket("shared").unwrap();
+        let sqs = Sqs::new(&world);
+        let urls: Vec<String> = (0..THREADS)
+            .map(|t| sqs.create_queue(format!("batcher-{t}")))
+            .collect();
+        thread::scope(|scope| {
+            for (t, url) in urls.iter().enumerate() {
+                let s3 = s3.clone();
+                let sqs = sqs.clone();
+                let url = url.clone();
+                scope.spawn(move || {
+                    // Fill, then batch-delete every third key.
+                    let keys: Vec<String> = (0..KEYS_PER_THREAD)
+                        .map(|i| {
+                            let key = format!("c{t}/k{i:02}");
+                            s3.put_object(
+                                "shared",
+                                &key,
+                                Blob::synthetic((t * 100 + i) as u64, 256),
+                                Metadata::new(),
+                            )
+                            .unwrap();
+                            key
+                        })
+                        .collect();
+                    let doomed: Vec<String> = keys.iter().step_by(3).cloned().collect();
+                    assert_eq!(
+                        s3.delete_objects("shared", &doomed).unwrap(),
+                        doomed.len() as u64
+                    );
+                    // Batch-send a round of WAL-ish messages, drain with
+                    // batch deletes.
+                    let bodies: Vec<String> = (0..10).map(|i| format!("t{t}-m{i}")).collect();
+                    for outcome in sqs.send_message_batch(&url, &bodies).unwrap() {
+                        outcome.unwrap();
+                    }
+                    let mut seen = 0;
+                    while seen < bodies.len() {
+                        let got = sqs.receive_message(&url, 10).unwrap();
+                        if got.is_empty() {
+                            continue;
+                        }
+                        let handles: Vec<String> =
+                            got.iter().map(|m| m.receipt_handle.clone()).collect();
+                        for outcome in sqs.delete_message_batch(&url, &handles).unwrap() {
+                            outcome.unwrap();
+                        }
+                        seen += got.len();
+                    }
+                    assert_eq!(sqs.exact_message_count(&url), 0);
+                });
+            }
+        });
+        world.settle();
+        let keys: Vec<String> = s3
+            .list_all("shared", "")
+            .unwrap()
+            .into_iter()
+            .map(|o| o.key)
+            .collect();
+        assert_eq!(keys, s3.latest_keys("shared", ""));
+        assert_eq!(keys.len(), THREADS * KEYS_PER_THREAD * 2 / 3);
+        per_layout.push(keys);
+    }
+    assert!(
+        per_layout.windows(2).all(|w| w[0] == w[1]),
+        "concurrent batch clients observed different key sets across shard layouts"
+    );
+}

@@ -232,13 +232,16 @@ proptest! {
     #[test]
     fn stored_bytes_gauge_matches_shadow_across_services(
         ops in proptest::collection::vec(
-            (0u8..7, 0u8..6, 1u64..2000, 0u64..30),
+            (0u8..10, 0u8..6, 1u64..2000, 0u64..30),
             1..60,
         ),
     ) {
         // The billing gauge is pure bookkeeping layered over every
-        // S3 put/copy/delete and SQS send/receive/delete/expiry path;
-        // under per-shard and per-queue locking each path settles the
+        // S3 put/copy/delete and SQS send/receive/delete/expiry path —
+        // and, since the batched request path, over every multi-object
+        // delete, SendMessageBatch and DeleteMessageBatch too (kinds
+        // 7..10 interleave the batch ops with the point ops); under
+        // per-shard and per-queue locking each path settles the
         // gauge itself, so pin it against a shadow that recomputes the
         // exact expected footprint after every op. Strong consistency
         // keeps the shadow exact (reads can't be stale); retention is
@@ -318,6 +321,51 @@ proptest! {
                     let n = sqs.exact_message_count(&urls[qi]);
                     prop_assert_eq!(n, sqs_shadow[qi].len());
                 }
+                7 => {
+                    // S3 multi-object delete: this key, its neighbour,
+                    // and one key that may be absent (idempotent).
+                    let doomed = vec![
+                        key.to_string(),
+                        keys[((slot + 1) % 6) as usize].to_string(),
+                        format!("ghost-{len}"),
+                    ];
+                    let removed = s3.delete_objects("b", &doomed).unwrap();
+                    let mut expected = 0u64;
+                    for k in &doomed {
+                        if s3_shadow.remove(k).is_some() {
+                            expected += 1;
+                        }
+                    }
+                    prop_assert_eq!(removed, expected);
+                }
+                8 => {
+                    // SQS batch send (expiry triggers first, like send);
+                    // outcomes are index-aligned with the bodies.
+                    expire(&mut sqs_shadow[qi], world.now());
+                    let bodies: Vec<String> = (0..1 + len % 4)
+                        .map(|i| "b".repeat(((len + i) % 300) as usize))
+                        .collect();
+                    let outcomes = sqs.send_message_batch(&urls[qi], &bodies).unwrap();
+                    for (body, outcome) in bodies.iter().zip(outcomes) {
+                        let id = outcome.unwrap();
+                        sqs_shadow[qi].insert(id, (world.now(), body.len() as u64));
+                    }
+                }
+                9 => {
+                    // SQS receive + batch-delete everything received.
+                    expire(&mut sqs_shadow[qi], world.now());
+                    let received = sqs.receive_message(&urls[qi], 10).unwrap();
+                    if !received.is_empty() {
+                        let handles: Vec<String> =
+                            received.iter().map(|m| m.receipt_handle.clone()).collect();
+                        for outcome in sqs.delete_message_batch(&urls[qi], &handles).unwrap() {
+                            outcome.unwrap();
+                        }
+                        for msg in &received {
+                            sqs_shadow[qi].remove(&msg.message_id);
+                        }
+                    }
+                }
                 _ => {
                     // Let time pass (sometimes past the retention
                     // window); nothing expires until an op runs.
@@ -335,6 +383,138 @@ proptest! {
                 .map(|(_, len)| *len)
                 .sum();
             prop_assert_eq!(meters.stored_bytes(Service::Sqs), sqs_expect);
+        }
+    }
+}
+
+// --- SimpleDB stored-bytes gauge under batch ops, vs an exact shadow ---
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn simpledb_stored_bytes_gauge_survives_batch_ops(
+        ops in proptest::collection::vec(
+            (0u8..4, 0u8..5, 0u8..4, 0u8..6),
+            1..50,
+        ),
+    ) {
+        // The sharded SimpleDB settles its gauge per shard; the batch
+        // ops settle a whole group under several shard locks at once.
+        // Interleave point puts/deletes with batch puts/deletes and pin
+        // the gauge against a shadow that replays SimpleDB's
+        // multi-valued-set semantics exactly.
+        use pass_cloud::simpledb::{DeletableAttribute, ReplaceableAttribute, SimpleDb};
+        use pass_cloud::simworld::Service;
+        use std::collections::{BTreeMap, BTreeSet};
+
+        let world = SimWorld::counting();
+        let db = SimpleDb::with_shards(&world, 4);
+        db.create_domain("d").unwrap();
+        let items = ["a", "b", "c", "dd", "e"];
+        let mut shadow: BTreeMap<String, BTreeMap<String, BTreeSet<String>>> = BTreeMap::new();
+        let shadow_bytes = |m: &BTreeMap<String, BTreeMap<String, BTreeSet<String>>>| -> u64 {
+            m.values()
+                .flat_map(|item| {
+                    item.iter().flat_map(|(name, values)| {
+                        values.iter().map(move |v| (name.len() + v.len()) as u64)
+                    })
+                })
+                .sum()
+        };
+        let apply_shadow = |shadow: &mut BTreeMap<String, BTreeMap<String, BTreeSet<String>>>,
+                                item: &str,
+                                attr: u8,
+                                value: u8| {
+            shadow
+                .entry(item.to_string())
+                .or_default()
+                .entry(format!("attr{attr}"))
+                .or_default()
+                .insert(format!("v{value}"));
+        };
+
+        for (kind, islot, attr, value) in ops {
+            let item = items[(islot % 5) as usize];
+            match kind {
+                0 => {
+                    // Point put: one additive attribute.
+                    db.put_attributes(
+                        "d",
+                        item,
+                        &[ReplaceableAttribute::add(
+                            format!("attr{attr}"),
+                            format!("v{value}"),
+                        )],
+                    )
+                    .unwrap();
+                    apply_shadow(&mut shadow, item, attr, value);
+                }
+                1 => {
+                    // Batch put: this item and its neighbour, two
+                    // attributes each.
+                    let other = items[((islot + 1) % 5) as usize];
+                    let entry = |it: &str| {
+                        (
+                            it.to_string(),
+                            vec![
+                                ReplaceableAttribute::add(
+                                    format!("attr{attr}"),
+                                    format!("v{value}"),
+                                ),
+                                ReplaceableAttribute::add(
+                                    format!("attr{}", (attr + 1) % 4),
+                                    format!("v{}", (value + 1) % 6),
+                                ),
+                            ],
+                        )
+                    };
+                    db.batch_put_attributes("d", &[entry(item), entry(other)])
+                        .unwrap();
+                    for it in [item, other] {
+                        apply_shadow(&mut shadow, it, attr, value);
+                        apply_shadow(&mut shadow, it, (attr + 1) % 4, (value + 1) % 6);
+                    }
+                }
+                2 => {
+                    // Point delete: whole item (idempotent).
+                    db.delete_attributes("d", item, None::<&[DeletableAttribute]>)
+                        .unwrap();
+                    shadow.remove(item);
+                }
+                _ => {
+                    // Batch delete: one whole item, one single
+                    // attribute name off the neighbour.
+                    let other = items[((islot + 2) % 5) as usize];
+                    db.batch_delete_attributes(
+                        "d",
+                        &[
+                            (item.to_string(), None),
+                            (
+                                other.to_string(),
+                                Some(vec![DeletableAttribute::all_of(format!("attr{attr}"))]),
+                            ),
+                        ],
+                    )
+                    .unwrap();
+                    shadow.remove(item);
+                    if item != other {
+                        if let Some(entry) = shadow.get_mut(other) {
+                            entry.remove(&format!("attr{attr}"));
+                            if entry.is_empty() {
+                                shadow.remove(other);
+                            }
+                        }
+                    }
+                }
+            }
+            prop_assert_eq!(
+                world.meters().stored_bytes(Service::SimpleDb),
+                shadow_bytes(&shadow)
+            );
+            // Authoritative views agree item-for-item.
+            let names: Vec<String> = shadow.keys().cloned().collect();
+            prop_assert_eq!(db.latest_item_names("d"), names);
         }
     }
 }
