@@ -2,7 +2,7 @@
 //! latency as the shard/queue count grows, for each sharded backend.
 //!
 //! Usage: `cargo run --release -p prov-bench --bin shards
-//!         [--mode=simpledb|s3|sqs|batch|all] [--smoke]
+//!         [--mode=simpledb|s3|sqs|batch|pipeline|all] [--smoke]
 //!         [--threads=N] [--queries=N]
 //!         [--scale=small|medium|paper]`
 //!
@@ -17,13 +17,22 @@
 //! strictly fewer billable requests than the point-op path, shrinks the
 //! provenance flush path ≥ 5x at full fill, and leaves the provenance
 //! graph bit-identical.
+//!
+//! `--mode=pipeline` sweeps the in-flight depth of the pipelined
+//! persist path (depth 0 = synchronous batch baseline); its smoke
+//! asserts graph-identical results with an unchanged request count and
+//! strictly lower virtual completion time at every depth, falling
+//! further as the depth rises.
 
 use prov_bench::batchbench::{batch_sweep, render_batch, DEFAULT_GROUP_SIZES};
+use prov_bench::pipebench::{
+    pipeline_sweep, render_pipeline, DEFAULT_DEPTHS, DEFAULT_PIPELINE_GROUP,
+};
 use prov_bench::shardbench::{
-    render, render_s3_virtual, render_s3_wall, render_sqs_virtual, render_sqs_wall, render_virtual,
-    s3_scaling, s3_virtual_scaling, shard_scaling, sqs_scaling, sqs_virtual_scaling,
-    virtual_scaling, DEFAULT_QUEUE_COUNTS, DEFAULT_S3_OBJECTS, DEFAULT_SHARD_COUNTS,
-    DEFAULT_SQS_MESSAGES,
+    render, render_s3_virtual, render_s3_wall, render_skew, render_sqs_virtual, render_sqs_wall,
+    render_virtual, s3_scaling, s3_virtual_scaling, shard_scaling, skew_sweep, sqs_scaling,
+    sqs_virtual_scaling, virtual_scaling, DEFAULT_QUEUE_COUNTS, DEFAULT_S3_OBJECTS,
+    DEFAULT_SHARD_COUNTS, DEFAULT_SQS_MESSAGES,
 };
 use provenance_cloud::ArchKind;
 use workloads::Combined;
@@ -92,6 +101,29 @@ fn run_simpledb(args: &[String], smoke: bool) {
             }
         }
         Err(e) => fail(&format!("shard bench failed: {e}")),
+    }
+
+    // The skew picture: how a hot-key stream loads the shards of one
+    // domain — the data the ROADMAP's shard-rebalancing item needs.
+    let (skew_ops, skew_keys) = if smoke {
+        (4_000, 1_000)
+    } else {
+        (20_000, 5_000)
+    };
+    match skew_sweep(16, skew_ops, skew_keys, &[0.9, 0.99]) {
+        Ok(rows) => {
+            println!();
+            print!("{}", render_skew(&rows));
+            if smoke {
+                let uniform = rows[0].imbalance;
+                let skewed_worse = rows[1..].iter().all(|r| r.imbalance > uniform);
+                if !skewed_worse {
+                    fail("smoke check failed: zipfian keys did not imbalance the shards");
+                }
+                println!("smoke ok: zipfian key streams load the hottest shard hardest");
+            }
+        }
+        Err(e) => fail(&format!("skew sweep failed: {e}")),
     }
 }
 
@@ -222,6 +254,47 @@ fn run_batch(args: &[String], smoke: bool) {
     }
 }
 
+fn run_pipeline(args: &[String], smoke: bool) {
+    let (dataset, depths): (Combined, &[usize]) = if smoke {
+        (Combined::small(), &[0, 1, 2, 4, 8])
+    } else if args.iter().any(|a| a.starts_with("--scale=")) {
+        (prov_bench::parse_scale(args).dataset(), DEFAULT_DEPTHS)
+    } else {
+        (Combined::medium(), DEFAULT_DEPTHS)
+    };
+    for kind in [ArchKind::S3SimpleDb, ArchKind::S3SimpleDbSqs] {
+        let (rows, graphs) = match pipeline_sweep(kind, &dataset, DEFAULT_PIPELINE_GROUP, depths) {
+            Ok(r) => r,
+            Err(e) => fail(&format!("pipeline sweep ({}) failed: {e}", kind.label())),
+        };
+        print!("{}", render_pipeline(kind, &rows));
+        println!();
+        if smoke {
+            let state_ok = graphs.windows(2).all(|w| w[0].diff(&w[1]).is_empty());
+            let requests_ok = rows.windows(2).all(|w| w[0].requests == w[1].requests);
+            // Every pipelined row beats the synchronous baseline, and
+            // deeper pipelines keep winning: the depth sweep must be
+            // strictly decreasing in virtual completion time.
+            let faster = rows
+                .windows(2)
+                .all(|w| w[1].virtual_secs < w[0].virtual_secs);
+            if !state_ok {
+                fail("smoke check failed: pipelining changed the provenance graph");
+            }
+            if !requests_ok {
+                fail("smoke check failed: pipelining changed the billable request count");
+            }
+            if !faster {
+                fail("smoke check failed: virtual completion time did not fall with depth");
+            }
+            println!(
+                "smoke ok ({}): graphs and request counts identical; completion time strictly falls as in-flight depth rises",
+                kind.label()
+            );
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let smoke = args.iter().any(|a| a == "--smoke");
@@ -231,6 +304,7 @@ fn main() {
         "s3" => run_s3(&args, smoke),
         "sqs" => run_sqs(&args, smoke),
         "batch" => run_batch(&args, smoke),
+        "pipeline" => run_pipeline(&args, smoke),
         "all" => {
             run_simpledb(&args, smoke);
             println!();
@@ -239,9 +313,11 @@ fn main() {
             run_sqs(&args, smoke);
             println!();
             run_batch(&args, smoke);
+            println!();
+            run_pipeline(&args, smoke);
         }
         other => fail(&format!(
-            "unknown mode {other:?}; expected simpledb|s3|sqs|batch|all"
+            "unknown mode {other:?}; expected simpledb|s3|sqs|batch|pipeline|all"
         )),
     }
 }

@@ -25,6 +25,7 @@
 pub mod ablations;
 pub mod batchbench;
 pub mod harness;
+pub mod pipebench;
 pub mod shardbench;
 pub mod tables;
 

@@ -1,0 +1,184 @@
+//! Pipelined vs synchronous persist experiments: the in-flight depth
+//! sweep behind the event-driven completion scheduler.
+//!
+//! The batched path (PR 4) cut round trips; this sweep cuts *waiting*.
+//! The same flush groups drive `ProvenanceStore::persist_pipelined`
+//! with up to `depth` requests per service in flight: completion time
+//! follows the scheduler's event order (`max(channel-free, issue) +
+//! latency`) instead of the serial latency sum, so virtual completion
+//! time falls as the depth rises while the request *count* — and every
+//! byte of the final store — stays identical. Depth 0 denotes the
+//! synchronous batch baseline (`persist_batch`, one group at a time).
+//!
+//! Issue order is identical on every row, so the seeded RNG stream —
+//! and therefore the final store state and provenance graph — is
+//! bit-identical across the whole sweep; the smoke mode asserts that
+//! along with the speedup.
+
+use pass::FileFlush;
+use provenance_cloud::{ArchKind, ProvGraph, ProvQuery, Result};
+use workloads::Combined;
+
+use crate::batchbench::priced_world;
+
+/// The in-flight depths the sweep visits (0 = synchronous baseline).
+pub const DEFAULT_DEPTHS: &[usize] = &[0, 1, 2, 4, 8];
+
+/// Flushes per group in the sweep (the full SimpleDB batch fill).
+pub const DEFAULT_PIPELINE_GROUP: usize = 25;
+
+/// One row of the in-flight depth sweep.
+#[derive(Clone, Debug)]
+pub struct PipelineRow {
+    /// Requests in flight per service (0 = synchronous batch baseline).
+    pub depth: usize,
+    /// Total billable requests of the persist phase (client + daemons)
+    /// — identical on every row, or pipelining changed semantics.
+    pub requests: u64,
+    /// Virtual seconds the persist phase consumed.
+    pub virtual_secs: f64,
+    /// Provenance graph size, for cross-row equality checks.
+    pub graph_nodes: u64,
+}
+
+/// Splits `flushes` into persist groups of `group_size` — the same
+/// grouping on every row, so only the overlap differs.
+fn grouped(flushes: &[FileFlush], group_size: usize) -> Vec<Vec<FileFlush>> {
+    flushes
+        .chunks(group_size.max(1))
+        .map(<[FileFlush]>::to_vec)
+        .collect()
+}
+
+/// Persists `dataset` into a fresh `kind` store — synchronously when
+/// `depth == 0`, with `depth` requests per service in flight otherwise
+/// — and returns the sweep row plus the final provenance graph.
+///
+/// # Errors
+///
+/// Propagates service errors.
+pub fn persist_at_depth(
+    kind: ArchKind,
+    dataset: &Combined,
+    group_size: usize,
+    depth: usize,
+) -> Result<(PipelineRow, ProvGraph)> {
+    let world = priced_world();
+    let mut store = kind.build(&world);
+    let (flushes, _) = dataset.flushes();
+    let groups = grouped(&flushes, group_size);
+    let before_meters = world.meters();
+    let before_clock = world.now();
+    if depth == 0 {
+        for group in &groups {
+            store.persist_batch(group)?;
+        }
+    } else {
+        store.persist_pipelined(&groups, depth)?;
+    }
+    store.run_daemons_until_idle()?;
+    let meters = world.meters() - before_meters;
+    let virtual_secs = (world.now() - before_clock).as_secs_f64();
+    world.settle();
+    let graph = ProvGraph::from_answer(&store.query(&ProvQuery::ProvenanceOfAll)?);
+    Ok((
+        PipelineRow {
+            depth,
+            requests: meters.total_ops(),
+            virtual_secs,
+            graph_nodes: graph.len() as u64,
+        },
+        graph,
+    ))
+}
+
+/// Runs the depth sweep for one architecture. The returned graphs must
+/// be pairwise identical — pipelining changes *when* requests complete,
+/// never *what* the store holds.
+///
+/// # Errors
+///
+/// Propagates service errors.
+pub fn pipeline_sweep(
+    kind: ArchKind,
+    dataset: &Combined,
+    group_size: usize,
+    depths: &[usize],
+) -> Result<(Vec<PipelineRow>, Vec<ProvGraph>)> {
+    let mut rows = Vec::with_capacity(depths.len());
+    let mut graphs = Vec::with_capacity(depths.len());
+    for &depth in depths {
+        let (row, graph) = persist_at_depth(kind, dataset, group_size, depth)?;
+        rows.push(row);
+        graphs.push(graph);
+    }
+    Ok((rows, graphs))
+}
+
+/// Renders the sweep with a virtual-time speedup column against the
+/// synchronous (depth 0) baseline row.
+pub fn render_pipeline(kind: ArchKind, rows: &[PipelineRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "In-flight depth sweep — {} pipelined persist, combined workload, groups of {}\n",
+        kind.label(),
+        DEFAULT_PIPELINE_GROUP
+    ));
+    out.push_str("depth | requests | virt (s) | time speedup | graph\n");
+    out.push_str("------|----------|----------|--------------|------\n");
+    let base_virt = rows.first().map(|r| r.virtual_secs).unwrap_or(1.0);
+    for r in rows {
+        let depth = if r.depth == 0 {
+            "sync".to_string()
+        } else {
+            r.depth.to_string()
+        };
+        out.push_str(&format!(
+            "{depth:>5} | {:>8} | {:>8.2} | {:>11.2}x | {:>5}\n",
+            r.requests,
+            r.virtual_secs,
+            base_virt / r.virtual_secs.max(f64::EPSILON),
+            r.graph_nodes,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn depth_sweep_matches_sync_state_and_cuts_time() {
+        let dataset = Combined::small();
+        for kind in [ArchKind::S3SimpleDb, ArchKind::S3SimpleDbSqs] {
+            let (rows, graphs) =
+                pipeline_sweep(kind, &dataset, DEFAULT_PIPELINE_GROUP, &[0, 1, 4]).unwrap();
+            assert!(
+                graphs.windows(2).all(|w| w[0].diff(&w[1]).is_empty()),
+                "{kind:?}: pipelining changed the provenance graph"
+            );
+            assert!(
+                rows.windows(2).all(|w| w[0].requests == w[1].requests),
+                "{kind:?}: pipelining must not change the request count: {rows:?}"
+            );
+            assert!(
+                rows.windows(2)
+                    .all(|w| w[1].virtual_secs < w[0].virtual_secs),
+                "{kind:?}: deeper pipelines must finish sooner: {rows:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn grouping_is_stable() {
+        let (flushes, _) = Combined::small().flushes();
+        let groups = grouped(&flushes, 25);
+        assert_eq!(
+            groups.iter().map(Vec::len).sum::<usize>(),
+            flushes.len(),
+            "grouping must partition the flush stream"
+        );
+        assert!(groups[..groups.len() - 1].iter().all(|g| g.len() == 25));
+    }
+}

@@ -21,10 +21,10 @@ use std::time::Instant;
 
 use provenance_cloud::{layout, ProvenanceStore, Result, S3SimpleDb};
 use sim_s3::{Metadata, S3};
-use sim_simpledb::SimpleDb;
+use sim_simpledb::{ReplaceableAttribute, SimpleDb};
 use sim_sqs::Sqs;
-use simworld::{Blob, Consistency, LatencyModel, SimConfig, SimDuration, SimWorld};
-use workloads::Combined;
+use simworld::{Blob, Consistency, LatencyModel, Service, SimConfig, SimDuration, SimWorld};
+use workloads::{Combined, ZipfKeys};
 
 /// The shard counts the scaling sweep visits by default.
 pub const DEFAULT_SHARD_COUNTS: &[usize] = &[1, 2, 4, 8, 16];
@@ -309,6 +309,103 @@ pub fn render_virtual(rows: &[VirtualRow]) -> String {
             base / r.avg_query_ms.max(f64::EPSILON),
             r.scan_query_ms,
             scan_base / r.scan_query_ms.max(f64::EPSILON),
+        ));
+    }
+    out
+}
+
+// --- Key-skew shard imbalance ---
+
+/// One row of the key-skew imbalance table: how unevenly a key stream
+/// loads the shards of a SimpleDB domain.
+#[derive(Clone, Debug)]
+pub struct SkewRow {
+    /// Key distribution label (`uniform`, `zipf(0.99)`, …).
+    pub label: String,
+    /// Shard count of the domain.
+    pub shards: usize,
+    /// Point writes issued.
+    pub ops: u64,
+    /// Ops landing on the busiest shard.
+    pub max_shard_ops: u64,
+    /// Mean ops per shard.
+    pub mean_shard_ops: f64,
+    /// `max / mean` — 1.0 is perfect balance; the paper-era answer to a
+    /// hot domain was splitting or throttling, which is what this
+    /// number argues for (ROADMAP: shard rebalancing).
+    pub imbalance: f64,
+}
+
+/// Writes `ops` point items into a fresh `shards`-sharded domain, with
+/// item names drawn from `keys` keys — uniformly when `theta` is
+/// `None`, Zipf(θ)-skewed otherwise — and reads the per-shard op load
+/// back out of the meters.
+///
+/// # Errors
+///
+/// Propagates SimpleDB errors.
+pub fn shard_skew(shards: usize, ops: usize, keys: usize, theta: Option<f64>) -> Result<SkewRow> {
+    let world = SimWorld::counting();
+    let db = SimpleDb::with_shards(&world, shards);
+    db.create_domain("skew")?;
+    let mut gen = ZipfKeys::new(keys, theta.unwrap_or(0.99), 2009);
+    for i in 0..ops {
+        let key = match theta {
+            Some(_) => gen.next_index(),
+            None => gen.next_uniform_index(),
+        };
+        db.put_attributes(
+            "skew",
+            &format!("item-{key:06}"),
+            &[ReplaceableAttribute::replace("v", i.to_string())],
+        )?;
+    }
+    let meters = world.meters();
+    let loads: Vec<u64> = (0..shards as u32)
+        .map(|s| meters.shard_op_count(Service::SimpleDb, s))
+        .collect();
+    let max = loads.iter().copied().max().unwrap_or(0);
+    let total: u64 = loads.iter().sum();
+    let mean = total as f64 / (shards as f64).max(1.0);
+    Ok(SkewRow {
+        label: match theta {
+            Some(t) => format!("zipf({t})"),
+            None => "uniform".to_string(),
+        },
+        shards,
+        ops: ops as u64,
+        max_shard_ops: max,
+        mean_shard_ops: mean,
+        imbalance: max as f64 / mean.max(f64::EPSILON),
+    })
+}
+
+/// Runs the skew experiment at one shard count: a uniform control row
+/// plus one row per requested θ.
+///
+/// # Errors
+///
+/// Propagates SimpleDB errors.
+pub fn skew_sweep(shards: usize, ops: usize, keys: usize, thetas: &[f64]) -> Result<Vec<SkewRow>> {
+    let mut rows = vec![shard_skew(shards, ops, keys, None)?];
+    for &theta in thetas {
+        rows.push(shard_skew(shards, ops, keys, Some(theta))?);
+    }
+    Ok(rows)
+}
+
+/// Renders the skew table. `shard_op_count` imbalance (max/mean) is the
+/// number the ROADMAP's shard-rebalancing item needs data for: hashing
+/// balances *keys*, not *popularity*.
+pub fn render_skew(rows: &[SkewRow]) -> String {
+    let mut out = String::new();
+    out.push_str("Key-skew shard imbalance — point writes, hash placement\n");
+    out.push_str("distribution | shards |  ops | max shard ops | mean shard ops | max/mean\n");
+    out.push_str("-------------|--------|------|---------------|----------------|---------\n");
+    for r in rows {
+        out.push_str(&format!(
+            "{:>12} | {:>6} | {:>4} | {:>13} | {:>14.1} | {:>7.2}x\n",
+            r.label, r.shards, r.ops, r.max_shard_ops, r.mean_shard_ops, r.imbalance,
         ));
     }
     out
@@ -814,5 +911,24 @@ mod tests {
     fn sqs_wall_sweep_is_lossless() {
         let rows = sqs_scaling(&[2, 4], 160, 2).unwrap();
         assert!(rows.iter().all(|r| r.received == r.messages), "{rows:?}");
+    }
+
+    #[test]
+    fn zipfian_keys_imbalance_the_shards() {
+        // Hash placement balances keys, not popularity: the skewed
+        // stream must load its hottest shard measurably harder than
+        // the uniform control does.
+        let rows = skew_sweep(16, 4000, 1000, &[0.99]).unwrap();
+        assert_eq!(rows.len(), 2);
+        let (uniform, zipf) = (&rows[0], &rows[1]);
+        assert_eq!(uniform.ops, zipf.ops);
+        assert!(
+            (uniform.mean_shard_ops - 4000.0 / 16.0).abs() < 1e-9,
+            "every op lands on exactly one shard: {uniform:?}"
+        );
+        assert!(
+            zipf.imbalance > uniform.imbalance * 1.5,
+            "zipf must skew the shard load: {rows:?}"
+        );
     }
 }

@@ -262,6 +262,21 @@ impl ProvenanceStore for S3SimpleDb {
         Ok(())
     }
 
+    /// The pipelined §4.2 persist path: groups issue back to back with
+    /// up to `max_in_flight` requests per service in flight, so batch
+    /// N+1's requests no longer wait for batch N's completions. Issue
+    /// order — and therefore every service's final state — is identical
+    /// to the synchronous batch path; only the completion accounting
+    /// overlaps, which is where the virtual-time win lives.
+    fn persist_pipelined(&mut self, groups: &[Vec<FileFlush>], max_in_flight: usize) -> Result<()> {
+        self.world.begin_pipeline(max_in_flight);
+        let result = groups.iter().try_for_each(|g| self.persist_batch(g));
+        // Drain even when a crash fired: issued requests are on the
+        // wire regardless of the client dying.
+        self.world.drain_pipeline();
+        result
+    }
+
     /// §4.2 read: fetch data from S3 and provenance from SimpleDB, then
     /// compare `MD5(data ‖ nonce)` against the stored record; on
     /// mismatch, reissue both reads until they agree or the retry budget

@@ -763,6 +763,23 @@ impl ProvenanceStore for S3SimpleDbSqs {
         Ok(())
     }
 
+    /// The pipelined §4.3 log phase: groups issue back to back with up
+    /// to `max_in_flight` requests per service in flight. The WAL
+    /// queue's sends are completion-ordered per queue by the scheduler
+    /// (see [`simworld::SimWorld::record_batch_keyed`]), so however
+    /// deep the pipeline runs, BEGIN/payload/COMMIT never complete out
+    /// of order and the commit-less-suffix atomicity argument is
+    /// untouched. Issue order — and the final state — is identical to
+    /// the synchronous batch path.
+    fn persist_pipelined(&mut self, groups: &[Vec<FileFlush>], max_in_flight: usize) -> Result<()> {
+        self.world.begin_pipeline(max_in_flight);
+        let result = groups.iter().try_for_each(|g| self.persist_batch(g));
+        // Drain even when a crash fired: issued requests are on the
+        // wire regardless of the client dying.
+        self.world.drain_pipeline();
+        result
+    }
+
     fn read(&mut self, name: &str) -> Result<ReadOutcome> {
         let ctx = ReadContext {
             world: &self.world,

@@ -61,6 +61,7 @@ mod arch3;
 mod error;
 mod graph;
 pub mod layout;
+mod pipeline;
 mod prefetch;
 pub mod properties;
 mod query;
@@ -82,6 +83,10 @@ pub use arch3::{
 };
 pub use error::{CloudError, Result};
 pub use graph::{GraphDiff, NodeDiff, ProvGraph};
+pub use pipeline::{
+    drive_pipelined, PipelineReport, PIPE_AFTER_GROUP_ISSUE, PIPE_AFTER_TIMER_FIRE,
+    PIPE_BEFORE_DRAIN,
+};
 pub use prefetch::{record_value, PrefetchPolicy, PrefetchStats, PrefetchingReader};
 pub use properties::{
     check_atomicity, check_causal_ordering, check_consistency, check_efficient_query,

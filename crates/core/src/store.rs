@@ -131,6 +131,31 @@ pub trait ProvenanceStore {
         Ok(())
     }
 
+    /// Persists several groups with up to `max_in_flight` requests per
+    /// service overlapping in flight: each group's batch calls *issue*
+    /// without waiting for the previous batch's completion, and the
+    /// virtual clock follows the event-driven completion schedule
+    /// instead of the serial latency sum. The final store state is
+    /// identical to calling [`ProvenanceStore::persist_batch`] on each
+    /// group in order (requests still issue in the same order — only
+    /// their completion accounting overlaps); architectures wired to
+    /// the shared [`simworld::SimWorld`] pipeline override this. The
+    /// default is the synchronous path: one group at a time, no
+    /// overlap.
+    ///
+    /// # Errors
+    ///
+    /// As [`ProvenanceStore::persist_batch`]. On error, groups earlier
+    /// in the slice — and any request of the failing group issued
+    /// before the crash — may already be durable.
+    fn persist_pipelined(&mut self, groups: &[Vec<FileFlush>], max_in_flight: usize) -> Result<()> {
+        let _ = max_in_flight;
+        for group in groups {
+            self.persist_batch(group)?;
+        }
+        Ok(())
+    }
+
     /// Reads the current version of `name` together with its provenance,
     /// enforcing whatever consistency story the architecture has.
     ///

@@ -18,11 +18,14 @@
 //! without a cloud in sight.
 
 use serde::{Deserialize, Serialize};
+use simworld::SimDuration;
 
 use crate::flush::FileFlush;
 
 /// When a [`GroupCommitFlusher`] drains: whichever threshold trips
-/// first.
+/// first. The optional [`FlushPolicy::max_age`] deadline is honoured by
+/// the timer-driven [`crate::FlushDaemon`] (the plain flusher has no
+/// clock), bounding flush *latency* as well as group size.
 ///
 /// # Examples
 ///
@@ -36,12 +39,19 @@ use crate::flush::FileFlush;
 pub struct FlushPolicy {
     /// Drain once this many flushes are pending. The default matches
     /// SimpleDB's 25-item batch limit, so one drain is (at most) one
-    /// `BatchPutAttributes` call on Architecture 2.
+    /// `BatchPutAttributes` call on Architecture 2. Must be positive.
     pub max_flushes: usize,
     /// Drain once the pending flushes' data + provenance bytes reach
     /// this. Keeps a group of large files from holding many megabytes
-    /// in memory waiting for the count threshold.
+    /// in memory waiting for the count threshold. Must be positive.
     pub max_bytes: u64,
+    /// Drain once the oldest pending flush has waited this long, even
+    /// if neither size threshold tripped — the latency bound a
+    /// background [`crate::FlushDaemon`] enforces with a timer event.
+    /// `None` disables the deadline (drain on size thresholds only);
+    /// when set, it must be positive (a zero age would flush every
+    /// submit, defeating coalescing).
+    pub max_age: Option<SimDuration>,
 }
 
 impl Default for FlushPolicy {
@@ -49,17 +59,83 @@ impl Default for FlushPolicy {
         FlushPolicy {
             max_flushes: 25,
             max_bytes: 4 * 1024 * 1024,
+            max_age: Some(SimDuration::from_millis(500)),
         }
     }
 }
 
 impl FlushPolicy {
-    /// A policy that drains after exactly `n` flushes (bytes unbounded)
-    /// — the knob the batch-size sweeps turn.
+    /// A validated policy. Prefer this over a struct literal: a zero
+    /// count threshold would otherwise drain on every submit (or, with
+    /// a careless `>` comparison, never) and a zero byte threshold
+    /// likewise — silently. `max_age` starts as the default deadline;
+    /// adjust with [`FlushPolicy::with_max_age`] /
+    /// [`FlushPolicy::without_max_age`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_flushes` or `max_bytes` is zero.
+    pub fn new(max_flushes: usize, max_bytes: u64) -> FlushPolicy {
+        let policy = FlushPolicy {
+            max_flushes,
+            max_bytes,
+            ..FlushPolicy::default()
+        };
+        policy.assert_valid();
+        policy
+    }
+
+    /// A policy that drains after exactly `n` flushes (bytes unbounded,
+    /// no age deadline) — the knob the batch-size sweeps turn.
     pub fn every(n: usize) -> FlushPolicy {
         FlushPolicy {
             max_flushes: n.max(1),
             max_bytes: u64::MAX,
+            max_age: None,
+        }
+    }
+
+    /// Replaces the age deadline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `age` is zero (that would flush every submit).
+    pub fn with_max_age(mut self, age: SimDuration) -> FlushPolicy {
+        self.max_age = Some(age);
+        self.assert_valid();
+        self
+    }
+
+    /// Removes the age deadline (size thresholds only).
+    pub fn without_max_age(mut self) -> FlushPolicy {
+        self.max_age = None;
+        self
+    }
+
+    /// Panics when a threshold is degenerate. Called by every consumer
+    /// of a policy ([`GroupCommitFlusher::new`],
+    /// [`crate::FlushDaemon::new`]), so a zero threshold smuggled in
+    /// through a struct literal is rejected at construction instead of
+    /// silently flushing every submit or never.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_flushes`, `max_bytes`, or a present `max_age` is
+    /// zero.
+    pub fn assert_valid(&self) {
+        assert!(
+            self.max_flushes > 0,
+            "FlushPolicy.max_flushes must be positive (a zero count would flush every submit)"
+        );
+        assert!(
+            self.max_bytes > 0,
+            "FlushPolicy.max_bytes must be positive (a zero byte bound would flush every submit)"
+        );
+        if let Some(age) = self.max_age {
+            assert!(
+                age > SimDuration::ZERO,
+                "FlushPolicy.max_age must be positive when set (a zero age would flush every submit)"
+            );
         }
     }
 }
@@ -89,7 +165,13 @@ pub struct GroupCommitFlusher {
 
 impl GroupCommitFlusher {
     /// An empty flusher with the given policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy has a zero threshold (see
+    /// [`FlushPolicy::assert_valid`]).
     pub fn new(policy: FlushPolicy) -> GroupCommitFlusher {
+        policy.assert_valid();
         GroupCommitFlusher {
             policy,
             pending: Vec::new(),
@@ -165,10 +247,7 @@ mod tests {
 
     #[test]
     fn byte_threshold_trips_before_count() {
-        let mut f = GroupCommitFlusher::new(FlushPolicy {
-            max_flushes: 100,
-            max_bytes: 1000,
-        });
+        let mut f = GroupCommitFlusher::new(FlushPolicy::new(100, 1000));
         assert!(f.submit(flush_of("small", 10)).is_none());
         let group = f.submit(flush_of("big", 2000)).unwrap();
         assert_eq!(group.len(), 2, "the oversized flush drains immediately");
@@ -199,5 +278,45 @@ mod tests {
             Some(1),
             "degenerate policy degrades to point flushing, never to stalling"
         );
+    }
+
+    #[test]
+    #[should_panic(expected = "max_flushes must be positive")]
+    fn zero_count_threshold_is_rejected_at_construction() {
+        FlushPolicy::new(0, 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_bytes must be positive")]
+    fn zero_byte_threshold_is_rejected_at_construction() {
+        FlushPolicy::new(10, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_age must be positive")]
+    fn zero_age_deadline_is_rejected() {
+        FlushPolicy::new(10, 1024).with_max_age(SimDuration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_flushes must be positive")]
+    fn flusher_rejects_a_smuggled_zero_policy() {
+        // A struct literal can bypass FlushPolicy::new; the flusher
+        // still refuses it.
+        GroupCommitFlusher::new(FlushPolicy {
+            max_flushes: 0,
+            max_bytes: 1024,
+            max_age: None,
+        });
+    }
+
+    #[test]
+    fn max_age_builders_round_trip() {
+        let p = FlushPolicy::new(10, 1024);
+        assert_eq!(p.max_age, FlushPolicy::default().max_age);
+        let aged = p.with_max_age(SimDuration::from_secs(2));
+        assert_eq!(aged.max_age, Some(SimDuration::from_secs(2)));
+        assert_eq!(aged.without_max_age().max_age, None);
+        assert_eq!(FlushPolicy::every(5).max_age, None);
     }
 }

@@ -48,6 +48,7 @@
 #![forbid(unsafe_code)]
 
 mod cache;
+mod daemon;
 mod flush;
 mod group;
 mod model;
@@ -55,6 +56,7 @@ mod observer;
 mod records;
 
 pub use cache::{CacheDir, CacheEntry};
+pub use daemon::FlushDaemon;
 pub use flush::{FileFlush, FileFlushBuilder};
 pub use group::{FlushPolicy, GroupCommitFlusher};
 pub use model::{process_name, ObjectKind, ObjectRef};

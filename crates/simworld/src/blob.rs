@@ -238,16 +238,9 @@ impl Iterator for Chunks<'_> {
 /// O(1) — which is what makes `slice` cheap.
 fn synthetic_byte(seed: u64, index: u64) -> u8 {
     let block = index / 8;
-    let word = splitmix64(seed ^ block.wrapping_mul(0x9e3779b97f4a7c15));
+    let mut state = seed ^ block.wrapping_mul(0x9e3779b97f4a7c15);
+    let word = crate::hash::splitmix64(&mut state);
     word.to_le_bytes()[(index % 8) as usize]
-}
-
-fn splitmix64(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9e3779b97f4a7c15);
-    let mut z = x;
-    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
-    z ^ (z >> 31)
 }
 
 // Only reachable through the `#[serde(with = ...)]` attribute, which the

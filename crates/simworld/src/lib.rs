@@ -6,6 +6,10 @@
 //!
 //! * a **virtual clock** ([`SimInstant`], [`SimDuration`]) — nothing reads
 //!   wall time, so runs replay bit-for-bit;
+//! * an **event-driven completion scheduler** ([`Scheduler`], with the
+//!   pipelined in-flight model on [`SimWorld::begin_pipeline`]) so
+//!   overlapping requests and background timers share one deterministic
+//!   `(instant, seq)` event order;
 //! * a **seeded RNG** and **latency model** so request timing is realistic
 //!   yet reproducible;
 //! * **metering** ([`MeterBook`], [`MeterSnapshot`]) of every billable
@@ -47,15 +51,17 @@ mod latency;
 mod md5;
 mod merge;
 mod metering;
+mod sched;
 mod world;
 
 pub use blob::{Blob, Chunks, CHUNK};
 pub use clock::{SimDuration, SimInstant};
 pub use ecstore::EcMap;
 pub use faults::{CrashSite, Crashed, FaultPlan};
-pub use hash::fnv1a_64;
+pub use hash::{fnv1a_64, splitmix64};
 pub use latency::{LatencyModel, ServiceLatency};
 pub use md5::{Md5, Md5Digest};
 pub use merge::merged_shard_page;
 pub use metering::{format_bytes, MeterBook, MeterSnapshot, Op, Service, ServiceMeter};
-pub use world::{Consistency, SimConfig, SimWorld};
+pub use sched::{FiredEvent, SchedEvent, Scheduler, TimerId};
+pub use world::{Consistency, PipelineStats, SimConfig, SimWorld};

@@ -6,6 +6,7 @@
 //! experiment — clients, daemons, services — advances one logical
 //! timeline and reads one ledger, deterministically for a given seed.
 
+use std::collections::HashMap;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -17,6 +18,7 @@ use crate::clock::{SimDuration, SimInstant};
 use crate::faults::{CrashSite, Crashed, FaultPlan};
 use crate::latency::LatencyModel;
 use crate::metering::{MeterBook, MeterSnapshot, Op, Service};
+use crate::sched::{FiredEvent, SchedEvent, Scheduler, TimerId};
 
 /// The consistency regime the simulated services run under.
 #[derive(Copy, Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
@@ -80,12 +82,130 @@ impl SimConfig {
     }
 }
 
+/// What an open pipeline did, reported by [`SimWorld::drain_pipeline`].
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct PipelineStats {
+    /// Requests issued while the pipeline was open.
+    pub requests: u64,
+    /// Times the issuer blocked because every channel of a service was
+    /// busy (the `max_in_flight` cap doing its job).
+    pub stalls: u64,
+    /// Largest number of requests simultaneously in flight.
+    pub peak_in_flight: usize,
+    /// When the last in-flight request completed (the drain instant).
+    pub completed_at: SimInstant,
+}
+
+/// Per-service in-flight channels: index `i` holds the instant channel
+/// `i` frees. A request issued at `t` starts at
+/// `max(t, earliest-free channel, same-key predecessor)` and completes
+/// `latency` later — the "completion = max(channel-free time, issue
+/// time) + sampled latency" rule that replaces the serial sum.
+struct PipelineState {
+    channels: [Vec<SimInstant>; 3],
+    /// Per-(service, order-key) FIFO constraint: the completion instant
+    /// of the last request issued on that key. A later request on the
+    /// same key never completes earlier (WAL sends to one queue stay
+    /// BEGIN..COMMIT-ordered however deep the pipeline runs).
+    keyed: HashMap<(usize, u64), SimInstant>,
+    stats: PipelineStats,
+}
+
+fn service_index(service: Service) -> usize {
+    match service {
+        Service::S3 => 0,
+        Service::SimpleDb => 1,
+        Service::Sqs => 2,
+    }
+}
+
 struct WorldState {
     now: SimInstant,
     rng: SmallRng,
     meters: MeterBook,
     faults: FaultPlan,
     config: SimConfig,
+    sched: Scheduler,
+    /// Live timer deadlines, keyed by scheduler seq (cancelled/consumed
+    /// timers are removed; their heap entries are cancelled lazily).
+    timers: HashMap<u64, SimInstant>,
+    pipeline: Option<PipelineState>,
+    trace: Option<Vec<FiredEvent>>,
+}
+
+impl WorldState {
+    /// Charges one request of `latency` against the clock. Serial mode
+    /// (no open pipeline): the clock advances to the completion — the
+    /// classic behaviour, now expressed as "issue, schedule the
+    /// completion event, wait for it". Pipeline mode: the request takes
+    /// the earliest-free of its service's channels, the clock stays at
+    /// issue time (advancing only on backpressure, when every channel
+    /// is busy), and the completion is left pending in the scheduler
+    /// until [`SimWorld::drain_pipeline`].
+    fn charge(&mut self, op: Op, latency: SimDuration, order_key: Option<u64>) {
+        // Completion events exist for the deterministic trace (and for
+        // a pipeline's drain ordering); with tracing off they would be
+        // scheduled and immediately discarded, so the hot path skips
+        // the heap round-trip entirely.
+        let tracing = self.trace.is_some();
+        match self.pipeline.as_mut() {
+            None => {
+                self.now += latency;
+                if tracing {
+                    self.sched.schedule(self.now, SchedEvent::Completion(op));
+                }
+            }
+            Some(p) => {
+                let svc = service_index(op.service());
+                let (ci, free) = p.channels[svc]
+                    .iter()
+                    .copied()
+                    .enumerate()
+                    .min_by_key(|&(i, t)| (t, i))
+                    .expect("pipeline depth is at least 1");
+                if free > self.now {
+                    // Every channel of this service is busy: the issuer
+                    // blocks until the earliest one frees.
+                    self.now = free;
+                    p.stats.stalls += 1;
+                }
+                // max(channel-free, issue): both cases now equal `now`.
+                let start = self.now;
+                let mut completes = start + latency;
+                if let Some(key) = order_key {
+                    let slot = p.keyed.entry((svc, key)).or_insert(completes);
+                    if *slot > completes {
+                        completes = *slot;
+                    }
+                    *slot = completes;
+                }
+                p.channels[svc][ci] = completes;
+                p.stats.requests += 1;
+                if tracing {
+                    self.sched.schedule(completes, SchedEvent::Completion(op));
+                }
+                let now = self.now;
+                let in_flight: usize = p
+                    .channels
+                    .iter()
+                    .map(|chs| chs.iter().filter(|t| **t > now).count())
+                    .sum();
+                p.stats.peak_in_flight = p.stats.peak_in_flight.max(in_flight);
+            }
+        }
+        self.fire_due_events();
+    }
+
+    /// Pops every scheduled event that is due at the current clock, in
+    /// deterministic `(instant, seq)` order, appending to the event
+    /// trace when one is being kept.
+    fn fire_due_events(&mut self) {
+        while let Some(fired) = self.sched.pop_due(self.now) {
+            if let Some(trace) = self.trace.as_mut() {
+                trace.push(fired);
+            }
+        }
+    }
 }
 
 /// Handle to the shared simulation context.
@@ -136,6 +256,10 @@ impl SimWorld {
                 meters: MeterBook::new(),
                 faults: FaultPlan::new(),
                 config,
+                sched: Scheduler::new(),
+                timers: HashMap::new(),
+                pipeline: None,
+                trace: None,
             })),
         }
     }
@@ -151,9 +275,12 @@ impl SimWorld {
     }
 
     /// Moves the clock forward (e.g. to let eventual consistency settle or
-    /// retention windows expire).
+    /// retention windows expire). Scheduled events that fall due fire in
+    /// deterministic `(instant, seq)` order.
     pub fn advance(&self, d: SimDuration) {
-        self.inner.lock().now += d;
+        let mut st = self.inner.lock();
+        st.now += d;
+        st.fire_due_events();
     }
 
     /// The active configuration.
@@ -186,14 +313,29 @@ impl SimWorld {
         self.inner.lock().rng.gen()
     }
 
-    /// Records a billable API call: increments meters and advances the
-    /// clock by the sampled request latency.
+    /// Records a billable API call: increments meters and charges the
+    /// sampled request latency through the completion scheduler. With no
+    /// pipeline open the clock advances to the completion (the serial
+    /// behaviour); inside [`SimWorld::begin_pipeline`] the request joins
+    /// the in-flight set instead and the clock stays at issue time.
     pub fn record_op(&self, op: Op, bytes_in: u64, bytes_out: u64) {
         let mut st = self.inner.lock();
         st.meters.record(op, bytes_in, bytes_out);
         let draw: f64 = st.rng.gen();
         let latency = st.config.latency.sample(op, bytes_in + bytes_out, draw);
-        st.now += latency;
+        st.charge(op, latency, None);
+    }
+
+    /// [`SimWorld::record_op`] with a completion-order key: requests
+    /// carrying the same `order_key` complete in issue order even when
+    /// pipelined (e.g. WAL sends to one SQS queue). Serial behaviour is
+    /// identical to the unkeyed call.
+    pub fn record_op_keyed(&self, op: Op, bytes_in: u64, bytes_out: u64, order_key: u64) {
+        let mut st = self.inner.lock();
+        st.meters.record(op, bytes_in, bytes_out);
+        let draw: f64 = st.rng.gen();
+        let latency = st.config.latency.sample(op, bytes_in + bytes_out, draw);
+        st.charge(op, latency, Some(order_key));
     }
 
     /// Records a billable scanning API call (e.g. a sharded
@@ -210,7 +352,7 @@ impl SimWorld {
             st.config
                 .latency
                 .sample_scan(op, bytes_in + bytes_out, scan_share_rows, draw);
-        st.now += latency;
+        st.charge(op, latency, None);
     }
 
     /// Records a billable batch API call (`BatchPutAttributes`,
@@ -236,7 +378,164 @@ impl SimWorld {
             st.config
                 .latency
                 .sample_batch(op, bytes_in + bytes_out, gating_entries, draw);
-        st.now += latency;
+        st.charge(op, latency, None);
+    }
+
+    /// [`SimWorld::record_batch`] with a completion-order key (see
+    /// [`SimWorld::record_op_keyed`]): batches on the same key complete
+    /// in issue order even when pipelined, which is how a pipelined WAL
+    /// keeps its BEGIN/payload/COMMIT batches ordered per queue.
+    pub fn record_batch_keyed(
+        &self,
+        op: Op,
+        entries: u64,
+        bytes_in: u64,
+        bytes_out: u64,
+        gating_entries: u64,
+        order_key: u64,
+    ) {
+        let mut st = self.inner.lock();
+        st.meters.record_batch(op, entries, bytes_in, bytes_out);
+        let draw: f64 = st.rng.gen();
+        let latency =
+            st.config
+                .latency
+                .sample_batch(op, bytes_in + bytes_out, gating_entries, draw);
+        st.charge(op, latency, Some(order_key));
+    }
+
+    /// Opens a pipelined region: until [`SimWorld::drain_pipeline`],
+    /// every recorded request joins an in-flight set instead of
+    /// advancing the clock to its completion. Each service runs up to
+    /// `max_in_flight` concurrent channels; a request issued when all of
+    /// its service's channels are busy blocks the issuer (backpressure)
+    /// until the earliest channel frees. `max_in_flight == 1` recovers
+    /// per-service serial behaviour while still overlapping *across*
+    /// services, exactly as one outstanding request per connection
+    /// would.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_in_flight` is zero or a pipeline is already open
+    /// (pipelines do not nest).
+    pub fn begin_pipeline(&self, max_in_flight: usize) {
+        assert!(max_in_flight > 0, "pipeline depth must be positive");
+        let mut st = self.inner.lock();
+        assert!(
+            st.pipeline.is_none(),
+            "a pipeline is already open; pipelines do not nest"
+        );
+        let now = st.now;
+        st.pipeline = Some(PipelineState {
+            channels: std::array::from_fn(|_| vec![now; max_in_flight]),
+            keyed: HashMap::new(),
+            stats: PipelineStats::default(),
+        });
+    }
+
+    /// Closes the pipelined region: the clock advances to the last
+    /// in-flight completion (firing every pending completion event in
+    /// deterministic order) and the region's statistics are returned.
+    /// A no-op returning default stats when no pipeline is open.
+    pub fn drain_pipeline(&self) -> PipelineStats {
+        let mut st = self.inner.lock();
+        let Some(p) = st.pipeline.take() else {
+            return PipelineStats::default();
+        };
+        let last = p
+            .channels
+            .iter()
+            .flat_map(|chs| chs.iter().copied())
+            .max()
+            .unwrap_or(st.now);
+        st.now = st.now.max(last);
+        st.fire_due_events();
+        let mut stats = p.stats;
+        stats.completed_at = st.now;
+        stats
+    }
+
+    /// Depth of the currently open pipeline, if any.
+    pub fn pipeline_depth(&self) -> Option<usize> {
+        let st = self.inner.lock();
+        st.pipeline.as_ref().map(|p| p.channels[0].len())
+    }
+
+    /// Requests currently in flight (0 outside a pipelined region).
+    pub fn in_flight(&self) -> usize {
+        let st = self.inner.lock();
+        let Some(p) = st.pipeline.as_ref() else {
+            return 0;
+        };
+        let now = st.now;
+        p.channels
+            .iter()
+            .map(|chs| chs.iter().filter(|t| **t > now).count())
+            .sum()
+    }
+
+    /// Schedules a timer to fire `after` from now; returns its id. The
+    /// timer fires when the clock reaches the deadline (checked with
+    /// [`SimWorld::timer_due`]); it also appears in the deterministic
+    /// event trace.
+    pub fn schedule_timer(&self, after: SimDuration) -> TimerId {
+        let mut st = self.inner.lock();
+        let at = st.now + after;
+        let seq = st.sched.schedule(at, SchedEvent::Timer);
+        st.timers.insert(seq, at);
+        // A zero-delay timer is due immediately: fire it now so the
+        // heap never holds entries at or before the current instant
+        // (the invariant cancel_timer's fired/unfired test relies on).
+        st.fire_due_events();
+        TimerId(seq)
+    }
+
+    /// `true` once `timer`'s deadline has passed (and it has not been
+    /// cancelled or consumed).
+    pub fn timer_due(&self, timer: TimerId) -> bool {
+        let st = self.inner.lock();
+        st.timers.get(&timer.0).is_some_and(|at| *at <= st.now)
+    }
+
+    /// The deadline of a live timer (`None` once cancelled/consumed).
+    pub fn timer_deadline(&self, timer: TimerId) -> Option<SimInstant> {
+        self.inner.lock().timers.get(&timer.0).copied()
+    }
+
+    /// Cancels (or consumes) a timer. Idempotent.
+    pub fn cancel_timer(&self, timer: TimerId) {
+        let mut st = self.inner.lock();
+        if let Some(at) = st.timers.remove(&timer.0) {
+            // Only an unfired entry (deadline still ahead) remains in
+            // the heap and needs a cancellation mark. A fired entry was
+            // already popped — marking it would park its seq in the
+            // scheduler's cancelled set forever.
+            if at > st.now {
+                st.sched.cancel(timer.0);
+            }
+        }
+    }
+
+    /// Turns the deterministic event trace on or off. While on, every
+    /// fired scheduler event (request completions, timers) is appended
+    /// to a log retrievable with [`SimWorld::take_event_trace`] —
+    /// equal seeds and equal call sequences produce equal traces.
+    pub fn set_event_trace(&self, on: bool) {
+        let mut st = self.inner.lock();
+        st.trace = if on {
+            Some(st.trace.take().unwrap_or_default())
+        } else {
+            None
+        };
+    }
+
+    /// Takes the accumulated event trace (empty when tracing is off).
+    pub fn take_event_trace(&self) -> Vec<FiredEvent> {
+        let mut st = self.inner.lock();
+        match st.trace.as_mut() {
+            Some(trace) => std::mem::take(trace),
+            None => Vec::new(),
+        }
     }
 
     /// Records that an operation touched one storage shard of `service`
@@ -436,6 +735,210 @@ mod tests {
     #[should_panic(expected = "bound must be positive")]
     fn rand_below_zero_panics() {
         SimWorld::new(0).rand_below(0);
+    }
+
+    /// A world with a constant (jitter-free) latency model, for exact
+    /// pipeline arithmetic.
+    fn flat_world() -> SimWorld {
+        let flat = crate::latency::ServiceLatency {
+            base: SimDuration::from_millis(10),
+            per_8kb: SimDuration::ZERO,
+            jitter: SimDuration::ZERO,
+            per_scanned_row: SimDuration::ZERO,
+            per_batch_entry: SimDuration::ZERO,
+        };
+        SimWorld::with_config(SimConfig {
+            consistency: Consistency::Strong,
+            latency: LatencyModel {
+                s3: flat,
+                simpledb: flat,
+                sqs: flat,
+            },
+            ..SimConfig::default()
+        })
+    }
+
+    #[test]
+    fn pipelined_requests_overlap_up_to_depth() {
+        let w = flat_world();
+        w.begin_pipeline(4);
+        for _ in 0..4 {
+            w.record_op(Op::S3Put, 0, 0);
+        }
+        // Four 10 ms requests on four channels: all issued at t=0.
+        assert_eq!(w.in_flight(), 4);
+        assert_eq!(w.now(), SimInstant::EPOCH);
+        let stats = w.drain_pipeline();
+        assert_eq!(w.now(), SimInstant::EPOCH + SimDuration::from_millis(10));
+        assert_eq!(stats.requests, 4);
+        assert_eq!(stats.stalls, 0);
+        assert_eq!(stats.peak_in_flight, 4);
+    }
+
+    #[test]
+    fn full_channels_backpressure_the_issuer() {
+        let w = flat_world();
+        w.begin_pipeline(2);
+        for _ in 0..3 {
+            w.record_op(Op::S3Put, 0, 0);
+        }
+        // Third request had to wait for a channel: issued at t=10ms.
+        assert_eq!(w.now(), SimInstant::EPOCH + SimDuration::from_millis(10));
+        let stats = w.drain_pipeline();
+        assert_eq!(stats.stalls, 1);
+        assert_eq!(w.now(), SimInstant::EPOCH + SimDuration::from_millis(20));
+    }
+
+    #[test]
+    fn services_pipeline_independently() {
+        let w = flat_world();
+        w.begin_pipeline(1);
+        w.record_op(Op::S3Put, 0, 0);
+        w.record_op(Op::SdbPutAttributes, 0, 0);
+        w.record_op(Op::SqsSendMessage, 0, 0);
+        // Depth 1 per service still overlaps across services.
+        let stats = w.drain_pipeline();
+        assert_eq!(w.now(), SimInstant::EPOCH + SimDuration::from_millis(10));
+        assert_eq!(stats.peak_in_flight, 3);
+    }
+
+    #[test]
+    fn serial_and_depth_one_single_service_agree() {
+        // For one service, a depth-1 pipeline is the serial sum.
+        let serial = flat_world();
+        for _ in 0..5 {
+            serial.record_op(Op::S3Put, 0, 0);
+        }
+        let piped = flat_world();
+        piped.begin_pipeline(1);
+        for _ in 0..5 {
+            piped.record_op(Op::S3Put, 0, 0);
+        }
+        piped.drain_pipeline();
+        assert_eq!(serial.now(), piped.now());
+    }
+
+    #[test]
+    fn keyed_requests_complete_in_issue_order() {
+        let w = SimWorld::new(9); // jittered latencies
+        w.set_event_trace(true);
+        w.begin_pipeline(8);
+        for _ in 0..20 {
+            w.record_op_keyed(Op::SqsSendMessage, 64, 0, 42);
+        }
+        w.drain_pipeline();
+        let trace = w.take_event_trace();
+        let completions: Vec<_> = trace
+            .iter()
+            .filter(|e| matches!(e.event, SchedEvent::Completion(Op::SqsSendMessage)))
+            .collect();
+        assert_eq!(completions.len(), 20);
+        // Completion order == issue (seq) order, and instants are
+        // monotone: the per-key FIFO constraint held at depth 8.
+        assert!(completions.windows(2).all(|w| w[0].seq < w[1].seq));
+        assert!(completions.windows(2).all(|w| w[0].at <= w[1].at));
+    }
+
+    #[test]
+    fn pipelining_leaves_the_rng_stream_untouched() {
+        // The jitter draws must not depend on the pipeline mode, or a
+        // pipelined run would diverge from its serial twin.
+        let a = SimWorld::new(5);
+        a.record_op(Op::S3Put, 100, 0);
+        a.record_op(Op::SqsSendMessage, 10, 0);
+        let b = SimWorld::new(5);
+        b.begin_pipeline(4);
+        b.record_op(Op::S3Put, 100, 0);
+        b.record_op(Op::SqsSendMessage, 10, 0);
+        b.drain_pipeline();
+        assert_eq!(a.rand_u64(), b.rand_u64());
+    }
+
+    #[test]
+    fn pipelined_time_never_exceeds_serial_time() {
+        let serial = SimWorld::new(11);
+        let piped = SimWorld::new(11);
+        piped.begin_pipeline(4);
+        for i in 0..30u64 {
+            let op = match i % 3 {
+                0 => Op::S3Put,
+                1 => Op::SdbPutAttributes,
+                _ => Op::SqsSendMessage,
+            };
+            serial.record_op(op, i * 100, 0);
+            piped.record_op(op, i * 100, 0);
+        }
+        piped.drain_pipeline();
+        assert!(piped.now() < serial.now());
+    }
+
+    #[test]
+    #[should_panic(expected = "do not nest")]
+    fn nested_pipelines_panic() {
+        let w = SimWorld::new(0);
+        w.begin_pipeline(2);
+        w.begin_pipeline(2);
+    }
+
+    #[test]
+    fn drain_without_pipeline_is_a_noop() {
+        let w = SimWorld::new(0);
+        let t0 = w.now();
+        assert_eq!(w.drain_pipeline(), PipelineStats::default());
+        assert_eq!(w.now(), t0);
+    }
+
+    #[test]
+    fn timers_fire_when_the_clock_passes_them() {
+        let w = SimWorld::counting();
+        let timer = w.schedule_timer(SimDuration::from_secs(1));
+        assert!(!w.timer_due(timer));
+        assert_eq!(
+            w.timer_deadline(timer),
+            Some(SimInstant::EPOCH + SimDuration::from_secs(1))
+        );
+        w.advance(SimDuration::from_secs(1));
+        assert!(w.timer_due(timer));
+        w.cancel_timer(timer);
+        assert!(!w.timer_due(timer), "consumed timers never re-fire");
+        assert_eq!(w.timer_deadline(timer), None);
+    }
+
+    #[test]
+    fn cancelled_timer_is_not_due_and_leaves_no_trace() {
+        let w = SimWorld::counting();
+        w.set_event_trace(true);
+        let timer = w.schedule_timer(SimDuration::from_secs(1));
+        w.cancel_timer(timer);
+        w.advance(SimDuration::from_secs(5));
+        assert!(!w.timer_due(timer));
+        assert!(w.take_event_trace().is_empty());
+    }
+
+    #[test]
+    fn event_trace_is_deterministic_across_runs() {
+        let run = || {
+            let w = SimWorld::new(7);
+            w.set_event_trace(true);
+            w.begin_pipeline(3);
+            let timer = w.schedule_timer(SimDuration::from_millis(1));
+            for i in 0..12u64 {
+                let op = if i % 2 == 0 {
+                    Op::S3Put
+                } else {
+                    Op::SdbPutAttributes
+                };
+                w.record_op(op, i * 512, 0);
+            }
+            let _ = timer;
+            w.drain_pipeline();
+            (w.now(), w.take_event_trace())
+        };
+        let (now_a, trace_a) = run();
+        let (now_b, trace_b) = run();
+        assert_eq!(now_a, now_b);
+        assert!(!trace_a.is_empty());
+        assert_eq!(trace_a, trace_b);
     }
 
     #[test]

@@ -16,7 +16,7 @@ use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
 use serde::{Deserialize, Serialize};
-use simworld::{Op, Service, SimDuration, SimInstant, SimWorld};
+use simworld::{fnv1a_64, Op, Service, SimDuration, SimInstant, SimWorld};
 
 use crate::error::{Result, SqsError};
 
@@ -223,7 +223,11 @@ impl Sqs {
         if freed > 0 {
             self.world.adjust_stored(Service::Sqs, -(freed as i64));
         }
-        self.world.record_op(Op::SqsSendMessage, size, 0);
+        // Keyed by queue: pipelined sends to one queue complete in
+        // issue order, so a WAL's BEGIN..COMMIT sequence stays ordered
+        // however many sends are in flight.
+        self.world
+            .record_op_keyed(Op::SqsSendMessage, size, 0, fnv1a_64(url));
         self.world.adjust_stored(Service::Sqs, size as i64);
         Ok(message_id)
     }
@@ -326,12 +330,15 @@ impl Sqs {
         // one gates the response (the receive-path rule, applied to the
         // write path).
         let gating = per_server.iter().copied().max().unwrap_or(0);
-        self.world.record_batch(
+        // Queue-keyed like the point send: a pipelined client's batches
+        // to one queue complete in issue order.
+        self.world.record_batch_keyed(
             Op::SqsSendMessageBatch,
             accepted.len() as u64,
             bytes_in,
             0,
             gating,
+            fnv1a_64(url),
         );
         if bytes_in > 0 {
             self.world.adjust_stored(Service::Sqs, bytes_in as i64);

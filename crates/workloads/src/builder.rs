@@ -122,12 +122,7 @@ impl TraceBuilder {
     }
 
     fn next_u64(&mut self) -> u64 {
-        // SplitMix64: deterministic, seed-stable across runs.
-        self.rng_state = self.rng_state.wrapping_add(0x9e3779b97f4a7c15);
-        let mut z = self.rng_state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
-        z ^ (z >> 31)
+        simworld::splitmix64(&mut self.rng_state)
     }
 }
 

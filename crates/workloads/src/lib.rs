@@ -15,6 +15,9 @@
 //! * [`Combined`] — all three concatenated, with [`DatasetStats`]
 //!   supplying Table 2's "Raw" column.
 //!
+//! [`ZipfKeys`] supplements the trace generators with a skewed
+//! (hot-key) index stream for the shard-imbalance experiments.
+//!
 //! Generators are deterministic in their seed, produce
 //! [`pass::TraceEvent`] streams consumable by [`pass::Observer`], and
 //! scale smoothly from unit-test size to the paper's ~1.27 GB dataset
@@ -39,9 +42,11 @@ mod builder;
 mod challenge;
 mod combined;
 mod compile;
+mod zipf;
 
 pub use blast::Blast;
 pub use builder::TraceBuilder;
 pub use challenge::{ProvenanceChallenge, ANATOMY_PAIRS, SLICE_AXES};
 pub use combined::{Combined, DatasetStats};
 pub use compile::LinuxCompile;
+pub use zipf::ZipfKeys;

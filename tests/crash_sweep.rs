@@ -1,10 +1,15 @@
 //! Exhaustive crash-injection sweep across every architecture, every
 //! protocol crash site, and several crash ordinals — verifying the
 //! invariants the paper's Table 1 claims, plus full recovery afterwards.
+//! The pipelined background-flush path gets the same treatment: crash
+//! sites between timer fire, batch issue, and completion.
 
-use pass_cloud::cloud::{ArchKind, ProvQuery, ProvenanceStore};
-use pass_cloud::pass::FileFlush;
-use pass_cloud::simworld::{Blob, SimWorld};
+use pass_cloud::cloud::{
+    drive_pipelined, ArchKind, CloudError, ProvQuery, ProvenanceStore, PIPE_AFTER_GROUP_ISSUE,
+    PIPE_AFTER_TIMER_FIRE, PIPE_BEFORE_DRAIN,
+};
+use pass_cloud::pass::{FileFlush, FlushPolicy};
+use pass_cloud::simworld::{Blob, CrashSite, SimDuration, SimWorld};
 
 fn flushes() -> Vec<FileFlush> {
     // Three chained files plus a process with an oversized env, so every
@@ -144,6 +149,185 @@ fn double_crash_client_then_daemon_still_recovers() {
     let report = store.recover().unwrap();
     // Nothing left to replay afterwards.
     assert_eq!(report.transactions_replayed, 0);
+}
+
+/// A pipelined-client policy under which the deadline timer genuinely
+/// fires: a generous count threshold, a 300 ms age bound, and (in the
+/// driver) 200 ms of think time between closes.
+fn trickle_policy() -> FlushPolicy {
+    FlushPolicy::new(100, u64::MAX).with_max_age(SimDuration::from_millis(300))
+}
+
+/// Ten independent single-record files, so any prefix of issued groups
+/// is self-contained (no dangling ancestor references).
+fn independent_flushes() -> Vec<FileFlush> {
+    (0..10)
+        .map(|i| {
+            FileFlush::builder(format!("ind{i}"))
+                .data(Blob::synthetic(100 + i, 256))
+                .build()
+        })
+        .collect()
+}
+
+#[test]
+fn every_pipelined_crash_site_recovers_after_a_client_restart() {
+    // The union of the pipeline's own step boundaries (timer fire →
+    // batch issue → completion) and the per-architecture client sites,
+    // which now fire *inside* a pipelined issue. After the crash the
+    // client restarts and re-flushes everything from its cache; the
+    // full chain must come back consistent, with no duplicate records.
+    for kind in [ArchKind::S3SimpleDb, ArchKind::S3SimpleDbSqs] {
+        let mut sites: Vec<CrashSite> = vec![
+            PIPE_AFTER_TIMER_FIRE,
+            PIPE_AFTER_GROUP_ISSUE,
+            PIPE_BEFORE_DRAIN,
+        ];
+        sites.extend(kind.client_crash_sites().iter().copied());
+        for site in sites {
+            for ordinal in 0..2 {
+                let world = SimWorld::counting();
+                world.with_faults(|f| f.arm_after(site, ordinal));
+                let mut store = kind.build(&world);
+                let crashed = match drive_pipelined(
+                    &world,
+                    store.as_mut(),
+                    &flushes(),
+                    trickle_policy(),
+                    4,
+                    SimDuration::from_millis(200),
+                ) {
+                    Ok(_) => false,
+                    Err(e) if e.is_crash() => {
+                        // Client restart: PASS re-flushes from cache.
+                        drive_pipelined(
+                            &world,
+                            store.as_mut(),
+                            &flushes(),
+                            trickle_policy(),
+                            4,
+                            SimDuration::from_millis(200),
+                        )
+                        .expect("retry after restart succeeds");
+                        true
+                    }
+                    Err(e) => panic!("unexpected error: {e}"),
+                };
+                if !crashed {
+                    continue;
+                }
+                store.run_daemons_until_idle().expect("daemons drain");
+                world.settle();
+                let read = store.read("b").expect("b readable after recovery");
+                assert!(read.consistent(), "{kind:?}/{site}/{ordinal}");
+                let q = store
+                    .query(&ProvQuery::ProvenanceOf {
+                        name: "b".into(),
+                        version: 1,
+                    })
+                    .expect("query succeeds");
+                let records = &q.items[0].records;
+                let unique: std::collections::BTreeSet<_> =
+                    records.iter().map(|r| r.to_pair()).collect();
+                assert_eq!(
+                    records.len(),
+                    unique.len(),
+                    "{kind:?}/{site}/{ordinal}: duplicated records after pipelined re-flush"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn pipelined_groups_issued_before_a_crash_survive_it() {
+    // Crash between batch issues: groups already issued are on the
+    // wire and must be durable once the daemons drain; groups never
+    // issued must leave no trace. (Groups of 2 over independent files,
+    // crash after the first issue.)
+    for kind in [ArchKind::S3SimpleDb, ArchKind::S3SimpleDbSqs] {
+        let world = SimWorld::counting();
+        world.with_faults(|f| f.arm(PIPE_AFTER_GROUP_ISSUE));
+        let mut store = kind.build(&world);
+        let err = drive_pipelined(
+            &world,
+            store.as_mut(),
+            &independent_flushes(),
+            FlushPolicy::new(2, u64::MAX).without_max_age(),
+            4,
+            SimDuration::ZERO,
+        )
+        .expect_err("the armed site must fire");
+        assert!(err.is_crash(), "{kind:?}: {err}");
+        store.run_daemons_until_idle().expect("daemons drain");
+        world.settle();
+        // The issued group (ind0, ind1) is durable…
+        for name in ["ind0", "ind1"] {
+            let read = store.read(name).expect("issued group durable");
+            assert!(read.consistent(), "{kind:?}/{name}");
+        }
+        // …and the un-issued suffix is wholly absent.
+        for i in 2..10 {
+            assert!(
+                matches!(
+                    store.read(&format!("ind{i}")),
+                    Err(CloudError::NotFound { .. })
+                ),
+                "{kind:?}: un-issued flush ind{i} must not surface"
+            );
+        }
+    }
+}
+
+#[test]
+fn pipelined_commitless_suffix_is_ignored_by_the_commit_daemon() {
+    // A crash *inside* a pipelined arch3 issue, before the group's
+    // final COMMIT batch ships: every transaction of that group is a
+    // commit-less suffix the daemon must ignore forever — no data
+    // object may surface. A client restart then recovers everything.
+    let kind = ArchKind::S3SimpleDbSqs;
+    let world = SimWorld::counting();
+    world.with_faults(|f| f.arm(pass_cloud::cloud::A3_BEFORE_COMMIT));
+    let mut store = kind.build(&world);
+    let err = drive_pipelined(
+        &world,
+        store.as_mut(),
+        &independent_flushes(),
+        FlushPolicy::new(2, u64::MAX).without_max_age(),
+        4,
+        SimDuration::ZERO,
+    )
+    .expect_err("the armed site must fire");
+    assert!(err.is_crash());
+    store.run_daemons_until_idle().expect("daemons drain");
+    world.settle();
+    for i in 0..10 {
+        assert!(
+            matches!(
+                store.read(&format!("ind{i}")),
+                Err(CloudError::NotFound { .. })
+            ),
+            "commit-less transaction ind{i} must stay invisible"
+        );
+    }
+    // Client restart: the cached flushes go out again, cleanly.
+    drive_pipelined(
+        &world,
+        store.as_mut(),
+        &independent_flushes(),
+        FlushPolicy::new(2, u64::MAX).without_max_age(),
+        4,
+        SimDuration::ZERO,
+    )
+    .expect("retry succeeds");
+    store.run_daemons_until_idle().expect("daemons drain");
+    world.settle();
+    for i in 0..10 {
+        assert!(
+            store.read(&format!("ind{i}")).unwrap().consistent(),
+            "ind{i} recovered"
+        );
+    }
 }
 
 #[test]
