@@ -19,14 +19,15 @@
 //! graph bit-identical.
 //!
 //! `--mode=pipeline` sweeps the in-flight depth of the pipelined
-//! persist path (depth 0 = synchronous batch baseline); its smoke
-//! asserts graph-identical results with an unchanged request count and
-//! strictly lower virtual completion time at every depth, falling
-//! further as the depth rises.
+//! persist path (sync = synchronous batch baseline; on arch3 the depth
+//! also pipelines the commit daemon; the final row is the adaptive AIMD
+//! controller). Its smoke asserts graph-identical results, strictly
+//! lower virtual completion time as the fixed depth rises, and an
+//! adaptive row within 10% of the best fixed depth.
 
 use prov_bench::batchbench::{batch_sweep, render_batch, DEFAULT_GROUP_SIZES};
 use prov_bench::pipebench::{
-    pipeline_sweep, render_pipeline, DEFAULT_DEPTHS, DEFAULT_PIPELINE_GROUP,
+    pipeline_sweep, render_pipeline, DEFAULT_PIPELINE_GROUP, DEFAULT_SPECS,
 };
 use prov_bench::shardbench::{
     render, render_s3_virtual, render_s3_wall, render_skew, render_sqs_virtual, render_sqs_wall,
@@ -255,29 +256,43 @@ fn run_batch(args: &[String], smoke: bool) {
 }
 
 fn run_pipeline(args: &[String], smoke: bool) {
-    let (dataset, depths): (Combined, &[usize]) = if smoke {
-        (Combined::small(), &[0, 1, 2, 4, 8])
+    let dataset: Combined = if smoke {
+        Combined::small()
     } else if args.iter().any(|a| a.starts_with("--scale=")) {
-        (prov_bench::parse_scale(args).dataset(), DEFAULT_DEPTHS)
+        prov_bench::parse_scale(args).dataset()
     } else {
-        (Combined::medium(), DEFAULT_DEPTHS)
+        Combined::medium()
     };
     for kind in [ArchKind::S3SimpleDb, ArchKind::S3SimpleDbSqs] {
-        let (rows, graphs) = match pipeline_sweep(kind, &dataset, DEFAULT_PIPELINE_GROUP, depths) {
-            Ok(r) => r,
-            Err(e) => fail(&format!("pipeline sweep ({}) failed: {e}", kind.label())),
-        };
+        let (rows, graphs) =
+            match pipeline_sweep(kind, &dataset, DEFAULT_PIPELINE_GROUP, DEFAULT_SPECS) {
+                Ok(r) => r,
+                Err(e) => fail(&format!("pipeline sweep ({}) failed: {e}", kind.label())),
+            };
         print!("{}", render_pipeline(kind, &rows));
         println!();
         if smoke {
             let state_ok = graphs.windows(2).all(|w| w[0].diff(&w[1]).is_empty());
-            let requests_ok = rows.windows(2).all(|w| w[0].requests == w[1].requests);
+            // Daemon-less architectures issue exactly the same bill at
+            // every depth; arch3's pipelined commit daemon re-cuts its
+            // receive rounds, so only the state is invariant there.
+            let requests_ok = kind == ArchKind::S3SimpleDbSqs
+                || rows.windows(2).all(|w| w[0].requests == w[1].requests);
             // Every pipelined row beats the synchronous baseline, and
-            // deeper pipelines keep winning: the depth sweep must be
-            // strictly decreasing in virtual completion time.
-            let faster = rows
+            // deeper pipelines keep winning: the fixed-depth prefix of
+            // the sweep must be strictly decreasing in virtual time.
+            let fixed_prefix = &rows[..rows.len() - 1];
+            let faster = fixed_prefix
                 .windows(2)
                 .all(|w| w[1].virtual_secs < w[0].virtual_secs);
+            // The adaptive row must land within 10% of the best fixed
+            // depth — nobody hand-tuned its window.
+            let best_fixed = fixed_prefix
+                .iter()
+                .map(|r| r.virtual_secs)
+                .fold(f64::INFINITY, f64::min);
+            let adaptive = rows.last().expect("sweep has rows");
+            let adaptive_ok = adaptive.virtual_secs <= best_fixed * 1.10;
             if !state_ok {
                 fail("smoke check failed: pipelining changed the provenance graph");
             }
@@ -287,8 +302,14 @@ fn run_pipeline(args: &[String], smoke: bool) {
             if !faster {
                 fail("smoke check failed: virtual completion time did not fall with depth");
             }
+            if !adaptive_ok {
+                fail(&format!(
+                    "smoke check failed: adaptive depth ({:.2}s) not within 10% of best fixed depth ({best_fixed:.2}s)",
+                    adaptive.virtual_secs
+                ));
+            }
             println!(
-                "smoke ok ({}): graphs and request counts identical; completion time strictly falls as in-flight depth rises",
+                "smoke ok ({}): graphs identical; completion time strictly falls as in-flight depth rises; adaptive within 10% of best fixed depth",
                 kind.label()
             );
         }

@@ -6,23 +6,66 @@
 //! with up to `depth` requests per service in flight: completion time
 //! follows the scheduler's event order (`max(channel-free, issue) +
 //! latency`) instead of the serial latency sum, so virtual completion
-//! time falls as the depth rises while the request *count* — and every
-//! byte of the final store — stays identical. Depth 0 denotes the
-//! synchronous batch baseline (`persist_batch`, one group at a time).
+//! time falls as the depth rises while the final store stays identical.
+//! [`DepthSpec::Sync`] denotes the synchronous batch baseline
+//! (`persist_batch`, one group at a time, serial commit daemon).
 //!
-//! Issue order is identical on every row, so the seeded RNG stream —
-//! and therefore the final store state and provenance graph — is
-//! bit-identical across the whole sweep; the smoke mode asserts that
-//! along with the speedup.
+//! On Architecture 3 the depth applies to *both* ends of the WAL: the
+//! client's persist pipeline and the commit daemon's
+//! receive/assemble/apply loop ([`DaemonDepth`]), so the sweep measures
+//! true end-to-end time instead of plateauing on a serial daemon.
+//! [`DepthSpec::Adaptive`] replaces the hand-tuned depth with the AIMD
+//! [`AdaptiveDepth`] controller on both ends.
+//!
+//! Request *issue order* within each service is identical on every row,
+//! and the stores' protocols are order-insensitive at the points where
+//! daemon scheduling may differ (SimpleDB attribute adds are
+//! set-semantics, copies land whole objects keyed by txid), so the
+//! final store state and provenance graph are identical across the
+//! whole sweep; the smoke mode asserts that along with the speedup.
+
+use std::fmt;
 
 use pass::FileFlush;
-use provenance_cloud::{ArchKind, ProvGraph, ProvQuery, Result};
+use provenance_cloud::{
+    persist_groups_adaptive, Arch3Config, ArchKind, DaemonDepth, ProvGraph, ProvQuery,
+    ProvenanceStore, Result, S3SimpleDbSqs,
+};
+use simworld::AdaptiveDepth;
 use workloads::Combined;
 
 use crate::batchbench::priced_world;
 
-/// The in-flight depths the sweep visits (0 = synchronous baseline).
-pub const DEFAULT_DEPTHS: &[usize] = &[0, 1, 2, 4, 8];
+/// How one sweep row sizes its in-flight window.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum DepthSpec {
+    /// Synchronous batch baseline: no pipeline, serial commit daemon.
+    Sync,
+    /// A fixed `max_in_flight` per service, client and daemon alike.
+    Fixed(usize),
+    /// AIMD-controlled depth ([`AdaptiveDepth`]) on client and daemon.
+    Adaptive,
+}
+
+impl fmt::Display for DepthSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DepthSpec::Sync => f.write_str("sync"),
+            DepthSpec::Fixed(d) => write!(f, "{d}"),
+            DepthSpec::Adaptive => f.write_str("adapt"),
+        }
+    }
+}
+
+/// The specs the sweep visits by default.
+pub const DEFAULT_SPECS: &[DepthSpec] = &[
+    DepthSpec::Sync,
+    DepthSpec::Fixed(1),
+    DepthSpec::Fixed(2),
+    DepthSpec::Fixed(4),
+    DepthSpec::Fixed(8),
+    DepthSpec::Adaptive,
+];
 
 /// Flushes per group in the sweep (the full SimpleDB batch fill).
 pub const DEFAULT_PIPELINE_GROUP: usize = 25;
@@ -30,15 +73,20 @@ pub const DEFAULT_PIPELINE_GROUP: usize = 25;
 /// One row of the in-flight depth sweep.
 #[derive(Clone, Debug)]
 pub struct PipelineRow {
-    /// Requests in flight per service (0 = synchronous batch baseline).
-    pub depth: usize,
-    /// Total billable requests of the persist phase (client + daemons)
-    /// — identical on every row, or pipelining changed semantics.
+    /// How this row sized its window.
+    pub spec: DepthSpec,
+    /// Total billable requests of the persist phase (client + daemons).
+    /// Identical across rows on daemon-less architectures; on arch3 the
+    /// pipelined daemon re-cuts its receive rounds, so only the applied
+    /// *state* is invariant, not the polling bill.
     pub requests: u64,
     /// Virtual seconds the persist phase consumed.
     pub virtual_secs: f64,
     /// Provenance graph size, for cross-row equality checks.
     pub graph_nodes: u64,
+    /// The depth the adaptive controller converged to (client side);
+    /// `None` on sync/fixed rows.
+    pub final_depth: Option<usize>,
 }
 
 /// Splits `flushes` into persist groups of `group_size` — the same
@@ -50,32 +98,66 @@ fn grouped(flushes: &[FileFlush], group_size: usize) -> Vec<Vec<FileFlush>> {
         .collect()
 }
 
-/// Persists `dataset` into a fresh `kind` store — synchronously when
-/// `depth == 0`, with `depth` requests per service in flight otherwise
-/// — and returns the sweep row plus the final provenance graph.
+/// Builds the store for one row. Architecture 3 gets its commit daemon
+/// depth wired to the spec; the other architectures have no daemon to
+/// pipeline.
+fn build_store(
+    kind: ArchKind,
+    world: &simworld::SimWorld,
+    spec: DepthSpec,
+) -> Box<dyn ProvenanceStore> {
+    if kind == ArchKind::S3SimpleDbSqs {
+        let mut store = S3SimpleDbSqs::new(world, "prop-client");
+        store.set_config(Arch3Config {
+            daemon_depth: match spec {
+                DepthSpec::Sync => DaemonDepth::Serial,
+                DepthSpec::Fixed(d) => DaemonDepth::Fixed(d),
+                DepthSpec::Adaptive => DaemonDepth::Adaptive,
+            },
+            ..Arch3Config::default()
+        });
+        Box::new(store)
+    } else {
+        kind.build(world)
+    }
+}
+
+/// Persists `dataset` into a fresh `kind` store under `spec` —
+/// synchronously, at a fixed in-flight depth, or adaptively — and
+/// returns the sweep row plus the final provenance graph.
 ///
 /// # Errors
 ///
 /// Propagates service errors.
-pub fn persist_at_depth(
+pub fn persist_with_spec(
     kind: ArchKind,
     dataset: &Combined,
     group_size: usize,
-    depth: usize,
+    spec: DepthSpec,
 ) -> Result<(PipelineRow, ProvGraph)> {
     let world = priced_world();
-    let mut store = kind.build(&world);
+    let mut store = build_store(kind, &world, spec);
     let (flushes, _) = dataset.flushes();
     let groups = grouped(&flushes, group_size);
     let before_meters = world.meters();
     let before_clock = world.now();
-    if depth == 0 {
-        for group in &groups {
-            store.persist_batch(group)?;
+    let final_depth = match spec {
+        DepthSpec::Sync => {
+            for group in &groups {
+                store.persist_batch(group)?;
+            }
+            None
         }
-    } else {
-        store.persist_pipelined(&groups, depth)?;
-    }
+        DepthSpec::Fixed(depth) => {
+            store.persist_pipelined(&groups, depth)?;
+            None
+        }
+        DepthSpec::Adaptive => {
+            let mut ctl = AdaptiveDepth::new();
+            persist_groups_adaptive(&world, store.as_mut(), &groups, &mut ctl)?;
+            Some(ctl.depth())
+        }
+    };
     store.run_daemons_until_idle()?;
     let meters = world.meters() - before_meters;
     let virtual_secs = (world.now() - before_clock).as_secs_f64();
@@ -83,10 +165,11 @@ pub fn persist_at_depth(
     let graph = ProvGraph::from_answer(&store.query(&ProvQuery::ProvenanceOfAll)?);
     Ok((
         PipelineRow {
-            depth,
+            spec,
             requests: meters.total_ops(),
             virtual_secs,
             graph_nodes: graph.len() as u64,
+            final_depth,
         },
         graph,
     ))
@@ -103,12 +186,12 @@ pub fn pipeline_sweep(
     kind: ArchKind,
     dataset: &Combined,
     group_size: usize,
-    depths: &[usize],
+    specs: &[DepthSpec],
 ) -> Result<(Vec<PipelineRow>, Vec<ProvGraph>)> {
-    let mut rows = Vec::with_capacity(depths.len());
-    let mut graphs = Vec::with_capacity(depths.len());
-    for &depth in depths {
-        let (row, graph) = persist_at_depth(kind, dataset, group_size, depth)?;
+    let mut rows = Vec::with_capacity(specs.len());
+    let mut graphs = Vec::with_capacity(specs.len());
+    for &spec in specs {
+        let (row, graph) = persist_with_spec(kind, dataset, group_size, spec)?;
         rows.push(row);
         graphs.push(graph);
     }
@@ -116,7 +199,7 @@ pub fn pipeline_sweep(
 }
 
 /// Renders the sweep with a virtual-time speedup column against the
-/// synchronous (depth 0) baseline row.
+/// synchronous baseline row.
 pub fn render_pipeline(kind: ArchKind, rows: &[PipelineRow]) -> String {
     let mut out = String::new();
     out.push_str(&format!(
@@ -128,18 +211,17 @@ pub fn render_pipeline(kind: ArchKind, rows: &[PipelineRow]) -> String {
     out.push_str("------|----------|----------|--------------|------\n");
     let base_virt = rows.first().map(|r| r.virtual_secs).unwrap_or(1.0);
     for r in rows {
-        let depth = if r.depth == 0 {
-            "sync".to_string()
-        } else {
-            r.depth.to_string()
-        };
         out.push_str(&format!(
-            "{depth:>5} | {:>8} | {:>8.2} | {:>11.2}x | {:>5}\n",
+            "{:>5} | {:>8} | {:>8.2} | {:>11.2}x | {:>5}\n",
+            r.spec.to_string(),
             r.requests,
             r.virtual_secs,
             base_virt / r.virtual_secs.max(f64::EPSILON),
             r.graph_nodes,
         ));
+    }
+    if let Some(depth) = rows.iter().find_map(|r| r.final_depth) {
+        out.push_str(&format!("adaptive controller converged at depth {depth}\n"));
     }
     out
 }
@@ -151,22 +233,39 @@ mod tests {
     #[test]
     fn depth_sweep_matches_sync_state_and_cuts_time() {
         let dataset = Combined::small();
+        let specs = [
+            DepthSpec::Sync,
+            DepthSpec::Fixed(1),
+            DepthSpec::Fixed(4),
+            DepthSpec::Adaptive,
+        ];
         for kind in [ArchKind::S3SimpleDb, ArchKind::S3SimpleDbSqs] {
             let (rows, graphs) =
-                pipeline_sweep(kind, &dataset, DEFAULT_PIPELINE_GROUP, &[0, 1, 4]).unwrap();
+                pipeline_sweep(kind, &dataset, DEFAULT_PIPELINE_GROUP, &specs).unwrap();
             assert!(
                 graphs.windows(2).all(|w| w[0].diff(&w[1]).is_empty()),
                 "{kind:?}: pipelining changed the provenance graph"
             );
+            if kind == ArchKind::S3SimpleDb {
+                // No daemon: pipelining must not change the bill at all.
+                assert!(
+                    rows.windows(2).all(|w| w[0].requests == w[1].requests),
+                    "{kind:?}: pipelining must not change the request count: {rows:?}"
+                );
+            }
+            let fixed: Vec<&PipelineRow> = rows[..3].iter().collect();
             assert!(
-                rows.windows(2).all(|w| w[0].requests == w[1].requests),
-                "{kind:?}: pipelining must not change the request count: {rows:?}"
-            );
-            assert!(
-                rows.windows(2)
+                fixed
+                    .windows(2)
                     .all(|w| w[1].virtual_secs < w[0].virtual_secs),
                 "{kind:?}: deeper pipelines must finish sooner: {rows:?}"
             );
+            let adaptive = rows.last().unwrap();
+            assert!(
+                adaptive.virtual_secs < rows[0].virtual_secs,
+                "{kind:?}: the adaptive row must beat the synchronous baseline: {rows:?}"
+            );
+            assert!(adaptive.final_depth.is_some());
         }
     }
 

@@ -17,13 +17,13 @@
 //! and re-Puts the same state (the technique §4.3 credits to Brantner et
 //! al.'s "Building a database on S3").
 
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap};
 
 use pass::{CacheDir, FileFlush};
 use sim_s3::{Metadata, MetadataDirective, S3Error, MAX_DELETE_KEYS, S3};
 use sim_simpledb::{ReplaceableAttribute, SimpleDb};
 use sim_sqs::{Sqs, MAX_BATCH_ENTRIES, RETENTION};
-use simworld::{CrashSite, SimWorld};
+use simworld::{AdaptiveDepth, CrashSite, SimInstant, SimWorld};
 
 use crate::error::{CloudError, Result};
 use crate::layout::{
@@ -70,6 +70,25 @@ pub const D3_BEFORE_MSG_DELETE: CrashSite = CrashSite::new("daemon3.before_msg_d
 /// territory).
 pub const D3_BEFORE_TMP_DELETE: CrashSite = CrashSite::new("daemon3.before_tmp_delete");
 
+/// How the commit daemon overlaps its receive/assemble/apply loop.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub enum DaemonDepth {
+    /// One receive round and serial applies per step — the classic
+    /// daemon, and the baseline every pipelined mode must match byte
+    /// for byte.
+    #[default]
+    Serial,
+    /// Each step runs inside a pipeline region with a fixed per-service
+    /// in-flight cap: up to `depth` receive rounds issue back to back,
+    /// and the apply chains of the ready transactions overlap up to the
+    /// same cap.
+    Fixed(usize),
+    /// Like `Fixed`, but the depth is steered per step by an AIMD
+    /// [`AdaptiveDepth`] controller reading the region's stall counts —
+    /// no hand-tuned `max_in_flight`.
+    Adaptive,
+}
+
 /// Tunables for [`S3SimpleDbSqs`].
 #[derive(Copy, Clone, Debug)]
 pub struct Arch3Config {
@@ -87,6 +106,8 @@ pub struct Arch3Config {
     /// [`S3SimpleDbSqs::run_daemons_until_idle`] declares quiescence
     /// (SQS sampling means one empty receive proves nothing).
     pub drain_idle_rounds: u32,
+    /// How the commit daemon pipelines its step (default: serial).
+    pub daemon_depth: DaemonDepth,
 }
 
 impl Default for Arch3Config {
@@ -97,6 +118,7 @@ impl Default for Arch3Config {
             use_nonce: true,
             commit_threshold: 8,
             drain_idle_rounds: 16,
+            daemon_depth: DaemonDepth::Serial,
         }
     }
 }
@@ -108,25 +130,50 @@ pub struct DaemonProgress {
     pub received: usize,
     /// Transactions applied to S3/SimpleDB.
     pub applied: usize,
+    /// Abandoned assemblies evicted because their records aged past the
+    /// SQS retention window (their messages are gone, so the
+    /// transactions could never complete).
+    pub evicted: usize,
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct Assembly {
+    /// When the daemon first saw a record of this transaction — the
+    /// age the retention-window eviction is measured from.
+    first_seen: SimInstant,
     expected: Option<u32>,
     committed: bool,
     payload: Vec<WalRecord>,
     payload_count: u32,
-    handles: Vec<String>,
-    message_ids: HashSet<String>,
+    /// `(message id, newest receipt handle)` per log record, in receive
+    /// order. A redelivery *replaces* the handle in place: SQS only
+    /// honours the newest handle, so keeping a superseded one would
+    /// bill dead `DeleteMessageBatch` entries on every apply.
+    records: Vec<(String, String)>,
 }
 
 impl Assembly {
+    fn new(first_seen: SimInstant) -> Assembly {
+        Assembly {
+            first_seen,
+            expected: None,
+            committed: false,
+            payload: Vec::new(),
+            payload_count: 0,
+            records: Vec::new(),
+        }
+    }
+
     fn complete(&self) -> bool {
         self.committed
             && self
                 .expected
                 .map(|n| self.payload_count == n)
                 .unwrap_or(false)
+    }
+
+    fn handles(&self) -> Vec<String> {
+        self.records.iter().map(|(_, h)| h.clone()).collect()
     }
 }
 
@@ -143,6 +190,9 @@ pub struct CommitDaemon {
     config: Arch3Config,
     assemblies: HashMap<u64, Assembly>,
     applied_total: u64,
+    /// AIMD depth state for [`DaemonDepth::Adaptive`]; reset on a
+    /// crash, like the rest of the daemon's memory.
+    controller: AdaptiveDepth,
 }
 
 impl CommitDaemon {
@@ -163,6 +213,7 @@ impl CommitDaemon {
             config,
             assemblies: HashMap::new(),
             applied_total: 0,
+            controller: AdaptiveDepth::new(),
         }
     }
 
@@ -171,8 +222,25 @@ impl CommitDaemon {
         self.applied_total
     }
 
+    /// Incomplete transactions currently parked in memory, waiting for
+    /// their missing records.
+    pub fn pending_assemblies(&self) -> usize {
+        self.assemblies.len()
+    }
+
+    /// The in-flight depth the adaptive controller has converged to
+    /// (only meaningful under [`DaemonDepth::Adaptive`]).
+    pub fn adaptive_depth(&self) -> usize {
+        self.controller.depth()
+    }
+
     /// One daemon iteration: check the queue depth (unless `force`),
-    /// receive a batch, assemble, apply complete transactions.
+    /// receive, assemble, apply complete transactions. Under
+    /// [`DaemonDepth::Fixed`] or [`DaemonDepth::Adaptive`] the whole
+    /// step runs inside a pipeline region — several receive rounds
+    /// issue back to back, and the apply chains of the ready
+    /// transactions overlap with the region's per-service cap, each
+    /// transaction's copies completion-ordered by txid.
     ///
     /// # Errors
     ///
@@ -180,46 +248,112 @@ impl CommitDaemon {
     /// site fires — in-memory assembly state is dropped, as a process
     /// death would.
     pub fn step(&mut self, force: bool) -> Result<DaemonProgress> {
-        let result = self.step_inner(force);
+        let result = match self.config.daemon_depth {
+            DaemonDepth::Serial => self.step_inner(force, 1),
+            DaemonDepth::Fixed(depth) => self.step_pipelined(force, depth.max(1)),
+            DaemonDepth::Adaptive => self.step_pipelined(force, self.controller.depth()),
+        };
         if let Err(e) = &result {
             if e.is_crash() {
-                // The daemon process died: its in-memory assemblies are
+                // The daemon process died: its in-memory assemblies —
+                // and the adaptive controller's learned depth — are
                 // gone. Undelivered messages become visible again after
                 // the visibility timeout.
                 self.assemblies.clear();
+                self.controller = AdaptiveDepth::new();
             }
         }
         result
     }
 
-    fn step_inner(&mut self, force: bool) -> Result<DaemonProgress> {
+    /// One step inside a pipeline region of `depth` requests per
+    /// service. Receives are idempotent (an undeleted message simply
+    /// redelivers) and every apply step already is, so overlapping them
+    /// cannot change the final store — only when the requests complete.
+    /// When the shared world already has a region open (a pipelined
+    /// client driving `poll_daemon` mid-burst), the step rides that
+    /// region instead: pipelines do not nest.
+    fn step_pipelined(&mut self, force: bool, depth: usize) -> Result<DaemonProgress> {
+        let opened = self.world.pipeline_depth().is_none();
+        if opened {
+            self.world.begin_pipeline(depth);
+        }
+        let result = self.step_inner(force, depth);
+        if opened {
+            // Drain even when a crash fired: issued requests are on the
+            // wire regardless of the daemon dying.
+            let stats = self.world.drain_pipeline();
+            if self.config.daemon_depth == DaemonDepth::Adaptive {
+                self.controller.observe(&stats);
+                self.controller.region_complete();
+            }
+        }
+        result
+    }
+
+    fn step_inner(&mut self, force: bool, rounds: usize) -> Result<DaemonProgress> {
         let mut progress = DaemonProgress::default();
+        // Evict abandoned assemblies: a commit-less transaction (its
+        // client crashed mid-log) whose records have aged past the SQS
+        // retention window can never complete — its messages are gone
+        // from the queue, so holding the assembly only leaks memory in
+        // a long-running daemon.
+        let now = self.world.now();
+        let before = self.assemblies.len();
+        self.assemblies
+            .retain(|_, a| now.saturating_since(a.first_seen) <= RETENTION);
+        progress.evicted = before - self.assemblies.len();
         if !force {
             let depth = self.sqs.approximate_number_of_messages(&self.wal_url)?;
             if depth <= self.config.commit_threshold {
                 return Ok(progress);
             }
         }
-        for msg in self.sqs.receive_message(&self.wal_url, 10)? {
-            let Some(record) = WalRecord::decode(&msg.body) else {
-                continue;
-            };
-            let assembly = self.assemblies.entry(record.txid()).or_default();
-            if !assembly.message_ids.insert(msg.message_id.clone()) {
-                // Redelivery of a record we already hold (visibility
-                // timeout expired while the transaction waits for its
-                // missing pieces). Keep the newer handle.
-                assembly.handles.push(msg.receipt_handle.clone());
-                continue;
+        // Up to `rounds` receive rounds per step: each round's messages
+        // turn invisible for the visibility timeout, so the rounds
+        // return disjoint batches and issue back to back inside a
+        // pipeline region. An empty round ends the step early — the
+        // queue may still hold unsampled messages, but the next step
+        // will see them.
+        for _ in 0..rounds.max(1) {
+            let now = self.world.now();
+            let msgs = self.sqs.receive_message(&self.wal_url, 10)?;
+            if msgs.is_empty() {
+                break;
             }
-            progress.received += 1;
-            assembly.handles.push(msg.receipt_handle.clone());
-            match &record {
-                WalRecord::Begin { records, .. } => assembly.expected = Some(*records),
-                WalRecord::Commit { .. } => assembly.committed = true,
-                payload => {
-                    assembly.payload.push(payload.clone());
-                    assembly.payload_count += 1;
+            for msg in msgs {
+                let Some(record) = WalRecord::decode(&msg.body) else {
+                    continue;
+                };
+                let assembly = self
+                    .assemblies
+                    .entry(record.txid())
+                    .or_insert_with(|| Assembly::new(now));
+                if let Some(slot) = assembly
+                    .records
+                    .iter_mut()
+                    .find(|(id, _)| *id == msg.message_id)
+                {
+                    // Redelivery of a record we already hold (visibility
+                    // timeout expired while the transaction waits for its
+                    // missing pieces). Replace the stale handle with the
+                    // newer one — SQS only honours the newest, so the
+                    // superseded handle would sit in every future
+                    // DeleteMessageBatch as a dead billable entry.
+                    slot.1 = msg.receipt_handle.clone();
+                    continue;
+                }
+                progress.received += 1;
+                assembly
+                    .records
+                    .push((msg.message_id.clone(), msg.receipt_handle.clone()));
+                match &record {
+                    WalRecord::Begin { records, .. } => assembly.expected = Some(*records),
+                    WalRecord::Commit { .. } => assembly.committed = true,
+                    payload => {
+                        assembly.payload.push(payload.clone());
+                        assembly.payload_count += 1;
+                    }
                 }
             }
         }
@@ -235,9 +369,9 @@ impl CommitDaemon {
         // runs of the same seed. Apply in txid order instead.
         ready.sort_unstable();
         if !ready.is_empty() {
-            let group: Vec<Assembly> = ready
+            let group: Vec<(u64, Assembly)> = ready
                 .iter()
-                .map(|txid| self.assemblies.remove(txid).expect("listed above"))
+                .map(|txid| (*txid, self.assemblies.remove(txid).expect("listed above")))
                 .collect();
             self.apply_group(&group)?;
             self.applied_total += group.len() as u64;
@@ -255,12 +389,16 @@ impl CommitDaemon {
     /// Every step stays idempotent, so a crash anywhere is repaired by
     /// replaying from the (still present) log records — grouping only
     /// widens the replay window, never the outcome.
-    fn apply_group(&mut self, assemblies: &[Assembly]) -> Result<()> {
+    ///
+    /// Inside a pipelined step each transaction's copies carry its txid
+    /// as a completion-order key: one transaction's apply chain stays
+    /// ordered while different transactions overlap freely.
+    fn apply_group(&mut self, assemblies: &[(u64, Assembly)]) -> Result<()> {
         let mut temp_keys: Vec<String> = Vec::new();
         let mut items: Vec<(String, Vec<ReplaceableAttribute>)> = Vec::new();
 
         self.world.crash_point(D3_BEFORE_COPY)?;
-        for assembly in assemblies {
+        for (txid, assembly) in assemblies {
             let mut attr_batches: BTreeMap<String, Vec<ReplaceableAttribute>> = BTreeMap::new();
             for record in &assembly.payload {
                 match record {
@@ -274,7 +412,7 @@ impl CommitDaemon {
                         let mut meta = Metadata::new();
                         meta.insert(META_VERSION, version.to_string());
                         meta.insert(META_NONCE, nonce.clone());
-                        self.copy_with_retry(temp_key, &data_key(name), meta)?;
+                        self.copy_with_retry(*txid, temp_key, &data_key(name), meta)?;
                         temp_keys.push(temp_key.clone());
                         self.world.crash_point(D3_AFTER_COPY)?;
                     }
@@ -285,7 +423,7 @@ impl CommitDaemon {
                         for (name, value) in pairs {
                             let resolved = match parse_staged(value) {
                                 Some((tmp, perm)) => {
-                                    self.copy_with_retry(tmp, perm, Metadata::new())?;
+                                    self.copy_with_retry(*txid, tmp, perm, Metadata::new())?;
                                     temp_keys.push(tmp.to_string());
                                     pointer(perm)
                                 }
@@ -340,8 +478,9 @@ impl CommitDaemon {
         self.world.crash_point(D3_BEFORE_MSG_DELETE)?;
         // Log records go 10 handles per DeleteMessageBatch — a
         // transaction's ≥ 4 records cost one round trip, not four.
-        for assembly in assemblies {
-            for chunk in assembly.handles.chunks(MAX_BATCH_ENTRIES) {
+        for (_, assembly) in assemblies {
+            let handles = assembly.handles();
+            for chunk in handles.chunks(MAX_BATCH_ENTRIES) {
                 for outcome in self.sqs.delete_message_batch(&self.wal_url, chunk)? {
                     outcome?;
                 }
@@ -369,16 +508,19 @@ impl CommitDaemon {
     /// COPY with bounded retries: the temp object may not yet be visible
     /// on the sampled replica (eventual consistency), or may already be
     /// deleted by a previous life of the daemon (replay) — in which case
-    /// the destination already carries the data.
-    fn copy_with_retry(&self, src: &str, dst: &str, meta: Metadata) -> Result<()> {
+    /// the destination already carries the data. The copy is keyed by
+    /// `txid` so a pipelined step keeps one transaction's copies in
+    /// completion order.
+    fn copy_with_retry(&self, txid: u64, src: &str, dst: &str, meta: Metadata) -> Result<()> {
         let mut attempts = 0;
         loop {
-            match self.s3.copy_object(
+            match self.s3.copy_object_ordered(
                 BUCKET,
                 src,
                 BUCKET,
                 dst,
                 MetadataDirective::Replace(meta.clone()),
+                txid,
             ) {
                 Ok(()) => return Ok(()),
                 Err(S3Error::NoSuchKey { .. }) => {
@@ -812,15 +954,22 @@ impl ProvenanceStore for S3SimpleDbSqs {
 
     /// Drives the commit daemon until it stops making progress (several
     /// consecutive empty rounds, since a sampled receive proves nothing).
-    /// Idle rounds advance virtual time, so records a crashed daemon
-    /// received but never deleted become visible again and get replayed.
+    /// After each empty round the daemon asks the queue for its
+    /// (billable, approximate) message count — the count spans
+    /// *invisible* messages too, so a positive answer means undeleted
+    /// deliveries (a crashed daemon's) are waiting out their visibility
+    /// timeout, and only then does an idle round advance virtual time to
+    /// bring them back. An empty queue quiesces in a handful of cheap
+    /// empty receives instead of a fixed multi-second confirmation tail.
     fn run_daemons_until_idle(&mut self) -> Result<()> {
         let mut idle_rounds = 0;
         while idle_rounds < self.config.drain_idle_rounds {
             let progress = self.daemon.step(true)?;
             if progress.received == 0 && progress.applied == 0 {
                 idle_rounds += 1;
-                self.world.advance(simworld::SimDuration::from_secs(5));
+                if self.sqs.approximate_number_of_messages(&self.wal_url)? > 0 {
+                    self.world.advance(simworld::SimDuration::from_secs(5));
+                }
             } else {
                 idle_rounds = 0;
             }

@@ -77,15 +77,15 @@ pub use arch2::{
     A2_MID_PROV_PUT,
 };
 pub use arch3::{
-    Arch3Config, CommitDaemon, DaemonProgress, S3SimpleDbSqs, A3_AFTER_TEMP_PUT, A3_BEFORE_BEGIN,
-    A3_BEFORE_COMMIT, A3_BEFORE_TEMP_PUT, A3_MID_PROV_LOG, D3_AFTER_COPY, D3_BEFORE_COPY,
-    D3_BEFORE_MSG_DELETE, D3_BEFORE_TMP_DELETE, D3_MID_PUTATTRS,
+    Arch3Config, CommitDaemon, DaemonDepth, DaemonProgress, S3SimpleDbSqs, A3_AFTER_TEMP_PUT,
+    A3_BEFORE_BEGIN, A3_BEFORE_COMMIT, A3_BEFORE_TEMP_PUT, A3_MID_PROV_LOG, D3_AFTER_COPY,
+    D3_BEFORE_COPY, D3_BEFORE_MSG_DELETE, D3_BEFORE_TMP_DELETE, D3_MID_PUTATTRS,
 };
 pub use error::{CloudError, Result};
 pub use graph::{GraphDiff, NodeDiff, ProvGraph};
 pub use pipeline::{
-    drive_pipelined, PipelineReport, PIPE_AFTER_GROUP_ISSUE, PIPE_AFTER_TIMER_FIRE,
-    PIPE_BEFORE_DRAIN,
+    drive_pipelined, drive_pipelined_adaptive, persist_groups_adaptive, PipelineReport,
+    PIPE_AFTER_GROUP_ISSUE, PIPE_AFTER_TIMER_FIRE, PIPE_BEFORE_DRAIN,
 };
 pub use prefetch::{record_value, PrefetchPolicy, PrefetchStats, PrefetchingReader};
 pub use properties::{

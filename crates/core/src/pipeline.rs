@@ -21,7 +21,7 @@
 //! synchronous paths, now with overlap.
 
 use pass::{FileFlush, FlushDaemon, FlushPolicy};
-use simworld::{CrashSite, SimDuration, SimWorld};
+use simworld::{AdaptiveDepth, CrashSite, SimDuration, SimWorld};
 
 use crate::error::Result;
 use crate::store::ProvenanceStore;
@@ -78,10 +78,91 @@ pub fn drive_pipelined(
     max_in_flight: usize,
     inter_flush_gap: SimDuration,
 ) -> Result<PipelineReport> {
+    drive_inner(
+        world,
+        store,
+        flushes,
+        policy,
+        max_in_flight,
+        inter_flush_gap,
+        |_| {},
+    )
+}
+
+/// [`drive_pipelined`] with the in-flight depth steered by an AIMD
+/// [`AdaptiveDepth`] controller instead of a fixed knob: the region
+/// opens at `controller.depth()` and, after every issued group, the
+/// controller observes the region's cumulative stall evidence
+/// ([`SimWorld::pipeline_stats`]) and resizes the open window in place
+/// ([`SimWorld::set_pipeline_depth`]). The controller is borrowed so a
+/// caller can read the converged depth — and reuse the learned state on
+/// a later drive.
+///
+/// # Errors
+///
+/// As [`drive_pipelined`].
+pub fn drive_pipelined_adaptive(
+    world: &SimWorld,
+    store: &mut dyn ProvenanceStore,
+    flushes: &[FileFlush],
+    policy: FlushPolicy,
+    controller: &mut AdaptiveDepth,
+    inter_flush_gap: SimDuration,
+) -> Result<PipelineReport> {
+    let start = controller.depth();
+    let report = drive_inner(world, store, flushes, policy, start, inter_flush_gap, |w| {
+        if let Some(stats) = w.pipeline_stats() {
+            controller.observe(&stats);
+            w.set_pipeline_depth(controller.depth());
+        }
+    });
+    controller.region_complete();
+    report
+}
+
+/// Persists pre-formed `groups` through one pipelined region with the
+/// depth steered by `controller` — the group-list counterpart of
+/// [`drive_pipelined_adaptive`], matching the shape of
+/// [`ProvenanceStore::persist_pipelined`].
+///
+/// # Errors
+///
+/// Service errors, or [`crate::CloudError::Crashed`] when a client
+/// crash site fires; issued requests stay on the wire either way.
+pub fn persist_groups_adaptive(
+    world: &SimWorld,
+    store: &mut dyn ProvenanceStore,
+    groups: &[Vec<FileFlush>],
+    controller: &mut AdaptiveDepth,
+) -> Result<()> {
+    world.begin_pipeline(controller.depth());
+    let result = groups.iter().try_for_each(|g| {
+        store.persist_batch(g)?;
+        if let Some(stats) = world.pipeline_stats() {
+            controller.observe(&stats);
+            world.set_pipeline_depth(controller.depth());
+        }
+        Ok(())
+    });
+    // Drain even when a crash fired: issued requests are on the wire.
+    world.drain_pipeline();
+    controller.region_complete();
+    result
+}
+
+fn drive_inner(
+    world: &SimWorld,
+    store: &mut dyn ProvenanceStore,
+    flushes: &[FileFlush],
+    policy: FlushPolicy,
+    initial_depth: usize,
+    inter_flush_gap: SimDuration,
+    mut after_group: impl FnMut(&SimWorld),
+) -> Result<PipelineReport> {
     let t0 = world.now();
     let mut daemon = FlushDaemon::new(world, policy);
     let mut groups_issued = 0u64;
-    world.begin_pipeline(max_in_flight);
+    world.begin_pipeline(initial_depth);
     let result = (|| -> Result<()> {
         for flush in flushes {
             if inter_flush_gap > SimDuration::ZERO {
@@ -93,11 +174,13 @@ pub fn drive_pipelined(
                 world.crash_point(PIPE_AFTER_TIMER_FIRE)?;
                 store.persist_batch(&group)?;
                 groups_issued += 1;
+                after_group(world);
                 world.crash_point(PIPE_AFTER_GROUP_ISSUE)?;
             }
             for group in daemon.submit(flush.clone()) {
                 store.persist_batch(&group)?;
                 groups_issued += 1;
+                after_group(world);
                 world.crash_point(PIPE_AFTER_GROUP_ISSUE)?;
             }
         }
@@ -105,6 +188,7 @@ pub fn drive_pipelined(
         if !tail.is_empty() {
             store.persist_batch(&tail)?;
             groups_issued += 1;
+            after_group(world);
         }
         world.crash_point(PIPE_BEFORE_DRAIN)?;
         Ok(())
@@ -184,6 +268,59 @@ mod tests {
             "groups must come from deadlines, not the count threshold: {report:?}"
         );
         for i in 0..12 {
+            assert!(store.read(&format!("f{i:03}")).unwrap().consistent());
+        }
+    }
+
+    #[test]
+    fn adaptive_drive_matches_fixed_state_and_raises_the_depth() {
+        let fixed_world = SimWorld::new(2009);
+        let mut fixed_store = S3SimpleDb::new(&fixed_world);
+        drive_pipelined(
+            &fixed_world,
+            &mut fixed_store,
+            &flushes(40),
+            FlushPolicy::every(5),
+            8,
+            SimDuration::ZERO,
+        )
+        .unwrap();
+
+        let world = SimWorld::new(2009);
+        let mut store = S3SimpleDb::new(&world);
+        let mut ctl = AdaptiveDepth::with_bounds(1, 1, 32);
+        let report = drive_pipelined_adaptive(
+            &world,
+            &mut store,
+            &flushes(40),
+            FlushPolicy::every(5),
+            &mut ctl,
+            SimDuration::ZERO,
+        )
+        .unwrap();
+        assert!(
+            ctl.depth() > 1,
+            "stalled windows must have grown the depth: {}",
+            ctl.depth()
+        );
+        assert_eq!(report.groups_issued, 8);
+        for i in 0..40 {
+            let name = format!("f{i:03}");
+            assert!(store.read(&name).unwrap().consistent());
+            assert!(fixed_store.read(&name).unwrap().consistent());
+        }
+    }
+
+    #[test]
+    fn persist_groups_adaptive_lands_every_group() {
+        let world = SimWorld::new(7);
+        let mut store = S3SimpleDb::new(&world);
+        let all = flushes(30);
+        let groups: Vec<Vec<FileFlush>> = all.chunks(6).map(<[FileFlush]>::to_vec).collect();
+        let mut ctl = AdaptiveDepth::new();
+        persist_groups_adaptive(&world, &mut store, &groups, &mut ctl).unwrap();
+        assert!(world.pipeline_depth().is_none(), "the region must close");
+        for i in 0..30 {
             assert!(store.read(&format!("f{i:03}")).unwrap().consistent());
         }
     }

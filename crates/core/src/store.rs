@@ -141,7 +141,9 @@ pub trait ProvenanceStore {
     /// their completion accounting overlaps); architectures wired to
     /// the shared [`simworld::SimWorld`] pipeline override this. The
     /// default is the synchronous path: one group at a time, no
-    /// overlap.
+    /// overlap. When no good `max_in_flight` is known up front,
+    /// [`crate::persist_groups_adaptive`] drives the same group list
+    /// with an AIMD-controlled depth instead of a fixed knob.
     ///
     /// # Errors
     ///
@@ -182,7 +184,12 @@ pub trait ProvenanceStore {
     fn recover(&mut self) -> Result<RecoveryReport>;
 
     /// Drives any background daemons until quiescent. A no-op for
-    /// architectures without daemons.
+    /// architectures without daemons. Architecture 3's commit daemon
+    /// honours [`crate::Arch3Config::daemon_depth`] here: with
+    /// [`crate::DaemonDepth::Fixed`] or [`crate::DaemonDepth::Adaptive`]
+    /// each step runs its receive/assemble/apply loop inside a
+    /// pipelined region, overlapping WAL drains and per-transaction
+    /// applies instead of paying the serial latency sum.
     ///
     /// # Errors
     ///

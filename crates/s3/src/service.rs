@@ -188,6 +188,15 @@ impl std::fmt::Debug for S3 {
     }
 }
 
+/// Meters one COPY request, keyed for completion order when the caller
+/// supplied an `order_key` (see [`S3::copy_object_ordered`]).
+fn record_copy(world: &SimWorld, order_key: Option<u64>) {
+    match order_key {
+        Some(key) => world.record_op_keyed(Op::S3Copy, 0, 0, key),
+        None => world.record_op(Op::S3Copy, 0, 0),
+    }
+}
+
 impl S3 {
     /// Connects a new simulated S3 endpoint to `world` with
     /// [`DEFAULT_SHARDS`] shards per bucket.
@@ -400,6 +409,48 @@ impl S3 {
         dst_key: &str,
         directive: MetadataDirective,
     ) -> Result<()> {
+        self.copy_inner(src_bucket, src_key, dst_bucket, dst_key, directive, None)
+    }
+
+    /// [`S3::copy_object`] with a completion-order key: pipelined
+    /// copies carrying the same `order_key` complete in issue order
+    /// (see [`simworld::SimWorld::record_op_keyed`]). Architecture 3's
+    /// commit daemon keys a transaction's apply-chain copies by txid so
+    /// they stay ordered however deep its pipeline runs, while copies
+    /// of different transactions overlap freely. Serial behaviour is
+    /// identical to the unkeyed call.
+    ///
+    /// # Errors
+    ///
+    /// As [`S3::copy_object`].
+    pub fn copy_object_ordered(
+        &self,
+        src_bucket: &str,
+        src_key: &str,
+        dst_bucket: &str,
+        dst_key: &str,
+        directive: MetadataDirective,
+        order_key: u64,
+    ) -> Result<()> {
+        self.copy_inner(
+            src_bucket,
+            src_key,
+            dst_bucket,
+            dst_key,
+            directive,
+            Some(order_key),
+        )
+    }
+
+    fn copy_inner(
+        &self,
+        src_bucket: &str,
+        src_key: &str,
+        dst_bucket: &str,
+        dst_key: &str,
+        directive: MetadataDirective,
+        order_key: Option<u64>,
+    ) -> Result<()> {
         if dst_key.len() > MAX_KEY_LEN {
             return Err(S3Error::KeyTooLong {
                 length: dst_key.len(),
@@ -417,7 +468,7 @@ impl S3 {
             map.read(&self.world, &src_key.to_string())
         }
         .ok_or_else(|| {
-            self.world.record_op(Op::S3Copy, 0, 0);
+            record_copy(&self.world, order_key);
             S3Error::NoSuchKey {
                 bucket: src_bucket.to_string(),
                 key: src_key.to_string(),
@@ -442,7 +493,7 @@ impl S3 {
             body: src.body,
             metadata,
         };
-        self.world.record_op(Op::S3Copy, 0, 0);
+        record_copy(&self.world, order_key);
         self.world.record_shard_touch(Service::S3, dst_shard as u32);
         self.world.adjust_stored(
             Service::S3,

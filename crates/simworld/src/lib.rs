@@ -42,6 +42,7 @@
 #![warn(missing_debug_implementations)]
 #![forbid(unsafe_code)]
 
+mod adaptive;
 mod blob;
 mod clock;
 mod ecstore;
@@ -54,6 +55,7 @@ mod metering;
 mod sched;
 mod world;
 
+pub use adaptive::AdaptiveDepth;
 pub use blob::{Blob, Chunks, CHUNK};
 pub use clock::{SimDuration, SimInstant};
 pub use ecstore::EcMap;

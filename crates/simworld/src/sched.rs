@@ -142,15 +142,19 @@ impl Scheduler {
         }
     }
 
-    /// Events still pending (cancelled entries may be counted until
-    /// they surface).
+    /// Events still pending. Lazily-cancelled entries are *not*
+    /// counted: a caller polling "is the queue idle?" must never spin
+    /// on ghosts that will be skipped the moment they surface.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.heap
+            .iter()
+            .filter(|Reverse(e)| !self.cancelled.contains(&e.seq))
+            .count()
     }
 
-    /// `true` when nothing is pending.
+    /// `true` when nothing is pending (cancelled entries excluded).
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
     }
 
     /// Drops cancelled entries sitting at the head of the heap.
@@ -224,6 +228,25 @@ mod tests {
         s.cancel(99);
         s.schedule(t(1), SchedEvent::Timer);
         assert!(s.pop_due(t(1) + SimDuration::ZERO).is_some());
+    }
+
+    #[test]
+    fn len_and_is_empty_ignore_cancelled_entries() {
+        let mut s = Scheduler::new();
+        let a = s.schedule(t(1), SchedEvent::Timer);
+        let b = s.schedule(t(2), SchedEvent::Timer);
+        assert_eq!(s.len(), 2);
+        s.cancel(a);
+        // The heap still physically holds the cancelled entry (lazy
+        // cancellation), but an idle poller must not see it.
+        assert_eq!(s.len(), 1);
+        assert!(!s.is_empty());
+        s.cancel(b);
+        assert_eq!(s.len(), 0);
+        assert!(s.is_empty());
+        // Popping skips both ghosts; emptiness is unchanged.
+        assert!(s.pop_due(t(10)).is_none());
+        assert!(s.is_empty());
     }
 
     #[test]

@@ -90,19 +90,46 @@ pub struct PipelineStats {
     /// Times the issuer blocked because every channel of a service was
     /// busy (the `max_in_flight` cap doing its job).
     pub stalls: u64,
+    /// [`PipelineStats::stalls`] attributed to the service that caused
+    /// each block, indexed S3 / SimpleDB / SQS — the evidence an
+    /// adaptive-depth controller reads to find the gating service.
+    pub stalls_by_service: [u64; 3],
     /// Largest number of requests simultaneously in flight.
     pub peak_in_flight: usize,
     /// When the last in-flight request completed (the drain instant).
     pub completed_at: SimInstant,
 }
 
-/// Per-service in-flight channels: index `i` holds the instant channel
-/// `i` frees. A request issued at `t` starts at
-/// `max(t, earliest-free channel, same-key predecessor)` and completes
-/// `latency` later — the "completion = max(channel-free time, issue
-/// time) + sampled latency" rule that replaces the serial sum.
+impl PipelineStats {
+    /// Stalls attributed to `service`.
+    pub fn stalls_for(&self, service: Service) -> u64 {
+        self.stalls_by_service[service_index(service)]
+    }
+
+    /// The service that blocked the issuer most often — the one whose
+    /// channel set saturates first — or `None` for a stall-free region.
+    pub fn gating_service(&self) -> Option<Service> {
+        const SERVICES: [Service; 3] = [Service::S3, Service::SimpleDb, Service::Sqs];
+        SERVICES
+            .into_iter()
+            .max_by_key(|s| self.stalls_by_service[service_index(*s)])
+            .filter(|s| self.stalls_by_service[service_index(*s)] > 0)
+    }
+}
+
+/// Per-service in-flight request sets: each entry is the completion
+/// instant of one request still on the wire. A request issued at `t`
+/// starts at `max(t, earliest completion when the service is full,
+/// same-key predecessor)` and completes `latency` later — the
+/// "completion = max(channel-free time, issue time) + sampled latency"
+/// rule that replaces the serial sum. Tracking in-flight completions
+/// (rather than fixed channel slots) lets the depth limit be resized
+/// mid-region without losing accounting — the lever an adaptive
+/// controller pulls.
 struct PipelineState {
-    channels: [Vec<SimInstant>; 3],
+    /// Per-service cap on concurrently in-flight requests.
+    depth: usize,
+    inflight: [Vec<SimInstant>; 3],
     /// Per-(service, order-key) FIFO constraint: the completion instant
     /// of the last request issued on that key. A later request on the
     /// same key never completes earlier (WAL sends to one queue stay
@@ -157,17 +184,22 @@ impl WorldState {
             }
             Some(p) => {
                 let svc = service_index(op.service());
-                let (ci, free) = p.channels[svc]
-                    .iter()
-                    .copied()
-                    .enumerate()
-                    .min_by_key(|&(i, t)| (t, i))
-                    .expect("pipeline depth is at least 1");
-                if free > self.now {
+                let now = self.now;
+                p.inflight[svc].retain(|t| *t > now);
+                if p.inflight[svc].len() >= p.depth {
                     // Every channel of this service is busy: the issuer
-                    // blocks until the earliest one frees.
+                    // blocks until the earliest in-flight request of
+                    // the service completes.
+                    let free = p.inflight[svc]
+                        .iter()
+                        .copied()
+                        .min()
+                        .expect("a full service has in-flight requests");
                     self.now = free;
                     p.stats.stalls += 1;
+                    p.stats.stalls_by_service[svc] += 1;
+                    let now = self.now;
+                    p.inflight[svc].retain(|t| *t > now);
                 }
                 // max(channel-free, issue): both cases now equal `now`.
                 let start = self.now;
@@ -179,16 +211,16 @@ impl WorldState {
                     }
                     *slot = completes;
                 }
-                p.channels[svc][ci] = completes;
+                p.inflight[svc].push(completes);
                 p.stats.requests += 1;
                 if tracing {
                     self.sched.schedule(completes, SchedEvent::Completion(op));
                 }
                 let now = self.now;
                 let in_flight: usize = p
-                    .channels
+                    .inflight
                     .iter()
-                    .map(|chs| chs.iter().filter(|t| **t > now).count())
+                    .map(|q| q.iter().filter(|t| **t > now).count())
                     .sum();
                 p.stats.peak_in_flight = p.stats.peak_in_flight.max(in_flight);
             }
@@ -425,12 +457,40 @@ impl SimWorld {
             st.pipeline.is_none(),
             "a pipeline is already open; pipelines do not nest"
         );
-        let now = st.now;
         st.pipeline = Some(PipelineState {
-            channels: std::array::from_fn(|_| vec![now; max_in_flight]),
+            depth: max_in_flight,
+            inflight: std::array::from_fn(|_| Vec::new()),
             keyed: HashMap::new(),
             stats: PipelineStats::default(),
         });
+    }
+
+    /// Resizes the open pipeline's per-service in-flight cap without
+    /// draining it: requests already on the wire keep their completion
+    /// instants, only the backpressure threshold moves. This is the
+    /// lever an adaptive-depth controller pulls between groups (see
+    /// `AdaptiveDepth`). A no-op when no pipeline is open.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_in_flight` is zero.
+    pub fn set_pipeline_depth(&self, max_in_flight: usize) {
+        assert!(max_in_flight > 0, "pipeline depth must be positive");
+        if let Some(p) = self.inner.lock().pipeline.as_mut() {
+            p.depth = max_in_flight;
+        }
+    }
+
+    /// Snapshot of the open pipeline's statistics so far (cumulative
+    /// since [`SimWorld::begin_pipeline`]; `completed_at` is the
+    /// current instant). `None` when no pipeline is open.
+    pub fn pipeline_stats(&self) -> Option<PipelineStats> {
+        let st = self.inner.lock();
+        st.pipeline.as_ref().map(|p| {
+            let mut stats = p.stats;
+            stats.completed_at = st.now;
+            stats
+        })
     }
 
     /// Closes the pipelined region: the clock advances to the last
@@ -443,9 +503,9 @@ impl SimWorld {
             return PipelineStats::default();
         };
         let last = p
-            .channels
+            .inflight
             .iter()
-            .flat_map(|chs| chs.iter().copied())
+            .flat_map(|q| q.iter().copied())
             .max()
             .unwrap_or(st.now);
         st.now = st.now.max(last);
@@ -458,7 +518,7 @@ impl SimWorld {
     /// Depth of the currently open pipeline, if any.
     pub fn pipeline_depth(&self) -> Option<usize> {
         let st = self.inner.lock();
-        st.pipeline.as_ref().map(|p| p.channels[0].len())
+        st.pipeline.as_ref().map(|p| p.depth)
     }
 
     /// Requests currently in flight (0 outside a pipelined region).
@@ -468,9 +528,9 @@ impl SimWorld {
             return 0;
         };
         let now = st.now;
-        p.channels
+        p.inflight
             .iter()
-            .map(|chs| chs.iter().filter(|t| **t > now).count())
+            .map(|q| q.iter().filter(|t| **t > now).count())
             .sum()
     }
 
@@ -870,6 +930,72 @@ mod tests {
         }
         piped.drain_pipeline();
         assert!(piped.now() < serial.now());
+    }
+
+    #[test]
+    fn set_pipeline_depth_resizes_backpressure_mid_region() {
+        let w = flat_world();
+        w.begin_pipeline(2);
+        w.record_op(Op::S3Put, 0, 0);
+        w.record_op(Op::S3Put, 0, 0);
+        // At depth 2 the next two puts would stall; raising the cap
+        // mid-region lets them join the in-flight set at t=0.
+        w.set_pipeline_depth(4);
+        assert_eq!(w.pipeline_depth(), Some(4));
+        w.record_op(Op::S3Put, 0, 0);
+        w.record_op(Op::S3Put, 0, 0);
+        assert_eq!(w.now(), SimInstant::EPOCH);
+        assert_eq!(w.in_flight(), 4);
+        let stats = w.drain_pipeline();
+        assert_eq!(stats.stalls, 0);
+        assert_eq!(stats.peak_in_flight, 4);
+        assert_eq!(w.now(), SimInstant::EPOCH + SimDuration::from_millis(10));
+    }
+
+    #[test]
+    fn shrinking_the_depth_reinstates_backpressure() {
+        let w = flat_world();
+        w.begin_pipeline(4);
+        w.record_op(Op::S3Put, 0, 0);
+        w.record_op(Op::S3Put, 0, 0);
+        w.set_pipeline_depth(1);
+        // Two requests already in flight exceed the new cap of 1: the
+        // next issue blocks until the earliest completion.
+        w.record_op(Op::S3Put, 0, 0);
+        assert_eq!(w.now(), SimInstant::EPOCH + SimDuration::from_millis(10));
+        let stats = w.drain_pipeline();
+        assert_eq!(stats.stalls, 1);
+    }
+
+    #[test]
+    fn stalls_are_attributed_to_the_gating_service() {
+        let w = flat_world();
+        w.begin_pipeline(1);
+        for _ in 0..3 {
+            w.record_op(Op::S3Put, 0, 0);
+        }
+        w.record_op(Op::SqsSendMessage, 0, 0);
+        w.record_op(Op::SqsSendMessage, 0, 0);
+        let stats = w.drain_pipeline();
+        assert_eq!(stats.stalls, 3);
+        assert_eq!(stats.stalls_by_service, [2, 0, 1]);
+        assert_eq!(stats.stalls_for(Service::S3), 2);
+        assert_eq!(stats.gating_service(), Some(Service::S3));
+        assert_eq!(PipelineStats::default().gating_service(), None);
+    }
+
+    #[test]
+    fn pipeline_stats_snapshots_the_open_region() {
+        let w = flat_world();
+        assert!(w.pipeline_stats().is_none());
+        w.begin_pipeline(2);
+        w.record_op(Op::S3Put, 0, 0);
+        let mid = w.pipeline_stats().expect("region is open");
+        assert_eq!(mid.requests, 1);
+        assert_eq!(mid.completed_at, w.now());
+        let final_stats = w.drain_pipeline();
+        assert_eq!(final_stats.requests, 1);
+        assert!(w.pipeline_stats().is_none());
     }
 
     #[test]

@@ -5,11 +5,11 @@
 //! sites between timer fire, batch issue, and completion.
 
 use pass_cloud::cloud::{
-    drive_pipelined, ArchKind, CloudError, ProvQuery, ProvenanceStore, PIPE_AFTER_GROUP_ISSUE,
-    PIPE_AFTER_TIMER_FIRE, PIPE_BEFORE_DRAIN,
+    drive_pipelined, Arch3Config, ArchKind, CloudError, DaemonDepth, ProvQuery, ProvenanceStore,
+    S3SimpleDbSqs, PIPE_AFTER_GROUP_ISSUE, PIPE_AFTER_TIMER_FIRE, PIPE_BEFORE_DRAIN,
 };
 use pass_cloud::pass::{FileFlush, FlushPolicy};
-use pass_cloud::simworld::{Blob, CrashSite, SimDuration, SimWorld};
+use pass_cloud::simworld::{Blob, CrashSite, Op, SimDuration, SimWorld};
 
 fn flushes() -> Vec<FileFlush> {
     // Three chained files plus a process with an oversized env, so every
@@ -122,6 +122,129 @@ fn every_daemon_crash_site_replays_to_the_same_state() {
             );
         }
     }
+}
+
+/// Satellite of the pipelined-daemon issue: every daemon crash site
+/// fires *inside* the pipelined receive/assemble/apply region, at a
+/// shallow and a deep window. A crashed daemon drops its in-memory
+/// assemblies; the restarted daemon's replay must converge to the same
+/// consistent state — no transaction lost, no record duplicated, and
+/// the WAL fully drained — at every depth.
+#[test]
+fn every_daemon_crash_site_replays_under_a_pipelined_daemon() {
+    for depth in [2, 8] {
+        for &site in ArchKind::S3SimpleDbSqs.daemon_crash_sites() {
+            for ordinal in 0..2 {
+                let world = SimWorld::counting();
+                let mut store = S3SimpleDbSqs::new(&world, "piped");
+                store.set_config(Arch3Config {
+                    daemon_depth: DaemonDepth::Fixed(depth),
+                    ..Arch3Config::default()
+                });
+                for flush in flushes() {
+                    store.persist(&flush).unwrap();
+                }
+                world.with_faults(|f| f.arm_after(site, ordinal));
+                // First drain may die mid-region; the restarted daemon
+                // finishes the job.
+                let crashed = store.run_daemons_until_idle().is_err();
+                store.run_daemons_until_idle().expect("replay converges");
+                world.settle();
+                let tag = format!("depth {depth}/{site}/{ordinal} (crashed={crashed})");
+                assert_eq!(store.wal_depth_exact(), 0, "{tag}: WAL must drain");
+                let read = store.read("b").unwrap();
+                assert!(read.consistent(), "{tag}");
+                let q = store
+                    .query(&ProvQuery::OutputsOf {
+                        program: "tool".into(),
+                    })
+                    .unwrap();
+                assert_eq!(q.names(), vec!["b:1"], "{tag}: lost the chain");
+                let q = store
+                    .query(&ProvQuery::ProvenanceOf {
+                        name: "b".into(),
+                        version: 1,
+                    })
+                    .unwrap();
+                let records = &q.items[0].records;
+                let unique: std::collections::BTreeSet<_> =
+                    records.iter().map(|r| r.to_pair()).collect();
+                assert_eq!(records.len(), unique.len(), "{tag}: duplicated records");
+            }
+        }
+    }
+}
+
+/// Regression for the redelivery-handle bug: a transaction too large
+/// for one receive round parks in the daemon's assembly while its held
+/// records' visibility timeouts lapse and they redeliver. The daemon
+/// must *replace* each stale receipt handle with the fresh one — the
+/// serial daemon used to append, padding every `DeleteMessageBatch`
+/// with dead billable entries — so once the transaction completes, the
+/// delete batches carry exactly one handle per WAL message.
+#[test]
+fn redelivered_records_replace_stale_receipt_handles() {
+    let world = SimWorld::counting();
+    let mut store = S3SimpleDbSqs::new(&world, "redeliver");
+    // ~96 KB of inline pairs (each value under the 1 KB overflow
+    // threshold) spans a dozen 8 KB WAL messages.
+    let mut big = FileFlush::builder("big").data(Blob::synthetic(9, 512));
+    let filler = "v".repeat(800);
+    for i in 0..120 {
+        big = big.record(&format!("ancestor{i}"), &filler);
+    }
+    store.persist(&big.build()).unwrap();
+    let wal_messages = store.wal_depth_exact();
+    assert!(
+        wal_messages > 10,
+        "the transaction must not fit one receive round: {wal_messages} messages"
+    );
+    // Step the daemon with the visibility timeout (30 s) lapsing between
+    // rounds, so every held record redelivers before the next receive.
+    let mut rounds = 0;
+    while store.wal_depth_exact() > 0 {
+        store.daemon().step(true).unwrap();
+        world.advance(SimDuration::from_secs(31));
+        rounds += 1;
+        assert!(rounds < 100, "the transaction must eventually apply");
+    }
+    assert_eq!(store.daemon().pending_assemblies(), 0);
+    assert!(store.read("big").unwrap().consistent());
+    assert_eq!(
+        world.meters().batch_entry_count(Op::SqsDeleteMessageBatch),
+        wal_messages as u64,
+        "delete batches must carry exactly one live handle per WAL message — \
+         stale handles from redeliveries must be replaced, not appended"
+    );
+}
+
+/// Regression for the assembly leak: a client that crashes before its
+/// COMMIT record leaves a commit-less transaction the daemon parks in
+/// memory. Its messages age out of the queue at the SQS retention
+/// bound, so the transaction can never complete — the daemon must
+/// evict the assembly instead of holding it forever.
+#[test]
+fn abandoned_assemblies_are_evicted_past_retention() {
+    let world = SimWorld::counting();
+    let mut store = S3SimpleDbSqs::new(&world, "leak");
+    world.with_faults(|f| f.arm(pass_cloud::cloud::A3_BEFORE_COMMIT));
+    let err = store
+        .persist(&flushes()[0])
+        .expect_err("the armed client crash must fire");
+    assert!(err.is_crash());
+    // The commit-less records sit in the WAL; the daemon parks them.
+    let mut steps = 0;
+    while store.daemon().pending_assemblies() == 0 {
+        store.daemon().step(true).unwrap();
+        steps += 1;
+        assert!(steps < 50, "the daemon must pick up the orphaned records");
+    }
+    // Past the 4-day retention window the messages are gone from the
+    // queue; the next step must drop the assembly rather than leak it.
+    world.advance(SimDuration::from_secs(5 * 24 * 3600));
+    let progress = store.daemon().step(true).unwrap();
+    assert!(progress.evicted > 0, "the stale assembly must be evicted");
+    assert_eq!(store.daemon().pending_assemblies(), 0);
 }
 
 #[test]

@@ -8,10 +8,11 @@
 //! medium-scale depth sweep.
 
 use pass_cloud::cloud::{
-    drive_pipelined, layout, ProvGraph, ProvQuery, ProvenanceStore, S3SimpleDb, S3SimpleDbSqs,
+    drive_pipelined, layout, persist_groups_adaptive, Arch3Config, DaemonDepth, ProvGraph,
+    ProvQuery, ProvenanceStore, S3SimpleDb, S3SimpleDbSqs,
 };
 use pass_cloud::pass::{FileFlush, FlushPolicy};
-use pass_cloud::simworld::{SimDuration, SimWorld};
+use pass_cloud::simworld::{AdaptiveDepth, SimDuration, SimWorld};
 use pass_cloud::workloads::Combined;
 // The bench harness owns the priced world; reusing it keeps the
 // acceptance test and the BASELINE sweep measuring identical
@@ -74,20 +75,41 @@ fn run_arch2(depth: Option<usize>) -> (String, ProvGraph, SimDuration) {
     (fp, graph_of(&mut store), elapsed)
 }
 
-/// One arch3 run at `depth` (None = synchronous batch path).
-fn run_arch3(depth: Option<usize>) -> (String, ProvGraph, SimDuration) {
+/// How one arch3 run drives its client-side persist path.
+#[derive(Copy, Clone)]
+enum ClientDrive {
+    /// Synchronous batch path, one group at a time.
+    Sync,
+    /// `persist_pipelined` at a fixed in-flight depth.
+    Fixed(usize),
+    /// `persist_groups_adaptive` with a fresh AIMD controller.
+    Adaptive,
+}
+
+/// One arch3 run: the client persists under `drive`, the commit daemon
+/// steps under `daemon` ([`DaemonDepth::Serial`] is the pre-pipelining
+/// behaviour).
+fn run_arch3(drive: ClientDrive, daemon: DaemonDepth) -> (String, ProvGraph, SimDuration) {
     let world = priced_world();
     let mut store = S3SimpleDbSqs::new(&world, "pipe");
+    store.set_config(Arch3Config {
+        daemon_depth: daemon,
+        ..Arch3Config::default()
+    });
     let (flushes, _) = Combined::small().flushes();
     let groups = groups_of(&flushes, 25);
     let t0 = world.now();
-    match depth {
-        None => {
+    match drive {
+        ClientDrive::Sync => {
             for group in &groups {
                 store.persist_batch(group).unwrap();
             }
         }
-        Some(d) => store.persist_pipelined(&groups, d).unwrap(),
+        ClientDrive::Fixed(d) => store.persist_pipelined(&groups, d).unwrap(),
+        ClientDrive::Adaptive => {
+            let mut ctl = AdaptiveDepth::new();
+            persist_groups_adaptive(&world, &mut store, &groups, &mut ctl).unwrap();
+        }
     }
     store.run_daemons_until_idle().unwrap();
     assert_eq!(store.wal_depth_exact(), 0, "WAL must drain completely");
@@ -122,10 +144,10 @@ fn pipelined_arch2_is_byte_identical_and_strictly_faster_with_depth() {
 
 #[test]
 fn pipelined_arch3_is_byte_identical_and_strictly_faster_with_depth() {
-    let (sync_fp, sync_graph, sync_time) = run_arch3(None);
+    let (sync_fp, sync_graph, sync_time) = run_arch3(ClientDrive::Sync, DaemonDepth::Serial);
     let mut last_time = sync_time;
     for depth in [1, 2, 4, 8] {
-        let (fp, graph, time) = run_arch3(Some(depth));
+        let (fp, graph, time) = run_arch3(ClientDrive::Fixed(depth), DaemonDepth::Serial);
         assert_eq!(
             fp, sync_fp,
             "arch3 depth {depth}: pipelining must not change a single byte of the final store"
@@ -141,6 +163,57 @@ fn pipelined_arch3_is_byte_identical_and_strictly_faster_with_depth() {
         );
         last_time = time;
     }
+}
+
+/// The tentpole acceptance bar: pipelining the commit daemon's
+/// receive/assemble/apply loop (client and daemon at the same depth)
+/// leaves the final cloud state byte-identical to the fully serial run,
+/// end-to-end time strictly falls with depth, the depth-8 run clears
+/// 3x, and the adaptive controller lands within 10% of the best fixed
+/// depth without anyone hand-tuning `max_in_flight`.
+#[test]
+fn daemon_pipelined_arch3_is_byte_identical_and_clears_3x() {
+    let (sync_fp, sync_graph, sync_time) = run_arch3(ClientDrive::Sync, DaemonDepth::Serial);
+    let mut last_time = sync_time;
+    let mut best_fixed = sync_time;
+    for depth in [1, 2, 4, 8] {
+        let (fp, graph, time) = run_arch3(ClientDrive::Fixed(depth), DaemonDepth::Fixed(depth));
+        assert_eq!(
+            fp, sync_fp,
+            "arch3 daemon depth {depth}: the pipelined daemon must not change \
+             a single byte of the final store"
+        );
+        assert!(
+            graph.diff(&sync_graph).is_empty(),
+            "arch3 daemon depth {depth}: provenance graphs diverged"
+        );
+        assert!(
+            time < last_time,
+            "arch3 daemon depth {depth}: end-to-end time must strictly fall \
+             ({time:?} !< {last_time:?})"
+        );
+        last_time = time;
+        best_fixed = best_fixed.min(time);
+        if depth == 8 {
+            assert!(
+                time.as_secs_f64() * 3.0 <= sync_time.as_secs_f64(),
+                "arch3 at daemon depth 8 must clear 3x over the serial daemon \
+                 ({time:?} vs {sync_time:?})"
+            );
+        }
+    }
+
+    let (fp, graph, time) = run_arch3(ClientDrive::Adaptive, DaemonDepth::Adaptive);
+    assert_eq!(fp, sync_fp, "adaptive: final store diverged");
+    assert!(
+        graph.diff(&sync_graph).is_empty(),
+        "adaptive: graph diverged"
+    );
+    assert!(
+        time.as_secs_f64() <= best_fixed.as_secs_f64() * 1.10,
+        "adaptive must land within 10% of the best fixed depth \
+         ({time:?} vs best {best_fixed:?})"
+    );
 }
 
 #[test]
