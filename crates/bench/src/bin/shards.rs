@@ -2,7 +2,7 @@
 //! latency as the shard/queue count grows, for each sharded backend.
 //!
 //! Usage: `cargo run --release -p prov-bench --bin shards
-//!         [--mode=simpledb|s3|sqs|batch|pipeline|all] [--smoke]
+//!         [--mode=simpledb|s3|sqs|batch|pipeline|fleet|all] [--smoke]
 //!         [--threads=N] [--queries=N]
 //!         [--scale=small|medium|paper]`
 //!
@@ -18,6 +18,13 @@
 //! provenance flush path ≥ 5x at full fill, and leaves the provenance
 //! graph bit-identical.
 //!
+//! `--mode=fleet` runs the open-loop multi-tenant fleet: uniform vs
+//! zipf(0.99) tenant skew, provider throttling off vs on, reporting
+//! per-service latency percentiles (client-observed: retry backoff
+//! included) plus 503/retry counts and the operations bill. Its smoke
+//! asserts ordered percentiles, nonzero 503s under throttling with a
+//! byte-identical final store, and a fatter tail for the skewed fleet.
+//!
 //! `--mode=pipeline` sweeps the in-flight depth of the pipelined
 //! persist path (sync = synchronous batch baseline; on arch3 the depth
 //! also pipelines the commit daemon; the final row is the adaptive AIMD
@@ -26,6 +33,7 @@
 //! adaptive row within 10% of the best fixed depth.
 
 use prov_bench::batchbench::{batch_sweep, render_batch, DEFAULT_GROUP_SIZES};
+use prov_bench::fleetbench::{fleet_sweep, render_fleet, FleetParams};
 use prov_bench::pipebench::{
     pipeline_sweep, render_pipeline, DEFAULT_PIPELINE_GROUP, DEFAULT_SPECS,
 };
@@ -316,6 +324,97 @@ fn run_pipeline(args: &[String], smoke: bool) {
     }
 }
 
+fn run_fleet_mode(args: &[String], smoke: bool) {
+    let (tenant_counts, arrivals, rate): (&[usize], usize, f64) = if smoke {
+        (&[8], 4, 50.0)
+    } else {
+        (&[4, 8, 16], parse_flag(args, "--arrivals=", 8), 50.0)
+    };
+    let throttle = simworld::ThrottleConfig::per_shard(4.0).with_burst(8.0);
+    for &tenants in tenant_counts {
+        let base = FleetParams {
+            tenants,
+            arrivals_per_tenant: arrivals,
+            rate_per_sec: rate,
+            shards: 16,
+            skew: None,
+            throttle: None,
+            seed: 2009,
+        };
+        let scenarios = [
+            base,
+            FleetParams {
+                throttle: Some(throttle),
+                ..base
+            },
+            FleetParams {
+                skew: Some(0.99),
+                ..base
+            },
+            FleetParams {
+                skew: Some(0.99),
+                throttle: Some(throttle),
+                ..base
+            },
+        ];
+        let (rows, prints) = match fleet_sweep(&scenarios) {
+            Ok(r) => r,
+            Err(e) => fail(&format!("fleet sweep failed: {e}")),
+        };
+        print!("{}", render_fleet(&rows));
+        if smoke {
+            // (a) Percentile tables are self-consistent everywhere.
+            for row in &rows {
+                for (service, p) in &row.per_service {
+                    if !(p.p50 <= p.p99 && p.p99 <= p.p999 && p.p999 <= p.max) {
+                        fail(&format!(
+                            "smoke check failed: {} {service:?} percentiles out of order: {p:?}",
+                            row.label
+                        ));
+                    }
+                }
+            }
+            // (b) Throttle-on runs reject measurably yet converge to the
+            // same store fingerprint as their unthrottled twin.
+            for (pair, label) in [((0usize, 1usize), "uniform"), ((2, 3), "zipf")] {
+                let (plain, throttled) = pair;
+                if rows[throttled].throttled == 0 || rows[throttled].retries == 0 {
+                    fail(&format!(
+                        "smoke check failed: {label} throttle run saw no 503s/retries"
+                    ));
+                }
+                if rows[plain].throttled != 0 {
+                    fail(&format!(
+                        "smoke check failed: {label} unthrottled run saw 503s"
+                    ));
+                }
+                if !prints[throttled].matches(&prints[plain]) {
+                    fail(&format!(
+                        "smoke check failed: throttling changed the {label} fleet's final store"
+                    ));
+                }
+            }
+            // (c) The hot tenant's contention shows in the tail: under
+            // the same throttle, the skewed fleet's p99 beats uniform's.
+            let p99 = |i: usize| rows[i].overall.as_ref().expect("samples recorded").p99;
+            if p99(3) <= p99(1) {
+                fail(&format!(
+                    "smoke check failed: zipf p99 {:?} not above uniform p99 {:?} under throttle",
+                    p99(3),
+                    p99(1)
+                ));
+            }
+            if rows.iter().any(|r| r.exhausted != 0) {
+                fail("smoke check failed: a persist exhausted its retry budget");
+            }
+            println!(
+                "smoke ok: percentiles ordered; throttled runs reject yet converge to the same fingerprint; zipf tail above uniform"
+            );
+        }
+        println!();
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let smoke = args.iter().any(|a| a == "--smoke");
@@ -326,6 +425,7 @@ fn main() {
         "sqs" => run_sqs(&args, smoke),
         "batch" => run_batch(&args, smoke),
         "pipeline" => run_pipeline(&args, smoke),
+        "fleet" => run_fleet_mode(&args, smoke),
         "all" => {
             run_simpledb(&args, smoke);
             println!();
@@ -336,9 +436,11 @@ fn main() {
             run_batch(&args, smoke);
             println!();
             run_pipeline(&args, smoke);
+            println!();
+            run_fleet_mode(&args, smoke);
         }
         other => fail(&format!(
-            "unknown mode {other:?}; expected simpledb|s3|sqs|batch|pipeline|all"
+            "unknown mode {other:?}; expected simpledb|s3|sqs|batch|pipeline|fleet|all"
         )),
     }
 }

@@ -1,0 +1,409 @@
+//! Fleet-scale multi-tenant simulation: open-loop arrivals, provider
+//! throttling, and latency percentiles.
+//!
+//! Every earlier bench drives one client and reports totals; this one
+//! drives N tenants — each with its own buckets, domains, and WAL queue
+//! on one shared virtual clock — from a pre-computed open-loop arrival
+//! schedule ([`workloads::fleet_schedule`]). Demand arrives on timers,
+//! not think time: if the fleet falls behind, arrivals queue up and the
+//! backlog shows in the tail, exactly as in a real multi-tenant cloud.
+//!
+//! With provider throttling enabled, every service rejects over-rate
+//! writes with a 503 and the store's retry machinery backs off and
+//! re-issues; the winning attempt's latency sample is backdated to the
+//! first issue, so p50/p99/p999 report *client-observed* latency —
+//! backoff and rejected attempts included. The invariant under test:
+//! throttling moves the percentiles and the bill, never the final
+//! store ([`FleetFingerprint`]).
+
+use pass::FileFlush;
+use provenance_cloud::{CloudError, ProvGraph, ProvQuery, ProvenanceStore, Result, S3SimpleDbSqs};
+use simworld::{
+    percentiles, Blob, Consistency, LatencyModel, Percentiles, Service, SimConfig, SimWorld,
+    ThrottleConfig,
+};
+use workloads::{fleet_schedule, ArrivalProcess, FleetSpec};
+
+/// Ring capacity for the per-request sample log.
+const SAMPLE_CAPACITY: usize = 1 << 17;
+
+/// One fleet scenario.
+#[derive(Clone, Copy, Debug)]
+pub struct FleetParams {
+    /// Number of tenants; each gets its own endpoints and WAL queue.
+    pub tenants: usize,
+    /// Arrivals generated per tenant slot.
+    pub arrivals_per_tenant: usize,
+    /// Per-tenant Poisson arrival rate (requests per virtual second).
+    pub rate_per_sec: f64,
+    /// Shards per SimpleDB domain and S3 bucket.
+    pub shards: usize,
+    /// `Some(theta)` skews which tenant each arrival belongs to
+    /// (Zipf, tenant 0 hottest); `None` is the uniform fleet.
+    pub skew: Option<f64>,
+    /// Provider-side token-bucket throttle, applied to all three
+    /// services of every tenant; `None` runs unthrottled.
+    pub throttle: Option<ThrottleConfig>,
+    /// Seed for the world and the arrival schedule.
+    pub seed: u64,
+}
+
+impl FleetParams {
+    /// A short human label ("uniform" / "zipf(0.99)", "+throttle").
+    pub fn label(&self) -> String {
+        let skew = match self.skew {
+            Some(theta) => format!("zipf({theta})"),
+            None => "uniform".to_string(),
+        };
+        match self.throttle {
+            Some(_) => format!("{skew}+throttle"),
+            None => skew,
+        }
+    }
+}
+
+/// Measured output of one fleet run.
+#[derive(Clone, Debug)]
+pub struct FleetRow {
+    /// Scenario label.
+    pub label: String,
+    /// Tenants in the fleet.
+    pub tenants: usize,
+    /// Arrivals actually persisted.
+    pub persisted: u64,
+    /// Client-observed latency percentiles per service (only services
+    /// that recorded samples appear).
+    pub per_service: Vec<(Service, Percentiles)>,
+    /// Percentiles over every recorded sample.
+    pub overall: Option<Percentiles>,
+    /// 503 rejections metered across the fleet.
+    pub throttled: u64,
+    /// Backoff-and-retry rounds taken in response to 503s.
+    pub retries: u64,
+    /// Persists abandoned with [`CloudError::RetryExhausted`].
+    pub exhausted: u64,
+    /// Billable requests issued (rejections included).
+    pub requests: u64,
+    /// USD bill for those requests (January 2009 prices, ops only).
+    pub bill_usd: f64,
+    /// Virtual seconds from first arrival to fleet quiescence.
+    pub virtual_secs: f64,
+}
+
+impl FleetRow {
+    /// Percentiles for one service, if it recorded samples.
+    pub fn service_percentiles(&self, service: Service) -> Option<&Percentiles> {
+        self.per_service
+            .iter()
+            .find(|(s, _)| *s == service)
+            .map(|(_, p)| p)
+    }
+}
+
+/// The state a fleet run converged to, reduced for cross-run equality:
+/// per-tenant provenance graphs and the MD5 of every stored object.
+/// Two runs with the same schedule must match fingerprints no matter
+/// how much throttling slowed one of them down.
+#[derive(Clone, Debug)]
+pub struct FleetFingerprint {
+    graphs: Vec<ProvGraph>,
+    /// Sorted `(tenant, object name, md5)` triples.
+    data: Vec<(usize, String, String)>,
+}
+
+impl FleetFingerprint {
+    /// `true` when both runs converged to byte-identical stores.
+    pub fn matches(&self, other: &FleetFingerprint) -> bool {
+        self.data == other.data
+            && self.graphs.len() == other.graphs.len()
+            && self
+                .graphs
+                .iter()
+                .zip(&other.graphs)
+                .all(|(a, b)| a.diff(b).is_empty())
+    }
+
+    /// Total provenance nodes across the fleet.
+    pub fn graph_nodes(&self) -> usize {
+        self.graphs.iter().map(ProvGraph::len).sum()
+    }
+}
+
+/// The flush tenant `t` persists as its `seq`-th arrival: a fresh file
+/// derived from the tenant's previous one, so each tenant grows a
+/// provenance chain.
+fn fleet_flush(tenant: usize, seq: usize, seed: u64) -> FileFlush {
+    let name = format!("t{tenant}/f{seq}.dat");
+    let mut builder = FileFlush::builder(&name).data(Blob::synthetic(
+        seed ^ ((tenant as u64) << 32 | seq as u64),
+        1024,
+    ));
+    if seq > 0 {
+        let parent = format!("t{tenant}/f{}.dat", seq - 1);
+        builder = builder.record("input", &format!("{parent}:1"));
+    }
+    builder.build()
+}
+
+/// Runs one fleet scenario to quiescence and reduces it to a row and a
+/// state fingerprint.
+///
+/// # Errors
+///
+/// Propagates service errors other than retry exhaustion (which is
+/// counted, not fatal — an exhausted persist abandons that arrival).
+pub fn run_fleet(params: &FleetParams) -> Result<(FleetRow, FleetFingerprint)> {
+    let world = SimWorld::with_config(SimConfig {
+        seed: params.seed,
+        consistency: Consistency::Strong,
+        latency: LatencyModel::default(),
+        replicas: 1,
+    });
+    world.enable_latency_samples(SAMPLE_CAPACITY);
+
+    let mut stores: Vec<S3SimpleDbSqs> = (0..params.tenants)
+        .map(|t| S3SimpleDbSqs::with_shards(&world, &format!("t{t}"), params.shards))
+        .collect();
+    if let Some(cfg) = params.throttle {
+        for store in &stores {
+            store.s3().set_throttle(Some(cfg));
+            store.simpledb().set_throttle(Some(cfg));
+            store.sqs().set_throttle(Some(cfg));
+        }
+    }
+
+    let schedule = fleet_schedule(&FleetSpec {
+        tenants: params.tenants,
+        arrivals_per_tenant: params.arrivals_per_tenant,
+        arrivals: ArrivalProcess::Poisson {
+            rate_per_sec: params.rate_per_sec,
+        },
+        skew: params.skew,
+        seed: params.seed,
+    });
+
+    let start = world.now();
+    let mut persisted = 0u64;
+    let mut exhausted = 0u64;
+    for arrival in &schedule {
+        // Demand-driven clock: idle until the timer fires. A backlogged
+        // fleet has already passed the instant and issues immediately.
+        let due = start + arrival.at.saturating_since(simworld::SimInstant::EPOCH);
+        let lag = due.saturating_since(world.now());
+        if lag > simworld::SimDuration::ZERO {
+            world.advance(lag);
+        }
+        world.set_tenant(arrival.tenant as u64);
+        let flush = fleet_flush(arrival.tenant, arrival.seq, params.seed);
+        match stores[arrival.tenant].persist(&flush) {
+            Ok(()) => persisted += 1,
+            Err(CloudError::RetryExhausted { .. }) => exhausted += 1,
+            Err(e) => return Err(e),
+        }
+    }
+    for (t, store) in stores.iter_mut().enumerate() {
+        world.set_tenant(t as u64);
+        store.run_daemons_until_idle()?;
+    }
+    world.settle();
+    let virtual_secs = world.now().saturating_since(start).as_secs_f64();
+
+    // Reduce the samples before fingerprint reads add read-path noise.
+    let samples = world.take_latency_samples();
+    let mut per_service = Vec::new();
+    for service in Service::ALL {
+        let lat: Vec<_> = samples
+            .iter()
+            .filter(|s| s.service() == service)
+            .map(|s| s.latency())
+            .collect();
+        if let Some(p) = percentiles(lat) {
+            per_service.push((service, p));
+        }
+    }
+    let overall = percentiles(samples.iter().map(|s| s.latency()).collect());
+    let meters = world.meters();
+    let bill = costmodel::cost_of(&meters, 0.0, &costmodel::PriceBook::january_2009());
+    let row = FleetRow {
+        label: params.label(),
+        tenants: params.tenants,
+        persisted,
+        per_service,
+        overall,
+        throttled: meters.total_throttled(),
+        retries: world.throttle_retries(),
+        exhausted,
+        requests: meters.total_ops(),
+        bill_usd: bill.operations_total(),
+        virtual_secs,
+    };
+
+    // Fingerprint the converged state: every tenant's provenance graph
+    // and the MD5 of every object its arrivals stored.
+    let mut graphs = Vec::with_capacity(params.tenants);
+    let mut data = Vec::new();
+    let mut per_tenant = vec![0usize; params.tenants];
+    for arrival in &schedule {
+        per_tenant[arrival.tenant] = per_tenant[arrival.tenant].max(arrival.seq + 1);
+    }
+    for (t, store) in stores.iter_mut().enumerate() {
+        graphs.push(ProvGraph::from_answer(
+            &store.query(&ProvQuery::ProvenanceOfAll)?,
+        ));
+        for seq in 0..per_tenant[t] {
+            let name = format!("t{t}/f{seq}.dat");
+            match store.read(&name) {
+                Ok(outcome) => data.push((t, name, outcome.data.md5().to_hex())),
+                // An exhausted persist legitimately left no object.
+                Err(e) if e.is_not_found() => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+    data.sort();
+    Ok((row, FleetFingerprint { graphs, data }))
+}
+
+/// Runs each scenario in order and returns the rows plus fingerprints.
+///
+/// # Errors
+///
+/// Propagates service errors.
+pub fn fleet_sweep(scenarios: &[FleetParams]) -> Result<(Vec<FleetRow>, Vec<FleetFingerprint>)> {
+    let mut rows = Vec::with_capacity(scenarios.len());
+    let mut prints = Vec::with_capacity(scenarios.len());
+    for params in scenarios {
+        let (row, print) = run_fleet(params)?;
+        rows.push(row);
+        prints.push(print);
+    }
+    Ok((rows, prints))
+}
+
+/// Renders the fleet sweep: one percentile table per row, then the
+/// throttle/retry/bill summary.
+pub fn render_fleet(rows: &[FleetRow]) -> String {
+    let mut out = String::new();
+    let ms = |d: simworld::SimDuration| d.as_micros() as f64 / 1_000.0;
+    for row in rows {
+        out.push_str(&format!(
+            "fleet {} — {} tenants, {} persists, {:.1} virtual s\n",
+            row.label, row.tenants, row.persisted, row.virtual_secs
+        ));
+        out.push_str("service  | samples |  p50 ms |  p99 ms | p999 ms |  max ms\n");
+        out.push_str("---------|---------|---------|---------|---------|--------\n");
+        for (service, p) in &row.per_service {
+            out.push_str(&format!(
+                "{:<8} | {:>7} | {:>7.2} | {:>7.2} | {:>7.2} | {:>7.2}\n",
+                format!("{service:?}"),
+                p.count,
+                ms(p.p50),
+                ms(p.p99),
+                ms(p.p999),
+                ms(p.max),
+            ));
+        }
+        if let Some(p) = &row.overall {
+            out.push_str(&format!(
+                "{:<8} | {:>7} | {:>7.2} | {:>7.2} | {:>7.2} | {:>7.2}\n",
+                "all",
+                p.count,
+                ms(p.p50),
+                ms(p.p99),
+                ms(p.p999),
+                ms(p.max),
+            ));
+        }
+        out.push_str(&format!(
+            "503s {} | retries {} | exhausted {} | requests {} | ops bill {}\n\n",
+            row.throttled,
+            row.retries,
+            row.exhausted,
+            row.requests,
+            costmodel::format_usd(row.bill_usd),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simworld::SimDuration;
+
+    fn small(skew: Option<f64>, throttle: Option<ThrottleConfig>) -> FleetParams {
+        FleetParams {
+            tenants: 4,
+            arrivals_per_tenant: 4,
+            rate_per_sec: 50.0,
+            shards: 4,
+            skew,
+            throttle,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn fixed_seed_runs_are_identical() {
+        let params = small(
+            Some(0.99),
+            Some(ThrottleConfig::per_shard(4.0).with_burst(8.0)),
+        );
+        let (a, fa) = run_fleet(&params).unwrap();
+        let (b, fb) = run_fleet(&params).unwrap();
+        assert_eq!(
+            format!("{a:?}"),
+            format!("{b:?}"),
+            "rows must replay exactly"
+        );
+        assert!(fa.matches(&fb));
+        assert_eq!(a.retries, b.retries);
+    }
+
+    #[test]
+    fn percentiles_are_ordered_and_cover_all_services() {
+        let (row, print) = run_fleet(&small(None, None)).unwrap();
+        assert_eq!(row.exhausted, 0);
+        assert_eq!(row.persisted, 16);
+        assert!(print.graph_nodes() > 0);
+        assert_eq!(row.per_service.len(), 3, "all three services sampled");
+        for (service, p) in &row.per_service {
+            assert!(p.count > 0);
+            assert!(
+                p.p50 <= p.p99 && p.p99 <= p.p999 && p.p999 <= p.max,
+                "{service:?}: percentiles out of order: {p:?}"
+            );
+            assert!(
+                p.p50 > SimDuration::ZERO,
+                "{service:?}: zero-latency sample"
+            );
+        }
+    }
+
+    #[test]
+    fn throttling_costs_latency_and_money_but_not_state() {
+        let plain = small(Some(0.99), None);
+        let hot = small(
+            Some(0.99),
+            Some(ThrottleConfig::per_shard(4.0).with_burst(8.0)),
+        );
+        let (prow, pprint) = run_fleet(&plain).unwrap();
+        let (hrow, hprint) = run_fleet(&hot).unwrap();
+        assert!(hrow.throttled > 0, "the throttle must bite: {hrow:?}");
+        assert!(hrow.retries > 0);
+        assert_eq!(prow.throttled, 0);
+        assert!(
+            hprint.matches(&pprint),
+            "throttling must not change the converged store"
+        );
+        // Satellite: the 503s are billable, so equal useful work costs
+        // strictly more once the provider starts rejecting.
+        assert!(
+            hrow.bill_usd > prow.bill_usd,
+            "rejections must inflate the bill: {} vs {}",
+            hrow.bill_usd,
+            prow.bill_usd
+        );
+        assert!(hrow.requests > prow.requests);
+    }
+}

@@ -24,6 +24,7 @@
 
 pub mod ablations;
 pub mod batchbench;
+pub mod fleetbench;
 pub mod harness;
 pub mod pipebench;
 pub mod shardbench;

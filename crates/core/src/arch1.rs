@@ -21,7 +21,7 @@ use crate::error::Result;
 use crate::layout::{data_key, BUCKET, PROV_PREFIX};
 use crate::query::{ProvQuery, QueryAnswer, S3QueryEngine};
 use crate::readpath::{get_object_with_retry, overflow_to_string};
-use crate::retry::RetryPolicy;
+use crate::retry::{with_throttle_retry, RetryPolicy};
 use crate::serialize::{decode_metadata, encode_metadata, encode_records, read_version};
 use crate::store::{ProvenanceStore, ReadOutcome, ReadStatus, RecoveryReport};
 
@@ -117,18 +117,24 @@ impl ProvenanceStore for StandaloneS3 {
         let (metadata, overflows) = encode_metadata(&flush.object, encoded);
         for (key, blob) in overflows {
             self.world.crash_point(A1_BEFORE_OVERFLOW_PUT)?;
-            self.s3.put_object(BUCKET, &key, blob, Metadata::new())?;
+            with_throttle_retry(&self.world, &self.retry, || {
+                Ok(self
+                    .s3
+                    .put_object(BUCKET, &key, blob.clone(), Metadata::new())?)
+            })?;
         }
 
         // Step 3: data and provenance in a single PUT — the atomicity
         // story of this architecture.
         self.world.crash_point(A1_BEFORE_DATA_PUT)?;
-        self.s3.put_object(
-            BUCKET,
-            &data_key(&flush.object.name),
-            flush.data.clone(),
-            metadata,
-        )?;
+        with_throttle_retry(&self.world, &self.retry, || {
+            Ok(self.s3.put_object(
+                BUCKET,
+                &data_key(&flush.object.name),
+                flush.data.clone(),
+                metadata.clone(),
+            )?)
+        })?;
         Ok(())
     }
 

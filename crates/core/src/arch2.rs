@@ -25,7 +25,7 @@ use crate::layout::{
 };
 use crate::query::{ProvQuery, QueryAnswer, SimpleDbQueryEngine};
 use crate::readpath::{verified_read, ReadContext};
-use crate::retry::RetryPolicy;
+use crate::retry::{with_throttle_retry, RetryPolicy};
 use crate::serialize::{encode_records, fit_item_pairs, pack_attr_batches, read_version};
 use crate::store::{ProvenanceStore, ReadOutcome, RecoveryReport};
 
@@ -163,8 +163,11 @@ impl S3SimpleDb {
         let encoded = encode_records(&flush.object, &flush.records);
         for (key, blob) in &encoded.overflows {
             self.world.crash_point(A2_BEFORE_OVERFLOW_PUT)?;
-            self.s3
-                .put_object(BUCKET, key, blob.clone(), Metadata::new())?;
+            with_throttle_retry(&self.world, &self.config.retry, || {
+                Ok(self
+                    .s3
+                    .put_object(BUCKET, key, blob.clone(), Metadata::new())?)
+            })?;
         }
         let nonce = nonce_for(&flush.object);
         // SimpleDB caps items at 256 pairs; excess (massive fan-in)
@@ -172,7 +175,11 @@ impl S3SimpleDb {
         let (pairs, continuation) = fit_item_pairs(&flush.object, encoded.pairs);
         if let Some((key, blob)) = continuation {
             self.world.crash_point(A2_BEFORE_OVERFLOW_PUT)?;
-            self.s3.put_object(BUCKET, &key, blob, Metadata::new())?;
+            with_throttle_retry(&self.world, &self.config.retry, || {
+                Ok(self
+                    .s3
+                    .put_object(BUCKET, &key, blob.clone(), Metadata::new())?)
+            })?;
         }
         let mut attrs: Vec<ReplaceableAttribute> = pairs
             .into_iter()
@@ -192,12 +199,14 @@ impl S3SimpleDb {
         let mut meta = Metadata::new();
         meta.insert(META_VERSION, flush.object.version.to_string());
         meta.insert(META_NONCE, nonce_for(&flush.object));
-        self.s3.put_object(
-            BUCKET,
-            &data_key(&flush.object.name),
-            flush.data.clone(),
-            meta,
-        )?;
+        with_throttle_retry(&self.world, &self.config.retry, || {
+            Ok(self.s3.put_object(
+                BUCKET,
+                &data_key(&flush.object.name),
+                flush.data.clone(),
+                meta.clone(),
+            )?)
+        })?;
         Ok(())
     }
 }
@@ -218,7 +227,9 @@ impl ProvenanceStore for S3SimpleDb {
         // Step 3: store the provenance item in ≤ 100-attribute batches.
         self.world.crash_point(A2_BEFORE_PROV_PUT)?;
         for chunk in attrs.chunks(MAX_ATTRS_PER_CALL) {
-            self.db.put_attributes(DOMAIN, &item_name, chunk)?;
+            with_throttle_retry(&self.world, &self.config.retry, || {
+                Ok(self.db.put_attributes(DOMAIN, &item_name, chunk)?)
+            })?;
             self.world.crash_point(A2_MID_PROV_PUT)?;
         }
 
@@ -251,7 +262,9 @@ impl ProvenanceStore for S3SimpleDb {
         // group early, since the batch API rejects duplicates per call).
         self.world.crash_point(A2_BEFORE_PROV_PUT)?;
         for group in pack_attr_batches(items) {
-            self.db.batch_put_attributes(DOMAIN, &group)?;
+            with_throttle_retry(&self.world, &self.config.retry, || {
+                Ok(self.db.batch_put_attributes(DOMAIN, &group)?)
+            })?;
             self.world.crash_point(A2_MID_PROV_PUT)?;
         }
 
@@ -329,8 +342,11 @@ impl ProvenanceStore for S3SimpleDb {
             }
         }
         for item_name in orphans {
-            self.db
-                .delete_attributes(DOMAIN, &item_name, None::<&[DeletableAttribute]>)?;
+            with_throttle_retry(&self.world, &self.config.retry, || {
+                Ok(self
+                    .db
+                    .delete_attributes(DOMAIN, &item_name, None::<&[DeletableAttribute]>)?)
+            })?;
             report.orphan_provenance_removed += 1;
         }
         Ok(report)

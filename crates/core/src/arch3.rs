@@ -32,7 +32,7 @@ use crate::layout::{
 };
 use crate::query::{ProvQuery, QueryAnswer, SimpleDbQueryEngine};
 use crate::readpath::{verified_read, ReadContext};
-use crate::retry::RetryPolicy;
+use crate::retry::{with_throttle_retry, RetryPolicy};
 use crate::serialize::{encode_records, fit_item_pairs, pack_attr_batches};
 use crate::store::{ProvenanceStore, ReadOutcome, RecoveryReport};
 use crate::wal::{chunk_pairs, pack_wal_batches, WalRecord};
@@ -457,7 +457,11 @@ impl CommitDaemon {
                     .collect();
                 let (pairs, continuation) = fit_item_pairs(&object, pairs);
                 if let Some((key, blob)) = continuation {
-                    self.s3.put_object(BUCKET, &key, blob, Metadata::new())?;
+                    with_throttle_retry(&self.world, &self.config.retry, || {
+                        Ok(self
+                            .s3
+                            .put_object(BUCKET, &key, blob.clone(), Metadata::new())?)
+                    })?;
                 }
                 items.push((
                     item_name,
@@ -472,7 +476,9 @@ impl CommitDaemon {
         // separate packed groups (pack_attr_batches splits duplicates),
         // preserving the sequential-application result.
         for group in pack_attr_batches(items) {
-            self.db.batch_put_attributes(DOMAIN, &group)?;
+            with_throttle_retry(&self.world, &self.config.retry, || {
+                Ok(self.db.batch_put_attributes(DOMAIN, &group)?)
+            })?;
             self.world.crash_point(D3_MID_PUTATTRS)?;
         }
         self.world.crash_point(D3_BEFORE_MSG_DELETE)?;
@@ -481,7 +487,10 @@ impl CommitDaemon {
         for (_, assembly) in assemblies {
             let handles = assembly.handles();
             for chunk in handles.chunks(MAX_BATCH_ENTRIES) {
-                for outcome in self.sqs.delete_message_batch(&self.wal_url, chunk)? {
+                let outcomes = with_throttle_retry(&self.world, &self.config.retry, || {
+                    Ok(self.sqs.delete_message_batch(&self.wal_url, chunk)?)
+                })?;
+                for outcome in outcomes {
                     outcome?;
                 }
             }
@@ -495,10 +504,14 @@ impl CommitDaemon {
         // point DELETE: same round trip, cheaper request class.
         match temp_keys.len() {
             0 => {}
-            1 => self.s3.delete_object(BUCKET, &temp_keys[0])?,
+            1 => with_throttle_retry(&self.world, &self.config.retry, || {
+                Ok(self.s3.delete_object(BUCKET, &temp_keys[0])?)
+            })?,
             _ => {
                 for chunk in temp_keys.chunks(MAX_DELETE_KEYS) {
-                    self.s3.delete_objects(BUCKET, chunk)?;
+                    with_throttle_retry(&self.world, &self.config.retry, || {
+                        Ok(self.s3.delete_objects(BUCKET, chunk)?)
+                    })?;
                 }
             }
         }
@@ -514,16 +527,19 @@ impl CommitDaemon {
     fn copy_with_retry(&self, txid: u64, src: &str, dst: &str, meta: Metadata) -> Result<()> {
         let mut attempts = 0;
         loop {
-            match self.s3.copy_object_ordered(
-                BUCKET,
-                src,
-                BUCKET,
-                dst,
-                MetadataDirective::Replace(meta.clone()),
-                txid,
-            ) {
+            let outcome = with_throttle_retry(&self.world, &self.config.retry, || {
+                Ok(self.s3.copy_object_ordered(
+                    BUCKET,
+                    src,
+                    BUCKET,
+                    dst,
+                    MetadataDirective::Replace(meta.clone()),
+                    txid,
+                )?)
+            });
+            match outcome {
                 Ok(()) => return Ok(()),
-                Err(S3Error::NoSuchKey { .. }) => {
+                Err(CloudError::S3(S3Error::NoSuchKey { .. })) => {
                     // Replayed transaction whose temp was already
                     // garbage-collected: the destination exists, so the
                     // work is done.
@@ -531,14 +547,17 @@ impl CommitDaemon {
                         return Ok(());
                     }
                     if attempts >= self.config.retry.max_retries {
-                        return Err(CloudError::NotFound {
-                            name: src.to_string(),
-                        });
+                        return Err(CloudError::give_up(
+                            attempts + 1,
+                            CloudError::NotFound {
+                                name: src.to_string(),
+                            },
+                        ));
                     }
                     attempts += 1;
                     self.config.retry.pause(&self.world, attempts);
                 }
-                Err(e) => return Err(e.into()),
+                Err(e) => return Err(e),
             }
         }
     }
@@ -701,12 +720,16 @@ impl S3SimpleDbSqs {
         const MULTI_DELETE_BREAK_EVEN: usize = 10;
         if doomed.len() < MULTI_DELETE_BREAK_EVEN {
             for key in &doomed {
-                self.s3.delete_object(BUCKET, key)?;
+                with_throttle_retry(&self.world, &self.config.retry, || {
+                    Ok(self.s3.delete_object(BUCKET, key)?)
+                })?;
                 removed += 1;
             }
         } else {
             for chunk in doomed.chunks(MAX_DELETE_KEYS) {
-                removed += self.s3.delete_objects(BUCKET, chunk)?;
+                removed += with_throttle_retry(&self.world, &self.config.retry, || {
+                    Ok(self.s3.delete_objects(BUCKET, chunk)?)
+                })?;
             }
         }
         Ok(removed)
@@ -764,17 +787,25 @@ impl ProvenanceStore for S3SimpleDbSqs {
             txid,
             records: payload_count,
         };
-        self.sqs.send_message(&self.wal_url, begin.encode())?;
+        with_throttle_retry(&self.world, &self.config.retry, || {
+            Ok(self.sqs.send_message(&self.wal_url, begin.encode())?)
+        })?;
 
         // Step (c): stage the data (and overflow values) as temporary
         // objects, then log the pointer.
         self.world.crash_point(A3_BEFORE_TEMP_PUT)?;
         let temp_key = format!("{tmp}data");
-        self.s3
-            .put_object(BUCKET, &temp_key, flush.data.clone(), Metadata::new())?;
+        with_throttle_retry(&self.world, &self.config.retry, || {
+            Ok(self
+                .s3
+                .put_object(BUCKET, &temp_key, flush.data.clone(), Metadata::new())?)
+        })?;
         for (tmp_key, blob) in &staged {
-            self.s3
-                .put_object(BUCKET, tmp_key, blob.clone(), Metadata::new())?;
+            with_throttle_retry(&self.world, &self.config.retry, || {
+                Ok(self
+                    .s3
+                    .put_object(BUCKET, tmp_key, blob.clone(), Metadata::new())?)
+            })?;
         }
         self.world.crash_point(A3_AFTER_TEMP_PUT)?;
         let data_record = WalRecord::Data {
@@ -784,11 +815,15 @@ impl ProvenanceStore for S3SimpleDbSqs {
             version: flush.object.version,
             nonce: nonce.clone(),
         };
-        self.sqs.send_message(&self.wal_url, data_record.encode())?;
+        with_throttle_retry(&self.world, &self.config.retry, || {
+            Ok(self.sqs.send_message(&self.wal_url, data_record.encode())?)
+        })?;
 
         // Step (d): provenance chunks + the MD5 record.
         for chunk in prov_chunks {
-            self.sqs.send_message(&self.wal_url, chunk.encode())?;
+            with_throttle_retry(&self.world, &self.config.retry, || {
+                Ok(self.sqs.send_message(&self.wal_url, chunk.encode())?)
+            })?;
             self.world.crash_point(A3_MID_PROV_LOG)?;
         }
         let md5_record = WalRecord::Md5 {
@@ -797,12 +832,17 @@ impl ProvenanceStore for S3SimpleDbSqs {
             md5_hex,
             nonce,
         };
-        self.sqs.send_message(&self.wal_url, md5_record.encode())?;
+        with_throttle_retry(&self.world, &self.config.retry, || {
+            Ok(self.sqs.send_message(&self.wal_url, md5_record.encode())?)
+        })?;
 
         // Step (e): commit.
         self.world.crash_point(A3_BEFORE_COMMIT)?;
-        self.sqs
-            .send_message(&self.wal_url, WalRecord::Commit { txid }.encode())?;
+        with_throttle_retry(&self.world, &self.config.retry, || {
+            Ok(self
+                .sqs
+                .send_message(&self.wal_url, WalRecord::Commit { txid }.encode())?)
+        })?;
         Ok(())
     }
 
@@ -850,11 +890,17 @@ impl ProvenanceStore for S3SimpleDbSqs {
             // of this transaction can be committed.
             self.world.crash_point(A3_BEFORE_TEMP_PUT)?;
             let temp_key = format!("{tmp}data");
-            self.s3
-                .put_object(BUCKET, &temp_key, flush.data.clone(), Metadata::new())?;
+            with_throttle_retry(&self.world, &self.config.retry, || {
+                Ok(self
+                    .s3
+                    .put_object(BUCKET, &temp_key, flush.data.clone(), Metadata::new())?)
+            })?;
             for (tmp_key, blob) in &staged {
-                self.s3
-                    .put_object(BUCKET, tmp_key, blob.clone(), Metadata::new())?;
+                with_throttle_retry(&self.world, &self.config.retry, || {
+                    Ok(self
+                        .s3
+                        .put_object(BUCKET, tmp_key, blob.clone(), Metadata::new())?)
+                })?;
             }
             self.world.crash_point(A3_AFTER_TEMP_PUT)?;
 
@@ -893,9 +939,12 @@ impl ProvenanceStore for S3SimpleDbSqs {
                 // The group's final commit rides in this batch.
                 self.world.crash_point(A3_BEFORE_COMMIT)?;
             }
-            for outcome in self.sqs.send_message_batch(&self.wal_url, batch)? {
-                // Entry failures cannot happen (the chunker caps every
-                // record at one message); surface them if they ever do.
+            let outcomes = with_throttle_retry(&self.world, &self.config.retry, || {
+                Ok(self.sqs.send_message_batch(&self.wal_url, batch)?)
+            })?;
+            // Entry failures cannot happen (the chunker caps every
+            // record at one message); surface them if they ever do.
+            for outcome in outcomes {
                 outcome?;
             }
             if i != last {

@@ -30,6 +30,16 @@ pub enum CloudError {
         /// Human-readable description.
         message: String,
     },
+    /// A bounded retry loop spent its whole budget without the error
+    /// clearing — the structured "gave up after N attempts" outcome, so
+    /// callers (the fleet bench in particular) can count retry
+    /// exhaustion instead of misattributing the last transient error.
+    RetryExhausted {
+        /// Tries made, the initial attempt included.
+        attempts: u32,
+        /// The error the final attempt died on.
+        last: Box<CloudError>,
+    },
 }
 
 impl fmt::Display for CloudError {
@@ -41,6 +51,9 @@ impl fmt::Display for CloudError {
             CloudError::Crashed(e) => write!(f, "{e}"),
             CloudError::NotFound { name } => write!(f, "object not found: {name}"),
             CloudError::Corrupt { message } => write!(f, "corrupt state: {message}"),
+            CloudError::RetryExhausted { attempts, last } => {
+                write!(f, "gave up after {attempts} attempts: {last}")
+            }
         }
     }
 }
@@ -52,6 +65,7 @@ impl Error for CloudError {
             CloudError::SimpleDb(e) => Some(e),
             CloudError::Sqs(e) => Some(e),
             CloudError::Crashed(e) => Some(e),
+            CloudError::RetryExhausted { last, .. } => Some(last.as_ref()),
             _ => None,
         }
     }
@@ -87,6 +101,39 @@ impl CloudError {
     pub fn is_crash(&self) -> bool {
         matches!(self, CloudError::Crashed(_))
     }
+
+    /// `true` when the error is a provider-side 503 rate rejection, on
+    /// whichever service — the retriable class the throttle-aware write
+    /// path backs off on.
+    pub fn is_throttle(&self) -> bool {
+        match self {
+            CloudError::S3(e) => e.is_throttle(),
+            CloudError::SimpleDb(e) => e.is_throttle(),
+            CloudError::Sqs(e) => e.is_throttle(),
+            _ => false,
+        }
+    }
+
+    /// `true` when the error means the object is not stored — directly,
+    /// or as the last error of an exhausted retry loop. Callers that
+    /// treat "missing" as a soft outcome should match on this rather
+    /// than on [`CloudError::NotFound`] alone.
+    pub fn is_not_found(&self) -> bool {
+        match self {
+            CloudError::NotFound { .. } => true,
+            CloudError::RetryExhausted { last, .. } => last.is_not_found(),
+            _ => false,
+        }
+    }
+
+    /// Wraps the last error of a spent retry budget. `attempts` counts
+    /// every try, the initial one included.
+    pub fn give_up(attempts: u32, last: CloudError) -> CloudError {
+        CloudError::RetryExhausted {
+            attempts,
+            last: Box::new(last),
+        }
+    }
 }
 
 /// Convenience alias used across the crate.
@@ -117,5 +164,29 @@ mod tests {
         assert!(std::error::Error::source(&e).is_some());
         let e = CloudError::NotFound { name: "x".into() };
         assert!(std::error::Error::source(&e).is_none());
+    }
+
+    #[test]
+    fn throttles_are_recognised_across_services() {
+        let e: CloudError = S3Error::ServiceUnavailable { bucket: "b".into() }.into();
+        assert!(e.is_throttle());
+        let e: CloudError = SdbError::ServiceUnavailable { domain: "d".into() }.into();
+        assert!(e.is_throttle());
+        let e: CloudError = sim_sqs::SqsError::ServiceUnavailable { url: "u".into() }.into();
+        assert!(e.is_throttle());
+        assert!(!CloudError::NotFound { name: "x".into() }.is_throttle());
+    }
+
+    #[test]
+    fn retry_exhaustion_keeps_the_last_error_and_not_found_transparency() {
+        let e = CloudError::give_up(7, CloudError::NotFound { name: "x".into() });
+        assert!(e.to_string().contains("gave up after 7 attempts"));
+        assert!(e.to_string().contains("object not found: x"));
+        assert!(e.is_not_found());
+        assert!(!e.is_throttle(), "exhaustion is terminal, not retriable");
+        assert!(std::error::Error::source(&e).is_some());
+
+        let e = CloudError::give_up(3, S3Error::ServiceUnavailable { bucket: "b".into() }.into());
+        assert!(!e.is_not_found());
     }
 }

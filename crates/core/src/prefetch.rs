@@ -16,7 +16,7 @@ use std::collections::VecDeque;
 use pass::{CacheDir, FileFlush, ObjectKind, ProvenanceRecord, RecordKey, RecordValue};
 use serde::{Deserialize, Serialize};
 
-use crate::error::{CloudError, Result};
+use crate::error::Result;
 use crate::store::{ProvenanceStore, ReadOutcome};
 
 /// How aggressively the reader follows ancestry links.
@@ -189,8 +189,9 @@ impl<S: ProvenanceStore> PrefetchingReader<S> {
                         outcome.records
                     }
                     // A missing ancestor (e.g. evicted old version) just
-                    // ends this branch of the walk.
-                    Err(CloudError::NotFound { .. }) => continue,
+                    // ends this branch of the walk — whether reported
+                    // directly or as an exhausted retry budget.
+                    Err(e) if e.is_not_found() => continue,
                     Err(e) => return Err(e),
                 }
             };

@@ -47,6 +47,11 @@ pub(crate) fn verified_read(ctx: &ReadContext<'_>, name: &str) -> Result<ReadOut
                 ctx.retry.pause(ctx.world, retries);
                 continue;
             }
+            // Budget spent on a key that never appeared: that is a
+            // plain NotFound, not retry exhaustion — the retries were
+            // only riding out eventual consistency, and callers match
+            // on the NotFound variant to mean "this object does not
+            // exist".
             Err(S3Error::NoSuchKey { .. }) => {
                 return Err(CloudError::NotFound {
                     name: name.to_string(),

@@ -18,6 +18,8 @@
 use serde::{Deserialize, Serialize};
 use simworld::{SimDuration, SimWorld};
 
+use crate::error::{CloudError, Result};
+
 /// Bounds and pacing for read-retry loops.
 #[derive(Copy, Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
 pub struct RetryPolicy {
@@ -27,6 +29,12 @@ pub struct RetryPolicy {
     pub initial_backoff: SimDuration,
     /// Upper clamp on the per-attempt pause.
     pub max_backoff: SimDuration,
+    /// Randomise each throttle-backoff pause over `[base/2, base]` using
+    /// the world's seeded RNG ("equal jitter") so a fleet of clients
+    /// rejected together does not retry in lockstep. Off by default;
+    /// when off, no RNG is drawn, so enabling jitter never perturbs a
+    /// no-jitter run's draw sequence.
+    pub jitter: bool,
 }
 
 impl Default for RetryPolicy {
@@ -35,6 +43,7 @@ impl Default for RetryPolicy {
             max_retries: 50,
             initial_backoff: SimDuration::from_millis(1),
             max_backoff: SimDuration::from_millis(100),
+            jitter: false,
         }
     }
 }
@@ -46,6 +55,7 @@ impl RetryPolicy {
             max_retries: 0,
             initial_backoff: SimDuration::ZERO,
             max_backoff: SimDuration::ZERO,
+            jitter: false,
         }
     }
 
@@ -57,7 +67,14 @@ impl RetryPolicy {
             max_retries,
             initial_backoff: backoff,
             max_backoff: backoff,
+            jitter: false,
         }
+    }
+
+    /// Enables seeded backoff jitter (see [`RetryPolicy::jitter`]).
+    pub fn with_jitter(mut self) -> RetryPolicy {
+        self.jitter = true;
+        self
     }
 
     /// The pause before retry attempt `attempt` (1-based):
@@ -87,6 +104,67 @@ impl RetryPolicy {
         let backoff = self.backoff_for(attempt);
         if backoff > SimDuration::ZERO {
             world.advance(backoff);
+        }
+    }
+
+    /// [`RetryPolicy::pause`] with the policy's jitter applied: with
+    /// jitter on, the pause is drawn uniformly from `[base/2, base]`
+    /// using the world's seeded RNG; with jitter off (the default) this
+    /// is exactly `pause` and draws nothing, so disabled jitter leaves
+    /// the RNG stream untouched.
+    pub fn pause_jittered(&self, world: &SimWorld, attempt: u32) {
+        let base = self.backoff_for(attempt);
+        if base == SimDuration::ZERO {
+            return;
+        }
+        if !self.jitter {
+            world.advance(base);
+            return;
+        }
+        let draw = world.rand_f64();
+        let micros = (base.as_micros() as f64 * (0.5 + 0.5 * draw)).round() as u64;
+        world.advance(SimDuration::from_micros(micros.max(1)));
+    }
+}
+
+/// Runs `op`, retrying provider-side 503 rate rejections
+/// ([`CloudError::is_throttle`]) under `policy`'s exponential backoff —
+/// the client-side half of throttling. Throttling must cost *time,
+/// never state*: the rejected request applied nothing, so reissuing it
+/// after a pause converges on the same final store an unthrottled run
+/// reaches. Every pause is tallied on the world
+/// ([`SimWorld::note_throttle_retry`](simworld::SimWorld::note_throttle_retry)),
+/// and a spent budget surfaces as [`CloudError::RetryExhausted`]
+/// wrapping the final 503, so fleet runs count exhaustion instead of
+/// misattributing it.
+///
+/// Non-throttle errors (and successes) pass straight through.
+pub fn with_throttle_retry<T>(
+    world: &SimWorld,
+    policy: &RetryPolicy,
+    mut op: impl FnMut() -> Result<T>,
+) -> Result<T> {
+    let issued_at = world.now();
+    let mut retries = 0u32;
+    loop {
+        match op() {
+            Err(e) if e.is_throttle() => {
+                if retries >= policy.max_retries {
+                    return Err(CloudError::give_up(retries + 1, e));
+                }
+                retries += 1;
+                world.note_throttle_retry();
+                policy.pause_jittered(world, retries);
+            }
+            other => {
+                if retries > 0 {
+                    // The winning attempt's latency sample should span
+                    // the whole client-observed wait — rejected attempts
+                    // and backoff included — not just the final charge.
+                    world.backdate_last_sample(issued_at);
+                }
+                return other;
+            }
         }
     }
 }
@@ -146,6 +224,115 @@ mod tests {
         assert_eq!(p.backoff_for(1), SimDuration::from_millis(100));
         assert_eq!(p.backoff_for(3), SimDuration::from_millis(100));
         assert_eq!(p.total_bound(), SimDuration::from_millis(300));
+    }
+
+    #[test]
+    fn disabled_jitter_draws_no_rng_and_matches_plain_pause() {
+        // Two identically-seeded worlds: one pauses plainly, the other
+        // through pause_jittered with jitter off. Clock and RNG stream
+        // must be indistinguishable — the satellite pin for "jitter off
+        // by default changes nothing".
+        let plain = SimWorld::new(42);
+        let unjittered = SimWorld::new(42);
+        let p = RetryPolicy::default();
+        for attempt in 1..=6 {
+            p.pause(&plain, attempt);
+            p.pause_jittered(&unjittered, attempt);
+        }
+        assert_eq!(plain.now(), unjittered.now());
+        assert_eq!(plain.rand_u64(), unjittered.rand_u64());
+    }
+
+    #[test]
+    fn jittered_backoff_is_seeded_bounded_and_deterministic() {
+        let run = |seed: u64| {
+            let world = SimWorld::new(seed);
+            let p = RetryPolicy::default().with_jitter();
+            let mut pauses = Vec::new();
+            for attempt in 1..=8 {
+                let t0 = world.now();
+                p.pause_jittered(&world, attempt);
+                pauses.push(world.now() - t0);
+            }
+            pauses
+        };
+        let a = run(7);
+        // Equal jitter: each pause lands in [base/2, base].
+        let p = RetryPolicy::default();
+        for (attempt, pause) in (1u32..).zip(&a) {
+            let base = p.backoff_for(attempt).as_micros();
+            let got = pause.as_micros();
+            assert!(
+                got * 2 >= base && got <= base,
+                "attempt {attempt}: {got}µs outside [{}, {base}]µs",
+                base / 2
+            );
+        }
+        // Same seed, same schedule; a different seed moves it.
+        assert_eq!(a, run(7));
+        assert_ne!(a, run(8));
+    }
+
+    #[test]
+    fn throttle_retry_reissues_until_clear_and_tallies() {
+        let world = SimWorld::counting();
+        let policy = RetryPolicy::default();
+        let mut rejections = 3;
+        let out = with_throttle_retry(&world, &policy, || {
+            if rejections > 0 {
+                rejections -= 1;
+                return Err(sim_s3::S3Error::ServiceUnavailable { bucket: "b".into() }.into());
+            }
+            Ok(99)
+        });
+        assert_eq!(out.unwrap(), 99);
+        assert_eq!(world.throttle_retries(), 3);
+        // Backoff advanced the clock: 1 + 2 + 4 ms.
+        assert_eq!(
+            world.now() - simworld::SimInstant::EPOCH,
+            SimDuration::from_millis(7)
+        );
+    }
+
+    #[test]
+    fn throttle_retry_exhaustion_is_structured_and_none_gives_up_loudly() {
+        let world = SimWorld::counting();
+        // RetryPolicy::none() must not swallow the transient error: the
+        // very first 503 surfaces as a structured give-up.
+        let out: crate::error::Result<()> =
+            with_throttle_retry(&world, &RetryPolicy::none(), || {
+                Err(sim_s3::S3Error::ServiceUnavailable { bucket: "b".into() }.into())
+            });
+        let err = out.unwrap_err();
+        assert!(matches!(
+            err,
+            crate::error::CloudError::RetryExhausted { attempts: 1, .. }
+        ));
+        assert!(err.to_string().contains("gave up after 1 attempts"));
+
+        // A bounded budget gives up after max_retries + 1 tries.
+        let policy = RetryPolicy::flat(2, SimDuration::from_millis(1));
+        let out: crate::error::Result<()> = with_throttle_retry(&world, &policy, || {
+            Err(sim_s3::S3Error::ServiceUnavailable { bucket: "b".into() }.into())
+        });
+        assert!(matches!(
+            out.unwrap_err(),
+            crate::error::CloudError::RetryExhausted { attempts: 3, .. }
+        ));
+    }
+
+    #[test]
+    fn non_throttle_errors_pass_straight_through() {
+        let world = SimWorld::counting();
+        let out: crate::error::Result<()> =
+            with_throttle_retry(&world, &RetryPolicy::default(), || {
+                Err(crate::error::CloudError::NotFound { name: "x".into() })
+            });
+        assert!(matches!(
+            out.unwrap_err(),
+            crate::error::CloudError::NotFound { .. }
+        ));
+        assert_eq!(world.throttle_retries(), 0);
     }
 
     #[test]

@@ -9,9 +9,8 @@ use crate::properties::{
     check_atomicity, check_causal_ordering, check_consistency, check_efficient_query, ArchKind,
 };
 use crate::{
-    Arch2Config, Arch3Config, CloudError, ProvQuery, ProvenanceStore, ReadStatus, RetryPolicy,
-    S3SimpleDb, S3SimpleDbSqs, StandaloneS3, A2_BEFORE_DATA_PUT, A3_BEFORE_COMMIT,
-    D3_BEFORE_MSG_DELETE,
+    Arch2Config, Arch3Config, ProvQuery, ProvenanceStore, ReadStatus, RetryPolicy, S3SimpleDb,
+    S3SimpleDbSqs, StandaloneS3, A2_BEFORE_DATA_PUT, A3_BEFORE_COMMIT, D3_BEFORE_MSG_DELETE,
 };
 
 fn counting() -> SimWorld {
@@ -102,10 +101,7 @@ fn end_to_end(store: &mut dyn ProvenanceStore, world: &SimWorld) {
     assert_eq!(all.len(), 5, "three files + two processes");
 
     // Missing object.
-    assert!(matches!(
-        store.read("ghost.dat"),
-        Err(CloudError::NotFound { .. })
-    ));
+    assert!(store.read("ghost.dat").unwrap_err().is_not_found());
 }
 
 #[test]
@@ -517,10 +513,7 @@ fn permanently_missing_key_costs_bounded_sublinear_virtual_time() {
     let world = eventual(23, 1);
     let mut store = S3SimpleDb::new(&world);
     let t0 = world.now();
-    assert!(matches!(
-        store.read("ghost.dat"),
-        Err(CloudError::NotFound { .. })
-    ));
+    assert!(store.read("ghost.dat").unwrap_err().is_not_found());
     let elapsed = world.now() - t0;
     assert!(
         elapsed <= SimDuration::from_secs(5),
@@ -684,6 +677,98 @@ fn arch3_cleaner_spares_fresh_temp_objects() {
 
 // --- batched persist path ---
 
+mod throttled_writes {
+    use super::*;
+
+    fn throttle_all(store: &S3SimpleDbSqs, cfg: simworld::ThrottleConfig) {
+        store.s3().set_throttle(Some(cfg));
+        store.simpledb().set_throttle(Some(cfg));
+        store.sqs().set_throttle(Some(cfg));
+    }
+
+    #[test]
+    fn throttling_costs_time_never_state() {
+        // Tentpole invariant: a throttled run retries its way to the
+        // exact same final store as an unthrottled run — 503s cost
+        // virtual time, never state.
+        let flushes = pipeline_flushes();
+        let run = |throttle: bool| {
+            let world = counting();
+            let mut store = S3SimpleDbSqs::new(&world, "c");
+            if throttle {
+                throttle_all(
+                    &store,
+                    simworld::ThrottleConfig::per_shard(100.0).with_burst(1.0),
+                );
+            }
+            for flush in &flushes {
+                store.persist(flush).unwrap();
+            }
+            let persist_done = world.now();
+            store.run_daemons_until_idle().unwrap();
+            (world, store, persist_done)
+        };
+        let (plain_world, mut plain, plain_elapsed) = run(false);
+        let (slow_world, mut slow, slow_elapsed) = run(true);
+
+        assert_eq!(plain_world.throttle_retries(), 0);
+        assert!(
+            slow_world.meters().total_throttled() > 0,
+            "the throttle must actually bite"
+        );
+        assert!(slow_world.throttle_retries() > 0, "503s must be retried");
+        assert!(
+            slow_elapsed > plain_elapsed,
+            "backoff must cost virtual time: slow={slow_elapsed:?} plain={plain_elapsed:?}"
+        );
+
+        for name in ["in.dat", "mid.dat", "out.dat"] {
+            let p = plain.read(name).unwrap();
+            let s = slow.read(name).unwrap();
+            assert!(s.consistent(), "{name}");
+            assert_eq!(p.data.md5(), s.data.md5(), "{name}");
+            let mut pr: Vec<_> = p.records.iter().map(|r| r.to_pair()).collect();
+            let mut sr: Vec<_> = s.records.iter().map(|r| r.to_pair()).collect();
+            pr.sort();
+            sr.sort();
+            assert_eq!(pr, sr, "{name}");
+        }
+        let pg = plain.query(&ProvQuery::ProvenanceOfAll).unwrap();
+        let sg = slow.query(&ProvQuery::ProvenanceOfAll).unwrap();
+        assert!(
+            crate::ProvGraph::from_answer(&pg)
+                .diff(&crate::ProvGraph::from_answer(&sg))
+                .is_empty(),
+            "throttling changed the provenance graph"
+        );
+    }
+
+    #[test]
+    fn retry_none_surfaces_structured_exhaustion_under_throttle() {
+        // A RetryPolicy::none() client hitting a 503 must fail loudly
+        // with the structured give-up, not a bare service error.
+        let world = counting();
+        let mut store = S3SimpleDbSqs::new(&world, "c");
+        let config = Arch3Config {
+            retry: RetryPolicy::none(),
+            ..Arch3Config::default()
+        };
+        store.set_config(config);
+        store.sqs().set_throttle(Some(
+            simworld::ThrottleConfig::per_shard(100.0).with_burst(1.0),
+        ));
+        let err = store.persist(&pipeline_flushes()[0]).unwrap_err();
+        match err {
+            crate::CloudError::RetryExhausted { attempts, ref last } => {
+                assert_eq!(attempts, 1, "none() makes exactly one attempt");
+                assert!(last.is_throttle(), "the last error is the 503: {last}");
+            }
+            ref other => panic!("expected structured exhaustion, got {other}"),
+        }
+        assert!(err.to_string().contains("gave up after 1 attempts"));
+    }
+}
+
 mod batched_persist {
     use super::*;
     use simworld::{Op, Service};
@@ -789,10 +874,7 @@ mod batched_persist {
         store.run_daemons_until_idle().unwrap();
         world.settle();
         // The last object of the pipeline cannot have committed.
-        assert!(matches!(
-            store.read("out.dat"),
-            Err(CloudError::NotFound { .. })
-        ));
+        assert!(store.read("out.dat").unwrap_err().is_not_found());
         // Whatever did apply is fully consistent (no orphan halves).
         for name in ["in.dat", "mid.dat"] {
             if let Ok(read) = store.read(name) {

@@ -21,13 +21,15 @@
 //! shard — a stale replica sampled mid-walk can no longer hide keys an
 //! earlier page's replica had already promised.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::ops::Range;
 use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
 use serde::{Deserialize, Serialize};
-use simworld::{Blob, EcMap, Md5Digest, Op, Service, SimInstant, SimWorld};
+use simworld::{
+    Blob, EcMap, Md5Digest, Op, Service, SimInstant, SimWorld, ThrottleConfig, TokenBucket,
+};
 
 use crate::error::{Result, S3Error};
 use crate::metadata::Metadata;
@@ -145,8 +147,18 @@ impl Bucket {
     }
 }
 
+/// Provider-side rate limiting: one lazily-created token bucket per
+/// `(bucket, shard)`, governed by a single optional config. `None`
+/// (the default) admits everything with one cheap check.
+#[derive(Default)]
+struct ThrottleState {
+    config: Option<ThrottleConfig>,
+    buckets: HashMap<(String, usize), TokenBucket>,
+}
+
 struct Inner {
     buckets: RwLock<BTreeMap<String, Arc<Bucket>>>,
+    throttle: Mutex<ThrottleState>,
 }
 
 /// The simulated Simple Storage Service.
@@ -214,6 +226,7 @@ impl S3 {
             shard_count: shards.clamp(1, MAX_SHARDS),
             inner: Arc::new(Inner {
                 buckets: RwLock::new(BTreeMap::new()),
+                throttle: Mutex::new(ThrottleState::default()),
             }),
         }
     }
@@ -221,6 +234,52 @@ impl S3 {
     /// Hash shards per bucket on this endpoint.
     pub fn shard_count(&self) -> usize {
         self.shard_count
+    }
+
+    /// Installs (or, with `None`, removes) a per-shard write-rate limit.
+    /// Above the limit, write-path calls return
+    /// [`S3Error::ServiceUnavailable`] without applying — the rejection
+    /// is still a billable, metered request. Read paths (GET/HEAD/LIST)
+    /// are not throttled. Replaces any prior limit and resets bucket
+    /// state.
+    pub fn set_throttle(&self, config: Option<ThrottleConfig>) {
+        let mut t = self.inner.throttle.lock();
+        t.config = config;
+        t.buckets.clear();
+    }
+
+    /// The active per-shard write-rate limit, if any.
+    pub fn throttle(&self) -> Option<ThrottleConfig> {
+        self.inner.throttle.lock().config
+    }
+
+    /// All-or-nothing admission for a request landing on `shards` of
+    /// `bucket`: every touched shard's token bucket must hold a token,
+    /// or the whole request is rejected and no bucket is drained (a
+    /// rejected batch must not consume the budget of the shards it
+    /// missed).
+    fn admit(&self, bucket: &str, shards: &[usize]) -> bool {
+        let mut t = self.inner.throttle.lock();
+        let Some(cfg) = t.config else {
+            return true;
+        };
+        let now = self.world.now();
+        let distinct: BTreeSet<usize> = shards.iter().copied().collect();
+        let ok = distinct.iter().all(|&s| {
+            t.buckets
+                .entry((bucket.to_string(), s))
+                .or_insert_with(|| TokenBucket::new(cfg, now))
+                .peek(now)
+        });
+        if ok {
+            for &s in &distinct {
+                t.buckets
+                    .get_mut(&(bucket.to_string(), s))
+                    .expect("bucket created by peek above")
+                    .take();
+            }
+        }
+        ok
     }
 
     /// Creates a bucket.
@@ -268,12 +327,6 @@ impl S3 {
         metadata.check_limit()?;
         let bkt = self.bucket(bucket)?;
         let shard = bkt.shard_of(key);
-        let mut map = bkt.shards[shard].lock();
-
-        let prev_footprint = map
-            .read_latest(&key.to_string())
-            .map(|s| s.footprint())
-            .unwrap_or(0);
         let stored = Stored {
             etag: body.md5(),
             last_modified: self.world.now(),
@@ -281,6 +334,19 @@ impl S3 {
             metadata,
         };
         let bytes_in = stored.footprint();
+        if !self.admit(bucket, &[shard]) {
+            self.world.record_throttled(Op::S3Put, bytes_in);
+            self.world.record_shard_touch(Service::S3, shard as u32);
+            return Err(S3Error::ServiceUnavailable {
+                bucket: bucket.to_string(),
+            });
+        }
+        let mut map = bkt.shards[shard].lock();
+
+        let prev_footprint = map
+            .read_latest(&key.to_string())
+            .map(|s| s.footprint())
+            .unwrap_or(0);
         self.world.record_op(Op::S3Put, bytes_in, 0);
         self.world.record_shard_touch(Service::S3, shard as u32);
         self.world
@@ -461,6 +527,17 @@ impl S3 {
         // no RNG draw) on the simulation.
         let src_bkt = self.bucket(src_bucket)?;
         let dst_bkt = self.bucket(dst_bucket)?;
+        // Throttling gates the *write* side: admission is checked on the
+        // destination shard before the source is even read, so a rejected
+        // copy burns no source shard touch or replica sample.
+        let dst_shard = dst_bkt.shard_of(dst_key);
+        if !self.admit(dst_bucket, &[dst_shard]) {
+            self.world.record_throttled(Op::S3Copy, 0);
+            self.world.record_shard_touch(Service::S3, dst_shard as u32);
+            return Err(S3Error::ServiceUnavailable {
+                bucket: dst_bucket.to_string(),
+            });
+        }
         let src_shard = src_bkt.shard_of(src_key);
         self.world.record_shard_touch(Service::S3, src_shard as u32);
         let src = {
@@ -481,7 +558,6 @@ impl S3 {
                 m
             }
         };
-        let dst_shard = dst_bkt.shard_of(dst_key);
         let mut dst_map = dst_bkt.shards[dst_shard].lock();
         let prev_footprint = dst_map
             .read_latest(&dst_key.to_string())
@@ -512,6 +588,13 @@ impl S3 {
     pub fn delete_object(&self, bucket: &str, key: &str) -> Result<()> {
         let bkt = self.bucket(bucket)?;
         let shard = bkt.shard_of(key);
+        if !self.admit(bucket, &[shard]) {
+            self.world.record_throttled(Op::S3Delete, 0);
+            self.world.record_shard_touch(Service::S3, shard as u32);
+            return Err(S3Error::ServiceUnavailable {
+                bucket: bucket.to_string(),
+            });
+        }
         let mut map = bkt.shards[shard].lock();
         let prev = map.read_latest(&key.to_string()).map(|s| s.footprint());
         self.world.record_op(Op::S3Delete, 0, 0);
@@ -562,6 +645,16 @@ impl S3 {
         }
         let gating = by_shard.values().map(Vec::len).max().unwrap_or(0) as u64;
         let bytes_in: u64 = keys.iter().map(|k| k.len() as u64).sum();
+        let shards: Vec<usize> = by_shard.keys().copied().collect();
+        if !self.admit(bucket, &shards) {
+            self.world.record_throttled(Op::S3DeleteObjects, bytes_in);
+            for &shard in &shards {
+                self.world.record_shard_touch(Service::S3, shard as u32);
+            }
+            return Err(S3Error::ServiceUnavailable {
+                bucket: bucket.to_string(),
+            });
+        }
         self.world
             .record_batch(Op::S3DeleteObjects, keys.len() as u64, bytes_in, 0, gating);
         let mut removed = 0u64;

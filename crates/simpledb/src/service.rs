@@ -23,12 +23,12 @@
 //! deleted between pages; sorted scans (whose global order can shift
 //! under writes) fall back to an offset cursor over the pinned views.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
 use serde::{Deserialize, Serialize};
-use simworld::{EcMap, Op, Service, SimWorld};
+use simworld::{EcMap, Op, Service, SimWorld, ThrottleConfig, TokenBucket};
 
 use crate::error::{Result, SdbError};
 use crate::model::{
@@ -151,8 +151,18 @@ impl Domain {
     }
 }
 
+/// Provider-side rate limiting: one lazily-created token bucket per
+/// `(domain, shard)`, governed by a single optional config. `None`
+/// (the default) admits everything with one cheap check.
+#[derive(Default)]
+struct ThrottleState {
+    config: Option<ThrottleConfig>,
+    buckets: HashMap<(String, usize), TokenBucket>,
+}
+
 struct Inner {
     domains: RwLock<BTreeMap<String, Arc<Domain>>>,
+    throttle: Mutex<ThrottleState>,
 }
 
 /// The simulated SimpleDB service.
@@ -214,6 +224,7 @@ impl SimpleDb {
             shard_count: shards.clamp(1, MAX_SHARDS),
             inner: Arc::new(Inner {
                 domains: RwLock::new(BTreeMap::new()),
+                throttle: Mutex::new(ThrottleState::default()),
             }),
         }
     }
@@ -221,6 +232,50 @@ impl SimpleDb {
     /// Hash shards per domain on this endpoint.
     pub fn shard_count(&self) -> usize {
         self.shard_count
+    }
+
+    /// Installs (or, with `None`, removes) a per-shard write-rate limit.
+    /// Above the limit, write-path calls return
+    /// [`SdbError::ServiceUnavailable`] without applying — the rejection
+    /// is still a billable, metered request. Read paths are not
+    /// throttled. Replaces any prior limit and resets bucket state.
+    pub fn set_throttle(&self, config: Option<ThrottleConfig>) {
+        let mut t = self.inner.throttle.lock();
+        t.config = config;
+        t.buckets.clear();
+    }
+
+    /// The active per-shard write-rate limit, if any.
+    pub fn throttle(&self) -> Option<ThrottleConfig> {
+        self.inner.throttle.lock().config
+    }
+
+    /// All-or-nothing admission for a request landing on `shards` of
+    /// `domain`: every touched shard's bucket must hold a token, or the
+    /// whole request is rejected and no bucket is drained (a rejected
+    /// batch must not consume the budget of the shards it missed).
+    fn admit(&self, domain: &str, shards: &[usize]) -> bool {
+        let mut t = self.inner.throttle.lock();
+        let Some(cfg) = t.config else {
+            return true;
+        };
+        let now = self.world.now();
+        let distinct: BTreeSet<usize> = shards.iter().copied().collect();
+        let ok = distinct.iter().all(|&s| {
+            t.buckets
+                .entry((domain.to_string(), s))
+                .or_insert_with(|| TokenBucket::new(cfg, now))
+                .peek(now)
+        });
+        if ok {
+            for &s in &distinct {
+                t.buckets
+                    .get_mut(&(domain.to_string(), s))
+                    .expect("bucket created by peek above")
+                    .take();
+            }
+        }
+        ok
     }
 
     /// Creates a domain. Idempotent, as in the real service.
@@ -285,18 +340,26 @@ impl SimpleDb {
         }
         let dom = self.domain(domain)?;
         let shard = dom.shard_of(item_name);
+        let bytes_in: u64 = attrs
+            .iter()
+            .map(|a| (a.name.len() + a.value.len()) as u64)
+            .sum::<u64>()
+            + item_name.len() as u64;
+        if !self.admit(domain, &[shard]) {
+            self.world.record_throttled(Op::SdbPutAttributes, bytes_in);
+            self.world
+                .record_shard_touch(Service::SimpleDb, shard as u32);
+            return Err(SdbError::ServiceUnavailable {
+                domain: domain.to_string(),
+            });
+        }
         let mut map = dom.shards[shard].lock();
 
         let current = map.read_latest(&item_name.to_string());
         let before_bytes = current.as_ref().map(byte_size).unwrap_or(0);
         let item = apply_put(item_name, current, attrs)?;
         let after_bytes = byte_size(&item);
-        let bytes_in: u64 = attrs
-            .iter()
-            .map(|a| (a.name.len() + a.value.len()) as u64)
-            .sum();
-        self.world
-            .record_op(Op::SdbPutAttributes, bytes_in + item_name.len() as u64, 0);
+        self.world.record_op(Op::SdbPutAttributes, bytes_in, 0);
         self.world
             .record_shard_touch(Service::SimpleDb, shard as u32);
         self.world
@@ -356,6 +419,15 @@ impl SimpleDb {
     ) -> Result<()> {
         let dom = self.domain(domain)?;
         let shard = dom.shard_of(item_name);
+        if !self.admit(domain, &[shard]) {
+            self.world
+                .record_throttled(Op::SdbDeleteAttributes, item_name.len() as u64);
+            self.world
+                .record_shard_touch(Service::SimpleDb, shard as u32);
+            return Err(SdbError::ServiceUnavailable {
+                domain: domain.to_string(),
+            });
+        }
         let mut map = dom.shards[shard].lock();
         self.world
             .record_op(Op::SdbDeleteAttributes, item_name.len() as u64, 0);
@@ -421,6 +493,27 @@ impl SimpleDb {
         // Take each touched shard's lock once, in ascending shard order
         // (a deterministic order keeps concurrent batches deadlock-free).
         let shards: Vec<usize> = items.iter().map(|(n, _)| dom.shard_of(n)).collect();
+        let bytes_in: u64 = items
+            .iter()
+            .map(|(name, attrs)| {
+                name.len() as u64
+                    + attrs
+                        .iter()
+                        .map(|a| (a.name.len() + a.value.len()) as u64)
+                        .sum::<u64>()
+            })
+            .sum();
+        if !self.admit(domain, &shards) {
+            self.world
+                .record_throttled(Op::SdbBatchPutAttributes, bytes_in);
+            for &shard in &BTreeSet::from_iter(shards.iter().copied()) {
+                self.world
+                    .record_shard_touch(Service::SimpleDb, shard as u32);
+            }
+            return Err(SdbError::ServiceUnavailable {
+                domain: domain.to_string(),
+            });
+        }
         let mut guards = lock_shards(&dom, &shards);
 
         // Stage phase: compute every item's new state against the locked
@@ -439,16 +532,6 @@ impl SimpleDb {
         }
 
         // Apply phase: meter one request, then write every entry.
-        let bytes_in: u64 = items
-            .iter()
-            .map(|(name, attrs)| {
-                name.len() as u64
-                    + attrs
-                        .iter()
-                        .map(|a| (a.name.len() + a.value.len()) as u64)
-                        .sum::<u64>()
-            })
-            .sum();
         let gating = per_shard.values().copied().max().unwrap_or(0);
         self.world.record_batch(
             Op::SdbBatchPutAttributes,
@@ -491,8 +574,19 @@ impl SimpleDb {
         check_batch_shape(items)?;
         let dom = self.domain(domain)?;
         let shards: Vec<usize> = items.iter().map(|(n, _)| dom.shard_of(n)).collect();
-        let mut guards = lock_shards(&dom, &shards);
         let bytes_in: u64 = items.iter().map(|(name, _)| name.len() as u64).sum();
+        if !self.admit(domain, &shards) {
+            self.world
+                .record_throttled(Op::SdbBatchDeleteAttributes, bytes_in);
+            for &shard in &BTreeSet::from_iter(shards.iter().copied()) {
+                self.world
+                    .record_shard_touch(Service::SimpleDb, shard as u32);
+            }
+            return Err(SdbError::ServiceUnavailable {
+                domain: domain.to_string(),
+            });
+        }
+        let mut guards = lock_shards(&dom, &shards);
         let mut per_shard = BTreeMap::<usize, u64>::new();
         for &shard in &shards {
             *per_shard.entry(shard).or_insert(0) += 1;

@@ -52,7 +52,9 @@ mod latency;
 mod md5;
 mod merge;
 mod metering;
+mod samples;
 mod sched;
+mod throttle;
 mod world;
 
 pub use adaptive::AdaptiveDepth;
@@ -65,5 +67,7 @@ pub use latency::{LatencyModel, ServiceLatency};
 pub use md5::{Md5, Md5Digest};
 pub use merge::merged_shard_page;
 pub use metering::{format_bytes, MeterBook, MeterSnapshot, Op, Service, ServiceMeter};
+pub use samples::{percentiles, LatencySample, Percentiles, SampleLog};
 pub use sched::{FiredEvent, SchedEvent, Scheduler, TimerId};
+pub use throttle::{ThrottleConfig, TokenBucket};
 pub use world::{Consistency, PipelineStats, SimConfig, SimWorld};

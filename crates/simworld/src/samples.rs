@@ -1,0 +1,304 @@
+//! Per-request latency samples and exact percentile reduction.
+//!
+//! The fleet benches need tail latencies (p50/p99/p999), not totals, and
+//! they need them *per service and per tenant* without replaying the
+//! event trace after every run. The world therefore records one
+//! [`LatencySample`] per charged request — issue instant, completion
+//! instant, the `Op`, and the tenant id that was current when the request
+//! was issued — into a bounded [`SampleLog`] ring. [`percentiles`]
+//! reduces a batch of latencies exactly (nearest-rank over the sorted
+//! samples), so a p999 is a real observed request, never an interpolated
+//! fiction.
+//!
+//! Sampling is off by default and costs nothing when disabled; see
+//! [`SimWorld::enable_latency_samples`](crate::SimWorld::enable_latency_samples).
+
+use crate::clock::{SimDuration, SimInstant};
+use crate::metering::{Op, Service};
+
+/// One charged request: when it was issued, when it completed, what it
+/// was, and which tenant issued it.
+///
+/// In pipelined mode `issued_at` is the instant the request entered the
+/// wire (after any backpressure stall) and `completed_at` the instant
+/// the completion scheduler retires it; in serial mode the two bracket
+/// the latency charge directly.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LatencySample {
+    /// The operation that was charged.
+    pub op: Op,
+    /// Tenant current at issue time (see [`crate::SimWorld::set_tenant`]).
+    pub tenant: u64,
+    /// Instant the request was issued.
+    pub issued_at: SimInstant,
+    /// Instant the request completed.
+    pub completed_at: SimInstant,
+}
+
+impl LatencySample {
+    /// The service the sampled operation belongs to.
+    pub fn service(&self) -> Service {
+        self.op.service()
+    }
+
+    /// Issue-to-completion latency.
+    pub fn latency(&self) -> SimDuration {
+        self.completed_at.saturating_since(self.issued_at)
+    }
+}
+
+/// A bounded ring of [`LatencySample`]s.
+///
+/// Once `capacity` samples have been recorded the oldest are overwritten,
+/// so long fleet runs keep a recent window instead of growing without
+/// bound. [`SampleLog::recorded`] still counts every push.
+///
+/// # Examples
+///
+/// ```
+/// use simworld::{LatencySample, Op, SampleLog, SimInstant};
+///
+/// let mut log = SampleLog::new(2);
+/// for i in 0..3 {
+///     log.push(LatencySample {
+///         op: Op::S3Put,
+///         tenant: i,
+///         issued_at: SimInstant::from_micros(i),
+///         completed_at: SimInstant::from_micros(i + 10),
+///     });
+/// }
+/// assert_eq!(log.recorded(), 3);
+/// let kept = log.drain();
+/// assert_eq!(kept.len(), 2);
+/// // Oldest sample was overwritten; order of the survivors is preserved.
+/// assert_eq!(kept[0].tenant, 1);
+/// assert_eq!(kept[1].tenant, 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct SampleLog {
+    capacity: usize,
+    buf: Vec<LatencySample>,
+    /// Next slot to overwrite once the ring is full.
+    head: usize,
+    recorded: u64,
+}
+
+impl SampleLog {
+    /// An empty log that keeps at most `capacity` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> SampleLog {
+        assert!(capacity > 0, "SampleLog capacity must be nonzero");
+        SampleLog {
+            capacity,
+            buf: Vec::new(),
+            head: 0,
+            recorded: 0,
+        }
+    }
+
+    /// Records one sample, overwriting the oldest if the ring is full.
+    pub fn push(&mut self, sample: LatencySample) {
+        self.recorded += 1;
+        if self.buf.len() < self.capacity {
+            self.buf.push(sample);
+        } else {
+            self.buf[self.head] = sample;
+            self.head = (self.head + 1) % self.capacity;
+        }
+    }
+
+    /// Samples currently held (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the ring holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Total samples ever pushed, including overwritten ones.
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Rewrites the most recently pushed sample's `issued_at` to an
+    /// earlier instant. Retry loops use this after a success to stretch
+    /// the winning request's span back to the *first* attempt's issue,
+    /// so the recorded latency is what the client experienced — backoff
+    /// pauses and rejected attempts included. A later `issued_at` is
+    /// ignored; an empty log is a no-op.
+    pub fn backdate_last(&mut self, issued_at: SimInstant) {
+        let last = if self.buf.len() < self.capacity {
+            self.buf.len().wrapping_sub(1)
+        } else {
+            (self.head + self.capacity - 1) % self.capacity
+        };
+        if let Some(sample) = self.buf.get_mut(last) {
+            if issued_at < sample.issued_at {
+                sample.issued_at = issued_at;
+            }
+        }
+    }
+
+    /// Removes and returns the held samples in record order (oldest
+    /// survivor first). The log stays usable and keeps recording.
+    pub fn drain(&mut self) -> Vec<LatencySample> {
+        let head = std::mem::take(&mut self.head);
+        let mut buf = std::mem::take(&mut self.buf);
+        buf.rotate_left(head);
+        buf
+    }
+}
+
+/// Exact percentiles over a set of latencies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Percentiles {
+    /// Number of samples reduced.
+    pub count: usize,
+    /// Median (nearest-rank).
+    pub p50: SimDuration,
+    /// 99th percentile (nearest-rank).
+    pub p99: SimDuration,
+    /// 99.9th percentile (nearest-rank).
+    pub p999: SimDuration,
+    /// Largest observed latency.
+    pub max: SimDuration,
+}
+
+/// Reduces latencies to exact nearest-rank percentiles.
+///
+/// Returns `None` for an empty input. Every reported value is an actual
+/// observed sample (rank `⌈q·n⌉`, 1-based), so percentiles are exact and
+/// monotone: `p50 ≤ p99 ≤ p999 ≤ max` always holds.
+///
+/// # Examples
+///
+/// ```
+/// use simworld::{percentiles, SimDuration};
+///
+/// let lat: Vec<SimDuration> = (1..=1000).map(SimDuration::from_micros).collect();
+/// let p = percentiles(lat).unwrap();
+/// assert_eq!(p.p50.as_micros(), 500);
+/// assert_eq!(p.p99.as_micros(), 990);
+/// assert_eq!(p.p999.as_micros(), 999);
+/// assert_eq!(p.max.as_micros(), 1000);
+/// ```
+pub fn percentiles(mut latencies: Vec<SimDuration>) -> Option<Percentiles> {
+    if latencies.is_empty() {
+        return None;
+    }
+    latencies.sort_unstable();
+    let n = latencies.len();
+    let rank = |q: f64| {
+        let r = (q * n as f64).ceil() as usize;
+        latencies[r.clamp(1, n) - 1]
+    };
+    Some(Percentiles {
+        count: n,
+        p50: rank(0.50),
+        p99: rank(0.99),
+        p999: rank(0.999),
+        max: latencies[n - 1],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backdating_stretches_only_the_last_sample_and_never_forward() {
+        let mut log = SampleLog::new(2);
+        let sample = |issued: u64, done: u64| LatencySample {
+            op: Op::S3Put,
+            tenant: 0,
+            issued_at: SimInstant::from_micros(issued),
+            completed_at: SimInstant::from_micros(done),
+        };
+        log.backdate_last(SimInstant::EPOCH); // empty: no-op
+        log.push(sample(100, 110));
+        log.push(sample(200, 210));
+        log.push(sample(300, 310)); // wraps; overwrites the first
+        log.backdate_last(SimInstant::from_micros(250));
+        log.backdate_last(SimInstant::from_micros(400)); // forward: ignored
+        let kept = log.drain();
+        assert_eq!(kept[0].issued_at, SimInstant::from_micros(200));
+        assert_eq!(kept[1].issued_at, SimInstant::from_micros(250));
+        assert_eq!(kept[1].completed_at, SimInstant::from_micros(310));
+    }
+
+    fn sample(t: u64, micros: u64) -> LatencySample {
+        LatencySample {
+            op: Op::S3Put,
+            tenant: t,
+            issued_at: SimInstant::EPOCH,
+            completed_at: SimInstant::from_micros(micros),
+        }
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_and_preserves_order() {
+        let mut log = SampleLog::new(3);
+        for i in 0..5 {
+            log.push(sample(i, i));
+        }
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.recorded(), 5);
+        let tenants: Vec<u64> = log.drain().iter().map(|s| s.tenant).collect();
+        assert_eq!(tenants, vec![2, 3, 4]);
+        // Draining resets the window but not the lifetime count.
+        assert!(log.is_empty());
+        assert_eq!(log.recorded(), 5);
+        log.push(sample(9, 9));
+        assert_eq!(log.drain().len(), 1);
+    }
+
+    #[test]
+    fn percentiles_of_single_sample_collapse() {
+        let p = percentiles(vec![SimDuration::from_micros(42)]).unwrap();
+        assert_eq!(p.count, 1);
+        assert_eq!(p.p50, p.p999);
+        assert_eq!(p.max.as_micros(), 42);
+    }
+
+    #[test]
+    fn percentiles_are_monotone_and_exact() {
+        // Unsorted input, heavy tail: 499 sub-97µs samples + 1 outlier.
+        let mut lat: Vec<SimDuration> =
+            (0..499).map(|i| SimDuration::from_micros(i % 97)).collect();
+        lat.push(SimDuration::from_secs(1));
+        let p = percentiles(lat).unwrap();
+        assert!(p.p50 <= p.p99 && p.p99 <= p.p999 && p.p999 <= p.max);
+        assert_eq!(p.max, SimDuration::from_secs(1));
+        // One outlier in 500: past p99's rank, exactly p999's.
+        assert!(p.p99.as_micros() < 97);
+        assert_eq!(p.p999, SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn empty_input_reduces_to_none() {
+        assert!(percentiles(Vec::new()).is_none());
+    }
+
+    #[test]
+    fn latency_saturates_rather_than_underflowing() {
+        let s = LatencySample {
+            op: Op::SqsSendMessage,
+            tenant: 0,
+            issued_at: SimInstant::from_micros(10),
+            completed_at: SimInstant::from_micros(4),
+        };
+        assert_eq!(s.latency(), SimDuration::ZERO);
+        assert_eq!(s.service(), Service::Sqs);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_capacity_panics() {
+        SampleLog::new(0);
+    }
+}

@@ -18,6 +18,7 @@ use crate::clock::{SimDuration, SimInstant};
 use crate::faults::{CrashSite, Crashed, FaultPlan};
 use crate::latency::LatencyModel;
 use crate::metering::{MeterBook, MeterSnapshot, Op, Service};
+use crate::samples::{LatencySample, SampleLog};
 use crate::sched::{FiredEvent, SchedEvent, Scheduler, TimerId};
 
 /// The consistency regime the simulated services run under.
@@ -158,6 +159,12 @@ struct WorldState {
     timers: HashMap<u64, SimInstant>,
     pipeline: Option<PipelineState>,
     trace: Option<Vec<FiredEvent>>,
+    /// Tenant id stamped onto latency samples (0 outside fleet runs).
+    tenant: u64,
+    /// Per-request latency sample ring; `None` keeps recording free.
+    samples: Option<SampleLog>,
+    /// Client-side 503 backoff retries (see `note_throttle_retry`).
+    throttle_retries: u64,
 }
 
 impl WorldState {
@@ -175,12 +182,14 @@ impl WorldState {
         // scheduled and immediately discarded, so the hot path skips
         // the heap round-trip entirely.
         let tracing = self.trace.is_some();
-        match self.pipeline.as_mut() {
+        let (issued_at, completed_at) = match self.pipeline.as_mut() {
             None => {
+                let issued_at = self.now;
                 self.now += latency;
                 if tracing {
                     self.sched.schedule(self.now, SchedEvent::Completion(op));
                 }
+                (issued_at, self.now)
             }
             Some(p) => {
                 let svc = service_index(op.service());
@@ -223,7 +232,16 @@ impl WorldState {
                     .map(|q| q.iter().filter(|t| **t > now).count())
                     .sum();
                 p.stats.peak_in_flight = p.stats.peak_in_flight.max(in_flight);
+                (start, completes)
             }
+        };
+        if let Some(log) = self.samples.as_mut() {
+            log.push(LatencySample {
+                op,
+                tenant: self.tenant,
+                issued_at,
+                completed_at,
+            });
         }
         self.fire_due_events();
     }
@@ -292,6 +310,9 @@ impl SimWorld {
                 timers: HashMap::new(),
                 pipeline: None,
                 trace: None,
+                tenant: 0,
+                samples: None,
+                throttle_retries: 0,
             })),
         }
     }
@@ -596,6 +617,79 @@ impl SimWorld {
             Some(trace) => std::mem::take(trace),
             None => Vec::new(),
         }
+    }
+
+    /// Sets the tenant id stamped onto subsequent latency samples. The
+    /// fleet driver calls this before issuing each tenant's work;
+    /// single-client runs leave it at the default `0`.
+    pub fn set_tenant(&self, tenant: u64) {
+        self.inner.lock().tenant = tenant;
+    }
+
+    /// The tenant id current requests are attributed to.
+    pub fn tenant(&self) -> u64 {
+        self.inner.lock().tenant
+    }
+
+    /// Turns on per-request latency sampling with a ring of `capacity`
+    /// samples (see [`SampleLog`]). Off by default; recording costs
+    /// nothing while disabled. Re-enabling replaces any prior ring.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn enable_latency_samples(&self, capacity: usize) {
+        self.inner.lock().samples = Some(SampleLog::new(capacity));
+    }
+
+    /// Turns latency sampling off, discarding any held samples.
+    pub fn disable_latency_samples(&self) {
+        self.inner.lock().samples = None;
+    }
+
+    /// Takes the samples recorded so far (oldest survivor first) and
+    /// keeps sampling. Empty when sampling is off.
+    pub fn take_latency_samples(&self) -> Vec<LatencySample> {
+        match self.inner.lock().samples.as_mut() {
+            Some(log) => log.drain(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Backdates the most recent latency sample to `issued_at` (see
+    /// [`SampleLog::backdate_last`]): after a retried call finally
+    /// succeeds, the winning request's recorded span is stretched to
+    /// the first attempt's issue so percentiles reflect client-observed
+    /// latency. No-op while sampling is off.
+    pub fn backdate_last_sample(&self, issued_at: SimInstant) {
+        if let Some(log) = self.inner.lock().samples.as_mut() {
+            log.backdate_last(issued_at);
+        }
+    }
+
+    /// Records a request the provider *rejected* with a 503: the
+    /// rejection is metered (and therefore billed — AWS charges for
+    /// throttled requests) and costs a full round trip on the clock,
+    /// but the caller's state machine sees an error and nothing is
+    /// applied. Rejections are never order-keyed: a request that did
+    /// not land constrains no successor.
+    pub fn record_throttled(&self, op: Op, bytes_in: u64) {
+        let mut st = self.inner.lock();
+        st.meters.record_throttled(op, bytes_in);
+        let draw: f64 = st.rng.gen();
+        let latency = st.config.latency.sample(op, bytes_in, draw);
+        st.charge(op, latency, None);
+    }
+
+    /// Counts one client-side backoff retry after a 503 (called by the
+    /// retry machinery in `core`; pure accounting).
+    pub fn note_throttle_retry(&self) {
+        self.inner.lock().throttle_retries += 1;
+    }
+
+    /// Total client-side 503 backoff retries so far.
+    pub fn throttle_retries(&self) -> u64 {
+        self.inner.lock().throttle_retries
     }
 
     /// Records that an operation touched one storage shard of `service`
@@ -1065,6 +1159,78 @@ mod tests {
         assert_eq!(now_a, now_b);
         assert!(!trace_a.is_empty());
         assert_eq!(trace_a, trace_b);
+    }
+
+    #[test]
+    fn latency_samples_bracket_serial_charges() {
+        let w = flat_world();
+        w.enable_latency_samples(16);
+        w.record_op(Op::S3Put, 0, 0);
+        w.record_op(Op::SdbPutAttributes, 0, 0);
+        let samples = w.take_latency_samples();
+        assert_eq!(samples.len(), 2);
+        assert_eq!(samples[0].issued_at, SimInstant::EPOCH);
+        assert_eq!(samples[0].latency(), SimDuration::from_millis(10));
+        assert_eq!(samples[1].issued_at, samples[0].completed_at);
+        assert_eq!(samples[1].service(), Service::SimpleDb);
+        // Draining keeps sampling on.
+        w.record_op(Op::S3Put, 0, 0);
+        assert_eq!(w.take_latency_samples().len(), 1);
+    }
+
+    #[test]
+    fn pipelined_samples_record_issue_not_drain() {
+        let w = flat_world();
+        w.enable_latency_samples(16);
+        w.begin_pipeline(2);
+        for _ in 0..3 {
+            w.record_op(Op::S3Put, 0, 0);
+        }
+        w.drain_pipeline();
+        let samples = w.take_latency_samples();
+        assert_eq!(samples.len(), 3);
+        // First two overlap at t=0; the third waited for a channel.
+        assert_eq!(samples[0].issued_at, SimInstant::EPOCH);
+        assert_eq!(samples[1].issued_at, SimInstant::EPOCH);
+        assert_eq!(
+            samples[2].issued_at,
+            SimInstant::EPOCH + SimDuration::from_millis(10)
+        );
+        // Each individual request still took one flat round trip.
+        assert!(samples
+            .iter()
+            .all(|s| s.latency() == SimDuration::from_millis(10)));
+    }
+
+    #[test]
+    fn sampling_is_off_by_default_and_tags_tenants() {
+        let w = flat_world();
+        w.record_op(Op::S3Put, 0, 0);
+        assert!(w.take_latency_samples().is_empty());
+        w.enable_latency_samples(8);
+        assert_eq!(w.tenant(), 0);
+        w.set_tenant(7);
+        w.record_op(Op::S3Put, 0, 0);
+        let samples = w.take_latency_samples();
+        assert_eq!(samples[0].tenant, 7);
+        w.disable_latency_samples();
+        w.record_op(Op::S3Put, 0, 0);
+        assert!(w.take_latency_samples().is_empty());
+    }
+
+    #[test]
+    fn throttled_requests_cost_time_and_meter_but_apply_nothing() {
+        let w = flat_world();
+        let t0 = w.now();
+        w.record_throttled(Op::SdbPutAttributes, 256);
+        assert_eq!(w.now() - t0, SimDuration::from_millis(10));
+        let m = w.meters();
+        assert_eq!(m.op_count(Op::SdbPutAttributes), 1);
+        assert_eq!(m.throttled(Service::SimpleDb), 1);
+        assert_eq!(m.total_throttled(), 1);
+        assert_eq!(w.throttle_retries(), 0);
+        w.note_throttle_retry();
+        assert_eq!(w.throttle_retries(), 1);
     }
 
     #[test]

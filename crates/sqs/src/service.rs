@@ -10,13 +10,15 @@
 //! simulators (a queue is its own "shard": the real service partitions
 //! by queue too).
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
 use serde::{Deserialize, Serialize};
-use simworld::{fnv1a_64, Op, Service, SimDuration, SimInstant, SimWorld};
+use simworld::{
+    fnv1a_64, Op, Service, SimDuration, SimInstant, SimWorld, ThrottleConfig, TokenBucket,
+};
 
 use crate::error::{Result, SqsError};
 
@@ -84,6 +86,16 @@ struct Queue {
     visibility_timeout: SimDuration,
 }
 
+/// Provider-side rate limiting: one lazily-created token bucket per
+/// queue URL (the real service partitions by queue), governed by a
+/// single optional config. `None` (the default) admits everything with
+/// one cheap check.
+#[derive(Default)]
+struct ThrottleState {
+    config: Option<ThrottleConfig>,
+    buckets: HashMap<String, TokenBucket>,
+}
+
 struct Inner {
     /// Queues keyed by URL, each behind its own lock so operations on
     /// different queues run concurrently.
@@ -91,6 +103,7 @@ struct Inner {
     /// Global send sequence; atomic so sends on different queues never
     /// serialise on it.
     next_seq: AtomicU64,
+    throttle: Mutex<ThrottleState>,
 }
 
 /// The simulated Simple Queueing Service.
@@ -149,8 +162,41 @@ impl Sqs {
             inner: Arc::new(Inner {
                 queues: RwLock::new(BTreeMap::new()),
                 next_seq: AtomicU64::new(0),
+                throttle: Mutex::new(ThrottleState::default()),
             }),
         }
+    }
+
+    /// Installs (or, with `None`, removes) a per-queue request-rate
+    /// limit on the write path (sends and deletes). Above the limit,
+    /// those calls return [`SqsError::ServiceUnavailable`] without
+    /// applying — the rejection is still a billable, metered request.
+    /// Receives are not throttled. Replaces any prior limit and resets
+    /// bucket state.
+    pub fn set_throttle(&self, config: Option<ThrottleConfig>) {
+        let mut t = self.inner.throttle.lock();
+        t.config = config;
+        t.buckets.clear();
+    }
+
+    /// The active per-queue request-rate limit, if any.
+    pub fn throttle(&self) -> Option<ThrottleConfig> {
+        self.inner.throttle.lock().config
+    }
+
+    /// Admission check for one request against `url`'s token bucket.
+    /// Checked *before* any RNG draw or sequence-number reservation, so
+    /// a rejected request leaves the simulation exactly as it found it.
+    fn admit(&self, url: &str) -> bool {
+        let mut t = self.inner.throttle.lock();
+        let Some(cfg) = t.config else {
+            return true;
+        };
+        let now = self.world.now();
+        t.buckets
+            .entry(url.to_string())
+            .or_insert_with(|| TokenBucket::new(cfg, now))
+            .try_admit(now)
     }
 
     /// Creates a queue (idempotent) and returns its URL.
@@ -200,6 +246,13 @@ impl Sqs {
             });
         }
         let queue = self.queue(url)?;
+        if !self.admit(url) {
+            self.world
+                .record_throttled(Op::SqsSendMessage, body.len() as u64);
+            return Err(SqsError::ServiceUnavailable {
+                url: url.to_string(),
+            });
+        }
         let server = self.world.rand_below(QUEUE_SERVERS as u64) as usize;
         let now = self.world.now();
         let seq = self.inner.next_seq.fetch_add(1, Ordering::Relaxed) + 1;
@@ -272,6 +325,13 @@ impl Sqs {
             });
         }
         let queue = self.queue(url)?;
+        if !self.admit(url) {
+            self.world
+                .record_throttled(Op::SqsSendMessageBatch, total as u64);
+            return Err(SqsError::ServiceUnavailable {
+                url: url.to_string(),
+            });
+        }
 
         // Per-entry validation first: only the accepted entries draw
         // RNG (server placement) and consume sequence numbers.
@@ -427,6 +487,13 @@ impl Sqs {
     pub fn delete_message(&self, url: &str, receipt_handle: &str) -> Result<()> {
         let seq = parse_receipt_seq(receipt_handle)?;
         let queue = self.queue(url)?;
+        if !self.admit(url) {
+            self.world
+                .record_throttled(Op::SqsDeleteMessage, receipt_handle.len() as u64);
+            return Err(SqsError::ServiceUnavailable {
+                url: url.to_string(),
+            });
+        }
         let mut queue = queue.lock();
         let removed = queue.messages.remove(&seq);
         drop(queue);
@@ -464,11 +531,18 @@ impl Sqs {
             });
         }
         let queue = self.queue(url)?;
+        let bytes_in: u64 = receipt_handles.iter().map(|h| h.len() as u64).sum();
+        if !self.admit(url) {
+            self.world
+                .record_throttled(Op::SqsDeleteMessageBatch, bytes_in);
+            return Err(SqsError::ServiceUnavailable {
+                url: url.to_string(),
+            });
+        }
         let parsed: Vec<BatchEntryOutcome<u64>> = receipt_handles
             .iter()
             .map(|h| parse_receipt_seq(h))
             .collect();
-        let bytes_in: u64 = receipt_handles.iter().map(|h| h.len() as u64).sum();
         let mut freed = 0u64;
         let mut per_server = [0u64; QUEUE_SERVERS];
         let mut entries = 0u64;

@@ -1,0 +1,292 @@
+//! Open-loop fleet arrivals: N tenants firing persists on their own
+//! clocks, independent of service completion.
+//!
+//! The single-client benches are *closed-loop*: each request waits for
+//! the previous one, so a slow service politely slows the offered load
+//! and latency percentiles flatter the provider. A real multi-tenant
+//! fleet is *open-loop* — demand arrives on wall-clock schedules that do
+//! not care how the backend is doing, which is exactly the regime where
+//! provider throttling and retry backoff shape the tail. This module
+//! generates those schedules deterministically: per-tenant Poisson or
+//! bursty arrival processes, merged into one globally ordered timeline,
+//! with tenant attribution optionally Zipf-skewed so one hot tenant can
+//! soak a shared provider.
+
+use simworld::{SimDuration, SimInstant};
+
+use crate::zipf::ZipfKeys;
+
+/// How each tenant's requests arrive over virtual time.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ArrivalProcess {
+    /// Memoryless arrivals: exponential inter-arrival gaps with the
+    /// given mean rate (requests per virtual second).
+    Poisson {
+        /// Mean arrival rate, requests per second.
+        rate_per_sec: f64,
+    },
+    /// On/off arrivals: `burst_size` requests spaced `intra_gap` apart,
+    /// then silence for `burst_gap`, repeating.
+    Bursty {
+        /// Requests per burst (≥ 1).
+        burst_size: usize,
+        /// Gap between requests inside a burst.
+        intra_gap: SimDuration,
+        /// Gap between the last request of one burst and the first of
+        /// the next.
+        burst_gap: SimDuration,
+    },
+}
+
+/// A fleet scenario: who arrives, how often, and how skewed.
+#[derive(Clone, Copy, Debug)]
+pub struct FleetSpec {
+    /// Number of tenants (each gets its own arrival clock).
+    pub tenants: usize,
+    /// Arrivals generated per tenant.
+    pub arrivals_per_tenant: usize,
+    /// The arrival process every tenant runs.
+    pub arrivals: ArrivalProcess,
+    /// `Some(theta)` re-attributes arrivals to tenants with a
+    /// Zipf(theta) popularity skew (tenant 0 hottest) while keeping the
+    /// total arrival count; `None` keeps the uniform per-tenant split.
+    pub skew: Option<f64>,
+    /// Seed for every random draw the schedule makes.
+    pub seed: u64,
+}
+
+impl FleetSpec {
+    /// Total arrivals across the fleet.
+    pub fn total_arrivals(&self) -> usize {
+        self.tenants * self.arrivals_per_tenant
+    }
+}
+
+/// One scheduled request: `tenant`'s `seq`-th arrival, due at `at`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FleetArrival {
+    /// When the request is issued (virtual time).
+    pub at: SimInstant,
+    /// Which tenant issues it.
+    pub tenant: usize,
+    /// Per-tenant sequence number, from 0.
+    pub seq: usize,
+}
+
+/// Deterministic per-tenant arrival-gap generator.
+#[derive(Clone, Debug)]
+pub struct ArrivalClock {
+    process: ArrivalProcess,
+    rng_state: u64,
+    emitted: usize,
+    now: SimInstant,
+}
+
+impl ArrivalClock {
+    /// A clock for one tenant, seeded deterministically.
+    pub fn new(process: ArrivalProcess, seed: u64) -> ArrivalClock {
+        ArrivalClock {
+            process,
+            rng_state: seed,
+            emitted: 0,
+            now: SimInstant::EPOCH,
+        }
+    }
+
+    /// The next arrival instant (strictly advancing after the first).
+    pub fn next_arrival(&mut self) -> SimInstant {
+        let gap = match self.process {
+            ArrivalProcess::Poisson { rate_per_sec } => {
+                assert!(rate_per_sec > 0.0, "Poisson rate must be positive");
+                // Inverse-CDF exponential draw; 53 uniform bits, and
+                // `1 - u` keeps ln() away from zero.
+                let u =
+                    (simworld::splitmix64(&mut self.rng_state) >> 11) as f64 / (1u64 << 53) as f64;
+                let secs = -(1.0 - u).ln() / rate_per_sec;
+                SimDuration::from_micros((secs * 1e6).round() as u64)
+            }
+            ArrivalProcess::Bursty {
+                burst_size,
+                intra_gap,
+                burst_gap,
+            } => {
+                assert!(burst_size >= 1, "a burst holds at least one request");
+                if self.emitted == 0 {
+                    SimDuration::ZERO
+                } else if self.emitted.is_multiple_of(burst_size) {
+                    burst_gap
+                } else {
+                    intra_gap
+                }
+            }
+        };
+        self.emitted += 1;
+        self.now += gap;
+        self.now
+    }
+}
+
+/// Expands a [`FleetSpec`] into the globally ordered arrival timeline.
+///
+/// Ties at an instant break by `(tenant, seq)` so the merge itself is
+/// deterministic. With `skew` set, arrival *times* still come from
+/// per-slot clocks but each slot's *tenant* is drawn Zipf(theta), so
+/// tenant 0 receives disproportionately many requests — the hot-tenant
+/// scenario.
+///
+/// # Examples
+///
+/// ```
+/// use workloads::{fleet_schedule, ArrivalProcess, FleetSpec};
+///
+/// let spec = FleetSpec {
+///     tenants: 4,
+///     arrivals_per_tenant: 8,
+///     arrivals: ArrivalProcess::Poisson { rate_per_sec: 50.0 },
+///     skew: None,
+///     seed: 42,
+/// };
+/// let schedule = fleet_schedule(&spec);
+/// assert_eq!(schedule.len(), 32);
+/// assert!(schedule.windows(2).all(|w| w[0].at <= w[1].at));
+/// ```
+pub fn fleet_schedule(spec: &FleetSpec) -> Vec<FleetArrival> {
+    assert!(spec.tenants > 0, "a fleet has at least one tenant");
+    let mut arrivals = Vec::with_capacity(spec.total_arrivals());
+    // Zipf attribution re-labels which tenant owns each arrival slot;
+    // the slots' timing clocks stay fixed, so uniform and skewed runs
+    // offer the same aggregate load at the same instants.
+    let mut zipf = spec
+        .skew
+        .map(|theta| ZipfKeys::new(spec.tenants, theta, spec.seed ^ 0x5eed_f1ee7));
+    let mut seqs = vec![0usize; spec.tenants];
+    for slot in 0..spec.tenants {
+        // Per-slot seed: decorrelated across slots, stable across runs.
+        let mut clock = ArrivalClock::new(
+            spec.arrivals,
+            spec.seed
+                .wrapping_add((slot as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+        );
+        for _ in 0..spec.arrivals_per_tenant {
+            let at = clock.next_arrival();
+            let tenant = match zipf.as_mut() {
+                Some(z) => z.next_index(),
+                None => slot,
+            };
+            let seq = seqs[tenant];
+            seqs[tenant] += 1;
+            arrivals.push(FleetArrival { at, tenant, seq });
+        }
+    }
+    arrivals.sort_by_key(|a| (a.at, a.tenant, a.seq));
+    // Re-number each tenant's arrivals in timeline order so `seq`
+    // reflects issue order even after the merge.
+    let mut next_seq = vec![0usize; spec.tenants];
+    for a in &mut arrivals {
+        a.seq = next_seq[a.tenant];
+        next_seq[a.tenant] += 1;
+    }
+    arrivals
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn poisson_spec(seed: u64) -> FleetSpec {
+        FleetSpec {
+            tenants: 4,
+            arrivals_per_tenant: 250,
+            arrivals: ArrivalProcess::Poisson {
+                rate_per_sec: 100.0,
+            },
+            skew: None,
+            seed,
+        }
+    }
+
+    #[test]
+    fn schedules_are_deterministic_for_a_seed() {
+        let a = fleet_schedule(&poisson_spec(7));
+        let b = fleet_schedule(&poisson_spec(7));
+        assert_eq!(a, b);
+        let c = fleet_schedule(&poisson_spec(8));
+        assert_ne!(a, c, "a different seed must reshuffle the timeline");
+    }
+
+    #[test]
+    fn schedule_is_sorted_and_seqs_count_up_per_tenant() {
+        let schedule = fleet_schedule(&poisson_spec(21));
+        assert!(schedule.windows(2).all(|w| w[0].at <= w[1].at));
+        let mut next = [0usize; 4];
+        for a in &schedule {
+            assert_eq!(a.seq, next[a.tenant], "seq must follow timeline order");
+            next[a.tenant] += 1;
+        }
+        assert_eq!(next.iter().sum::<usize>(), 1000);
+    }
+
+    #[test]
+    fn poisson_mean_gap_matches_the_rate() {
+        // 2000 draws at 100 req/s: the mean gap must sit near 10 ms.
+        let mut clock = ArrivalClock::new(
+            ArrivalProcess::Poisson {
+                rate_per_sec: 100.0,
+            },
+            11,
+        );
+        let mut last = SimInstant::EPOCH;
+        let n = 2000u32;
+        let mut total = SimDuration::ZERO;
+        for _ in 0..n {
+            let at = clock.next_arrival();
+            total += at.saturating_since(last);
+            last = at;
+        }
+        let mean_micros = total.as_micros() as f64 / n as f64;
+        assert!(
+            (mean_micros - 10_000.0).abs() < 1_000.0,
+            "mean inter-arrival {mean_micros:.0}us should be within 10% of 10ms"
+        );
+    }
+
+    #[test]
+    fn bursts_have_the_right_width_and_gap() {
+        let mut clock = ArrivalClock::new(
+            ArrivalProcess::Bursty {
+                burst_size: 3,
+                intra_gap: SimDuration::from_millis(1),
+                burst_gap: SimDuration::from_millis(50),
+            },
+            0,
+        );
+        let at: Vec<u64> = (0..7).map(|_| clock.next_arrival().as_micros()).collect();
+        // [0, 1ms, 2ms] then +50ms, then 1ms steps again.
+        assert_eq!(at, vec![0, 1_000, 2_000, 52_000, 53_000, 54_000, 104_000]);
+    }
+
+    #[test]
+    fn zipf_skew_concentrates_arrivals_on_tenant_zero() {
+        let spec = FleetSpec {
+            skew: Some(0.99),
+            ..poisson_spec(3)
+        };
+        let schedule = fleet_schedule(&spec);
+        assert_eq!(schedule.len(), 1000, "skew relabels, never drops");
+        let mut per_tenant = vec![0usize; spec.tenants];
+        for a in &schedule {
+            per_tenant[a.tenant] += 1;
+        }
+        let uniform_share = 1000 / spec.tenants;
+        assert!(
+            per_tenant[0] > uniform_share * 3 / 2,
+            "hot tenant got {} of 1000; expected well above the uniform {}",
+            per_tenant[0],
+            uniform_share
+        );
+        assert!(
+            per_tenant[1..].iter().all(|&c| c < per_tenant[0]),
+            "tenant 0 must be the hottest: {per_tenant:?}"
+        );
+    }
+}
