@@ -2,7 +2,7 @@
 //! latency as the shard/queue count grows, for each sharded backend.
 //!
 //! Usage: `cargo run --release -p prov-bench --bin shards
-//!         [--mode=simpledb|s3|sqs|batch|pipeline|fleet|all] [--smoke]
+//!         [--mode=simpledb|s3|sqs|batch|pipeline|split|fleet|all] [--smoke]
 //!         [--threads=N] [--queries=N]
 //!         [--scale=small|medium|paper]`
 //!
@@ -19,11 +19,21 @@
 //! graph bit-identical.
 //!
 //! `--mode=fleet` runs the open-loop multi-tenant fleet: uniform vs
-//! zipf(0.99) tenant skew, provider throttling off vs on, reporting
-//! per-service latency percentiles (client-observed: retry backoff
-//! included) plus 503/retry counts and the operations bill. Its smoke
-//! asserts ordered percentiles, nonzero 503s under throttling with a
-//! byte-identical final store, and a fatter tail for the skewed fleet.
+//! zipf(0.99) tenant skew, provider throttling off vs on, plus a
+//! rejection-triggered hot-shard-splitting rescue of the hottest
+//! scenario, reporting per-service latency percentiles (client-observed:
+//! retry backoff included) plus 503/retry/split counts and the
+//! operations bill. Its smoke asserts ordered percentiles, nonzero 503s
+//! under throttling with a byte-identical final store, a fatter tail for
+//! the skewed fleet, and that splitting sheds 503s and the p99 without
+//! moving the fingerprint.
+//!
+//! `--mode=split` runs static vs hot-shard-splitting legs of a
+//! zipf(0.99) point-write stream over a 5k-key and a 100k-key corpus.
+//! Its smoke asserts the split policy fires, the windowed max/mean
+//! imbalance collapses to ≤ 1.3x at 100k keys (the 5k corpus is
+//! floor-limited by its unsplittable hottest key), and the converged
+//! domain state fingerprints byte-identically with splitting on or off.
 //!
 //! `--mode=pipeline` sweeps the in-flight depth of the pipelined
 //! persist path (sync = synchronous batch baseline; on arch3 the depth
@@ -38,10 +48,10 @@ use prov_bench::pipebench::{
     pipeline_sweep, render_pipeline, DEFAULT_PIPELINE_GROUP, DEFAULT_SPECS,
 };
 use prov_bench::shardbench::{
-    render, render_s3_virtual, render_s3_wall, render_skew, render_sqs_virtual, render_sqs_wall,
-    render_virtual, s3_scaling, s3_virtual_scaling, shard_scaling, skew_sweep, sqs_scaling,
-    sqs_virtual_scaling, virtual_scaling, DEFAULT_QUEUE_COUNTS, DEFAULT_S3_OBJECTS,
-    DEFAULT_SHARD_COUNTS, DEFAULT_SQS_MESSAGES,
+    render, render_s3_virtual, render_s3_wall, render_skew, render_split, render_sqs_virtual,
+    render_sqs_wall, render_virtual, s3_scaling, s3_virtual_scaling, shard_scaling, skew_sweep,
+    split_sweep, sqs_scaling, sqs_virtual_scaling, virtual_scaling, DEFAULT_QUEUE_COUNTS,
+    DEFAULT_S3_OBJECTS, DEFAULT_SHARD_COUNTS, DEFAULT_SQS_MESSAGES,
 };
 use provenance_cloud::ArchKind;
 use workloads::Combined;
@@ -324,6 +334,68 @@ fn run_pipeline(args: &[String], smoke: bool) {
     }
 }
 
+fn run_split_mode(_args: &[String], smoke: bool) {
+    // Both corpora matter: 5k keys shows the single-hot-key floor (the
+    // top key alone carries ~10.7% of ops — an item can't be split, so
+    // ~1.7x vs a 16-shard fair share is irreducible); 100k keys is where
+    // the ISSUE's ≤1.3x target is honestly reachable.
+    let rows = match split_sweep(16, &[5_000, 100_000]) {
+        Ok(rows) => rows,
+        Err(e) => fail(&format!("split sweep failed: {e}")),
+    };
+    print!("{}", render_split(&rows));
+    if smoke {
+        // Rows come in (static, split) pairs per corpus.
+        for pair in rows.chunks(2) {
+            let (stat, split) = (&pair[0], &pair[1]);
+            if stat.shards_final != stat.shards_start || stat.splits != 0 {
+                fail("smoke check failed: the static leg grew shards");
+            }
+            if split.splits == 0 || split.shards_final <= split.shards_start {
+                fail("smoke check failed: the split policy never fired");
+            }
+            if split.imbalance >= stat.imbalance {
+                fail(&format!(
+                    "smoke check failed: splitting did not reduce imbalance at {} keys ({:.2}x vs {:.2}x)",
+                    split.keys, split.imbalance, stat.imbalance
+                ));
+            }
+            if split.fingerprint != stat.fingerprint {
+                fail(&format!(
+                    "smoke check failed: splitting changed the converged state at {} keys",
+                    split.keys
+                ));
+            }
+        }
+        // The acceptance numbers: the 100k-key corpus collapses from the
+        // >2x static imbalance to <=1.3x once hot shards split; the 5k
+        // corpus lands near its single-key floor.
+        let row = |keys: usize, label: &str| {
+            rows.iter()
+                .find(|r| r.keys == keys && r.label == label)
+                .expect("sweep covers both corpora")
+        };
+        if row(100_000, "static").imbalance < 1.9 {
+            fail("smoke check failed: static 100k-key imbalance unexpectedly below 1.9x");
+        }
+        if row(100_000, "split").imbalance > 1.3 {
+            fail(&format!(
+                "smoke check failed: split 100k-key imbalance {:.2}x above the 1.3x target",
+                row(100_000, "split").imbalance
+            ));
+        }
+        if row(5_000, "split").imbalance > 1.8 {
+            fail(&format!(
+                "smoke check failed: split 5k-key imbalance {:.2}x above the ~1.7x single-key floor",
+                row(5_000, "split").imbalance
+            ));
+        }
+        println!(
+            "smoke ok: splits fire, state fingerprints match static, 100k-key imbalance collapses to <=1.3x"
+        );
+    }
+}
+
 fn run_fleet_mode(args: &[String], smoke: bool) {
     let (tenant_counts, arrivals, rate): (&[usize], usize, f64) = if smoke {
         (&[8], 4, 50.0)
@@ -339,8 +411,17 @@ fn run_fleet_mode(args: &[String], smoke: bool) {
             shards: 16,
             skew: None,
             throttle: None,
+            throttle_wal: true,
+            split: None,
             seed: 2009,
         };
+        // The split comparison throttles only the range-sharded stores
+        // (the WAL queue has no shard map to grow), tightly enough that
+        // the hot tenant's shards reject, and drives enough sustained
+        // arrivals that a split's doubled refill actually matters —
+        // a single pending retry per shard gains nothing from one.
+        let store_throttle = simworld::ThrottleConfig::per_shard(1.0).with_burst(2.0);
+        let heavy_arrivals = arrivals * 8;
         let scenarios = [
             base,
             FleetParams {
@@ -354,6 +435,24 @@ fn run_fleet_mode(args: &[String], smoke: bool) {
             FleetParams {
                 skew: Some(0.99),
                 throttle: Some(throttle),
+                ..base
+            },
+            FleetParams {
+                arrivals_per_tenant: heavy_arrivals,
+                skew: Some(0.99),
+                throttle: Some(store_throttle),
+                throttle_wal: false,
+                ..base
+            },
+            // The dynamic-sharding rescue: same hot fleet, but every
+            // shard the throttle rejects splits, doubling that range's
+            // admission capacity until the 503s dry up.
+            FleetParams {
+                arrivals_per_tenant: heavy_arrivals,
+                skew: Some(0.99),
+                throttle: Some(store_throttle),
+                throttle_wal: false,
+                split: Some(simworld::SplitPolicy::by_rejections(1).with_max_shards(64)),
                 ..base
             },
         ];
@@ -404,11 +503,39 @@ fn run_fleet_mode(args: &[String], smoke: bool) {
                     p99(1)
                 ));
             }
+            // (d) Arming rejection-triggered splits on the store-only
+            // throttled hot fleet sheds 503s, pulls the tail back down,
+            // and still converges to the static run's exact store.
+            if rows[4].throttled == 0 {
+                fail("smoke check failed: the store-only throttle never rejected");
+            }
+            if rows[4].splits != 0 {
+                fail("smoke check failed: the static fleet grew shards");
+            }
+            if rows[5].splits == 0 {
+                fail("smoke check failed: the hot fleet's rejections never triggered a split");
+            }
+            if rows[5].throttled >= rows[4].throttled {
+                fail(&format!(
+                    "smoke check failed: splitting did not shed 503s ({} vs {})",
+                    rows[5].throttled, rows[4].throttled
+                ));
+            }
+            if p99(5) >= p99(4) {
+                fail(&format!(
+                    "smoke check failed: split fleet p99 {:?} not below static p99 {:?}",
+                    p99(5),
+                    p99(4)
+                ));
+            }
+            if !prints[5].matches(&prints[4]) {
+                fail("smoke check failed: splitting changed the hot fleet's final store");
+            }
             if rows.iter().any(|r| r.exhausted != 0) {
                 fail("smoke check failed: a persist exhausted its retry budget");
             }
             println!(
-                "smoke ok: percentiles ordered; throttled runs reject yet converge to the same fingerprint; zipf tail above uniform"
+                "smoke ok: percentiles ordered; throttled runs reject yet converge to the same fingerprint; zipf tail above uniform; splitting sheds 503s and the tail"
             );
         }
         println!();
@@ -425,6 +552,7 @@ fn main() {
         "sqs" => run_sqs(&args, smoke),
         "batch" => run_batch(&args, smoke),
         "pipeline" => run_pipeline(&args, smoke),
+        "split" => run_split_mode(&args, smoke),
         "fleet" => run_fleet_mode(&args, smoke),
         "all" => {
             run_simpledb(&args, smoke);
@@ -437,10 +565,12 @@ fn main() {
             println!();
             run_pipeline(&args, smoke);
             println!();
+            run_split_mode(&args, smoke);
+            println!();
             run_fleet_mode(&args, smoke);
         }
         other => fail(&format!(
-            "unknown mode {other:?}; expected simpledb|s3|sqs|batch|pipeline|fleet|all"
+            "unknown mode {other:?}; expected simpledb|s3|sqs|batch|pipeline|split|fleet|all"
         )),
     }
 }

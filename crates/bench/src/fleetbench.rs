@@ -17,10 +17,11 @@
 //! store ([`FleetFingerprint`]).
 
 use pass::FileFlush;
+use provenance_cloud::layout::{BUCKET, DOMAIN};
 use provenance_cloud::{CloudError, ProvGraph, ProvQuery, ProvenanceStore, Result, S3SimpleDbSqs};
 use simworld::{
-    percentiles, Blob, Consistency, LatencyModel, Percentiles, Service, SimConfig, SimWorld,
-    ThrottleConfig,
+    percentiles, Blob, Consistency, LatencyModel, Percentiles, Service, ShardPlan, SimConfig,
+    SimWorld, SplitPolicy, ThrottleConfig,
 };
 use workloads::{fleet_schedule, ArrivalProcess, FleetSpec};
 
@@ -44,20 +45,45 @@ pub struct FleetParams {
     /// Provider-side token-bucket throttle, applied to all three
     /// services of every tenant; `None` runs unthrottled.
     pub throttle: Option<ThrottleConfig>,
+    /// When `false`, the WAL queue (SQS) is exempt from `throttle`: the
+    /// store-only variant the hot-shard-splitting comparison uses, so
+    /// rejections land on the range-sharded services that can split —
+    /// a queue has no shard map to grow.
+    pub throttle_wal: bool,
+    /// `Some(policy)` arms hot-shard splitting on every tenant's bucket
+    /// and domain — rejection-triggered policies let a throttled hot
+    /// tenant outgrow its 503s; `None` keeps the shard maps static.
+    pub split: Option<SplitPolicy>,
     /// Seed for the world and the arrival schedule.
     pub seed: u64,
 }
 
 impl FleetParams {
-    /// A short human label ("uniform" / "zipf(0.99)", "+throttle").
+    /// A short human label ("uniform" / "zipf(0.99)+throttle+split").
     pub fn label(&self) -> String {
         let skew = match self.skew {
             Some(theta) => format!("zipf({theta})"),
             None => "uniform".to_string(),
         };
-        match self.throttle {
-            Some(_) => format!("{skew}+throttle"),
-            None => skew,
+        let mut label = skew;
+        if self.throttle.is_some() {
+            label.push_str(if self.throttle_wal {
+                "+throttle"
+            } else {
+                "+storethrottle"
+            });
+        }
+        if self.split.is_some() {
+            label.push_str("+split");
+        }
+        label
+    }
+
+    /// The shard plan each tenant's endpoints are provisioned with.
+    pub fn shard_plan(&self) -> ShardPlan {
+        match self.split {
+            Some(policy) => ShardPlan::fixed(self.shards).with_split(policy),
+            None => ShardPlan::fixed(self.shards),
         }
     }
 }
@@ -82,6 +108,9 @@ pub struct FleetRow {
     pub retries: u64,
     /// Persists abandoned with [`CloudError::RetryExhausted`].
     pub exhausted: u64,
+    /// Hot-shard splits performed across every tenant's bucket and
+    /// domain (zero when the shard maps are static).
+    pub splits: u64,
     /// Billable requests issued (rejections included).
     pub requests: u64,
     /// USD bill for those requests (January 2009 prices, ops only).
@@ -161,14 +190,17 @@ pub fn run_fleet(params: &FleetParams) -> Result<(FleetRow, FleetFingerprint)> {
     });
     world.enable_latency_samples(SAMPLE_CAPACITY);
 
+    let plan = params.shard_plan();
     let mut stores: Vec<S3SimpleDbSqs> = (0..params.tenants)
-        .map(|t| S3SimpleDbSqs::with_shards(&world, &format!("t{t}"), params.shards))
+        .map(|t| S3SimpleDbSqs::with_shard_plan(&world, &format!("t{t}"), plan))
         .collect();
     if let Some(cfg) = params.throttle {
         for store in &stores {
             store.s3().set_throttle(Some(cfg));
             store.simpledb().set_throttle(Some(cfg));
-            store.sqs().set_throttle(Some(cfg));
+            if params.throttle_wal {
+                store.sqs().set_throttle(Some(cfg));
+            }
         }
     }
 
@@ -222,6 +254,13 @@ pub fn run_fleet(params: &FleetParams) -> Result<(FleetRow, FleetFingerprint)> {
         }
     }
     let overall = percentiles(samples.iter().map(|s| s.latency()).collect());
+    let splits: u64 = stores
+        .iter()
+        .map(|store| {
+            store.s3().bucket_split_count(BUCKET).unwrap_or(0)
+                + store.simpledb().domain_split_count(DOMAIN).unwrap_or(0)
+        })
+        .sum();
     let meters = world.meters();
     let bill = costmodel::cost_of(&meters, 0.0, &costmodel::PriceBook::january_2009());
     let row = FleetRow {
@@ -233,6 +272,7 @@ pub fn run_fleet(params: &FleetParams) -> Result<(FleetRow, FleetFingerprint)> {
         throttled: meters.total_throttled(),
         retries: world.throttle_retries(),
         exhausted,
+        splits,
         requests: meters.total_ops(),
         bill_usd: bill.operations_total(),
         virtual_secs,
@@ -315,10 +355,11 @@ pub fn render_fleet(rows: &[FleetRow]) -> String {
             ));
         }
         out.push_str(&format!(
-            "503s {} | retries {} | exhausted {} | requests {} | ops bill {}\n\n",
+            "503s {} | retries {} | exhausted {} | splits {} | requests {} | ops bill {}\n\n",
             row.throttled,
             row.retries,
             row.exhausted,
+            row.splits,
             row.requests,
             costmodel::format_usd(row.bill_usd),
         ));
@@ -339,6 +380,8 @@ mod tests {
             shards: 4,
             skew,
             throttle,
+            throttle_wal: true,
+            split: None,
             seed: 7,
         }
     }
@@ -378,6 +421,47 @@ mod tests {
                 "{service:?}: zero-latency sample"
             );
         }
+    }
+
+    #[test]
+    fn rejection_triggered_splits_fire_without_changing_state() {
+        // A tight store-only throttle (the WAL queue is exempt so the
+        // 503s land on the shard-mapped bucket and domain) under enough
+        // sustained arrivals that a split's doubled refill matters.
+        let stat = FleetParams {
+            arrivals_per_tenant: 32,
+            throttle_wal: false,
+            ..small(
+                Some(0.99),
+                Some(ThrottleConfig::per_shard(1.0).with_burst(2.0)),
+            )
+        };
+        let split = FleetParams {
+            split: Some(SplitPolicy::by_rejections(1)),
+            ..stat
+        };
+        let (srow, sprint) = run_fleet(&stat).unwrap();
+        let (drow, dprint) = run_fleet(&split).unwrap();
+        assert_eq!(srow.splits, 0, "static fleet must not split");
+        assert!(srow.throttled > 0, "the throttle must bite: {srow:?}");
+        assert!(drow.splits > 0, "rejections must trigger splits: {drow:?}");
+        assert!(
+            drow.throttled < srow.throttled,
+            "splitting must shed 503s: {} vs {}",
+            drow.throttled,
+            srow.throttled
+        );
+        let p99 = |row: &FleetRow| row.overall.as_ref().expect("samples recorded").p99;
+        assert!(
+            p99(&drow) < p99(&srow),
+            "splitting must pull the tail down: {:?} vs {:?}",
+            p99(&drow),
+            p99(&srow)
+        );
+        assert!(
+            dprint.matches(&sprint),
+            "splitting must not change the converged store"
+        );
     }
 
     #[test]

@@ -68,7 +68,13 @@ impl StandaloneS3 {
     /// into `shards` hash shards — the knob behind the concurrent
     /// multi-client experiments.
     pub fn with_shards(world: &SimWorld, shards: usize) -> StandaloneS3 {
-        let s3 = S3::with_shards(world, shards);
+        StandaloneS3::with_shard_plan(world, simworld::ShardPlan::fixed(shards))
+    }
+
+    /// Creates the store with an S3 endpoint provisioned per `plan` —
+    /// initial shard count plus an optional hot-shard split policy.
+    pub fn with_shard_plan(world: &SimWorld, plan: simworld::ShardPlan) -> StandaloneS3 {
+        let s3 = S3::with_shard_plan(world, plan);
         s3.create_bucket(BUCKET)
             .expect("fresh endpoint has no buckets");
         StandaloneS3::with_s3(world, &s3)

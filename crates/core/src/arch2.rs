@@ -103,10 +103,17 @@ impl S3SimpleDb {
     /// behind the parallel query/select and multi-client scaling
     /// experiments.
     pub fn with_shards(world: &SimWorld, shards: usize) -> S3SimpleDb {
-        let s3 = S3::with_shards(world, shards);
+        S3SimpleDb::with_shard_plan(world, simworld::ShardPlan::fixed(shards))
+    }
+
+    /// Creates the store with fresh endpoints provisioned per `plan` —
+    /// initial shard count plus an optional hot-shard split policy,
+    /// applied to both the S3 bucket and the SimpleDB domain.
+    pub fn with_shard_plan(world: &SimWorld, plan: simworld::ShardPlan) -> S3SimpleDb {
+        let s3 = S3::with_shard_plan(world, plan);
         s3.create_bucket(BUCKET)
             .expect("fresh endpoint has no buckets");
-        let db = SimpleDb::with_shards(world, shards);
+        let db = SimpleDb::with_shard_plan(world, plan);
         db.create_domain(DOMAIN)
             .expect("fresh endpoint has no domains");
         S3SimpleDb::with_services(world, &s3, &db)

@@ -609,10 +609,21 @@ impl S3SimpleDbSqs {
     /// Creates the store with fresh endpoints whose SimpleDB domains
     /// *and* S3 buckets are split into `shards` hash shards.
     pub fn with_shards(world: &SimWorld, client_id: &str, shards: usize) -> S3SimpleDbSqs {
-        let s3 = S3::with_shards(world, shards);
+        S3SimpleDbSqs::with_shard_plan(world, client_id, simworld::ShardPlan::fixed(shards))
+    }
+
+    /// Creates the store with fresh endpoints provisioned per `plan` —
+    /// initial shard count plus an optional hot-shard split policy,
+    /// applied to both the S3 bucket and the SimpleDB domain.
+    pub fn with_shard_plan(
+        world: &SimWorld,
+        client_id: &str,
+        plan: simworld::ShardPlan,
+    ) -> S3SimpleDbSqs {
+        let s3 = S3::with_shard_plan(world, plan);
         s3.create_bucket(BUCKET)
             .expect("fresh endpoint has no buckets");
-        let db = SimpleDb::with_shards(world, shards);
+        let db = SimpleDb::with_shard_plan(world, plan);
         db.create_domain(DOMAIN)
             .expect("fresh endpoint has no domains");
         let sqs = Sqs::new(world);

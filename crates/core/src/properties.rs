@@ -80,11 +80,25 @@ impl ArchKind {
     /// to every sharded backend the architecture uses (S3 buckets, and
     /// SimpleDB domains where present).
     pub fn build_with_shards(self, world: &SimWorld, shards: usize) -> Box<dyn ProvenanceStore> {
+        self.build_with_shard_plan(world, simworld::ShardPlan::fixed(shards))
+    }
+
+    /// Builds a store of this kind provisioned per `plan` — initial
+    /// shard count plus an optional hot-shard split policy, applied to
+    /// every sharded backend the architecture uses. All three
+    /// architectures run unchanged on a fixed plan; with a split policy
+    /// armed, hot shards split in the background without altering
+    /// converged store state.
+    pub fn build_with_shard_plan(
+        self,
+        world: &SimWorld,
+        plan: simworld::ShardPlan,
+    ) -> Box<dyn ProvenanceStore> {
         match self {
-            ArchKind::S3 => Box::new(StandaloneS3::with_shards(world, shards)),
-            ArchKind::S3SimpleDb => Box::new(S3SimpleDb::with_shards(world, shards)),
+            ArchKind::S3 => Box::new(StandaloneS3::with_shard_plan(world, plan)),
+            ArchKind::S3SimpleDb => Box::new(S3SimpleDb::with_shard_plan(world, plan)),
             ArchKind::S3SimpleDbSqs => {
-                Box::new(S3SimpleDbSqs::with_shards(world, "prop-client", shards))
+                Box::new(S3SimpleDbSqs::with_shard_plan(world, "prop-client", plan))
             }
         }
     }

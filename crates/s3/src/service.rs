@@ -2,33 +2,45 @@
 //!
 //! # Sharded storage layout
 //!
-//! Each bucket is partitioned into a fixed set of hash shards (default
-//! [`DEFAULT_SHARDS`], configurable via [`S3::with_shards`]); an object
-//! lives on the shard selected by an FNV-1a hash of its key. Every shard
-//! sits behind its own lock, so point operations (PUT/GET/HEAD/COPY/
-//! DELETE) contend only for one shard while LIST fans out across all
-//! shards and merges the per-shard key pages in lexicographic order —
-//! the same design the sharded SimpleDB simulator uses, extended here so
-//! the multi-client scaling experiments have a concurrent S3 substrate.
+//! Each bucket is a [`simworld::ShardMap`]: a **range-routed** set of
+//! shards, each owning a contiguous span of the 64-bit key-hash ring and
+//! sitting behind its own lock (default [`DEFAULT_SHARDS`] shards,
+//! configurable via [`S3::with_shards`] / [`S3::with_shard_plan`]).
+//! Point operations (PUT/GET/HEAD/COPY/DELETE) contend only for one
+//! shard while LIST fans out across all shards and merges the per-shard
+//! key pages in lexicographic order — the same shared layer the sharded
+//! SimpleDB simulator routes through. With a [`simworld::SplitPolicy`]
+//! armed, a hot shard splits its hash range in two in the background;
+//! placement changes, but converged state is byte-identical with
+//! splitting on or off.
+//!
+//! Shard-count requests are validated by the one shared rule
+//! ([`simworld::clamp_shards`], identical in SimpleDB): `with_shards(0)`
+//! is promoted to 1 shard and oversized requests are silently capped at
+//! [`MAX_SHARDS`].
 //!
 //! # LIST consistency
 //!
-//! A LIST pins **one replica per shard** for the whole call: the key
-//! listing and the per-key sizes come from the same per-shard view, so a
-//! key counted toward the page cap can never vanish from the page.
-//! [`S3::list_all`] pins the replicas once for its *entire* internal
-//! pagination walk, so a marker-based scan is one coherent view per
-//! shard — a stale replica sampled mid-walk can no longer hide keys an
-//! earlier page's replica had already promised.
+//! A LIST pins **one replica per shard, keyed by stable shard id**, for
+//! the whole call: the key listing and the per-key sizes come from the
+//! same per-shard view, so a key counted toward the page cap can never
+//! vanish from the page. [`S3::list_all`] pins the replicas once for its
+//! *entire* internal pagination walk, so a marker-based scan is one
+//! coherent view per shard — a stale replica sampled mid-walk can no
+//! longer hide keys an earlier page's replica had already promised, and
+//! because pins are keyed by stable id (not shard index), a shard that
+//! splits mid-walk keeps serving the walk from its parent's pinned
+//! replica: the walk neither skips nor duplicates a key.
 
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::BTreeMap;
 use std::ops::Range;
 use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
 use serde::{Deserialize, Serialize};
 use simworld::{
-    Blob, EcMap, Md5Digest, Op, Service, SimInstant, SimWorld, ThrottleConfig, TokenBucket,
+    Blob, Md5Digest, Op, ReplicaPin, Service, ShardMap, ShardPlan, SimInstant, SimWorld,
+    SplitEvent, ThrottleConfig,
 };
 
 use crate::error::{Result, S3Error};
@@ -49,9 +61,10 @@ pub const MAX_DELETE_KEYS: usize = 1000;
 /// Default number of hash shards per bucket.
 pub const DEFAULT_SHARDS: usize = 16;
 
-/// Upper bound on shards per bucket (a sanity bound standing in for the
-/// real service's partitioning limits).
-pub const MAX_SHARDS: usize = 256;
+/// Upper bound on shards per bucket — the workspace-wide
+/// [`simworld::MAX_SHARDS`], shared with SimpleDB so the clamping rule
+/// cannot drift between services.
+pub const MAX_SHARDS: usize = simworld::MAX_SHARDS;
 
 /// Approximate fixed response overhead per listed key (XML framing).
 const LIST_ENTRY_OVERHEAD: u64 = 64;
@@ -124,41 +137,14 @@ impl Stored {
     }
 }
 
-/// One bucket: a fixed set of hash shards, each behind its own lock.
-struct Bucket {
-    shards: Vec<Mutex<EcMap<String, Stored>>>,
-}
-
-impl Bucket {
-    fn new(shard_count: usize) -> Bucket {
-        Bucket {
-            shards: (0..shard_count.clamp(1, MAX_SHARDS))
-                .map(|_| Mutex::new(EcMap::new()))
-                .collect(),
-        }
-    }
-
-    fn shard_count(&self) -> usize {
-        self.shards.len()
-    }
-
-    fn shard_of(&self, key: &str) -> usize {
-        (simworld::fnv1a_64(key) % self.shards.len() as u64) as usize
-    }
-}
-
-/// Provider-side rate limiting: one lazily-created token bucket per
-/// `(bucket, shard)`, governed by a single optional config. `None`
-/// (the default) admits everything with one cheap check.
-#[derive(Default)]
-struct ThrottleState {
-    config: Option<ThrottleConfig>,
-    buckets: HashMap<(String, usize), TokenBucket>,
-}
+type Bucket = ShardMap<Stored>;
 
 struct Inner {
     buckets: RwLock<BTreeMap<String, Arc<Bucket>>>,
-    throttle: Mutex<ThrottleState>,
+    /// One optional throttle config for the endpoint; the per-shard
+    /// token buckets live inside each bucket's [`ShardMap`], keyed by
+    /// stable shard id so they survive (and are re-keyed across) splits.
+    throttle: Mutex<Option<ThrottleConfig>>,
 }
 
 /// The simulated Simple Storage Service.
@@ -186,7 +172,7 @@ struct Inner {
 #[derive(Clone)]
 pub struct S3 {
     world: SimWorld,
-    shard_count: usize,
+    plan: ShardPlan,
     inner: Arc<Inner>,
 }
 
@@ -195,7 +181,7 @@ impl std::fmt::Debug for S3 {
         let buckets = self.inner.buckets.read();
         f.debug_struct("S3")
             .field("buckets", &buckets.len())
-            .field("shards", &self.shard_count)
+            .field("plan", &self.plan)
             .finish_non_exhaustive()
     }
 }
@@ -217,23 +203,64 @@ impl S3 {
     }
 
     /// Connects an endpoint whose buckets are split into `shards` hash
-    /// shards (clamped to `1..=`[`MAX_SHARDS`]). More shards mean less
-    /// lock contention between concurrent point operations and more
-    /// fan-out parallelism for LIST.
+    /// shards, validated by the shared rule ([`simworld::clamp_shards`]:
+    /// zero becomes 1, oversized caps at [`MAX_SHARDS`]). More shards
+    /// mean less lock contention between concurrent point operations and
+    /// more fan-out parallelism for LIST. The layout is static — no
+    /// splitting.
     pub fn with_shards(world: &SimWorld, shards: usize) -> S3 {
+        S3::with_shard_plan(world, ShardPlan::fixed(shards))
+    }
+
+    /// Connects an endpoint provisioning each bucket per `plan`: the
+    /// initial shard count plus, optionally, a hot-shard
+    /// [`simworld::SplitPolicy`].
+    pub fn with_shard_plan(world: &SimWorld, plan: ShardPlan) -> S3 {
         S3 {
             world: world.clone(),
-            shard_count: shards.clamp(1, MAX_SHARDS),
+            plan,
             inner: Arc::new(Inner {
                 buckets: RwLock::new(BTreeMap::new()),
-                throttle: Mutex::new(ThrottleState::default()),
+                throttle: Mutex::new(None),
             }),
         }
     }
 
-    /// Hash shards per bucket on this endpoint.
+    /// Initial (post-clamp) hash shards per bucket on this endpoint.
+    /// Splitting can grow an individual bucket past this — see
+    /// [`S3::bucket_shard_count`].
     pub fn shard_count(&self) -> usize {
-        self.shard_count
+        simworld::clamp_shards(self.plan.shards)
+    }
+
+    /// The shard plan buckets are provisioned with.
+    pub fn shard_plan(&self) -> ShardPlan {
+        self.plan
+    }
+
+    /// Shards `bucket` currently holds (grows as hot shards split), or
+    /// `None` for an unknown bucket. Unbilled.
+    pub fn bucket_shard_count(&self, bucket: &str) -> Option<usize> {
+        Some(self.bucket(bucket).ok()?.shard_count())
+    }
+
+    /// Splits performed on `bucket` so far, or `None` for an unknown
+    /// bucket. Unbilled.
+    pub fn bucket_split_count(&self, bucket: &str) -> Option<u64> {
+        Some(self.bucket(bucket).ok()?.split_count())
+    }
+
+    /// Stable ids of `bucket`'s current shards in hash-range order, or
+    /// `None` for an unknown bucket. Unbilled.
+    pub fn bucket_shard_ids(&self, bucket: &str) -> Option<Vec<u32>> {
+        Some(self.bucket(bucket).ok()?.shard_ids())
+    }
+
+    /// Test/bench hook: force-splits the shard of `bucket` currently
+    /// holding the most cells, policy or not. Returns the split record,
+    /// or `None` when the bucket is unknown or nothing can split.
+    pub fn split_hottest(&self, bucket: &str) -> Option<SplitEvent> {
+        self.bucket(bucket).ok()?.force_split()
     }
 
     /// Installs (or, with `None`, removes) a per-shard write-rate limit.
@@ -243,43 +270,25 @@ impl S3 {
     /// are not throttled. Replaces any prior limit and resets bucket
     /// state.
     pub fn set_throttle(&self, config: Option<ThrottleConfig>) {
-        let mut t = self.inner.throttle.lock();
-        t.config = config;
-        t.buckets.clear();
+        *self.inner.throttle.lock() = config;
+        for bkt in self.inner.buckets.read().values() {
+            bkt.reset_throttle();
+        }
     }
 
     /// The active per-shard write-rate limit, if any.
     pub fn throttle(&self) -> Option<ThrottleConfig> {
-        self.inner.throttle.lock().config
+        *self.inner.throttle.lock()
     }
 
     /// All-or-nothing admission for a request landing on `shards` of
-    /// `bucket`: every touched shard's token bucket must hold a token,
-    /// or the whole request is rejected and no bucket is drained (a
+    /// `bkt`: every touched shard's token bucket must hold a token, or
+    /// the whole request is rejected and no bucket is drained (a
     /// rejected batch must not consume the budget of the shards it
     /// missed).
-    fn admit(&self, bucket: &str, shards: &[usize]) -> bool {
-        let mut t = self.inner.throttle.lock();
-        let Some(cfg) = t.config else {
-            return true;
-        };
-        let now = self.world.now();
-        let distinct: BTreeSet<usize> = shards.iter().copied().collect();
-        let ok = distinct.iter().all(|&s| {
-            t.buckets
-                .entry((bucket.to_string(), s))
-                .or_insert_with(|| TokenBucket::new(cfg, now))
-                .peek(now)
-        });
-        if ok {
-            for &s in &distinct {
-                t.buckets
-                    .get_mut(&(bucket.to_string(), s))
-                    .expect("bucket created by peek above")
-                    .take();
-            }
-        }
-        ok
+    fn admit(&self, bkt: &Bucket, shards: &[u32]) -> bool {
+        let config = *self.inner.throttle.lock();
+        bkt.admit(self.world.now(), config, shards)
     }
 
     /// Creates a bucket.
@@ -298,7 +307,7 @@ impl S3 {
             return Err(S3Error::BucketAlreadyExists { bucket });
         }
         self.world.record_op(Op::S3Put, bucket.len() as u64, 0);
-        buckets.insert(bucket, Arc::new(Bucket::new(self.shard_count)));
+        buckets.insert(bucket, Arc::new(ShardMap::new(self.plan)));
         Ok(())
     }
 
@@ -326,7 +335,7 @@ impl S3 {
         }
         metadata.check_limit()?;
         let bkt = self.bucket(bucket)?;
-        let shard = bkt.shard_of(key);
+        let shard = bkt.route(key);
         let stored = Stored {
             etag: body.md5(),
             last_modified: self.world.now(),
@@ -334,24 +343,27 @@ impl S3 {
             metadata,
         };
         let bytes_in = stored.footprint();
-        if !self.admit(bucket, &[shard]) {
+        if !self.admit(&bkt, &[shard]) {
             self.world.record_throttled(Op::S3Put, bytes_in);
-            self.world.record_shard_touch(Service::S3, shard as u32);
+            self.world.record_shard_touch(Service::S3, shard);
+            bkt.maybe_split();
             return Err(S3Error::ServiceUnavailable {
                 bucket: bucket.to_string(),
             });
         }
-        let mut map = bkt.shards[shard].lock();
-
-        let prev_footprint = map
-            .read_latest(&key.to_string())
-            .map(|s| s.footprint())
-            .unwrap_or(0);
-        self.world.record_op(Op::S3Put, bytes_in, 0);
-        self.world.record_shard_touch(Service::S3, shard as u32);
-        self.world
-            .adjust_stored(Service::S3, bytes_in as i64 - prev_footprint as i64);
-        map.write(&self.world, key.to_string(), Some(stored));
+        let shard = bkt.with_cells(key, |shard, map| {
+            let prev_footprint = map
+                .read_latest(&key.to_string())
+                .map(|s| s.footprint())
+                .unwrap_or(0);
+            self.world.record_op(Op::S3Put, bytes_in, 0);
+            self.world.record_shard_touch(Service::S3, shard);
+            self.world
+                .adjust_stored(Service::S3, bytes_in as i64 - prev_footprint as i64);
+            map.write(&self.world, key.to_string(), Some(stored));
+            shard
+        });
+        bkt.note_ops(&[shard]);
         Ok(())
     }
 
@@ -363,13 +375,11 @@ impl S3 {
     /// sampled replica* — retrying after the propagation lag succeeds.
     pub fn get_object(&self, bucket: &str, key: &str) -> Result<Object> {
         let bkt = self.bucket(bucket)?;
-        let shard = bkt.shard_of(key);
-        self.world.record_shard_touch(Service::S3, shard as u32);
-        let stored = {
-            let map = bkt.shards[shard].lock();
-            map.read(&self.world, &key.to_string())
-        }
-        .ok_or_else(|| {
+        let shard = bkt.route(key);
+        self.world.record_shard_touch(Service::S3, shard);
+        let stored = bkt.with_cells(key, |_, map| map.read(&self.world, &key.to_string()));
+        bkt.note_ops(&[shard]);
+        let stored = stored.ok_or_else(|| {
             self.world.record_op(Op::S3Get, 0, 0);
             S3Error::NoSuchKey {
                 bucket: bucket.to_string(),
@@ -395,13 +405,11 @@ impl S3 {
     /// otherwise as [`S3::get_object`].
     pub fn get_object_range(&self, bucket: &str, key: &str, range: Range<u64>) -> Result<Object> {
         let bkt = self.bucket(bucket)?;
-        let shard = bkt.shard_of(key);
-        self.world.record_shard_touch(Service::S3, shard as u32);
-        let stored = {
-            let map = bkt.shards[shard].lock();
-            map.read(&self.world, &key.to_string())
-        }
-        .ok_or_else(|| {
+        let shard = bkt.route(key);
+        self.world.record_shard_touch(Service::S3, shard);
+        let stored = bkt.with_cells(key, |_, map| map.read(&self.world, &key.to_string()));
+        bkt.note_ops(&[shard]);
+        let stored = stored.ok_or_else(|| {
             self.world.record_op(Op::S3Get, 0, 0);
             S3Error::NoSuchKey {
                 bucket: bucket.to_string(),
@@ -434,13 +442,11 @@ impl S3 {
     /// As [`S3::get_object`].
     pub fn head_object(&self, bucket: &str, key: &str) -> Result<Head> {
         let bkt = self.bucket(bucket)?;
-        let shard = bkt.shard_of(key);
-        self.world.record_shard_touch(Service::S3, shard as u32);
-        let stored = {
-            let map = bkt.shards[shard].lock();
-            map.read(&self.world, &key.to_string())
-        }
-        .ok_or_else(|| {
+        let shard = bkt.route(key);
+        self.world.record_shard_touch(Service::S3, shard);
+        let stored = bkt.with_cells(key, |_, map| map.read(&self.world, &key.to_string()));
+        bkt.note_ops(&[shard]);
+        let stored = stored.ok_or_else(|| {
             self.world.record_op(Op::S3Head, 0, 0);
             S3Error::NoSuchKey {
                 bucket: bucket.to_string(),
@@ -530,21 +536,22 @@ impl S3 {
         // Throttling gates the *write* side: admission is checked on the
         // destination shard before the source is even read, so a rejected
         // copy burns no source shard touch or replica sample.
-        let dst_shard = dst_bkt.shard_of(dst_key);
-        if !self.admit(dst_bucket, &[dst_shard]) {
+        let dst_shard = dst_bkt.route(dst_key);
+        if !self.admit(&dst_bkt, &[dst_shard]) {
             self.world.record_throttled(Op::S3Copy, 0);
-            self.world.record_shard_touch(Service::S3, dst_shard as u32);
+            self.world.record_shard_touch(Service::S3, dst_shard);
+            dst_bkt.maybe_split();
             return Err(S3Error::ServiceUnavailable {
                 bucket: dst_bucket.to_string(),
             });
         }
-        let src_shard = src_bkt.shard_of(src_key);
-        self.world.record_shard_touch(Service::S3, src_shard as u32);
-        let src = {
-            let map = src_bkt.shards[src_shard].lock();
+        let src_shard = src_bkt.route(src_key);
+        self.world.record_shard_touch(Service::S3, src_shard);
+        let src = src_bkt.with_cells(src_key, |_, map| {
             map.read(&self.world, &src_key.to_string())
-        }
-        .ok_or_else(|| {
+        });
+        src_bkt.note_ops(&[src_shard]);
+        let src = src.ok_or_else(|| {
             record_copy(&self.world, order_key);
             S3Error::NoSuchKey {
                 bucket: src_bucket.to_string(),
@@ -558,24 +565,27 @@ impl S3 {
                 m
             }
         };
-        let mut dst_map = dst_bkt.shards[dst_shard].lock();
-        let prev_footprint = dst_map
-            .read_latest(&dst_key.to_string())
-            .map(|s| s.footprint())
-            .unwrap_or(0);
         let stored = Stored {
             etag: src.etag,
             last_modified: self.world.now(),
             body: src.body,
             metadata,
         };
-        record_copy(&self.world, order_key);
-        self.world.record_shard_touch(Service::S3, dst_shard as u32);
-        self.world.adjust_stored(
-            Service::S3,
-            stored.footprint() as i64 - prev_footprint as i64,
-        );
-        dst_map.write(&self.world, dst_key.to_string(), Some(stored));
+        let dst_shard = dst_bkt.with_cells(dst_key, |shard, map| {
+            let prev_footprint = map
+                .read_latest(&dst_key.to_string())
+                .map(|s| s.footprint())
+                .unwrap_or(0);
+            record_copy(&self.world, order_key);
+            self.world.record_shard_touch(Service::S3, shard);
+            self.world.adjust_stored(
+                Service::S3,
+                stored.footprint() as i64 - prev_footprint as i64,
+            );
+            map.write(&self.world, dst_key.to_string(), Some(stored));
+            shard
+        });
+        dst_bkt.note_ops(&[dst_shard]);
         Ok(())
     }
 
@@ -587,22 +597,26 @@ impl S3 {
     /// [`S3Error::NoSuchBucket`] only.
     pub fn delete_object(&self, bucket: &str, key: &str) -> Result<()> {
         let bkt = self.bucket(bucket)?;
-        let shard = bkt.shard_of(key);
-        if !self.admit(bucket, &[shard]) {
+        let shard = bkt.route(key);
+        if !self.admit(&bkt, &[shard]) {
             self.world.record_throttled(Op::S3Delete, 0);
-            self.world.record_shard_touch(Service::S3, shard as u32);
+            self.world.record_shard_touch(Service::S3, shard);
+            bkt.maybe_split();
             return Err(S3Error::ServiceUnavailable {
                 bucket: bucket.to_string(),
             });
         }
-        let mut map = bkt.shards[shard].lock();
-        let prev = map.read_latest(&key.to_string()).map(|s| s.footprint());
-        self.world.record_op(Op::S3Delete, 0, 0);
-        self.world.record_shard_touch(Service::S3, shard as u32);
-        if let Some(footprint) = prev {
-            self.world.adjust_stored(Service::S3, -(footprint as i64));
-            map.write(&self.world, key.to_string(), None);
-        }
+        let shard = bkt.with_cells(key, |shard, map| {
+            let prev = map.read_latest(&key.to_string()).map(|s| s.footprint());
+            self.world.record_op(Op::S3Delete, 0, 0);
+            self.world.record_shard_touch(Service::S3, shard);
+            if let Some(footprint) = prev {
+                self.world.adjust_stored(Service::S3, -(footprint as i64));
+                map.write(&self.world, key.to_string(), None);
+            }
+            shard
+        });
+        bkt.note_ops(&[shard]);
         Ok(())
     }
 
@@ -636,44 +650,49 @@ impl S3 {
         }
         let bkt = self.bucket(bucket)?;
 
-        // Group keys per shard and take each touched shard's lock once,
-        // in ascending shard order (deadlock-free against concurrent
-        // batches).
-        let mut by_shard: BTreeMap<usize, Vec<&String>> = BTreeMap::new();
+        // Group keys per shard; every touched shard's lock is taken
+        // exactly once, in ascending id order (deadlock-free against
+        // concurrent batches).
+        let mut by_shard: BTreeMap<u32, Vec<&String>> = BTreeMap::new();
         for key in keys {
-            by_shard.entry(bkt.shard_of(key)).or_default().push(key);
+            by_shard.entry(bkt.route(key)).or_default().push(key);
         }
         let gating = by_shard.values().map(Vec::len).max().unwrap_or(0) as u64;
         let bytes_in: u64 = keys.iter().map(|k| k.len() as u64).sum();
-        let shards: Vec<usize> = by_shard.keys().copied().collect();
-        if !self.admit(bucket, &shards) {
+        let shards: Vec<u32> = by_shard.keys().copied().collect();
+        if !self.admit(&bkt, &shards) {
             self.world.record_throttled(Op::S3DeleteObjects, bytes_in);
             for &shard in &shards {
-                self.world.record_shard_touch(Service::S3, shard as u32);
+                self.world.record_shard_touch(Service::S3, shard);
             }
+            bkt.maybe_split();
             return Err(S3Error::ServiceUnavailable {
                 bucket: bucket.to_string(),
             });
         }
         self.world
             .record_batch(Op::S3DeleteObjects, keys.len() as u64, bytes_in, 0, gating);
-        let mut removed = 0u64;
-        let mut freed = 0i64;
-        for (shard, shard_keys) in &by_shard {
-            let mut map = bkt.shards[*shard].lock();
-            self.world.record_shard_touch(Service::S3, *shard as u32);
-            for key in shard_keys {
-                let prev = map.read_latest(&key.to_string()).map(|s| s.footprint());
-                if let Some(footprint) = prev {
-                    freed += footprint as i64;
-                    removed += 1;
-                    map.write(&self.world, key.to_string(), None);
+        let removed = bkt.with_cells_multi(&shards, |guards| {
+            let mut removed = 0u64;
+            let mut freed = 0i64;
+            for (shard, shard_keys) in &by_shard {
+                let map = guards.get_mut(*shard);
+                self.world.record_shard_touch(Service::S3, *shard);
+                for key in shard_keys {
+                    let prev = map.read_latest(&key.to_string()).map(|s| s.footprint());
+                    if let Some(footprint) = prev {
+                        freed += footprint as i64;
+                        removed += 1;
+                        map.write(&self.world, key.to_string(), None);
+                    }
                 }
             }
-        }
-        if freed > 0 {
-            self.world.adjust_stored(Service::S3, -freed);
-        }
+            if freed > 0 {
+                self.world.adjust_stored(Service::S3, -freed);
+            }
+            removed
+        });
+        bkt.note_ops(&shards);
         Ok(removed)
     }
 
@@ -693,28 +712,41 @@ impl S3 {
         max_keys: usize,
     ) -> Result<Listing> {
         let bkt = self.bucket(bucket)?;
-        let replicas = self.world.sample_read_replicas(bkt.shard_count());
-        self.list_page_on(&bkt, &replicas, prefix, marker, max_keys)
+        let (listing, touched) = bkt.read_view(|view| {
+            let pin = view.pin_replicas(&self.world);
+            (
+                self.list_page_on(view, &pin, prefix, marker, max_keys),
+                view.sorted_ids(),
+            )
+        });
+        bkt.note_ops(&touched);
+        Ok(listing)
     }
 
     /// Lists *every* key with `prefix`, driving pagination internally.
     /// Each page is a billed LIST op. One replica per shard is pinned
-    /// for the **whole walk**, so the result is a coherent per-shard
-    /// view: a fresh (possibly stale) replica sampled mid-walk can no
-    /// longer hide keys that an earlier page counted toward its cap,
-    /// which previously made marker walks skip keys.
+    /// for the **whole walk**, keyed by stable shard id, so the result
+    /// is a coherent per-shard view: a fresh (possibly stale) replica
+    /// sampled mid-walk can no longer hide keys that an earlier page
+    /// counted toward its cap, and a shard that splits between pages
+    /// keeps serving the walk from its parent's pinned replica.
     ///
     /// # Errors
     ///
     /// [`S3Error::NoSuchBucket`].
     pub fn list_all(&self, bucket: &str, prefix: &str) -> Result<Vec<ObjectSummary>> {
         let bkt = self.bucket(bucket)?;
-        let replicas = self.world.sample_read_replicas(bkt.shard_count());
+        let pin = bkt.read_view(|view| view.pin_replicas(&self.world));
         let mut out = Vec::new();
         let mut marker: Option<String> = None;
         loop {
-            let page =
-                self.list_page_on(&bkt, &replicas, prefix, marker.as_deref(), MAX_LIST_KEYS)?;
+            let (page, touched) = bkt.read_view(|view| {
+                (
+                    self.list_page_on(view, &pin, prefix, marker.as_deref(), MAX_LIST_KEYS),
+                    view.sorted_ids(),
+                )
+            });
+            bkt.note_ops(&touched);
             let truncated = page.is_truncated;
             marker = page.objects.last().map(|o| o.key.clone());
             out.extend(page.objects);
@@ -725,26 +757,33 @@ impl S3 {
     }
 
     /// One LIST page over the shard fan-out, on explicitly pinned
-    /// replicas. The cross-shard machinery is the same adaptive-quota
-    /// merge the sharded SimpleDB `Query` uses
+    /// replicas (a shard born after the pin was minted resolves to its
+    /// nearest pinned ancestor). The cross-shard machinery is the same
+    /// adaptive-quota merge the sharded SimpleDB `Query` uses
     /// ([`simworld::merged_shard_page`]); per shard, the scan is
     /// range-bounded to the prefix's contiguous key range, so a
     /// narrow-prefix LIST examines (and is charged for) only the cells
     /// that could match.
     fn list_page_on(
         &self,
-        bkt: &Bucket,
-        replicas: &[usize],
+        view: &simworld::MapView<'_, Stored>,
+        pin: &ReplicaPin,
         prefix: &str,
         marker: Option<&str>,
         max_keys: usize,
-    ) -> Result<Listing> {
+    ) -> Listing {
         use std::ops::Bound;
         let cap = max_keys.clamp(1, MAX_LIST_KEYS);
         let now = self.world.now();
-        let shard_count = bkt.shard_count();
+        let shard_count = view.shard_count();
         self.world
-            .record_shard_fanout(Service::S3, shard_count as u32);
+            .record_shard_touches(Service::S3, &view.sorted_ids());
+        let replicas: Vec<usize> = (0..shard_count)
+            .map(|pos| {
+                view.resolve_pin(pin, pos)
+                    .expect("ids never disappear, so every shard reaches a pinned ancestor")
+            })
+            .collect();
         let prefix_key = prefix.to_string();
         let (page, more, scanned) = simworld::merged_shard_page(
             shard_count,
@@ -759,15 +798,16 @@ impl S3 {
                     _ if !prefix.is_empty() => Bound::Included(&prefix_key),
                     _ => Bound::Unbounded,
                 };
-                let map = bkt.shards[i].lock();
-                map.visible_page_from(
-                    replicas[i],
-                    now,
-                    start,
-                    quota,
-                    |k| !k.starts_with(prefix),
-                    |_, _| true,
-                )
+                view.with_cells_at(i, |map| {
+                    map.visible_page_from(
+                        replicas[i],
+                        now,
+                        start,
+                        quota,
+                        |k| !k.starts_with(prefix),
+                        |_, _| true,
+                    )
+                })
             },
         );
         let objects: Vec<ObjectSummary> = page
@@ -785,10 +825,10 @@ impl S3 {
         // gate the response — this is where bucket sharding buys
         // deterministic virtual-time LIST speedup.
         self.world.record_scan(Op::S3List, 0, bytes_out, scanned);
-        Ok(Listing {
+        Listing {
             objects,
             is_truncated: more,
-        })
+        }
     }
 
     // --- authoritative (non-billed) views, for invariant checks ---
@@ -797,12 +837,13 @@ impl S3 {
     /// without billing. For tests and property validators only.
     pub fn latest_object(&self, bucket: &str, key: &str) -> Option<Object> {
         let bkt = self.bucket(bucket).ok()?;
-        let map = bkt.shards[bkt.shard_of(key)].lock();
-        map.read_latest(&key.to_string()).map(|s| Object {
-            body: s.body,
-            metadata: s.metadata,
-            etag: s.etag,
-            last_modified: s.last_modified,
+        bkt.with_cells(key, |_, map| {
+            map.read_latest(&key.to_string()).map(|s| Object {
+                body: s.body,
+                metadata: s.metadata,
+                etag: s.etag,
+                last_modified: s.last_modified,
+            })
         })
     }
 
@@ -812,15 +853,19 @@ impl S3 {
         let Ok(bkt) = self.bucket(bucket) else {
             return Vec::new();
         };
-        let mut keys: Vec<String> = Vec::new();
-        for shard in &bkt.shards {
-            let map = shard.lock();
-            keys.extend(
-                map.iter_latest()
-                    .filter(|(k, _)| k.starts_with(prefix))
-                    .map(|(k, _)| k.clone()),
-            );
-        }
+        let mut keys: Vec<String> = bkt.read_view(|view| {
+            let mut keys = Vec::new();
+            for pos in 0..view.shard_count() {
+                view.with_cells_at(pos, |map| {
+                    keys.extend(
+                        map.iter_latest()
+                            .filter(|(k, _)| k.starts_with(prefix))
+                            .map(|(k, _)| k.clone()),
+                    );
+                });
+            }
+            keys
+        });
         keys.sort_unstable();
         keys
     }

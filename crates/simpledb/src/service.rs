@@ -2,33 +2,46 @@
 //!
 //! # Sharded storage layout
 //!
-//! Each domain is partitioned into a fixed set of hash shards (default
-//! [`DEFAULT_SHARDS`], configurable via [`SimpleDb::with_shards`]); an
-//! item lives on the shard selected by an FNV-1a hash of its name. Every
-//! shard sits behind its own lock, so point operations
+//! Each domain is a [`simworld::ShardMap`]: a **range-routed** set of
+//! shards, each owning a contiguous span of the 64-bit key-hash ring and
+//! sitting behind its own lock (default [`DEFAULT_SHARDS`] shards,
+//! configurable via [`SimpleDb::with_shards`] /
+//! [`SimpleDb::with_shard_plan`]). Point operations
 //! (`PutAttributes`/`GetAttributes`/`DeleteAttributes`) contend only for
 //! one shard while `Query`/`Select` fan out across all shards and merge
-//! the per-shard results in item-name order. This models both the real
-//! service's internal partitioning and the concurrency story the
-//! ROADMAP's multi-client scaling work needs.
+//! the per-shard results in item-name order. With a
+//! [`simworld::SplitPolicy`] armed, a hot shard splits its range in two
+//! in the background — placement changes, but converged state is
+//! byte-identical with splitting on or off.
+//!
+//! Shard-count requests are validated by the one shared rule
+//! ([`simworld::clamp_shards`], identical in S3): `with_shards(0)` is
+//! promoted to 1 shard and oversized requests are silently capped at
+//! [`MAX_SHARDS`].
 //!
 //! # Shard-aware pagination tokens
 //!
-//! A `next_token` encodes the shard count, one **pinned replica per
-//! shard**, and a cursor. Pinning replicas means every page of one
-//! logical scan reads the same replica view per shard (the
-//! `visible_entries` single-replica contract, stretched across pages).
-//! Unsorted scans use a *resume-after-name* cursor, so a paginated scan
-//! neither skips nor duplicates an item no matter what is inserted or
-//! deleted between pages; sorted scans (whose global order can shift
-//! under writes) fall back to an offset cursor over the pinned views.
+//! A `next_token` encodes one **pinned replica per shard, keyed by
+//! stable shard id**, and a cursor. Pinning replicas means every page of
+//! one logical scan reads the same replica view per shard (the
+//! `visible_entries` single-replica contract, stretched across pages);
+//! keying by stable id — rather than by shard index, as before range
+//! routing — means the pin survives shards splitting mid-scan: a shard
+//! born after the token was minted resolves to its nearest pinned
+//! ancestor. Unsorted scans use a *resume-after-name* cursor, so a
+//! paginated scan neither skips nor duplicates an item no matter what is
+//! inserted, deleted, or split between pages; sorted scans (whose global
+//! order can shift under writes) fall back to an offset cursor over the
+//! pinned views.
 
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
 use serde::{Deserialize, Serialize};
-use simworld::{EcMap, Op, Service, SimWorld, ThrottleConfig, TokenBucket};
+use simworld::{
+    MapView, Op, ReplicaPin, Service, ShardMap, ShardPlan, SimWorld, SplitEvent, ThrottleConfig,
+};
 
 use crate::error::{Result, SdbError};
 use crate::model::{
@@ -54,9 +67,10 @@ pub const MAX_PAIRS_PER_BATCH: usize = 256;
 /// Default number of hash shards per domain.
 pub const DEFAULT_SHARDS: usize = 16;
 
-/// Upper bound on shards per domain (a sanity bound standing in for the
-/// real service's partitioning limits).
-pub const MAX_SHARDS: usize = 256;
+/// Upper bound on shards per domain — the workspace-wide
+/// [`simworld::MAX_SHARDS`], shared with S3 so the clamping rule cannot
+/// drift between services.
+pub const MAX_SHARDS: usize = simworld::MAX_SHARDS;
 
 /// Approximate fixed response overhead per returned item name.
 const ITEM_ENTRY_OVERHEAD: u64 = 32;
@@ -128,41 +142,14 @@ pub struct SelectResult {
     pub next_token: Option<String>,
 }
 
-/// One domain: a fixed set of hash shards, each behind its own lock.
-struct Domain {
-    shards: Vec<Mutex<EcMap<String, ItemState>>>,
-}
-
-impl Domain {
-    fn new(shard_count: usize) -> Domain {
-        Domain {
-            shards: (0..shard_count.clamp(1, MAX_SHARDS))
-                .map(|_| Mutex::new(EcMap::new()))
-                .collect(),
-        }
-    }
-
-    fn shard_count(&self) -> usize {
-        self.shards.len()
-    }
-
-    fn shard_of(&self, item_name: &str) -> usize {
-        (simworld::fnv1a_64(item_name) % self.shards.len() as u64) as usize
-    }
-}
-
-/// Provider-side rate limiting: one lazily-created token bucket per
-/// `(domain, shard)`, governed by a single optional config. `None`
-/// (the default) admits everything with one cheap check.
-#[derive(Default)]
-struct ThrottleState {
-    config: Option<ThrottleConfig>,
-    buckets: HashMap<(String, usize), TokenBucket>,
-}
+type Domain = ShardMap<ItemState>;
 
 struct Inner {
     domains: RwLock<BTreeMap<String, Arc<Domain>>>,
-    throttle: Mutex<ThrottleState>,
+    /// One optional throttle config for the endpoint; the per-shard
+    /// token buckets live inside each domain's [`ShardMap`], keyed by
+    /// stable shard id so they survive (and are re-keyed across) splits.
+    throttle: Mutex<Option<ThrottleConfig>>,
 }
 
 /// The simulated SimpleDB service.
@@ -193,7 +180,7 @@ struct Inner {
 #[derive(Clone)]
 pub struct SimpleDb {
     world: SimWorld,
-    shard_count: usize,
+    plan: ShardPlan,
     inner: Arc<Inner>,
 }
 
@@ -202,7 +189,7 @@ impl std::fmt::Debug for SimpleDb {
         let domains = self.inner.domains.read();
         f.debug_struct("SimpleDb")
             .field("domains", &domains.len())
-            .field("shards", &self.shard_count)
+            .field("plan", &self.plan)
             .finish_non_exhaustive()
     }
 }
@@ -215,23 +202,64 @@ impl SimpleDb {
     }
 
     /// Connects an endpoint whose domains are split into `shards` hash
-    /// shards (clamped to `1..=`[`MAX_SHARDS`]). More shards mean less
-    /// lock contention between concurrent point operations and more
-    /// fan-out parallelism for `Query`/`Select`.
+    /// shards, validated by the shared rule ([`simworld::clamp_shards`]:
+    /// zero becomes 1, oversized caps at [`MAX_SHARDS`]). More shards
+    /// mean less lock contention between concurrent point operations and
+    /// more fan-out parallelism for `Query`/`Select`. The layout is
+    /// static — no splitting.
     pub fn with_shards(world: &SimWorld, shards: usize) -> SimpleDb {
+        SimpleDb::with_shard_plan(world, ShardPlan::fixed(shards))
+    }
+
+    /// Connects an endpoint provisioning each domain per `plan`: the
+    /// initial shard count plus, optionally, a hot-shard
+    /// [`simworld::SplitPolicy`].
+    pub fn with_shard_plan(world: &SimWorld, plan: ShardPlan) -> SimpleDb {
         SimpleDb {
             world: world.clone(),
-            shard_count: shards.clamp(1, MAX_SHARDS),
+            plan,
             inner: Arc::new(Inner {
                 domains: RwLock::new(BTreeMap::new()),
-                throttle: Mutex::new(ThrottleState::default()),
+                throttle: Mutex::new(None),
             }),
         }
     }
 
-    /// Hash shards per domain on this endpoint.
+    /// Initial (post-clamp) hash shards per domain on this endpoint.
+    /// Splitting can grow an individual domain past this — see
+    /// [`SimpleDb::domain_shard_count`].
     pub fn shard_count(&self) -> usize {
-        self.shard_count
+        simworld::clamp_shards(self.plan.shards)
+    }
+
+    /// The shard plan domains are provisioned with.
+    pub fn shard_plan(&self) -> ShardPlan {
+        self.plan
+    }
+
+    /// Shards `domain` currently holds (grows as hot shards split), or
+    /// `None` for an unknown domain. Unbilled.
+    pub fn domain_shard_count(&self, domain: &str) -> Option<usize> {
+        Some(self.domain(domain).ok()?.shard_count())
+    }
+
+    /// Splits performed on `domain` so far, or `None` for an unknown
+    /// domain. Unbilled.
+    pub fn domain_split_count(&self, domain: &str) -> Option<u64> {
+        Some(self.domain(domain).ok()?.split_count())
+    }
+
+    /// Stable ids of `domain`'s current shards in hash-range order, or
+    /// `None` for an unknown domain. Unbilled.
+    pub fn domain_shard_ids(&self, domain: &str) -> Option<Vec<u32>> {
+        Some(self.domain(domain).ok()?.shard_ids())
+    }
+
+    /// Test/bench hook: force-splits the shard of `domain` currently
+    /// holding the most cells, policy or not. Returns the split record,
+    /// or `None` when the domain is unknown or nothing can split.
+    pub fn split_hottest(&self, domain: &str) -> Option<SplitEvent> {
+        self.domain(domain).ok()?.force_split()
     }
 
     /// Installs (or, with `None`, removes) a per-shard write-rate limit.
@@ -240,42 +268,24 @@ impl SimpleDb {
     /// is still a billable, metered request. Read paths are not
     /// throttled. Replaces any prior limit and resets bucket state.
     pub fn set_throttle(&self, config: Option<ThrottleConfig>) {
-        let mut t = self.inner.throttle.lock();
-        t.config = config;
-        t.buckets.clear();
+        *self.inner.throttle.lock() = config;
+        for dom in self.inner.domains.read().values() {
+            dom.reset_throttle();
+        }
     }
 
     /// The active per-shard write-rate limit, if any.
     pub fn throttle(&self) -> Option<ThrottleConfig> {
-        self.inner.throttle.lock().config
+        *self.inner.throttle.lock()
     }
 
     /// All-or-nothing admission for a request landing on `shards` of
-    /// `domain`: every touched shard's bucket must hold a token, or the
+    /// `dom`: every touched shard's bucket must hold a token, or the
     /// whole request is rejected and no bucket is drained (a rejected
     /// batch must not consume the budget of the shards it missed).
-    fn admit(&self, domain: &str, shards: &[usize]) -> bool {
-        let mut t = self.inner.throttle.lock();
-        let Some(cfg) = t.config else {
-            return true;
-        };
-        let now = self.world.now();
-        let distinct: BTreeSet<usize> = shards.iter().copied().collect();
-        let ok = distinct.iter().all(|&s| {
-            t.buckets
-                .entry((domain.to_string(), s))
-                .or_insert_with(|| TokenBucket::new(cfg, now))
-                .peek(now)
-        });
-        if ok {
-            for &s in &distinct {
-                t.buckets
-                    .get_mut(&(domain.to_string(), s))
-                    .expect("bucket created by peek above")
-                    .take();
-            }
-        }
-        ok
+    fn admit(&self, dom: &Domain, shards: &[u32]) -> bool {
+        let config = *self.inner.throttle.lock();
+        dom.admit(self.world.now(), config, shards)
     }
 
     /// Creates a domain. Idempotent, as in the real service.
@@ -294,7 +304,7 @@ impl SimpleDb {
         if domains.len() >= MAX_DOMAINS {
             return Err(SdbError::TooManyDomains { limit: MAX_DOMAINS });
         }
-        domains.insert(domain, Arc::new(Domain::new(self.shard_count)));
+        domains.insert(domain, Arc::new(ShardMap::new(self.plan)));
         Ok(())
     }
 
@@ -339,32 +349,33 @@ impl SimpleDb {
             a.check_limits()?;
         }
         let dom = self.domain(domain)?;
-        let shard = dom.shard_of(item_name);
+        let shard = dom.route(item_name);
         let bytes_in: u64 = attrs
             .iter()
             .map(|a| (a.name.len() + a.value.len()) as u64)
             .sum::<u64>()
             + item_name.len() as u64;
-        if !self.admit(domain, &[shard]) {
+        if !self.admit(&dom, &[shard]) {
             self.world.record_throttled(Op::SdbPutAttributes, bytes_in);
-            self.world
-                .record_shard_touch(Service::SimpleDb, shard as u32);
+            self.world.record_shard_touch(Service::SimpleDb, shard);
+            dom.maybe_split();
             return Err(SdbError::ServiceUnavailable {
                 domain: domain.to_string(),
             });
         }
-        let mut map = dom.shards[shard].lock();
-
-        let current = map.read_latest(&item_name.to_string());
-        let before_bytes = current.as_ref().map(byte_size).unwrap_or(0);
-        let item = apply_put(item_name, current, attrs)?;
-        let after_bytes = byte_size(&item);
-        self.world.record_op(Op::SdbPutAttributes, bytes_in, 0);
-        self.world
-            .record_shard_touch(Service::SimpleDb, shard as u32);
-        self.world
-            .adjust_stored(Service::SimpleDb, after_bytes as i64 - before_bytes as i64);
-        map.write(&self.world, item_name.to_string(), Some(item));
+        let shard = dom.with_cells(item_name, |shard, map| -> Result<u32> {
+            let current = map.read_latest(&item_name.to_string());
+            let before_bytes = current.as_ref().map(byte_size).unwrap_or(0);
+            let item = apply_put(item_name, current, attrs)?;
+            let after_bytes = byte_size(&item);
+            self.world.record_op(Op::SdbPutAttributes, bytes_in, 0);
+            self.world.record_shard_touch(Service::SimpleDb, shard);
+            self.world
+                .adjust_stored(Service::SimpleDb, after_bytes as i64 - before_bytes as i64);
+            map.write(&self.world, item_name.to_string(), Some(item));
+            Ok(shard)
+        })?;
+        dom.note_ops(&[shard]);
         Ok(())
     }
 
@@ -383,12 +394,13 @@ impl SimpleDb {
         names: Option<&[&str]>,
     ) -> Result<Vec<Attribute>> {
         let dom = self.domain(domain)?;
-        let shard = dom.shard_of(item_name);
-        let item = {
-            let map = dom.shards[shard].lock();
-            map.read(&self.world, &item_name.to_string())
-                .unwrap_or_default()
-        };
+        let (shard, item) = dom.with_cells(item_name, |shard, map| {
+            (
+                shard,
+                map.read(&self.world, &item_name.to_string())
+                    .unwrap_or_default(),
+            )
+        });
         let mut attrs = to_attributes(&item);
         if let Some(filter) = names {
             attrs.retain(|a| filter.contains(&a.name.as_str()));
@@ -399,8 +411,8 @@ impl SimpleDb {
             .sum();
         self.world
             .record_op(Op::SdbGetAttributes, item_name.len() as u64, bytes);
-        self.world
-            .record_shard_touch(Service::SimpleDb, shard as u32);
+        self.world.record_shard_touch(Service::SimpleDb, shard);
+        dom.note_ops(&[shard]);
         Ok(attrs)
     }
 
@@ -418,42 +430,44 @@ impl SimpleDb {
         attrs: Option<&[DeletableAttribute]>,
     ) -> Result<()> {
         let dom = self.domain(domain)?;
-        let shard = dom.shard_of(item_name);
-        if !self.admit(domain, &[shard]) {
+        let shard = dom.route(item_name);
+        if !self.admit(&dom, &[shard]) {
             self.world
                 .record_throttled(Op::SdbDeleteAttributes, item_name.len() as u64);
-            self.world
-                .record_shard_touch(Service::SimpleDb, shard as u32);
+            self.world.record_shard_touch(Service::SimpleDb, shard);
+            dom.maybe_split();
             return Err(SdbError::ServiceUnavailable {
                 domain: domain.to_string(),
             });
         }
-        let mut map = dom.shards[shard].lock();
-        self.world
-            .record_op(Op::SdbDeleteAttributes, item_name.len() as u64, 0);
-        self.world
-            .record_shard_touch(Service::SimpleDb, shard as u32);
-        let Some(item) = map.read_latest(&item_name.to_string()) else {
-            return Ok(());
-        };
-        let before_bytes = byte_size(&item);
-        let new_state = apply_delete(item, attrs);
-        let after_bytes = new_state.as_ref().map(byte_size).unwrap_or(0);
-        self.world
-            .adjust_stored(Service::SimpleDb, after_bytes as i64 - before_bytes as i64);
-        map.write(&self.world, item_name.to_string(), new_state);
-        map.gc(self.world.now());
+        let shard = dom.with_cells(item_name, |shard, map| {
+            self.world
+                .record_op(Op::SdbDeleteAttributes, item_name.len() as u64, 0);
+            self.world.record_shard_touch(Service::SimpleDb, shard);
+            let Some(item) = map.read_latest(&item_name.to_string()) else {
+                return shard;
+            };
+            let before_bytes = byte_size(&item);
+            let new_state = apply_delete(item, attrs);
+            let after_bytes = new_state.as_ref().map(byte_size).unwrap_or(0);
+            self.world
+                .adjust_stored(Service::SimpleDb, after_bytes as i64 - before_bytes as i64);
+            map.write(&self.world, item_name.to_string(), new_state);
+            map.gc(self.world.now());
+            shard
+        });
+        dom.note_ops(&[shard]);
         Ok(())
     }
 
     /// `BatchPutAttributes`: writes up to [`MAX_BATCH_ITEMS`] items (and
     /// [`MAX_PAIRS_PER_BATCH`] attributes summed across them) in **one
-    /// billable request**. Items are grouped by hash shard and every
-    /// touched shard's lock is taken exactly once per batch — then held
-    /// together while the batch applies, so the batch lands atomically
-    /// with respect to concurrent readers of those shards. The latency
-    /// model charges one round trip plus the busiest shard's share of
-    /// the per-item marginal cost, mirroring the fan-out scan pricing.
+    /// billable request**. Items are grouped by shard and every touched
+    /// shard's lock is taken exactly once per batch — then held together
+    /// while the batch applies, so the batch lands atomically with
+    /// respect to concurrent readers of those shards. The latency model
+    /// charges one round trip plus the busiest shard's share of the
+    /// per-item marginal cost, mirroring the fan-out scan pricing.
     ///
     /// # Errors
     ///
@@ -490,9 +504,7 @@ impl SimpleDb {
         }
         let dom = self.domain(domain)?;
 
-        // Take each touched shard's lock once, in ascending shard order
-        // (a deterministic order keeps concurrent batches deadlock-free).
-        let shards: Vec<usize> = items.iter().map(|(n, _)| dom.shard_of(n)).collect();
+        let shards: Vec<u32> = dom.route_all(items.iter().map(|(n, _)| n.as_str()));
         let bytes_in: u64 = items
             .iter()
             .map(|(name, attrs)| {
@@ -503,55 +515,59 @@ impl SimpleDb {
                         .sum::<u64>()
             })
             .sum();
-        if !self.admit(domain, &shards) {
+        if !self.admit(&dom, &shards) {
             self.world
                 .record_throttled(Op::SdbBatchPutAttributes, bytes_in);
             for &shard in &BTreeSet::from_iter(shards.iter().copied()) {
-                self.world
-                    .record_shard_touch(Service::SimpleDb, shard as u32);
+                self.world.record_shard_touch(Service::SimpleDb, shard);
             }
+            dom.maybe_split();
             return Err(SdbError::ServiceUnavailable {
                 domain: domain.to_string(),
             });
         }
-        let mut guards = lock_shards(&dom, &shards);
 
-        // Stage phase: compute every item's new state against the locked
-        // shards. Any failure returns here — nothing has been written.
-        let mut staged: Vec<(usize, &str, ItemState)> = Vec::with_capacity(items.len());
-        let mut stored_delta = 0i64;
-        let mut per_shard = BTreeMap::<usize, u64>::new();
-        for ((item_name, attrs), &shard) in items.iter().zip(&shards) {
-            let map = guards.get(&shard).expect("locked above");
-            let current = map.read_latest(&item_name.to_string());
-            let before_bytes = current.as_ref().map(byte_size).unwrap_or(0);
-            let item = apply_put(item_name, current, attrs)?;
-            stored_delta += byte_size(&item) as i64 - before_bytes as i64;
-            staged.push((shard, item_name, item));
-            *per_shard.entry(shard).or_insert(0) += 1;
-        }
+        // Every touched shard's lock is taken exactly once, in ascending
+        // id order (a deterministic order keeps concurrent batches
+        // deadlock-free).
+        let touched = dom.with_cells_multi(&shards, |guards| -> Result<Vec<u32>> {
+            // Stage phase: compute every item's new state against the
+            // locked shards. Any failure returns here — nothing has been
+            // written.
+            let mut staged: Vec<(u32, &str, ItemState)> = Vec::with_capacity(items.len());
+            let mut stored_delta = 0i64;
+            let mut per_shard = BTreeMap::<u32, u64>::new();
+            for ((item_name, attrs), &shard) in items.iter().zip(&shards) {
+                let map = guards.get_mut(shard);
+                let current = map.read_latest(&item_name.to_string());
+                let before_bytes = current.as_ref().map(byte_size).unwrap_or(0);
+                let item = apply_put(item_name, current, attrs)?;
+                stored_delta += byte_size(&item) as i64 - before_bytes as i64;
+                staged.push((shard, item_name, item));
+                *per_shard.entry(shard).or_insert(0) += 1;
+            }
 
-        // Apply phase: meter one request, then write every entry.
-        let gating = per_shard.values().copied().max().unwrap_or(0);
-        self.world.record_batch(
-            Op::SdbBatchPutAttributes,
-            items.len() as u64,
-            bytes_in,
-            0,
-            gating,
-        );
-        for &shard in per_shard.keys() {
-            self.world
-                .record_shard_touch(Service::SimpleDb, shard as u32);
-        }
-        self.world.adjust_stored(Service::SimpleDb, stored_delta);
-        for (shard, item_name, item) in staged {
-            guards.get_mut(&shard).expect("locked above").write(
-                &self.world,
-                item_name.to_string(),
-                Some(item),
+            // Apply phase: meter one request, then write every entry.
+            let gating = per_shard.values().copied().max().unwrap_or(0);
+            self.world.record_batch(
+                Op::SdbBatchPutAttributes,
+                items.len() as u64,
+                bytes_in,
+                0,
+                gating,
             );
-        }
+            for &shard in per_shard.keys() {
+                self.world.record_shard_touch(Service::SimpleDb, shard);
+            }
+            self.world.adjust_stored(Service::SimpleDb, stored_delta);
+            for (shard, item_name, item) in staged {
+                guards
+                    .get_mut(shard)
+                    .write(&self.world, item_name.to_string(), Some(item));
+            }
+            Ok(per_shard.keys().copied().collect())
+        })?;
+        dom.note_ops(&touched);
         Ok(())
     }
 
@@ -573,51 +589,53 @@ impl SimpleDb {
     ) -> Result<()> {
         check_batch_shape(items)?;
         let dom = self.domain(domain)?;
-        let shards: Vec<usize> = items.iter().map(|(n, _)| dom.shard_of(n)).collect();
+        let shards: Vec<u32> = dom.route_all(items.iter().map(|(n, _)| n.as_str()));
         let bytes_in: u64 = items.iter().map(|(name, _)| name.len() as u64).sum();
-        if !self.admit(domain, &shards) {
+        if !self.admit(&dom, &shards) {
             self.world
                 .record_throttled(Op::SdbBatchDeleteAttributes, bytes_in);
             for &shard in &BTreeSet::from_iter(shards.iter().copied()) {
-                self.world
-                    .record_shard_touch(Service::SimpleDb, shard as u32);
+                self.world.record_shard_touch(Service::SimpleDb, shard);
             }
+            dom.maybe_split();
             return Err(SdbError::ServiceUnavailable {
                 domain: domain.to_string(),
             });
         }
-        let mut guards = lock_shards(&dom, &shards);
-        let mut per_shard = BTreeMap::<usize, u64>::new();
-        for &shard in &shards {
-            *per_shard.entry(shard).or_insert(0) += 1;
-        }
-        let gating = per_shard.values().copied().max().unwrap_or(0);
-        self.world.record_batch(
-            Op::SdbBatchDeleteAttributes,
-            items.len() as u64,
-            bytes_in,
-            0,
-            gating,
-        );
-        for &shard in per_shard.keys() {
-            self.world
-                .record_shard_touch(Service::SimpleDb, shard as u32);
-        }
-        let mut stored_delta = 0i64;
-        let now = self.world.now();
-        for ((item_name, specs), &shard) in items.iter().zip(&shards) {
-            let map = guards.get_mut(&shard).expect("locked above");
-            let Some(item) = map.read_latest(&item_name.to_string()) else {
-                continue;
-            };
-            let before_bytes = byte_size(&item);
-            let new_state = apply_delete(item, specs.as_deref());
-            stored_delta +=
-                new_state.as_ref().map(byte_size).unwrap_or(0) as i64 - before_bytes as i64;
-            map.write(&self.world, item_name.to_string(), new_state);
-            map.gc(now);
-        }
-        self.world.adjust_stored(Service::SimpleDb, stored_delta);
+        let touched = dom.with_cells_multi(&shards, |guards| {
+            let mut per_shard = BTreeMap::<u32, u64>::new();
+            for &shard in &shards {
+                *per_shard.entry(shard).or_insert(0) += 1;
+            }
+            let gating = per_shard.values().copied().max().unwrap_or(0);
+            self.world.record_batch(
+                Op::SdbBatchDeleteAttributes,
+                items.len() as u64,
+                bytes_in,
+                0,
+                gating,
+            );
+            for &shard in per_shard.keys() {
+                self.world.record_shard_touch(Service::SimpleDb, shard);
+            }
+            let mut stored_delta = 0i64;
+            let now = self.world.now();
+            for ((item_name, specs), &shard) in items.iter().zip(&shards) {
+                let map = guards.get_mut(shard);
+                let Some(item) = map.read_latest(&item_name.to_string()) else {
+                    continue;
+                };
+                let before_bytes = byte_size(&item);
+                let new_state = apply_delete(item, specs.as_deref());
+                stored_delta +=
+                    new_state.as_ref().map(byte_size).unwrap_or(0) as i64 - before_bytes as i64;
+                map.write(&self.world, item_name.to_string(), new_state);
+                map.gc(now);
+            }
+            self.world.adjust_stored(Service::SimpleDb, stored_delta);
+            per_shard.keys().copied().collect::<Vec<u32>>()
+        });
+        dom.note_ops(&touched);
         Ok(())
     }
 
@@ -712,110 +730,125 @@ impl SimpleDb {
     pub fn select(&self, sql: &str, next_token: Option<&str>) -> Result<SelectResult> {
         let stmt = SelectStatement::parse(sql)?;
         let dom = self.domain(&stmt.domain)?;
-        // Validate any client token up front — `count(*)` is unpaginated
-        // and ignores the cursor, but a malformed or foreign-layout
-        // token must fail on every API the same way.
-        let token = decode_token(next_token, &dom, &self.world)?;
+        let (result, touched) = dom.read_view(|view| -> Result<(SelectResult, Vec<u32>)> {
+            // Validate any client token up front — `count(*)` is
+            // unpaginated and ignores the cursor, but a malformed or
+            // foreign-layout token must fail on every API the same way.
+            let token = decode_token(next_token, view, &self.world)?;
+            let touched = view.sorted_ids();
 
-        if stmt.output == Output::Count {
-            // count(*) is unpaginated: one fan-out over freshly sampled
-            // replica views, counting matches without materialising a
-            // single item.
-            let replicas = self.sample_replicas(dom.shard_count());
-            let now = self.world.now();
-            self.world
-                .record_shard_fanout(Service::SimpleDb, dom.shard_count() as u32);
-            let mut matched = 0u64;
-            let mut scanned = 0u64;
-            for (i, shard) in dom.shards.iter().enumerate() {
-                let map = shard.lock();
-                let (m, examined) = map
-                    .visible_count_on(replicas[i], now, |name, item| stmt.selects_row(name, item));
-                matched += m;
-                scanned = scanned.max(examined);
-            }
-            let count = matched.min(stmt.limit as u64);
-            self.world
-                .record_scan(Op::SdbSelect, sql.len() as u64, 16, scanned);
-            return Ok(SelectResult {
-                items: Vec::new(),
-                count: Some(count),
-                next_token: None,
-            });
-        }
-
-        let (page, next, scanned) = if stmt.order_by.is_some() {
-            // Sorted output: global order can interleave shards
-            // arbitrarily, so paginate by offset over the pinned views.
-            let (replicas, offset) = match token {
-                Some(PageToken {
-                    replicas,
-                    cursor: Cursor::Offset(o),
-                }) => (replicas, o),
-                Some(_) => return Err(SdbError::InvalidNextToken),
-                None => (self.sample_replicas(dom.shard_count()), 0),
-            };
-            let (rows, scanned) = self.collect_entries(&dom, &replicas, |_, _| true);
-            let matched = stmt.apply(rows);
-            let page: Vec<(String, ItemState)> = matched
-                .iter()
-                .skip(offset)
-                .take(stmt.limit)
-                .cloned()
-                .collect();
-            let consumed = offset + page.len();
-            let next = (consumed < matched.len()).then(|| {
-                PageToken {
-                    replicas,
-                    cursor: Cursor::Offset(consumed),
+            if stmt.output == Output::Count {
+                // count(*) is unpaginated: one fan-out over freshly
+                // sampled replica views, counting matches without
+                // materialising a single item.
+                let pin = view.pin_replicas(&self.world);
+                let now = self.world.now();
+                self.world.record_shard_touches(Service::SimpleDb, &touched);
+                let mut matched = 0u64;
+                let mut scanned = 0u64;
+                for pos in 0..view.shard_count() {
+                    let replica = view
+                        .resolve_pin(&pin, pos)
+                        .expect("a fresh pin covers every shard");
+                    view.with_cells_at(pos, |map| {
+                        let (m, examined) = map.visible_count_on(replica, now, |name, item| {
+                            stmt.selects_row(name, item)
+                        });
+                        matched += m;
+                        scanned = scanned.max(examined);
+                    });
                 }
-                .encode()
-            });
-            (page, next, scanned)
-        } else {
-            // Name-ordered output: cursor-based merge across shards.
-            let condition = stmt.condition.clone();
-            self.merged_page(&dom, token, stmt.limit, |name, item| {
-                condition
-                    .as_ref()
-                    .map(|c| c.matches(name, item))
-                    .unwrap_or(true)
-            })?
-        };
+                let count = matched.min(stmt.limit as u64);
+                self.world
+                    .record_scan(Op::SdbSelect, sql.len() as u64, 16, scanned);
+                return Ok((
+                    SelectResult {
+                        items: Vec::new(),
+                        count: Some(count),
+                        next_token: None,
+                    },
+                    touched,
+                ));
+            }
 
-        let items: Vec<ResultItem> = page
-            .into_iter()
-            .map(|(name, state)| {
-                let attributes = match &stmt.output {
-                    Output::ItemName => Vec::new(),
-                    Output::All => to_attributes(&state),
-                    Output::Attrs(list) => to_attributes(&state)
-                        .into_iter()
-                        .filter(|a| list.contains(&a.name))
-                        .collect(),
-                    Output::Count => unreachable!("count handled above"),
+            let (page, next, scanned) = if stmt.order_by.is_some() {
+                // Sorted output: global order can interleave shards
+                // arbitrarily, so paginate by offset over the pinned views.
+                let (pin, offset) = match token {
+                    Some(PageToken {
+                        pin,
+                        cursor: Cursor::Offset(o),
+                    }) => (pin, o),
+                    Some(_) => return Err(SdbError::InvalidNextToken),
+                    None => (view.pin_replicas(&self.world), 0),
                 };
-                ResultItem { name, attributes }
-            })
-            .collect();
-        let bytes: u64 = items
-            .iter()
-            .map(|i| {
-                i.name.len() as u64
-                    + ITEM_ENTRY_OVERHEAD
-                    + i.attributes
-                        .iter()
-                        .map(|a| (a.name.len() + a.value.len()) as u64)
-                        .sum::<u64>()
-            })
-            .sum();
-        self.world
-            .record_scan(Op::SdbSelect, sql.len() as u64, bytes, scanned);
-        Ok(SelectResult {
-            items,
-            count: None,
-            next_token: next,
-        })
+                let (rows, scanned) = self.collect_entries(view, &pin, |_, _| true)?;
+                let matched = stmt.apply(rows);
+                let page: Vec<(String, ItemState)> = matched
+                    .iter()
+                    .skip(offset)
+                    .take(stmt.limit)
+                    .cloned()
+                    .collect();
+                let consumed = offset + page.len();
+                let next = (consumed < matched.len()).then(|| {
+                    PageToken {
+                        pin,
+                        cursor: Cursor::Offset(consumed),
+                    }
+                    .encode()
+                });
+                (page, next, scanned)
+            } else {
+                // Name-ordered output: cursor-based merge across shards.
+                let condition = stmt.condition.clone();
+                self.merged_page(view, token, stmt.limit, |name, item| {
+                    condition
+                        .as_ref()
+                        .map(|c| c.matches(name, item))
+                        .unwrap_or(true)
+                })?
+            };
+
+            let items: Vec<ResultItem> = page
+                .into_iter()
+                .map(|(name, state)| {
+                    let attributes = match &stmt.output {
+                        Output::ItemName => Vec::new(),
+                        Output::All => to_attributes(&state),
+                        Output::Attrs(list) => to_attributes(&state)
+                            .into_iter()
+                            .filter(|a| list.contains(&a.name))
+                            .collect(),
+                        Output::Count => unreachable!("count handled above"),
+                    };
+                    ResultItem { name, attributes }
+                })
+                .collect();
+            let bytes: u64 = items
+                .iter()
+                .map(|i| {
+                    i.name.len() as u64
+                        + ITEM_ENTRY_OVERHEAD
+                        + i.attributes
+                            .iter()
+                            .map(|a| (a.name.len() + a.value.len()) as u64)
+                            .sum::<u64>()
+                })
+                .sum();
+            self.world
+                .record_scan(Op::SdbSelect, sql.len() as u64, bytes, scanned);
+            Ok((
+                SelectResult {
+                    items,
+                    count: None,
+                    next_token: next,
+                },
+                touched,
+            ))
+        })?;
+        dom.note_ops(&touched);
+        Ok(result)
     }
 
     // --- authoritative (non-billed) views for invariant checks ---
@@ -824,9 +857,10 @@ impl SimpleDb {
     /// lag and without billing. For tests and property validators only.
     pub fn latest_item(&self, domain: &str, item_name: &str) -> Option<Vec<Attribute>> {
         let dom = self.domain(domain).ok()?;
-        let map = dom.shards[dom.shard_of(item_name)].lock();
-        map.read_latest(&item_name.to_string())
-            .map(|s| to_attributes(&s))
+        dom.with_cells(item_name, |_, map| {
+            map.read_latest(&item_name.to_string())
+                .map(|s| to_attributes(&s))
+        })
     }
 
     /// Authoritative list of live item names, unbilled. For tests and
@@ -835,11 +869,15 @@ impl SimpleDb {
         let Ok(dom) = self.domain(domain) else {
             return Vec::new();
         };
-        let mut names: Vec<String> = Vec::new();
-        for shard in &dom.shards {
-            let map = shard.lock();
-            names.extend(map.iter_latest().map(|(k, _)| k.clone()));
-        }
+        let mut names: Vec<String> = dom.read_view(|view| {
+            let mut names = Vec::new();
+            for pos in 0..view.shard_count() {
+                view.with_cells_at(pos, |map| {
+                    names.extend(map.iter_latest().map(|(k, _)| k.clone()));
+                });
+            }
+            names
+        });
         names.sort_unstable();
         names
     }
@@ -857,42 +895,41 @@ impl SimpleDb {
             })
     }
 
-    /// One freshly sampled read replica per shard.
-    fn sample_replicas(&self, shard_count: usize) -> Vec<usize> {
-        self.world.sample_read_replicas(shard_count)
-    }
-
     /// Fans out over every shard, collecting the entries visible on each
     /// shard's pinned replica that `pred` accepts, merged in item-name
     /// order. Records one shard touch per shard.
     fn collect_entries<F>(
         &self,
-        dom: &Domain,
-        replicas: &[usize],
+        view: &MapView<'_, ItemState>,
+        pin: &ReplicaPin,
         mut pred: F,
-    ) -> (Vec<(String, ItemState)>, u64)
+    ) -> Result<(Vec<(String, ItemState)>, u64)>
     where
         F: FnMut(&str, &ItemState) -> bool,
     {
         let now = self.world.now();
         self.world
-            .record_shard_fanout(Service::SimpleDb, dom.shard_count() as u32);
+            .record_shard_touches(Service::SimpleDb, &view.sorted_ids());
         let mut rows: Vec<(String, ItemState)> = Vec::new();
         let mut scanned = 0u64;
-        for (i, shard) in dom.shards.iter().enumerate() {
-            let map = shard.lock();
-            // Shards scan in parallel: the largest one gates the call.
-            scanned = scanned.max(map.cell_count() as u64);
-            rows.extend(
-                map.visible_entries_on(replicas[i], now)
-                    .into_iter()
-                    .filter(|(k, v)| pred(k, v)),
-            );
+        for pos in 0..view.shard_count() {
+            let replica = view
+                .resolve_pin(pin, pos)
+                .ok_or(SdbError::InvalidNextToken)?;
+            view.with_cells_at(pos, |map| {
+                // Shards scan in parallel: the largest one gates the call.
+                scanned = scanned.max(map.cell_count() as u64);
+                rows.extend(
+                    map.visible_entries_on(replica, now)
+                        .into_iter()
+                        .filter(|(k, v)| pred(k, v)),
+                );
+            });
         }
         // Shards hold disjoint key ranges only in hash space; restore
         // global item-name order.
         rows.sort_unstable_by(|(a, _), (b, _)| a.cmp(b));
-        (rows, scanned)
+        Ok((rows, scanned))
     }
 
     /// One page of a name-ordered scan: each shard contributes its next
@@ -900,10 +937,12 @@ impl SimpleDb {
     /// merge ([`simworld::merged_shard_page`] — the same machinery the
     /// sharded S3 LIST runs on), and the page is the first `page_size`
     /// of the merge. The returned token resumes strictly after the last
-    /// name served, on the same pinned replica per shard.
+    /// name served, carrying the same replica pin — so a shard that
+    /// splits between pages keeps serving the walk from its parent's
+    /// pinned replica.
     fn merged_page<F>(
         &self,
-        dom: &Arc<Domain>,
+        view: &MapView<'_, ItemState>,
         token: Option<PageToken>,
         page_size: usize,
         mut pred: F,
@@ -911,22 +950,33 @@ impl SimpleDb {
     where
         F: FnMut(&str, &ItemState) -> bool,
     {
-        let (replicas, after) = match token {
+        let (pin, after) = match token {
             Some(PageToken {
-                replicas,
+                pin,
                 cursor: Cursor::After(name),
-            }) => (replicas, Some(name)),
+            }) => (pin, Some(name)),
             Some(_) => return Err(SdbError::InvalidNextToken),
-            None => (self.sample_replicas(dom.shard_count()), None),
+            None => (view.pin_replicas(&self.world), None),
         };
         let now = self.world.now();
         self.world
-            .record_shard_fanout(Service::SimpleDb, dom.shard_count() as u32);
-        let (candidates, more, scanned) =
-            simworld::merged_shard_page(dom.shard_count(), after, page_size, |i, cursor, quota| {
-                let map = dom.shards[i].lock();
-                map.visible_page_on(replicas[i], now, cursor, quota, |k, v| pred(k, v))
-            });
+            .record_shard_touches(Service::SimpleDb, &view.sorted_ids());
+        let replicas: Vec<usize> = (0..view.shard_count())
+            .map(|pos| {
+                view.resolve_pin(&pin, pos)
+                    .ok_or(SdbError::InvalidNextToken)
+            })
+            .collect::<Result<_>>()?;
+        let (candidates, more, scanned) = simworld::merged_shard_page(
+            view.shard_count(),
+            after,
+            page_size,
+            |i, cursor, quota| {
+                view.with_cells_at(i, |map| {
+                    map.visible_page_on(replicas[i], now, cursor, quota, |k, v| pred(k, v))
+                })
+            },
+        );
         let next = if more {
             let last = candidates
                 .last()
@@ -934,7 +984,7 @@ impl SimpleDb {
                 .expect("page_size >= 1, so a truncated page is non-empty");
             Some(
                 PageToken {
-                    replicas,
+                    pin,
                     cursor: Cursor::After(last),
                 }
                 .encode(),
@@ -958,37 +1008,45 @@ impl SimpleDb {
             .unwrap_or(QUERY_DEFAULT_PAGE)
             .clamp(1, QUERY_MAX_PAGE);
         let dom = self.domain(domain)?;
-        let token = decode_token(next_token, &dom, &self.world)?;
+        type Page = (Vec<(String, ItemState)>, Option<String>, u64);
+        let (out, touched) = dom.read_view(|view| -> Result<(Page, Vec<u32>)> {
+            let token = decode_token(next_token, view, &self.world)?;
+            let touched = view.sorted_ids();
 
-        if parsed.as_ref().and_then(|q| q.sort()).is_some() {
-            // Sorted output: offset cursor over the pinned views.
-            let q = parsed.expect("sort implies a parsed expression");
-            let (replicas, offset) = match token {
-                Some(PageToken {
-                    replicas,
-                    cursor: Cursor::Offset(o),
-                }) => (replicas, o),
-                Some(_) => return Err(SdbError::InvalidNextToken),
-                None => (self.sample_replicas(dom.shard_count()), 0),
-            };
-            let (rows, scanned) = self.collect_entries(&dom, &replicas, |_, item| q.matches(item));
-            let rows = q.apply_sort(rows);
-            let page: Vec<(String, ItemState)> =
-                rows.iter().skip(offset).take(page_size).cloned().collect();
-            let consumed = offset + page.len();
-            let next = (consumed < rows.len()).then(|| {
-                PageToken {
-                    replicas,
-                    cursor: Cursor::Offset(consumed),
-                }
-                .encode()
-            });
-            return Ok((page, next, scanned));
-        }
+            if parsed.as_ref().and_then(|q| q.sort()).is_some() {
+                // Sorted output: offset cursor over the pinned views.
+                let q = parsed.as_ref().expect("sort implies a parsed expression");
+                let (pin, offset) = match token {
+                    Some(PageToken {
+                        pin,
+                        cursor: Cursor::Offset(o),
+                    }) => (pin, o),
+                    Some(_) => return Err(SdbError::InvalidNextToken),
+                    None => (view.pin_replicas(&self.world), 0),
+                };
+                let (rows, scanned) =
+                    self.collect_entries(view, &pin, |_, item| q.matches(item))?;
+                let rows = q.apply_sort(rows);
+                let page: Vec<(String, ItemState)> =
+                    rows.iter().skip(offset).take(page_size).cloned().collect();
+                let consumed = offset + page.len();
+                let next = (consumed < rows.len()).then(|| {
+                    PageToken {
+                        pin,
+                        cursor: Cursor::Offset(consumed),
+                    }
+                    .encode()
+                });
+                return Ok(((page, next, scanned), touched));
+            }
 
-        self.merged_page(&dom, token, page_size, |_, item| {
-            parsed.as_ref().map(|q| q.matches(item)).unwrap_or(true)
-        })
+            let page = self.merged_page(view, token, page_size, |_, item| {
+                parsed.as_ref().map(|q| q.matches(item)).unwrap_or(true)
+            })?;
+            Ok((page, touched))
+        })?;
+        dom.note_ops(&touched);
+        Ok(out)
     }
 }
 
@@ -1051,20 +1109,6 @@ fn apply_delete(mut item: ItemState, specs: Option<&[DeletableAttribute]>) -> Op
     }
 }
 
-/// Locks every distinct shard in `shards` exactly once, in ascending
-/// shard order — concurrent batches that overlap therefore acquire in
-/// the same order and cannot deadlock.
-fn lock_shards<'a>(
-    dom: &'a Domain,
-    shards: &[usize],
-) -> BTreeMap<usize, parking_lot::MutexGuard<'a, EcMap<String, ItemState>>> {
-    let distinct: std::collections::BTreeSet<usize> = shards.iter().copied().collect();
-    distinct
-        .into_iter()
-        .map(|s| (s, dom.shards[s].lock()))
-        .collect()
-}
-
 /// Shared batch-shape validation: item count, duplicate names.
 fn check_batch_shape<T>(items: &[(String, T)]) -> Result<()> {
     if items.is_empty() {
@@ -1095,48 +1139,55 @@ enum Cursor {
     Offset(usize),
 }
 
-/// A decoded `next_token`: the pinned replica per shard plus a cursor.
+/// A decoded `next_token`: one pinned replica per stable shard id plus
+/// a cursor.
 #[derive(Clone, PartialEq, Eq, Debug)]
 struct PageToken {
-    /// `replicas[i]` is the replica shard `i` serves this scan from.
-    replicas: Vec<usize>,
+    /// Replica pinned per shard id at the scan's first page.
+    pin: ReplicaPin,
     cursor: Cursor,
 }
 
 impl PageToken {
-    /// Wire format: `s<shards>;r<r0.r1...>;a<hex(name)>` for
-    /// resume-after-name cursors, `s<shards>;r<...>;o<offset>` for offset
-    /// cursors. The item name is hex-encoded so the token survives any
-    /// byte the 1 KB item-name budget allows.
+    /// Wire format: `s<pins>;p<id:r.id:r...>;a<hex(name)>` for
+    /// resume-after-name cursors, `s<pins>;p<...>;o<offset>` for offset
+    /// cursors. Pins are keyed by stable shard id (ascending), which is
+    /// what lets a token minted before a split keep working after it.
+    /// The item name is hex-encoded so the token survives any byte the
+    /// 1 KB item-name budget allows.
     fn encode(&self) -> String {
-        let rs = self
-            .replicas
+        let pins = self
+            .pin
             .iter()
-            .map(|r| r.to_string())
+            .map(|(id, r)| format!("{id}:{r}"))
             .collect::<Vec<_>>()
             .join(".");
         match &self.cursor {
             Cursor::After(name) => {
-                format!("s{};r{};a{}", self.replicas.len(), rs, hex_encode(name))
+                format!("s{};p{};a{}", self.pin.len(), pins, hex_encode(name))
             }
-            Cursor::Offset(o) => format!("s{};r{};o{}", self.replicas.len(), rs, o),
+            Cursor::Offset(o) => format!("s{};p{};o{}", self.pin.len(), pins, o),
         }
     }
 
     fn decode(token: &str) -> Option<PageToken> {
         let rest = token.strip_prefix('s')?;
-        let (shards, rest) = rest.split_once(';')?;
-        let shards: usize = shards.parse().ok()?;
-        let rest = rest.strip_prefix('r')?;
-        let (rs, cursor) = rest.split_once(';')?;
-        let replicas: Vec<usize> = if rs.is_empty() {
-            Vec::new()
-        } else {
-            rs.split('.')
-                .map(|r| r.parse::<usize>().ok())
-                .collect::<Option<Vec<_>>>()?
-        };
-        if replicas.len() != shards {
+        let (count, rest) = rest.split_once(';')?;
+        let count: usize = count.parse().ok()?;
+        let rest = rest.strip_prefix('p')?;
+        let (pins, cursor) = rest.split_once(';')?;
+        let mut pin = ReplicaPin::new();
+        if !pins.is_empty() {
+            for entry in pins.split('.') {
+                let (id, r) = entry.split_once(':')?;
+                let id: u32 = id.parse().ok()?;
+                if pin.get(id).is_some() {
+                    return None; // duplicate shard id
+                }
+                pin.insert(id, r.parse::<usize>().ok()?);
+            }
+        }
+        if pin.len() != count {
             return None;
         }
         let cursor = if let Some(hex) = cursor.strip_prefix('a') {
@@ -1146,22 +1197,31 @@ impl PageToken {
         } else {
             return None;
         };
-        Some(PageToken { replicas, cursor })
+        Some(PageToken { pin, cursor })
     }
 }
 
-/// Decodes and validates a client token against the domain's shard
-/// layout and the world's replica count.
-fn decode_token(token: Option<&str>, dom: &Domain, world: &SimWorld) -> Result<Option<PageToken>> {
+/// Decodes and validates a client token against the domain's current
+/// shard layout and the world's replica count: every pinned id must
+/// name a live shard (ids never disappear — shards split, never merge)
+/// and every current shard must resolve to a pinned ancestor.
+fn decode_token(
+    token: Option<&str>,
+    view: &MapView<'_, ItemState>,
+    world: &SimWorld,
+) -> Result<Option<PageToken>> {
     let Some(token) = token else {
         return Ok(None);
     };
     let parsed = PageToken::decode(token).ok_or(SdbError::InvalidNextToken)?;
     let replica_bound = world.replicas().max(1);
-    if parsed.replicas.len() != dom.shard_count()
-        || parsed.replicas.iter().any(|r| *r >= replica_bound)
-    {
+    if parsed.pin.iter().any(|(_, r)| r >= replica_bound) || !view.pin_ids_known(&parsed.pin) {
         return Err(SdbError::InvalidNextToken);
+    }
+    for pos in 0..view.shard_count() {
+        if view.resolve_pin(&parsed.pin, pos).is_none() {
+            return Err(SdbError::InvalidNextToken);
+        }
     }
     Ok(Some(parsed))
 }

@@ -288,6 +288,35 @@ impl<K: Ord + Clone, V: Clone> EcMap<K, V> {
         self.cells.len()
     }
 
+    /// Iterates every cell key, live or tombstoned, in key order.
+    pub fn cell_keys(&self) -> impl Iterator<Item = &K> + '_ {
+        self.cells.keys()
+    }
+
+    /// Moves every cell whose key `pred` accepts into a new map,
+    /// carrying its full write history — values, tombstones, and
+    /// per-replica visibility schedules — untouched, so reads against
+    /// the moved cells behave exactly as they would have in place. Both
+    /// halves keep the original sequence counter, preserving global
+    /// last-writer-wins order across the split. This is the migration
+    /// engine under hot-shard splitting in [`crate::ShardMap`].
+    pub fn split_off_by<F>(&mut self, mut pred: F) -> EcMap<K, V>
+    where
+        F: FnMut(&K) -> bool,
+    {
+        let moving: Vec<K> = self.cells.keys().filter(|k| pred(k)).cloned().collect();
+        let mut moved = BTreeMap::new();
+        for key in moving {
+            if let Some(cell) = self.cells.remove(&key) {
+                moved.insert(key, cell);
+            }
+        }
+        EcMap {
+            cells: moved,
+            next_seq: self.next_seq,
+        }
+    }
+
     /// Counts the live entries visible on `replica` that `pred` accepts,
     /// without cloning any value — the engine under `count(*)`. Returns
     /// `(matches, cells examined)`.

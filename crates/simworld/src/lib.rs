@@ -54,6 +54,7 @@ mod merge;
 mod metering;
 mod samples;
 mod sched;
+mod shardmap;
 mod throttle;
 mod world;
 
@@ -66,8 +67,14 @@ pub use hash::{fnv1a_64, splitmix64};
 pub use latency::{LatencyModel, ServiceLatency};
 pub use md5::{Md5, Md5Digest};
 pub use merge::merged_shard_page;
-pub use metering::{format_bytes, MeterBook, MeterSnapshot, Op, Service, ServiceMeter};
+pub use metering::{
+    format_bytes, MeterBook, MeterSnapshot, Op, Service, ServiceMeter, ShardImbalance,
+};
 pub use samples::{percentiles, LatencySample, Percentiles, SampleLog};
 pub use sched::{FiredEvent, SchedEvent, Scheduler, TimerId};
+pub use shardmap::{
+    clamp_shards, ring_position, MapView, ReplicaPin, ShardCells, ShardMap, ShardPlan, SplitEvent,
+    SplitPolicy, MAX_SHARDS,
+};
 pub use throttle::{ThrottleConfig, TokenBucket};
 pub use world::{Consistency, PipelineStats, SimConfig, SimWorld};

@@ -707,6 +707,17 @@ impl SimWorld {
         }
     }
 
+    /// Records that a fan-out operation touched each listed shard id of
+    /// `service`, under one lock acquisition — the sparse companion to
+    /// [`SimWorld::record_shard_fanout`] for range-routed maps, whose
+    /// stable ids stop being dense indices once a shard has split.
+    pub fn record_shard_touches(&self, service: Service, shards: &[u32]) {
+        let mut st = self.inner.lock();
+        for &shard in shards {
+            st.meters.record_shard_touch(service, shard);
+        }
+    }
+
     /// Adjusts a service's stored-bytes gauge.
     pub fn adjust_stored(&self, service: Service, delta: i64) {
         self.inner.lock().meters.adjust_stored(service, delta);
