@@ -2,7 +2,7 @@
 //! latency as the shard/queue count grows, for each sharded backend.
 //!
 //! Usage: `cargo run --release -p prov-bench --bin shards
-//!         [--mode=simpledb|s3|sqs|batch|pipeline|split|fleet|all] [--smoke]
+//!         [--mode=simpledb|s3|sqs|batch|pipeline|split|fleet|query|all] [--smoke]
 //!         [--threads=N] [--queries=N]
 //!         [--scale=small|medium|paper]`
 //!
@@ -17,6 +17,14 @@
 //! strictly fewer billable requests than the point-op path, shrinks the
 //! provenance flush path ≥ 5x at full fill, and leaves the provenance
 //! graph bit-identical.
+//!
+//! `--mode=query` sweeps Q3 over walk vs materialized-closure-index
+//! engines at 50–2000 churn chains. Its smoke asserts the index answers
+//! item-for-item what the walk answers, that maintenance leaves the
+//! data + provenance stores byte-identical, that index maintenance is
+//! billed, and the acceptance curve: index ≥5x faster than the walk at
+//! 200 chains and ≤2x from 50 to 500 chains (the walk grows with the
+//! domain).
 //!
 //! `--mode=fleet` runs the open-loop multi-tenant fleet: uniform vs
 //! zipf(0.99) tenant skew, provider throttling off vs on, plus a
@@ -47,6 +55,7 @@ use prov_bench::fleetbench::{fleet_sweep, render_fleet, FleetParams};
 use prov_bench::pipebench::{
     pipeline_sweep, render_pipeline, DEFAULT_PIPELINE_GROUP, DEFAULT_SPECS,
 };
+use prov_bench::querybench::{query_sweep, render_query, DEFAULT_QUERY_CHAINS};
 use prov_bench::shardbench::{
     render, render_s3_virtual, render_s3_wall, render_skew, render_split, render_sqs_virtual,
     render_sqs_wall, render_virtual, s3_scaling, s3_virtual_scaling, shard_scaling, skew_sweep,
@@ -396,6 +405,65 @@ fn run_split_mode(_args: &[String], smoke: bool) {
     }
 }
 
+fn run_query_mode(_args: &[String], smoke: bool) {
+    let (rows, states) = match query_sweep(DEFAULT_QUERY_CHAINS) {
+        Ok(r) => r,
+        Err(e) => fail(&format!("query sweep failed: {e}")),
+    };
+    print!("{}", render_query(&rows));
+    if smoke {
+        // (a) The index engine answers item-for-item what the walk
+        // answers, and maintaining it leaves the data + provenance
+        // stores byte-identical, at every corpus size.
+        for (pair, rpair) in states.chunks(2).zip(rows.chunks(2)) {
+            let (walk, index) = (&pair[0], &pair[1]);
+            if walk.q3_names != index.q3_names || walk.bulk_names != index.bulk_names {
+                fail(&format!(
+                    "smoke check failed: index answers diverge from the walk at {} chains",
+                    rpair[0].chains
+                ));
+            }
+            if walk.prov_fingerprint != index.prov_fingerprint || walk.data != index.data {
+                fail(&format!(
+                    "smoke check failed: closure maintenance changed the store at {} chains",
+                    rpair[0].chains
+                ));
+            }
+            if rpair[1].persist_ops <= rpair[0].persist_ops {
+                fail("smoke check failed: index maintenance was not billed");
+            }
+        }
+        let leg = |chains: u32, engine: &str| {
+            rows.iter()
+                .find(|r| r.chains == chains && r.engine == engine)
+                .expect("sweep covers the size")
+        };
+        // (b) The shape: the index's fixed-answer Q3 touches the same
+        // rows no matter how large the corpus grows (O(answer), not
+        // O(graph)); the walk's scans keep growing with the domain.
+        // The >=5x / <=2x wall-clock acceptance curve lives in the
+        // criterion table (BASELINE.md) — here the op counts pin the
+        // asymptotics deterministically.
+        let (index50, index2000) = (leg(50, "index"), leg(2000, "index"));
+        if index2000.q3_ops != index50.q3_ops {
+            fail("smoke check failed: index q3 op count moved with the corpus size");
+        }
+        let (walk50, walk2000) = (leg(50, "walk"), leg(2000, "walk"));
+        if walk2000.q3_ms <= walk50.q3_ms {
+            fail("smoke check failed: the walk's scan cost did not grow with the corpus");
+        }
+        if index2000.q3_ms > index50.q3_ms * 2.0 {
+            fail(&format!(
+                "smoke check failed: index q3 virtual time scaled {:.2}x from 50 to 2000 chains",
+                index2000.q3_ms / index50.q3_ms
+            ));
+        }
+        println!(
+            "smoke ok: index answers match the walk; stores byte-identical either way; index q3 cost is flat from 50 to 2000 chains while the walk's grows"
+        );
+    }
+}
+
 fn run_fleet_mode(args: &[String], smoke: bool) {
     let (tenant_counts, arrivals, rate): (&[usize], usize, f64) = if smoke {
         (&[8], 4, 50.0)
@@ -554,6 +622,7 @@ fn main() {
         "pipeline" => run_pipeline(&args, smoke),
         "split" => run_split_mode(&args, smoke),
         "fleet" => run_fleet_mode(&args, smoke),
+        "query" => run_query_mode(&args, smoke),
         "all" => {
             run_simpledb(&args, smoke);
             println!();
@@ -567,10 +636,12 @@ fn main() {
             println!();
             run_split_mode(&args, smoke);
             println!();
+            run_query_mode(&args, smoke);
+            println!();
             run_fleet_mode(&args, smoke);
         }
         other => fail(&format!(
-            "unknown mode {other:?}; expected simpledb|s3|sqs|batch|pipeline|split|fleet|all"
+            "unknown mode {other:?}; expected simpledb|s3|sqs|batch|pipeline|split|fleet|query|all"
         )),
     }
 }

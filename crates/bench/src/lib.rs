@@ -27,6 +27,7 @@ pub mod batchbench;
 pub mod fleetbench;
 pub mod harness;
 pub mod pipebench;
+pub mod querybench;
 pub mod shardbench;
 pub mod tables;
 

@@ -1,0 +1,299 @@
+//! Query-scaling sweep: the SimpleDB walk engine vs the materialized
+//! closure index, on corpora from 50 to 2000 churn chains.
+//!
+//! Two Q3 targets separate the regimes:
+//!
+//! * `blastall` — a fixed two-item answer no matter how large the
+//!   corpus grows. The walk pays O(domain rows) per query page, so its
+//!   cost climbs with the corpus; the index pays a handful of point
+//!   reads sized by the answer, so its curve stays flat.
+//! * `churn` — the bulk target whose seed set grows with the corpus.
+//!   Both engines scale here, but the index scales with the *answer*
+//!   (one point read per seed) while the walk re-scans the domain on
+//!   every union page.
+//!
+//! Each corpus size runs twice — closure maintenance off (`walk` leg)
+//! and on (`index` leg) — so the sweep also measures what the index
+//! costs at persist time and proves the data + provenance stores are
+//! byte-identical either way.
+
+use pass::{FileFlush, Observer, TraceEvent};
+use provenance_cloud::layout::{BUCKET, DOMAIN};
+use provenance_cloud::{Arch2Config, ClosureMode, ProvQuery, ProvenanceStore, Result, S3SimpleDb};
+use simworld::{Blob, Consistency, LatencyModel, SimConfig, SimWorld};
+
+use crate::harness::count;
+use crate::shardbench::domain_fingerprint;
+
+/// Corpus sizes of the full sweep (`--smoke` runs the same list; the
+/// whole sweep is seconds-scale because the world is simulated).
+pub const DEFAULT_QUERY_CHAINS: &[u32] = &[50, 200, 500, 2000];
+
+/// Builds the query corpus: `chains` one-tool pipelines
+/// (`raw/i.dat -> churn -> cooked/i.dat`) plus one blast pipeline
+/// (`q.fa -> blastall -> hits.out -> fmtblast -> report.txt`) whose
+/// descendant set stays fixed at two items as the corpus grows.
+pub fn query_corpus(chains: u32) -> Vec<FileFlush> {
+    let mut obs = Observer::new();
+    let mut flushes = Vec::new();
+    for i in 0..chains {
+        let pid = i + 1;
+        let src = format!("raw/{i}.dat");
+        let out = format!("cooked/{i}.dat");
+        for ev in [
+            TraceEvent::source(&src, Blob::synthetic(u64::from(i), 1024)),
+            TraceEvent::exec(pid, "churn", "churn", "E=1", None),
+            TraceEvent::read(pid, &src),
+            TraceEvent::write(pid, &out),
+            TraceEvent::close(pid, &out, Blob::synthetic(u64::from(i) + 5000, 512)),
+            TraceEvent::exit(pid),
+        ] {
+            flushes.extend(obs.observe(ev).expect("trace is well-formed"));
+        }
+    }
+    let pid = chains + 1;
+    for ev in [
+        TraceEvent::source("q.fa", Blob::synthetic(9001, 256)),
+        TraceEvent::exec(pid, "blastall", "blastall q.fa", "E=1", None),
+        TraceEvent::read(pid, "q.fa"),
+        TraceEvent::write(pid, "hits.out"),
+        TraceEvent::close(pid, "hits.out", Blob::synthetic(9002, 2048)),
+        TraceEvent::exit(pid),
+    ] {
+        flushes.extend(obs.observe(ev).expect("trace is well-formed"));
+    }
+    let pid = chains + 2;
+    for ev in [
+        TraceEvent::exec(pid, "fmtblast", "fmtblast hits.out", "E=1", None),
+        TraceEvent::read(pid, "hits.out"),
+        TraceEvent::write(pid, "report.txt"),
+        TraceEvent::close(pid, "report.txt", Blob::synthetic(9003, 512)),
+        TraceEvent::exit(pid),
+    ] {
+        flushes.extend(obs.observe(ev).expect("trace is well-formed"));
+    }
+    flushes
+}
+
+/// One engine leg at one corpus size.
+#[derive(Clone, Debug)]
+pub struct QueryScalingRow {
+    /// Churn chains in the corpus.
+    pub chains: u32,
+    /// `"walk"` or `"index"`.
+    pub engine: &'static str,
+    /// Billable requests the persist phase issued (index maintenance
+    /// rides here on the index leg).
+    pub persist_ops: u64,
+    /// Virtual time of `DescendantsOf("blastall")` in milliseconds.
+    pub q3_ms: f64,
+    /// Billable requests of the same query.
+    pub q3_ops: u64,
+    /// Its hits (fixed at 2 by construction).
+    pub q3_results: u64,
+    /// Virtual time of `DescendantsOf("churn")` in milliseconds.
+    pub bulk_ms: f64,
+    /// Billable requests of the bulk query.
+    pub bulk_ops: u64,
+    /// Its hits.
+    pub bulk_results: u64,
+}
+
+/// What one leg converged to, for cross-leg equality checks.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QueryLegState {
+    /// FNV-1a over the provenance domain's authoritative latest state.
+    pub prov_fingerprint: u64,
+    /// Sorted `(key, md5)` of every live data object.
+    pub data: Vec<(String, String)>,
+    /// Rendered hits of `DescendantsOf("blastall")`, sorted.
+    pub q3_names: Vec<String>,
+    /// Rendered hits of `DescendantsOf("churn")`, sorted.
+    pub bulk_names: Vec<String>,
+}
+
+fn run_leg(chains: u32, mode: ClosureMode) -> Result<(QueryScalingRow, QueryLegState)> {
+    let world = SimWorld::with_config(SimConfig {
+        seed: 2009,
+        consistency: Consistency::Strong,
+        latency: LatencyModel::default(),
+        replicas: 1,
+    });
+    let mut store = S3SimpleDb::new(&world);
+    store.set_config(Arch2Config {
+        closure: mode,
+        ..Arch2Config::default()
+    });
+    let flushes = query_corpus(chains);
+    let before = world.meters();
+    for flush in &flushes {
+        store.persist(flush)?;
+    }
+    let persist_ops = (world.meters() - before).total_ops();
+    world.settle();
+
+    let mut timed = |query: &ProvQuery| -> Result<(f64, u64, Vec<String>)> {
+        let before = world.meters();
+        let start = world.now();
+        let answer = store.query(query)?;
+        let ms = world.now().saturating_since(start).as_secs_f64() * 1000.0;
+        let ops = (world.meters() - before).total_ops();
+        Ok((ms, ops, answer.names()))
+    };
+    let (q3_ms, q3_ops, q3_names) = timed(&ProvQuery::DescendantsOf {
+        program: "blastall".into(),
+    })?;
+    let (bulk_ms, bulk_ops, bulk_names) = timed(&ProvQuery::DescendantsOf {
+        program: "churn".into(),
+    })?;
+
+    let s3 = store.s3();
+    let mut data: Vec<(String, String)> = s3
+        .latest_keys(BUCKET, "")
+        .into_iter()
+        .map(|key| {
+            let md5 = s3
+                .latest_object(BUCKET, &key)
+                .map(|o| o.body.md5().to_hex())
+                .unwrap_or_default();
+            (key, md5)
+        })
+        .collect();
+    data.sort();
+
+    Ok((
+        QueryScalingRow {
+            chains,
+            engine: if mode.serves() { "index" } else { "walk" },
+            persist_ops,
+            q3_ms,
+            q3_ops,
+            q3_results: q3_names.len() as u64,
+            bulk_ms,
+            bulk_ops,
+            bulk_results: bulk_names.len() as u64,
+        },
+        QueryLegState {
+            prov_fingerprint: domain_fingerprint(store.simpledb(), DOMAIN),
+            data,
+            q3_names,
+            bulk_names,
+        },
+    ))
+}
+
+/// Runs walk and index legs at every corpus size. Rows come in
+/// `(walk, index)` pairs per size, matching `states`.
+///
+/// # Errors
+///
+/// Propagates service errors.
+pub fn query_sweep(sizes: &[u32]) -> Result<(Vec<QueryScalingRow>, Vec<QueryLegState>)> {
+    let mut rows = Vec::new();
+    let mut states = Vec::new();
+    for &chains in sizes {
+        for mode in [ClosureMode::Off, ClosureMode::Serve] {
+            let (row, state) = run_leg(chains, mode)?;
+            rows.push(row);
+            states.push(state);
+        }
+    }
+    Ok((rows, states))
+}
+
+/// Renders the sweep. `maintain Δops` is the extra billable requests
+/// the index leg's persist phase paid over the walk leg's — the price
+/// of keeping the closure current.
+pub fn render_query(rows: &[QueryScalingRow]) -> String {
+    let mut out = String::new();
+    out.push_str("Q3 scaling: SimpleDB walk vs materialized closure index (virtual time)\n");
+    out.push_str(
+        " chains | engine | persist ops | maintain Δops |  q3 ms | q3 ops | q3 hits | bulk ms | bulk ops | bulk hits\n",
+    );
+    for pair in rows.chunks(2) {
+        for row in pair {
+            let delta = if row.engine == "index" {
+                count(row.persist_ops.saturating_sub(pair[0].persist_ops))
+            } else {
+                "-".to_string()
+            };
+            out.push_str(&format!(
+                " {:>6} | {:<6} | {:>11} | {:>13} | {:>6.1} | {:>6} | {:>7} | {:>7.1} | {:>8} | {:>9}\n",
+                row.chains,
+                row.engine,
+                count(row.persist_ops),
+                delta,
+                row.q3_ms,
+                count(row.q3_ops),
+                row.q3_results,
+                row.bulk_ms,
+                count(row.bulk_ops),
+                row.bulk_results,
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_shape_is_stable() {
+        let flushes = query_corpus(3);
+        // 3 churn chains of 4 flushes (src, proc, out, proc-exit
+        // absorbed) plus the two blast stages.
+        assert!(flushes.len() > 10);
+        assert!(flushes.iter().any(|f| f.object.name == "report.txt"));
+    }
+
+    #[test]
+    fn walk_and_index_agree_on_a_small_corpus() {
+        let (rows, states) = query_sweep(&[10]).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(states[0].q3_names, states[1].q3_names);
+        assert_eq!(states[0].bulk_names, states[1].bulk_names);
+        assert_eq!(states[0].prov_fingerprint, states[1].prov_fingerprint);
+        assert_eq!(states[0].data, states[1].data);
+        assert_eq!(rows[0].q3_results, 2);
+        // Maintenance is billed: the index leg pays extra persist ops.
+        assert!(rows[1].persist_ops > rows[0].persist_ops);
+    }
+
+    #[test]
+    fn closure_maintenance_ops_and_bill_delta_is_pinned() {
+        // Persist the 50-chain corpus with closure maintenance off and
+        // on, and price both phases: maintaining the index costs a
+        // pinned number of extra billable requests, and those requests
+        // land on the operations line of the bill.
+        let mut legs = Vec::new();
+        for mode in [ClosureMode::Off, ClosureMode::Maintain] {
+            let world = SimWorld::with_config(SimConfig {
+                seed: 2009,
+                consistency: Consistency::Strong,
+                latency: LatencyModel::default(),
+                replicas: 1,
+            });
+            let mut store = S3SimpleDb::new(&world);
+            store.set_config(Arch2Config {
+                closure: mode,
+                ..Arch2Config::default()
+            });
+            let before = world.meters();
+            for flush in &query_corpus(50) {
+                store.persist(flush).unwrap();
+            }
+            let phase = world.meters() - before;
+            let bill = costmodel::cost_of(&phase, 0.0, &costmodel::PriceBook::january_2009());
+            legs.push((phase.total_ops(), bill.operations_total()));
+        }
+        assert_eq!(legs[0].0, 310, "walk persist ops moved");
+        assert_eq!(legs[1].0, 621, "index persist ops moved");
+        assert_eq!(legs[1].0 - legs[0].0, 311, "maintenance op delta moved");
+        assert!(
+            legs[1].1 > legs[0].1,
+            "maintenance must show up on the bill"
+        );
+    }
+}

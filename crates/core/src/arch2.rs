@@ -19,6 +19,7 @@ use sim_s3::{Metadata, S3Error, S3};
 use sim_simpledb::{DeletableAttribute, ReplaceableAttribute, SimpleDb, MAX_ATTRS_PER_CALL};
 use simworld::{CrashSite, SimWorld};
 
+use crate::closure::{ClosureIndex, ClosureMode};
 use crate::error::Result;
 use crate::layout::{
     data_key, nonce_for, ATTR_MD5, ATTR_NONCE, BUCKET, DOMAIN, META_NONCE, META_VERSION,
@@ -42,6 +43,14 @@ pub const A2_MID_PROV_PUT: CrashSite = CrashSite::new("arch2.mid_prov_put");
 /// reaches S3 — the atomicity violation of §4.2.
 pub const A2_BEFORE_DATA_PUT: CrashSite = CrashSite::new("arch2.before_data_put");
 
+/// Crash site: edges committed, closure-index rows not yet written
+/// (only on the path when [`Arch2Config::closure`] maintains the
+/// index).
+pub const A2_BEFORE_INDEX_PUT: CrashSite = CrashSite::new("arch2.before_index_put");
+
+/// Crash site: between closure-index `BatchPutAttributes` calls.
+pub const A2_MID_INDEX_PUT: CrashSite = CrashSite::new("arch2.mid_index_put");
+
 /// Tunables for [`S3SimpleDb`].
 #[derive(Copy, Clone, Debug)]
 pub struct Arch2Config {
@@ -54,6 +63,10 @@ pub struct Arch2Config {
     /// Include the nonce in the hash. Disabling reproduces the paper's
     /// remark that a bare data MD5 misses same-content overwrites.
     pub use_nonce: bool,
+    /// Ancestry-closure index behaviour (off by default, so the
+    /// request counts and fingerprints of the plain §4.2 protocol are
+    /// untouched).
+    pub closure: ClosureMode,
 }
 
 impl Default for Arch2Config {
@@ -62,6 +75,7 @@ impl Default for Arch2Config {
             retry: RetryPolicy::default(),
             verify_md5: true,
             use_nonce: true,
+            closure: ClosureMode::Off,
         }
     }
 }
@@ -89,6 +103,7 @@ pub struct S3SimpleDb {
     db: SimpleDb,
     cache: CacheDir,
     config: Arch2Config,
+    closure: ClosureIndex,
 }
 
 impl S3SimpleDb {
@@ -128,6 +143,7 @@ impl S3SimpleDb {
             db: db.clone(),
             cache: CacheDir::new(),
             config: Arch2Config::default(),
+            closure: ClosureIndex::new(world, db),
         }
     }
 
@@ -240,6 +256,16 @@ impl ProvenanceStore for S3SimpleDb {
             self.world.crash_point(A2_MID_PROV_PUT)?;
         }
 
+        // Step 3b: closure-index maintenance rides the same flush. A
+        // crash in this window is healed by the client's cache
+        // re-flush, which replays the idempotent index adds.
+        if self.config.closure.maintains() {
+            self.world.crash_point(A2_BEFORE_INDEX_PUT)?;
+            let group = vec![(item_name.clone(), attrs.clone())];
+            self.closure
+                .index_items(&group, self.config.retry, A2_MID_INDEX_PUT)?;
+        }
+
         // Step 4: the data PUT, with the nonce as metadata. A crash just
         // before this line is the §4.2 atomicity violation.
         self.put_data(flush)
@@ -268,11 +294,19 @@ impl ProvenanceStore for S3SimpleDb {
         // same object version flushed twice in one group — closes the
         // group early, since the batch API rejects duplicates per call).
         self.world.crash_point(A2_BEFORE_PROV_PUT)?;
+        let closure_src = self.config.closure.maintains().then(|| items.clone());
         for group in pack_attr_batches(items) {
             with_throttle_retry(&self.world, &self.config.retry, || {
                 Ok(self.db.batch_put_attributes(DOMAIN, &group)?)
             })?;
             self.world.crash_point(A2_MID_PROV_PUT)?;
+        }
+
+        // Step 3b: index the whole group's edges at once.
+        if let Some(src) = closure_src {
+            self.world.crash_point(A2_BEFORE_INDEX_PUT)?;
+            self.closure
+                .index_items(&src, self.config.retry, A2_MID_INDEX_PUT)?;
         }
 
         // Step 4 for the whole group.
@@ -314,7 +348,12 @@ impl ProvenanceStore for S3SimpleDb {
     }
 
     fn query(&mut self, query: &ProvQuery) -> Result<QueryAnswer> {
-        SimpleDbQueryEngine::new(&self.db, &self.s3, &self.world, self.config.retry).execute(query)
+        let mut engine =
+            SimpleDbQueryEngine::new(&self.db, &self.s3, &self.world, self.config.retry);
+        if self.config.closure.serves() {
+            engine = engine.serving_closure();
+        }
+        engine.execute(query)
     }
 
     /// The orphan-provenance scan the paper calls inelegant (§4.2): walk

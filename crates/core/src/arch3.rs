@@ -25,6 +25,7 @@ use sim_simpledb::{ReplaceableAttribute, SimpleDb};
 use sim_sqs::{Sqs, MAX_BATCH_ENTRIES, RETENTION};
 use simworld::{AdaptiveDepth, CrashSite, SimInstant, SimWorld};
 
+use crate::closure::{ClosureIndex, ClosureMode};
 use crate::error::{CloudError, Result};
 use crate::layout::{
     data_key, nonce_for, pointer, tmp_prefix, ATTR_MD5, ATTR_NONCE, BUCKET, DOMAIN, META_NONCE,
@@ -70,6 +71,15 @@ pub const D3_BEFORE_MSG_DELETE: CrashSite = CrashSite::new("daemon3.before_msg_d
 /// territory).
 pub const D3_BEFORE_TMP_DELETE: CrashSite = CrashSite::new("daemon3.before_tmp_delete");
 
+/// Daemon crash site: edges committed to SimpleDB, closure-index rows
+/// not yet written (only on the path when [`Arch3Config::closure`]
+/// maintains the index). The WAL records are still present, so the
+/// restarted daemon replays the whole apply — including the index adds.
+pub const D3_BEFORE_INDEX_PUT: CrashSite = CrashSite::new("daemon3.before_index_put");
+
+/// Daemon crash site: between closure-index `BatchPutAttributes` calls.
+pub const D3_MID_INDEX_PUT: CrashSite = CrashSite::new("daemon3.mid_index_put");
+
 /// How the commit daemon overlaps its receive/assemble/apply loop.
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
 pub enum DaemonDepth {
@@ -108,6 +118,10 @@ pub struct Arch3Config {
     pub drain_idle_rounds: u32,
     /// How the commit daemon pipelines its step (default: serial).
     pub daemon_depth: DaemonDepth,
+    /// Ancestry-closure index behaviour (off by default, so the
+    /// request counts and fingerprints of the plain §4.3 protocol are
+    /// untouched).
+    pub closure: ClosureMode,
 }
 
 impl Default for Arch3Config {
@@ -119,6 +133,7 @@ impl Default for Arch3Config {
             commit_threshold: 8,
             drain_idle_rounds: 16,
             daemon_depth: DaemonDepth::Serial,
+            closure: ClosureMode::Off,
         }
     }
 }
@@ -193,6 +208,9 @@ pub struct CommitDaemon {
     /// AIMD depth state for [`DaemonDepth::Adaptive`]; reset on a
     /// crash, like the rest of the daemon's memory.
     controller: AdaptiveDepth,
+    /// Closure-index maintenance state; its ancestor cache is reset on
+    /// a crash, like the rest of the daemon's memory.
+    closure: ClosureIndex,
 }
 
 impl CommitDaemon {
@@ -214,6 +232,7 @@ impl CommitDaemon {
             assemblies: HashMap::new(),
             applied_total: 0,
             controller: AdaptiveDepth::new(),
+            closure: ClosureIndex::new(world, db),
         }
     }
 
@@ -261,6 +280,7 @@ impl CommitDaemon {
                 // the visibility timeout.
                 self.assemblies.clear();
                 self.controller = AdaptiveDepth::new();
+                self.closure.reset();
             }
         }
         result
@@ -475,11 +495,21 @@ impl CommitDaemon {
         // Two transactions re-flushing the same item version land in
         // separate packed groups (pack_attr_batches splits duplicates),
         // preserving the sequential-application result.
+        let closure_src = self.config.closure.maintains().then(|| items.clone());
         for group in pack_attr_batches(items) {
             with_throttle_retry(&self.world, &self.config.retry, || {
                 Ok(self.db.batch_put_attributes(DOMAIN, &group)?)
             })?;
             self.world.crash_point(D3_MID_PUTATTRS)?;
+        }
+        // Closure-index maintenance sits before the message deletes: a
+        // crash anywhere in this window leaves the WAL records in
+        // place, so the restarted daemon replays both the provenance
+        // puts and the (idempotent) index adds.
+        if let Some(src) = closure_src {
+            self.world.crash_point(D3_BEFORE_INDEX_PUT)?;
+            self.closure
+                .index_items(&src, self.config.retry, D3_MID_INDEX_PUT)?;
         }
         self.world.crash_point(D3_BEFORE_MSG_DELETE)?;
         // Log records go 10 handles per DeleteMessageBatch — a
@@ -995,7 +1025,12 @@ impl ProvenanceStore for S3SimpleDbSqs {
     }
 
     fn query(&mut self, query: &ProvQuery) -> Result<QueryAnswer> {
-        SimpleDbQueryEngine::new(&self.db, &self.s3, &self.world, self.config.retry).execute(query)
+        let mut engine =
+            SimpleDbQueryEngine::new(&self.db, &self.s3, &self.world, self.config.retry);
+        if self.config.closure.serves() {
+            engine = engine.serving_closure();
+        }
+        engine.execute(query)
     }
 
     /// Recovery after a crash (client or daemon): replay the WAL — the

@@ -1,0 +1,600 @@
+//! Incrementally materialized ancestry-closure index (PR 9).
+//!
+//! The paper's Q3 ("all descendants of files derived from blast") is the
+//! one query class whose walk engine scales with the *whole graph*: each
+//! generation costs one `QueryWithAttributes`, and every such query is a
+//! scan of the domain. This module maintains, at commit time, a closure
+//! index in its own SimpleDB domain ([`CLOSURE_DOMAIN`]) so that Q3 can
+//! be answered with point reads only — O(answer), not O(graph).
+//!
+//! # Layout
+//!
+//! One *logical row* per committed object version, keyed by the node's
+//! item name, holding multi-valued attributes:
+//!
+//! * `n` — marker: the row was written by the indexer;
+//! * `a` — renders of the node's transitive *ancestors*;
+//! * `d` — renders of the node's transitive *descendants*;
+//! * `o` — renders of the node's *direct file children* (the Q2 seed
+//!   set, materialized so the serve path never scans).
+//!
+//! A reserved row per process name (`\u{1f}name\u{1f}{program}`) lists
+//! the process versions carrying that name (`p` values) — the phase-1
+//! lookup of the walk engine, again as a point read.
+//!
+//! Ancestry follows the same edge relation the walk engine traverses:
+//! stored `input` attribute values that round-trip through
+//! [`ObjectRef::parse`]. Overflow pointers and spilled continuation
+//! pairs are invisible to the walk's equality queries, and they are
+//! invisible to the index too — the two engines agree by construction.
+//!
+//! # The 256-pair cap, without read-modify-write
+//!
+//! SimpleDB rejects items beyond 256 pairs, and a popular ancestor
+//! accumulates one `d` value per descendant. Each logical row therefore
+//! spreads its values across [`CLOSURE_FRAG_BUCKETS`] physical items:
+//! the pair `(attr, value)` lives in fragment `closure_bucket(attr,
+//! value)` (0 = the base item). The bucket is a pure function of the
+//! pair, so the final row bytes are independent of commit grouping,
+//! crash replays, and interleavings — maintenance is nothing but
+//! idempotent multi-value adds, which is what makes the crash story
+//! work. Fragments in use are listed as `f` values on the base item.
+//!
+//! # Crash consistency
+//!
+//! Both commit paths write the index *after* the provenance rows and
+//! *before* the point of no return (arch2: before the data PUT a client
+//! retries from its cache; arch3: before the WAL messages are deleted).
+//! A crash between edge commit and index write, or mid-index-batch,
+//! therefore replays the whole maintenance step, and since every write
+//! is an idempotent set-add the replayed closure is byte-identical to a
+//! never-crashed one. If a row is missing when the maintenance path
+//! needs it (e.g. the corpus predates the index being switched on), the
+//! absence of the `n` marker makes the staleness detectable and the row
+//! is rebuilt — healed — from the main provenance domain on the spot.
+//!
+//! # Out-of-order commits
+//!
+//! The arch3 daemon applies whichever transaction assemblies complete
+//! first, so a child can commit *before* its parent. The child still
+//! adds its render under the missing parent's row (a blind add needs no
+//! row to exist), but it cannot know the parent's ancestors yet. The
+//! repair rule closes the gap: when a node is indexed, it reads the
+//! descendants already recorded on its own row — premature children and
+//! their subtrees — and re-propagates them through the ancestor set it
+//! just resolved. Every repair write is the same idempotent set-add as
+//! regular maintenance, so any commit order converges to the same
+//! bytes.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use pass::ObjectRef;
+use sim_simpledb::{ReplaceableAttribute, SimpleDb};
+use simworld::{CrashSite, SimWorld};
+
+use crate::error::Result;
+use crate::layout::{
+    closure_bucket, closure_frag_name, closure_name_row, CLOSURE_ATTR_ANC, CLOSURE_ATTR_DESC,
+    CLOSURE_ATTR_FRAGS, CLOSURE_ATTR_NODE, CLOSURE_ATTR_OUT, CLOSURE_ATTR_PROC, CLOSURE_DOMAIN,
+    DOMAIN,
+};
+use crate::retry::{with_throttle_retry, RetryPolicy};
+use crate::serialize::pack_attr_batches;
+
+/// How a store treats the closure index.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub enum ClosureMode {
+    /// No index: nothing is written, queries use the walk engine. The
+    /// default, so every pinned request count and fingerprint in the
+    /// repo is untouched unless a caller opts in.
+    #[default]
+    Off,
+    /// Maintain the index at commit time; queries still use the walk
+    /// engine (the oracle configuration for equivalence tests).
+    Maintain,
+    /// Maintain the index and serve Q3 from it.
+    Serve,
+}
+
+impl ClosureMode {
+    /// Whether commits should write index rows.
+    pub fn maintains(self) -> bool {
+        self != ClosureMode::Off
+    }
+
+    /// Whether Q3 should be answered from the index.
+    pub fn serves(self) -> bool {
+        self == ClosureMode::Serve
+    }
+}
+
+/// Parses a stored attribute value as an object reference, requiring an
+/// exact round-trip — the same equality the walk engine's
+/// `['input' = '...']` queries apply to stored values.
+pub(crate) fn parse_render(value: &str) -> Option<ObjectRef> {
+    let obj = ObjectRef::parse(value)?;
+    (obj.render() == value).then_some(obj)
+}
+
+/// One group node's commit-visible facts, extracted from the stored
+/// attribute pairs.
+#[derive(Debug, Default, Clone)]
+struct NodeInfo {
+    /// Stored `input` values that round-trip as refs (the walk's edge
+    /// relation), deduplicated.
+    parents: BTreeSet<String>,
+    /// The node carries `type = file`.
+    is_file: bool,
+    /// The node carries `type = process`.
+    is_process: bool,
+    /// Stored `name` values.
+    names: BTreeSet<String>,
+}
+
+impl NodeInfo {
+    fn from_attrs(attrs: &[ReplaceableAttribute]) -> NodeInfo {
+        let mut info = NodeInfo::default();
+        for a in attrs {
+            match a.name.as_str() {
+                "input" if parse_render(&a.value).is_some() => {
+                    info.parents.insert(a.value.clone());
+                }
+                "type" => match a.value.as_str() {
+                    "file" => info.is_file = true,
+                    "process" => info.is_process = true,
+                    _ => {}
+                },
+                "name" => {
+                    info.names.insert(a.value.clone());
+                }
+                _ => {}
+            }
+        }
+        info
+    }
+
+    fn merge(&mut self, other: NodeInfo) {
+        self.parents.extend(other.parents);
+        self.is_file |= other.is_file;
+        self.is_process |= other.is_process;
+        self.names.extend(other.names);
+    }
+}
+
+/// The maintenance engine: computes ancestor sets for a commit group and
+/// writes the index rows through the batch API.
+#[derive(Debug)]
+pub struct ClosureIndex {
+    world: SimWorld,
+    db: SimpleDb,
+    /// `CreateDomain` already issued (it is idempotent but billable, so
+    /// it runs once per indexer).
+    domain_ready: bool,
+    /// item name -> ancestor renders, for nodes indexed in this
+    /// process's lifetime. Purely an op-count optimization: a miss
+    /// falls back to reading the closure row (and, failing that, a
+    /// heal), so losing the cache — a daemon crash — costs reads, not
+    /// correctness.
+    cache: HashMap<String, BTreeSet<String>>,
+}
+
+impl ClosureIndex {
+    /// An indexer writing through `db` on `world`.
+    pub fn new(world: &SimWorld, db: &SimpleDb) -> ClosureIndex {
+        ClosureIndex {
+            world: world.clone(),
+            db: db.clone(),
+            domain_ready: false,
+            cache: HashMap::new(),
+        }
+    }
+
+    /// Drops all in-memory state, as a process crash would.
+    pub fn reset(&mut self) {
+        self.cache.clear();
+    }
+
+    /// Indexes one commit group: the `(item name, stored attributes)`
+    /// pairs exactly as they were written to the provenance domain.
+    /// Fires `mid_site` after each index batch lands (the
+    /// mid-index-batch crash window).
+    ///
+    /// # Errors
+    ///
+    /// Service errors, and [`simworld::Crashed`] when an armed site
+    /// fires.
+    pub fn index_items(
+        &mut self,
+        items: &[(String, Vec<ReplaceableAttribute>)],
+        retry: RetryPolicy,
+        mid_site: CrashSite,
+    ) -> Result<()> {
+        // Gather the group's nodes (merging duplicate item entries —
+        // two transactions re-flushing one version).
+        let mut group: BTreeMap<String, NodeInfo> = BTreeMap::new();
+        for (item_name, attrs) in items {
+            if ObjectRef::parse_item_name(item_name).is_none() {
+                continue;
+            }
+            let info = NodeInfo::from_attrs(attrs);
+            match group.entry(item_name.clone()) {
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert(info);
+                }
+                std::collections::btree_map::Entry::Occupied(mut e) => e.get_mut().merge(info),
+            }
+        }
+        if group.is_empty() {
+            return Ok(());
+        }
+        if !self.domain_ready {
+            self.db.create_domain(CLOSURE_DOMAIN)?;
+            self.domain_ready = true;
+        }
+
+        // Resolve every group node's ancestor set. Heals pull stale
+        // out-of-group parents into `group`, so iterate until fixpoint
+        // over a snapshot of the keys each round.
+        let mut resolved: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+        let mut done: BTreeSet<String> = BTreeSet::new();
+        loop {
+            let pending: Vec<String> = group
+                .keys()
+                .filter(|k| !done.contains(*k))
+                .cloned()
+                .collect();
+            if pending.is_empty() {
+                break;
+            }
+            for item in pending {
+                let mut stack = BTreeSet::new();
+                self.resolve(&item, retry, &mut group, &mut resolved, &mut stack)?;
+                done.insert(item);
+            }
+        }
+
+        // Premature descendants: commits can land out of order, so a
+        // child may already have recorded itself under a group node's
+        // row before the node itself was indexed. Read what is there
+        // now (before this group's writes) so the repair pass below can
+        // re-propagate it through the ancestors resolved in this step.
+        let mut premature: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+        for item in group.keys() {
+            premature.insert(item.clone(), self.read_row_desc(item, retry)?);
+        }
+
+        // Emit the adds. Everything is an idempotent set-add; the
+        // physical placement is a pure function of (attr, value), so
+        // the converged bytes are independent of grouping and replays.
+        let mut adds: BTreeMap<String, BTreeSet<(String, String)>> = BTreeMap::new();
+        let mut desc_new: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+        let mut frag_marks: BTreeMap<String, BTreeSet<u64>> = BTreeMap::new();
+        let add = |adds: &mut BTreeMap<String, BTreeSet<(String, String)>>,
+                   frag_marks: &mut BTreeMap<String, BTreeSet<u64>>,
+                   base: &str,
+                   attr: &str,
+                   value: String| {
+            let bucket = closure_bucket(attr, &value);
+            if bucket == 0 {
+                adds.entry(base.to_string())
+                    .or_default()
+                    .insert((attr.to_string(), value));
+            } else {
+                adds.entry(closure_frag_name(base, bucket))
+                    .or_default()
+                    .insert((attr.to_string(), value));
+                frag_marks
+                    .entry(base.to_string())
+                    .or_default()
+                    .insert(bucket);
+            }
+        };
+        for (item, info) in &group {
+            let Some(object) = ObjectRef::parse_item_name(item) else {
+                continue;
+            };
+            let render = object.render();
+            adds.entry(item.clone())
+                .or_default()
+                .insert((CLOSURE_ATTR_NODE.to_string(), "1".to_string()));
+            let ancestors = resolved.get(item).cloned().unwrap_or_default();
+            for anc in &ancestors {
+                add(
+                    &mut adds,
+                    &mut frag_marks,
+                    item,
+                    CLOSURE_ATTR_ANC,
+                    anc.clone(),
+                );
+                if let Some(anc_obj) = parse_render(anc) {
+                    let anc_item = anc_obj.item_name();
+                    add(
+                        &mut adds,
+                        &mut frag_marks,
+                        &anc_item,
+                        CLOSURE_ATTR_DESC,
+                        render.clone(),
+                    );
+                    desc_new.entry(anc_item).or_default().insert(render.clone());
+                }
+            }
+            if info.is_file {
+                for parent in &info.parents {
+                    if let Some(parent_obj) = parse_render(parent) {
+                        add(
+                            &mut adds,
+                            &mut frag_marks,
+                            &parent_obj.item_name(),
+                            CLOSURE_ATTR_OUT,
+                            render.clone(),
+                        );
+                    }
+                }
+            }
+            if info.is_process {
+                for name in &info.names {
+                    add(
+                        &mut adds,
+                        &mut frag_marks,
+                        &closure_name_row(name),
+                        CLOSURE_ATTR_PROC,
+                        render.clone(),
+                    );
+                }
+            }
+            self.cache.insert(item.clone(), ancestors);
+        }
+
+        // Repair pass: every descendant already on a group node's row —
+        // premature commits and this group's own additions alike — is
+        // joined with the full ancestor set the node resolved to now.
+        // In-group ancestors were expanded transitively during resolve,
+        // so one pass suffices; no fixpoint is needed. Cached ancestor
+        // sets of repaired descendants are extended in place so later
+        // groups in this daemon's lifetime see the repaired rows.
+        for item in group.keys() {
+            let ancestors = resolved.get(item).cloned().unwrap_or_default();
+            if ancestors.is_empty() {
+                continue;
+            }
+            let mut desc_all = premature.remove(item).unwrap_or_default();
+            if let Some(new) = desc_new.get(item) {
+                desc_all.extend(new.iter().cloned());
+            }
+            for d in &desc_all {
+                let Some(d_obj) = parse_render(d) else {
+                    continue;
+                };
+                let d_item = d_obj.item_name();
+                for anc in &ancestors {
+                    add(
+                        &mut adds,
+                        &mut frag_marks,
+                        &d_item,
+                        CLOSURE_ATTR_ANC,
+                        anc.clone(),
+                    );
+                    if let Some(anc_obj) = parse_render(anc) {
+                        add(
+                            &mut adds,
+                            &mut frag_marks,
+                            &anc_obj.item_name(),
+                            CLOSURE_ATTR_DESC,
+                            d.clone(),
+                        );
+                    }
+                }
+                if let Some(cached) = self.cache.get_mut(&d_item) {
+                    cached.extend(ancestors.iter().cloned());
+                }
+            }
+        }
+        for (base, buckets) in frag_marks {
+            let entry = adds.entry(base).or_default();
+            for bucket in buckets {
+                entry.insert((CLOSURE_ATTR_FRAGS.to_string(), bucket.to_string()));
+            }
+        }
+
+        let batch_items: Vec<(String, Vec<ReplaceableAttribute>)> = adds
+            .into_iter()
+            .map(|(item, pairs)| {
+                (
+                    item,
+                    pairs
+                        .into_iter()
+                        .map(|(name, value)| ReplaceableAttribute::add(name, value))
+                        .collect(),
+                )
+            })
+            .collect();
+        for batch in pack_attr_batches(batch_items) {
+            with_throttle_retry(&self.world, &retry, || {
+                Ok(self.db.batch_put_attributes(CLOSURE_DOMAIN, &batch)?)
+            })?;
+            self.world.crash_point(mid_site)?;
+        }
+        Ok(())
+    }
+
+    /// The ancestor renders of `item`: `{parent} ∪ ancestors(parent)`
+    /// over its in-group parents, falling back to the cache, then the
+    /// stored closure row, then a heal for out-of-group parents.
+    fn resolve(
+        &mut self,
+        item: &str,
+        retry: RetryPolicy,
+        group: &mut BTreeMap<String, NodeInfo>,
+        resolved: &mut BTreeMap<String, BTreeSet<String>>,
+        stack: &mut BTreeSet<String>,
+    ) -> Result<BTreeSet<String>> {
+        if let Some(done) = resolved.get(item) {
+            return Ok(done.clone());
+        }
+        if !stack.insert(item.to_string()) {
+            // Cycle: impossible in a committed DAG, but never loop.
+            return Ok(BTreeSet::new());
+        }
+        let parents = group
+            .get(item)
+            .map(|info| info.parents.clone())
+            .unwrap_or_default();
+        let mut ancestors = BTreeSet::new();
+        for parent in parents {
+            let Some(parent_obj) = parse_render(&parent) else {
+                continue;
+            };
+            let parent_item = parent_obj.item_name();
+            let parent_anc = self.ancestors_of(&parent_item, retry, group, resolved, stack)?;
+            ancestors.insert(parent.clone());
+            ancestors.extend(parent_anc);
+        }
+        stack.remove(item);
+        resolved.insert(item.to_string(), ancestors.clone());
+        Ok(ancestors)
+    }
+
+    /// Ancestors of a node that may live in the group, the cache, the
+    /// closure domain, or — stale index — only in the main provenance
+    /// domain, in which case the node is pulled into the group so its
+    /// rows are (re)written: the self-heal rule.
+    fn ancestors_of(
+        &mut self,
+        item: &str,
+        retry: RetryPolicy,
+        group: &mut BTreeMap<String, NodeInfo>,
+        resolved: &mut BTreeMap<String, BTreeSet<String>>,
+        stack: &mut BTreeSet<String>,
+    ) -> Result<BTreeSet<String>> {
+        if group.contains_key(item) {
+            return self.resolve(item, retry, group, resolved, stack);
+        }
+        if let Some(cached) = self.cache.get(item) {
+            return Ok(cached.clone());
+        }
+        if let Some(stored) = self.read_row_ancestors(item, retry)? {
+            self.cache.insert(item.to_string(), stored.clone());
+            return Ok(stored);
+        }
+        // Detectably stale: the node is referenced by a committed edge
+        // but carries no marked closure row. Rebuild it from the main
+        // domain (eventual consistency may also return nothing here; an
+        // absent node then contributes no ancestors, which a later
+        // commit through this path will heal again).
+        let attrs = with_throttle_retry(&self.world, &retry, || {
+            Ok(self.db.get_attributes(DOMAIN, item, None)?)
+        })?;
+        if attrs.is_empty() {
+            return Ok(BTreeSet::new());
+        }
+        let replaceable: Vec<ReplaceableAttribute> = attrs
+            .into_iter()
+            .map(|a| ReplaceableAttribute::add(a.name, a.value))
+            .collect();
+        group.insert(item.to_string(), NodeInfo::from_attrs(&replaceable));
+        self.resolve(item, retry, group, resolved, stack)
+    }
+
+    /// Reads the stored descendant renders of a (possibly unmarked)
+    /// closure row: the children that committed before the node itself
+    /// and recorded themselves prematurely. Absent rows read as empty.
+    fn read_row_desc(&self, item: &str, retry: RetryPolicy) -> Result<BTreeSet<String>> {
+        let base = with_throttle_retry(&self.world, &retry, || {
+            Ok(self.db.get_attributes(CLOSURE_DOMAIN, item, None)?)
+        })?;
+        let mut desc: BTreeSet<String> = base
+            .iter()
+            .filter(|a| a.name == CLOSURE_ATTR_DESC)
+            .map(|a| a.value.clone())
+            .collect();
+        let buckets: BTreeSet<u64> = base
+            .iter()
+            .filter(|a| a.name == CLOSURE_ATTR_FRAGS)
+            .filter_map(|a| a.value.parse().ok())
+            .collect();
+        for bucket in buckets {
+            let frag_item = closure_frag_name(item, bucket);
+            let frag = with_throttle_retry(&self.world, &retry, || {
+                Ok(self.db.get_attributes(CLOSURE_DOMAIN, &frag_item, None)?)
+            })?;
+            desc.extend(
+                frag.iter()
+                    .filter(|a| a.name == CLOSURE_ATTR_DESC)
+                    .map(|a| a.value.clone()),
+            );
+        }
+        Ok(desc)
+    }
+
+    /// Reads the stored ancestor set of a marked closure row; `None`
+    /// when the row is missing or unmarked (stale).
+    fn read_row_ancestors(
+        &self,
+        item: &str,
+        retry: RetryPolicy,
+    ) -> Result<Option<BTreeSet<String>>> {
+        let base = with_throttle_retry(&self.world, &retry, || {
+            Ok(self.db.get_attributes(CLOSURE_DOMAIN, item, None)?)
+        })?;
+        if !base.iter().any(|a| a.name == CLOSURE_ATTR_NODE) {
+            return Ok(None);
+        }
+        let mut ancestors: BTreeSet<String> = base
+            .iter()
+            .filter(|a| a.name == CLOSURE_ATTR_ANC)
+            .map(|a| a.value.clone())
+            .collect();
+        let buckets: BTreeSet<u64> = base
+            .iter()
+            .filter(|a| a.name == CLOSURE_ATTR_FRAGS)
+            .filter_map(|a| a.value.parse().ok())
+            .collect();
+        for bucket in buckets {
+            let frag_item = closure_frag_name(item, bucket);
+            let frag = with_throttle_retry(&self.world, &retry, || {
+                Ok(self.db.get_attributes(CLOSURE_DOMAIN, &frag_item, None)?)
+            })?;
+            ancestors.extend(
+                frag.iter()
+                    .filter(|a| a.name == CLOSURE_ATTR_ANC)
+                    .map(|a| a.value.clone()),
+            );
+        }
+        Ok(Some(ancestors))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_render_requires_exact_round_trip() {
+        assert_eq!(parse_render("a:1"), Some(ObjectRef::new("a", 1)));
+        assert_eq!(
+            parse_render("proc:1:tool:2"),
+            Some(ObjectRef::new("proc:1:tool", 2))
+        );
+        // Leading zeros do not round-trip, so the walk engine would
+        // never match them either.
+        assert_eq!(parse_render("a:01"), None);
+        assert_eq!(parse_render("@s3:prov/a 1/0"), None);
+        assert_eq!(parse_render("plain"), None);
+    }
+
+    #[test]
+    fn node_info_extracts_the_walk_edge_relation() {
+        let attrs = vec![
+            ReplaceableAttribute::add("input", "a:1"),
+            ReplaceableAttribute::add("input", "not a ref"),
+            ReplaceableAttribute::add("type", "file"),
+            ReplaceableAttribute::add("name", "tool"),
+            ReplaceableAttribute::add("md5", "ffff"),
+        ];
+        let info = NodeInfo::from_attrs(&attrs);
+        assert_eq!(info.parents.len(), 1);
+        assert!(info.is_file);
+        assert!(!info.is_process);
+        assert!(info.names.contains("tool"));
+    }
+}

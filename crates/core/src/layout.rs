@@ -19,6 +19,85 @@ pub const TMP_PREFIX: &str = "tmp/";
 /// SimpleDB domain holding provenance items.
 pub const DOMAIN: &str = "provenance";
 
+/// SimpleDB domain holding the materialized ancestry-closure index
+/// (PR 9). Lives beside [`DOMAIN`] on the same sharded endpoint, so the
+/// shardmap layer routes and splits it like any other domain — and so
+/// the data/provenance fingerprints are byte-identical whether the
+/// index exists or not.
+pub const CLOSURE_DOMAIN: &str = "closure";
+
+/// Closure attribute: node marker. Present exactly when the node's
+/// closure row has been written — its absence on a committed node is
+/// the detectable-staleness signal that triggers a self-heal rebuild.
+pub const CLOSURE_ATTR_NODE: &str = "n";
+
+/// Closure attribute: one value per transitive ancestor (the rendered
+/// `ObjectRef` of the ancestor).
+pub const CLOSURE_ATTR_ANC: &str = "a";
+
+/// Closure attribute: one value per transitive descendant.
+pub const CLOSURE_ATTR_DESC: &str = "d";
+
+/// Closure attribute: one value per *direct* file child — the Q2 seed
+/// set ("outputs of"), materialized so the index-backed Q3 engine can
+/// seed itself with point reads instead of scans.
+pub const CLOSURE_ATTR_OUT: &str = "o";
+
+/// Closure attribute: one value per process version carrying a given
+/// name (on name rows only; see [`closure_name_row`]).
+pub const CLOSURE_ATTR_PROC: &str = "p";
+
+/// Closure attribute (base rows only): the fragment indices of this
+/// logical row that hold at least one value.
+pub const CLOSURE_ATTR_FRAGS: &str = "f";
+
+/// How many hash fragments a logical closure row spreads across (the
+/// base item plus `CLOSURE_FRAG_BUCKETS - 1` fragment items). Each
+/// physical item respects SimpleDB's 256-pair cap, so one logical row
+/// holds roughly `64 * 250` values before overflowing.
+pub const CLOSURE_FRAG_BUCKETS: u64 = 64;
+
+/// Separator between a closure base item name and a fragment index
+/// (`\u{1f}` cannot appear in object names that survive the record
+/// escaper, so fragment names never collide with node rows).
+pub const CLOSURE_FRAG_SEP: char = '\u{1f}';
+
+/// Item-name prefix reserved for process-name rows in the closure
+/// domain.
+pub const CLOSURE_NAME_PREFIX: &str = "\u{1f}name\u{1f}";
+
+/// Item name of the `idx`-th fragment of a logical closure row
+/// (`idx >= 1`; fragment 0 is the base item itself).
+pub fn closure_frag_name(base: &str, idx: u64) -> String {
+    format!("{base}{CLOSURE_FRAG_SEP}{idx}")
+}
+
+/// Item name of the closure row listing the process versions named
+/// `program`.
+pub fn closure_name_row(program: &str) -> String {
+    format!("{CLOSURE_NAME_PREFIX}{program}")
+}
+
+/// Which fragment of a logical closure row an `(attribute, value)` pair
+/// lives in: 0 is the base item, anything else the matching fragment
+/// item. The bucket is a pure function of the pair (FNV-1a), so closure
+/// rows are byte-identical no matter how commits were grouped, replayed
+/// after crashes, or interleaved — there is no read-modify-write in the
+/// maintenance path.
+pub fn closure_bucket(attr: &str, value: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in attr
+        .as_bytes()
+        .iter()
+        .chain([0x1f].iter())
+        .chain(value.as_bytes())
+    {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash % CLOSURE_FRAG_BUCKETS
+}
+
 /// Metadata key carrying the stored version on a data object.
 pub const META_VERSION: &str = "version";
 
@@ -112,5 +191,22 @@ mod tests {
     #[test]
     fn tmp_prefix_scopes_by_client_and_txn() {
         assert_eq!(tmp_prefix("c1", 9), "tmp/c1/9/");
+    }
+
+    #[test]
+    fn closure_buckets_are_stable_and_bounded() {
+        let b = closure_bucket("d", "cooked/0.dat:1");
+        assert_eq!(b, closure_bucket("d", "cooked/0.dat:1"));
+        assert!(b < CLOSURE_FRAG_BUCKETS);
+        // Different attributes route the same value independently.
+        assert!(closure_bucket("a", "x:1") < CLOSURE_FRAG_BUCKETS);
+    }
+
+    #[test]
+    fn closure_names_cannot_collide_with_node_rows() {
+        // Node rows are "{name} {version}"; fragment and name rows carry
+        // the \u{1f} separator, which parse_item_name-able names never do.
+        assert_eq!(closure_frag_name("f 1", 3), "f 1\u{1f}3");
+        assert_eq!(closure_name_row("blastall"), "\u{1f}name\u{1f}blastall");
     }
 }

@@ -58,6 +58,7 @@
 mod arch1;
 mod arch2;
 mod arch3;
+mod closure;
 mod error;
 mod graph;
 pub mod layout;
@@ -73,14 +74,16 @@ mod wal;
 
 pub use arch1::{StandaloneS3, A1_BEFORE_DATA_PUT, A1_BEFORE_OVERFLOW_PUT};
 pub use arch2::{
-    Arch2Config, S3SimpleDb, A2_BEFORE_DATA_PUT, A2_BEFORE_OVERFLOW_PUT, A2_BEFORE_PROV_PUT,
-    A2_MID_PROV_PUT,
+    Arch2Config, S3SimpleDb, A2_BEFORE_DATA_PUT, A2_BEFORE_INDEX_PUT, A2_BEFORE_OVERFLOW_PUT,
+    A2_BEFORE_PROV_PUT, A2_MID_INDEX_PUT, A2_MID_PROV_PUT,
 };
 pub use arch3::{
     Arch3Config, CommitDaemon, DaemonDepth, DaemonProgress, S3SimpleDbSqs, A3_AFTER_TEMP_PUT,
     A3_BEFORE_BEGIN, A3_BEFORE_COMMIT, A3_BEFORE_TEMP_PUT, A3_MID_PROV_LOG, D3_AFTER_COPY,
-    D3_BEFORE_COPY, D3_BEFORE_MSG_DELETE, D3_BEFORE_TMP_DELETE, D3_MID_PUTATTRS,
+    D3_BEFORE_COPY, D3_BEFORE_INDEX_PUT, D3_BEFORE_MSG_DELETE, D3_BEFORE_TMP_DELETE,
+    D3_MID_INDEX_PUT, D3_MID_PUTATTRS,
 };
+pub use closure::{ClosureIndex, ClosureMode};
 pub use error::{CloudError, Result};
 pub use graph::{GraphDiff, NodeDiff, ProvGraph};
 pub use pipeline::{

@@ -33,12 +33,13 @@ use simworld::{Blob, Consistency, CrashSite, LatencyModel, SimConfig, SimDuratio
 
 use crate::arch1::{StandaloneS3, A1_BEFORE_DATA_PUT, A1_BEFORE_OVERFLOW_PUT};
 use crate::arch2::{
-    S3SimpleDb, A2_BEFORE_DATA_PUT, A2_BEFORE_OVERFLOW_PUT, A2_BEFORE_PROV_PUT, A2_MID_PROV_PUT,
+    S3SimpleDb, A2_BEFORE_DATA_PUT, A2_BEFORE_INDEX_PUT, A2_BEFORE_OVERFLOW_PUT,
+    A2_BEFORE_PROV_PUT, A2_MID_INDEX_PUT, A2_MID_PROV_PUT,
 };
 use crate::arch3::{
     S3SimpleDbSqs, A3_AFTER_TEMP_PUT, A3_BEFORE_BEGIN, A3_BEFORE_COMMIT, A3_BEFORE_TEMP_PUT,
-    A3_MID_PROV_LOG, D3_AFTER_COPY, D3_BEFORE_COPY, D3_BEFORE_MSG_DELETE, D3_BEFORE_TMP_DELETE,
-    D3_MID_PUTATTRS,
+    A3_MID_PROV_LOG, D3_AFTER_COPY, D3_BEFORE_COPY, D3_BEFORE_INDEX_PUT, D3_BEFORE_MSG_DELETE,
+    D3_BEFORE_TMP_DELETE, D3_MID_INDEX_PUT, D3_MID_PUTATTRS,
 };
 use crate::error::Result;
 use crate::layout::{data_key, ATTR_MD5, BUCKET, DATA_PREFIX, DOMAIN};
@@ -112,6 +113,8 @@ impl ArchKind {
                 A2_BEFORE_OVERFLOW_PUT,
                 A2_BEFORE_PROV_PUT,
                 A2_MID_PROV_PUT,
+                A2_BEFORE_INDEX_PUT,
+                A2_MID_INDEX_PUT,
                 A2_BEFORE_DATA_PUT,
             ],
             ArchKind::S3SimpleDbSqs => &[
@@ -132,6 +135,8 @@ impl ArchKind {
                 D3_BEFORE_COPY,
                 D3_AFTER_COPY,
                 D3_MID_PUTATTRS,
+                D3_BEFORE_INDEX_PUT,
+                D3_MID_INDEX_PUT,
                 D3_BEFORE_MSG_DELETE,
                 D3_BEFORE_TMP_DELETE,
             ],

@@ -21,8 +21,12 @@ use sim_s3::{S3Error, S3};
 use sim_simpledb::SimpleDb;
 use simworld::SimWorld;
 
-use crate::error::Result;
-use crate::layout::{data_key, parse_data_key, BUCKET, DOMAIN};
+use crate::closure::parse_render;
+use crate::error::{CloudError, Result};
+use crate::layout::{
+    closure_frag_name, closure_name_row, data_key, parse_data_key, BUCKET, CLOSURE_ATTR_DESC,
+    CLOSURE_ATTR_FRAGS, CLOSURE_ATTR_OUT, CLOSURE_ATTR_PROC, CLOSURE_DOMAIN, DOMAIN,
+};
 use crate::readpath::{get_object_with_retry, overflow_to_string};
 use crate::retry::RetryPolicy;
 use crate::serialize::{decode_attributes, decode_metadata, read_version};
@@ -225,6 +229,9 @@ pub struct SimpleDbQueryEngine {
     s3: S3,
     world: SimWorld,
     retry: RetryPolicy,
+    /// Serve Q3 from the materialized closure index ([`CLOSURE_DOMAIN`])
+    /// instead of the generation-at-a-time walk.
+    serve_closure: bool,
 }
 
 impl SimpleDbQueryEngine {
@@ -241,7 +248,17 @@ impl SimpleDbQueryEngine {
             s3: s3.clone(),
             world: world.clone(),
             retry,
+            serve_closure: false,
         }
+    }
+
+    /// Switches Q3 to the closure-index path: point reads over
+    /// [`CLOSURE_DOMAIN`] — O(answer) requests — instead of one
+    /// domain-scanning `QueryWithAttributes` per frontier node. The
+    /// other queries are unchanged.
+    pub fn serving_closure(mut self) -> SimpleDbQueryEngine {
+        self.serve_closure = true;
+        self
     }
 
     /// Executes a query.
@@ -285,6 +302,9 @@ impl SimpleDbQueryEngine {
                 Ok(QueryAnswer::from_map(self.outputs_of(program)?))
             }
             ProvQuery::DescendantsOf { program } => {
+                if self.serve_closure {
+                    return Ok(QueryAnswer::from_map(self.descendants_via_index(program)?));
+                }
                 // Q3 = Q2 seeds, then one generation at a time; SimpleDB
                 // "does not support recursive queries or stored
                 // procedures" (§5).
@@ -294,9 +314,11 @@ impl SimpleDbQueryEngine {
                 let mut frontier: VecDeque<ObjectRef> = seeds.keys().cloned().collect();
                 while let Some(parent) = frontier.pop_front() {
                     // One QueryWithAttributes per frontier item, as the
-                    // paper describes.
+                    // paper describes. Objects already visited are
+                    // skipped before decoding, so a diamond in the graph
+                    // costs one record fetch, not one per path.
                     let expr = format!("['input' = '{}']", quote(&parent.render()));
-                    let children = self.query_all_pages(&expr)?;
+                    let children = self.query_children(&expr, &visited)?;
                     for (object, records) in children {
                         if visited.insert(object.clone()) {
                             frontier.push_back(object.clone());
@@ -332,6 +354,117 @@ impl SimpleDbQueryEngine {
             }
         }
         Ok(outputs)
+    }
+
+    /// Q3 over the closure index: every step is a point read.
+    ///
+    /// 1. the name row lists the program's process versions;
+    /// 2. their `o` values are the seed files (the walk's Q2 phase);
+    /// 3. the seeds' `d` values are the transitive descendants;
+    /// 4. one `GetAttributes` per answer object fetches its records.
+    ///
+    /// Requests scale with the answer, never with the corpus. The
+    /// answer matches the walk engine item for item: the index
+    /// maintains exactly the walk's edge relation (stored inline
+    /// `input` values that round-trip as refs), and seeds are excluded
+    /// from the result just as the walk pre-loads them into `visited`.
+    fn descendants_via_index(
+        &self,
+        program: &str,
+    ) -> Result<BTreeMap<ObjectRef, Vec<ProvenanceRecord>>> {
+        let procs = self.closure_row_values(&closure_name_row(program), CLOSURE_ATTR_PROC)?;
+        let mut seeds: BTreeSet<String> = BTreeSet::new();
+        for proc in &procs {
+            if let Some(obj) = parse_render(proc) {
+                seeds.extend(self.closure_row_values(&obj.item_name(), CLOSURE_ATTR_OUT)?);
+            }
+        }
+        let mut hits: BTreeSet<String> = BTreeSet::new();
+        for seed in &seeds {
+            if let Some(obj) = parse_render(seed) {
+                hits.extend(self.closure_row_values(&obj.item_name(), CLOSURE_ATTR_DESC)?);
+            }
+        }
+        let mut result = BTreeMap::new();
+        for hit in hits.difference(&seeds) {
+            let Some(object) = parse_render(hit) else {
+                continue;
+            };
+            // A missing main-domain item here is a stale phantom (the
+            // closure outlived a deleted row); skip it rather than fail.
+            if let Some(records) = self.fetch_item(&object)? {
+                result.insert(object, records);
+            }
+        }
+        Ok(result)
+    }
+
+    /// All values of `attr` on one logical closure row: the base item
+    /// plus every fragment the base's `f` list names. An absent row —
+    /// or an index domain that was never created — contributes nothing.
+    fn closure_row_values(&self, item: &str, attr: &str) -> Result<BTreeSet<String>> {
+        let base = match self.db.get_attributes(CLOSURE_DOMAIN, item, None) {
+            Ok(attrs) => attrs,
+            Err(sim_simpledb::SdbError::NoSuchDomain { .. }) => return Ok(BTreeSet::new()),
+            Err(e) => return Err(CloudError::from(e)),
+        };
+        let mut values: BTreeSet<String> = base
+            .iter()
+            .filter(|a| a.name == attr)
+            .map(|a| a.value.clone())
+            .collect();
+        let buckets: BTreeSet<u64> = base
+            .iter()
+            .filter(|a| a.name == CLOSURE_ATTR_FRAGS)
+            .filter_map(|a| a.value.parse().ok())
+            .collect();
+        for bucket in buckets {
+            let frag =
+                self.db
+                    .get_attributes(CLOSURE_DOMAIN, &closure_frag_name(item, bucket), None)?;
+            values.extend(
+                frag.iter()
+                    .filter(|a| a.name == attr)
+                    .map(|a| a.value.clone()),
+            );
+        }
+        Ok(values)
+    }
+
+    /// Runs one QueryWithAttributes expression across all pages,
+    /// skipping the decode (and its overflow GETs) for objects already
+    /// in `skip`.
+    fn query_children(
+        &self,
+        expr: &str,
+        skip: &BTreeSet<ObjectRef>,
+    ) -> Result<BTreeMap<ObjectRef, Vec<ProvenanceRecord>>> {
+        let mut out = BTreeMap::new();
+        let mut token: Option<String> = None;
+        loop {
+            let page = self.db.query_with_attributes(
+                DOMAIN,
+                Some(expr),
+                None,
+                Some(250),
+                token.as_deref(),
+            )?;
+            for item in &page.items {
+                let Some(object) = ObjectRef::parse_item_name(&item.name) else {
+                    continue;
+                };
+                if skip.contains(&object) || out.contains_key(&object) {
+                    continue;
+                }
+                let records = decode_attributes(&item.attributes, |key| self.fetch_overflow(key))?;
+                out.insert(object, records);
+            }
+            match page.next_token {
+                Some(t) => token = Some(t),
+                None => break,
+            }
+        }
+        Ok(out)
     }
 
     /// Runs one QueryWithAttributes expression across all pages.

@@ -483,6 +483,168 @@ fn repeated_whole_dataset_persist_is_idempotent() {
     }
 }
 
+/// Satellite of the closure-index issue: a crash between the provenance
+/// commit and the closure-index write, or mid-index-batch, must replay
+/// to a closure byte-identical to a from-scratch build of the same
+/// corpus — the index may be momentarily stale, never silently wrong.
+#[test]
+fn index_crash_sites_replay_to_a_from_scratch_closure() {
+    use pass_cloud::cloud::layout::CLOSURE_DOMAIN;
+    use pass_cloud::cloud::{
+        Arch2Config, ClosureMode, S3SimpleDb, A2_BEFORE_INDEX_PUT, A2_MID_INDEX_PUT,
+        D3_BEFORE_INDEX_PUT, D3_MID_INDEX_PUT,
+    };
+
+    // Reduce the closure domain to bytes: every live item with its
+    // attribute pairs, sorted — grouping and replay history must be
+    // invisible at this level.
+    fn closure_bytes(db: &pass_cloud::simpledb::SimpleDb) -> String {
+        let mut acc = String::new();
+        for name in db.latest_item_names(CLOSURE_DOMAIN) {
+            let mut attrs: Vec<(String, String)> = db
+                .latest_item(CLOSURE_DOMAIN, &name)
+                .unwrap_or_default()
+                .into_iter()
+                .map(|a| (a.name, a.value))
+                .collect();
+            attrs.sort();
+            acc.push_str(&name);
+            for (k, v) in attrs {
+                acc.push_str(&format!("|{k}={v}"));
+            }
+            acc.push('\n');
+        }
+        acc
+    }
+
+    // The from-scratch rebuild: the same corpus, no crash.
+    let reference = {
+        let world = SimWorld::counting();
+        let mut store = S3SimpleDb::new(&world);
+        store.set_config(Arch2Config {
+            closure: ClosureMode::Maintain,
+            ..Arch2Config::default()
+        });
+        for flush in flushes() {
+            store.persist(&flush).unwrap();
+        }
+        world.settle();
+        closure_bytes(store.simpledb())
+    };
+    assert!(!reference.is_empty(), "the corpus must build a closure");
+
+    // Arch2: the client crashes around its index write and re-flushes
+    // from cache, like every other client site.
+    for site in [A2_BEFORE_INDEX_PUT, A2_MID_INDEX_PUT] {
+        for ordinal in 0..3 {
+            let world = SimWorld::counting();
+            world.with_faults(|f| f.arm_after(site, ordinal));
+            let mut store = S3SimpleDb::new(&world);
+            store.set_config(Arch2Config {
+                closure: ClosureMode::Maintain,
+                ..Arch2Config::default()
+            });
+            let mut crashed = false;
+            for flush in flushes() {
+                match store.persist(&flush) {
+                    Ok(()) => {}
+                    Err(e) if e.is_crash() => {
+                        crashed = true;
+                        store.persist(&flush).expect("retry after restart succeeds");
+                    }
+                    Err(e) => panic!("unexpected error: {e}"),
+                }
+            }
+            world.settle();
+            if ordinal == 0 {
+                assert!(crashed, "{site}: the armed site must fire");
+            }
+            assert_eq!(
+                closure_bytes(store.simpledb()),
+                reference,
+                "{site}/{ordinal}: replay diverged from the from-scratch closure"
+            );
+        }
+    }
+
+    // Arch2 without the retry: a client that dies between the
+    // provenance commit and the index write leaves the closure stale.
+    // The next commit that references the un-indexed node must pull it
+    // in and heal the index to the exact from-scratch state.
+    {
+        let world = SimWorld::counting();
+        // Ordinal 1 skips the first flush ("a") and fires on the
+        // process flush — whose closure rows then never get written.
+        world.with_faults(|f| f.arm_after(A2_BEFORE_INDEX_PUT, 1));
+        let mut store = S3SimpleDb::new(&world);
+        store.set_config(Arch2Config {
+            closure: ClosureMode::Maintain,
+            ..Arch2Config::default()
+        });
+        let mut crashed = false;
+        for flush in flushes() {
+            match store.persist(&flush) {
+                Ok(()) => {}
+                Err(e) if e.is_crash() => crashed = true, // no retry
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        world.settle();
+        assert!(crashed, "the armed site must fire");
+        assert_eq!(
+            closure_bytes(store.simpledb()),
+            reference,
+            "persisting the child must heal the stale parent into the index"
+        );
+    }
+
+    // Arch3: the commit daemon crashes around its index write; the WAL
+    // replays the whole group, index write included.
+    let arch3_reference = {
+        let world = SimWorld::counting();
+        let mut store = S3SimpleDbSqs::new(&world, "closure-ref");
+        store.set_config(Arch3Config {
+            closure: ClosureMode::Maintain,
+            ..Arch3Config::default()
+        });
+        for flush in flushes() {
+            store.persist(&flush).unwrap();
+        }
+        store.run_daemons_until_idle().unwrap();
+        world.settle();
+        closure_bytes(store.simpledb())
+    };
+    // The closure is a pure function of the committed edges, so the
+    // architectures must agree byte-for-byte on the same corpus.
+    assert_eq!(arch3_reference, reference);
+    for site in [D3_BEFORE_INDEX_PUT, D3_MID_INDEX_PUT] {
+        for ordinal in 0..2 {
+            let world = SimWorld::counting();
+            let mut store = S3SimpleDbSqs::new(&world, "closure-crash");
+            store.set_config(Arch3Config {
+                closure: ClosureMode::Maintain,
+                ..Arch3Config::default()
+            });
+            for flush in flushes() {
+                store.persist(&flush).unwrap();
+            }
+            world.with_faults(|f| f.arm_after(site, ordinal));
+            // First drain may die; a restarted daemon finishes the job.
+            let crashed = store.run_daemons_until_idle().is_err();
+            store.run_daemons_until_idle().expect("replay converges");
+            world.settle();
+            if ordinal == 0 {
+                assert!(crashed, "{site}: the armed site must fire");
+            }
+            assert_eq!(
+                closure_bytes(store.simpledb()),
+                arch3_reference,
+                "{site}/{ordinal}: daemon replay diverged from the from-scratch closure"
+            );
+        }
+    }
+}
+
 /// Satellite of the dynamic-shard-map issue: daemon crashes replayed
 /// over a domain/bucket that split mid-run must converge to the exact
 /// store a static-shard run converges to. The split runs force a few

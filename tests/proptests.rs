@@ -519,6 +519,182 @@ proptest! {
     }
 }
 
+// --- incremental closure index vs an exact transitive closure ---
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn incremental_closure_matches_exact_transitive_closure(
+        nodes in proptest::collection::vec(
+            (any::<bool>(), any::<u64>(), 0u8..3),
+            2..14,
+        ),
+        group_sizes in proptest::collection::vec(1usize..4, 1..14),
+        daemon_bits in any::<u64>(),
+    ) {
+        // Random DAG: node i may take any earlier node as a parent, so
+        // commits see file->file, file->proc, proc->file and proc->proc
+        // edges in every order. The flushes land in arbitrary batch
+        // groupings with daemon drains interleaved; the stored closure
+        // must still equal an exact from-first-principles transitive
+        // closure, and the index engine must answer Q3 exactly like the
+        // walk engine.
+        use pass_cloud::cloud::layout::{
+            closure_name_row, CLOSURE_ATTR_ANC, CLOSURE_ATTR_DESC, CLOSURE_ATTR_OUT,
+            CLOSURE_ATTR_PROC, CLOSURE_DOMAIN, CLOSURE_FRAG_SEP,
+        };
+        use pass_cloud::cloud::{Arch3Config, ClosureMode, ProvQuery, ProvenanceStore, S3SimpleDbSqs};
+        use std::collections::{BTreeMap, BTreeSet};
+
+        const PROGRAMS: [&str; 3] = ["alpha", "beta", "gamma"];
+
+        // Build the DAG and its flushes.
+        let n = nodes.len();
+        let name = |i: usize, is_proc: bool| {
+            if is_proc { format!("p{i}") } else { format!("f{i}") }
+        };
+        let mut parents: Vec<Vec<usize>> = Vec::with_capacity(n);
+        let mut flushes = Vec::with_capacity(n);
+        for (i, &(is_proc, mask, prog)) in nodes.iter().enumerate() {
+            let mine: Vec<usize> = (0..i)
+                .filter(|j| (mask >> (j % 64)) & 1 == 1)
+                .take(4)
+                .collect();
+            let mut builder = FileFlush::builder(name(i, is_proc));
+            if is_proc {
+                builder = builder
+                    .process()
+                    .record("name", PROGRAMS[prog as usize]);
+            } else {
+                builder = builder.data(Blob::synthetic(i as u64, 64));
+            }
+            for &j in &mine {
+                builder = builder.record("input", &format!("{}:1", name(j, nodes[j].0)));
+            }
+            parents.push(mine);
+            flushes.push(builder.build());
+        }
+
+        // Exact ancestor sets by memoised recursion over the edge list.
+        let render = |i: usize| format!("{}:1", name(i, nodes[i].0));
+        let mut anc: Vec<BTreeSet<String>> = Vec::with_capacity(n);
+        for ps in &parents {
+            let mut mine = BTreeSet::new();
+            for &j in ps {
+                mine.insert(render(j));
+                mine.extend(anc[j].iter().cloned());
+            }
+            anc.push(mine);
+        }
+        let mut desc: Vec<BTreeSet<String>> = vec![BTreeSet::new(); n];
+        for (i, mine) in desc.iter_mut().enumerate() {
+            for (j, up) in anc.iter().enumerate() {
+                if up.contains(&render(i)) {
+                    mine.insert(render(j));
+                }
+            }
+        }
+
+        // Persist in arbitrary groups with daemon drains interleaved.
+        let world = SimWorld::counting();
+        let mut store = S3SimpleDbSqs::new(&world, "closure-prop");
+        store.set_config(Arch3Config {
+            closure: ClosureMode::Maintain,
+            ..Arch3Config::default()
+        });
+        let mut cursor = 0usize;
+        for (round, &size) in group_sizes.iter().enumerate() {
+            if cursor >= n {
+                break;
+            }
+            let end = (cursor + size).min(n);
+            store.persist_batch(&flushes[cursor..end]).unwrap();
+            cursor = end;
+            if (daemon_bits >> (round % 64)) & 1 == 1 {
+                store.run_daemons_until_idle().unwrap();
+            }
+        }
+        if cursor < n {
+            store.persist_batch(&flushes[cursor..n]).unwrap();
+        }
+        store.run_daemons_until_idle().unwrap();
+        world.settle();
+
+        // Reassemble the logical closure rows from the fragmented
+        // physical items: `{base}\u{1f}{bucket}` folds into `base`.
+        let db = store.simpledb().clone();
+        let mut logical: BTreeMap<String, BTreeMap<String, BTreeSet<String>>> = BTreeMap::new();
+        for item in db.latest_item_names(CLOSURE_DOMAIN) {
+            let base = match item.rsplit_once(CLOSURE_FRAG_SEP) {
+                Some((base, suffix)) if suffix.parse::<u64>().is_ok() && !base.is_empty() => {
+                    base.to_string()
+                }
+                _ => item.clone(),
+            };
+            let row = logical.entry(base).or_default();
+            for attr in db.latest_item(CLOSURE_DOMAIN, &item).unwrap_or_default() {
+                row.entry(attr.name).or_default().insert(attr.value);
+            }
+        }
+        let values = |base: &str, attr: &str| -> BTreeSet<String> {
+            logical
+                .get(base)
+                .and_then(|row| row.get(attr))
+                .cloned()
+                .unwrap_or_default()
+        };
+
+        for i in 0..n {
+            let item = format!("{} 1", name(i, nodes[i].0));
+            prop_assert_eq!(
+                values(&item, CLOSURE_ATTR_ANC),
+                anc[i].clone()
+            );
+            prop_assert_eq!(
+                values(&item, CLOSURE_ATTR_DESC),
+                desc[i].clone()
+            );
+            if nodes[i].0 {
+                let out: BTreeSet<String> = (0..n)
+                    .filter(|&j| !nodes[j].0 && parents[j].contains(&i))
+                    .map(render)
+                    .collect();
+                prop_assert_eq!(
+                    values(&item, CLOSURE_ATTR_OUT),
+                    out
+                );
+            }
+        }
+        for (p, prog) in PROGRAMS.iter().enumerate() {
+            let procs: BTreeSet<String> = (0..n)
+                .filter(|&i| nodes[i].0 && nodes[i].2 == p as u8)
+                .map(render)
+                .collect();
+            prop_assert_eq!(
+                values(&closure_name_row(prog), CLOSURE_ATTR_PROC),
+                procs
+            );
+        }
+
+        // The index engine answers Q3 item-for-item like the walk.
+        for prog in PROGRAMS.iter().chain(["delta"].iter()) {
+            let q = ProvQuery::DescendantsOf { program: (*prog).to_string() };
+            store.set_config(Arch3Config {
+                closure: ClosureMode::Serve,
+                ..Arch3Config::default()
+            });
+            let indexed = store.query(&q).unwrap().names();
+            store.set_config(Arch3Config {
+                closure: ClosureMode::Off,
+                ..Arch3Config::default()
+            });
+            let walked = store.query(&q).unwrap().names();
+            prop_assert_eq!(indexed, walked);
+        }
+    }
+}
+
 // --- end-to-end persist/read invariant, randomised ---
 
 proptest! {
