@@ -1,0 +1,156 @@
+//! Wall-clock serving baseline: a thread sweep over the network
+//! frontend.
+//!
+//! Default mode sweeps 1/2/4/8 client threads across arch2/arch3 ×
+//! point/batched over a Unix-domain socket, printing throughput and
+//! open-loop latency percentiles, and verifies that every networked
+//! run's store fingerprint equals the same workload applied
+//! in-process. On hosts with 4+ cores it additionally requires ≥2x
+//! query throughput at 4 threads over 1.
+//!
+//! `--smoke` is the CI gate: one 4-thread burst (arch2 + arch3, Unix
+//! socket), zero tolerated errors, fingerprints byte-identical.
+//!
+//! Other flags: `--tcp` (loopback TCP instead of a Unix socket),
+//! `--threads=1,2,4,8`, `--steps=N`, `--queries=N`, `--rate=F`,
+//! `--closure` (serve the ancestry-closure index).
+
+use prov_bench::loadgen::{loadgen_sweep, render_loadgen, LoadArch, LoadgenParams, LoadgenRow};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let tcp = args.iter().any(|a| a == "--tcp");
+    let closure = args.iter().any(|a| a == "--closure");
+    let threads = parse_list(&args, "--threads=").unwrap_or_else(|| vec![1, 2, 4, 8]);
+    let steps = parse_num(&args, "--steps=").unwrap_or(if smoke { 6 } else { 16 });
+    let queries = parse_num(&args, "--queries=").unwrap_or(if smoke { 16 } else { 24 });
+    let rate = parse_f64(&args, "--rate=").unwrap_or(600.0);
+
+    let base = LoadgenParams {
+        steps_per_thread: steps,
+        queries_per_thread: queries,
+        rate_per_sec: rate,
+        serve_closure: closure,
+        tcp,
+        ..LoadgenParams::default()
+    };
+
+    let scenarios: Vec<LoadgenParams> = if smoke {
+        [LoadArch::Arch2, LoadArch::Arch3]
+            .into_iter()
+            .map(|arch| LoadgenParams {
+                arch,
+                threads: 4,
+                ..base.clone()
+            })
+            .collect()
+    } else {
+        let mut out = Vec::new();
+        for arch in [LoadArch::Arch2, LoadArch::Arch3] {
+            for batched in [false, true] {
+                out.push(LoadgenParams {
+                    arch,
+                    batched,
+                    ..base.clone()
+                });
+            }
+        }
+        out
+    };
+
+    let mut failed = false;
+    for params in &scenarios {
+        let counts: Vec<usize> = if smoke {
+            vec![params.threads]
+        } else {
+            threads.clone()
+        };
+        let rows = match loadgen_sweep(params, &counts) {
+            Ok(rows) => rows,
+            Err(e) => {
+                eprintln!("loadgen {}: {e}", params.label());
+                std::process::exit(1);
+            }
+        };
+        print!("{}", render_loadgen(&rows));
+        failed |= !check(&rows, smoke);
+    }
+
+    if failed {
+        std::process::exit(1);
+    }
+    if smoke {
+        println!("serve smoke OK: networked and in-process stores converge byte-identically");
+    }
+}
+
+/// Invariant checks over one scenario's rows. Returns `true` on pass.
+fn check(rows: &[LoadgenRow], smoke: bool) -> bool {
+    let mut ok = true;
+    for row in rows {
+        if !row.fingerprints_match() {
+            eprintln!(
+                "FAIL {} × {}: networked fingerprint {:016x} != in-process {:016x}",
+                row.label, row.threads, row.fingerprint, row.in_process_fingerprint
+            );
+            ok = false;
+        }
+        if row.errors > 0 {
+            eprintln!(
+                "FAIL {} × {}: {} codec/connection/store errors",
+                row.label, row.threads, row.errors
+            );
+            ok = false;
+        }
+    }
+    if smoke {
+        return ok;
+    }
+    // The wall-clock parallelism claim, on hosts that can show it.
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let qps = |n: usize| {
+        rows.iter()
+            .find(|r| r.threads == n)
+            .map(LoadgenRow::queries_per_sec)
+    };
+    if let (Some(one), Some(four)) = (qps(1), qps(4)) {
+        if cores >= 4 {
+            if four < 2.0 * one {
+                eprintln!(
+                    "FAIL {}: query throughput at 4 threads ({four:.0}/s) is under 2x the \
+                     1-thread baseline ({one:.0}/s) on a {cores}-core host",
+                    rows[0].label
+                );
+                ok = false;
+            }
+        } else {
+            println!(
+                "({}-core host: 4-thread speedup check skipped; 1→4 threads measured \
+                 {one:.0} → {four:.0} qps)",
+                cores
+            );
+        }
+    }
+    ok
+}
+
+fn parse_num(args: &[String], prefix: &str) -> Option<usize> {
+    args.iter()
+        .find_map(|a| a.strip_prefix(prefix))
+        .and_then(|v| v.parse().ok())
+}
+
+fn parse_f64(args: &[String], prefix: &str) -> Option<f64> {
+    args.iter()
+        .find_map(|a| a.strip_prefix(prefix))
+        .and_then(|v| v.parse().ok())
+}
+
+fn parse_list(args: &[String], prefix: &str) -> Option<Vec<usize>> {
+    args.iter().find_map(|a| a.strip_prefix(prefix)).map(|v| {
+        v.split(',')
+            .filter_map(|part| part.trim().parse().ok())
+            .collect()
+    })
+}

@@ -20,10 +20,12 @@ use pass::FileFlush;
 use provenance_cloud::layout::{BUCKET, DOMAIN};
 use provenance_cloud::{CloudError, ProvGraph, ProvQuery, ProvenanceStore, Result, S3SimpleDbSqs};
 use simworld::{
-    percentiles, Blob, Consistency, LatencyModel, Percentiles, Service, ShardPlan, SimConfig,
-    SimWorld, SplitPolicy, ThrottleConfig,
+    Blob, Consistency, LatencyModel, Percentiles, Service, ShardPlan, SimConfig, SimWorld,
+    SplitPolicy, ThrottleConfig,
 };
 use workloads::{fleet_schedule, ArrivalProcess, FleetSpec};
+
+use crate::harness::{overall_percentiles, per_service_percentiles, render_percentile_rows};
 
 /// Ring capacity for the per-request sample log.
 const SAMPLE_CAPACITY: usize = 1 << 17;
@@ -242,18 +244,8 @@ pub fn run_fleet(params: &FleetParams) -> Result<(FleetRow, FleetFingerprint)> {
 
     // Reduce the samples before fingerprint reads add read-path noise.
     let samples = world.take_latency_samples();
-    let mut per_service = Vec::new();
-    for service in Service::ALL {
-        let lat: Vec<_> = samples
-            .iter()
-            .filter(|s| s.service() == service)
-            .map(|s| s.latency())
-            .collect();
-        if let Some(p) = percentiles(lat) {
-            per_service.push((service, p));
-        }
-    }
-    let overall = percentiles(samples.iter().map(|s| s.latency()).collect());
+    let per_service = per_service_percentiles(&samples);
+    let overall = overall_percentiles(&samples);
     let splits: u64 = stores
         .iter()
         .map(|store| {
@@ -324,36 +316,20 @@ pub fn fleet_sweep(scenarios: &[FleetParams]) -> Result<(Vec<FleetRow>, Vec<Flee
 /// throttle/retry/bill summary.
 pub fn render_fleet(rows: &[FleetRow]) -> String {
     let mut out = String::new();
-    let ms = |d: simworld::SimDuration| d.as_micros() as f64 / 1_000.0;
     for row in rows {
         out.push_str(&format!(
             "fleet {} — {} tenants, {} persists, {:.1} virtual s\n",
             row.label, row.tenants, row.persisted, row.virtual_secs
         ));
-        out.push_str("service  | samples |  p50 ms |  p99 ms | p999 ms |  max ms\n");
-        out.push_str("---------|---------|---------|---------|---------|--------\n");
-        for (service, p) in &row.per_service {
-            out.push_str(&format!(
-                "{:<8} | {:>7} | {:>7.2} | {:>7.2} | {:>7.2} | {:>7.2}\n",
-                format!("{service:?}"),
-                p.count,
-                ms(p.p50),
-                ms(p.p99),
-                ms(p.p999),
-                ms(p.max),
-            ));
+        let mut latency_rows: Vec<(String, Percentiles)> = row
+            .per_service
+            .iter()
+            .map(|(service, p)| (format!("{service:?}"), *p))
+            .collect();
+        if let Some(p) = row.overall {
+            latency_rows.push(("all".to_string(), p));
         }
-        if let Some(p) = &row.overall {
-            out.push_str(&format!(
-                "{:<8} | {:>7} | {:>7.2} | {:>7.2} | {:>7.2} | {:>7.2}\n",
-                "all",
-                p.count,
-                ms(p.p50),
-                ms(p.p99),
-                ms(p.p999),
-                ms(p.max),
-            ));
-        }
+        out.push_str(&render_percentile_rows("service", &latency_rows));
         out.push_str(&format!(
             "503s {} | retries {} | exhausted {} | splits {} | requests {} | ops bill {}\n\n",
             row.throttled,

@@ -26,6 +26,7 @@ pub mod ablations;
 pub mod batchbench;
 pub mod fleetbench;
 pub mod harness;
+pub mod loadgen;
 pub mod pipebench;
 pub mod querybench;
 pub mod shardbench;
@@ -33,4 +34,7 @@ pub mod tables;
 
 pub use ablations::{ablations, AblationResults};
 pub use harness::{parse_scale, persist_dataset, persist_dataset_sharded, PersistedStore, Scale};
+pub use loadgen::{
+    loadgen_sweep, render_loadgen, run_loadgen, LoadArch, LoadgenParams, LoadgenRow,
+};
 pub use tables::{costs, table1, table2, table3, CostResults, Table2, Table3};

@@ -1,0 +1,630 @@
+//! Wall-clock load generator: N client threads driving the network
+//! frontend with open-loop Poisson arrivals.
+//!
+//! Every earlier bench measures *virtual* time on one thread. This one
+//! measures *wall-clock* time through the real serving stack: a
+//! [`Server`] pool over TCP or a Unix-domain socket, N client threads
+//! recording provenance chains and then issuing verified reads and
+//! Q1–Q3 queries. The read/query path takes `&self` all the way down
+//! ([`ServeHandle`]), so extra threads buy real parallelism on
+//! multi-core hosts — and the invariant under test is that they buy it
+//! *without changing the store*: every networked run's fingerprint
+//! must equal the same workload applied in-process, at every thread
+//! count.
+//!
+//! The query phase is open-loop, reusing the fleet bench's arrival
+//! machinery ([`workloads::ArrivalClock`]) mapped onto the wall clock:
+//! each thread draws Poisson arrival instants up front and issues its
+//! next request when the timer fires, whether or not the previous one
+//! has completed its round trip. Latency is measured from the
+//! *scheduled* arrival to completion, so a server that falls behind
+//! pays its queueing delay in the percentiles, exactly as the
+//! virtual-time fleet bench does.
+
+use std::io::{self, Read, Write};
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use frontend::{Client, Server};
+use pass::{FileFlush, Observer, TraceEvent};
+use provenance_cloud::{
+    Arch2Config, Arch3Config, ClosureMode, ProvQuery, S3SimpleDb, S3SimpleDbSqs, ServeHandle,
+};
+use simworld::{percentiles, Blob, Percentiles, SimDuration, SimInstant, SimWorld};
+use workloads::{ArrivalClock, ArrivalProcess};
+
+use crate::harness::render_percentile_rows;
+
+/// Flushes sent per `RecordBatch` frame in batched mode.
+const BATCH: usize = 8;
+
+/// The executable name every synthetic pipeline step runs, so Q2/Q3
+/// (`OutputsOf` / `DescendantsOf`) have a program to chase.
+const PROGRAM: &str = "gen";
+
+/// Which store architecture serves the run.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum LoadArch {
+    /// S3 + SimpleDB (architecture 2).
+    Arch2,
+    /// S3 + SimpleDB + SQS write-ahead log (architecture 3).
+    Arch3,
+}
+
+impl LoadArch {
+    /// Short label for tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            LoadArch::Arch2 => "arch2",
+            LoadArch::Arch3 => "arch3",
+        }
+    }
+}
+
+/// One loadgen scenario.
+#[derive(Clone, Debug)]
+pub struct LoadgenParams {
+    /// Architecture under test.
+    pub arch: LoadArch,
+    /// Client threads; the server pool is sized to match.
+    pub threads: usize,
+    /// Pipeline steps (derived files) each thread records.
+    pub steps_per_thread: usize,
+    /// Open-loop queries each thread issues after the flush barrier.
+    pub queries_per_thread: usize,
+    /// Per-thread Poisson arrival rate for the query phase
+    /// (requests per wall-clock second).
+    pub rate_per_sec: f64,
+    /// Send records through `RecordBatch` frames instead of one
+    /// `Record` per flush.
+    pub batched: bool,
+    /// Maintain and serve the ancestry-closure index
+    /// ([`ClosureMode::Serve`]), so Q3 answers from point reads.
+    pub serve_closure: bool,
+    /// Serve over TCP loopback instead of a Unix-domain socket.
+    pub tcp: bool,
+    /// Seed for blob contents and arrival draws.
+    pub seed: u64,
+}
+
+impl Default for LoadgenParams {
+    fn default() -> LoadgenParams {
+        LoadgenParams {
+            arch: LoadArch::Arch2,
+            threads: 4,
+            steps_per_thread: 16,
+            queries_per_thread: 24,
+            rate_per_sec: 600.0,
+            batched: false,
+            serve_closure: false,
+            tcp: false,
+            seed: 2009,
+        }
+    }
+}
+
+impl LoadgenParams {
+    /// Scenario label (`arch2/point`, `arch3/batched+closure`, …).
+    pub fn label(&self) -> String {
+        format!(
+            "{}/{}{}",
+            self.arch.label(),
+            if self.batched { "batched" } else { "point" },
+            if self.serve_closure { "+closure" } else { "" },
+        )
+    }
+}
+
+/// Measured output of one loadgen run.
+#[derive(Clone, Debug)]
+pub struct LoadgenRow {
+    /// Scenario label.
+    pub label: String,
+    /// Client threads driven.
+    pub threads: usize,
+    /// Flushes recorded over the wire.
+    pub records: u64,
+    /// Wall-clock seconds of the record phase (flush barrier included).
+    pub record_secs: f64,
+    /// Queries completed over the wire.
+    pub queries: u64,
+    /// Wall-clock seconds of the query phase.
+    pub query_secs: f64,
+    /// Codec, connection, or store errors observed by any client.
+    pub errors: u64,
+    /// Open-loop wall-clock latency percentiles, one row per query
+    /// class (`read`/`q1`/`q2`/`q3`) plus `all`.
+    pub query_latency: Vec<(String, Percentiles)>,
+    /// Store fingerprint reported by the server after the run.
+    pub fingerprint: u64,
+    /// Fingerprint of the same workload applied in-process.
+    pub in_process_fingerprint: u64,
+}
+
+impl LoadgenRow {
+    /// Records per wall-clock second.
+    pub fn records_per_sec(&self) -> f64 {
+        per_sec(self.records, self.record_secs)
+    }
+
+    /// Queries per wall-clock second.
+    pub fn queries_per_sec(&self) -> f64 {
+        per_sec(self.queries, self.query_secs)
+    }
+
+    /// `true` when the networked store converged to exactly the state
+    /// the in-process run produced.
+    pub fn fingerprints_match(&self) -> bool {
+        self.fingerprint == self.in_process_fingerprint
+    }
+}
+
+fn per_sec(n: u64, secs: f64) -> f64 {
+    if secs <= 0.0 {
+        0.0
+    } else {
+        n as f64 / secs
+    }
+}
+
+/// The provenance chain thread `t` records: a source file, then
+/// `steps` invocations of [`PROGRAM`], each reading the previous file
+/// and writing the next. Thread keyspaces are disjoint
+/// (`t{t}/f{k}.dat`, pids `t·1e6+k`), so the final store state is
+/// independent of how the threads interleave.
+fn thread_flushes(thread: usize, steps: usize, seed: u64) -> Vec<FileFlush> {
+    let mix = |k: u64| seed ^ (((thread as u64) << 32) | k);
+    let mut observer = Observer::new();
+    let mut out = Vec::new();
+    let source = format!("t{thread}/in.dat");
+    out.extend(
+        observer
+            .observe(TraceEvent::source(&source, Blob::synthetic(mix(0), 2048)))
+            .expect("well-formed synthetic trace"),
+    );
+    let mut prev = source;
+    for k in 0..steps {
+        let pid = (thread * 1_000_000 + k + 1) as u32;
+        let next = format!("t{thread}/f{k}.dat");
+        for event in [
+            TraceEvent::exec(pid, PROGRAM, format!("{PROGRAM} {prev}"), "PATH=/bin", None),
+            TraceEvent::read(pid, &prev),
+            TraceEvent::write(pid, &next),
+            TraceEvent::close(pid, &next, Blob::synthetic(mix(k as u64 + 1), 1024)),
+            TraceEvent::exit(pid),
+        ] {
+            out.extend(
+                observer
+                    .observe(event)
+                    .expect("well-formed synthetic trace"),
+            );
+        }
+        prev = next;
+    }
+    out
+}
+
+/// Builds a fresh handle for `params` on a counting world (zero virtual
+/// latency: the wall clock measures thread parallelism, not simulated
+/// service time).
+fn build_handle(params: &LoadgenParams) -> ServeHandle {
+    let world = SimWorld::counting();
+    let closure = if params.serve_closure {
+        ClosureMode::Serve
+    } else {
+        ClosureMode::Off
+    };
+    match params.arch {
+        LoadArch::Arch2 => {
+            let mut store = S3SimpleDb::new(&world);
+            store.set_config(Arch2Config {
+                closure,
+                ..Arch2Config::default()
+            });
+            ServeHandle::new(store)
+        }
+        LoadArch::Arch3 => {
+            let mut store = S3SimpleDbSqs::new(&world, "loadgen");
+            store.set_config(Arch3Config {
+                closure,
+                ..Arch3Config::default()
+            });
+            ServeHandle::new(store)
+        }
+    }
+}
+
+/// Where the clients connect.
+#[derive(Clone)]
+enum Target {
+    Tcp(SocketAddr),
+    Unix(PathBuf),
+}
+
+fn unique_socket_path() -> PathBuf {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("prov-loadgen-{}-{n}.sock", std::process::id()))
+}
+
+/// Records thread `t`'s flushes through one connection. Returns
+/// `(records, errors)`.
+fn record_thread<S: Read + Write>(
+    client: &mut Client<S>,
+    thread: usize,
+    params: &LoadgenParams,
+) -> (u64, u64) {
+    let flushes = thread_flushes(thread, params.steps_per_thread, params.seed);
+    let mut records = 0u64;
+    let mut errors = 0u64;
+    if params.batched {
+        for chunk in flushes.chunks(BATCH) {
+            match client.record_batch(chunk) {
+                Ok(()) => records += chunk.len() as u64,
+                Err(_) => errors += 1,
+            }
+        }
+    } else {
+        for flush in &flushes {
+            match client.record(flush) {
+                Ok(()) => records += 1,
+                Err(_) => errors += 1,
+            }
+        }
+    }
+    (records, errors)
+}
+
+/// Issues thread `t`'s open-loop query mix. Returns
+/// `((class, latency) samples, errors)`; class indexes
+/// [`QUERY_CLASSES`].
+fn query_thread<S: Read + Write>(
+    client: &mut Client<S>,
+    thread: usize,
+    params: &LoadgenParams,
+    phase_start: Instant,
+) -> (Vec<(usize, Duration)>, u64) {
+    let mut clock = ArrivalClock::new(
+        ArrivalProcess::Poisson {
+            rate_per_sec: params.rate_per_sec,
+        },
+        params.seed ^ (thread as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+    );
+    let mut samples = Vec::with_capacity(params.queries_per_thread);
+    let mut errors = 0u64;
+    for i in 0..params.queries_per_thread {
+        let offset = clock.next_arrival().saturating_since(SimInstant::EPOCH);
+        let due = phase_start + Duration::from_micros(offset.as_micros());
+        let now = Instant::now();
+        if due > now {
+            std::thread::sleep(due - now);
+        }
+        let target_thread = (thread + i) % params.threads.max(1);
+        let step = i % params.steps_per_thread.max(1);
+        let file = format!("t{target_thread}/f{step}.dat");
+        let class = i % QUERY_CLASSES.len();
+        let ok = match class {
+            0 => client.read(&file).is_ok(),
+            1 => client
+                .query(&ProvQuery::ProvenanceOf {
+                    name: file,
+                    version: 1,
+                })
+                .is_ok(),
+            2 => client
+                .query(&ProvQuery::OutputsOf {
+                    program: PROGRAM.to_string(),
+                })
+                .is_ok(),
+            _ => client
+                .query(&ProvQuery::DescendantsOf {
+                    program: PROGRAM.to_string(),
+                })
+                .is_ok(),
+        };
+        if ok {
+            // Open-loop latency: completion minus *scheduled* arrival,
+            // so a backlogged server pays its queueing delay.
+            samples.push((class, Instant::now().saturating_duration_since(due)));
+        } else {
+            errors += 1;
+        }
+    }
+    (samples, errors)
+}
+
+const QUERY_CLASSES: [&str; 4] = ["read", "q1", "q2", "q3"];
+
+/// Reduces wall-clock samples to labelled percentile rows (per query
+/// class plus `all`), through the same exact-percentile machinery the
+/// virtual-time benches use.
+fn latency_rows(samples: &[(usize, Duration)]) -> Vec<(String, Percentiles)> {
+    let to_sim =
+        |d: &Duration| SimDuration::from_micros(u64::try_from(d.as_micros()).unwrap_or(u64::MAX));
+    let mut rows = Vec::new();
+    for (idx, label) in QUERY_CLASSES.iter().enumerate() {
+        let lat: Vec<_> = samples
+            .iter()
+            .filter(|(class, _)| *class == idx)
+            .map(|(_, d)| to_sim(d))
+            .collect();
+        if let Some(p) = percentiles(lat) {
+            rows.push(((*label).to_string(), p));
+        }
+    }
+    if let Some(p) = percentiles(samples.iter().map(|(_, d)| to_sim(d)).collect()) {
+        rows.push(("all".to_string(), p));
+    }
+    rows
+}
+
+/// Runs one scenario: an in-process reference pass, then the same
+/// workload through the network frontend with `params.threads` client
+/// threads, asserting nothing — the row carries both fingerprints for
+/// the caller to compare.
+///
+/// # Errors
+///
+/// Socket bind/connect errors and client transport failures outside
+/// the measured phases. Store and protocol errors *inside* the phases
+/// are counted into [`LoadgenRow::errors`], not returned.
+pub fn run_loadgen(params: &LoadgenParams) -> io::Result<LoadgenRow> {
+    // In-process reference: the same flushes applied serially through
+    // the same facade. Thread keyspaces are disjoint, so serial
+    // application converges to the same state as any interleaving.
+    let reference = build_handle(params);
+    for thread in 0..params.threads {
+        for flush in thread_flushes(thread, params.steps_per_thread, params.seed) {
+            reference.record(&flush).map_err(store_fatal)?;
+        }
+    }
+    reference.flush().map_err(store_fatal)?;
+    let in_process_fingerprint = reference.fingerprint();
+
+    // The networked run.
+    let handle = build_handle(params);
+    let server = if params.tcp {
+        Server::bind_tcp(handle.clone(), "127.0.0.1:0", params.threads)?
+    } else {
+        Server::bind_unix(handle.clone(), unique_socket_path(), params.threads)?
+    };
+    let target = match (server.tcp_addr(), server.unix_path()) {
+        (Some(addr), _) => Target::Tcp(addr),
+        (None, Some(path)) => Target::Unix(path.to_path_buf()),
+        (None, None) => unreachable!("a bound server has an endpoint"),
+    };
+
+    // Phase 1: record (timed; ends at the flush barrier).
+    let record_start = Instant::now();
+    let mut records = 0u64;
+    let mut errors = 0u64;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..params.threads)
+            .map(|thread| {
+                let target = target.clone();
+                scope.spawn(move || match &target {
+                    Target::Tcp(addr) => {
+                        let mut client = Client::connect_tcp(addr).expect("connect to own server");
+                        record_thread(&mut client, thread, params)
+                    }
+                    Target::Unix(path) => {
+                        let mut client = Client::connect_unix(path).expect("connect to own server");
+                        record_thread(&mut client, thread, params)
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            let (r, e) = handle.join().expect("record thread");
+            records += r;
+            errors += e;
+        }
+    });
+    // Flush barrier: drain the WAL/daemons so the query phase reads a
+    // consistent store.
+    match &target {
+        Target::Tcp(addr) => Client::connect_tcp(addr)?.flush().map_err(client_fatal)?,
+        Target::Unix(path) => Client::connect_unix(path)?.flush().map_err(client_fatal)?,
+    }
+    let record_secs = record_start.elapsed().as_secs_f64();
+
+    // Phase 2: open-loop queries (timed).
+    let query_start = Instant::now();
+    let mut samples: Vec<(usize, Duration)> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..params.threads)
+            .map(|thread| {
+                let target = target.clone();
+                scope.spawn(move || match &target {
+                    Target::Tcp(addr) => {
+                        let mut client = Client::connect_tcp(addr).expect("connect to own server");
+                        query_thread(&mut client, thread, params, query_start)
+                    }
+                    Target::Unix(path) => {
+                        let mut client = Client::connect_unix(path).expect("connect to own server");
+                        query_thread(&mut client, thread, params, query_start)
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            let (s, e) = handle.join().expect("query thread");
+            samples.extend(s);
+            errors += e;
+        }
+    });
+    let query_secs = query_start.elapsed().as_secs_f64();
+
+    // Fingerprint over the wire (exercises the Stats command), then
+    // shut the pool down.
+    let stats = match &target {
+        Target::Tcp(addr) => Client::connect_tcp(addr)?.stats().map_err(client_fatal)?,
+        Target::Unix(path) => Client::connect_unix(path)?.stats().map_err(client_fatal)?,
+    };
+    server.shutdown();
+
+    Ok(LoadgenRow {
+        label: params.label(),
+        threads: params.threads,
+        records,
+        record_secs,
+        queries: samples.len() as u64,
+        query_secs,
+        errors,
+        query_latency: latency_rows(&samples),
+        fingerprint: stats.fingerprint,
+        in_process_fingerprint,
+    })
+}
+
+fn store_fatal(e: provenance_cloud::CloudError) -> io::Error {
+    io::Error::other(format!("reference run: {e}"))
+}
+
+fn client_fatal(e: frontend::ClientError) -> io::Error {
+    io::Error::other(e.to_string())
+}
+
+/// Runs `params` once per thread count.
+///
+/// # Errors
+///
+/// As [`run_loadgen`].
+pub fn loadgen_sweep(
+    params: &LoadgenParams,
+    thread_counts: &[usize],
+) -> io::Result<Vec<LoadgenRow>> {
+    thread_counts
+        .iter()
+        .map(|&threads| {
+            run_loadgen(&LoadgenParams {
+                threads,
+                ..params.clone()
+            })
+        })
+        .collect()
+}
+
+/// Renders the sweep summary plus one latency table per row.
+pub fn render_loadgen(rows: &[LoadgenRow]) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "scenario         | thr | records |    rec/s | queries |    qry/s | errors | state\n",
+    );
+    out.push_str(
+        "-----------------|-----|---------|----------|---------|----------|--------|------\n",
+    );
+    for row in rows {
+        out.push_str(&format!(
+            "{:<16} | {:>3} | {:>7} | {:>8.0} | {:>7} | {:>8.0} | {:>6} | {}\n",
+            row.label,
+            row.threads,
+            row.records,
+            row.records_per_sec(),
+            row.queries,
+            row.queries_per_sec(),
+            row.errors,
+            if row.fingerprints_match() {
+                "ok"
+            } else {
+                "MISMATCH"
+            },
+        ));
+    }
+    out.push('\n');
+    for row in rows {
+        out.push_str(&format!(
+            "{} × {} threads — open-loop wall-clock query latency\n",
+            row.label, row.threads
+        ));
+        out.push_str(&render_percentile_rows("op", &row.query_latency));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(arch: LoadArch, threads: usize, batched: bool) -> LoadgenParams {
+        LoadgenParams {
+            arch,
+            threads,
+            steps_per_thread: 4,
+            queries_per_thread: 8,
+            rate_per_sec: 4_000.0,
+            batched,
+            ..LoadgenParams::default()
+        }
+    }
+
+    #[test]
+    fn networked_run_matches_in_process_fingerprint_arch2() {
+        let row = run_loadgen(&tiny(LoadArch::Arch2, 2, false)).unwrap();
+        assert_eq!(row.errors, 0, "{row:?}");
+        assert!(row.fingerprints_match(), "{row:?}");
+        assert_eq!(row.records, 2 * (4 * 2 + 1));
+        assert_eq!(row.queries, 2 * 8);
+        assert!(!row.query_latency.is_empty());
+    }
+
+    #[test]
+    fn networked_run_matches_in_process_fingerprint_arch3_batched() {
+        let row = run_loadgen(&tiny(LoadArch::Arch3, 2, true)).unwrap();
+        assert_eq!(row.errors, 0, "{row:?}");
+        assert!(row.fingerprints_match(), "{row:?}");
+    }
+
+    #[test]
+    fn closure_serve_mode_survives_the_wire() {
+        let params = LoadgenParams {
+            serve_closure: true,
+            ..tiny(LoadArch::Arch2, 2, false)
+        };
+        let row = run_loadgen(&params).unwrap();
+        assert_eq!(row.errors, 0, "{row:?}");
+        assert!(row.fingerprints_match(), "{row:?}");
+    }
+
+    #[test]
+    fn tcp_transport_matches_unix() {
+        let unix = run_loadgen(&tiny(LoadArch::Arch2, 1, false)).unwrap();
+        let tcp = run_loadgen(&LoadgenParams {
+            tcp: true,
+            ..tiny(LoadArch::Arch2, 1, false)
+        })
+        .unwrap();
+        assert_eq!(tcp.fingerprint, unix.fingerprint);
+        assert!(tcp.fingerprints_match());
+    }
+
+    #[test]
+    fn workload_is_deterministic_and_disjoint_across_threads() {
+        let a = thread_flushes(0, 4, 7);
+        let b = thread_flushes(0, 4, 7);
+        assert_eq!(a, b, "same thread/seed must replay exactly");
+        let other = thread_flushes(1, 4, 7);
+        let names = |fs: &[FileFlush]| {
+            fs.iter()
+                .map(|f| f.object.name.clone())
+                .collect::<std::collections::BTreeSet<_>>()
+        };
+        assert!(
+            names(&a).is_disjoint(&names(&other)),
+            "thread keyspaces must not overlap"
+        );
+    }
+
+    #[test]
+    fn render_includes_summary_and_latency_tables() {
+        let row = run_loadgen(&tiny(LoadArch::Arch2, 1, false)).unwrap();
+        let text = render_loadgen(&[row]);
+        assert!(text.contains("scenario"));
+        assert!(text.contains("arch2/point"));
+        assert!(text.contains("op       | samples |"));
+        assert!(text.contains(" ok"));
+    }
+}

@@ -28,6 +28,7 @@ use crate::query::{ProvQuery, QueryAnswer, SimpleDbQueryEngine};
 use crate::readpath::{verified_read, ReadContext};
 use crate::retry::{with_throttle_retry, RetryPolicy};
 use crate::serialize::{encode_records, fit_item_pairs, pack_attr_batches, read_version};
+use crate::serve::{ServeParts, Serveable};
 use crate::store::{ProvenanceStore, ReadOutcome, RecoveryReport};
 
 /// Crash site: before storing an overflow object.
@@ -231,6 +232,20 @@ impl S3SimpleDb {
             )?)
         })?;
         Ok(())
+    }
+}
+
+impl Serveable for S3SimpleDb {
+    fn serve_parts(&self) -> ServeParts {
+        ServeParts {
+            world: self.world.clone(),
+            s3: self.s3.clone(),
+            db: self.db.clone(),
+            retry: self.config.retry,
+            verify_md5: self.config.verify_md5,
+            use_nonce: self.config.use_nonce,
+            serve_closure: self.config.closure.serves(),
+        }
     }
 }
 

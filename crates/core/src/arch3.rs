@@ -35,6 +35,7 @@ use crate::query::{ProvQuery, QueryAnswer, SimpleDbQueryEngine};
 use crate::readpath::{verified_read, ReadContext};
 use crate::retry::{with_throttle_retry, RetryPolicy};
 use crate::serialize::{encode_records, fit_item_pairs, pack_attr_batches};
+use crate::serve::{ServeParts, Serveable};
 use crate::store::{ProvenanceStore, ReadOutcome, RecoveryReport};
 use crate::wal::{chunk_pairs, pack_wal_batches, WalRecord};
 
@@ -780,6 +781,20 @@ impl S3SimpleDbSqs {
     /// test view, unbilled).
     pub fn wal_depth_exact(&self) -> usize {
         self.sqs.exact_message_count(&self.wal_url)
+    }
+}
+
+impl Serveable for S3SimpleDbSqs {
+    fn serve_parts(&self) -> ServeParts {
+        ServeParts {
+            world: self.world.clone(),
+            s3: self.s3.clone(),
+            db: self.db.clone(),
+            retry: self.config.retry,
+            verify_md5: self.config.verify_md5,
+            use_nonce: self.config.use_nonce,
+            serve_closure: self.config.closure.serves(),
+        }
     }
 }
 

@@ -61,10 +61,13 @@
 //! row to exist), but it cannot know the parent's ancestors yet. The
 //! repair rule closes the gap: when a node is indexed, it reads the
 //! descendants already recorded on its own row — premature children and
-//! their subtrees — and re-propagates them through the ancestor set it
-//! just resolved. Every repair write is the same idempotent set-add as
-//! regular maintenance, so any commit order converges to the same
-//! bytes.
+//! their subtrees — and re-propagates them through its ancestor set.
+//! Because a group node's own resolved set can be completed by a
+//! sibling's repair inside the same group (its parent committed late,
+//! as part of this very group), the propagation runs to a fixpoint over
+//! the group's working ancestor map before anything is written. Every
+//! repair write is the same idempotent set-add as regular maintenance,
+//! so any commit order converges to the same bytes.
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
@@ -256,18 +259,73 @@ impl ClosureIndex {
         // Premature descendants: commits can land out of order, so a
         // child may already have recorded itself under a group node's
         // row before the node itself was indexed. Read what is there
-        // now (before this group's writes) so the repair pass below can
-        // re-propagate it through the ancestors resolved in this step.
-        let mut premature: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+        // now (before this group's writes) so the repair fixpoint below
+        // can re-propagate it through the ancestors resolved in this
+        // step.
+        let mut descs: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
         for item in group.keys() {
-            premature.insert(item.clone(), self.read_row_desc(item, retry)?);
+            descs.insert(item.clone(), self.read_row_desc(item, retry)?);
         }
 
-        // Emit the adds. Everything is an idempotent set-add; the
-        // physical placement is a pure function of (attr, value), so
-        // the converged bytes are independent of grouping and replays.
+        // Repair fixpoint. Seed a working ancestor map with the group's
+        // resolved sets, and a descendant map with each group row's
+        // premature children plus the descendant edges this group adds
+        // (every node is a descendant of everything it resolved to).
+        // Then propagate: a node's full ancestor set flows to every
+        // descendant recorded on its row, until nothing grows. One pass
+        // is *not* enough: a group node's resolved set can itself be
+        // completed by a sibling's repair (its parent committed late,
+        // in this very group), and its own descendants need that
+        // completed set, not the resolution-time one.
+        let mut full: BTreeMap<String, BTreeSet<String>> = resolved;
+        for (item, ancestors) in full.clone() {
+            let Some(object) = ObjectRef::parse_item_name(&item) else {
+                continue;
+            };
+            let render = object.render();
+            for anc in &ancestors {
+                if let Some(anc_obj) = parse_render(anc) {
+                    descs
+                        .entry(anc_obj.item_name())
+                        .or_default()
+                        .insert(render.clone());
+                }
+            }
+        }
+        loop {
+            let mut changed = false;
+            for (item, ds) in &descs {
+                let Some(ancestors) = full.get(item) else {
+                    continue;
+                };
+                if ancestors.is_empty() {
+                    continue;
+                }
+                let ancestors = ancestors.clone();
+                for d in ds {
+                    let Some(d_obj) = parse_render(d) else {
+                        continue;
+                    };
+                    let d_item = d_obj.item_name();
+                    if d_item == *item {
+                        continue;
+                    }
+                    let entry = full.entry(d_item).or_default();
+                    let before = entry.len();
+                    entry.extend(ancestors.iter().cloned());
+                    changed |= entry.len() != before;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        // Emit the adds from the converged sets. Everything is an
+        // idempotent set-add; the physical placement is a pure function
+        // of (attr, value), so the converged bytes are independent of
+        // grouping and replays.
         let mut adds: BTreeMap<String, BTreeSet<(String, String)>> = BTreeMap::new();
-        let mut desc_new: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
         let mut frag_marks: BTreeMap<String, BTreeSet<u64>> = BTreeMap::new();
         let add = |adds: &mut BTreeMap<String, BTreeSet<(String, String)>>,
                    frag_marks: &mut BTreeMap<String, BTreeSet<u64>>,
@@ -289,16 +347,12 @@ impl ClosureIndex {
                     .insert(bucket);
             }
         };
-        for (item, info) in &group {
+        for (item, ancestors) in &full {
             let Some(object) = ObjectRef::parse_item_name(item) else {
                 continue;
             };
             let render = object.render();
-            adds.entry(item.clone())
-                .or_default()
-                .insert((CLOSURE_ATTR_NODE.to_string(), "1".to_string()));
-            let ancestors = resolved.get(item).cloned().unwrap_or_default();
-            for anc in &ancestors {
+            for anc in ancestors {
                 add(
                     &mut adds,
                     &mut frag_marks,
@@ -307,17 +361,33 @@ impl ClosureIndex {
                     anc.clone(),
                 );
                 if let Some(anc_obj) = parse_render(anc) {
-                    let anc_item = anc_obj.item_name();
                     add(
                         &mut adds,
                         &mut frag_marks,
-                        &anc_item,
+                        &anc_obj.item_name(),
                         CLOSURE_ATTR_DESC,
                         render.clone(),
                     );
-                    desc_new.entry(anc_item).or_default().insert(render.clone());
                 }
             }
+            // Keep later groups in this daemon's lifetime seeing the
+            // repaired sets: replace group rows (their converged set is
+            // complete), extend repaired bystanders (their row already
+            // carries ancestors this group never computed).
+            if group.contains_key(item) {
+                self.cache.insert(item.clone(), ancestors.clone());
+            } else if let Some(cached) = self.cache.get_mut(item) {
+                cached.extend(ancestors.iter().cloned());
+            }
+        }
+        for (item, info) in &group {
+            let Some(object) = ObjectRef::parse_item_name(item) else {
+                continue;
+            };
+            let render = object.render();
+            adds.entry(item.clone())
+                .or_default()
+                .insert((CLOSURE_ATTR_NODE.to_string(), "1".to_string()));
             if info.is_file {
                 for parent in &info.parents {
                     if let Some(parent_obj) = parse_render(parent) {
@@ -340,52 +410,6 @@ impl ClosureIndex {
                         CLOSURE_ATTR_PROC,
                         render.clone(),
                     );
-                }
-            }
-            self.cache.insert(item.clone(), ancestors);
-        }
-
-        // Repair pass: every descendant already on a group node's row —
-        // premature commits and this group's own additions alike — is
-        // joined with the full ancestor set the node resolved to now.
-        // In-group ancestors were expanded transitively during resolve,
-        // so one pass suffices; no fixpoint is needed. Cached ancestor
-        // sets of repaired descendants are extended in place so later
-        // groups in this daemon's lifetime see the repaired rows.
-        for item in group.keys() {
-            let ancestors = resolved.get(item).cloned().unwrap_or_default();
-            if ancestors.is_empty() {
-                continue;
-            }
-            let mut desc_all = premature.remove(item).unwrap_or_default();
-            if let Some(new) = desc_new.get(item) {
-                desc_all.extend(new.iter().cloned());
-            }
-            for d in &desc_all {
-                let Some(d_obj) = parse_render(d) else {
-                    continue;
-                };
-                let d_item = d_obj.item_name();
-                for anc in &ancestors {
-                    add(
-                        &mut adds,
-                        &mut frag_marks,
-                        &d_item,
-                        CLOSURE_ATTR_ANC,
-                        anc.clone(),
-                    );
-                    if let Some(anc_obj) = parse_render(anc) {
-                        add(
-                            &mut adds,
-                            &mut frag_marks,
-                            &anc_obj.item_name(),
-                            CLOSURE_ATTR_DESC,
-                            d.clone(),
-                        );
-                    }
-                }
-                if let Some(cached) = self.cache.get_mut(&d_item) {
-                    cached.extend(ancestors.iter().cloned());
                 }
             }
         }
@@ -580,6 +604,108 @@ mod tests {
         assert_eq!(parse_render("a:01"), None);
         assert_eq!(parse_render("@s3:prov/a 1/0"), None);
         assert_eq!(parse_render("plain"), None);
+    }
+
+    /// Two WAL orders of the same two disjoint pipeline chains — serial
+    /// and interleaved — must commit to byte-identical stores. The
+    /// workload emits each file flush *before* its producing process
+    /// flush, so children routinely index before their parents and the
+    /// repair fixpoint is exercised on every cycle.
+    #[test]
+    fn arch3_commit_order_converges_to_identical_bytes() {
+        use crate::arch3::{Arch3Config, S3SimpleDbSqs};
+        use crate::serve::{store_fingerprint, Serveable};
+        use crate::store::ProvenanceStore;
+        use pass::{FileFlush, Observer, TraceEvent};
+        use simworld::{Blob, SimWorld};
+
+        fn thread_flushes(thread: usize, steps: usize, seed: u64) -> Vec<FileFlush> {
+            let mix = |k: u64| seed ^ (((thread as u64) << 32) | k);
+            let mut observer = Observer::new();
+            let mut out = Vec::new();
+            let source = format!("t{thread}/in.dat");
+            out.extend(
+                observer
+                    .observe(TraceEvent::source(&source, Blob::synthetic(mix(0), 2048)))
+                    .unwrap(),
+            );
+            let mut prev = source;
+            for k in 0..steps {
+                let pid = (thread * 1_000_000 + k + 1) as u32;
+                let next = format!("t{thread}/f{k}.dat");
+                for event in [
+                    TraceEvent::exec(pid, "gen", format!("gen {prev}"), "PATH=/bin", None),
+                    TraceEvent::read(pid, &prev),
+                    TraceEvent::write(pid, &next),
+                    TraceEvent::close(pid, &next, Blob::synthetic(mix(k as u64 + 1), 1024)),
+                    TraceEvent::exit(pid),
+                ] {
+                    out.extend(observer.observe(event).unwrap());
+                }
+                prev = next;
+            }
+            out
+        }
+
+        let run = |interleave: bool| {
+            let world = SimWorld::counting();
+            let mut store = S3SimpleDbSqs::new(&world, "probe");
+            store.set_config(Arch3Config {
+                closure: ClosureMode::Serve,
+                ..Arch3Config::default()
+            });
+            let t0 = thread_flushes(0, 5, 2009);
+            let t1 = thread_flushes(1, 5, 2009);
+            let flushes: Vec<FileFlush> = if interleave {
+                let mut v = Vec::new();
+                let (mut a, mut b) = (t0.into_iter(), t1.into_iter());
+                loop {
+                    match (a.next(), b.next()) {
+                        (None, None) => break,
+                        (x, y) => {
+                            v.extend(x);
+                            v.extend(y);
+                        }
+                    }
+                }
+                v
+            } else {
+                t0.into_iter().chain(t1).collect()
+            };
+            for f in &flushes {
+                store.persist(f).unwrap();
+            }
+            store.run_daemons_until_idle().unwrap();
+            let parts = store.serve_parts();
+            (store_fingerprint(&parts.s3, &parts.db), parts)
+        };
+
+        let (fa, pa) = run(false);
+        let (fb, pb) = run(true);
+        if fa != fb {
+            for domain in [DOMAIN, CLOSURE_DOMAIN] {
+                let mut names: BTreeSet<String> =
+                    pa.db.latest_item_names(domain).into_iter().collect();
+                names.extend(pb.db.latest_item_names(domain));
+                for name in names {
+                    let get = |db: &SimpleDb| -> BTreeSet<(String, String)> {
+                        db.latest_item(domain, &name)
+                            .unwrap_or_default()
+                            .into_iter()
+                            .map(|a| (a.name, a.value))
+                            .collect()
+                    };
+                    let (sa, sb) = (get(&pa.db), get(&pb.db));
+                    for p in sa.difference(&sb) {
+                        println!("only serial   {domain} {name:?} {p:?}");
+                    }
+                    for p in sb.difference(&sa) {
+                        println!("only interlvd {domain} {name:?} {p:?}");
+                    }
+                }
+            }
+        }
+        assert_eq!(fa, fb, "commit order changed the closure bytes");
     }
 
     #[test]

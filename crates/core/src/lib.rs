@@ -69,6 +69,7 @@ mod query;
 mod readpath;
 mod retry;
 mod serialize;
+mod serve;
 mod store;
 mod wal;
 
@@ -101,6 +102,7 @@ pub use serialize::{
     decode_attributes, decode_metadata, encode_metadata, encode_records, pack_attr_batches,
     read_nonce, read_version, to_simpledb_attributes, EncodedProvenance,
 };
+pub use serve::{store_fingerprint, ServeHandle, ServeParts, ServeStats, Serveable};
 pub use store::{ProvenanceStore, ReadOutcome, ReadStatus, RecoveryReport};
 pub use wal::{chunk_pairs, pack_wal_batches, WalRecord};
 

@@ -1,0 +1,442 @@
+//! The serving facade: a thread-safe, shared handle over a
+//! [`ProvenanceStore`].
+//!
+//! The store trait itself is object-safe but `&mut self` throughout —
+//! the right shape for a single-client experiment driver, and the wrong
+//! one for a network frontend where N connection-handler threads want
+//! to serve reads and queries concurrently. [`ServeHandle`] fixes the
+//! seam without touching the trait:
+//!
+//! * **Writes** (record / flush / recover) serialize through one
+//!   internal mutex around the boxed store — exactly the §4 protocols,
+//!   one writer at a time, unchanged crash-ordering story.
+//! * **Reads and queries** never touch that mutex. The handle captures
+//!   cloned service handles ([`ServeParts`]) at construction and builds
+//!   a fresh [`ReadContext`]/[`SimpleDbQueryEngine`] per call, so they
+//!   take `&self` and contend only on the services' own per-shard
+//!   locks — the concurrency the sharding layer (PRs 2–3, 8) was built
+//!   to exploit.
+//!
+//! The handle is `Clone + Send + Sync`; every clone shares the same
+//! store. [`ServeHandle::fingerprint`] hashes the authoritative
+//! data/provenance state (temporaries excluded), which is how the
+//! wall-clock harness proves a networked run converged to the same
+//! bytes as an in-process one.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+use pass::FileFlush;
+use sim_s3::S3;
+use sim_simpledb::SimpleDb;
+use simworld::{fnv1a_64, SimWorld};
+
+use crate::error::Result;
+use crate::layout::{BUCKET, CLOSURE_DOMAIN, DOMAIN, TMP_PREFIX};
+use crate::query::{ProvQuery, QueryAnswer, SimpleDbQueryEngine};
+use crate::readpath::{verified_read, ReadContext};
+use crate::retry::RetryPolicy;
+use crate::store::{ProvenanceStore, ReadOutcome, RecoveryReport};
+
+/// The cloned service handles and read-path knobs a [`ServeHandle`]
+/// captures from a store at construction. Produced by
+/// [`Serveable::serve_parts`]; opaque outside the crate.
+#[derive(Clone, Debug)]
+pub struct ServeParts {
+    pub(crate) world: SimWorld,
+    pub(crate) s3: S3,
+    pub(crate) db: SimpleDb,
+    pub(crate) retry: RetryPolicy,
+    pub(crate) verify_md5: bool,
+    pub(crate) use_nonce: bool,
+    pub(crate) serve_closure: bool,
+}
+
+/// A store that can hand out the pieces of its (lock-free) read path,
+/// making it servable through [`ServeHandle`]. Implemented by the two
+/// architectures whose read side is the shared §4.2 verified read.
+pub trait Serveable: ProvenanceStore + Send {
+    /// Snapshots the service handles and read configuration. The parts
+    /// are clones sharing state with the store, so reads built from
+    /// them observe every subsequent write.
+    fn serve_parts(&self) -> ServeParts;
+}
+
+/// A point-in-time counter/meter summary of a serving store, plus the
+/// state fingerprint. What the wire protocol's `Stats` command returns.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Architecture name (`"s3+simpledb"` or `"s3+simpledb+sqs"`).
+    pub architecture: String,
+    /// Requests served through this handle (all commands).
+    pub requests: u64,
+    /// Total billable service operations in the underlying world.
+    pub store_ops: u64,
+    /// Bytes the simulated services ingested.
+    pub bytes_in: u64,
+    /// Bytes the simulated services returned.
+    pub bytes_out: u64,
+    /// Authoritative state fingerprint ([`ServeHandle::fingerprint`]).
+    pub fingerprint: u64,
+}
+
+struct ServeInner {
+    arch: &'static str,
+    parts: ServeParts,
+    writer: Mutex<Box<dyn ProvenanceStore + Send>>,
+    requests: AtomicU64,
+}
+
+impl std::fmt::Debug for ServeInner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeInner")
+            .field("arch", &self.arch)
+            .field("requests", &self.requests.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+/// The coherent serving surface over a provenance store: record /
+/// flush / read / query / stats, all through `&self`.
+///
+/// # Examples
+///
+/// ```
+/// use pass::FileFlush;
+/// use provenance_cloud::{ProvQuery, S3SimpleDb, ServeHandle};
+/// use simworld::{Blob, SimWorld};
+///
+/// let world = SimWorld::counting();
+/// let serve = ServeHandle::new(S3SimpleDb::new(&world));
+///
+/// let input = FileFlush::builder("census/raw.csv")
+///     .data(Blob::synthetic(1, 64 * 1024))
+///     .build();
+/// let output = FileFlush::builder("census/trends.csv")
+///     .data(Blob::synthetic(2, 8 * 1024))
+///     .record("input", "census/raw.csv:1")
+///     .build();
+/// serve.record(&input)?;
+/// serve.record(&output)?;
+/// serve.flush()?;
+///
+/// // Reads and queries take &self: clone the handle into as many
+/// // threads as you like.
+/// let read = serve.read("census/trends.csv")?;
+/// assert!(read.consistent());
+/// let answer = serve.query(&ProvQuery::ProvenanceOf {
+///     name: "census/trends.csv".into(),
+///     version: 1,
+/// })?;
+/// assert_eq!(answer.len(), 1);
+/// # Ok::<(), provenance_cloud::CloudError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct ServeHandle {
+    inner: Arc<ServeInner>,
+}
+
+impl ServeHandle {
+    /// Wraps a store for serving. The handle captures the store's
+    /// read-path configuration *now*; reconfigure before wrapping.
+    pub fn new<S: Serveable + 'static>(store: S) -> ServeHandle {
+        let arch = store.architecture();
+        let parts = store.serve_parts();
+        ServeHandle {
+            inner: Arc::new(ServeInner {
+                arch,
+                parts,
+                writer: Mutex::new(Box::new(store)),
+                requests: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    fn count(&self) {
+        self.inner.requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn writer(&self) -> std::sync::MutexGuard<'_, Box<dyn ProvenanceStore + Send>> {
+        // A panicking writer thread poisons the lock; the store itself
+        // holds no client-side invariants that a panic could tear (all
+        // durable state lives in the services), so serving continues.
+        self.inner
+            .writer
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Architecture name of the wrapped store.
+    pub fn architecture(&self) -> &'static str {
+        self.inner.arch
+    }
+
+    /// Persists one flush (the store's `persist`), serialized with
+    /// other writers.
+    ///
+    /// # Errors
+    ///
+    /// As [`ProvenanceStore::persist`].
+    pub fn record(&self, flush: &FileFlush) -> Result<()> {
+        self.count();
+        self.writer().persist(flush)
+    }
+
+    /// Persists a group of flushes through the store's batched path.
+    ///
+    /// # Errors
+    ///
+    /// As [`ProvenanceStore::persist_batch`].
+    pub fn record_batch(&self, flushes: &[FileFlush]) -> Result<()> {
+        self.count();
+        self.writer().persist_batch(flushes)
+    }
+
+    /// Drives background daemons until quiescent (arch3's commit
+    /// daemon; a no-op for arch2).
+    ///
+    /// # Errors
+    ///
+    /// As [`ProvenanceStore::run_daemons_until_idle`].
+    pub fn flush(&self) -> Result<()> {
+        self.count();
+        self.writer().run_daemons_until_idle()
+    }
+
+    /// Runs the architecture's recovery pass.
+    ///
+    /// # Errors
+    ///
+    /// As [`ProvenanceStore::recover`].
+    pub fn recover(&self) -> Result<RecoveryReport> {
+        self.count();
+        self.writer().recover()
+    }
+
+    /// The §4.2 verified read, built fresh from the captured parts —
+    /// no handle-level lock, so N threads read concurrently against
+    /// the services' per-shard locks.
+    ///
+    /// # Errors
+    ///
+    /// As [`ProvenanceStore::read`].
+    pub fn read(&self, name: &str) -> Result<ReadOutcome> {
+        self.count();
+        let p = &self.inner.parts;
+        let ctx = ReadContext {
+            world: &p.world,
+            s3: &p.s3,
+            db: &p.db,
+            retry: p.retry,
+            verify_md5: p.verify_md5,
+            use_nonce: p.use_nonce,
+        };
+        verified_read(&ctx, name)
+    }
+
+    /// Executes a provenance query on a per-call engine (closure-index
+    /// `Serve` mode included when the store was configured for it).
+    ///
+    /// # Errors
+    ///
+    /// As [`ProvenanceStore::query`].
+    pub fn query(&self, query: &ProvQuery) -> Result<QueryAnswer> {
+        self.count();
+        let p = &self.inner.parts;
+        let mut engine = SimpleDbQueryEngine::new(&p.db, &p.s3, &p.world, p.retry);
+        if p.serve_closure {
+            engine = engine.serving_closure();
+        }
+        engine.execute(query)
+    }
+
+    /// Requests served through this handle so far.
+    pub fn requests(&self) -> u64 {
+        self.inner.requests.load(Ordering::Relaxed)
+    }
+
+    /// The authoritative state fingerprint: FNV-1a over every committed
+    /// provenance item (provenance + closure domains) and every live,
+    /// non-temporary S3 object (key, ETag, metadata), all in sorted
+    /// order. Placement-, RNG- and interleaving-invariant: two runs
+    /// that committed the same logical state hash identically, however
+    /// their requests raced.
+    pub fn fingerprint(&self) -> u64 {
+        store_fingerprint(&self.inner.parts.s3, &self.inner.parts.db)
+    }
+
+    /// Counter/meter snapshot plus the current fingerprint.
+    pub fn stats(&self) -> ServeStats {
+        self.count();
+        let meters = self.inner.parts.world.meters();
+        ServeStats {
+            architecture: self.inner.arch.to_string(),
+            requests: self.requests(),
+            store_ops: meters.total_ops(),
+            bytes_in: meters.bytes_in(),
+            bytes_out: meters.bytes_out(),
+            fingerprint: self.fingerprint(),
+        }
+    }
+}
+
+/// FNV-1a fingerprint of a store's authoritative state: all committed
+/// SimpleDB items in the provenance and closure domains plus all
+/// non-`tmp/` S3 objects, via the services' unbilled latest-state
+/// views. Shared by [`ServeHandle::fingerprint`] and the wall-clock
+/// harness's in-process driver.
+pub fn store_fingerprint(s3: &S3, db: &SimpleDb) -> u64 {
+    let mut acc = String::new();
+    for domain in [DOMAIN, CLOSURE_DOMAIN] {
+        let mut names = db.latest_item_names(domain);
+        names.sort_unstable();
+        for name in &names {
+            let Some(mut attrs) = db.latest_item(domain, name) else {
+                continue;
+            };
+            attrs.sort_unstable_by(|a, b| {
+                (a.name.as_str(), a.value.as_str()).cmp(&(b.name.as_str(), b.value.as_str()))
+            });
+            for attr in &attrs {
+                acc.push_str(domain);
+                acc.push('\u{1f}');
+                acc.push_str(name);
+                acc.push('\u{1f}');
+                acc.push_str(&attr.name);
+                acc.push('\u{1f}');
+                acc.push_str(&attr.value);
+                acc.push('\u{1e}');
+            }
+        }
+    }
+    let mut keys = s3.latest_keys(BUCKET, "");
+    keys.sort_unstable();
+    for key in &keys {
+        if key.starts_with(TMP_PREFIX) {
+            continue;
+        }
+        let Some(object) = s3.latest_object(BUCKET, key) else {
+            continue;
+        };
+        acc.push_str(key);
+        acc.push('\u{1f}');
+        acc.push_str(&object.etag.to_hex());
+        for (meta_key, meta_value) in object.metadata.iter() {
+            acc.push('\u{1f}');
+            acc.push_str(meta_key);
+            acc.push('=');
+            acc.push_str(meta_value);
+        }
+        acc.push('\u{1e}');
+    }
+    fnv1a_64(&acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch2::S3SimpleDb;
+    use crate::arch3::S3SimpleDbSqs;
+    use simworld::Blob;
+
+    fn flush(name: &str, seed: u64, parent: Option<&str>) -> FileFlush {
+        let mut b = FileFlush::builder(name).data(Blob::synthetic(seed, 2048));
+        if let Some(p) = parent {
+            b = b.record("input", &format!("{p}:1"));
+        }
+        b.build()
+    }
+
+    #[test]
+    fn serves_reads_and_queries_through_shared_ref() {
+        let world = SimWorld::counting();
+        let serve = ServeHandle::new(S3SimpleDb::new(&world));
+        serve.record(&flush("a.dat", 1, None)).unwrap();
+        serve.record(&flush("b.dat", 2, Some("a.dat"))).unwrap();
+        serve.flush().unwrap();
+
+        let read = serve.read("b.dat").unwrap();
+        assert!(read.consistent());
+        let answer = serve
+            .query(&ProvQuery::ProvenanceOf {
+                name: "b.dat".into(),
+                version: 1,
+            })
+            .unwrap();
+        assert_eq!(answer.len(), 1);
+        assert_eq!(serve.architecture(), "s3+simpledb");
+        assert!(serve.requests() >= 5);
+    }
+
+    #[test]
+    fn arch3_flush_drains_wal_before_reads() {
+        let world = SimWorld::counting();
+        let serve = ServeHandle::new(S3SimpleDbSqs::new(&world, "serve-1"));
+        serve.record(&flush("x.dat", 3, None)).unwrap();
+        // Logged but not committed: the read path must not see it yet.
+        assert!(serve.read("x.dat").is_err());
+        serve.flush().unwrap();
+        assert!(serve.read("x.dat").unwrap().consistent());
+    }
+
+    #[test]
+    fn fingerprint_matches_across_architect_independent_runs() {
+        let fp = |seed: u64| {
+            let world = SimWorld::new(seed);
+            let serve = ServeHandle::new(S3SimpleDb::new(&world));
+            serve.record(&flush("a.dat", 1, None)).unwrap();
+            serve.record(&flush("b.dat", 2, Some("a.dat"))).unwrap();
+            serve.flush().unwrap();
+            serve.fingerprint()
+        };
+        // Different worlds (different RNG streams), same logical state.
+        assert_eq!(fp(1), fp(99));
+    }
+
+    #[test]
+    fn fingerprint_ignores_arch3_temporaries_but_not_data() {
+        let world = SimWorld::counting();
+        let serve = ServeHandle::new(S3SimpleDbSqs::new(&world, "c1"));
+        serve.record(&flush("a.dat", 1, None)).unwrap();
+        serve.flush().unwrap();
+        let before = serve.fingerprint();
+        serve.record(&flush("b.dat", 2, Some("a.dat"))).unwrap();
+        serve.flush().unwrap();
+        assert_ne!(before, serve.fingerprint());
+    }
+
+    #[test]
+    fn clones_share_the_store_across_threads() {
+        let world = SimWorld::counting();
+        let serve = ServeHandle::new(S3SimpleDb::new(&world));
+        for i in 0..8 {
+            serve.record(&flush(&format!("f{i}.dat"), i, None)).unwrap();
+        }
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let serve = serve.clone();
+                std::thread::spawn(move || {
+                    for i in 0..8 {
+                        let read = serve.read(&format!("f{i}.dat")).unwrap();
+                        assert!(read.consistent(), "thread {t} file {i}");
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn stats_snapshot_counts_requests_and_ops() {
+        let world = SimWorld::counting();
+        let serve = ServeHandle::new(S3SimpleDb::new(&world));
+        serve.record(&flush("a.dat", 1, None)).unwrap();
+        let stats = serve.stats();
+        assert_eq!(stats.architecture, "s3+simpledb");
+        assert!(stats.requests >= 2);
+        assert!(stats.store_ops > 0);
+        assert_eq!(stats.fingerprint, serve.fingerprint());
+    }
+}

@@ -57,7 +57,7 @@ impl fmt::Display for ReadStatus {
 
 /// The result of reading an object back: data plus the provenance that
 /// describes it.
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct ReadOutcome {
     /// The object version the store returned.
     pub object: ObjectRef,

@@ -1,0 +1,787 @@
+//! The wire format: length-prefixed frames carrying tagged commands and
+//! replies.
+//!
+//! The codec is deliberately dependency-free and explicit: big-endian
+//! fixed-width integers, `u32`-prefixed UTF-8 strings, `u64`-prefixed
+//! raw blobs. Provenance records travel as the same `(attribute,
+//! value)` pairs the store persists
+//! ([`ProvenanceRecord::to_pair`]/[`ProvenanceRecord::from_pair`]), so
+//! the network format and the storage format cannot drift apart.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+use pass::{FileFlush, ObjectKind, ObjectRef, ProvenanceRecord};
+use provenance_cloud::{
+    CloudError, ProvQuery, QueryAnswer, QueryItem, ReadOutcome, ReadStatus, ServeStats,
+};
+use simworld::Blob;
+
+/// Hard cap on a frame's payload length: 8 MiB. Generous against the
+/// store's own limits (a 1 KB record overflows to S3; SimpleDB items
+/// cap at 256 pairs), tight enough that a hostile length prefix cannot
+/// make the server allocate unboundedly.
+pub const MAX_FRAME: usize = 8 * 1024 * 1024;
+
+/// Command tag: persist one flush.
+pub const CMD_RECORD: u8 = 0x01;
+/// Command tag: persist a group of flushes through the batched path.
+pub const CMD_RECORD_BATCH: u8 = 0x02;
+/// Command tag: drive background daemons until quiescent.
+pub const CMD_FLUSH: u8 = 0x03;
+/// Command tag: verified read of one object.
+pub const CMD_READ: u8 = 0x04;
+/// Command tag: provenance query (Q1–Q3).
+pub const CMD_QUERY: u8 = 0x05;
+/// Command tag: counters, meters, and the state fingerprint.
+pub const CMD_STATS: u8 = 0x06;
+
+/// Reply tag: success, no body.
+pub const REP_UNIT: u8 = 0x80;
+/// Reply tag: a [`ReadOutcome`].
+pub const REP_READ: u8 = 0x81;
+/// Reply tag: a [`QueryAnswer`].
+pub const REP_QUERY: u8 = 0x82;
+/// Reply tag: a [`ServeStats`].
+pub const REP_STATS: u8 = 0x83;
+/// Reply tag: structured error (code byte + message string).
+pub const REP_ERR: u8 = 0x7F;
+
+/// A request to the serving store.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Command {
+    /// Persist one object version and its provenance.
+    Record(FileFlush),
+    /// Persist a group through the store's batched path.
+    RecordBatch(Vec<FileFlush>),
+    /// Drive daemons until quiescent (arch3's commit daemon).
+    Flush,
+    /// Verified read of the named object's current version.
+    Read(String),
+    /// A provenance query.
+    Query(ProvQuery),
+    /// Counter/meter snapshot plus the state fingerprint.
+    Stats,
+}
+
+/// A response from the serving store.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Reply {
+    /// The command succeeded and has no result body.
+    Unit,
+    /// Result of [`Command::Read`].
+    Read(ReadOutcome),
+    /// Result of [`Command::Query`].
+    Query(QueryAnswer),
+    /// Result of [`Command::Stats`].
+    Stats(ServeStats),
+    /// The command failed; the fault says how.
+    Err(WireFault),
+}
+
+/// Structured error classes carried in error replies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum FaultCode {
+    /// The requested object is not stored.
+    NotFound = 1,
+    /// Stored state failed to decode.
+    Corrupt = 2,
+    /// A retry budget was spent without the error clearing.
+    RetryExhausted = 3,
+    /// A simulated crash fired mid-protocol.
+    Crashed = 4,
+    /// A backend service call failed (S3 / SimpleDB / SQS).
+    Service = 5,
+    /// The frame itself was malformed (zero length, short payload).
+    BadFrame = 6,
+    /// The payload carried an unknown or undecodable command.
+    BadCommand = 7,
+    /// The announced frame length exceeded [`MAX_FRAME`].
+    FrameTooLarge = 8,
+}
+
+impl FaultCode {
+    /// Parses a code byte.
+    pub fn from_u8(code: u8) -> Option<FaultCode> {
+        Some(match code {
+            1 => FaultCode::NotFound,
+            2 => FaultCode::Corrupt,
+            3 => FaultCode::RetryExhausted,
+            4 => FaultCode::Crashed,
+            5 => FaultCode::Service,
+            6 => FaultCode::BadFrame,
+            7 => FaultCode::BadCommand,
+            8 => FaultCode::FrameTooLarge,
+            _ => return None,
+        })
+    }
+}
+
+/// A structured error reply: class plus human-readable detail.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireFault {
+    /// Error class.
+    pub code: FaultCode,
+    /// Rendered detail (the server's `CloudError` display, or a frame
+    /// diagnosis).
+    pub message: String,
+}
+
+impl WireFault {
+    /// Builds a fault.
+    pub fn new(code: FaultCode, message: impl Into<String>) -> WireFault {
+        WireFault {
+            code,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for WireFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}: {}", self.code, self.message)
+    }
+}
+
+impl From<&CloudError> for WireFault {
+    fn from(e: &CloudError) -> WireFault {
+        let code = match e {
+            CloudError::NotFound { .. } => FaultCode::NotFound,
+            CloudError::Corrupt { .. } => FaultCode::Corrupt,
+            CloudError::RetryExhausted { .. } => FaultCode::RetryExhausted,
+            CloudError::Crashed(_) => FaultCode::Crashed,
+            CloudError::S3(_) | CloudError::SimpleDb(_) | CloudError::Sqs(_) => FaultCode::Service,
+        };
+        WireFault::new(code, e.to_string())
+    }
+}
+
+/// Why a payload failed to decode.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The payload ended before the announced structure did.
+    UnexpectedEnd,
+    /// An unknown tag byte for the given kind of structure.
+    BadTag {
+        /// What was being decoded ("command", "reply", "query", ...).
+        kind: &'static str,
+        /// The offending byte.
+        tag: u8,
+    },
+    /// A string field was not valid UTF-8.
+    BadUtf8,
+    /// Bytes remained after the structure was fully decoded.
+    Trailing,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::UnexpectedEnd => f.write_str("payload truncated"),
+            DecodeError::BadTag { kind, tag } => write!(f, "unknown {kind} tag 0x{tag:02x}"),
+            DecodeError::BadUtf8 => f.write_str("string field not UTF-8"),
+            DecodeError::Trailing => f.write_str("trailing bytes after payload"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Why a frame could not be read off the stream.
+#[derive(Debug)]
+pub enum FrameError {
+    /// Transport error.
+    Io(io::Error),
+    /// The stream ended mid-prefix or mid-payload.
+    Truncated,
+    /// The length prefix announced zero payload bytes (every payload
+    /// carries at least a tag). The stream is still in sync — the
+    /// server answers with a [`FaultCode::BadFrame`] and carries on.
+    Empty,
+    /// The length prefix exceeded [`MAX_FRAME`]. The payload is not
+    /// consumed, so the connection cannot resync and must close.
+    TooLarge(u32),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "i/o: {e}"),
+            FrameError::Truncated => f.write_str("stream ended mid-frame"),
+            FrameError::Empty => f.write_str("zero-length frame"),
+            FrameError::TooLarge(len) => write!(f, "frame of {len} bytes exceeds {MAX_FRAME}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> FrameError {
+        FrameError::Io(e)
+    }
+}
+
+// ---- frame transport ----------------------------------------------------
+
+/// Writes one frame: `u32` big-endian payload length, then the payload.
+///
+/// # Errors
+///
+/// Transport errors from `w`.
+///
+/// # Panics
+///
+/// If `payload` is empty or longer than [`MAX_FRAME`] — encoders in
+/// this module never produce either.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    assert!(
+        !payload.is_empty() && payload.len() <= MAX_FRAME,
+        "frame payload out of bounds"
+    );
+    w.write_all(&(payload.len() as u32).to_be_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one frame's payload. `Ok(None)` is a clean end of stream (the
+/// peer closed between frames); ending anywhere *inside* a frame is
+/// [`FrameError::Truncated`].
+///
+/// # Errors
+///
+/// [`FrameError`] as described on its variants.
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>, FrameError> {
+    let mut prefix = [0u8; 4];
+    let mut got = 0;
+    while got < prefix.len() {
+        match r.read(&mut prefix[got..]) {
+            Ok(0) if got == 0 => return Ok(None),
+            Ok(0) => return Err(FrameError::Truncated),
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e.into()),
+        }
+    }
+    let len = u32::from_be_bytes(prefix);
+    if len == 0 {
+        return Err(FrameError::Empty);
+    }
+    if len as usize > MAX_FRAME {
+        return Err(FrameError::TooLarge(len));
+    }
+    let mut payload = vec![0u8; len as usize];
+    match r.read_exact(&mut payload) {
+        Ok(()) => Ok(Some(payload)),
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => Err(FrameError::Truncated),
+        Err(e) => Err(e.into()),
+    }
+}
+
+// ---- primitive encoders --------------------------------------------------
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_blob(out: &mut Vec<u8>, blob: &Blob) {
+    let bytes = blob.to_bytes();
+    put_u64(out, bytes.len() as u64);
+    out.extend_from_slice(&bytes);
+}
+
+fn put_records(out: &mut Vec<u8>, records: &[ProvenanceRecord]) {
+    put_u32(out, records.len() as u32);
+    for record in records {
+        let (name, value) = record.to_pair();
+        put_str(out, &name);
+        put_str(out, &value);
+    }
+}
+
+fn put_flush(out: &mut Vec<u8>, flush: &FileFlush) {
+    put_str(out, &flush.object.name);
+    put_u32(out, flush.object.version);
+    out.push(match flush.kind {
+        ObjectKind::File => 0,
+        ObjectKind::Process => 1,
+    });
+    put_blob(out, &flush.data);
+    put_records(out, &flush.records);
+}
+
+// ---- primitive decoders --------------------------------------------------
+
+struct Cur<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Cur<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.buf.len() < n {
+            return Err(DecodeError::UnexpectedEnd);
+        }
+        let (head, tail) = self.buf.split_at(n);
+        self.buf = tail;
+        Ok(head)
+    }
+
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_be_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_be_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn str(&mut self) -> Result<String, DecodeError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| DecodeError::BadUtf8)
+    }
+
+    fn blob(&mut self) -> Result<Blob, DecodeError> {
+        let len = self.u64()? as usize;
+        Ok(Blob::from_bytes(self.take(len)?.to_vec()))
+    }
+
+    fn records(&mut self) -> Result<Vec<ProvenanceRecord>, DecodeError> {
+        let count = self.u32()? as usize;
+        let mut records = Vec::with_capacity(count.min(1024));
+        for _ in 0..count {
+            let name = self.str()?;
+            let value = self.str()?;
+            records.push(ProvenanceRecord::from_pair(&name, &value));
+        }
+        Ok(records)
+    }
+
+    fn flush(&mut self) -> Result<FileFlush, DecodeError> {
+        let name = self.str()?;
+        let version = self.u32()?;
+        let kind = match self.u8()? {
+            0 => ObjectKind::File,
+            1 => ObjectKind::Process,
+            tag => return Err(DecodeError::BadTag { kind: "kind", tag }),
+        };
+        let data = self.blob()?;
+        let records = self.records()?;
+        Ok(FileFlush {
+            object: ObjectRef::new(name, version),
+            kind,
+            data,
+            records,
+        })
+    }
+
+    fn finish(self) -> Result<(), DecodeError> {
+        if self.buf.is_empty() {
+            Ok(())
+        } else {
+            Err(DecodeError::Trailing)
+        }
+    }
+}
+
+// ---- commands ------------------------------------------------------------
+
+fn put_query(out: &mut Vec<u8>, query: &ProvQuery) {
+    match query {
+        ProvQuery::ProvenanceOfAll => out.push(0),
+        ProvQuery::ProvenanceOf { name, version } => {
+            out.push(1);
+            put_str(out, name);
+            put_u32(out, *version);
+        }
+        ProvQuery::OutputsOf { program } => {
+            out.push(2);
+            put_str(out, program);
+        }
+        ProvQuery::DescendantsOf { program } => {
+            out.push(3);
+            put_str(out, program);
+        }
+    }
+}
+
+fn get_query(cur: &mut Cur<'_>) -> Result<ProvQuery, DecodeError> {
+    Ok(match cur.u8()? {
+        0 => ProvQuery::ProvenanceOfAll,
+        1 => ProvQuery::ProvenanceOf {
+            name: cur.str()?,
+            version: cur.u32()?,
+        },
+        2 => ProvQuery::OutputsOf {
+            program: cur.str()?,
+        },
+        3 => ProvQuery::DescendantsOf {
+            program: cur.str()?,
+        },
+        tag => return Err(DecodeError::BadTag { kind: "query", tag }),
+    })
+}
+
+/// Encodes a command into a frame payload (tag byte + body).
+pub fn encode_command(command: &Command) -> Vec<u8> {
+    let mut out = Vec::new();
+    match command {
+        Command::Record(flush) => {
+            out.push(CMD_RECORD);
+            put_flush(&mut out, flush);
+        }
+        Command::RecordBatch(flushes) => {
+            out.push(CMD_RECORD_BATCH);
+            put_u32(&mut out, flushes.len() as u32);
+            for flush in flushes {
+                put_flush(&mut out, flush);
+            }
+        }
+        Command::Flush => out.push(CMD_FLUSH),
+        Command::Read(name) => {
+            out.push(CMD_READ);
+            put_str(&mut out, name);
+        }
+        Command::Query(query) => {
+            out.push(CMD_QUERY);
+            put_query(&mut out, query);
+        }
+        Command::Stats => out.push(CMD_STATS),
+    }
+    out
+}
+
+/// Decodes a frame payload as a command.
+///
+/// # Errors
+///
+/// [`DecodeError`] on an unknown tag or malformed body.
+pub fn decode_command(payload: &[u8]) -> Result<Command, DecodeError> {
+    let mut cur = Cur { buf: payload };
+    let command = match cur.u8()? {
+        CMD_RECORD => Command::Record(cur.flush()?),
+        CMD_RECORD_BATCH => {
+            let count = cur.u32()? as usize;
+            let mut flushes = Vec::with_capacity(count.min(1024));
+            for _ in 0..count {
+                flushes.push(cur.flush()?);
+            }
+            Command::RecordBatch(flushes)
+        }
+        CMD_FLUSH => Command::Flush,
+        CMD_READ => Command::Read(cur.str()?),
+        CMD_QUERY => Command::Query(get_query(&mut cur)?),
+        CMD_STATS => Command::Stats,
+        tag => {
+            return Err(DecodeError::BadTag {
+                kind: "command",
+                tag,
+            })
+        }
+    };
+    cur.finish()?;
+    Ok(command)
+}
+
+// ---- replies -------------------------------------------------------------
+
+fn put_status(out: &mut Vec<u8>, status: ReadStatus) {
+    match status {
+        ReadStatus::AtomicUnit => out.push(0),
+        ReadStatus::VerifiedConsistent { retries } => {
+            out.push(1);
+            put_u32(out, retries);
+        }
+        ReadStatus::InconsistencyDetected { retries } => {
+            out.push(2);
+            put_u32(out, retries);
+        }
+        ReadStatus::Unverified => out.push(3),
+    }
+}
+
+fn get_status(cur: &mut Cur<'_>) -> Result<ReadStatus, DecodeError> {
+    Ok(match cur.u8()? {
+        0 => ReadStatus::AtomicUnit,
+        1 => ReadStatus::VerifiedConsistent {
+            retries: cur.u32()?,
+        },
+        2 => ReadStatus::InconsistencyDetected {
+            retries: cur.u32()?,
+        },
+        3 => ReadStatus::Unverified,
+        tag => {
+            return Err(DecodeError::BadTag {
+                kind: "status",
+                tag,
+            })
+        }
+    })
+}
+
+/// Encodes a reply into a frame payload (tag byte + body).
+pub fn encode_reply(reply: &Reply) -> Vec<u8> {
+    let mut out = Vec::new();
+    match reply {
+        Reply::Unit => out.push(REP_UNIT),
+        Reply::Read(outcome) => {
+            out.push(REP_READ);
+            put_str(&mut out, &outcome.object.name);
+            put_u32(&mut out, outcome.object.version);
+            put_blob(&mut out, &outcome.data);
+            put_records(&mut out, &outcome.records);
+            put_status(&mut out, outcome.status);
+        }
+        Reply::Query(answer) => {
+            out.push(REP_QUERY);
+            put_u32(&mut out, answer.items.len() as u32);
+            for item in &answer.items {
+                put_str(&mut out, &item.object.name);
+                put_u32(&mut out, item.object.version);
+                put_records(&mut out, &item.records);
+            }
+        }
+        Reply::Stats(stats) => {
+            out.push(REP_STATS);
+            put_str(&mut out, &stats.architecture);
+            put_u64(&mut out, stats.requests);
+            put_u64(&mut out, stats.store_ops);
+            put_u64(&mut out, stats.bytes_in);
+            put_u64(&mut out, stats.bytes_out);
+            put_u64(&mut out, stats.fingerprint);
+        }
+        Reply::Err(fault) => {
+            out.push(REP_ERR);
+            out.push(fault.code as u8);
+            put_str(&mut out, &fault.message);
+        }
+    }
+    out
+}
+
+/// Decodes a frame payload as a reply.
+///
+/// # Errors
+///
+/// [`DecodeError`] on an unknown tag or malformed body.
+pub fn decode_reply(payload: &[u8]) -> Result<Reply, DecodeError> {
+    let mut cur = Cur { buf: payload };
+    let reply = match cur.u8()? {
+        REP_UNIT => Reply::Unit,
+        REP_READ => {
+            let name = cur.str()?;
+            let version = cur.u32()?;
+            let data = cur.blob()?;
+            let records = cur.records()?;
+            let status = get_status(&mut cur)?;
+            Reply::Read(ReadOutcome {
+                object: ObjectRef::new(name, version),
+                data,
+                records,
+                status,
+            })
+        }
+        REP_QUERY => {
+            let count = cur.u32()? as usize;
+            let mut items = Vec::with_capacity(count.min(1024));
+            for _ in 0..count {
+                let name = cur.str()?;
+                let version = cur.u32()?;
+                let records = cur.records()?;
+                items.push(QueryItem {
+                    object: ObjectRef::new(name, version),
+                    records,
+                });
+            }
+            Reply::Query(QueryAnswer { items })
+        }
+        REP_STATS => Reply::Stats(ServeStats {
+            architecture: cur.str()?,
+            requests: cur.u64()?,
+            store_ops: cur.u64()?,
+            bytes_in: cur.u64()?,
+            bytes_out: cur.u64()?,
+            fingerprint: cur.u64()?,
+        }),
+        REP_ERR => {
+            let code_byte = cur.u8()?;
+            let code = FaultCode::from_u8(code_byte).ok_or(DecodeError::BadTag {
+                kind: "fault code",
+                tag: code_byte,
+            })?;
+            Reply::Err(WireFault {
+                code,
+                message: cur.str()?,
+            })
+        }
+        tag => return Err(DecodeError::BadTag { kind: "reply", tag }),
+    };
+    cur.finish()?;
+    Ok(reply)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_flush() -> FileFlush {
+        FileFlush::builder("dir/a.dat")
+            .data(Blob::from("hello"))
+            .record("input", "dir/b.dat:3")
+            .record("env", "PATH=/bin")
+            .build()
+    }
+
+    #[test]
+    fn command_round_trips() {
+        let commands = [
+            Command::Record(sample_flush()),
+            Command::RecordBatch(vec![sample_flush(), sample_flush()]),
+            Command::Flush,
+            Command::Read("dir/a.dat".into()),
+            Command::Query(ProvQuery::ProvenanceOfAll),
+            Command::Query(ProvQuery::ProvenanceOf {
+                name: "x".into(),
+                version: 7,
+            }),
+            Command::Query(ProvQuery::OutputsOf {
+                program: "blastall".into(),
+            }),
+            Command::Query(ProvQuery::DescendantsOf {
+                program: "blastall".into(),
+            }),
+            Command::Stats,
+        ];
+        for command in commands {
+            let payload = encode_command(&command);
+            assert_eq!(decode_command(&payload).unwrap(), command);
+        }
+    }
+
+    #[test]
+    fn reply_round_trips() {
+        let replies = [
+            Reply::Unit,
+            Reply::Read(ReadOutcome {
+                object: ObjectRef::new("a", 2),
+                data: Blob::from("bytes"),
+                records: sample_flush().records,
+                status: ReadStatus::VerifiedConsistent { retries: 1 },
+            }),
+            Reply::Query(QueryAnswer {
+                items: vec![QueryItem {
+                    object: ObjectRef::new("b", 1),
+                    records: vec![ProvenanceRecord::from_pair("type", "file")],
+                }],
+            }),
+            Reply::Stats(ServeStats {
+                architecture: "s3+simpledb".into(),
+                requests: 9,
+                store_ops: 100,
+                bytes_in: 5,
+                bytes_out: 6,
+                fingerprint: 0xdead_beef,
+            }),
+            Reply::Err(WireFault::new(FaultCode::NotFound, "object not found: x")),
+        ];
+        for reply in replies {
+            let payload = encode_reply(&reply);
+            assert_eq!(decode_reply(&payload).unwrap(), reply);
+        }
+    }
+
+    #[test]
+    fn frame_round_trips_over_a_buffer() {
+        let payload = encode_command(&Command::Flush);
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &payload).unwrap();
+        write_frame(&mut wire, &payload).unwrap();
+        let mut reader = wire.as_slice();
+        assert_eq!(read_frame(&mut reader).unwrap().unwrap(), payload);
+        assert_eq!(read_frame(&mut reader).unwrap().unwrap(), payload);
+        assert!(read_frame(&mut reader).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn truncated_prefix_and_payload_are_distinguished_from_eof() {
+        // Two bytes of a four-byte prefix.
+        let mut reader: &[u8] = &[0x00, 0x01];
+        assert!(matches!(
+            read_frame(&mut reader),
+            Err(FrameError::Truncated)
+        ));
+        // Full prefix announcing 100 bytes, only 3 present.
+        let mut wire = 100u32.to_be_bytes().to_vec();
+        wire.extend_from_slice(&[1, 2, 3]);
+        let mut reader = wire.as_slice();
+        assert!(matches!(
+            read_frame(&mut reader),
+            Err(FrameError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn zero_and_oversized_lengths_are_structured_errors() {
+        let mut reader: &[u8] = &0u32.to_be_bytes();
+        assert!(matches!(read_frame(&mut reader), Err(FrameError::Empty)));
+        let mut reader: &[u8] = &u32::MAX.to_be_bytes();
+        assert!(matches!(
+            read_frame(&mut reader),
+            Err(FrameError::TooLarge(_))
+        ));
+    }
+
+    #[test]
+    fn garbage_tags_and_trailing_bytes_are_rejected() {
+        assert_eq!(
+            decode_command(&[0x42]),
+            Err(DecodeError::BadTag {
+                kind: "command",
+                tag: 0x42
+            })
+        );
+        let mut payload = encode_command(&Command::Flush);
+        payload.push(0xFF);
+        assert_eq!(decode_command(&payload), Err(DecodeError::Trailing));
+        assert_eq!(
+            decode_command(&[CMD_READ, 0, 0]),
+            Err(DecodeError::UnexpectedEnd)
+        );
+        assert!(matches!(
+            decode_reply(&[REP_ERR, 99, 0, 0, 0, 0]),
+            Err(DecodeError::BadTag {
+                kind: "fault code",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn fault_codes_map_cloud_errors() {
+        let fault = WireFault::from(&CloudError::NotFound { name: "x".into() });
+        assert_eq!(fault.code, FaultCode::NotFound);
+        assert!(fault.message.contains('x'));
+        let fault = WireFault::from(&CloudError::Corrupt {
+            message: "bad".into(),
+        });
+        assert_eq!(fault.code, FaultCode::Corrupt);
+        for code in 1..=8 {
+            assert_eq!(FaultCode::from_u8(code).map(|c| c as u8), Some(code));
+        }
+        assert_eq!(FaultCode::from_u8(0), None);
+        assert_eq!(FaultCode::from_u8(9), None);
+    }
+}

@@ -1,0 +1,49 @@
+//! # prov-frontend — serving the provenance store over a socket
+//!
+//! The store so far has only ever been driven in-process. This crate
+//! puts a network face on it: a length-prefixed binary protocol
+//! (std::net only — no external dependencies) served over **TCP** and
+//! **Unix-domain sockets** through one shared command layer.
+//!
+//! * [`codec`] — the wire format: frames, command/reply encodings,
+//!   structured error replies.
+//! * [`server`] — a fixed pool of connection-handler threads over a
+//!   shared [`provenance_cloud::ServeHandle`]; reads and queries run
+//!   concurrently against the store's per-shard locks.
+//! * [`client`] — a blocking client speaking the same codec, generic
+//!   over the stream type.
+//!
+//! ## Wire protocol
+//!
+//! Every message — command or reply — is one *frame*:
+//!
+//! ```text
+//! +----------------+---------------------+
+//! | length: u32 BE | payload: `length` B |
+//! +----------------+---------------------+
+//! ```
+//!
+//! `length` counts the payload only, must be ≥ 1 (the tag byte) and at
+//! most [`codec::MAX_FRAME`]. The payload's first byte is a tag; the
+//! rest is the tag-specific body. Integers are big-endian; strings are
+//! `u32` length + UTF-8 bytes; blobs are `u64` length + raw bytes.
+//!
+//! Command tags: `0x01` Record, `0x02` RecordBatch, `0x03` Flush,
+//! `0x04` Read, `0x05` Query, `0x06` Stats. Reply tags: `0x80` Unit,
+//! `0x81` Read, `0x82` Query, `0x83` Stats, `0x7F` Error (code byte +
+//! message). See [`codec`] for the full layouts.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod client;
+pub mod codec;
+pub mod server;
+
+pub use client::{Client, ClientError};
+pub use codec::{
+    decode_command, decode_reply, encode_command, encode_reply, read_frame, write_frame, Command,
+    DecodeError, FaultCode, FrameError, Reply, WireFault, MAX_FRAME,
+};
+pub use server::{Endpoint, Server};

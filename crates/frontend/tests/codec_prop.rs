@@ -1,0 +1,167 @@
+//! Round-trip property tests on the wire codec: whatever structure the
+//! encoder can produce, the decoder reconstructs exactly — and frames
+//! survive arbitrary chunking of the byte stream.
+
+use frontend::{
+    decode_command, decode_reply, encode_command, encode_reply, read_frame, write_frame, Command,
+    Reply, WireFault,
+};
+use frontend::{FaultCode, MAX_FRAME};
+use pass::{FileFlush, ObjectKind, ObjectRef, ProvenanceRecord};
+use proptest::prelude::*;
+use provenance_cloud::{ProvQuery, QueryAnswer, QueryItem, ReadOutcome, ReadStatus, ServeStats};
+use simworld::Blob;
+
+/// Builds a flush from generated primitives. Records go through
+/// `from_pair`, the same normalization the decoder applies, so
+/// equality after a round trip is exact.
+fn build_flush(
+    name: &str,
+    version: u32,
+    process: bool,
+    data: &[u8],
+    pairs: &[(String, String)],
+) -> FileFlush {
+    FileFlush {
+        object: ObjectRef::new(name.to_string(), version),
+        kind: if process {
+            ObjectKind::Process
+        } else {
+            ObjectKind::File
+        },
+        data: Blob::from_bytes(data.to_vec()),
+        records: pairs
+            .iter()
+            .map(|(k, v)| ProvenanceRecord::from_pair(k, v))
+            .collect(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn record_command_round_trips(
+        name in "[a-z/._ -]{1,40}",
+        version in 1u32..1000,
+        process in 0u8..2,
+        data in proptest::collection::vec(any::<u8>(), 0..2048),
+        keys in proptest::collection::vec("[a-z_]{1,12}", 0..8),
+        values in proptest::collection::vec("[ -~]{0,64}", 0..8),
+    ) {
+        let pairs: Vec<(String, String)> = keys.into_iter().zip(values).collect();
+        let flush = build_flush(&name, version, process == 1, &data, &pairs);
+        // Normalize once more: from_pair may map a textual value onto a
+        // reference representation whose render differs from the input;
+        // one extra round trip reaches the fixed point the wire uses.
+        let flush = build_flush(
+            &name,
+            version,
+            process == 1,
+            &data,
+            &flush.records.iter().map(|r| r.to_pair()).collect::<Vec<_>>(),
+        );
+        let command = Command::Record(flush);
+        prop_assert_eq!(decode_command(&encode_command(&command)).unwrap(), command);
+    }
+
+    #[test]
+    fn query_and_read_commands_round_trip(
+        name in "[a-zA-Z0-9/._-]{1,60}",
+        version in 1u32..u32::MAX,
+        which in 0u8..6,
+    ) {
+        let command = match which {
+            0 => Command::Read(name),
+            1 => Command::Query(ProvQuery::ProvenanceOfAll),
+            2 => Command::Query(ProvQuery::ProvenanceOf { name, version }),
+            3 => Command::Query(ProvQuery::OutputsOf { program: name }),
+            4 => Command::Query(ProvQuery::DescendantsOf { program: name }),
+            _ => Command::Stats,
+        };
+        prop_assert_eq!(decode_command(&encode_command(&command)).unwrap(), command);
+    }
+
+    #[test]
+    fn replies_round_trip(
+        name in "[a-z0-9/._-]{1,40}",
+        version in 1u32..10_000,
+        retries in 0u32..100,
+        data in proptest::collection::vec(any::<u8>(), 0..1024),
+        which in 0u8..5,
+        counters in proptest::collection::vec(any::<u64>(), 5..6),
+        code in 1u8..9,
+    ) {
+        let records = vec![
+            ProvenanceRecord::from_pair("input", &format!("{name}:{version}")),
+            ProvenanceRecord::from_pair("type", "file"),
+        ];
+        let reply = match which {
+            0 => Reply::Unit,
+            1 => Reply::Read(ReadOutcome {
+                object: ObjectRef::new(name, version),
+                data: Blob::from_bytes(data),
+                records,
+                status: match retries % 4 {
+                    0 => ReadStatus::AtomicUnit,
+                    1 => ReadStatus::VerifiedConsistent { retries },
+                    2 => ReadStatus::InconsistencyDetected { retries },
+                    _ => ReadStatus::Unverified,
+                },
+            }),
+            2 => Reply::Query(QueryAnswer {
+                items: vec![QueryItem {
+                    object: ObjectRef::new(name, version),
+                    records,
+                }],
+            }),
+            3 => Reply::Stats(ServeStats {
+                architecture: name,
+                requests: counters[0],
+                store_ops: counters[1],
+                bytes_in: counters[2],
+                bytes_out: counters[3],
+                fingerprint: counters[4],
+            }),
+            _ => Reply::Err(WireFault::new(
+                FaultCode::from_u8(code).unwrap(),
+                name,
+            )),
+        };
+        prop_assert_eq!(decode_reply(&encode_reply(&reply)).unwrap(), reply);
+    }
+
+    #[test]
+    fn frames_survive_arbitrary_stream_chunking(
+        payload in proptest::collection::vec(any::<u8>(), 1..512),
+        chunk in 1usize..64,
+    ) {
+        prop_assert!(payload.len() <= MAX_FRAME);
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &payload).unwrap();
+
+        // A reader that returns at most `chunk` bytes per read call —
+        // TCP segmentation in miniature.
+        struct Dribble<'a> { buf: &'a [u8], chunk: usize }
+        impl std::io::Read for Dribble<'_> {
+            fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+                let n = self.chunk.min(out.len()).min(self.buf.len());
+                out[..n].copy_from_slice(&self.buf[..n]);
+                self.buf = &self.buf[n..];
+                Ok(n)
+            }
+        }
+        let mut reader = Dribble { buf: &wire, chunk };
+        prop_assert_eq!(read_frame(&mut reader).unwrap().unwrap(), payload);
+        prop_assert!(read_frame(&mut reader).unwrap().is_none());
+    }
+
+    #[test]
+    fn decoder_never_panics_on_garbage(
+        payload in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        // Any byte soup either decodes or errors — no panic, no hang.
+        let _ = decode_command(&payload);
+        let _ = decode_reply(&payload);
+    }
+}

@@ -1,0 +1,266 @@
+//! End-to-end and adversarial tests for the network frontend: the
+//! typed surface over TCP and Unix sockets, and every way a client can
+//! speak the protocol badly without taking the server down.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use frontend::{Client, ClientError, Command, FaultCode, Reply, Server, MAX_FRAME};
+use pass::FileFlush;
+use provenance_cloud::{ProvQuery, S3SimpleDb, S3SimpleDbSqs, ServeHandle};
+use simworld::{Blob, SimWorld};
+
+fn arch2_handle() -> ServeHandle {
+    ServeHandle::new(S3SimpleDb::new(&SimWorld::counting()))
+}
+
+fn flush(name: &str, seed: u64, parent: Option<&str>) -> FileFlush {
+    let mut b = FileFlush::builder(name).data(Blob::synthetic(seed, 2048));
+    if let Some(p) = parent {
+        b = b.record("input", &format!("{p}:1"));
+    }
+    b.build()
+}
+
+fn unique_socket_path(tag: &str) -> PathBuf {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "prov-frontend-{tag}-{}-{n}.sock",
+        std::process::id()
+    ))
+}
+
+#[test]
+fn tcp_round_trip_record_flush_read_query_stats() {
+    let server = Server::bind_tcp(arch2_handle(), "127.0.0.1:0", 2).unwrap();
+    let addr = server.tcp_addr().unwrap();
+    let mut client = Client::connect_tcp(addr).unwrap();
+
+    client.record(&flush("raw.dat", 1, None)).unwrap();
+    client
+        .record(&flush("cooked.dat", 2, Some("raw.dat")))
+        .unwrap();
+    client.flush().unwrap();
+
+    let read = client.read("cooked.dat").unwrap();
+    assert!(read.consistent());
+    assert_eq!(read.object.version, 1);
+    assert_eq!(read.data.to_bytes(), Blob::synthetic(2, 2048).to_bytes());
+
+    let answer = client
+        .query(&ProvQuery::ProvenanceOf {
+            name: "cooked.dat".into(),
+            version: 1,
+        })
+        .unwrap();
+    assert_eq!(answer.items.len(), 1);
+
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.architecture, "s3+simpledb");
+    assert!(stats.requests >= 5);
+    assert!(stats.store_ops > 0);
+
+    server.shutdown();
+}
+
+#[test]
+fn unix_round_trip_arch3_with_wal_flush() {
+    let world = SimWorld::counting();
+    let handle = ServeHandle::new(S3SimpleDbSqs::new(&world, "net-1"));
+    let path = unique_socket_path("arch3");
+    let server = Server::bind_unix(handle, &path, 2).unwrap();
+    let mut client = Client::connect_unix(&path).unwrap();
+
+    client.record(&flush("wal.dat", 3, None)).unwrap();
+    // Logged but uncommitted: the verified read must fail structurally.
+    let err = client.read("wal.dat").unwrap_err();
+    assert_eq!(err.fault().map(|f| f.code), Some(FaultCode::NotFound));
+    client.flush().unwrap();
+    assert!(client.read("wal.dat").unwrap().consistent());
+
+    server.shutdown();
+    assert!(!path.exists(), "shutdown removes the socket file");
+}
+
+#[test]
+fn store_errors_are_structured_and_nonfatal() {
+    let server = Server::bind_tcp(arch2_handle(), "127.0.0.1:0", 1).unwrap();
+    let mut client = Client::connect_tcp(server.tcp_addr().unwrap()).unwrap();
+
+    let err = client.read("never-written.dat").unwrap_err();
+    let fault = err.fault().expect("remote fault");
+    assert_eq!(fault.code, FaultCode::NotFound);
+    assert!(fault.message.contains("never-written.dat"));
+
+    // Same connection keeps serving.
+    client.record(&flush("ok.dat", 1, None)).unwrap();
+    assert!(client.read("ok.dat").unwrap().consistent());
+    server.shutdown();
+}
+
+#[test]
+fn garbage_command_tag_gets_structured_error_and_connection_survives() {
+    let server = Server::bind_tcp(arch2_handle(), "127.0.0.1:0", 1).unwrap();
+    let mut client = Client::connect_tcp(server.tcp_addr().unwrap()).unwrap();
+
+    let reply = client.raw_round_trip(&[0x42, 1, 2, 3]).unwrap();
+    let Reply::Err(fault) = reply else {
+        panic!("expected error reply, got {reply:?}");
+    };
+    assert_eq!(fault.code, FaultCode::BadCommand);
+    assert!(fault.message.contains("0x42"));
+
+    // Still in sync: a well-formed command on the same stream works.
+    client.record(&flush("after-garbage.dat", 1, None)).unwrap();
+    server.shutdown();
+}
+
+#[test]
+fn zero_length_frame_gets_bad_frame_error_and_connection_survives() {
+    let server = Server::bind_tcp(arch2_handle(), "127.0.0.1:0", 1).unwrap();
+    let mut client = Client::connect_tcp(server.tcp_addr().unwrap()).unwrap();
+
+    // A zero length prefix, written raw (write_frame refuses to).
+    client.stream_mut().write_all(&0u32.to_be_bytes()).unwrap();
+    let reply = client
+        .raw_round_trip(&frontend::encode_command(&Command::Flush))
+        .unwrap();
+    let Reply::Err(fault) = reply else {
+        panic!("expected error reply, got {reply:?}");
+    };
+    assert_eq!(fault.code, FaultCode::BadFrame);
+
+    // The flush command that followed the bad frame is answered next.
+    let reply = {
+        use frontend::read_frame;
+        let payload = read_frame(client.stream_mut()).unwrap().unwrap();
+        frontend::decode_reply(&payload).unwrap()
+    };
+    assert_eq!(reply, Reply::Unit);
+    server.shutdown();
+}
+
+#[test]
+fn oversized_frame_gets_structured_error_then_close() {
+    let server = Server::bind_tcp(arch2_handle(), "127.0.0.1:0", 1).unwrap();
+    let mut client = Client::connect_tcp(server.tcp_addr().unwrap()).unwrap();
+
+    let huge = (MAX_FRAME as u32) + 1;
+    client.stream_mut().write_all(&huge.to_be_bytes()).unwrap();
+    let payload = frontend::read_frame(client.stream_mut()).unwrap().unwrap();
+    let Reply::Err(fault) = frontend::decode_reply(&payload).unwrap() else {
+        panic!("expected error reply");
+    };
+    assert_eq!(fault.code, FaultCode::FrameTooLarge);
+    // Then the server closes its end.
+    assert!(frontend::read_frame(client.stream_mut()).unwrap().is_none());
+
+    // The pool is still up: a fresh connection serves.
+    let mut client2 = Client::connect_tcp(server.tcp_addr().unwrap()).unwrap();
+    client2.record(&flush("after-huge.dat", 1, None)).unwrap();
+    server.shutdown();
+}
+
+#[test]
+fn disconnect_mid_request_leaves_pool_serving() {
+    let server = Server::bind_tcp(arch2_handle(), "127.0.0.1:0", 1).unwrap();
+    let addr = server.tcp_addr().unwrap();
+
+    // Half a length prefix, then hang up.
+    {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(&[0x00, 0x01]).unwrap();
+    }
+    // A full prefix promising bytes that never come, then hang up.
+    {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(&64u32.to_be_bytes()).unwrap();
+        stream.write_all(&[1, 2, 3]).unwrap();
+    }
+
+    // The single worker survived both and serves the next connection.
+    let mut client = Client::connect_tcp(addr).unwrap();
+    client.record(&flush("survivor.dat", 1, None)).unwrap();
+    assert!(client.read("survivor.dat").unwrap().consistent());
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_clients_share_one_store() {
+    let handle = arch2_handle();
+    let server = Server::bind_tcp(handle.clone(), "127.0.0.1:0", 4).unwrap();
+    let addr = server.tcp_addr().unwrap();
+
+    // Seed a few objects through one client.
+    let mut seeder = Client::connect_tcp(addr).unwrap();
+    for i in 0..8u64 {
+        seeder
+            .record(&flush(&format!("c{i}.dat"), i, None))
+            .unwrap();
+    }
+
+    let readers: Vec<_> = (0..4)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect_tcp(addr).unwrap();
+                for i in 0..8u64 {
+                    let outcome = client.read(&format!("c{i}.dat")).unwrap();
+                    assert!(outcome.consistent());
+                }
+            })
+        })
+        .collect();
+    for reader in readers {
+        reader.join().unwrap();
+    }
+
+    // The server-side handle observed every request.
+    assert!(handle.requests() >= 8 + 4 * 8);
+    server.shutdown();
+}
+
+#[test]
+fn networked_store_fingerprint_matches_in_process_run() {
+    // In-process reference run.
+    let reference = arch2_handle();
+    for i in 0..6u64 {
+        let parent = (i > 0).then(|| format!("f{}.dat", i - 1));
+        reference
+            .record(&flush(&format!("f{i}.dat"), i, parent.as_deref()))
+            .unwrap();
+    }
+    reference.flush().unwrap();
+
+    // The same workload over the wire.
+    let served = arch2_handle();
+    let path = unique_socket_path("fp");
+    let server = Server::bind_unix(served.clone(), &path, 2).unwrap();
+    let mut client = Client::connect_unix(&path).unwrap();
+    for i in 0..6u64 {
+        let parent = (i > 0).then(|| format!("f{}.dat", i - 1));
+        client
+            .record(&flush(&format!("f{i}.dat"), i, parent.as_deref()))
+            .unwrap();
+    }
+    client.flush().unwrap();
+    let stats = client.stats().unwrap();
+    server.shutdown();
+
+    assert_eq!(stats.fingerprint, reference.fingerprint());
+    assert_eq!(stats.fingerprint, served.fingerprint());
+}
+
+#[test]
+fn client_reports_server_closing_mid_reply_as_transport_error() {
+    let server = Server::bind_tcp(arch2_handle(), "127.0.0.1:0", 1).unwrap();
+    let addr = server.tcp_addr().unwrap();
+    let mut client = Client::connect_tcp(addr).unwrap();
+    client.record(&flush("x.dat", 1, None)).unwrap();
+    server.shutdown();
+    // The pool is gone; the next call fails with Io, not a panic or hang.
+    let err = client.read("x.dat").unwrap_err();
+    assert!(matches!(err, ClientError::Io(_)), "got {err:?}");
+}

@@ -1,10 +1,10 @@
 //! Quickstart: persist a file with provenance on the WAL-backed
-//! architecture, read it back with verified consistency, and run an
-//! ancestry query.
+//! architecture through the serving facade, read it back with verified
+//! consistency, and run an ancestry query.
 //!
 //! Run with: `cargo run --example quickstart`
 
-use pass_cloud::cloud::{ProvQuery, ProvenanceStore, S3SimpleDbSqs};
+use pass_cloud::cloud::{ProvQuery, S3SimpleDbSqs, ServeHandle};
 use pass_cloud::pass::{Observer, TraceEvent};
 use pass_cloud::simworld::{Blob, SimWorld};
 
@@ -12,7 +12,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A deterministic simulated cloud: S3 + SimpleDB + SQS with
     // eventual consistency and realistic latencies.
     let world = SimWorld::new(42);
-    let mut store = S3SimpleDbSqs::new(&world, "quickstart-client");
+
+    // The serving facade over the store: writes serialize behind one
+    // mutex, reads/queries take `&self` — this is the same handle the
+    // network frontend serves N connections from.
+    let store = ServeHandle::new(S3SimpleDbSqs::new(&world, "quickstart-client"));
 
     // PASS observes an application: `analyze` reads a dataset and
     // writes a result. The observer emits flushes in causal order.
@@ -35,12 +39,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         flushes.extend(observer.observe(event)?);
     }
 
-    // Each close() becomes a WAL transaction; the commit daemon applies
-    // them to S3/SimpleDB.
+    // Each close() becomes a WAL transaction; flush() drives the commit
+    // daemon until it has applied them all to S3/SimpleDB.
     for flush in &flushes {
-        store.persist(flush)?;
+        store.record(flush)?;
     }
-    store.run_daemons_until_idle()?;
+    store.flush()?;
 
     // Read correctness: data + provenance verified via MD5(data ‖ nonce).
     let read = store.read("results/summary.csv")?;
@@ -62,13 +66,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("outputs of analyze: {:?}", outputs.names());
     assert_eq!(outputs.names(), vec!["results/summary.csv:1"]);
 
-    // The billing meters that drive the paper's analysis:
-    let meters = world.meters();
+    // The serving stats: request counters, billing meters, and the
+    // store-state fingerprint the network smoke tests compare against.
+    let stats = store.stats();
     println!(
-        "cloud usage: {} ops, {} bytes in, {} bytes out",
-        meters.total_ops(),
-        meters.bytes_in(),
-        meters.bytes_out()
+        "served {} requests on {}: {} ops, {} bytes in, {} bytes out, fingerprint {:016x}",
+        stats.requests,
+        stats.architecture,
+        stats.store_ops,
+        stats.bytes_in,
+        stats.bytes_out,
+        stats.fingerprint
     );
     Ok(())
 }

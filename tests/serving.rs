@@ -1,0 +1,99 @@
+//! End-to-end serving invariants, driven through the wall-clock
+//! loadgen: whatever the thread count, transport, batching mode, or
+//! architecture, the networked store must converge to exactly the
+//! state the same workload produces in-process.
+
+use prov_bench::loadgen::{run_loadgen, LoadArch, LoadgenParams};
+
+fn base(arch: LoadArch) -> LoadgenParams {
+    LoadgenParams {
+        arch,
+        steps_per_thread: 5,
+        queries_per_thread: 8,
+        rate_per_sec: 4_000.0,
+        ..LoadgenParams::default()
+    }
+}
+
+#[test]
+fn fingerprints_match_at_every_thread_count_arch2() {
+    for threads in [1, 2, 4] {
+        let row = run_loadgen(&LoadgenParams {
+            threads,
+            ..base(LoadArch::Arch2)
+        })
+        .unwrap();
+        assert_eq!(row.errors, 0, "{threads} threads: {row:?}");
+        assert!(
+            row.fingerprints_match(),
+            "{threads} threads: networked {:016x} != in-process {:016x}",
+            row.fingerprint,
+            row.in_process_fingerprint
+        );
+    }
+}
+
+#[test]
+fn fingerprints_match_at_every_thread_count_arch3() {
+    for threads in [1, 2, 4] {
+        let row = run_loadgen(&LoadgenParams {
+            threads,
+            ..base(LoadArch::Arch3)
+        })
+        .unwrap();
+        assert_eq!(row.errors, 0, "{threads} threads: {row:?}");
+        assert!(row.fingerprints_match(), "{threads} threads: {row:?}");
+    }
+}
+
+#[test]
+fn batched_wire_path_converges_to_point_state() {
+    // Batched and point runs carry the same flushes, so the *final
+    // store* must be identical even though the wire framing differs.
+    let point = run_loadgen(&LoadgenParams {
+        threads: 2,
+        ..base(LoadArch::Arch3)
+    })
+    .unwrap();
+    let batched = run_loadgen(&LoadgenParams {
+        threads: 2,
+        batched: true,
+        ..base(LoadArch::Arch3)
+    })
+    .unwrap();
+    assert!(point.fingerprints_match());
+    assert!(batched.fingerprints_match());
+    assert_eq!(point.fingerprint, batched.fingerprint);
+}
+
+#[test]
+fn closure_serve_mode_fingerprints_match_over_the_wire() {
+    for arch in [LoadArch::Arch2, LoadArch::Arch3] {
+        let row = run_loadgen(&LoadgenParams {
+            threads: 2,
+            serve_closure: true,
+            ..base(arch)
+        })
+        .unwrap();
+        assert_eq!(row.errors, 0, "{arch:?}: {row:?}");
+        assert!(row.fingerprints_match(), "{arch:?}: {row:?}");
+    }
+}
+
+#[test]
+fn tcp_and_unix_transports_converge_identically() {
+    let unix = run_loadgen(&LoadgenParams {
+        threads: 2,
+        ..base(LoadArch::Arch2)
+    })
+    .unwrap();
+    let tcp = run_loadgen(&LoadgenParams {
+        threads: 2,
+        tcp: true,
+        ..base(LoadArch::Arch2)
+    })
+    .unwrap();
+    assert!(unix.fingerprints_match());
+    assert!(tcp.fingerprints_match());
+    assert_eq!(unix.fingerprint, tcp.fingerprint);
+}
